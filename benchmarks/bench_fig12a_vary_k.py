@@ -1,0 +1,63 @@
+"""Figure 12(a): execution cost of plans 1–4 vs the number of results k.
+
+Paper setting: s = 100,000, j = 1e-4, c = 1, k ∈ {1, 10, 100, 1000}.
+Scaled setting: s = 2,000, j = 5e-3 (same join fanout), k ∈ {1, 10, 100, 1000}.
+
+Expected shape (paper): the traditional plan 1 is *blocking* — its cost is
+flat in k and dominates everywhere; the rank-aware plans 2–4 are
+*incremental* — cost grows with k and sits 1–2 orders of magnitude below
+plan 1 for small k.
+
+Run:  pytest benchmarks/bench_fig12a_vary_k.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import ALL_PLANS
+
+from .conftest import cached_workload, execute, record
+
+K_VALUES = (1, 10, 100, 1000)
+PLANS = ("plan1", "plan2", "plan3", "plan4")
+
+_series: dict[tuple[str, int], float] = {}
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("plan_name", PLANS)
+def test_fig12a(benchmark, plan_name, k):
+    workload = cached_workload(k=k)
+    builder = ALL_PLANS[plan_name]
+
+    def run():
+        return execute(workload, builder(workload, k=k), k=k)
+
+    scores, metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, metrics, plan=plan_name, k=k)
+    _series[(plan_name, k)] = metrics.simulated_cost
+    assert len(scores) <= k
+
+
+def test_fig12a_report(benchmark):
+    """Print the Figure 12(a) series (simulated cost, log-scale shaped)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep visible under --benchmark-only
+    if not _series:
+        pytest.skip("run the parametrized cases first")
+    print("\nFigure 12(a): simulated cost vs k   (s=2000, j=5e-3, c=1)")
+    header = "k".rjust(6) + "".join(p.rjust(14) for p in PLANS)
+    print(header)
+    for k in K_VALUES:
+        row = f"{k:>6}"
+        for plan_name in PLANS:
+            cost = _series.get((plan_name, k))
+            row += f"{cost:>14.0f}" if cost is not None else " " * 14
+        print(row)
+    # Shape assertions (who wins, how the curves move):
+    for k in K_VALUES:
+        assert _series[("plan1", k)] > _series[("plan2", k)], "plan2 must win"
+    flat = _series[("plan1", 1000)] / _series[("plan1", 1)]
+    rising = _series[("plan2", 1000)] / _series[("plan2", 1)]
+    assert flat < 1.6, "traditional plan is blocking: flat in k"
+    assert rising > 1.6, "rank-aware plan is incremental: grows with k"

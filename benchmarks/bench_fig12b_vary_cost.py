@@ -1,0 +1,63 @@
+"""Figure 12(b): execution cost vs per-predicate cost c.
+
+Paper setting: k = 10, s = 100,000, j = 1e-4, c ∈ {0, 1, 10, 100, 1000}.
+Scaled setting: s = 2,000, j = 5e-3, same c sweep.
+
+Expected shape (paper): once the predicate cost dominates, the curves rise
+linearly in c and appear as parallel lines in log scale — the *number* of
+predicate evaluations does not change with c, only their unit price; the
+plan ordering is decided by how many evaluations each plan performs.
+
+Run:  pytest benchmarks/bench_fig12b_vary_cost.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import ALL_PLANS
+
+from .conftest import cached_workload, execute, record
+
+COSTS = (0.0, 1.0, 10.0, 100.0, 1000.0)
+PLANS = ("plan1", "plan2", "plan3", "plan4")
+
+_series: dict[tuple[str, float], tuple[float, int]] = {}
+
+
+@pytest.mark.parametrize("cost", COSTS)
+@pytest.mark.parametrize("plan_name", PLANS)
+def test_fig12b(benchmark, plan_name, cost):
+    workload = cached_workload(predicate_cost=cost)
+    builder = ALL_PLANS[plan_name]
+
+    def run():
+        return execute(workload, builder(workload), k=workload.config.k)
+
+    __, metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, metrics, plan=plan_name, predicate_cost=cost)
+    _series[(plan_name, cost)] = (
+        metrics.simulated_cost,
+        metrics.predicate_evaluations,
+    )
+
+
+def test_fig12b_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep visible under --benchmark-only
+    if not _series:
+        pytest.skip("run the parametrized cases first")
+    print("\nFigure 12(b): simulated cost vs predicate cost c (k=10)")
+    print("c".rjust(8) + "".join(p.rjust(14) for p in PLANS))
+    for cost in COSTS:
+        row = f"{cost:>8.0f}"
+        for plan_name in PLANS:
+            row += f"{_series[(plan_name, cost)][0]:>14.0f}"
+        print(row)
+    # Shape: evaluation counts are c-invariant (parallel lines in log scale).
+    for plan_name in PLANS:
+        counts = {_series[(plan_name, cost)][1] for cost in COSTS}
+        assert len(counts) == 1, f"{plan_name}: evaluation count changed with c"
+    # Plan 1 evaluates every predicate on every joined row: worst at high c.
+    assert _series[("plan1", 1000.0)][0] == max(
+        _series[(p, 1000.0)][0] for p in PLANS
+    )

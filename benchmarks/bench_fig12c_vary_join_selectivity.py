@@ -1,0 +1,62 @@
+"""Figure 12(c): execution cost vs join selectivity j.
+
+Paper setting: k = 10, s = 100,000, c = 1, j ∈ {1e-5, 1e-4, 1e-3}
+(join fanout j×s ∈ {1, 10, 100}).
+Scaled setting: s = 2,000, j ∈ {5e-4, 5e-3, 5e-2} — the same fanouts.
+
+Expected shape (paper): the traditional plan is *competitive only at the
+most selective joins* (tiny intermediate results make materialize-then-sort
+cheap) and blows up as joins get less selective; rank-aware plans degrade
+far more gently.
+
+Run:  pytest benchmarks/bench_fig12c_vary_join_selectivity.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import ALL_PLANS
+
+from .conftest import cached_workload, execute, record
+
+SELECTIVITIES = (5e-4, 5e-3, 5e-2)
+PLANS = ("plan1", "plan2", "plan3", "plan4")
+
+_series: dict[tuple[str, float], float] = {}
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+@pytest.mark.parametrize("plan_name", PLANS)
+def test_fig12c(benchmark, plan_name, selectivity):
+    workload = cached_workload(join_selectivity=selectivity)
+    builder = ALL_PLANS[plan_name]
+
+    def run():
+        return execute(workload, builder(workload), k=workload.config.k)
+
+    __, metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, metrics, plan=plan_name, join_selectivity=selectivity)
+    _series[(plan_name, selectivity)] = metrics.simulated_cost
+
+
+def test_fig12c_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep visible under --benchmark-only
+    if not _series:
+        pytest.skip("run the parametrized cases first")
+    print("\nFigure 12(c): simulated cost vs join selectivity j (k=10)")
+    print("j".rjust(10) + "".join(p.rjust(14) for p in PLANS))
+    for selectivity in SELECTIVITIES:
+        row = f"{selectivity:>10.0e}"
+        for plan_name in PLANS:
+            row += f"{_series[(plan_name, selectivity)]:>14.0f}"
+        print(row)
+    # Shape: plan 1's cost explodes with j much faster than plan 2's.
+    plan1_growth = _series[("plan1", 5e-2)] / _series[("plan1", 5e-4)]
+    plan2_growth = _series[("plan2", 5e-2)] / _series[("plan2", 5e-4)]
+    assert plan1_growth > plan2_growth
+    # At every j, the traditional plan is the most expensive or close to it;
+    # the gap narrows at the most selective join (paper's observation).
+    gap_selective = _series[("plan1", 5e-4)] / _series[("plan2", 5e-4)]
+    gap_loose = _series[("plan1", 5e-2)] / _series[("plan2", 5e-2)]
+    assert gap_loose > gap_selective

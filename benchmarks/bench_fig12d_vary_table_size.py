@@ -1,0 +1,77 @@
+"""Figure 12(d): execution cost vs table size s.
+
+Paper setting: k = 10, j = 1e-4, c = 1, s ∈ {10k, 100k, 1M}; plan 1 is
+excluded ("takes days to finish and is well off the scale").
+Scaled setting: s ∈ {500, 2000, 8000} with the number of distinct join
+values fixed (j = 5e-3 at every size), mirroring the paper's fixed-j sweep
+where the join fanout grows with s.  Plan 1 is likewise excluded at the
+largest size and reported at the smaller ones for reference.
+
+Expected shape (paper): plan 2 (rank-scans + HRJN everywhere) stays cheap
+even at the largest tables; plan 4 (µ's above a blocking sort-merge join)
+degrades much faster, because its SMJ materializes an intermediate result
+that grows with s.
+
+Run:  pytest benchmarks/bench_fig12d_vary_table_size.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import ALL_PLANS
+
+from .conftest import cached_workload, execute, record
+
+SIZES = (500, 2000, 8000)
+PLANS = ("plan2", "plan3", "plan4")
+
+_series: dict[tuple[str, int], float] = {}
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("plan_name", PLANS)
+def test_fig12d(benchmark, plan_name, size):
+    workload = cached_workload(table_size=size)
+    builder = ALL_PLANS[plan_name]
+
+    def run():
+        return execute(workload, builder(workload), k=workload.config.k)
+
+    __, metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, metrics, plan=plan_name, table_size=size)
+    _series[(plan_name, size)] = metrics.simulated_cost
+
+
+@pytest.mark.parametrize("size", SIZES[:2])
+def test_fig12d_plan1_small_sizes(benchmark, size):
+    """Plan 1 at the smaller sizes only (excluded at the top size, as in
+    the paper)."""
+    workload = cached_workload(table_size=size)
+
+    def run():
+        return execute(workload, ALL_PLANS["plan1"](workload), k=workload.config.k)
+
+    __, metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(benchmark, metrics, plan="plan1", table_size=size)
+    _series[("plan1", size)] = metrics.simulated_cost
+
+
+def test_fig12d_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep visible under --benchmark-only
+    if not _series:
+        pytest.skip("run the parametrized cases first")
+    names = ("plan1",) + PLANS
+    print("\nFigure 12(d): simulated cost vs table size s (k=10)")
+    print("s".rjust(8) + "".join(p.rjust(14) for p in names))
+    for size in SIZES:
+        row = f"{size:>8}"
+        for plan_name in names:
+            cost = _series.get((plan_name, size))
+            row += f"{cost:>14.0f}" if cost is not None else "     (dropped)"
+        print(row)
+    # Shape: plan 2 scales best; plan 4 falls behind at the largest size.
+    assert _series[("plan2", 8000)] < _series[("plan4", 8000)]
+    plan2_growth = _series[("plan2", 8000)] / _series[("plan2", 500)]
+    plan4_growth = _series[("plan4", 8000)] / _series[("plan4", 500)]
+    assert plan4_growth > plan2_growth

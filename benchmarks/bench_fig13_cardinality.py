@@ -1,0 +1,98 @@
+"""Figure 13: real vs estimated per-operator output cardinalities.
+
+Paper setting: 100k-row tables, j = 1e-4, k = 10, 0.1% sample; the
+estimated output cardinality of every operator in plan3 (7 operators) and
+plan4 (8 operators) — excluding the root and selection operators — is
+compared against the real one.
+
+Scaled setting: 2,000-row tables, j = 5e-3, k = 10, 5% sample (the sample
+must keep ~100 rows per table, as the paper's 0.1% of 100k did).
+
+Expected shape (paper): "although we used a very small sample, the real and
+estimated output cardinalities of the majority of the operators are in the
+same magnitude."
+
+Run:  pytest benchmarks/bench_fig13_cardinality.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.execution import ExecutionContext, run_plan
+from repro.optimizer import CardinalityEstimator, FilterPlan, LimitPlan, SampleDatabase
+from repro.workloads import plan3, plan4
+
+from .conftest import cached_workload
+
+SAMPLE_RATIO = 0.05
+
+
+def estimated_and_real(workload, plan_root):
+    """Per-operator (label, estimated, real) for a Figure 11 plan.
+
+    Excludes the root limit and the selection (filter) operators, exactly
+    as §6.2 does.
+    """
+    estimator = CardinalityEstimator(
+        workload.catalog,
+        workload.spec,
+        sample=SampleDatabase(workload.catalog, ratio=SAMPLE_RATIO, seed=3),
+    )
+    # Real cardinalities: run the plan for k results, read operator stats.
+    context = ExecutionContext(workload.catalog, workload.scoring)
+    operator_root = plan_root.build()
+    operator_root.open(context)
+    try:
+        produced = 0
+        while produced < workload.config.k:
+            if operator_root.next() is None:
+                break
+            produced += 1
+        # Map plan nodes to operators positionally (same tree shape).
+        rows = []
+        stack = [(plan_root, operator_root)]
+        while stack:
+            plan_node, operator = stack.pop()
+            if not isinstance(plan_node, (LimitPlan, FilterPlan)):
+                estimate = estimator.estimate(plan_node)
+                rows.append(
+                    (plan_node.label(), estimate, operator.stats.tuples_out)
+                )
+            stack.extend(zip(plan_node.children, operator.children()))
+        return rows
+    finally:
+        operator_root.close()
+
+
+@pytest.mark.parametrize(
+    "plan_name,builder", [("plan3", plan3), ("plan4", plan4)]
+)
+def test_fig13(benchmark, plan_name, builder):
+    workload = cached_workload()
+    plan_root = builder(workload)
+
+    rows = benchmark.pedantic(
+        lambda: estimated_and_real(workload, plan_root), rounds=1, iterations=1
+    )
+    print(f"\nFigure 13 ({plan_name}): estimated vs real output cardinality")
+    print(f"{'operator':<32} {'estimated':>12} {'real':>8} {'ratio':>8}")
+    within_magnitude = 0
+    comparable = 0
+    for label, estimate, real in rows:
+        ratio = (estimate / real) if real else float("inf")
+        print(f"{label:<32} {estimate:>12.1f} {real:>8} {ratio:>8.2f}")
+        if real > 0 and estimate > 0:
+            comparable += 1
+            if 0.1 <= estimate / real <= 10.0:
+                within_magnitude += 1
+    benchmark.extra_info["operators"] = len(rows)
+    benchmark.extra_info["within_one_magnitude"] = within_magnitude
+    # Paper: the majority of operators estimated within the same magnitude.
+    assert comparable > 0
+    assert within_magnitude >= math.ceil(comparable / 2), (
+        f"only {within_magnitude}/{comparable} operators within one order "
+        "of magnitude"
+    )

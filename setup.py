@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs (``pip install -e .``) in
+offline environments whose setuptools lacks wheel support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""RankSQL reproduction: rank-aware query algebra, execution and optimization.
+
+A pure-Python implementation of *RankSQL: Query Algebra and Optimization for
+Relational Top-k Queries* (Li, Chang, Ilyas, Song — SIGMOD 2005), including
+the complete relational substrate the paper's PostgreSQL prototype relied
+on: storage, indexing, a SQL front end, a pipelined rank-aware execution
+engine, and a two-dimensional dynamic-programming optimizer with
+sampling-based cardinality estimation.
+
+Quickstart::
+
+    from repro import Database, DataType
+
+    db = Database()
+    db.create_table("hotel", [("name", DataType.TEXT), ("price", DataType.FLOAT)])
+    ...
+    result = db.query("SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 3")
+"""
+
+from .engine import Database, QueryResult
+from .algebra import (
+    BooleanPredicate,
+    RankingPredicate,
+    ScoringFunction,
+    col,
+    lit,
+    sum_of,
+)
+from .optimizer import QuerySpec, RankAwareOptimizer, optimize_traditional
+from .storage import Column, DataType, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BooleanPredicate",
+    "Column",
+    "DataType",
+    "Database",
+    "QueryResult",
+    "QuerySpec",
+    "RankAwareOptimizer",
+    "RankingPredicate",
+    "Schema",
+    "ScoringFunction",
+    "col",
+    "lit",
+    "optimize_traditional",
+    "sum_of",
+    "__version__",
+]

@@ -1,0 +1,356 @@
+"""Algebraic equivalence laws of the rank-relational algebra (Figure 5).
+
+Each law is an executable rewrite: given a plan whose root matches the law's
+left-hand side, it returns the rewritten plan (or None when the law does not
+apply).  :func:`transformations` applies every law at every node, yielding
+the one-step neighbours of a plan — the building block of a Volcano-style
+rule-based optimizer and of the equivalence tests.
+
+The laws implemented, keyed to the paper's propositions:
+
+* **Proposition 1 (splitting)** — ``R_{p1..pn} ≡ mu_p1(mu_p2(...(mu_pn(R))))``:
+  :func:`split_sort` replaces a monolithic sort τ_F by a chain of µ's.
+* **Proposition 2 (commutativity of binary ops)** — :func:`commute_binary`.
+* **Proposition 3 (associativity)** — :func:`associate_left` /
+  :func:`associate_right` for ∪, ∩ and ⋈ (when join columns remain
+  available).
+* **Proposition 4 (commuting µ)** — :func:`swap_rank_rank`,
+  :func:`swap_rank_select` and :func:`swap_select_rank`.
+* **Proposition 5 (pushing µ over binary ops)** — :func:`push_rank_into_join`,
+  :func:`push_rank_into_setop`, and the inverse :func:`pull_rank_above`.
+* **Proposition 6 (multiple-scan)** — :func:`multiple_scan`:
+  ``mu_p1(mu_p2(R_phi)) ≡ mu_p1(R_phi) ∩ mu_p2(R_phi)``.
+
+Equivalence in this algebra means *both* logical properties agree:
+membership and order.  :func:`plans_equivalent` checks this with the
+reference evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..storage.catalog import Catalog
+from .operators import (
+    LogicalDifference,
+    LogicalIntersect,
+    LogicalJoin,
+    LogicalOperator,
+    LogicalRank,
+    LogicalRankScan,
+    LogicalScan,
+    LogicalSelect,
+    LogicalSort,
+    LogicalUnion,
+    evaluate_logical,
+)
+from .predicates import ScoringFunction
+
+Law = Callable[[LogicalOperator, ScoringFunction], "LogicalOperator | None"]
+
+
+# ----------------------------------------------------------------------
+# Proposition 1: splitting the monolithic sort into a chain of µ's
+# ----------------------------------------------------------------------
+
+def split_sort(plan: LogicalOperator, scoring: ScoringFunction) -> LogicalOperator | None:
+    """τ_F(R) → µ_p1(µ_p2(...(µ_pn(R))...)) for predicates not yet evaluated."""
+    if not isinstance(plan, LogicalSort):
+        return None
+    child = plan.child
+    done = child.evaluated_predicates()
+    rewritten: LogicalOperator = child
+    for name in reversed(plan.scoring.predicate_names):
+        if name not in done:
+            rewritten = LogicalRank(rewritten, name)
+    return rewritten
+
+
+def merge_ranks_to_sort(plan: LogicalOperator, scoring: ScoringFunction) -> LogicalOperator | None:
+    """Inverse of splitting: a µ chain completing F collapses to τ_F."""
+    if not isinstance(plan, LogicalRank):
+        return None
+    node: LogicalOperator = plan
+    while isinstance(node, LogicalRank):
+        node = node.child
+    if plan.evaluated_predicates() == frozenset(scoring.predicate_names):
+        return LogicalSort(node, scoring)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Proposition 2: commutativity of ∪, ∩, ⋈
+# ----------------------------------------------------------------------
+
+def _clone_setop(plan, left, right):
+    """Rebuild a set operator preserving node attributes (e.g. ∩_r)."""
+    return plan.with_children([left, right])
+
+
+def commute_binary(plan: LogicalOperator, scoring: ScoringFunction) -> LogicalOperator | None:
+    """R Θ S → S Θ R for Θ ∈ {∩, ∪, ⋈}.
+
+    Note: for ⋈ the *logical* rank-relation is order-equivalent, but the
+    column layout flips, so the rewriter only commutes set operators where
+    layout is shared; join commutation is handled by the optimizer's join
+    enumeration instead.
+    """
+    if isinstance(plan, (LogicalUnion, LogicalIntersect)):
+        return _clone_setop(plan, plan.right, plan.left)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Proposition 3: associativity of ∪, ∩ (and ⋈ via the optimizer)
+# ----------------------------------------------------------------------
+
+def _same_setop(outer, inner) -> bool:
+    if type(outer) is not type(inner):
+        return False
+    if isinstance(outer, LogicalIntersect):
+        return outer.by_identity == inner.by_identity
+    return True
+
+
+def associate_left(plan: LogicalOperator, scoring: ScoringFunction) -> LogicalOperator | None:
+    """R Θ (S Θ T) → (R Θ S) Θ T for Θ ∈ {∩, ∪}."""
+    if isinstance(plan, (LogicalUnion, LogicalIntersect)) and _same_setop(
+        plan, plan.right
+    ):
+        inner = plan.right
+        return _clone_setop(
+            plan, _clone_setop(plan, plan.left, inner.left), inner.right
+        )
+    return None
+
+
+def associate_right(plan: LogicalOperator, scoring: ScoringFunction) -> LogicalOperator | None:
+    """(R Θ S) Θ T → R Θ (S Θ T) for Θ ∈ {∩, ∪}."""
+    if isinstance(plan, (LogicalUnion, LogicalIntersect)) and _same_setop(
+        plan, plan.left
+    ):
+        inner = plan.left
+        return _clone_setop(
+            plan, inner.left, _clone_setop(plan, inner.right, plan.right)
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Proposition 4: commuting µ with unary operators
+# ----------------------------------------------------------------------
+
+def swap_rank_rank(plan: LogicalOperator, scoring: ScoringFunction) -> LogicalOperator | None:
+    """µ_p1(µ_p2(R)) → µ_p2(µ_p1(R))."""
+    if isinstance(plan, LogicalRank) and isinstance(plan.child, LogicalRank):
+        inner = plan.child
+        return LogicalRank(
+            LogicalRank(inner.child, plan.predicate_name), inner.predicate_name
+        )
+    return None
+
+
+def swap_rank_select(plan: LogicalOperator, scoring: ScoringFunction) -> LogicalOperator | None:
+    """σ_c(µ_p(R)) → µ_p(σ_c(R))."""
+    if isinstance(plan, LogicalSelect) and isinstance(plan.child, LogicalRank):
+        inner = plan.child
+        return LogicalRank(
+            LogicalSelect(inner.child, plan.condition), inner.predicate_name
+        )
+    return None
+
+
+def swap_select_rank(plan: LogicalOperator, scoring: ScoringFunction) -> LogicalOperator | None:
+    """µ_p(σ_c(R)) → σ_c(µ_p(R))."""
+    if isinstance(plan, LogicalRank) and isinstance(plan.child, LogicalSelect):
+        inner = plan.child
+        return LogicalSelect(
+            LogicalRank(inner.child, plan.predicate_name), inner.condition
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Proposition 5: pushing µ over binary operators
+# ----------------------------------------------------------------------
+
+def _pushable_sides(
+    plan_rank: LogicalRank,
+    left: LogicalOperator,
+    right: LogicalOperator,
+    scoring: ScoringFunction,
+) -> tuple[bool, bool]:
+    """Which operands can evaluate the predicate (own its attributes)."""
+    predicate = scoring.predicate(plan_rank.predicate_name)
+    on_left = predicate.evaluable_on(left.schema())
+    on_right = predicate.evaluable_on(right.schema())
+    return on_left, on_right
+
+
+def push_rank_into_join(plan: LogicalOperator, scoring: ScoringFunction) -> LogicalOperator | None:
+    """µ_p(R ⋈_c S) → µ_p(R) ⋈_c S (p's attributes on R only), or
+    µ_p(R) ⋈_c µ_p(S) when both sides have them."""
+    if not (isinstance(plan, LogicalRank) and isinstance(plan.child, LogicalJoin)):
+        return None
+    join = plan.child
+    on_left, on_right = _pushable_sides(plan, join.left, join.right, scoring)
+    name = plan.predicate_name
+    if on_left and on_right:
+        return LogicalJoin(
+            LogicalRank(join.left, name), LogicalRank(join.right, name), join.condition
+        )
+    if on_left:
+        return LogicalJoin(LogicalRank(join.left, name), join.right, join.condition)
+    if on_right:
+        return LogicalJoin(join.left, LogicalRank(join.right, name), join.condition)
+    return None
+
+
+def push_rank_into_setop(plan: LogicalOperator, scoring: ScoringFunction) -> LogicalOperator | None:
+    """µ_p over ∪ / ∩ / − pushes to one or both operands (Prop 5, rows 2–4).
+
+    For − only the outer operand's order matters, so µ pushes to the left
+    (pushing to both is also sound; we emit the cheaper single push).
+    """
+    if not isinstance(plan, LogicalRank):
+        return None
+    child = plan.child
+    name = plan.predicate_name
+    if isinstance(child, (LogicalUnion, LogicalIntersect)):
+        return _clone_setop(
+            child, LogicalRank(child.left, name), LogicalRank(child.right, name)
+        )
+    if isinstance(child, LogicalDifference):
+        return LogicalDifference(LogicalRank(child.left, name), child.right)
+    return None
+
+
+def pull_rank_above(plan: LogicalOperator, scoring: ScoringFunction) -> LogicalOperator | None:
+    """Inverse of pushing: Θ(µ_p(R), µ_p(S)) → µ_p(Θ(R, S))."""
+    if isinstance(plan, (LogicalUnion, LogicalIntersect)):
+        left, right = plan.left, plan.right
+        if (
+            isinstance(left, LogicalRank)
+            and isinstance(right, LogicalRank)
+            and left.predicate_name == right.predicate_name
+        ):
+            return LogicalRank(
+                _clone_setop(plan, left.child, right.child), left.predicate_name
+            )
+    if isinstance(plan, LogicalJoin) and isinstance(plan.left, LogicalRank):
+        # µ_p(R) ⋈ S → µ_p(R ⋈ S); sound regardless of where p's columns live.
+        left = plan.left
+        return LogicalRank(
+            LogicalJoin(left.child, plan.right, plan.condition), left.predicate_name
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Proposition 6: multiple-scan
+# ----------------------------------------------------------------------
+
+def multiple_scan(plan: LogicalOperator, scoring: ScoringFunction) -> LogicalOperator | None:
+    """µ_p1(µ_p2(R_phi)) → µ_p1(R_phi) ∩_r µ_p2(R_phi).
+
+    Applies when the inner input is a raw base-table scan (P = φ), modelling
+    two independent ranked scans of the same table merged by intersection.
+    The intersection is the paper's ``∩_r`` — matching by row identity —
+    so duplicate tuple values in R survive, keeping the law exact under
+    bag inputs.
+    """
+    if (
+        isinstance(plan, LogicalRank)
+        and isinstance(plan.child, LogicalRank)
+        and isinstance(plan.child.child, LogicalScan)
+    ):
+        scan = plan.child.child
+        return LogicalIntersect(
+            LogicalRank(scan, plan.predicate_name),
+            LogicalRank(scan, plan.child.predicate_name),
+            by_identity=True,
+        )
+    return None
+
+
+ALL_LAWS: tuple[Law, ...] = (
+    split_sort,
+    merge_ranks_to_sort,
+    commute_binary,
+    associate_left,
+    associate_right,
+    swap_rank_rank,
+    swap_rank_select,
+    swap_select_rank,
+    push_rank_into_join,
+    push_rank_into_setop,
+    pull_rank_above,
+    multiple_scan,
+)
+
+
+def apply_at_root(plan: LogicalOperator, scoring: ScoringFunction) -> Iterator[LogicalOperator]:
+    """All one-law rewrites applicable at the root of ``plan``."""
+    for law in ALL_LAWS:
+        rewritten = law(plan, scoring)
+        if rewritten is not None:
+            yield rewritten
+
+
+def transformations(plan: LogicalOperator, scoring: ScoringFunction) -> Iterator[LogicalOperator]:
+    """All plans reachable from ``plan`` by one law application anywhere."""
+    yield from apply_at_root(plan, scoring)
+    children = plan.children()
+    for i, child in enumerate(children):
+        for rewritten_child in transformations(child, scoring):
+            replaced = list(children)
+            replaced[i] = rewritten_child
+            yield plan.with_children(replaced)
+
+
+def equivalence_closure(
+    plan: LogicalOperator,
+    scoring: ScoringFunction,
+    max_plans: int = 200,
+) -> list[LogicalOperator]:
+    """Breadth-first closure of ``plan`` under the laws (bounded).
+
+    This is the plan space a Volcano/Cascades-style rule-based optimizer
+    would memoize; the bound keeps the exponential space manageable.
+    """
+    seen: dict[str, LogicalOperator] = {_fingerprint(plan): plan}
+    frontier = [plan]
+    while frontier and len(seen) < max_plans:
+        next_frontier = []
+        for current in frontier:
+            for neighbour in transformations(current, scoring):
+                key = _fingerprint(neighbour)
+                if key not in seen:
+                    seen[key] = neighbour
+                    next_frontier.append(neighbour)
+                    if len(seen) >= max_plans:
+                        break
+            if len(seen) >= max_plans:
+                break
+        frontier = next_frontier
+    return list(seen.values())
+
+
+def _fingerprint(plan: LogicalOperator) -> str:
+    parts = [plan.label()]
+    for child in plan.children():
+        parts.append("(" + _fingerprint(child) + ")")
+    return "".join(parts)
+
+
+def plans_equivalent(
+    left: LogicalOperator,
+    right: LogicalOperator,
+    catalog: Catalog,
+    scoring: ScoringFunction,
+) -> bool:
+    """Check rank-relational equivalence (membership *and* order) by
+    materializing both plans with the reference evaluator."""
+    a = evaluate_logical(left, catalog, scoring)
+    b = evaluate_logical(right, catalog, scoring)
+    return a.equivalent(b)

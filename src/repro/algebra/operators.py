@@ -1,0 +1,515 @@
+"""Logical operators of the rank-relational algebra (Figure 3).
+
+Logical plans are trees of immutable nodes.  Every node knows
+
+* its output :class:`Schema` (membership layout),
+* the set of base tables it covers (``SR`` of the optimizer's signature),
+* the set of ranking predicates evaluated in it (``SP``) — the paper's
+  ``P`` of the output rank-relation.
+
+:func:`evaluate_logical` is the *reference evaluator*: a direct, materialized
+implementation of the Figure 3 semantics that produces a
+:class:`~repro.algebra.rank_relation.RankRelation`.  It is deliberately
+naive — the law rewriter's equivalence checker and the test suite use it as
+ground truth against the pipelined physical operators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..storage.catalog import Catalog
+from ..storage.schema import Schema
+from .expressions import Evaluator
+from .predicates import BooleanPredicate, ScoringFunction
+from .rank_relation import RankRelation, ScoredRow
+
+
+class LogicalOperator:
+    """Base class of logical plan nodes."""
+
+    def schema(self) -> Schema:
+        raise NotImplementedError
+
+    def children(self) -> tuple["LogicalOperator", ...]:
+        return ()
+
+    def with_children(self, children: Sequence["LogicalOperator"]) -> "LogicalOperator":
+        """Rebuild this node with new children (used by the rewriter)."""
+        raise NotImplementedError
+
+    def tables(self) -> frozenset[str]:
+        """``SR``: base tables under this node."""
+        out: set[str] = set()
+        for child in self.children():
+            out |= child.tables()
+        return frozenset(out)
+
+    def evaluated_predicates(self) -> frozenset[str]:
+        """``SP``: the rank-relation's evaluated predicate set ``P``."""
+        raise NotImplementedError
+
+    def signature(self) -> tuple[frozenset[str], frozenset[str]]:
+        """The optimizer signature ``(SR, SP)`` (§5.1)."""
+        return (self.tables(), self.evaluated_predicates())
+
+    def walk(self) -> Iterator["LogicalOperator"]:
+        """Pre-order traversal of the subtree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return self.label()
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+
+class LogicalScan(LogicalOperator):
+    """Base-relation access ``R_phi`` (no predicates evaluated yet)."""
+
+    def __init__(self, table_name: str, schema: Schema):
+        self.table_name = table_name
+        self._schema = schema
+
+    def schema(self) -> Schema:
+        return self._schema
+
+    def with_children(self, children: Sequence[LogicalOperator]) -> "LogicalScan":
+        if children:
+            raise ValueError("scan has no children")
+        return self
+
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.table_name})
+
+    def evaluated_predicates(self) -> frozenset[str]:
+        return frozenset()
+
+    def label(self) -> str:
+        return f"Scan({self.table_name})"
+
+
+class LogicalRankScan(LogicalOperator):
+    """Base-relation access in the order of one predicate (``idxScan_p``).
+
+    Logically equivalent to ``mu_p(Scan(R))`` — the predicate is part of
+    ``SP`` — but flags that an index provides the order for free.
+    """
+
+    def __init__(self, table_name: str, schema: Schema, predicate_name: str):
+        self.table_name = table_name
+        self._schema = schema
+        self.predicate_name = predicate_name
+
+    def schema(self) -> Schema:
+        return self._schema
+
+    def with_children(self, children: Sequence[LogicalOperator]) -> "LogicalRankScan":
+        if children:
+            raise ValueError("scan has no children")
+        return self
+
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.table_name})
+
+    def evaluated_predicates(self) -> frozenset[str]:
+        return frozenset({self.predicate_name})
+
+    def label(self) -> str:
+        return f"RankScan({self.table_name}, {self.predicate_name})"
+
+
+class LogicalRank(LogicalOperator):
+    """The new rank operator µ_p: evaluates one more ranking predicate."""
+
+    def __init__(self, child: LogicalOperator, predicate_name: str):
+        self.child = child
+        self.predicate_name = predicate_name
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def children(self) -> tuple[LogicalOperator, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOperator]) -> "LogicalRank":
+        (child,) = children
+        return LogicalRank(child, self.predicate_name)
+
+    def evaluated_predicates(self) -> frozenset[str]:
+        return self.child.evaluated_predicates() | {self.predicate_name}
+
+    def label(self) -> str:
+        return f"Rank(mu_{self.predicate_name})"
+
+
+class LogicalSelect(LogicalOperator):
+    """Selection σ_c: filters membership, preserves the input order."""
+
+    def __init__(self, child: LogicalOperator, condition: BooleanPredicate):
+        self.child = child
+        self.condition = condition
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def children(self) -> tuple[LogicalOperator, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOperator]) -> "LogicalSelect":
+        (child,) = children
+        return LogicalSelect(child, self.condition)
+
+    def evaluated_predicates(self) -> frozenset[str]:
+        return self.child.evaluated_predicates()
+
+    def label(self) -> str:
+        return f"Select({self.condition.name})"
+
+
+class LogicalProject(LogicalOperator):
+    """Projection π: keeps the named columns, preserves order and scores."""
+
+    def __init__(self, child: LogicalOperator, columns: Sequence[str]):
+        self.child = child
+        self.columns = tuple(columns)
+
+    def schema(self) -> Schema:
+        return self.child.schema().project(self.columns)
+
+    def children(self) -> tuple[LogicalOperator, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOperator]) -> "LogicalProject":
+        (child,) = children
+        return LogicalProject(child, self.columns)
+
+    def evaluated_predicates(self) -> frozenset[str]:
+        return self.child.evaluated_predicates()
+
+    def label(self) -> str:
+        return f"Project({', '.join(self.columns)})"
+
+
+class LogicalJoin(LogicalOperator):
+    """Join ⋈_c (Cartesian product when ``condition`` is None).
+
+    Output order is the aggregate order by ``P1 ∪ P2``.
+    """
+
+    def __init__(
+        self,
+        left: LogicalOperator,
+        right: LogicalOperator,
+        condition: BooleanPredicate | None,
+    ):
+        self.left = left
+        self.right = right
+        self.condition = condition
+
+    def schema(self) -> Schema:
+        return self.left.schema().concat(self.right.schema())
+
+    def children(self) -> tuple[LogicalOperator, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalOperator]) -> "LogicalJoin":
+        left, right = children
+        return LogicalJoin(left, right, self.condition)
+
+    def evaluated_predicates(self) -> frozenset[str]:
+        return self.left.evaluated_predicates() | self.right.evaluated_predicates()
+
+    def label(self) -> str:
+        cond = self.condition.name if self.condition else "x"
+        return f"Join({cond})"
+
+
+class _SetOperator(LogicalOperator):
+    """Common base of the binary set operators (union-compatible inputs)."""
+
+    symbol = "?"
+
+    def __init__(self, left: LogicalOperator, right: LogicalOperator):
+        if len(left.schema()) != len(right.schema()):
+            raise ValueError(f"{self.symbol}: operand schemas have different arity")
+        self.left = left
+        self.right = right
+
+    def schema(self) -> Schema:
+        return self.left.schema()
+
+    def children(self) -> tuple[LogicalOperator, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalOperator]) -> "_SetOperator":
+        left, right = children
+        return type(self)(left, right)
+
+    def label(self) -> str:
+        return f"{type(self).__name__.removeprefix('Logical')}"
+
+
+class LogicalUnion(_SetOperator):
+    """Union ∪ (set semantics): aggregate order by ``P1 ∪ P2``."""
+
+    symbol = "∪"
+
+    def evaluated_predicates(self) -> frozenset[str]:
+        return self.left.evaluated_predicates() | self.right.evaluated_predicates()
+
+
+class LogicalIntersect(_SetOperator):
+    """Intersection ∩: aggregate order by ``P1 ∪ P2``.
+
+    ``by_identity=True`` gives the paper's ``∩_r`` variant (Proposition 6):
+    tuples match by row *identity* rather than by value, so two ranked
+    scans of the same base relation intersect to that relation even in the
+    presence of duplicate values.
+    """
+
+    symbol = "∩"
+
+    def __init__(
+        self,
+        left: LogicalOperator,
+        right: LogicalOperator,
+        by_identity: bool = False,
+    ):
+        super().__init__(left, right)
+        self.by_identity = by_identity
+
+    def with_children(self, children: Sequence[LogicalOperator]) -> "LogicalIntersect":
+        left, right = children
+        return LogicalIntersect(left, right, self.by_identity)
+
+    def evaluated_predicates(self) -> frozenset[str]:
+        return self.left.evaluated_predicates() | self.right.evaluated_predicates()
+
+    def label(self) -> str:
+        return "Intersect_r" if self.by_identity else "Intersect"
+
+
+class LogicalDifference(_SetOperator):
+    """Difference −: keeps the outer operand's order (``P1``)."""
+
+    symbol = "−"
+
+    def evaluated_predicates(self) -> frozenset[str]:
+        return self.left.evaluated_predicates()
+
+
+class LogicalSort(LogicalOperator):
+    """The traditional monolithic sort τ_F: evaluates *all* predicates."""
+
+    def __init__(self, child: LogicalOperator, scoring: ScoringFunction):
+        self.child = child
+        self.scoring = scoring
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def children(self) -> tuple[LogicalOperator, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOperator]) -> "LogicalSort":
+        (child,) = children
+        return LogicalSort(child, self.scoring)
+
+    def evaluated_predicates(self) -> frozenset[str]:
+        return self.child.evaluated_predicates() | set(self.scoring.predicate_names)
+
+    def label(self) -> str:
+        return f"Sort({'+'.join(self.scoring.predicate_names)})"
+
+
+class LogicalLimit(LogicalOperator):
+    """λ_k: keep the top ``k`` rows of the input order."""
+
+    def __init__(self, child: LogicalOperator, k: int):
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.child = child
+        self.k = k
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def children(self) -> tuple[LogicalOperator, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOperator]) -> "LogicalLimit":
+        (child,) = children
+        return LogicalLimit(child, self.k)
+
+    def evaluated_predicates(self) -> frozenset[str]:
+        return self.child.evaluated_predicates()
+
+    def label(self) -> str:
+        return f"Limit({self.k})"
+
+
+def explain(plan: LogicalOperator, indent: int = 0) -> str:
+    """Pretty-print a logical plan tree."""
+    lines = ["  " * indent + plan.label()]
+    for child in plan.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Reference (materialized) evaluator — the ground-truth semantics
+# ----------------------------------------------------------------------
+
+def evaluate_logical(
+    plan: LogicalOperator,
+    catalog: Catalog,
+    scoring: ScoringFunction,
+) -> RankRelation:
+    """Materialize the rank-relation a logical plan denotes (Figure 3).
+
+    Predicate scores are evaluated on demand; binary operators complete the
+    missing side's predicates so the output is ranked by ``P1 ∪ P2``, per the
+    operator definitions.
+    """
+    evaluator = _ReferenceEvaluator(catalog, scoring)
+    return evaluator.run(plan)
+
+
+class _ReferenceEvaluator:
+    def __init__(self, catalog: Catalog, scoring: ScoringFunction):
+        self.catalog = catalog
+        self.scoring = scoring
+        self._compiled: dict[tuple[str, Schema], Evaluator] = {}
+
+    def run(self, plan: LogicalOperator) -> RankRelation:
+        scored = self._rows(plan)
+        return RankRelation(self.scoring, scored)
+
+    def _score_fn(self, predicate_name: str, schema: Schema) -> Evaluator:
+        key = (predicate_name, schema)
+        if key not in self._compiled:
+            predicate = self.scoring.predicate(predicate_name)
+            self._compiled[key] = predicate.compile(schema)
+        return self._compiled[key]
+
+    def _rows(self, plan: LogicalOperator) -> list[ScoredRow]:
+        if isinstance(plan, LogicalScan):
+            table = self.catalog.table(plan.table_name)
+            return [ScoredRow(row, {}) for row in table.rows()]
+        if isinstance(plan, LogicalRankScan):
+            table = self.catalog.table(plan.table_name)
+            fn = self._score_fn(plan.predicate_name, plan.schema())
+            return [
+                ScoredRow(row, {plan.predicate_name: fn(row)}) for row in table.rows()
+            ]
+        if isinstance(plan, LogicalRank):
+            inputs = self._rows(plan.child)
+            fn = self._score_fn(plan.predicate_name, plan.schema())
+            return [s.with_score(plan.predicate_name, fn(s.row)) for s in inputs]
+        if isinstance(plan, LogicalSelect):
+            inputs = self._rows(plan.child)
+            condition = plan.condition.compile(plan.child.schema())
+            return [s for s in inputs if condition(s.row)]
+        if isinstance(plan, LogicalProject):
+            inputs = self._rows(plan.child)
+            child_schema = plan.child.schema()
+            positions = [child_schema.index_of(c) for c in plan.columns]
+            return [ScoredRow(s.row.project(positions), s.scores) for s in inputs]
+        if isinstance(plan, LogicalJoin):
+            return self._join(plan)
+        if isinstance(plan, LogicalUnion):
+            return self._union(plan)
+        if isinstance(plan, LogicalIntersect):
+            return self._intersect(plan)
+        if isinstance(plan, LogicalDifference):
+            return self._difference(plan)
+        if isinstance(plan, LogicalSort):
+            inputs = self._rows(plan.child)
+            schema = plan.schema()
+            out = []
+            for s in inputs:
+                scores = dict(s.scores)
+                for name in self.scoring.predicate_names:
+                    if name not in scores:
+                        scores[name] = self._score_fn(name, schema)(s.row)
+                out.append(ScoredRow(s.row, scores))
+            return out
+        if isinstance(plan, LogicalLimit):
+            inputs = self._rows(plan.child)
+            ranked = RankRelation(self.scoring, inputs)
+            return ranked.top(plan.k)
+        raise TypeError(f"unknown logical operator: {type(plan).__name__}")
+
+    def _join(self, plan: LogicalJoin) -> list[ScoredRow]:
+        left = self._rows(plan.left)
+        right = self._rows(plan.right)
+        schema = plan.schema()
+        condition = plan.condition.compile(schema) if plan.condition else None
+        out = []
+        for ls in left:
+            for rs in right:
+                merged = ls.merge(rs)
+                if condition is None or condition(merged.row):
+                    out.append(merged)
+        return out
+
+    def _complete(self, scored: ScoredRow, wanted: frozenset[str], schema: Schema) -> ScoredRow:
+        """Evaluate any of ``wanted`` still missing from ``scored``."""
+        missing = wanted - set(scored.scores)
+        if not missing:
+            return scored
+        scores = dict(scored.scores)
+        for name in missing:
+            scores[name] = self._score_fn(name, schema)(scored.row)
+        return ScoredRow(scored.row, scores)
+
+    def _union(self, plan: LogicalUnion) -> list[ScoredRow]:
+        wanted = plan.evaluated_predicates()
+        schema = plan.schema()
+        by_value: dict[tuple, ScoredRow] = {}
+        for scored in self._rows(plan.left) + self._rows(plan.right):
+            key = scored.row.values
+            if key in by_value:
+                merged = dict(by_value[key].scores)
+                merged.update(scored.scores)
+                by_value[key] = ScoredRow(by_value[key].row, merged)
+            else:
+                by_value[key] = scored
+        return [self._complete(s, wanted, schema) for s in by_value.values()]
+
+    def _intersect(self, plan: LogicalIntersect) -> list[ScoredRow]:
+        wanted = plan.evaluated_predicates()
+        schema = plan.schema()
+
+        def key_of(scored: ScoredRow):
+            return scored.row.rid if plan.by_identity else scored.row.values
+
+        right_by_key: dict[tuple, ScoredRow] = {}
+        for scored in self._rows(plan.right):
+            right_by_key.setdefault(key_of(scored), scored)
+        out = []
+        seen: set[tuple] = set()
+        for scored in self._rows(plan.left):
+            key = key_of(scored)
+            if key in right_by_key and key not in seen:
+                seen.add(key)
+                merged = dict(scored.scores)
+                merged.update(right_by_key[key].scores)
+                out.append(
+                    self._complete(ScoredRow(scored.row, merged), wanted, schema)
+                )
+        return out
+
+    def _difference(self, plan: LogicalDifference) -> list[ScoredRow]:
+        right_values = {s.row.values for s in self._rows(plan.right)}
+        out = []
+        seen: set[tuple] = set()
+        for scored in self._rows(plan.left):
+            key = scored.row.values
+            if key not in right_values and key not in seen:
+                seen.add(key)
+                out.append(scored)
+        return out

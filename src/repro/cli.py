@@ -1,0 +1,210 @@
+"""Interactive SQL shell and one-shot query runner.
+
+Usage::
+
+    python -m repro --demo                  # interactive shell on demo data
+    python -m repro --demo -c "SELECT ..."  # one query, print, exit
+    python -m repro --load hotels=hotels.csv --schema "name:text,price:float" ...
+
+The shell accepts the library's top-k dialect plus a few meta commands:
+
+    \\d           list tables
+    \\explain Q   show the chosen plan without executing
+    \\metrics     toggle printing execution metrics
+    \\quit        exit
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from .engine.database import Database
+from .storage.schema import DataType
+
+_TYPE_NAMES = {
+    "int": DataType.INT,
+    "float": DataType.FLOAT,
+    "text": DataType.TEXT,
+    "bool": DataType.BOOL,
+}
+
+
+def build_demo_database(seed: int = 7) -> Database:
+    """The quickstart hotel/restaurant demo database."""
+    rng = random.Random(seed)
+    db = Database()
+    db.create_table(
+        "hotel",
+        [("name", DataType.TEXT), ("price", DataType.FLOAT), ("stars", DataType.INT),
+         ("area", DataType.INT)],
+    )
+    db.create_table(
+        "restaurant",
+        [("name", DataType.TEXT), ("cuisine", DataType.TEXT),
+         ("price", DataType.FLOAT), ("area", DataType.INT)],
+    )
+    cuisines = ["italian", "thai", "french", "mexican"]
+    db.insert(
+        "hotel",
+        [(f"hotel-{i}", round(rng.uniform(40, 400), 2), rng.randrange(1, 6),
+          rng.randrange(10)) for i in range(500)],
+    )
+    db.insert(
+        "restaurant",
+        [(f"rest-{i}", rng.choice(cuisines), round(rng.uniform(10, 90), 2),
+          rng.randrange(10)) for i in range(500)],
+    )
+    db.register_predicate("cheap", ["hotel.price"], lambda p: max(0.0, 1 - p / 400))
+    db.register_predicate("starry", ["hotel.stars"], lambda s: s / 5)
+    db.register_predicate("tasty", ["restaurant.price"], lambda p: max(0.0, 1 - p / 90))
+    db.create_rank_index("hotel", "cheap")
+    db.create_rank_index("restaurant", "tasty")
+    db.analyze()
+    return db
+
+
+def parse_schema(spec: str) -> list[tuple[str, DataType]]:
+    """Parse ``"name:text,price:float"`` into column specs."""
+    out = []
+    for part in spec.split(","):
+        name, __, type_name = part.strip().partition(":")
+        if not name:
+            raise ValueError(f"bad column spec: {part!r}")
+        dtype = _TYPE_NAMES.get(type_name.strip().lower() or "float")
+        if dtype is None:
+            raise ValueError(f"unknown type {type_name!r} in {part!r}")
+        out.append((name, dtype))
+    return out
+
+
+def format_result(result, show_metrics: bool = False) -> str:
+    """Render a QueryResult as an aligned text table."""
+    names = result.schema.qualified_names() + ["score"]
+    rows = [
+        [("" if v is None else str(v)) for v in row] + [f"{score:.4f}"]
+        for row, score in zip(result.rows, result.scores)
+    ]
+    widths = [len(n) for n in names]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(n.ljust(w) for n, w in zip(names, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    if show_metrics:
+        summary = result.metrics.summary()
+        lines.append(
+            "metrics: "
+            + ", ".join(f"{key}={value:g}" for key, value in summary.items())
+        )
+    return "\n".join(lines)
+
+
+def run_statement(db: Database, statement: str, show_metrics: bool, out) -> None:
+    stripped = statement.strip()
+    if not stripped:
+        return
+    if stripped.startswith("\\"):
+        _meta_command(db, stripped, out)
+        return
+    result = db.query(stripped, sample_ratio=0.05, seed=1)
+    print(format_result(result, show_metrics), file=out)
+
+
+def _meta_command(db: Database, command: str, out) -> None:
+    if command == "\\d":
+        for table in db.catalog.tables():
+            columns = ", ".join(
+                f"{c.name} {c.dtype.value}" for c in table.schema
+            )
+            print(f"{table.name}({columns})  [{table.row_count} rows]", file=out)
+        return
+    if command.startswith("\\explain "):
+        sql = command[len("\\explain "):]
+        print(db.explain(sql, sample_ratio=0.05, seed=1), file=out)
+        return
+    print(f"unknown meta command: {command}", file=out)
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RankSQL top-k SQL shell"
+    )
+    parser.add_argument("--demo", action="store_true", help="load the demo database")
+    parser.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="TABLE=FILE.csv",
+        help="load a CSV file into a new table (repeatable)",
+    )
+    parser.add_argument(
+        "--schema",
+        action="append",
+        default=[],
+        metavar="TABLE=name:type,...",
+        help="schema for a --load table (types: int,float,text,bool)",
+    )
+    parser.add_argument("-c", "--command", help="run one SQL statement and exit")
+    parser.add_argument(
+        "--metrics", action="store_true", help="print execution metrics per query"
+    )
+    args = parser.parse_args(argv)
+
+    db = build_demo_database() if args.demo else Database()
+    schemas = {}
+    for spec in args.schema:
+        table_name, __, columns = spec.partition("=")
+        schemas[table_name] = parse_schema(columns)
+    for spec in args.load:
+        table_name, __, path = spec.partition("=")
+        if table_name not in schemas:
+            print(f"--load {table_name}: missing --schema", file=out)
+            return 2
+        db.create_table(table_name, schemas[table_name])
+        n = db.load_csv(table_name, path)
+        db.analyze(table_name)
+        print(f"loaded {n} rows into {table_name}", file=out)
+
+    if args.command:
+        try:
+            run_statement(db, args.command, args.metrics, out)
+        except Exception as error:  # surface engine errors as text, exit 1
+            print(f"error: {error}", file=out)
+            return 1
+        return 0
+
+    # Interactive loop.
+    print("RankSQL shell — \\d lists tables, \\quit exits", file=out)
+    buffer: list[str] = []
+    while True:
+        try:
+            prompt = "ranksql> " if not buffer else "    ...> "
+            line = input(prompt)
+        except EOFError:
+            break
+        if line.strip() in ("\\quit", "\\q", "exit", "quit"):
+            break
+        if line.strip().startswith("\\") and not buffer:
+            _meta_command(db, line.strip(), out)
+            continue
+        buffer.append(line)
+        joined = " ".join(buffer)
+        if joined.rstrip().endswith(";") or "limit" in joined.lower():
+            buffer.clear()
+            try:
+                run_statement(db, joined.rstrip(" ;"), args.metrics, out)
+            except Exception as error:
+                print(f"error: {error}", file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Engine façade: the public entry point for using RankSQL as a database."""
+
+from .csv_io import dump_csv, load_csv
+from .database import Database
+from .persistence import PersistenceError, load_database, save_database
+from .result import Cursor, QueryResult
+
+__all__ = [
+    "Cursor",
+    "Database",
+    "PersistenceError",
+    "QueryResult",
+    "dump_csv",
+    "load_csv",
+    "load_database",
+    "save_database",
+]

@@ -1,0 +1,101 @@
+"""CSV import/export for tables.
+
+A pragmatic adoption path: load data files into the engine and dump query
+results back out, with type coercion driven by the table schema.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..storage.schema import DataType, Schema
+from ..storage.table import Table
+
+_TRUE_STRINGS = {"true", "t", "yes", "y", "1"}
+_FALSE_STRINGS = {"false", "f", "no", "n", "0"}
+
+
+def coerce_value(text: str, dtype: DataType) -> Any:
+    """Convert one CSV cell to a Python value of the column's type.
+
+    Empty strings become NULL.  Booleans accept the usual spellings.
+    """
+    if text == "":
+        return None
+    if dtype is DataType.INT:
+        return int(float(text)) if "." in text or "e" in text.lower() else int(text)
+    if dtype is DataType.FLOAT:
+        return float(text)
+    if dtype is DataType.BOOL:
+        lowered = text.strip().lower()
+        if lowered in _TRUE_STRINGS:
+            return True
+        if lowered in _FALSE_STRINGS:
+            return False
+        raise ValueError(f"cannot parse boolean: {text!r}")
+    return text
+
+
+def load_csv(
+    table: Table,
+    path: "str | Path",
+    has_header: bool = True,
+    delimiter: str = ",",
+) -> int:
+    """Load a CSV file into a table; returns the number of rows inserted.
+
+    With a header, columns are matched by name (extra file columns are
+    ignored, missing table columns become NULL).  Without one, columns are
+    taken positionally and must match the schema's arity.
+    """
+    schema: Schema = table.schema
+    names = schema.column_names()
+    dtypes = {c.name: c.dtype for c in schema}
+    count = 0
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        header: list[str] | None = None
+        if has_header:
+            header = next(reader, None)
+            if header is None:
+                return 0
+            header = [h.strip() for h in header]
+        for raw in reader:
+            if not raw:
+                continue
+            if header is not None:
+                by_name = dict(zip(header, raw))
+                values = [
+                    coerce_value(by_name[n], dtypes[n]) if n in by_name else None
+                    for n in names
+                ]
+            else:
+                if len(raw) != len(names):
+                    raise ValueError(
+                        f"row has {len(raw)} fields, schema needs {len(names)}"
+                    )
+                values = [
+                    coerce_value(cell, dtypes[n]) for cell, n in zip(raw, names)
+                ]
+            table.insert(values)
+            count += 1
+    return count
+
+
+def dump_csv(
+    rows: Iterable[tuple],
+    column_names: list[str],
+    path: "str | Path",
+    delimiter: str = ",",
+) -> int:
+    """Write rows (e.g. ``QueryResult.rows``) to a CSV file with a header."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(column_names)
+        for row in rows:
+            writer.writerow(["" if v is None else v for v in row])
+            count += 1
+    return count

@@ -1,0 +1,303 @@
+"""The RankSQL engine façade.
+
+:class:`Database` wires the whole stack together: storage, SQL front end,
+rank-aware optimizer and execution engine.
+
+Typical use::
+
+    db = Database()
+    db.create_table("hotel", [("price", DataType.FLOAT), ("stars", DataType.INT)])
+    db.insert("hotel", [(120.0, 4), (80.0, 3)])
+    db.register_predicate("cheap", ["hotel.price"], lambda p: max(0, 1 - p / 200))
+    db.create_rank_index("hotel", "cheap")
+    result = db.query("SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 1")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from ..algebra.expressions import Expression
+from ..algebra.operators import LogicalOperator
+from ..algebra.predicates import RankingPredicate, ScoringFunction
+from ..execution.iterator import ExecutionContext, run_plan
+from ..optimizer.cardinality import SampleDatabase
+from ..optimizer.enumeration import RankAwareOptimizer, optimize_traditional
+from ..optimizer.plans import PlanNode
+from ..optimizer.query_spec import QuerySpec
+from ..optimizer.rule_based import RuleBasedOptimizer
+from ..sql.binder import Binder
+from ..sql.parser import parse
+from ..storage.catalog import Catalog
+from ..storage.index import ColumnIndex, MultiKeyIndex, RankIndex
+from ..storage.schema import Column, DataType, Schema
+from ..storage.table import Table
+from .result import QueryResult
+
+ColumnSpec = "str | tuple[str, DataType] | Column"
+
+
+class Database:
+    """An in-memory rank-aware relational database."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self._sample_cache: dict[tuple[float, int], SampleDatabase] = {}
+
+    # ------------------------------------------------------------------
+    # schema & data definition
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, columns: Sequence[ColumnSpec]) -> Table:
+        """Create a table from terse column specs.
+
+        Each spec is a name (FLOAT by default), a ``(name, DataType)`` pair,
+        or a full :class:`Column`.
+        """
+        resolved: list[Column] = []
+        for spec in columns:
+            if isinstance(spec, Column):
+                resolved.append(spec)
+            elif isinstance(spec, str):
+                resolved.append(Column(spec, DataType.FLOAT))
+            else:
+                column_name, dtype = spec
+                resolved.append(Column(column_name, dtype))
+        self._sample_cache.clear()
+        return self.catalog.create_table(name, Schema(resolved))
+
+    def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-insert value tuples; returns the number inserted."""
+        self._sample_cache.clear()
+        return self.catalog.table(table).insert_many(rows)
+
+    def insert_dicts(self, table: str, rows: Iterable[dict[str, Any]]) -> int:
+        """Bulk-insert ``{column: value}`` dicts."""
+        self._sample_cache.clear()
+        return self.catalog.table(table).insert_dicts(rows)
+
+    def load_csv(self, table: str, path: Any, has_header: bool = True) -> int:
+        """Load a CSV file into a table (typed per the table schema)."""
+        from .csv_io import load_csv
+
+        self._sample_cache.clear()
+        return load_csv(self.catalog.table(table), path, has_header=has_header)
+
+    def analyze(self, table: str | None = None) -> None:
+        """(Re)compute statistics for one table or all tables."""
+        if table is not None:
+            self.catalog.analyze(table)
+            return
+        for t in self.catalog.tables():
+            self.catalog.analyze(t.name)
+
+    # ------------------------------------------------------------------
+    # ranking predicates & indexes
+    # ------------------------------------------------------------------
+    def register_predicate(
+        self,
+        name: str,
+        columns: Sequence[str],
+        scorer: Expression | Callable[..., float],
+        cost: float = 1.0,
+        p_max: float = 1.0,
+        spin_loops: int = 0,
+    ) -> RankingPredicate:
+        """Register a named ranking predicate (user-defined function).
+
+        ``spin_loops`` adds busy-work per evaluation so the abstract
+        ``cost`` also shows in wall time (benchmarking aid).
+        """
+        predicate = RankingPredicate(
+            name, columns, scorer, cost=cost, p_max=p_max, spin_loops=spin_loops
+        )
+        self.catalog.register_predicate(predicate)
+        return predicate
+
+    def create_column_index(self, table: str, column: str) -> ColumnIndex:
+        """Ordered index on a column (equality probes, interesting order)."""
+        t = self.catalog.table(table)
+        qualified = column if "." in column else f"{table}.{column}"
+        index = ColumnIndex(f"{table}_{column.replace('.', '_')}_idx", t.schema, qualified)
+        t.attach_index(index)
+        self._sample_cache.clear()
+        return index
+
+    def create_rank_index(self, table: str, predicate_name: str) -> RankIndex:
+        """Function-based index enabling rank-scans on a predicate."""
+        t = self.catalog.table(table)
+        predicate = self.catalog.predicate(predicate_name)
+        index = RankIndex(
+            f"{table}_{predicate_name}_rankidx",
+            t.schema,
+            predicate_name,
+            predicate.compile(t.schema),
+        )
+        t.attach_index(index)
+        self._sample_cache.clear()
+        return index
+
+    def create_multikey_index(
+        self, table: str, bool_column: str, predicate_name: str
+    ) -> MultiKeyIndex:
+        """Composite (Boolean column, predicate score) index enabling
+        scan-based selection (§4.2)."""
+        t = self.catalog.table(table)
+        predicate = self.catalog.predicate(predicate_name)
+        qualified = bool_column if "." in bool_column else f"{table}.{bool_column}"
+        index = MultiKeyIndex(
+            f"{table}_{bool_column.replace('.', '_')}_{predicate_name}_mkidx",
+            t.schema,
+            qualified,
+            predicate_name,
+            predicate.compile(t.schema),
+        )
+        t.attach_index(index)
+        self._sample_cache.clear()
+        return index
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def bind(self, sql: str) -> QuerySpec:
+        """Parse and bind a SQL string to a query spec."""
+        return Binder(self.catalog).bind(parse(sql))
+
+    def optimizer(
+        self,
+        spec: QuerySpec,
+        sample_ratio: float = 0.001,
+        seed: int = 0,
+        **kwargs: Any,
+    ) -> RankAwareOptimizer:
+        """A rank-aware optimizer for a spec (sample database cached)."""
+        sample = self._sample(sample_ratio, seed)
+        return RankAwareOptimizer(self.catalog, spec, sample=sample, **kwargs)
+
+    def plan(self, query: "str | QuerySpec", **kwargs: Any) -> PlanNode:
+        """Optimize a SQL string or spec into a physical plan."""
+        spec = self.bind(query) if isinstance(query, str) else query
+        return self.optimizer(spec, **kwargs).optimize()
+
+    def plan_traditional(self, query: "str | QuerySpec", **kwargs: Any) -> PlanNode:
+        """The materialize-then-sort baseline plan for a query."""
+        spec = self.bind(query) if isinstance(query, str) else query
+        sample = self._sample(kwargs.pop("sample_ratio", 0.001), kwargs.pop("seed", 0))
+        return optimize_traditional(self.catalog, spec, sample=sample, **kwargs)
+
+    def query(self, query: "str | QuerySpec", **kwargs: Any) -> QueryResult:
+        """Optimize and execute a query; returns its top-k results."""
+        spec = self.bind(query) if isinstance(query, str) else query
+        plan = self.optimizer(spec, **kwargs).optimize()
+        return self.execute(plan, spec.scoring, k=spec.k)
+
+    def open_cursor(self, query: "str | QuerySpec", **kwargs: Any) -> "Cursor":
+        """Optimize a query and return an incremental :class:`Cursor`.
+
+        The cursor is not bounded by the query's LIMIT — it keeps producing
+        ranked results on demand (the paper's "k ... not even specified
+        beforehand" scenario) until the plan is exhausted or the cursor is
+        closed.
+        """
+        from .result import Cursor
+
+        spec = self.bind(query) if isinstance(query, str) else query
+        plan = self.optimizer(spec, **kwargs).optimize()
+        # Strip the top-level limit so fetching may continue past k.
+        from ..optimizer.plans import LimitPlan, ProjectPlan
+
+        unlimited = plan
+        if isinstance(unlimited, ProjectPlan) and isinstance(
+            unlimited.children[0], LimitPlan
+        ):
+            unlimited = ProjectPlan(
+                unlimited.children[0].children[0], unlimited.columns
+            )
+        elif isinstance(unlimited, LimitPlan):
+            unlimited = unlimited.children[0]
+        context = ExecutionContext(self.catalog, spec.scoring)
+        return Cursor(unlimited.build(), context, spec.scoring, unlimited)
+
+    def execute(
+        self,
+        plan: PlanNode,
+        scoring: ScoringFunction,
+        k: int | None = None,
+    ) -> QueryResult:
+        """Execute a physical plan, pulling at most ``k`` results."""
+        context = ExecutionContext(self.catalog, scoring)
+        root = plan.build()
+        root.open(context)
+        try:
+            schema = root.schema()
+            out = []
+            while k is None or len(out) < k:
+                scored = root.next()
+                if scored is None:
+                    break
+                out.append(scored)
+        finally:
+            root.close()
+        return QueryResult(schema, out, scoring, plan, context.metrics)
+
+    def explain(self, query: "str | QuerySpec", **kwargs: Any) -> str:
+        """The optimizer's chosen plan for a query, pretty-printed."""
+        return self.plan(query, **kwargs).explain()
+
+    def explain_analyze(
+        self,
+        query: "str | QuerySpec",
+        sample_ratio: float = 0.01,
+        seed: int = 0,
+        **kwargs: Any,
+    ) -> str:
+        """Optimize, execute and annotate the plan with estimated vs actual
+        per-operator statistics (the engine's EXPLAIN ANALYZE)."""
+        from ..optimizer.explain import explain_analyze
+
+        spec = self.bind(query) if isinstance(query, str) else query
+        sample = self._sample(sample_ratio, seed)
+        plan = self.optimizer(
+            spec, sample_ratio=sample_ratio, seed=seed, **kwargs
+        ).optimize()
+        report = explain_analyze(
+            self.catalog, spec, plan, sample=sample, seed=seed
+        )
+        return report.render()
+
+    def query_logical(
+        self,
+        logical: LogicalOperator,
+        spec: QuerySpec,
+        k: int | None = None,
+        sample_ratio: float = 0.001,
+        seed: int = 0,
+        **kwargs: Any,
+    ) -> QueryResult:
+        """Optimize and execute a hand-built *logical* plan.
+
+        Routes through the rule-based (transformation + implementation
+        rules) optimizer, which supports the full algebra including the
+        rank-aware set operations ∪, ∩, − — use this for queries the SQL
+        dialect cannot express, e.g. the union of two ranked relations.
+        ``spec`` supplies the scoring function, ``k`` and the statistics
+        context (its table list should cover the plan's tables).
+        """
+        optimizer = RuleBasedOptimizer(
+            self.catalog,
+            spec,
+            sample=self._sample(sample_ratio, seed),
+            **kwargs,
+        )
+        physical = optimizer.optimize(logical=logical)
+        return self.execute(physical, spec.scoring, k=k if k is not None else spec.k)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _sample(self, ratio: float, seed: int) -> SampleDatabase:
+        key = (ratio, seed)
+        if key not in self._sample_cache:
+            self._sample_cache[key] = SampleDatabase(
+                self.catalog, ratio=ratio, seed=seed
+            )
+        return self._sample_cache[key]

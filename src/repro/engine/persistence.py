@@ -1,0 +1,148 @@
+"""Directory-based persistence for databases.
+
+``save_database`` writes a catalog to a directory: one ``catalog.json``
+(schemas, index definitions) plus one CSV per table.  ``load_database``
+restores it.
+
+Ranking predicates are Python callables and cannot be serialized — the
+catalog file records their *names*, and :func:`load_database` takes a
+``predicates`` mapping to re-register them; rank and multi-key indexes are
+rebuilt from the restored predicates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Mapping
+
+from ..algebra.predicates import RankingPredicate
+from ..storage.index import ColumnIndex, MultiKeyIndex, RankIndex
+from ..storage.schema import DataType
+from .csv_io import dump_csv, load_csv
+from .database import Database
+
+CATALOG_FILE = "catalog.json"
+FORMAT_VERSION = 1
+
+
+class PersistenceError(Exception):
+    """Raised on malformed database directories or missing predicates."""
+
+
+def save_database(db: Database, directory: "str | Path") -> None:
+    """Write the database to ``directory`` (created if needed)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {"version": FORMAT_VERSION, "tables": [], "predicates": []}
+    for predicate in db.catalog.predicates():
+        manifest["predicates"].append(
+            {
+                "name": predicate.name,
+                "columns": list(predicate.columns),
+                "cost": predicate.cost,
+                "p_max": predicate.p_max,
+            }
+        )
+    for table in db.catalog.tables():
+        entry = {
+            "name": table.name,
+            "columns": [
+                {"name": c.name, "type": c.dtype.value} for c in table.schema
+            ],
+            "rows_file": f"{table.name}.csv",
+            "indexes": [],
+        }
+        for index in table.indexes.values():
+            if isinstance(index, ColumnIndex):
+                entry["indexes"].append(
+                    {"kind": "column", "column": index.column}
+                )
+            elif isinstance(index, MultiKeyIndex):
+                entry["indexes"].append(
+                    {
+                        "kind": "multikey",
+                        "bool_column": index.bool_column,
+                        "predicate": index.predicate_name,
+                    }
+                )
+            elif isinstance(index, RankIndex):
+                entry["indexes"].append(
+                    {"kind": "rank", "predicate": index.predicate_name}
+                )
+        manifest["tables"].append(entry)
+        dump_csv(
+            (row.values for row in table.rows()),
+            table.schema.column_names(),
+            path / entry["rows_file"],
+        )
+    with open(path / CATALOG_FILE, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def load_database(
+    directory: "str | Path",
+    predicates: Mapping[str, Callable[..., float]] | None = None,
+) -> Database:
+    """Restore a database saved by :func:`save_database`.
+
+    ``predicates`` maps predicate name to its scoring callable; predicates
+    present in the manifest but missing from the mapping are skipped (their
+    rank indexes are dropped with a :class:`PersistenceError` only if a
+    rank index needs them).
+    """
+    path = Path(directory)
+    manifest_path = path / CATALOG_FILE
+    if not manifest_path.exists():
+        raise PersistenceError(f"not a database directory: {directory}")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported format version: {manifest.get('version')!r}"
+        )
+    predicates = dict(predicates or {})
+    db = Database()
+    for entry in manifest.get("predicates", []):
+        name = entry["name"]
+        if name not in predicates:
+            continue
+        db.register_predicate(
+            name,
+            entry["columns"],
+            predicates[name],
+            cost=entry.get("cost", 1.0),
+            p_max=entry.get("p_max", 1.0),
+        )
+    for entry in manifest["tables"]:
+        columns = [
+            (c["name"], DataType(c["type"])) for c in entry["columns"]
+        ]
+        db.create_table(entry["name"], columns)
+        rows_file = path / entry["rows_file"]
+        if rows_file.exists():
+            db.load_csv(entry["name"], rows_file)
+        for index in entry.get("indexes", []):
+            kind = index["kind"]
+            if kind == "column":
+                db.create_column_index(entry["name"], index["column"])
+            elif kind == "rank":
+                _require_predicate(db, index["predicate"], entry["name"])
+                db.create_rank_index(entry["name"], index["predicate"])
+            elif kind == "multikey":
+                _require_predicate(db, index["predicate"], entry["name"])
+                db.create_multikey_index(
+                    entry["name"], index["bool_column"], index["predicate"]
+                )
+            else:
+                raise PersistenceError(f"unknown index kind: {kind!r}")
+    db.analyze()
+    return db
+
+
+def _require_predicate(db: Database, name: str, table: str) -> None:
+    if not db.catalog.has_predicate(name):
+        raise PersistenceError(
+            f"table {table!r} has an index on predicate {name!r}; pass its "
+            "callable in the `predicates` mapping to load_database"
+        )

@@ -1,0 +1,215 @@
+"""The physical iterator protocol (Volcano model, rank-aware).
+
+Physical operators follow the classical three-method interface (§4) —
+:meth:`PhysicalOperator.open`, :meth:`PhysicalOperator.next`,
+:meth:`PhysicalOperator.close` — with two rank-aware extensions:
+
+* operators emit :class:`~repro.algebra.rank_relation.ScoredRow` streams in
+  **descending maximal-possible-score order** (``F_P`` with respect to the
+  operator's evaluated predicate set ``P``), realizing Definition 1; and
+* every operator exposes :meth:`PhysicalOperator.bound`, an upper bound on
+  the ``F_P`` score of *any tuple it may still emit*.  Consumers use the
+  producer's bound as the emission threshold of the ranking principle
+  (Property 1): a buffered tuple may leave only when its score exceeds every
+  possible future tuple's score.
+
+Ties are broken by row id; to keep tie order identical to the reference
+semantics, operators emit a buffered tuple only when its score *strictly*
+exceeds the threshold (equal-score tuples wait so they can be ordered by id).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterator
+
+from ..algebra.expressions import Evaluator
+from ..algebra.predicates import ScoringFunction
+from ..algebra.rank_relation import ScoredRow
+from ..storage.catalog import Catalog
+from ..storage.schema import Schema
+from .metrics import ExecutionMetrics, OperatorStats
+
+
+class ExecutionContext:
+    """Shared state of one plan execution: catalog, scoring, metrics."""
+
+    def __init__(self, catalog: Catalog, scoring: ScoringFunction):
+        self.catalog = catalog
+        self.scoring = scoring
+        self.metrics = ExecutionMetrics()
+        self._compiled: dict[tuple[str, Schema], Evaluator] = {}
+        self._naming: dict[str, int] = {}
+
+    def evaluate_predicate(self, name: str, row, schema: Schema) -> float:
+        """Evaluate ranking predicate ``name`` on a row, charging its cost."""
+        key = (name, schema)
+        if key not in self._compiled:
+            self._compiled[key] = self.scoring.predicate(name).compile(schema)
+        self.metrics.charge_predicate(self.scoring.predicate(name).cost)
+        return self._compiled[key](row)
+
+    def upper_bound(self, scored: ScoredRow) -> float:
+        """``F_P[t]`` for a scored row (P = the keys of its score map)."""
+        return self.scoring.upper_bound(scored.scores)
+
+    def unique_name(self, base: str) -> str:
+        """A unique per-plan operator instance name (``mu_p4``, ``mu_p4#2``)."""
+        n = self._naming.get(base, 0)
+        self._naming[base] = n + 1
+        return base if n == 0 else f"{base}#{n + 1}"
+
+
+class PhysicalOperator:
+    """Base class of physical operators."""
+
+    #: human-readable operator kind, overridden by subclasses
+    kind = "operator"
+
+    def __init__(self) -> None:
+        self._context: ExecutionContext | None = None
+        self._stats: OperatorStats | None = None
+        self._opened = False
+
+    # -- lifecycle ------------------------------------------------------
+    def open(self, context: ExecutionContext) -> None:
+        """Initialize; must be called before :meth:`next`."""
+        self._context = context
+        self._stats = context.metrics.stats_for(context.unique_name(self.describe()))
+        self._opened = True
+        self._open()
+
+    def next(self) -> ScoredRow | None:
+        """The next output tuple in descending ``F_P`` order, or None."""
+        if not self._opened:
+            raise RuntimeError(f"{self.describe()}: next() before open()")
+        scored = self._next()
+        if scored is not None:
+            assert self._stats is not None
+            self._stats.tuples_out += 1
+            assert self._context is not None
+            self._context.metrics.charge_move()
+        return scored
+
+    def close(self) -> None:
+        """Release resources; idempotent."""
+        if self._opened:
+            self._close()
+            self._opened = False
+
+    # -- rank-aware extensions -------------------------------------------
+    def bound(self) -> float:
+        """Upper bound on the ``F_P`` score of any future output tuple."""
+        raise NotImplementedError
+
+    def schema(self) -> Schema:
+        raise NotImplementedError
+
+    def predicates(self) -> frozenset[str]:
+        """The output rank-relation's evaluated predicate set ``P``."""
+        raise NotImplementedError
+
+    def column_order(self) -> str | None:
+        """The column this operator's output is sorted on, if any — the
+        System-R "interesting order" physical property."""
+        return None
+
+    def describe(self) -> str:
+        return self.kind
+
+    def children(self) -> tuple["PhysicalOperator", ...]:
+        return ()
+
+    # -- subclass hooks ---------------------------------------------------
+    def _open(self) -> None:
+        raise NotImplementedError
+
+    def _next(self) -> ScoredRow | None:
+        raise NotImplementedError
+
+    def _close(self) -> None:
+        for child in self.children():
+            child.close()
+
+    # -- helpers ----------------------------------------------------------
+    @property
+    def context(self) -> ExecutionContext:
+        assert self._context is not None, "operator not opened"
+        return self._context
+
+    @property
+    def stats(self) -> OperatorStats:
+        assert self._stats is not None, "operator not opened"
+        return self._stats
+
+    def _record_input(self, count: int = 1) -> None:
+        self.stats.tuples_in += count
+
+    def iterate(self) -> Iterator[ScoredRow]:
+        """Drain the operator as a Python iterator (after :meth:`open`)."""
+        while True:
+            scored = self.next()
+            if scored is None:
+                return
+            yield scored
+
+
+class RankingQueue:
+    """A max-priority queue over scored rows, keyed by ``F_P`` then row id.
+
+    This is the "ranking queue" every buffering rank-aware operator uses
+    (§4.1).  Pop order equals the reference rank-relation order.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, tuple, ScoredRow]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, bound: float, scored: ScoredRow) -> None:
+        heapq.heappush(self._heap, (-bound, scored.row.rid, scored))
+
+    def peek_bound(self) -> float:
+        """Score of the best buffered tuple (−inf when empty)."""
+        if not self._heap:
+            return -math.inf
+        return -self._heap[0][0]
+
+    def pop(self) -> ScoredRow:
+        __, __, scored = heapq.heappop(self._heap)
+        return scored
+
+
+def run_plan(
+    root: PhysicalOperator,
+    context: ExecutionContext,
+    k: int | None = None,
+) -> list[ScoredRow]:
+    """Open, pull up to ``k`` tuples (all when None), close; return them.
+
+    This realizes the incremental execution model: pulling stops as soon as
+    ``k`` results are reported, so work is proportional to ``k``.
+    """
+    root.open(context)
+    try:
+        out: list[ScoredRow] = []
+        while k is None or len(out) < k:
+            scored = root.next()
+            if scored is None:
+                break
+            out.append(scored)
+        return out
+    finally:
+        root.close()
+
+
+def explain_physical(root: PhysicalOperator, indent: int = 0) -> str:
+    """Pretty-print a physical plan tree."""
+    lines = ["  " * indent + root.describe()]
+    for child in root.children():
+        lines.append(explain_physical(child, indent + 1))
+    return "\n".join(lines)

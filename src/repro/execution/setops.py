@@ -1,0 +1,329 @@
+"""Rank-aware set operations: incremental ∪, ∩, − (set semantics).
+
+Traditionally these operators exhaust both inputs before emitting anything
+(to rule out duplicates).  With *ranked* inputs they become incremental
+(§4.2): because each input delivers tuples in descending ``F_P`` order, an
+operator can decide from a tuple's predicate scores whether a duplicate may
+still appear, and emit early.
+
+Like the rank-joins, emission thresholds come from the last-drawn tuple of
+each input ("drawn" corner bounds).  All three operators assume
+union-compatible inputs whose ranking predicates resolve on either schema
+(same bare column names), and deduplicate by tuple *values* — the set
+semantics of the paper's running example (Figure 4, where ``r1`` and ``r'1``
+merge).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from ..algebra.rank_relation import ScoredRow
+from ..storage.schema import Schema
+from .iterator import PhysicalOperator, RankingQueue
+
+
+class _RankSetOperator(PhysicalOperator):
+    """Shared plumbing for the binary rank-aware set operators."""
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self._left_done = False
+        self._right_done = False
+        self._left_last = math.inf
+        self._right_last = math.inf
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def schema(self) -> Schema:
+        return self.left.schema()
+
+    def _open_children(self) -> None:
+        self.left.open(self.context)
+        self.right.open(self.context)
+        if len(self.left.schema()) != len(self.right.schema()):
+            raise RuntimeError(
+                f"{self.describe()}: operands are not union-compatible"
+            )
+        self._left_done = False
+        self._right_done = False
+        self._left_last = math.inf
+        self._right_last = math.inf
+
+    def _close(self) -> None:
+        self.left.close()
+        self.right.close()
+
+    def _side_bound(self, left: bool) -> float:
+        if left and self._left_done:
+            return -math.inf
+        if not left and self._right_done:
+            return -math.inf
+        last = self._left_last if left else self._right_last
+        return min(last, self.context.scoring.max_possible())
+
+    def _pull(self, left: bool) -> ScoredRow | None:
+        """Draw one tuple from a side, maintaining corner bounds."""
+        side = self.left if left else self.right
+        scored = side.next()
+        if scored is None:
+            if left:
+                self._left_done = True
+            else:
+                self._right_done = True
+            return None
+        self._record_input()
+        input_bound = self.context.upper_bound(scored)
+        if left:
+            self._left_last = input_bound
+        else:
+            self._right_last = input_bound
+        return scored
+
+    def _complete_scores(
+        self, scored: ScoredRow, wanted: frozenset[str], schema: Schema
+    ) -> ScoredRow:
+        """Evaluate any predicates in ``wanted`` missing from the tuple."""
+        missing = wanted - set(scored.scores)
+        if not missing:
+            return scored
+        out = scored
+        for name in sorted(missing):
+            score = self.context.evaluate_predicate(name, out.row, schema)
+            out = out.with_score(name, score)
+        return out
+
+
+class RankUnion(_RankSetOperator):
+    """Incremental set union, emitting in ``F_{P1 ∪ P2}`` order.
+
+    Every output tuple's order predicate set is ``P1 ∪ P2`` (Figure 3), so
+    the operator evaluates the predicates the producing side did not.
+    Duplicates (by values) are dropped on arrival — both copies carry
+    identical values, hence identical completed scores.
+    """
+
+    kind = "rankUnion"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+        super().__init__(left, right)
+        self._queue = RankingQueue()
+        self._seen_values: set[tuple] = set()
+
+    def describe(self) -> str:
+        return "rankUnion"
+
+    def predicates(self) -> frozenset[str]:
+        return self.left.predicates() | self.right.predicates()
+
+    def bound(self) -> float:
+        return max(
+            self._queue.peek_bound(),
+            self._side_bound(left=True),
+            self._side_bound(left=False),
+        )
+
+    def _open(self) -> None:
+        self._open_children()
+        self._queue = RankingQueue()
+        self._seen_values = set()
+
+    def _threshold(self) -> float:
+        return max(self._side_bound(left=True), self._side_bound(left=False))
+
+    def _next(self) -> ScoredRow | None:
+        wanted = self.predicates()
+        while True:
+            if len(self._queue) and self._queue.peek_bound() >= self._threshold():
+                return self._queue.pop()
+            if self._left_done and self._right_done:
+                if len(self._queue):
+                    return self._queue.pop()
+                return None
+            self._advance_one_input(wanted)
+
+    def _advance_one_input(self, wanted: frozenset[str]) -> None:
+        pull_left = not self._left_done and (
+            self._right_done or self._side_bound(True) >= self._side_bound(False)
+        )
+        side = self.left if pull_left else self.right
+        scored = self._pull(pull_left)
+        if scored is None:
+            return
+        if scored.row.values in self._seen_values:
+            return
+        self._seen_values.add(scored.row.values)
+        completed = self._complete_scores(scored, wanted, side.schema())
+        self._queue.push(self.context.upper_bound(completed), completed)
+
+
+class RankIntersect(_RankSetOperator):
+    """Incremental set intersection, emitting in ``F_{P1 ∪ P2}`` order.
+
+    A value qualifies when it has been seen on both sides; its evaluated
+    scores are merged from both producers before completion.
+    """
+
+    kind = "rankIntersect"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        by_identity: bool = False,
+    ):
+        super().__init__(left, right)
+        #: the paper's ∩_r variant: match tuples by row identity, not value
+        self.by_identity = by_identity
+        self._queue = RankingQueue()
+        self._left_seen: dict[tuple, ScoredRow] = {}
+        self._right_seen: dict[tuple, ScoredRow] = {}
+        self._matched: set[tuple] = set()
+
+    def describe(self) -> str:
+        return "rankIntersect_r" if self.by_identity else "rankIntersect"
+
+    def predicates(self) -> frozenset[str]:
+        return self.left.predicates() | self.right.predicates()
+
+    def bound(self) -> float:
+        return max(
+            self._queue.peek_bound(),
+            self._side_bound(left=True),
+            self._side_bound(left=False),
+        )
+
+    def _open(self) -> None:
+        self._open_children()
+        self._queue = RankingQueue()
+        self._left_seen = {}
+        self._right_seen = {}
+        self._matched = set()
+
+    def _threshold(self) -> float:
+        return max(self._side_bound(left=True), self._side_bound(left=False))
+
+    def _inputs_done(self) -> bool:
+        if self._left_done and self._right_done:
+            return True
+        # Early termination: one side exhausted and every one of its values
+        # already matched — no new intersection tuple can appear.
+        if self._left_done and set(self._left_seen) <= self._matched:
+            return True
+        if self._right_done and set(self._right_seen) <= self._matched:
+            return True
+        return False
+
+    def _next(self) -> ScoredRow | None:
+        wanted = self.predicates()
+        while True:
+            done = self._inputs_done()
+            threshold = -math.inf if done else self._threshold()
+            if len(self._queue) and self._queue.peek_bound() >= threshold:
+                return self._queue.pop()
+            if done:
+                if len(self._queue):
+                    return self._queue.pop()
+                return None
+            self._advance_one_input(wanted)
+
+    def _advance_one_input(self, wanted: frozenset[str]) -> None:
+        pull_left = not self._left_done and (
+            self._right_done or self._side_bound(True) >= self._side_bound(False)
+        )
+        side = self.left if pull_left else self.right
+        scored = self._pull(pull_left)
+        if scored is None:
+            return
+        mine = self._left_seen if pull_left else self._right_seen
+        theirs = self._right_seen if pull_left else self._left_seen
+        key = scored.row.rid if self.by_identity else scored.row.values
+        mine.setdefault(key, scored)
+        if key in theirs and key not in self._matched:
+            self._matched.add(key)
+            partner = theirs[key]
+            merged_scores = dict(partner.scores)
+            merged_scores.update(scored.scores)
+            # Keep the left producer's row so identity matches the reference
+            # semantics (which iterates the left operand).
+            left_row = (scored if pull_left else partner).row
+            merged = ScoredRow(left_row, merged_scores)
+            completed = self._complete_scores(merged, wanted, side.schema())
+            self._queue.push(self.context.upper_bound(completed), completed)
+
+
+class RankDifference(_RankSetOperator):
+    """Incremental set difference ``R_P1 − S_P2``, emitting in the outer
+    input's order (``P1``).
+
+    The head outer tuple ``t`` is released once the inner side provably
+    cannot contain it: either the inner is exhausted, or ``t``'s would-be
+    inner score ``F_{P2}[t]`` (computed by evaluating the inner's predicate
+    set on ``t``) strictly exceeds the inner's corner bound — had ``t`` been
+    in the inner relation it would have already streamed out.
+    """
+
+    kind = "rankDifference"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+        super().__init__(left, right)
+        self._pending: deque[tuple[ScoredRow, float]] = deque()
+        self._right_values: set[tuple] = set()
+        self._emitted_values: set[tuple] = set()
+
+    def describe(self) -> str:
+        return "rankDifference"
+
+    def predicates(self) -> frozenset[str]:
+        return self.left.predicates()
+
+    def bound(self) -> float:
+        if self._pending:
+            return self.context.upper_bound(self._pending[0][0])
+        return self._side_bound(left=True)
+
+    def _open(self) -> None:
+        self._open_children()
+        self._pending = deque()
+        self._right_values = set()
+        self._emitted_values = set()
+
+    def _inner_score(self, scored: ScoredRow) -> float:
+        """``F_{P2}[t]``: the bound ``t`` would stream out of the inner with."""
+        inner_predicates = self.right.predicates()
+        completed = self._complete_scores(
+            ScoredRow(scored.row, {}), inner_predicates, self.left.schema()
+        )
+        return self.context.scoring.upper_bound(completed.scores)
+
+    def _next(self) -> ScoredRow | None:
+        while True:
+            if self._pending:
+                head, inner_score = self._pending[0]
+                key = head.row.values
+                if key in self._right_values or key in self._emitted_values:
+                    self._pending.popleft()
+                    continue
+                right_bound = self._side_bound(left=False)
+                if inner_score > right_bound:
+                    self._pending.popleft()
+                    self._emitted_values.add(key)
+                    return head
+                # The inner may still produce this value: advance the inner.
+                scored = self._pull(left=False)
+                if scored is not None:
+                    self._right_values.add(scored.row.values)
+                continue
+            if self._left_done:
+                return None
+            scored = self._pull(left=True)
+            if scored is not None:
+                self._pending.append((scored, self._inner_score(scored)))
+
+    def _close(self) -> None:
+        super()._close()
+        self._pending = deque()

@@ -1,0 +1,138 @@
+"""Blocking sort and the Limit operator.
+
+:class:`Sort` is the traditional monolithic τ_F: it drains its whole input,
+evaluates *every* remaining ranking predicate on every tuple, sorts, and
+only then starts emitting — the materialize-then-sort scheme the paper
+contrasts against.  Its startup cost is almost its total cost and is
+independent of ``k``.
+
+:class:`Limit` (λ_k) stops pulling after ``k`` tuples, which is what makes
+pipelined rank-aware plans cost proportional to ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..algebra.rank_relation import ScoredRow, rank_order_key
+from ..storage.schema import Schema
+from .iterator import PhysicalOperator
+
+
+class Sort(PhysicalOperator):
+    """Blocking sort by the *complete* score F(p1, ..., pn)."""
+
+    kind = "sort"
+
+    def __init__(self, child: PhysicalOperator):
+        super().__init__()
+        self.child = child
+        self._buffer: list[ScoredRow] | None = None
+        self._position = 0
+
+    def describe(self) -> str:
+        return "sort"
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def predicates(self) -> frozenset[str]:
+        return frozenset(self.context.scoring.predicate_names)
+
+    def bound(self) -> float:
+        if self._buffer is None:
+            return self.context.scoring.max_possible()
+        if self._position >= len(self._buffer):
+            return -math.inf
+        return self.context.upper_bound(self._buffer[self._position])
+
+    def _open(self) -> None:
+        self.child.open(self.context)
+        self._buffer = None
+        self._position = 0
+
+    def _materialize(self) -> None:
+        context = self.context
+        schema = self.child.schema()
+        names = context.scoring.predicate_names
+        buffer: list[ScoredRow] = []
+        while True:
+            scored = self.child.next()
+            if scored is None:
+                break
+            self._record_input()
+            for name in names:
+                if name not in scored.scores:
+                    score = context.evaluate_predicate(name, scored.row, schema)
+                    scored = scored.with_score(name, score)
+            buffer.append(scored)
+        context.metrics.charge_comparisons(
+            int(len(buffer) * max(1, math.log2(len(buffer) or 1)))
+        )
+        buffer.sort(key=lambda s: rank_order_key(context.scoring, s))
+        self._buffer = buffer
+
+    def _next(self) -> ScoredRow | None:
+        if self._buffer is None:
+            self._materialize()
+        assert self._buffer is not None
+        if self._position >= len(self._buffer):
+            return None
+        scored = self._buffer[self._position]
+        self._position += 1
+        return scored
+
+    def _close(self) -> None:
+        self.child.close()
+        self._buffer = None
+
+
+class Limit(PhysicalOperator):
+    """λ_k: emit at most ``k`` tuples, then stop pulling from below."""
+
+    kind = "limit"
+
+    def __init__(self, child: PhysicalOperator, k: int):
+        super().__init__()
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.child = child
+        self.k = k
+        self._emitted = 0
+
+    def describe(self) -> str:
+        return f"limit({self.k})"
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def predicates(self) -> frozenset[str]:
+        return self.child.predicates()
+
+    def bound(self) -> float:
+        if self._emitted >= self.k:
+            return -math.inf
+        return self.child.bound()
+
+    def _open(self) -> None:
+        self.child.open(self.context)
+        self._emitted = 0
+
+    def _next(self) -> ScoredRow | None:
+        if self._emitted >= self.k:
+            return None
+        scored = self.child.next()
+        if scored is None:
+            return None
+        self._record_input()
+        self._emitted += 1
+        return scored
+
+    def _close(self) -> None:
+        self.child.close()

@@ -1,0 +1,76 @@
+"""Rank-aware query optimizer: plans, costing, sampling estimation, DP."""
+
+from .cardinality import (
+    DEFAULT_SAMPLE_RATIO,
+    CardinalityEstimator,
+    SampleDatabase,
+    SampleRun,
+)
+from .cost_model import CostModel, DEFAULT_JOIN_SELECTIVITY
+from .explain import AnalyzeReport, NodeReport, explain_analyze
+from .enumeration import (
+    Candidate,
+    OptimizationError,
+    RankAwareOptimizer,
+    optimize_traditional,
+)
+from .plans import (
+    ColumnOrderScanPlan,
+    FilterPlan,
+    HRJNPlan,
+    HashJoinPlan,
+    LimitPlan,
+    MuPlan,
+    NRJNPlan,
+    NestedLoopJoinPlan,
+    PlanNode,
+    ProjectPlan,
+    RankDifferencePlan,
+    RankIntersectPlan,
+    RankScanPlan,
+    RankUnionPlan,
+    ScanSelectPlan,
+    SeqScanPlan,
+    SortMergeJoinPlan,
+    SortPlan,
+)
+from .query_spec import JoinCondition, QuerySpec
+from .rule_based import RuleBasedOptimizer, canonical_logical_plan
+
+__all__ = [
+    "AnalyzeReport",
+    "Candidate",
+    "CardinalityEstimator",
+    "ColumnOrderScanPlan",
+    "CostModel",
+    "DEFAULT_JOIN_SELECTIVITY",
+    "DEFAULT_SAMPLE_RATIO",
+    "FilterPlan",
+    "HRJNPlan",
+    "HashJoinPlan",
+    "JoinCondition",
+    "LimitPlan",
+    "MuPlan",
+    "NRJNPlan",
+    "NodeReport",
+    "NestedLoopJoinPlan",
+    "OptimizationError",
+    "PlanNode",
+    "ProjectPlan",
+    "QuerySpec",
+    "RankAwareOptimizer",
+    "RankDifferencePlan",
+    "RankIntersectPlan",
+    "RankScanPlan",
+    "RankUnionPlan",
+    "RuleBasedOptimizer",
+    "SampleDatabase",
+    "canonical_logical_plan",
+    "explain_analyze",
+    "SampleRun",
+    "ScanSelectPlan",
+    "SeqScanPlan",
+    "SortMergeJoinPlan",
+    "SortPlan",
+    "optimize_traditional",
+]

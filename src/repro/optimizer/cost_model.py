@@ -1,0 +1,309 @@
+"""Cost model for ranking query plans.
+
+Costs are expressed in the same abstract units the execution engine's
+metrics charge (:mod:`repro.execution.metrics`), so estimated and measured
+costs are directly comparable.
+
+Two cardinalities drive the model:
+
+* **full cardinality** — the classical, k-independent output size of the
+  operator (System-R style: table sizes × selectivities).  It governs
+  *blocking* regions of a plan: below a Sort or a classical join everything
+  is drained completely.
+* **ranked (k-sensitive) cardinality** — the §5.2 sampling estimate of how
+  many tuples the operator must emit for the query's top-k; it governs the
+  incremental regions.
+
+An operator consumes its child's *ranked* cardinality when the child
+delivers an informative descending stream (some predicate evaluated below),
+and the child's *full* cardinality otherwise — a child with ``P = φ`` ties
+every tuple at the maximal score, so any buffering consumer drains it.
+"""
+
+from __future__ import annotations
+
+from ..algebra.predicates import BooleanPredicate, ScoringFunction
+from ..execution.metrics import (
+    BOOLEAN_EVAL_UNIT,
+    COMPARE_UNIT,
+    JOIN_PAIR_UNIT,
+    MOVE_UNIT,
+    SCAN_UNIT,
+)
+from ..storage.catalog import Catalog
+from .cardinality import CardinalityEstimator, SampleDatabase
+from .plans import (
+    ColumnOrderScanPlan,
+    FilterPlan,
+    HRJNPlan,
+    HashJoinPlan,
+    LimitPlan,
+    MuPlan,
+    NRJNPlan,
+    NestedLoopJoinPlan,
+    PlanNode,
+    ProjectPlan,
+    RankDifferencePlan,
+    RankIntersectPlan,
+    RankScanPlan,
+    RankUnionPlan,
+    ScanSelectPlan,
+    SeqScanPlan,
+    SortMergeJoinPlan,
+    SortPlan,
+)
+from .query_spec import QuerySpec
+
+import math
+
+#: Default selectivity for join conditions the model cannot analyze.
+DEFAULT_JOIN_SELECTIVITY = 0.1
+#: Per-tuple priority-queue maintenance cost inside buffering operators.
+QUEUE_UNIT = 0.02
+
+_BLOCKING = (SortPlan, SortMergeJoinPlan, HashJoinPlan, NestedLoopJoinPlan)
+
+
+class CostModel:
+    """Plan costing bound to one query (via its cardinality estimator)."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        spec: QuerySpec,
+        estimator: CardinalityEstimator,
+    ):
+        self.catalog = catalog
+        self.spec = spec
+        self.scoring: ScoringFunction = spec.scoring
+        self.estimator = estimator
+        self._full_memo: dict[str, float] = {}
+        self._cost_memo: dict[tuple[str, bool], float] = {}
+        self._selectivity_memo: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def cost(self, plan: PlanNode) -> float:
+        """Estimated execution cost of the (sub)plan in abstract units."""
+        return self._cost(plan, drained=False)
+
+    def full_cardinality(self, plan: PlanNode) -> float:
+        """Classical (k-independent) output cardinality estimate."""
+        key = plan.fingerprint()
+        if key not in self._full_memo:
+            self._full_memo[key] = self._full(plan)
+        return self._full_memo[key]
+
+    def ranked_cardinality(self, plan: PlanNode) -> float:
+        """k-sensitive output cardinality (sampling estimator, §5.2)."""
+        return self.estimator.estimate(plan)
+
+    def production(self, plan: PlanNode, drained: bool = False) -> float:
+        """How many tuples this node emits in context.
+
+        Ranked (k-sensitive) when the node delivers an informative
+        descending stream; full otherwise.
+        """
+        if drained or not plan.is_ranked or not plan.rank_predicates:
+            return self.full_cardinality(plan)
+        return min(
+            self.ranked_cardinality(plan), self.full_cardinality(plan)
+        )
+
+    # ------------------------------------------------------------------
+    # selectivities
+    # ------------------------------------------------------------------
+    def selection_selectivity(self, condition: BooleanPredicate) -> float:
+        """Fraction of tuples satisfying a single-table condition
+        (measured on the sample database)."""
+        key = condition.name
+        if key in self._selectivity_memo:
+            return self._selectivity_memo[key]
+        tables = condition.tables()
+        fraction = 0.5
+        if len(tables) == 1:
+            (table_name,) = tables
+            sample = self.estimator.sample.catalog.table(table_name)
+            total = sample.row_count
+            if total:
+                fn = condition.compile(sample.schema)
+                hits = sum(1 for row in sample.rows() if fn(row))
+                fraction = max(hits / total, 1.0 / (2 * total))
+        self._selectivity_memo[key] = fraction
+        return fraction
+
+    def join_selectivity(self, left_key: str, right_key: str) -> float:
+        """Classical equi-join selectivity ``1 / max(V(R,a), V(S,b))``."""
+        left_table, __, left_col = left_key.partition(".")
+        right_table, __, right_col = right_key.partition(".")
+        try:
+            left_stats = self.catalog.stats(left_table)
+            right_stats = self.catalog.stats(right_table)
+        except Exception:
+            return DEFAULT_JOIN_SELECTIVITY
+        return left_stats.join_selectivity(left_col, right_stats, right_col)
+
+    # ------------------------------------------------------------------
+    # full (k-independent) cardinalities
+    # ------------------------------------------------------------------
+    def _table_size(self, table: str) -> float:
+        return float(self.catalog.table(table).row_count)
+
+    def _full(self, plan: PlanNode) -> float:
+        if isinstance(plan, (SeqScanPlan, RankScanPlan, ColumnOrderScanPlan)):
+            return self._table_size(plan.table)
+        if isinstance(plan, ScanSelectPlan):
+            bool_condition = self._scan_select_condition(plan)
+            return self._table_size(plan.table) * bool_condition
+        if isinstance(plan, FilterPlan):
+            return self.full_cardinality(plan.children[0]) * self.selection_selectivity(
+                plan.condition
+            )
+        if isinstance(plan, (MuPlan, ProjectPlan, SortPlan)):
+            return self.full_cardinality(plan.children[0])
+        if isinstance(plan, LimitPlan):
+            return min(plan.k, self.full_cardinality(plan.children[0]))
+        if isinstance(plan, (HRJNPlan, SortMergeJoinPlan, HashJoinPlan)):
+            left, right = plan.children
+            sel = self.join_selectivity(plan.left_key, plan.right_key)
+            return self.full_cardinality(left) * self.full_cardinality(right) * sel
+        if isinstance(plan, (NRJNPlan, NestedLoopJoinPlan)):
+            left, right = plan.children
+            sel = DEFAULT_JOIN_SELECTIVITY if getattr(plan, "condition", None) else 1.0
+            return self.full_cardinality(left) * self.full_cardinality(right) * sel
+        if isinstance(plan, RankUnionPlan):
+            left, right = plan.children
+            return self.full_cardinality(left) + self.full_cardinality(right)
+        if isinstance(plan, RankIntersectPlan):
+            left, right = plan.children
+            return min(self.full_cardinality(left), self.full_cardinality(right))
+        if isinstance(plan, RankDifferencePlan):
+            return self.full_cardinality(plan.children[0])
+        raise TypeError(f"unknown plan node: {type(plan).__name__}")
+
+    def _scan_select_condition(self, plan: ScanSelectPlan) -> float:
+        """Selectivity of a scan-select's Boolean key (fraction true)."""
+        sample = self.estimator.sample.catalog.table(plan.table)
+        if not sample.row_count:
+            return 0.5
+        position = sample.schema.index_of(plan.bool_column)
+        hits = sum(1 for row in sample.rows() if row[position])
+        return max(hits / sample.row_count, 1.0 / (2 * sample.row_count))
+
+    # ------------------------------------------------------------------
+    # cost
+    # ------------------------------------------------------------------
+    def _cost(self, plan: PlanNode, drained: bool) -> float:
+        key = (plan.fingerprint(), drained)
+        if key in self._cost_memo:
+            return self._cost_memo[key]
+        value = self._cost_inner(plan, drained)
+        self._cost_memo[key] = value
+        return value
+
+    def _consumed(self, child: PlanNode, drained: bool) -> float:
+        return self.production(child, drained)
+
+    @staticmethod
+    def _order_matches(order: str | None, key: str) -> bool:
+        return order is not None and order == key
+
+    def _predicate_cost(self, name: str) -> float:
+        return self.scoring.predicate(name).cost
+
+    def _cost_inner(self, plan: PlanNode, drained: bool) -> float:
+        child_drained = drained or isinstance(plan, _BLOCKING)
+        children_cost = sum(self._cost(c, child_drained) for c in plan.children)
+
+        if isinstance(plan, (SeqScanPlan, RankScanPlan, ColumnOrderScanPlan, ScanSelectPlan)):
+            return self.production(plan, drained) * SCAN_UNIT
+
+        if isinstance(plan, FilterPlan):
+            n_in = self._consumed(plan.children[0], child_drained)
+            return children_cost + n_in * (plan.condition.cost + MOVE_UNIT)
+
+        if isinstance(plan, ProjectPlan):
+            n_in = self._consumed(plan.children[0], child_drained)
+            return children_cost + n_in * MOVE_UNIT
+
+        if isinstance(plan, MuPlan):
+            n_in = self._consumed(plan.children[0], child_drained)
+            return children_cost + n_in * (
+                self._predicate_cost(plan.predicate_name) + MOVE_UNIT + QUEUE_UNIT
+            )
+
+        if isinstance(plan, SortPlan):
+            n_in = self.full_cardinality(plan.children[0])
+            missing = frozenset(self.scoring.predicate_names) - plan.children[0].rank_predicates
+            predicate_cost = sum(self._predicate_cost(name) for name in missing)
+            sort_cost = n_in * max(1.0, math.log2(n_in or 1)) * COMPARE_UNIT
+            return children_cost + n_in * (predicate_cost + MOVE_UNIT) + sort_cost
+
+        if isinstance(plan, LimitPlan):
+            n_out = self.production(plan, drained)
+            return children_cost + n_out * MOVE_UNIT
+
+        if isinstance(plan, HRJNPlan):
+            left, right = plan.children
+            n_left = self._consumed(left, child_drained)
+            n_right = self._consumed(right, child_drained)
+            sel = self.join_selectivity(plan.left_key, plan.right_key)
+            pairs = sel * n_left * n_right
+            return children_cost + (n_left + n_right) * (MOVE_UNIT + QUEUE_UNIT) + (
+                pairs * JOIN_PAIR_UNIT
+            )
+
+        if isinstance(plan, NRJNPlan):
+            left, right = plan.children
+            n_left = self._consumed(left, child_drained)
+            n_right = self._consumed(right, child_drained)
+            pairs = n_left * n_right
+            return children_cost + (n_left + n_right) * (MOVE_UNIT + QUEUE_UNIT) + (
+                pairs * (JOIN_PAIR_UNIT + plan.condition.cost)
+            )
+
+        if isinstance(plan, SortMergeJoinPlan):
+            left, right = plan.children
+            n_left = self.full_cardinality(left)
+            n_right = self.full_cardinality(right)
+            # Interesting orders: a child already sorted on its join key
+            # needs no sort (System-R's physical-property benefit).
+            sort_cost = 0.0
+            for child, key, n in (
+                (left, plan.left_key, n_left),
+                (right, plan.right_key, n_right),
+            ):
+                if not self._order_matches(child.column_order, key):
+                    sort_cost += n * max(1.0, math.log2(n or 1)) * COMPARE_UNIT
+            pairs = self.full_cardinality(plan)
+            return children_cost + sort_cost + (n_left + n_right) * MOVE_UNIT + (
+                pairs * JOIN_PAIR_UNIT
+            )
+
+        if isinstance(plan, HashJoinPlan):
+            left, right = plan.children
+            n_left = self.full_cardinality(left)
+            n_right = self.full_cardinality(right)
+            pairs = self.full_cardinality(plan)
+            return children_cost + (n_left + n_right) * MOVE_UNIT + pairs * JOIN_PAIR_UNIT
+
+        if isinstance(plan, NestedLoopJoinPlan):
+            left, right = plan.children
+            n_left = self.full_cardinality(left)
+            n_right = self.full_cardinality(right)
+            pairs = n_left * n_right
+            extra = BOOLEAN_EVAL_UNIT if plan.condition else 0.0
+            return children_cost + pairs * (JOIN_PAIR_UNIT + extra)
+
+        if isinstance(plan, (RankUnionPlan, RankIntersectPlan, RankDifferencePlan)):
+            left, right = plan.children
+            n_left = self._consumed(left, child_drained)
+            n_right = self._consumed(right, child_drained)
+            missing = frozenset(self.scoring.predicate_names) - plan.rank_predicates
+            completion = sum(self._predicate_cost(name) for name in missing)
+            return children_cost + (n_left + n_right) * (
+                MOVE_UNIT + QUEUE_UNIT + completion
+            )
+
+        raise TypeError(f"unknown plan node: {type(plan).__name__}")

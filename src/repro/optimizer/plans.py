@@ -1,0 +1,469 @@
+"""Physical plan descriptors.
+
+The optimizer manipulates immutable, buildable *descriptors* rather than
+live operators: a :class:`PlanNode` tree can be turned into a fresh
+:class:`~repro.execution.iterator.PhysicalOperator` tree any number of times
+(once against the real catalog, many times against the sample database for
+cardinality estimation).
+
+Every node carries the optimizer signature ``(SR, SP)`` — covered base
+tables and evaluated ranking predicates (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algebra.predicates import BooleanPredicate
+from ..execution.filter import Filter, Project
+from ..execution.iterator import PhysicalOperator
+from ..execution.joins import HRJN, NRJN, HashJoin, NestedLoopJoin, SortMergeJoin
+from ..execution.rank import Mu
+from ..execution.scans import ColumnOrderScan, RankScan, ScanSelect, SeqScan
+from ..execution.setops import RankDifference, RankIntersect, RankUnion
+from ..execution.sort import Limit, Sort
+
+
+class PlanNode:
+    """Base class of physical plan descriptors."""
+
+    def __init__(self, children: Sequence["PlanNode"] = ()):
+        self.children: tuple[PlanNode, ...] = tuple(children)
+
+    # -- signature -----------------------------------------------------
+    @property
+    def tables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for child in self.children:
+            out |= child.tables
+        return frozenset(out)
+
+    @property
+    def rank_predicates(self) -> frozenset[str]:
+        out: set[str] = set()
+        for child in self.children:
+            out |= child.rank_predicates
+        return frozenset(out)
+
+    @property
+    def signature(self) -> tuple[frozenset[str], frozenset[str]]:
+        return (self.tables, self.rank_predicates)
+
+    #: physical property: column the output is sorted on (interesting order)
+    @property
+    def column_order(self) -> str | None:
+        return None
+
+    @property
+    def is_ranked(self) -> bool:
+        """Whether the output stream satisfies Definition 1's score order."""
+        return True
+
+    # -- construction ----------------------------------------------------
+    def build(self) -> PhysicalOperator:
+        """Instantiate a fresh physical operator tree."""
+        raise NotImplementedError
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.fingerprint()
+
+    def fingerprint(self) -> str:
+        """A canonical string identifying this plan shape (memo key)."""
+        if not self.children:
+            return self.label()
+        inner = ",".join(child.fingerprint() for child in self.children)
+        return f"{self.label()}({inner})"
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.label()]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+# ----------------------------------------------------------------------
+# scans
+# ----------------------------------------------------------------------
+
+class SeqScanPlan(PlanNode):
+    """Sequential heap scan."""
+
+    def __init__(self, table: str):
+        super().__init__()
+        self.table = table
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.table})
+
+    def build(self) -> PhysicalOperator:
+        return SeqScan(self.table)
+
+    def label(self) -> str:
+        return f"seqScan({self.table})"
+
+
+class RankScanPlan(PlanNode):
+    """Rank-index scan in descending predicate-score order."""
+
+    def __init__(self, table: str, predicate_name: str):
+        super().__init__()
+        self.table = table
+        self.predicate_name = predicate_name
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.table})
+
+    @property
+    def rank_predicates(self) -> frozenset[str]:
+        return frozenset({self.predicate_name})
+
+    def build(self) -> PhysicalOperator:
+        return RankScan(self.table, self.predicate_name)
+
+    def label(self) -> str:
+        return f"idxScan_{self.predicate_name}({self.table})"
+
+
+class ColumnOrderScanPlan(PlanNode):
+    """Index scan in column order (interesting order for merge joins)."""
+
+    def __init__(self, table: str, column: str):
+        super().__init__()
+        self.table = table
+        self.column = column
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.table})
+
+    @property
+    def column_order(self) -> str | None:
+        return self.column
+
+    def build(self) -> PhysicalOperator:
+        return ColumnOrderScan(self.table, self.column)
+
+    def label(self) -> str:
+        return f"idxScan_{self.column}({self.table})"
+
+
+class ScanSelectPlan(PlanNode):
+    """Scan-based selection via a multi-key index (§4.2)."""
+
+    def __init__(self, table: str, bool_column: str, predicate_name: str):
+        super().__init__()
+        self.table = table
+        self.bool_column = bool_column
+        self.predicate_name = predicate_name
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.table})
+
+    @property
+    def rank_predicates(self) -> frozenset[str]:
+        return frozenset({self.predicate_name})
+
+    def build(self) -> PhysicalOperator:
+        return ScanSelect(self.table, self.bool_column, self.predicate_name)
+
+    def label(self) -> str:
+        return f"scanSelect_{self.predicate_name}[{self.bool_column}]({self.table})"
+
+
+# ----------------------------------------------------------------------
+# unary operators
+# ----------------------------------------------------------------------
+
+class FilterPlan(PlanNode):
+    """Boolean selection."""
+
+    def __init__(self, child: PlanNode, condition: BooleanPredicate):
+        super().__init__([child])
+        self.condition = condition
+
+    @property
+    def column_order(self) -> str | None:
+        return self.children[0].column_order
+
+    @property
+    def is_ranked(self) -> bool:
+        return self.children[0].is_ranked
+
+    def build(self) -> PhysicalOperator:
+        return Filter(self.children[0].build(), self.condition)
+
+    def label(self) -> str:
+        return f"filter({self.condition.name})"
+
+
+class MuPlan(PlanNode):
+    """The rank operator µ_p."""
+
+    def __init__(self, child: PlanNode, predicate_name: str, threshold_mode: str = "drawn"):
+        super().__init__([child])
+        self.predicate_name = predicate_name
+        self.threshold_mode = threshold_mode
+
+    @property
+    def rank_predicates(self) -> frozenset[str]:
+        return self.children[0].rank_predicates | {self.predicate_name}
+
+    def build(self) -> PhysicalOperator:
+        return Mu(self.children[0].build(), self.predicate_name, self.threshold_mode)
+
+    def label(self) -> str:
+        return f"rank_{self.predicate_name}"
+
+
+class ProjectPlan(PlanNode):
+    """Projection."""
+
+    def __init__(self, child: PlanNode, columns: Sequence[str]):
+        super().__init__([child])
+        self.columns = tuple(columns)
+
+    @property
+    def is_ranked(self) -> bool:
+        return self.children[0].is_ranked
+
+    def build(self) -> PhysicalOperator:
+        return Project(self.children[0].build(), self.columns)
+
+    def label(self) -> str:
+        return f"project({','.join(self.columns)})"
+
+
+class SortPlan(PlanNode):
+    """Blocking materialize-then-sort on the complete scoring function.
+
+    ``all_predicates`` is the scoring function's full predicate set: a sort
+    evaluates every predicate still missing, so its output signature always
+    carries them all.
+    """
+
+    def __init__(self, child: PlanNode, all_predicates: frozenset[str] = frozenset()):
+        super().__init__([child])
+        self.all_predicates = frozenset(all_predicates)
+
+    @property
+    def rank_predicates(self) -> frozenset[str]:
+        return self.all_predicates | self.children[0].rank_predicates
+
+    def build(self) -> PhysicalOperator:
+        return Sort(self.children[0].build())
+
+    def label(self) -> str:
+        return "sort"
+
+
+class LimitPlan(PlanNode):
+    """λ_k."""
+
+    def __init__(self, child: PlanNode, k: int):
+        super().__init__([child])
+        self.k = k
+
+    @property
+    def rank_predicates(self) -> frozenset[str]:
+        return self.children[0].rank_predicates
+
+    @property
+    def is_ranked(self) -> bool:
+        return self.children[0].is_ranked
+
+    def build(self) -> PhysicalOperator:
+        return Limit(self.children[0].build(), self.k)
+
+    def label(self) -> str:
+        return f"limit({self.k})"
+
+
+# ----------------------------------------------------------------------
+# joins
+# ----------------------------------------------------------------------
+
+class HRJNPlan(PlanNode):
+    """Hash rank-join on an equi condition."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_key: str,
+        right_key: str,
+        threshold_mode: str = "drawn",
+    ):
+        super().__init__([left, right])
+        self.left_key = left_key
+        self.right_key = right_key
+        self.threshold_mode = threshold_mode
+
+    def build(self) -> PhysicalOperator:
+        return HRJN(
+            self.children[0].build(),
+            self.children[1].build(),
+            self.left_key,
+            self.right_key,
+            self.threshold_mode,
+        )
+
+    def label(self) -> str:
+        return f"HRJN({self.left_key}={self.right_key})"
+
+
+class NRJNPlan(PlanNode):
+    """Nested-loop rank-join on an arbitrary condition."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        condition: BooleanPredicate,
+        threshold_mode: str = "drawn",
+    ):
+        super().__init__([left, right])
+        self.condition = condition
+        self.threshold_mode = threshold_mode
+
+    def build(self) -> PhysicalOperator:
+        return NRJN(
+            self.children[0].build(),
+            self.children[1].build(),
+            self.condition,
+            self.threshold_mode,
+        )
+
+    def label(self) -> str:
+        return f"NRJN({self.condition.name})"
+
+
+class SortMergeJoinPlan(PlanNode):
+    """Classical sort-merge join (not score-ordered)."""
+
+    def __init__(self, left: PlanNode, right: PlanNode, left_key: str, right_key: str):
+        super().__init__([left, right])
+        self.left_key = left_key
+        self.right_key = right_key
+
+    @property
+    def is_ranked(self) -> bool:
+        # Output is key-ordered; it satisfies Definition 1 only vacuously,
+        # when no predicate has been evaluated below.
+        return not self.rank_predicates
+
+    @property
+    def column_order(self) -> str | None:
+        return self.left_key
+
+    def build(self) -> PhysicalOperator:
+        return SortMergeJoin(
+            self.children[0].build(),
+            self.children[1].build(),
+            self.left_key,
+            self.right_key,
+        )
+
+    def label(self) -> str:
+        return f"sortMergeJoin({self.left_key}={self.right_key})"
+
+
+class HashJoinPlan(PlanNode):
+    """Classical hash join (not score-ordered)."""
+
+    def __init__(self, left: PlanNode, right: PlanNode, left_key: str, right_key: str):
+        super().__init__([left, right])
+        self.left_key = left_key
+        self.right_key = right_key
+
+    @property
+    def is_ranked(self) -> bool:
+        return not self.rank_predicates
+
+    def build(self) -> PhysicalOperator:
+        return HashJoin(
+            self.children[0].build(),
+            self.children[1].build(),
+            self.left_key,
+            self.right_key,
+        )
+
+    def label(self) -> str:
+        return f"hashJoin({self.left_key}={self.right_key})"
+
+
+class NestedLoopJoinPlan(PlanNode):
+    """Classical nested-loop join (not score-ordered)."""
+
+    def __init__(self, left: PlanNode, right: PlanNode, condition: BooleanPredicate | None):
+        super().__init__([left, right])
+        self.condition = condition
+
+    @property
+    def is_ranked(self) -> bool:
+        return not self.rank_predicates
+
+    def build(self) -> PhysicalOperator:
+        return NestedLoopJoin(
+            self.children[0].build(),
+            self.children[1].build(),
+            self.condition,
+        )
+
+    def label(self) -> str:
+        name = self.condition.name if self.condition else "true"
+        return f"nestLoop({name})"
+
+
+# ----------------------------------------------------------------------
+# set operations
+# ----------------------------------------------------------------------
+
+class RankUnionPlan(PlanNode):
+    """Incremental rank-aware union."""
+
+    def build(self) -> PhysicalOperator:
+        return RankUnion(self.children[0].build(), self.children[1].build())
+
+    def label(self) -> str:
+        return "rankUnion"
+
+
+class RankIntersectPlan(PlanNode):
+    """Incremental rank-aware intersection (optionally ∩_r, by identity)."""
+
+    def __init__(self, children, by_identity: bool = False):
+        super().__init__(children)
+        self.by_identity = by_identity
+
+    def build(self) -> PhysicalOperator:
+        return RankIntersect(
+            self.children[0].build(), self.children[1].build(), self.by_identity
+        )
+
+    def label(self) -> str:
+        return "rankIntersect_r" if self.by_identity else "rankIntersect"
+
+
+class RankDifferencePlan(PlanNode):
+    """Incremental rank-aware difference."""
+
+    @property
+    def rank_predicates(self) -> frozenset[str]:
+        return self.children[0].rank_predicates
+
+    def build(self) -> PhysicalOperator:
+        return RankDifference(self.children[0].build(), self.children[1].build())
+
+    def label(self) -> str:
+        return "rankDifference"

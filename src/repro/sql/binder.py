@@ -1,0 +1,226 @@
+"""Binder: semantic analysis from AST to :class:`QuerySpec`.
+
+Resolves table names and aliases against the catalog, qualifies column
+references, classifies WHERE conjuncts into single-table selections and
+join conditions, and turns the ORDER BY expression into a monotone scoring
+function over ranking predicates:
+
+* ``name(args...)`` — a registered ranking predicate (the paper's
+  user-defined functions, e.g. ``cheap(h.price)``);
+* a bare identifier naming a registered predicate;
+* a column or arithmetic expression — bound as an *expression predicate*
+  with zero evaluation cost; its maximal value (needed for upper-bound
+  scores) is taken from table statistics.
+"""
+
+from __future__ import annotations
+
+from ..algebra.expressions import (
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    split_conjuncts,
+)
+from ..algebra.predicates import BooleanPredicate, RankingPredicate, ScoringFunction
+from ..optimizer.query_spec import JoinCondition, QuerySpec
+from ..storage.catalog import Catalog
+from .ast import (
+    BinaryOpNode,
+    BooleanNode,
+    CallNode,
+    ColumnNode,
+    ExpressionNode,
+    LiteralNode,
+    SelectStatement,
+)
+
+#: k used when a query has ORDER BY but no LIMIT (effectively "all results").
+UNBOUNDED_K = 10**9
+
+
+class BindError(Exception):
+    """Raised on semantic errors: unknown tables/columns/predicates."""
+
+
+class Binder:
+    """Binds one SELECT statement against a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    def bind(self, statement: SelectStatement) -> QuerySpec:
+        alias_map = self._bind_tables(statement)
+        tables = list(alias_map.values())
+        selections: list[BooleanPredicate] = []
+        join_conditions: list[JoinCondition] = []
+        if statement.where is not None:
+            expression = self._expression(statement.where, alias_map)
+            for conjunct in split_conjuncts(expression):
+                predicate = BooleanPredicate(conjunct)
+                if len(predicate.tables()) >= 2:
+                    join_conditions.append(JoinCondition.from_predicate(predicate))
+                else:
+                    selections.append(predicate)
+        scoring = self._scoring(statement, alias_map)
+        k = statement.limit if statement.limit is not None else UNBOUNDED_K
+        projection = None
+        if statement.projection is not None:
+            projection = [
+                self._qualify(reference, alias_map) for reference in statement.projection
+            ]
+        return QuerySpec(
+            tables=tables,
+            scoring=scoring,
+            k=k,
+            selections=selections,
+            join_conditions=join_conditions,
+            projection=projection,
+        )
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def _bind_tables(self, statement: SelectStatement) -> dict[str, str]:
+        """Map alias (or name) -> real table name, validating existence."""
+        alias_map: dict[str, str] = {}
+        for ref in statement.tables:
+            if not self.catalog.has_table(ref.name):
+                raise BindError(f"unknown table: {ref.name!r}")
+            key = ref.effective_name
+            if key in alias_map:
+                raise BindError(f"duplicate table or alias: {key!r}")
+            alias_map[key] = ref.name
+        if len(set(alias_map.values())) != len(alias_map):
+            raise BindError("self-joins are not supported (same table twice)")
+        return alias_map
+
+    # ------------------------------------------------------------------
+    # scalar expressions
+    # ------------------------------------------------------------------
+    def _qualify(self, reference: str, alias_map: dict[str, str]) -> str:
+        """Resolve a column reference to its qualified ``table.column``."""
+        if "." in reference:
+            prefix, __, column = reference.partition(".")
+            if prefix not in alias_map:
+                raise BindError(f"unknown table or alias: {prefix!r}")
+            table = alias_map[prefix]
+            qualified = f"{table}.{column}"
+            if not self.catalog.table(table).schema.has_column(qualified):
+                raise BindError(f"unknown column: {reference!r}")
+            return qualified
+        owners = [
+            table
+            for table in alias_map.values()
+            if self.catalog.table(table).schema.has_column(reference)
+        ]
+        if not owners:
+            raise BindError(f"unknown column: {reference!r}")
+        if len(set(owners)) > 1:
+            raise BindError(f"ambiguous column: {reference!r}")
+        return f"{owners[0]}.{reference}"
+
+    def _expression(self, node: ExpressionNode, alias_map: dict[str, str]) -> Expression:
+        if isinstance(node, LiteralNode):
+            return Literal(node.value)
+        if isinstance(node, ColumnNode):
+            return ColumnRef(self._qualify(node.reference(), alias_map))
+        if isinstance(node, BinaryOpNode):
+            left = self._expression(node.left, alias_map)
+            right = self._expression(node.right, alias_map)
+            if node.op in ("+", "-", "*", "/", "%"):
+                return Arithmetic(node.op, left, right)
+            return Comparison(node.op, left, right)
+        if isinstance(node, BooleanNode):
+            return BooleanOp(
+                node.op,
+                [self._expression(operand, alias_map) for operand in node.operands],
+            )
+        if isinstance(node, CallNode):
+            raise BindError(
+                f"function call {node.name!r} is only allowed in ORDER BY "
+                "(as a ranking predicate)"
+            )
+        raise BindError(f"unsupported expression node: {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # scoring function
+    # ------------------------------------------------------------------
+    def _scoring(
+        self, statement: SelectStatement, alias_map: dict[str, str]
+    ) -> ScoringFunction:
+        if not statement.order_by:
+            # Non-ranking query: order by a zero-cost constant.
+            constant = RankingPredicate(
+                "_unordered", [], lambda: 1.0, cost=0.0, p_max=1.0
+            )
+            return ScoringFunction([constant])
+        predicates: list[RankingPredicate] = []
+        weights: list[float] = []
+        for term in statement.order_by:
+            predicates.append(self._order_predicate(term.expression, alias_map))
+            weights.append(term.weight)
+        if all(term.combiner == "product" for term in statement.order_by) and len(
+            statement.order_by
+        ) > 1:
+            return ScoringFunction(predicates, combiner="product")
+        if any(w != 1.0 for w in weights):
+            return ScoringFunction(predicates, combiner="wsum", weights=weights)
+        return ScoringFunction(predicates, combiner="sum")
+
+    def _order_predicate(
+        self, node: ExpressionNode, alias_map: dict[str, str]
+    ) -> RankingPredicate:
+        if isinstance(node, CallNode):
+            if not self.catalog.has_predicate(node.name):
+                raise BindError(f"unknown ranking predicate: {node.name!r}")
+            return self.catalog.predicate(node.name)
+        if isinstance(node, ColumnNode) and node.table is None and self.catalog.has_predicate(
+            node.name
+        ):
+            return self.catalog.predicate(node.name)
+        # Expression predicate (e.g. a raw column, or (200 - h.price) * 0.2).
+        expression = self._expression(node, alias_map)
+        return self._expression_predicate(expression)
+
+    def _expression_predicate(self, expression: Expression) -> RankingPredicate:
+        name = f"expr:{expression!r}"
+        if self.catalog.has_predicate(name):
+            return self.catalog.predicate(name)
+        p_max = self._expression_maximum(expression)
+        predicate = RankingPredicate(
+            name, sorted(expression.references()), expression, cost=0.0, p_max=p_max
+        )
+        self.catalog.register_predicate(predicate)
+        return predicate
+
+    def _expression_maximum(self, expression: Expression) -> float:
+        """Upper bound of an expression predicate, from column statistics.
+
+        Falls back to 1.0 (the paper's normalized-score assumption) when no
+        statistic is available.
+        """
+        references = expression.references()
+        if isinstance(expression, ColumnRef):
+            table, __, column = expression.name.partition(".")
+            stats = self.catalog.stats(table).column(column)
+            if stats and isinstance(stats.max_value, (int, float)):
+                return max(float(stats.max_value), 1e-9)
+            return 1.0
+        # For compound expressions, conservatively sum component maxima.
+        total = 0.0
+        for reference in sorted(references):
+            table, __, column = reference.partition(".")
+            stats = self.catalog.stats(table).column(column)
+            if stats and isinstance(stats.max_value, (int, float)):
+                total += abs(float(stats.max_value))
+            else:
+                total += 1.0
+        return max(total, 1.0)
+
+
+def bind(statement: SelectStatement, catalog: Catalog) -> QuerySpec:
+    """Bind a parsed statement against a catalog."""
+    return Binder(catalog).bind(statement)

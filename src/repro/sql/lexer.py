@@ -1,0 +1,135 @@
+"""Lexer for the RankSQL top-k dialect.
+
+Tokenizes the PostgreSQL-flavoured syntax the paper uses::
+
+    SELECT * FROM Hotel h, Restaurant r
+    WHERE c1 AND h.price + r.price < 100
+    ORDER BY cheap(h.price) + close(h.addr, r.addr)
+    LIMIT 5
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "order",
+    "by",
+    "limit",
+    "and",
+    "or",
+    "not",
+    "as",
+    "asc",
+    "in",
+    "between",
+    "desc",
+    "true",
+    "false",
+}
+
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+
+PUNCTUATION = (",", "(", ")", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word.lower()
+
+
+class LexError(Exception):
+    """Raised on unrecognized input."""
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a query string; always ends with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end < 0:
+                raise LexError(f"unterminated string literal at {i}")
+            tokens.append(Token(TokenType.STRING, text[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # A dot is part of the number only if a digit follows;
+                    # otherwise it's a qualifier dot (e.g. "1.x" is invalid
+                    # anyway, but "t1.a" never reaches here).
+                    if j + 1 < n and text[j + 1].isdigit():
+                        seen_dot = True
+                        j += 1
+                    else:
+                        break
+                elif c in "eE" and not seen_exp and j + 1 < n and (
+                    text[j + 1].isdigit() or text[j + 1] in "+-"
+                ):
+                    seen_exp = True
+                    j += 2
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.lower() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.lower(), i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, i))
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

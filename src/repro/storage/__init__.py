@@ -1,0 +1,27 @@
+"""Storage substrate: schemas, rows, heap tables, indexes, catalog, stats."""
+
+from .catalog import Catalog, CatalogError
+from .index import ColumnIndex, Index, MultiKeyIndex, RankIndex
+from .row import Row
+from .schema import Column, DataType, Schema, SchemaError
+from .stats import ColumnStats, Histogram, TableStats, analyze_table
+from .table import Table
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "ColumnIndex",
+    "ColumnStats",
+    "DataType",
+    "Histogram",
+    "Index",
+    "MultiKeyIndex",
+    "RankIndex",
+    "Row",
+    "Schema",
+    "SchemaError",
+    "Table",
+    "TableStats",
+    "analyze_table",
+]

@@ -1,0 +1,98 @@
+"""System catalog.
+
+The :class:`Catalog` owns every table, its statistics, and the registry of
+*ranking predicates* (user-defined scoring functions with an evaluation
+cost).  Both the binder (name resolution) and the optimizer (statistics,
+access-path discovery) consult it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from .schema import Schema
+from .stats import TableStats, analyze_table
+from .table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..algebra.predicates import RankingPredicate
+
+
+class CatalogError(Exception):
+    """Raised for unknown/duplicate tables or predicates."""
+
+
+class Catalog:
+    """Registry of tables, statistics, and ranking predicates."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._stats: dict[str, TableStats] = {}
+        self._predicates: dict[str, "RankingPredicate"] = {}
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create and register an empty table."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table (and its cached statistics)."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table: {name!r}")
+        del self._tables[name]
+        self._stats.pop(name, None)
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def analyze(self, name: str) -> TableStats:
+        """(Re)compute and cache statistics for a table."""
+        stats = analyze_table(self.table(name))
+        self._stats[name] = stats
+        return stats
+
+    def stats(self, name: str) -> TableStats:
+        """Statistics for a table, computing them lazily on first use."""
+        if name not in self._stats:
+            return self.analyze(name)
+        return self._stats[name]
+
+    # ------------------------------------------------------------------
+    # ranking predicates
+    # ------------------------------------------------------------------
+    def register_predicate(self, predicate: "RankingPredicate") -> None:
+        """Register a ranking predicate by name."""
+        if predicate.name in self._predicates:
+            raise CatalogError(f"ranking predicate {predicate.name!r} already exists")
+        self._predicates[predicate.name] = predicate
+
+    def predicate(self, name: str) -> "RankingPredicate":
+        try:
+            return self._predicates[name]
+        except KeyError:
+            raise CatalogError(f"unknown ranking predicate: {name!r}") from None
+
+    def has_predicate(self, name: str) -> bool:
+        return name in self._predicates
+
+    def predicates(self) -> Iterator["RankingPredicate"]:
+        return iter(self._predicates.values())

@@ -1,0 +1,173 @@
+"""Secondary indexes.
+
+Three index flavours back the physical access paths of the engine:
+
+* :class:`ColumnIndex` — a B+-tree-like ordered index on one column.
+  Supports equality probes and ordered (ascending) scans; the latter is the
+  "interesting order" access path for sort-merge joins.
+* :class:`RankIndex` — an index on a *ranking predicate's* score, scanned in
+  descending score order.  This is the paper's *rank-scan* access path
+  (``idxScan_p``): tuples come out ordered by the predicate value without
+  evaluating the predicate at query time.  PostgreSQL supports such
+  function-based indexes, which the paper leverages.
+* :class:`MultiKeyIndex` — a composite index on a Boolean column plus a
+  ranking predicate, enabling *scan-based selection*: scanning in predicate
+  order while filtering on the Boolean key (§4.2).
+
+All indexes are kept sorted with :mod:`bisect` over immutable key tuples and
+are maintained incrementally on insert via :meth:`Table.attach_index`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterator
+
+from .row import Row
+from .schema import Schema
+
+
+class Index:
+    """Base class for secondary indexes (ordered by an extracted key)."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        # Parallel arrays: sort keys and their rows, kept sorted by key.
+        self._keys: list[Any] = []
+        self._rows: list[Row] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, entries={len(self)})"
+
+    def key_for(self, row: Row) -> Any:
+        """Extract the sort key for a row.  Subclasses must implement."""
+        raise NotImplementedError
+
+    def covers(self, key: str | None) -> bool:
+        """Whether this index serves lookups/scans keyed by ``key``."""
+        raise NotImplementedError
+
+    def insert(self, row: Row) -> None:
+        """Insert a row, maintaining key order (ties broken by row id)."""
+        key = (self.key_for(row), row.rid)
+        pos = bisect.bisect_left(self._keys, key)
+        self._keys.insert(pos, key)
+        self._rows.insert(pos, row)
+
+    def scan_ascending(self) -> Iterator[Row]:
+        """All rows in ascending key order."""
+        return iter(self._rows)
+
+    def scan_descending(self) -> Iterator[Row]:
+        """All rows in descending key order."""
+        return iter(reversed(self._rows))
+
+
+class ColumnIndex(Index):
+    """Ordered index on a single column; supports equality probes."""
+
+    def __init__(self, name: str, schema: Schema, column: str):
+        super().__init__(name, schema)
+        self.column = column
+        self._position = schema.index_of(column)
+
+    def key_for(self, row: Row) -> Any:
+        return row[self._position]
+
+    def covers(self, key: str | None) -> bool:
+        if key is None:
+            return False
+        return key == self.column or self.schema.column(self.column).matches(key)
+
+    def lookup(self, value: Any) -> Iterator[Row]:
+        """All rows whose indexed column equals ``value``."""
+        lo = bisect.bisect_left(self._keys, (value,))
+        for i in range(lo, len(self._keys)):
+            if self._keys[i][0] != value:
+                break
+            yield self._rows[i]
+
+    def range_scan(self, low: Any = None, high: Any = None) -> Iterator[Row]:
+        """Rows with ``low <= key <= high`` (None = unbounded), ascending."""
+        start = 0 if low is None else bisect.bisect_left(self._keys, (low,))
+        for i in range(start, len(self._keys)):
+            if high is not None and self._keys[i][0] > high:
+                break
+            yield self._rows[i]
+
+
+class RankIndex(Index):
+    """Function-based index on a ranking predicate's score (rank-scan).
+
+    ``score_fn`` maps a row's values to a score in ``[0, p_max]``.  Scores are
+    computed once at index build/insert time — a rank-scan therefore does
+    *not* charge predicate evaluations at query time, exactly like the
+    paper's ``idxScan_p`` built on a PostgreSQL expression index.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        predicate_name: str,
+        score_fn: Callable[[Row], float],
+    ):
+        super().__init__(name, schema)
+        self.predicate_name = predicate_name
+        self._score_fn = score_fn
+
+    def key_for(self, row: Row) -> Any:
+        # Negated so an ascending scan gives descending scores with ties
+        # broken by ascending row id — matching Definition 1's tie-breaking.
+        return -self._score_fn(row)
+
+    def covers(self, key: str | None) -> bool:
+        return key == self.predicate_name
+
+    def scan_by_score(self) -> Iterator[tuple[float, Row]]:
+        """Yield ``(score, row)`` pairs in descending score order
+        (ties in ascending row-id order)."""
+        for i in range(len(self._rows)):
+            yield -self._keys[i][0], self._rows[i]
+
+
+class MultiKeyIndex(Index):
+    """Composite index on (Boolean column, ranking predicate score).
+
+    Enables scan-based selection (§4.2): rows satisfying the Boolean key are
+    returned in descending score order, skipping non-qualifying rows without
+    touching the heap.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        bool_column: str,
+        predicate_name: str,
+        score_fn: Callable[[Row], float],
+    ):
+        super().__init__(name, schema)
+        self.bool_column = bool_column
+        self.predicate_name = predicate_name
+        self._bool_position = schema.index_of(bool_column)
+        self._score_fn = score_fn
+
+    def key_for(self, row: Row) -> Any:
+        # Score negated for the same tie-ordering reason as RankIndex.
+        return (bool(row[self._bool_position]), -self._score_fn(row))
+
+    def covers(self, key: str | None) -> bool:
+        return key == self.predicate_name or key == self.bool_column
+
+    def scan_matching(self, bool_value: bool = True) -> Iterator[tuple[float, Row]]:
+        """Yield ``(score, row)`` for rows whose Boolean key equals
+        ``bool_value``, in descending score order (ties by ascending row id)."""
+        for i in range(len(self._rows)):
+            flag, negated_score = self._keys[i][0]
+            if flag == bool_value:
+                yield -negated_score, self._rows[i]

@@ -1,0 +1,63 @@
+"""Row representation.
+
+Rows flowing through the engine are :class:`Row` objects: an immutable value
+tuple plus a *row identity* used for deterministic tie-breaking (the paper's
+"arbitrary deterministic tie-breaker function ... e.g., by unique tuple IDs")
+and for duplicate detection in rank-aware set operations.
+
+Join outputs carry the concatenation of the input value tuples and the
+concatenation of the input identities, so identity remains unique and
+deterministic throughout a plan.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+
+class Row:
+    """An immutable row with a deterministic identity.
+
+    ``rid`` is a tuple of ``(table_name, ordinal)`` pairs — one pair for each
+    base row that contributed to this row (one for base-table rows, several
+    for join outputs).
+    """
+
+    __slots__ = ("values", "rid")
+
+    def __init__(self, values: Sequence[Any], rid: tuple[tuple[str, int], ...]):
+        self.values: tuple[Any, ...] = tuple(values)
+        self.rid: tuple[tuple[str, int], ...] = rid
+
+    @classmethod
+    def base(cls, values: Sequence[Any], table: str, ordinal: int) -> "Row":
+        """Build a base-table row with identity ``(table, ordinal)``."""
+        return cls(values, ((table, ordinal),))
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self.rid == other.rid and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(self.rid)
+
+    def __repr__(self) -> str:
+        return f"Row({list(self.values)!r}, rid={self.rid!r})"
+
+    def concat(self, other: "Row") -> "Row":
+        """Concatenate with ``other`` (join output row)."""
+        return Row(self.values + other.values, self.rid + other.rid)
+
+    def project(self, positions: Sequence[int]) -> "Row":
+        """Keep only the values at ``positions`` (identity is preserved)."""
+        return Row(tuple(self.values[p] for p in positions), self.rid)

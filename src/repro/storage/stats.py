@@ -1,0 +1,133 @@
+"""Table statistics.
+
+The optimizer's cost model needs the classical statistics a System-R style
+optimizer keeps: row counts, per-column distinct-value counts (for join and
+equality selectivity), min/max, null fraction, and equi-width histograms for
+range selectivity.  :func:`analyze_table` computes them in one pass, the way
+``ANALYZE`` does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from .table import Table
+
+DEFAULT_HISTOGRAM_BUCKETS = 16
+
+
+@dataclass
+class Histogram:
+    """Equi-width histogram over a numeric column."""
+
+    low: float
+    high: float
+    counts: list[int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def selectivity_le(self, value: float) -> float:
+        """Estimated fraction of values ``<= value``."""
+        if self.total == 0:
+            return 0.0
+        if value >= self.high:
+            return 1.0
+        if value < self.low:
+            return 0.0
+        width = (self.high - self.low) / len(self.counts) or 1.0
+        bucket = min(int((value - self.low) / width), len(self.counts) - 1)
+        below = sum(self.counts[:bucket])
+        # Linear interpolation within the bucket.
+        frac = ((value - self.low) - bucket * width) / width
+        return (below + frac * self.counts[bucket]) / self.total
+
+    def selectivity_between(self, low: float, high: float) -> float:
+        """Estimated fraction of values in ``[low, high]``."""
+        return max(0.0, self.selectivity_le(high) - self.selectivity_le(low))
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one column."""
+
+    name: str
+    n_distinct: int = 0
+    null_fraction: float = 0.0
+    min_value: Any = None
+    max_value: Any = None
+    histogram: Histogram | None = None
+
+    def equality_selectivity(self) -> float:
+        """Estimated selectivity of ``col = constant`` (uniformity assumption)."""
+        if self.n_distinct <= 0:
+            return 1.0
+        return (1.0 - self.null_fraction) / self.n_distinct
+
+
+@dataclass
+class TableStats:
+    """Statistics for a whole table."""
+
+    table_name: str
+    row_count: int = 0
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name)
+
+    def join_selectivity(self, column: str, other: "TableStats", other_column: str) -> float:
+        """Classic equi-join selectivity: ``1 / max(V(R,a), V(S,b))``."""
+        mine = self.columns.get(column)
+        theirs = other.columns.get(other_column)
+        v1 = mine.n_distinct if mine else 0
+        v2 = theirs.n_distinct if theirs else 0
+        denominator = max(v1, v2)
+        if denominator <= 0:
+            return 1.0
+        return 1.0 / denominator
+
+
+def analyze_table(table: Table, histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS) -> TableStats:
+    """Compute :class:`TableStats` for a table in a single pass."""
+    stats = TableStats(table.name, row_count=table.row_count)
+    n = table.row_count
+    names = table.schema.column_names()
+    values_by_column: list[list[Any]] = [[] for __ in names]
+    nulls = [0] * len(names)
+    for row in table.rows():
+        for i, value in enumerate(row.values):
+            if value is None:
+                nulls[i] += 1
+            else:
+                values_by_column[i].append(value)
+    for i, name in enumerate(names):
+        values = values_by_column[i]
+        col = ColumnStats(name)
+        col.null_fraction = (nulls[i] / n) if n else 0.0
+        col.n_distinct = len(set(values))
+        if values and all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+            col.min_value = min(values)
+            col.max_value = max(values)
+            col.histogram = _build_histogram(values, histogram_buckets)
+        elif values:
+            col.min_value = min(values)
+            col.max_value = max(values)
+        stats.columns[name] = col
+    return stats
+
+
+def _build_histogram(values: list[float], buckets: int) -> Histogram:
+    low = float(min(values))
+    high = float(max(values))
+    if math.isclose(low, high):
+        return Histogram(low, high, [len(values)])
+    counts = [0] * buckets
+    width = (high - low) / buckets
+    for v in values:
+        bucket = min(int((v - low) / width), buckets - 1)
+        counts[bucket] += 1
+    return Histogram(low, high, counts)

@@ -1,0 +1,104 @@
+"""Heap tables.
+
+A :class:`Table` is an append-only heap of rows with a fixed schema.  It is
+the unit the catalog manages and scans read from.  Secondary indexes
+(:mod:`repro.storage.index`) are registered on the table and kept in sync on
+insert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
+
+from .row import Row
+from .schema import Schema, SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .index import Index
+
+
+class Table:
+    """An in-memory heap table with secondary indexes."""
+
+    def __init__(self, name: str, schema: Schema):
+        if not name:
+            raise ValueError("table name must be non-empty")
+        self.name = name
+        self.schema = schema.with_table(name)
+        self._rows: list[Row] = []
+        self._indexes: dict[str, "Index"] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={len(self._rows)})"
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    @property
+    def indexes(self) -> dict[str, "Index"]:
+        """Registered indexes by index name."""
+        return dict(self._indexes)
+
+    def insert(self, values: Sequence[Any]) -> Row:
+        """Validate and append one row; returns the stored :class:`Row`."""
+        self.schema.validate_row(values)
+        row = Row.base(values, self.name, len(self._rows))
+        self._rows.append(row)
+        for index in self._indexes.values():
+            index.insert(row)
+        return row
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def insert_dicts(self, rows: Iterable[dict[str, Any]]) -> int:
+        """Insert rows given as ``{column: value}`` dicts.
+
+        Missing columns become NULL (None); unknown keys raise
+        :class:`SchemaError`.
+        """
+        names = self.schema.column_names()
+        known = set(names)
+        count = 0
+        for mapping in rows:
+            unknown = set(mapping) - known
+            if unknown:
+                raise SchemaError(
+                    f"unknown columns for table {self.name!r}: {sorted(unknown)}"
+                )
+            self.insert([mapping.get(n) for n in names])
+            count += 1
+        return count
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over all rows in heap (insertion) order."""
+        return iter(self._rows)
+
+    def row_at(self, ordinal: int) -> Row:
+        """Fetch the row with the given heap ordinal."""
+        return self._rows[ordinal]
+
+    def attach_index(self, index: "Index") -> None:
+        """Register a secondary index and backfill it with existing rows."""
+        if index.name in self._indexes:
+            raise ValueError(f"index {index.name!r} already exists on {self.name!r}")
+        for row in self._rows:
+            index.insert(row)
+        self._indexes[index.name] = index
+
+    def find_index(self, *, key: str | None = None) -> "Index | None":
+        """Find an index whose leading key matches ``key`` (a column or
+        predicate name), if any."""
+        for index in self._indexes.values():
+            if index.covers(key):
+                return index
+        return None

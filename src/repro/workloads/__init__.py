@@ -1,0 +1,29 @@
+"""Synthetic workloads: the §6 data generator and the Figure-11 plans."""
+
+from .distributions import DISTRIBUTIONS, cosine, normal, sampler, uniform
+from .fig11 import ALL_PLANS, plan1, plan2, plan3, plan4
+from .generator import (
+    DEFAULT_DISTRIBUTIONS,
+    PREDICATE_LAYOUT,
+    Workload,
+    WorkloadConfig,
+    build_workload,
+)
+
+__all__ = [
+    "ALL_PLANS",
+    "DEFAULT_DISTRIBUTIONS",
+    "DISTRIBUTIONS",
+    "PREDICATE_LAYOUT",
+    "Workload",
+    "WorkloadConfig",
+    "build_workload",
+    "cosine",
+    "normal",
+    "plan1",
+    "plan2",
+    "plan3",
+    "plan4",
+    "sampler",
+    "uniform",
+]

@@ -1,0 +1,65 @@
+"""Score distributions for the synthetic workload (§6).
+
+The paper draws ranking-predicate scores in ``[0, 1]`` independently from
+uniform, normal (mean 0.5, variance 0.16) and cosine distributions.  All
+samplers take a seeded :class:`random.Random` for determinism and clamp to
+``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+Sampler = Callable[[random.Random], float]
+
+
+def uniform(rng: random.Random) -> float:
+    """U(0, 1)."""
+    return rng.random()
+
+
+def normal(rng: random.Random) -> float:
+    """Normal with mean 0.5 and variance 0.16 (σ = 0.4), clamped to [0, 1]."""
+    value = rng.gauss(0.5, 0.4)
+    return min(1.0, max(0.0, value))
+
+
+def cosine(rng: random.Random) -> float:
+    """Raised-cosine distribution on [0, 1] via inverse-CDF sampling.
+
+    Density ``f(x) = 1 + cos(2πx − π)`` — mass concentrated around 0.5,
+    vanishing at the endpoints; CDF ``F(x) = x + sin(2πx − π)/(2π)``,
+    inverted numerically (bisection; the CDF is strictly increasing).
+    """
+    u = rng.random()
+    lo, hi = 0.0, 1.0
+    for __ in range(40):
+        mid = (lo + hi) / 2
+        if _cosine_cdf(mid) < u:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def _cosine_cdf(x: float) -> float:
+    return x + math.sin(2 * math.pi * x - math.pi) / (2 * math.pi)
+
+
+DISTRIBUTIONS: dict[str, Sampler] = {
+    "uniform": uniform,
+    "normal": normal,
+    "cosine": cosine,
+}
+
+
+def sampler(name: str) -> Sampler:
+    """Look up a distribution sampler by name."""
+    try:
+        return DISTRIBUTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {name!r}; choose from {sorted(DISTRIBUTIONS)}"
+        ) from None

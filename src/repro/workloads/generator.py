@@ -1,0 +1,167 @@
+"""The §6 synthetic workload.
+
+Three tables ``A``, ``B``, ``C`` of equal size and schema
+``(jc1, jc2, b, p1, p2)``:
+
+* ``jc1``/``jc2`` — join columns; the number of distinct values is
+  ``round(1 / join_selectivity)``, giving the paper's join selectivities
+  ``j ∈ [1e-5, 1e-3]``;
+* ``b`` — Boolean attribute with selectivity 0.4 (used by A and B);
+* ``p1``/``p2`` — inputs of the ranking predicates.
+
+Five ranking predicates of equal, configurable cost: ``f1(A.p1)``,
+``f2(A.p2)``, ``f3(B.p1)``, ``f4(B.p2)``, ``f5(C.p1)``; scores drawn
+independently from uniform / normal / cosine distributions.  The query is
+the paper's Q::
+
+    SELECT * FROM A, B, C
+    WHERE A.jc1 = B.jc1 AND B.jc2 = C.jc2 AND A.b AND B.b
+    ORDER BY f1(A.p1)+f2(A.p2)+f3(B.p1)+f4(B.p2)+f5(C.p1)
+    LIMIT k
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..algebra.expressions import col
+from ..algebra.predicates import BooleanPredicate, RankingPredicate, ScoringFunction
+from ..engine.database import Database
+from ..optimizer.query_spec import JoinCondition, QuerySpec
+from ..storage.schema import DataType
+from .distributions import sampler
+
+#: distribution per predicate, cycling through the three families
+DEFAULT_DISTRIBUTIONS = {
+    "f1": "uniform",
+    "f2": "normal",
+    "f3": "cosine",
+    "f4": "uniform",
+    "f5": "normal",
+}
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of the §6 workload (paper defaults, scaled by callers)."""
+
+    table_size: int = 100_000
+    join_selectivity: float = 1e-4
+    bool_selectivity: float = 0.4
+    predicate_cost: float = 1.0
+    #: busy-work iterations per predicate evaluation and unit of cost —
+    #: nonzero makes predicate cost visible in wall time, not only in the
+    #: simulated-cost metrics (used for wall-clock-faithful runs)
+    spin_loops_per_cost: int = 0
+    k: int = 10
+    seed: int = 42
+    distributions: dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_DISTRIBUTIONS)
+    )
+
+    @property
+    def distinct_join_values(self) -> int:
+        return max(1, round(1.0 / self.join_selectivity))
+
+
+@dataclass
+class Workload:
+    """A generated workload: database, predicates, scoring, and the query."""
+
+    config: WorkloadConfig
+    database: Database
+    predicates: dict[str, RankingPredicate]
+    scoring: ScoringFunction
+    spec: QuerySpec
+
+    @property
+    def catalog(self):
+        return self.database.catalog
+
+
+#: predicate name -> (table, score column)
+PREDICATE_LAYOUT = {
+    "f1": ("A", "A.p1"),
+    "f2": ("A", "A.p2"),
+    "f3": ("B", "B.p1"),
+    "f4": ("B", "B.p2"),
+    "f5": ("C", "C.p1"),
+}
+
+
+def build_workload(config: WorkloadConfig | None = None) -> Workload:
+    """Generate the §6 workload deterministically from a config."""
+    config = config or WorkloadConfig()
+    rng = random.Random(config.seed)
+    db = Database()
+    columns = [
+        ("jc1", DataType.INT),
+        ("jc2", DataType.INT),
+        ("b", DataType.BOOL),
+        ("p1", DataType.FLOAT),
+        ("p2", DataType.FLOAT),
+    ]
+    distinct = config.distinct_join_values
+    samplers = {
+        name: sampler(config.distributions.get(name, "uniform"))
+        for name in PREDICATE_LAYOUT
+    }
+    for table_name in ("A", "B", "C"):
+        table = db.create_table(table_name, columns)
+        score_names = [
+            name for name, (t, __) in PREDICATE_LAYOUT.items() if t == table_name
+        ]
+        rows = []
+        for __ in range(config.table_size):
+            jc1 = rng.randrange(distinct)
+            jc2 = rng.randrange(distinct)
+            flag = rng.random() < config.bool_selectivity
+            scores = {name: samplers[name](rng) for name in score_names}
+            p1 = scores.get(score_names[0], rng.random()) if score_names else rng.random()
+            p2 = (
+                scores.get(score_names[1], rng.random())
+                if len(score_names) > 1
+                else rng.random()
+            )
+            rows.append((jc1, jc2, flag, p1, p2))
+        table.insert_many(rows)
+
+    predicates: dict[str, RankingPredicate] = {}
+    spin = round(config.spin_loops_per_cost * config.predicate_cost)
+    for name, (__, column) in PREDICATE_LAYOUT.items():
+        predicates[name] = db.register_predicate(
+            name, [column], lambda v: v, cost=config.predicate_cost, spin_loops=spin
+        )
+    scoring = ScoringFunction(
+        [predicates[n] for n in ("f1", "f2", "f3", "f4", "f5")], combiner="sum"
+    )
+
+    # Access paths: rank indexes for every predicate (plan 2), column
+    # indexes on the join columns (plan 1's interesting orders).
+    for name, (table_name, __) in PREDICATE_LAYOUT.items():
+        db.create_rank_index(table_name, name)
+    db.create_column_index("A", "jc1")
+    db.create_column_index("B", "jc1")
+    db.create_column_index("B", "jc2")
+    db.create_column_index("C", "jc2")
+    db.analyze()
+
+    spec = QuerySpec(
+        tables=["A", "B", "C"],
+        scoring=scoring,
+        k=config.k,
+        selections=[
+            BooleanPredicate(col("A.b"), "A.b"),
+            BooleanPredicate(col("B.b"), "B.b"),
+        ],
+        join_conditions=[
+            JoinCondition.from_predicate(
+                BooleanPredicate(col("A.jc1").eq(col("B.jc1")), "A.jc1=B.jc1")
+            ),
+            JoinCondition.from_predicate(
+                BooleanPredicate(col("B.jc2").eq(col("C.jc2")), "B.jc2=C.jc2")
+            ),
+        ],
+    )
+    return Workload(config, db, predicates, scoring, spec)

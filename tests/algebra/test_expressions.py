@@ -1,0 +1,156 @@
+"""Unit tests for scalar expressions."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    FunctionCall,
+    Literal,
+    col,
+    conjunction,
+    lit,
+    split_conjuncts,
+)
+from repro.storage import DataType, Row, Schema
+
+
+SCHEMA = Schema.of(("a", DataType.INT), ("b", DataType.FLOAT), table="t")
+
+
+def row(a, b):
+    return Row.base([a, b], "t", 0)
+
+
+class TestBasics:
+    def test_column_ref(self):
+        fn = col("t.a").compile(SCHEMA)
+        assert fn(row(7, 0.0)) == 7
+
+    def test_bare_column_ref(self):
+        fn = col("b").compile(SCHEMA)
+        assert fn(row(0, 2.5)) == 2.5
+
+    def test_literal(self):
+        fn = lit(42).compile(SCHEMA)
+        assert fn(row(0, 0.0)) == 42
+
+    def test_references(self):
+        expression = (col("t.a") + col("t.b")) < lit(10)
+        assert expression.references() == {"t.a", "t.b"}
+
+    def test_tables(self):
+        expression = col("t.a").eq(col("u.x"))
+        assert expression.tables() == {"t", "u"}
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("+", 7.5), ("-", 2.5), ("*", 12.5), ("/", 2.0)],
+    )
+    def test_operators(self, op, expected):
+        fn = Arithmetic(op, col("a"), col("b")).compile(SCHEMA)
+        assert fn(row(5, 2.5)) == expected
+
+    def test_modulo(self):
+        fn = Arithmetic("%", col("a"), lit(3)).compile(SCHEMA)
+        assert fn(row(7, 0.0)) == 1
+
+    def test_null_propagation(self):
+        fn = (col("a") + col("b")).compile(SCHEMA)
+        assert fn(row(None, 1.0)) is None
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Arithmetic("**", col("a"), col("b"))
+
+    def test_operator_overloading_builds_tree(self):
+        expression = (col("a") + 1) * 2
+        assert isinstance(expression, Arithmetic)
+        fn = expression.compile(SCHEMA)
+        assert fn(row(3, 0.0)) == 8
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,a,expected",
+        [
+            ("=", 5, True),
+            ("!=", 5, False),
+            ("<", 4, True),
+            ("<=", 5, True),
+            (">", 6, True),
+            (">=", 5, True),
+        ],
+    )
+    def test_operators(self, op, a, expected):
+        fn = Comparison(op, col("a"), lit(5)).compile(SCHEMA)
+        assert fn(row(a, 0.0)) is expected
+
+    def test_null_compares_false(self):
+        fn = (col("a") < lit(5)).compile(SCHEMA)
+        assert fn(row(None, 0.0)) is False
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Comparison("~", col("a"), lit(1))
+
+
+class TestBooleanOp:
+    def test_and(self):
+        fn = (col("a") > 1).and_(col("b") > 1).compile(SCHEMA)
+        assert fn(row(2, 2.0)) is True
+        assert fn(row(2, 0.5)) is False
+
+    def test_or(self):
+        fn = (col("a") > 1).or_(col("b") > 1).compile(SCHEMA)
+        assert fn(row(0, 2.0)) is True
+        assert fn(row(0, 0.0)) is False
+
+    def test_not(self):
+        fn = (col("a") > 1).not_().compile(SCHEMA)
+        assert fn(row(0, 0.0)) is True
+
+    def test_not_arity(self):
+        with pytest.raises(ValueError):
+            BooleanOp("not", [lit(True), lit(False)])
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(ValueError):
+            BooleanOp("and", [])
+
+
+class TestFunctionCall:
+    def test_call(self):
+        fn = FunctionCall("add", lambda x, y: x + y, [col("a"), lit(1)]).compile(SCHEMA)
+        assert fn(row(4, 0.0)) == 5
+
+    def test_repr(self):
+        call = FunctionCall("f", lambda x: x, [col("a")])
+        assert "f(" in repr(call)
+
+
+class TestConjunctions:
+    def test_conjunction_single_passthrough(self):
+        term = col("a") > 1
+        assert conjunction([term]) is term
+
+    def test_conjunction_empty_rejected(self):
+        with pytest.raises(ValueError):
+            conjunction([])
+
+    def test_split_flattens_nested_ands(self):
+        e1, e2, e3 = col("a") > 1, col("b") > 2, col("a") < 9
+        nested = BooleanOp("and", [e1, BooleanOp("and", [e2, e3])])
+        assert split_conjuncts(nested) == [e1, e2, e3]
+
+    def test_split_leaves_or_alone(self):
+        expression = (col("a") > 1).or_(col("b") > 2)
+        assert split_conjuncts(expression) == [expression]
+
+    def test_roundtrip(self):
+        terms = [col("a") > 0, col("b") > 0, col("a") < 5]
+        assert split_conjuncts(conjunction(terms)) == terms

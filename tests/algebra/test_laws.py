@@ -1,0 +1,252 @@
+"""Tests for the algebraic laws (Figure 5, Propositions 1–6).
+
+Each law is checked two ways: the rewrite fires structurally, and the
+rewritten plan is *rank-relationally equivalent* to the original (same
+membership, same score-order) on the paper's data — verified by the
+reference evaluator.
+"""
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.laws import (
+    associate_left,
+    associate_right,
+    commute_binary,
+    equivalence_closure,
+    merge_ranks_to_sort,
+    multiple_scan,
+    plans_equivalent,
+    push_rank_into_join,
+    push_rank_into_setop,
+    pull_rank_above,
+    split_sort,
+    swap_rank_rank,
+    swap_rank_select,
+    swap_select_rank,
+    transformations,
+)
+from repro.algebra.operators import (
+    LogicalDifference,
+    LogicalIntersect,
+    LogicalJoin,
+    LogicalRank,
+    LogicalScan,
+    LogicalSelect,
+    LogicalSort,
+    LogicalUnion,
+)
+from repro.algebra.predicates import BooleanPredicate
+
+
+def scan(paper_db, name):
+    return LogicalScan(name, paper_db.catalog.table(name).schema)
+
+
+def equivalent(paper_db, left, right, scoring=None):
+    return plans_equivalent(
+        left, right, paper_db.catalog, scoring or paper_db.F1
+    )
+
+
+class TestProposition1Splitting:
+    def test_split_sort_into_mu_chain(self, paper_db):
+        sorted_plan = LogicalSort(scan(paper_db, "R"), paper_db.F1)
+        rewritten = split_sort(sorted_plan, paper_db.F1)
+        assert isinstance(rewritten, LogicalRank)
+        assert rewritten.evaluated_predicates() == frozenset({"p1", "p2"})
+        assert equivalent(paper_db, sorted_plan, rewritten)
+
+    def test_split_skips_already_evaluated(self, paper_db):
+        inner = LogicalRank(scan(paper_db, "R"), "p1")
+        sorted_plan = LogicalSort(inner, paper_db.F1)
+        rewritten = split_sort(sorted_plan, paper_db.F1)
+        # Only p2 remains to be split in.
+        assert isinstance(rewritten, LogicalRank)
+        assert rewritten.predicate_name == "p2"
+        assert rewritten.child is inner
+
+    def test_split_not_applicable_elsewhere(self, paper_db):
+        assert split_sort(scan(paper_db, "R"), paper_db.F1) is None
+
+    def test_merge_ranks_back_to_sort(self, paper_db):
+        chain = LogicalRank(LogicalRank(scan(paper_db, "R"), "p2"), "p1")
+        merged = merge_ranks_to_sort(chain, paper_db.F1)
+        assert isinstance(merged, LogicalSort)
+        assert equivalent(paper_db, chain, merged)
+
+    def test_merge_requires_complete_chain(self, paper_db):
+        partial = LogicalRank(scan(paper_db, "R"), "p1")
+        assert merge_ranks_to_sort(partial, paper_db.F1) is None
+
+
+class TestProposition2Commutativity:
+    def test_union_commutes(self, paper_db):
+        left = LogicalRank(scan(paper_db, "R"), "p1")
+        right = LogicalRank(scan(paper_db, "R2"), "p2")
+        plan = LogicalUnion(left, right)
+        swapped = commute_binary(plan, paper_db.F1)
+        assert isinstance(swapped, LogicalUnion)
+        assert equivalent(paper_db, plan, swapped)
+
+    def test_intersection_commutes(self, paper_db):
+        plan = LogicalIntersect(
+            LogicalRank(scan(paper_db, "R"), "p1"),
+            LogicalRank(scan(paper_db, "R2"), "p2"),
+        )
+        swapped = commute_binary(plan, paper_db.F1)
+        assert swapped is not None
+        assert equivalent(paper_db, plan, swapped)
+
+    def test_join_not_structurally_commuted(self, paper_db):
+        condition = BooleanPredicate(col("R.a").eq(col("S.a")), "j")
+        plan = LogicalJoin(scan(paper_db, "R"), scan(paper_db, "S"), condition)
+        assert commute_binary(plan, paper_db.F3) is None
+
+
+class TestProposition3Associativity:
+    def make_three_way(self, paper_db, op):
+        r = LogicalRank(scan(paper_db, "R"), "p1")
+        r2 = LogicalRank(scan(paper_db, "R2"), "p2")
+        r3 = scan(paper_db, "R")
+        return op(r, op(r2, r3))
+
+    def test_union_associates_left(self, paper_db):
+        plan = self.make_three_way(paper_db, LogicalUnion)
+        rewritten = associate_left(plan, paper_db.F1)
+        assert rewritten is not None
+        assert equivalent(paper_db, plan, rewritten)
+
+    def test_union_associates_right_roundtrip(self, paper_db):
+        plan = self.make_three_way(paper_db, LogicalUnion)
+        left_assoc = associate_left(plan, paper_db.F1)
+        round_trip = associate_right(left_assoc, paper_db.F1)
+        assert round_trip is not None
+        assert equivalent(paper_db, plan, round_trip)
+
+    def test_intersection_associates(self, paper_db):
+        plan = self.make_three_way(paper_db, LogicalIntersect)
+        rewritten = associate_left(plan, paper_db.F1)
+        assert rewritten is not None
+        assert equivalent(paper_db, plan, rewritten)
+
+
+class TestProposition4CommutingMu:
+    def test_mu_mu_swap(self, paper_db):
+        plan = LogicalRank(LogicalRank(scan(paper_db, "S"), "p4"), "p3")
+        swapped = swap_rank_rank(plan, paper_db.F2)
+        assert swapped is not None
+        assert swapped.predicate_name == "p4"
+        assert equivalent(paper_db, plan, swapped, paper_db.F2)
+
+    def test_select_mu_swap(self, paper_db):
+        condition = BooleanPredicate(col("R.a") > 1, "a>1")
+        plan = LogicalSelect(LogicalRank(scan(paper_db, "R"), "p1"), condition)
+        swapped = swap_rank_select(plan, paper_db.F1)
+        assert isinstance(swapped, LogicalRank)
+        assert equivalent(paper_db, plan, swapped)
+
+    def test_mu_select_swap_inverse(self, paper_db):
+        condition = BooleanPredicate(col("R.a") > 1, "a>1")
+        plan = LogicalRank(LogicalSelect(scan(paper_db, "R"), condition), "p1")
+        swapped = swap_select_rank(plan, paper_db.F1)
+        assert isinstance(swapped, LogicalSelect)
+        assert equivalent(paper_db, plan, swapped)
+
+
+class TestProposition5PushingMu:
+    def test_push_mu_into_join_left_side(self, paper_db):
+        # Qualified predicates: q1 lives on R only, q3 on S only, so µ_q1
+        # pushes to the join's left operand.
+        from tests.conftest import RR_SCORES, S_SCORES
+        from repro.algebra.predicates import RankingPredicate, ScoringFunction
+
+        q1 = RankingPredicate("q1", ["R.a", "R.b"], lambda a, b: RR_SCORES[(a, b)][0])
+        q3 = RankingPredicate("q3", ["S.c", "S.a"], lambda c, a: S_SCORES[(a, c)][0])
+        scoring = ScoringFunction([q1, q3])
+        condition = BooleanPredicate(col("R.a").eq(col("S.a")), "j")
+        join = LogicalJoin(scan(paper_db, "R"), scan(paper_db, "S"), condition)
+        plan = LogicalRank(join, "q1")
+        rewritten = push_rank_into_join(plan, scoring)
+        assert rewritten is not None
+        assert isinstance(rewritten, LogicalJoin)
+        assert isinstance(rewritten.left, LogicalRank)
+        assert equivalent(paper_db, plan, rewritten, scoring)
+
+    def test_push_mu_into_union_both_sides(self, paper_db):
+        union = LogicalUnion(scan(paper_db, "R"), scan(paper_db, "R2"))
+        plan = LogicalRank(union, "p1")
+        rewritten = push_rank_into_setop(plan, paper_db.F1)
+        assert isinstance(rewritten, LogicalUnion)
+        assert isinstance(rewritten.left, LogicalRank)
+        assert isinstance(rewritten.right, LogicalRank)
+        assert equivalent(paper_db, plan, rewritten)
+
+    def test_push_mu_into_intersection(self, paper_db):
+        plan = LogicalRank(
+            LogicalIntersect(scan(paper_db, "R"), scan(paper_db, "R2")), "p2"
+        )
+        rewritten = push_rank_into_setop(plan, paper_db.F1)
+        assert rewritten is not None
+        assert equivalent(paper_db, plan, rewritten)
+
+    def test_push_mu_into_difference_outer_only(self, paper_db):
+        plan = LogicalRank(
+            LogicalDifference(scan(paper_db, "R"), scan(paper_db, "R2")), "p1"
+        )
+        rewritten = push_rank_into_setop(plan, paper_db.F1)
+        assert isinstance(rewritten, LogicalDifference)
+        assert isinstance(rewritten.left, LogicalRank)
+        assert not isinstance(rewritten.right, LogicalRank)
+        assert equivalent(paper_db, plan, rewritten)
+
+    def test_pull_mu_above_union(self, paper_db):
+        plan = LogicalUnion(
+            LogicalRank(scan(paper_db, "R"), "p1"),
+            LogicalRank(scan(paper_db, "R2"), "p1"),
+        )
+        pulled = pull_rank_above(plan, paper_db.F1)
+        assert isinstance(pulled, LogicalRank)
+        assert equivalent(paper_db, plan, pulled)
+
+
+class TestProposition6MultipleScan:
+    def test_multiple_scan_rewrite(self, paper_db):
+        plan = LogicalRank(LogicalRank(scan(paper_db, "R"), "p2"), "p1")
+        rewritten = multiple_scan(plan, paper_db.F1)
+        assert isinstance(rewritten, LogicalIntersect)
+        assert equivalent(paper_db, plan, rewritten)
+
+    def test_requires_base_scan(self, paper_db):
+        condition = BooleanPredicate(col("R.a") > 0, "c")
+        plan = LogicalRank(
+            LogicalRank(LogicalSelect(scan(paper_db, "R"), condition), "p2"), "p1"
+        )
+        assert multiple_scan(plan, paper_db.F1) is None
+
+
+class TestClosure:
+    def test_transformations_yield_equivalent_plans(self, paper_db):
+        plan = LogicalSort(scan(paper_db, "R"), paper_db.F1)
+        neighbours = list(transformations(plan, paper_db.F1))
+        assert neighbours
+        for neighbour in neighbours:
+            assert equivalent(paper_db, plan, neighbour)
+
+    def test_closure_bounded_and_equivalent(self, paper_db):
+        plan = LogicalSort(scan(paper_db, "S"), paper_db.F2)
+        closure = equivalence_closure(plan, paper_db.F2, max_plans=40)
+        assert 1 < len(closure) <= 40
+        for candidate in closure:
+            assert equivalent(paper_db, plan, candidate, paper_db.F2)
+
+    def test_closure_contains_full_mu_chain(self, paper_db):
+        plan = LogicalSort(scan(paper_db, "R"), paper_db.F1)
+        closure = equivalence_closure(plan, paper_db.F1, max_plans=60)
+        chains = [
+            p
+            for p in closure
+            if isinstance(p, LogicalRank)
+            and p.evaluated_predicates() == frozenset({"p1", "p2"})
+        ]
+        assert chains, "splitting law should produce a µ-chain plan"

@@ -1,0 +1,100 @@
+"""Unit tests for logical plan nodes and the reference evaluator details
+not covered by the paper-example tests."""
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.operators import (
+    LogicalJoin,
+    LogicalLimit,
+    LogicalProject,
+    LogicalRank,
+    LogicalRankScan,
+    LogicalScan,
+    LogicalSelect,
+    LogicalSort,
+    LogicalUnion,
+    evaluate_logical,
+    explain,
+)
+from repro.algebra.predicates import BooleanPredicate
+
+
+def scan(paper_db, name):
+    return LogicalScan(name, paper_db.catalog.table(name).schema)
+
+
+class TestNodeMechanics:
+    def test_with_children_rebuilds(self, paper_db):
+        plan = LogicalRank(scan(paper_db, "R"), "p1")
+        replacement = scan(paper_db, "R2")
+        rebuilt = plan.with_children([replacement])
+        assert rebuilt.child is replacement
+        assert rebuilt.predicate_name == "p1"
+
+    def test_scan_with_children_rejects(self, paper_db):
+        with pytest.raises(ValueError):
+            scan(paper_db, "R").with_children([scan(paper_db, "R2")])
+
+    def test_walk(self, paper_db):
+        plan = LogicalLimit(LogicalRank(scan(paper_db, "R"), "p1"), 2)
+        kinds = [type(node).__name__ for node in plan.walk()]
+        assert kinds == ["LogicalLimit", "LogicalRank", "LogicalScan"]
+
+    def test_explain(self, paper_db):
+        plan = LogicalLimit(LogicalRank(scan(paper_db, "R"), "p1"), 2)
+        text = explain(plan)
+        assert "Limit(2)" in text
+        assert "Rank(mu_p1)" in text
+
+    def test_union_arity_mismatch_rejected(self, paper_db):
+        narrow = LogicalProject(scan(paper_db, "R"), ["R.a"])
+        with pytest.raises(ValueError):
+            LogicalUnion(narrow, scan(paper_db, "R2"))
+
+    def test_limit_negative_rejected(self, paper_db):
+        with pytest.raises(ValueError):
+            LogicalLimit(scan(paper_db, "R"), -1)
+
+
+class TestReferenceEvaluator:
+    def test_rank_scan_node(self, paper_db):
+        plan = LogicalRankScan("S", paper_db.S.schema, "p3")
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F2)
+        assert result.evaluated_predicates() == {"p3"}
+        bounds = result.upper_bounds()
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_project(self, paper_db):
+        plan = LogicalProject(LogicalRank(scan(paper_db, "R"), "p1"), ["R.b"])
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F1)
+        assert [s.row.values for s in result] == [(2,), (3,), (4,)]
+
+    def test_sort_completes_all_predicates(self, paper_db):
+        plan = LogicalSort(scan(paper_db, "R"), paper_db.F1)
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F1)
+        assert result.evaluated_predicates() == {"p1", "p2"}
+
+    def test_limit(self, paper_db):
+        plan = LogicalLimit(LogicalRank(scan(paper_db, "R"), "p1"), 2)
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F1)
+        assert len(result) == 2
+        assert [s.row.values for s in result] == [(1, 2), (2, 3)]
+
+    def test_cartesian_product_via_none_condition(self, paper_db):
+        plan = LogicalJoin(scan(paper_db, "R"), scan(paper_db, "S"), None)
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F3)
+        assert len(result) == 18
+
+    def test_select_after_rank_keeps_order(self, paper_db):
+        condition = BooleanPredicate(col("R.b") > 2, "b>2")
+        plan = LogicalSelect(LogicalRank(scan(paper_db, "R"), "p1"), condition)
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F1)
+        assert [s.row.values for s in result] == [(2, 3), (3, 4)]
+
+    def test_unknown_node_type_raises(self, paper_db):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError):
+            evaluate_logical(Weird(), paper_db.catalog, paper_db.F1)

@@ -1,0 +1,179 @@
+"""Exact reproduction of the paper's running example (Figures 2 and 4).
+
+Every table in Figure 2(d)-(f) and every operator result in Figure 4 is
+checked value-for-value: output membership, output order, and the
+maximal-possible scores ``F_P``.
+"""
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.operators import (
+    LogicalDifference,
+    LogicalIntersect,
+    LogicalJoin,
+    LogicalRank,
+    LogicalScan,
+    LogicalSelect,
+    LogicalUnion,
+    evaluate_logical,
+)
+from repro.algebra.predicates import BooleanPredicate
+
+
+def scan(paper_db, name):
+    table = paper_db.catalog.table(name)
+    return LogicalScan(name, table.schema)
+
+
+def rows_and_scores(result):
+    return [
+        (scored.row.values, round(result.scoring.upper_bound(scored.scores), 6))
+        for scored in result
+    ]
+
+
+class TestFigure2RankRelations:
+    """Figures 2(d)–(f): base relations ranked by one evaluated predicate."""
+
+    def test_r_p1(self, paper_db):
+        plan = LogicalRank(scan(paper_db, "R"), "p1")
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F1)
+        assert rows_and_scores(result) == [
+            ((1, 2), 1.9),  # r1
+            ((2, 3), 1.8),  # r2
+            ((3, 4), 1.7),  # r3
+        ]
+
+    def test_r_prime_p2(self, paper_db):
+        plan = LogicalRank(scan(paper_db, "R2"), "p2")
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F1)
+        assert rows_and_scores(result) == [
+            ((3, 4), 1.7),   # r'2
+            ((1, 2), 1.65),  # r'1
+            ((5, 1), 1.6),   # r'3
+        ]
+
+    def test_s_p3(self, paper_db):
+        plan = LogicalRank(scan(paper_db, "S"), "p3")
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F2)
+        assert rows_and_scores(result) == [
+            ((1, 1), 2.9),   # s2
+            ((4, 3), 2.7),   # s1
+            ((1, 2), 2.5),   # s3
+            ((4, 2), 2.4),   # s4
+            ((5, 1), 2.3),   # s5
+            ((2, 3), 2.25),  # s6
+        ]
+
+
+class TestFigure4Operators:
+    """Figure 4: results of the extended operators on the running example."""
+
+    def test_4a_mu_p2_on_r_p1(self, paper_db):
+        """µ_p2(R_{p1}) = R_{p1,p2} — the complete ranking under F1."""
+        plan = LogicalRank(LogicalRank(scan(paper_db, "R"), "p1"), "p2")
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F1)
+        assert rows_and_scores(result) == [
+            ((1, 2), 1.55),  # r1
+            ((3, 4), 1.4),   # r3
+            ((2, 3), 1.3),   # r2
+        ]
+
+    def test_4b_select_a_gt_1(self, paper_db):
+        """σ_{a>1}(R_{p1}): membership filtered, order by p1 preserved."""
+        condition = BooleanPredicate(col("R.a") > 1, "a>1")
+        plan = LogicalSelect(LogicalRank(scan(paper_db, "R"), "p1"), condition)
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F1)
+        assert rows_and_scores(result) == [
+            ((2, 3), 1.8),  # r2
+            ((3, 4), 1.7),  # r3
+        ]
+
+    def test_4c_intersection(self, paper_db):
+        """R_{p1} ∩ R'_{p2}: common tuples, aggregate order by {p1, p2}."""
+        plan = LogicalIntersect(
+            LogicalRank(scan(paper_db, "R"), "p1"),
+            LogicalRank(scan(paper_db, "R2"), "p2"),
+        )
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F1)
+        assert rows_and_scores(result) == [
+            ((1, 2), 1.55),  # r1/r'1
+            ((3, 4), 1.4),   # r3/r'2
+        ]
+
+    def test_4d_union(self, paper_db):
+        """R_{p1} ∪ R'_{p2}: all tuples, aggregate order by {p1, p2}."""
+        plan = LogicalUnion(
+            LogicalRank(scan(paper_db, "R"), "p1"),
+            LogicalRank(scan(paper_db, "R2"), "p2"),
+        )
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F1)
+        assert rows_and_scores(result) == [
+            ((1, 2), 1.55),  # r1/r'1
+            ((3, 4), 1.4),   # r3/r'2
+            ((5, 1), 1.35),  # r'3
+            ((2, 3), 1.3),   # r2
+        ]
+
+    def test_4e_difference(self, paper_db):
+        """R_{p1} − R'_{p2}: keeps the outer order (by p1 alone)."""
+        plan = LogicalDifference(
+            LogicalRank(scan(paper_db, "R"), "p1"),
+            LogicalRank(scan(paper_db, "R2"), "p2"),
+        )
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F1)
+        assert rows_and_scores(result) == [
+            ((2, 3), 1.8),  # r2
+        ]
+
+    def test_4f_join(self, paper_db):
+        """R_{p1} ⋈ S_{p3} on R.a = S.a under F3 = sum(p1..p5).
+
+        Note: Figure 4(f) prints only the first two join tuples; the data of
+        Figure 2 also matches r2 (a=2) with s6 (a=2), which belongs in the
+        full result by the operator definition and is checked here.
+        """
+        condition = BooleanPredicate(col("R.a").eq(col("S.a")), "R.a=S.a")
+        plan = LogicalJoin(
+            LogicalRank(scan(paper_db, "R"), "p1"),
+            LogicalRank(scan(paper_db, "S"), "p3"),
+            condition,
+        )
+        result = evaluate_logical(plan, paper_db.catalog, paper_db.F3)
+        assert rows_and_scores(result) == [
+            ((1, 2, 1, 1), 4.8),   # r1 ⋈ s2 (in the figure)
+            ((1, 2, 1, 2), 4.4),   # r1 ⋈ s3 (in the figure)
+            ((2, 3, 2, 3), 4.05),  # r2 ⋈ s6 (omitted by the figure)
+        ]
+
+
+class TestSignatures:
+    """Operator signatures (SR, SP) used by the optimizer."""
+
+    def test_scan_signature(self, paper_db):
+        plan = scan(paper_db, "R")
+        assert plan.signature() == (frozenset({"R"}), frozenset())
+
+    def test_rank_adds_predicate(self, paper_db):
+        plan = LogicalRank(LogicalRank(scan(paper_db, "R"), "p1"), "p2")
+        assert plan.signature() == (frozenset({"R"}), frozenset({"p1", "p2"}))
+
+    def test_join_merges_signatures(self, paper_db):
+        condition = BooleanPredicate(col("R.a").eq(col("S.a")), "j")
+        plan = LogicalJoin(
+            LogicalRank(scan(paper_db, "R"), "p1"),
+            LogicalRank(scan(paper_db, "S"), "p3"),
+            condition,
+        )
+        assert plan.signature() == (
+            frozenset({"R", "S"}),
+            frozenset({"p1", "p3"}),
+        )
+
+    def test_difference_keeps_outer_predicates(self, paper_db):
+        plan = LogicalDifference(
+            LogicalRank(scan(paper_db, "R"), "p1"),
+            LogicalRank(scan(paper_db, "R2"), "p2"),
+        )
+        assert plan.evaluated_predicates() == frozenset({"p1"})

@@ -1,0 +1,190 @@
+"""Unit tests for ranking predicates and scoring functions."""
+
+import pytest
+
+from repro.algebra.expressions import col, lit
+from repro.algebra.predicates import (
+    BooleanPredicate,
+    RankingPredicate,
+    ScoringFunction,
+    sum_of,
+)
+from repro.storage import DataType, Row, Schema
+
+SCHEMA = Schema.of(("x", DataType.FLOAT), ("y", DataType.FLOAT), table="t")
+
+
+def row(x, y):
+    return Row.base([x, y], "t", 0)
+
+
+class TestBooleanPredicate:
+    def test_tables_and_join_detection(self):
+        selection = BooleanPredicate(col("t.x") > 1)
+        join = BooleanPredicate(col("t.x").eq(col("u.y")))
+        assert selection.tables() == {"t"}
+        assert not selection.is_join_predicate
+        assert join.is_join_predicate
+
+    def test_compile(self):
+        predicate = BooleanPredicate(col("t.x") > 0.5)
+        assert predicate.compile(SCHEMA)(row(0.7, 0.0)) is True
+
+    def test_default_name_from_expression(self):
+        predicate = BooleanPredicate(col("t.x") > 1)
+        assert "t.x" in predicate.name
+
+
+class TestRankingPredicate:
+    def test_callable_scorer(self):
+        predicate = RankingPredicate("p", ["t.x", "t.y"], lambda x, y: (x + y) / 2)
+        fn = predicate.compile(SCHEMA)
+        assert fn(row(0.4, 0.8)) == pytest.approx(0.6)
+
+    def test_expression_scorer(self):
+        predicate = RankingPredicate("p", ["t.x"], col("t.x") * lit(0.5))
+        fn = predicate.compile(SCHEMA)
+        assert fn(row(0.8, 0.0)) == pytest.approx(0.4)
+
+    def test_scores_clamped_to_p_max(self):
+        predicate = RankingPredicate("p", ["t.x"], lambda x: x * 10, p_max=1.0)
+        fn = predicate.compile(SCHEMA)
+        assert fn(row(0.9, 0.0)) == 1.0
+
+    def test_negative_scores_clamped_to_zero(self):
+        predicate = RankingPredicate("p", ["t.x"], lambda x: -x)
+        fn = predicate.compile(SCHEMA)
+        assert fn(row(0.5, 0.0)) == 0.0
+
+    def test_none_score_becomes_zero(self):
+        predicate = RankingPredicate("p", ["t.x"], lambda x: None)
+        assert predicate.compile(SCHEMA)(row(0.5, 0.0)) == 0.0
+
+    def test_custom_p_max(self):
+        predicate = RankingPredicate("p", ["t.x"], lambda x: x * 5, p_max=5.0)
+        assert predicate.compile(SCHEMA)(row(0.9, 0.0)) == pytest.approx(4.5)
+
+    def test_tables_from_columns(self):
+        predicate = RankingPredicate("p", ["t.x", "u.y"], lambda a, b: 0.0)
+        assert predicate.tables() == {"t", "u"}
+        assert predicate.is_join_predicate
+
+    def test_evaluable_on(self):
+        predicate = RankingPredicate("p", ["t.x"], lambda x: x)
+        assert predicate.evaluable_on(SCHEMA)
+        other = Schema.of("z", table="u")
+        assert not predicate.evaluable_on(other)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankingPredicate("", ["t.x"], lambda x: x)
+        with pytest.raises(ValueError):
+            RankingPredicate("p", ["t.x"], lambda x: x, cost=-1)
+        with pytest.raises(ValueError):
+            RankingPredicate("p", ["t.x"], lambda x: x, p_max=0)
+
+
+def make_predicates():
+    pa = RankingPredicate("pa", ["t.x"], lambda x: x)
+    pb = RankingPredicate("pb", ["t.y"], lambda y: y)
+    pc = RankingPredicate("pc", ["t.x"], lambda x: 1 - x)
+    return pa, pb, pc
+
+
+class TestScoringFunction:
+    def test_sum(self):
+        pa, pb, __ = make_predicates()
+        scoring = ScoringFunction([pa, pb])
+        assert scoring.combine([0.2, 0.3]) == pytest.approx(0.5)
+
+    def test_weighted_sum(self):
+        pa, pb, __ = make_predicates()
+        scoring = ScoringFunction([pa, pb], combiner="wsum", weights=[2.0, 1.0])
+        assert scoring.combine([0.5, 0.5]) == pytest.approx(1.5)
+
+    def test_product(self):
+        pa, pb, __ = make_predicates()
+        scoring = ScoringFunction([pa, pb], combiner="product")
+        assert scoring.combine([0.5, 0.4]) == pytest.approx(0.2)
+
+    def test_min_max_avg(self):
+        pa, pb, __ = make_predicates()
+        assert ScoringFunction([pa, pb], combiner="min").combine([0.1, 0.9]) == 0.1
+        assert ScoringFunction([pa, pb], combiner="max").combine([0.1, 0.9]) == 0.9
+        assert ScoringFunction([pa, pb], combiner="avg").combine([0.1, 0.9]) == 0.5
+
+    def test_upper_bound_substitutes_p_max(self):
+        pa, pb, __ = make_predicates()
+        scoring = ScoringFunction([pa, pb])
+        # Only pa evaluated: pb assumed at its maximum (1.0).
+        assert scoring.upper_bound({"pa": 0.3}) == pytest.approx(1.3)
+
+    def test_upper_bound_with_custom_p_max(self):
+        pa = RankingPredicate("pa", ["t.x"], lambda x: x, p_max=2.0)
+        pb = RankingPredicate("pb", ["t.y"], lambda y: y)
+        scoring = ScoringFunction([pa, pb])
+        assert scoring.upper_bound({}) == pytest.approx(3.0)
+
+    def test_upper_bound_complete_equals_final(self):
+        pa, pb, __ = make_predicates()
+        scoring = ScoringFunction([pa, pb])
+        scores = {"pa": 0.2, "pb": 0.7}
+        assert scoring.upper_bound(scores) == scoring.final_score(scores)
+
+    def test_final_score_requires_all(self):
+        pa, pb, __ = make_predicates()
+        scoring = ScoringFunction([pa, pb])
+        with pytest.raises(ValueError):
+            scoring.final_score({"pa": 0.5})
+
+    def test_max_possible(self):
+        pa, pb, pc = make_predicates()
+        assert ScoringFunction([pa, pb, pc]).max_possible() == pytest.approx(3.0)
+
+    def test_monotonicity_of_upper_bound(self):
+        # More evaluated predicates can only lower the upper bound.
+        pa, pb, pc = make_predicates()
+        scoring = ScoringFunction([pa, pb, pc])
+        partial = scoring.upper_bound({"pa": 0.4})
+        fuller = scoring.upper_bound({"pa": 0.4, "pb": 0.2})
+        assert fuller <= partial
+
+    def test_subset(self):
+        pa, pb, pc = make_predicates()
+        scoring = ScoringFunction([pa, pb, pc])
+        assert scoring.subset(["pc", "pa"]) == (pa, pc)
+        with pytest.raises(KeyError):
+            scoring.subset(["zz"])
+
+    def test_contains_and_lookup(self):
+        pa, pb, __ = make_predicates()
+        scoring = ScoringFunction([pa, pb])
+        assert "pa" in scoring
+        assert scoring.predicate("pb") is pb
+        with pytest.raises(KeyError):
+            scoring.predicate("nope")
+
+    def test_duplicate_names_rejected(self):
+        pa, __, __ = make_predicates()
+        with pytest.raises(ValueError):
+            ScoringFunction([pa, pa])
+
+    def test_wsum_needs_weights(self):
+        pa, pb, __ = make_predicates()
+        with pytest.raises(ValueError):
+            ScoringFunction([pa, pb], combiner="wsum")
+        with pytest.raises(ValueError):
+            ScoringFunction([pa, pb], combiner="wsum", weights=[1.0])
+        with pytest.raises(ValueError):
+            ScoringFunction([pa, pb], combiner="wsum", weights=[1.0, -1.0])
+
+    def test_unknown_combiner(self):
+        pa, __, __ = make_predicates()
+        with pytest.raises(ValueError):
+            ScoringFunction([pa], combiner="median")
+
+    def test_sum_of_shorthand(self):
+        pa, pb, __ = make_predicates()
+        scoring = sum_of(pa, pb)
+        assert scoring.combiner == "sum"
+        assert scoring.predicate_names == ("pa", "pb")

@@ -1,0 +1,123 @@
+"""Unit tests for the rank-relation reference model."""
+
+import pytest
+
+from repro.algebra.predicates import RankingPredicate, ScoringFunction
+from repro.algebra.rank_relation import RankRelation, ScoredRow, rank_order_key
+from repro.storage import Row
+
+
+def make_scoring():
+    pa = RankingPredicate("pa", ["t.x"], lambda x: x)
+    pb = RankingPredicate("pb", ["t.x"], lambda x: 1 - x)
+    return ScoringFunction([pa, pb])
+
+
+def scored(ordinal, values, scores):
+    return ScoredRow(Row.base(values, "t", ordinal), scores)
+
+
+class TestScoredRow:
+    def test_with_score_copies(self):
+        original = scored(0, [1], {"pa": 0.5})
+        extended = original.with_score("pb", 0.2)
+        assert extended.scores == {"pa": 0.5, "pb": 0.2}
+        assert original.scores == {"pa": 0.5}
+
+    def test_merge_concatenates_and_unions(self):
+        left = scored(0, [1], {"pa": 0.4})
+        right = ScoredRow(Row.base([2], "u", 1), {"pb": 0.6})
+        merged = left.merge(right)
+        assert merged.row.values == (1, 2)
+        assert merged.scores == {"pa": 0.4, "pb": 0.6}
+        assert merged.row.rid == (("t", 0), ("u", 1))
+
+
+class TestRankOrderKey:
+    def test_orders_by_descending_upper_bound(self):
+        scoring = make_scoring()
+        high = scored(0, [1], {"pa": 0.9})
+        low = scored(1, [2], {"pa": 0.1})
+        assert rank_order_key(scoring, high) < rank_order_key(scoring, low)
+
+    def test_ties_broken_by_rid(self):
+        scoring = make_scoring()
+        first = scored(0, [1], {"pa": 0.5})
+        second = scored(1, [2], {"pa": 0.5})
+        assert rank_order_key(scoring, first) < rank_order_key(scoring, second)
+
+
+class TestRankRelation:
+    def test_sorted_on_construction(self):
+        scoring = make_scoring()
+        relation = RankRelation(
+            scoring,
+            [scored(0, [1], {"pa": 0.2}), scored(1, [2], {"pa": 0.9})],
+        )
+        assert [s.row.values for s in relation] == [(2,), (1,)]
+
+    def test_upper_bounds_descending(self):
+        scoring = make_scoring()
+        relation = RankRelation(
+            scoring,
+            [scored(i, [i], {"pa": score}) for i, score in enumerate([0.3, 0.9, 0.5])],
+        )
+        bounds = relation.upper_bounds()
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_top_k(self):
+        scoring = make_scoring()
+        relation = RankRelation(
+            scoring,
+            [scored(i, [i], {"pa": i / 10}) for i in range(5)],
+        )
+        top = relation.top(2)
+        assert [s.row.values for s in top] == [(4,), (3,)]
+        with pytest.raises(ValueError):
+            relation.top(-1)
+
+    def test_evaluated_predicates(self):
+        scoring = make_scoring()
+        relation = RankRelation(scoring, [scored(0, [1], {"pa": 0.5, "pb": 0.1})])
+        assert relation.evaluated_predicates() == {"pa", "pb"}
+
+    def test_same_membership_by_values(self):
+        scoring = make_scoring()
+        a = RankRelation(scoring, [scored(0, [1], {"pa": 0.5})])
+        b = RankRelation(scoring, [scored(7, [1], {"pa": 0.5})])  # different rid
+        assert a.same_membership(b)
+
+    def test_same_membership_respects_multiplicity(self):
+        scoring = make_scoring()
+        a = RankRelation(
+            scoring, [scored(0, [1], {"pa": 0.5}), scored(1, [1], {"pa": 0.5})]
+        )
+        b = RankRelation(scoring, [scored(0, [1], {"pa": 0.5})])
+        assert not a.same_membership(b)
+
+    def test_same_ranking_tie_insensitive(self):
+        scoring = make_scoring()
+        a = RankRelation(
+            scoring, [scored(0, [1], {"pa": 0.5}), scored(1, [2], {"pa": 0.5})]
+        )
+        b = RankRelation(
+            scoring, [scored(1, [2], {"pa": 0.5}), scored(0, [1], {"pa": 0.5})]
+        )
+        assert a.same_ranking(b)
+        assert a.equivalent(b)
+
+    def test_same_ranking_rejects_different_scores(self):
+        scoring = make_scoring()
+        a = RankRelation(scoring, [scored(0, [1], {"pa": 0.5})])
+        b = RankRelation(scoring, [scored(0, [1], {"pa": 0.6})])
+        assert not a.same_ranking(b)
+
+    def test_same_order_strict(self):
+        scoring = make_scoring()
+        a = RankRelation(
+            scoring, [scored(0, [1], {"pa": 0.9}), scored(1, [2], {"pa": 0.5})]
+        )
+        b = RankRelation(
+            scoring, [scored(0, [1], {"pa": 0.9}), scored(1, [2], {"pa": 0.5})]
+        )
+        assert a.same_order(b)

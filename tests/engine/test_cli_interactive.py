@@ -1,0 +1,83 @@
+"""Tests for the CLI's interactive loop (stdin-driven)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_interactive(monkeypatch, lines):
+    inputs = iter(lines)
+
+    def fake_input(prompt=""):
+        try:
+            return next(inputs)
+        except StopIteration:
+            raise EOFError
+
+    monkeypatch.setattr("builtins.input", fake_input)
+    out = io.StringIO()
+    code = main(["--demo"], out=out)
+    return code, out.getvalue()
+
+
+class TestInteractiveLoop:
+    def test_quit_exits_cleanly(self, monkeypatch):
+        code, output = run_interactive(monkeypatch, ["\\quit"])
+        assert code == 0
+        assert "RankSQL shell" in output
+
+    def test_eof_exits(self, monkeypatch):
+        code, __ = run_interactive(monkeypatch, [])
+        assert code == 0
+
+    def test_list_tables(self, monkeypatch):
+        __, output = run_interactive(monkeypatch, ["\\d", "\\quit"])
+        assert "hotel(" in output
+        assert "restaurant(" in output
+        assert "[500 rows]" in output
+
+    def test_query_executes(self, monkeypatch):
+        __, output = run_interactive(
+            monkeypatch,
+            ["SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 2", "\\quit"],
+        )
+        assert "(2 rows)" in output
+
+    def test_multiline_statement(self, monkeypatch):
+        __, output = run_interactive(
+            monkeypatch,
+            [
+                "SELECT * FROM hotel",
+                "ORDER BY cheap(hotel.price) LIMIT 1",
+                "\\quit",
+            ],
+        )
+        assert "(1 row)" in output
+
+    def test_error_reported_not_fatal(self, monkeypatch):
+        __, output = run_interactive(
+            monkeypatch,
+            [
+                "SELECT * FROM missing_table LIMIT 1",
+                "SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 1",
+                "\\quit",
+            ],
+        )
+        assert "error:" in output
+        assert "(1 row)" in output  # the shell recovered
+
+    def test_explain_meta_command(self, monkeypatch):
+        __, output = run_interactive(
+            monkeypatch,
+            [
+                "\\explain SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 3",
+                "\\quit",
+            ],
+        )
+        assert "limit(3)" in output
+
+    def test_unknown_meta_command(self, monkeypatch):
+        __, output = run_interactive(monkeypatch, ["\\frobnicate", "\\quit"])
+        assert "unknown meta command" in output

@@ -1,0 +1,61 @@
+"""CSV I/O: delimiter options and awkward content."""
+
+import pytest
+
+from repro.engine.csv_io import dump_csv, load_csv
+from repro.storage import DataType, Schema, Table
+
+
+def make_table():
+    return Table(
+        "t", Schema.of(("name", DataType.TEXT), ("x", DataType.FLOAT))
+    )
+
+
+class TestDelimiters:
+    def test_semicolon_delimiter(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("name;x\nalpha;1.5\n")
+        table = make_table()
+        assert load_csv(table, path, delimiter=";") == 1
+        assert next(table.rows()).values == ("alpha", 1.5)
+
+    def test_tab_delimiter_round_trip(self, tmp_path):
+        path = tmp_path / "data.tsv"
+        dump_csv([("a", 1.0), ("b", 2.0)], ["name", "x"], path, delimiter="\t")
+        table = make_table()
+        assert load_csv(table, path, delimiter="\t") == 2
+
+
+class TestAwkwardContent:
+    def test_quoted_commas_in_text(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text('name,x\n"hello, world",3.5\n')
+        table = make_table()
+        load_csv(table, path)
+        assert next(table.rows()).values == ("hello, world", 3.5)
+
+    def test_round_trip_preserves_commas(self, tmp_path):
+        path = tmp_path / "data.csv"
+        dump_csv([("a,b", 1.0)], ["name", "x"], path)
+        table = make_table()
+        load_csv(table, path)
+        assert next(table.rows()).values == ("a,b", 1.0)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("name,x\na,1\n\nb,2\n")
+        table = make_table()
+        assert load_csv(table, path) == 2
+
+    def test_header_only_file(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("name,x\n")
+        table = make_table()
+        assert load_csv(table, path) == 0
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("")
+        table = make_table()
+        assert load_csv(table, path) == 0

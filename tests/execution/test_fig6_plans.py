@@ -1,0 +1,170 @@
+"""Exact reproduction of Figure 6 and Example 3/4: the three equivalent
+plans for ``SELECT * FROM S ORDER BY p3+p4+p5 LIMIT 1``.
+
+Checks the answer, the per-operator tuple flow (input/output counts → the
+paper's selectivities), the number of tuples scanned, and the predicate
+evaluation counts (Example 4's cost analysis: plan (b) costs 3C4 + 2C5,
+plan (c) costs 3C4 + 5C5, plan (a) costs 6(C3 + C4 + C5)).
+"""
+
+import pytest
+
+from repro.execution import (
+    ExecutionContext,
+    Limit,
+    Mu,
+    RankScan,
+    SeqScan,
+    Sort,
+    run_plan,
+)
+
+
+def run_top1(paper_db, plan):
+    context = ExecutionContext(paper_db.catalog, paper_db.F2)
+    out = run_plan(plan, context, k=1)
+    return out, context
+
+
+def op_stats(context, name):
+    return context.metrics.operators[name]
+
+
+class TestPlanA:
+    """Figure 6(a): the traditional materialize-then-sort plan."""
+
+    def test_answer(self, paper_db):
+        out, context = run_top1(paper_db, Limit(Sort(SeqScan("S")), 1))
+        assert len(out) == 1
+        assert out[0].row.values == (1, 1)  # s2
+        assert context.upper_bound(out[0]) == pytest.approx(2.55)
+
+    def test_scans_whole_table(self, paper_db):
+        __, context = run_top1(paper_db, Limit(Sort(SeqScan("S")), 1))
+        assert context.metrics.tuples_scanned == 6
+
+    def test_evaluates_all_predicates_on_all_tuples(self, paper_db):
+        """Example 4: cost 6(C3 + C4 + C5) — 18 evaluations."""
+        __, context = run_top1(paper_db, Limit(Sort(SeqScan("S")), 1))
+        assert context.metrics.predicate_evaluations == 18
+
+
+class TestPlanB:
+    """Figure 6(b): idxScan_p3 → µ_p4 → µ_p5."""
+
+    def make(self):
+        return Mu(Mu(RankScan("S", "p3"), "p4"), "p5")
+
+    def test_answer(self, paper_db):
+        out, context = run_top1(paper_db, self.make())
+        assert out[0].row.values == (1, 1)
+        assert context.upper_bound(out[0]) == pytest.approx(2.55)
+
+    def test_scans_three_tuples(self, paper_db):
+        __, context = run_top1(paper_db, self.make())
+        assert context.metrics.tuples_scanned == 3
+
+    def test_operator_flow_matches_figure(self, paper_db):
+        """idxScan outputs 3; µ_p4 consumes 3, outputs 2; µ_p5 2 → 1."""
+        __, context = run_top1(paper_db, self.make())
+        scan = op_stats(context, "idxScan_p3(S)")
+        mu4 = op_stats(context, "rank_p4")
+        mu5 = op_stats(context, "rank_p5")
+        assert scan.tuples_out == 3
+        assert (mu4.tuples_in, mu4.tuples_out) == (3, 2)
+        assert (mu5.tuples_in, mu5.tuples_out) == (2, 1)
+
+    def test_selectivities_match_paper(self, paper_db):
+        """§4.1: selectivities of µ_p4, µ_p5, idxScan are 2/3, 1/2, 3/6."""
+        __, context = run_top1(paper_db, self.make())
+        assert op_stats(context, "rank_p4").selectivity == pytest.approx(2 / 3)
+        assert op_stats(context, "rank_p5").selectivity == pytest.approx(1 / 2)
+        assert op_stats(context, "idxScan_p3(S)").tuples_out / 6 == pytest.approx(3 / 6)
+
+    def test_predicate_cost_3c4_plus_2c5(self, paper_db):
+        __, context = run_top1(paper_db, self.make())
+        # 3 evaluations of p4 and 2 of p5 (p3 comes free from the index).
+        assert context.metrics.predicate_evaluations == 5
+
+    def test_incremental_second_result(self, paper_db):
+        """Drawing one more answer continues the pipeline (s1, 2.4)."""
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        out = run_plan(self.make(), context, k=2)
+        assert [s.row.values for s in out] == [(1, 1), (4, 3)]
+        assert context.upper_bound(out[1]) == pytest.approx(2.4)
+
+
+class TestPlanC:
+    """Figure 6(c): idxScan_p3 → µ_p5 → µ_p4 (reversed µ order)."""
+
+    def make(self):
+        return Mu(Mu(RankScan("S", "p3"), "p5"), "p4")
+
+    def test_answer_same_as_plan_b(self, paper_db):
+        out, context = run_top1(paper_db, self.make())
+        assert out[0].row.values == (1, 1)
+        assert context.upper_bound(out[0]) == pytest.approx(2.55)
+
+    def test_scans_five_tuples(self, paper_db):
+        __, context = run_top1(paper_db, self.make())
+        assert context.metrics.tuples_scanned == 5
+
+    def test_operator_flow_matches_figure(self, paper_db):
+        """idxScan outputs 5; µ_p5 consumes 5, outputs 3; µ_p4 3 → 1."""
+        __, context = run_top1(paper_db, self.make())
+        mu5 = op_stats(context, "rank_p5")
+        mu4 = op_stats(context, "rank_p4")
+        assert (mu5.tuples_in, mu5.tuples_out) == (5, 3)
+        assert (mu4.tuples_in, mu4.tuples_out) == (3, 1)
+
+    def test_selectivities_match_paper(self, paper_db):
+        """§4.1: selectivities 1/3 (µ_p4), 3/5 (µ_p5), 5/6 (idxScan)."""
+        __, context = run_top1(paper_db, self.make())
+        assert op_stats(context, "rank_p4").selectivity == pytest.approx(1 / 3)
+        assert op_stats(context, "rank_p5").selectivity == pytest.approx(3 / 5)
+        assert op_stats(context, "idxScan_p3(S)").tuples_out / 6 == pytest.approx(5 / 6)
+
+    def test_predicate_cost_3c4_plus_5c5(self, paper_db):
+        __, context = run_top1(paper_db, self.make())
+        assert context.metrics.predicate_evaluations == 8
+
+    def test_mu_p5_intermediate_order(self, paper_db):
+        """The full F2_{p3,p5} ranking produced by µ_p5 over idxScan_p3.
+
+        Figure 6(c)'s middle box lists the tuples *processed during top-1
+        retrieval* (s2, s1, s4, s3, s5); the complete drained order also
+        ranks s6 (2.15) above s5 (1.9), checked here.
+        """
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        plan = Mu(RankScan("S", "p3"), "p5")
+        out = run_plan(plan, context, k=6)
+        got = [(s.row.values, round(context.upper_bound(s), 4)) for s in out]
+        assert got == [
+            ((1, 1), 2.7),
+            ((4, 3), 2.6),
+            ((4, 2), 2.35),
+            ((1, 2), 2.25),
+            ((2, 3), 2.15),
+            ((5, 1), 1.9),
+        ]
+        # The prefix the figure prints (first four) matches exactly.
+        assert [v for v, __ in got[:4]] == [(1, 1), (4, 3), (4, 2), (1, 2)]
+
+
+class TestPlansAgree:
+    def test_all_plans_same_full_ranking(self, paper_db):
+        """All three plans produce the identical complete ranking."""
+        results = []
+        for plan in (
+            Limit(Sort(SeqScan("S")), 6),
+            Mu(Mu(RankScan("S", "p3"), "p4"), "p5"),
+            Mu(Mu(RankScan("S", "p3"), "p5"), "p4"),
+        ):
+            context = ExecutionContext(paper_db.catalog, paper_db.F2)
+            out = run_plan(plan, context, k=6)
+            results.append([(s.row.values, round(context.upper_bound(s), 6)) for s in out])
+        assert results[0] == results[1] == results[2]
+        # Figure 6(a) full ranking: s2, s1, s4, s5, s3, s6.
+        assert [values for values, __ in results[0]] == [
+            (1, 1), (4, 3), (4, 2), (5, 1), (1, 2), (2, 3)
+        ]

@@ -1,0 +1,101 @@
+"""Tests for interesting-order propagation and its exploitation by the
+sort-merge join."""
+
+import random
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.predicates import BooleanPredicate, RankingPredicate, ScoringFunction
+from repro.execution import (
+    ColumnOrderScan,
+    ExecutionContext,
+    Filter,
+    SeqScan,
+    SortMergeJoin,
+    run_plan,
+)
+from repro.storage import Catalog, ColumnIndex, DataType, Schema
+
+
+@pytest.fixture
+def two_tables():
+    rng = random.Random(61)
+    catalog = Catalog()
+    left = catalog.create_table(
+        "L", Schema.of(("k", DataType.INT), ("x", DataType.FLOAT))
+    )
+    right = catalog.create_table(
+        "R", Schema.of(("k", DataType.INT), ("y", DataType.FLOAT))
+    )
+    for __ in range(120):
+        left.insert([rng.randrange(15), rng.random()])
+        right.insert([rng.randrange(15), rng.random()])
+    left.attach_index(ColumnIndex("L_k", left.schema, "L.k"))
+    right.attach_index(ColumnIndex("R_k", right.schema, "R.k"))
+    predicate = RankingPredicate("p", ["L.x"], lambda x: x)
+    return catalog, ScoringFunction([predicate])
+
+
+class TestColumnOrderPropagation:
+    def test_scan_exposes_order(self, two_tables):
+        catalog, scoring = two_tables
+        context = ExecutionContext(catalog, scoring)
+        scan = ColumnOrderScan("L", "L.k")
+        scan.open(context)
+        assert scan.column_order() == "L.k"
+        scan.close()
+
+    def test_seq_scan_has_no_order(self, two_tables):
+        catalog, scoring = two_tables
+        context = ExecutionContext(catalog, scoring)
+        scan = SeqScan("L")
+        scan.open(context)
+        assert scan.column_order() is None
+        scan.close()
+
+    def test_filter_preserves_order(self, two_tables):
+        catalog, scoring = two_tables
+        context = ExecutionContext(catalog, scoring)
+        condition = BooleanPredicate(col("L.k") > 2, "k>2")
+        operator = Filter(ColumnOrderScan("L", "L.k"), condition)
+        operator.open(context)
+        assert operator.column_order() == "L.k"
+        operator.close()
+
+    def test_smj_exposes_key_order(self, two_tables):
+        catalog, scoring = two_tables
+        context = ExecutionContext(catalog, scoring)
+        join = SortMergeJoin(
+            ColumnOrderScan("L", "L.k"), ColumnOrderScan("R", "R.k"), "L.k", "R.k"
+        )
+        join.open(context)
+        assert join.column_order() == "L.k"
+        join.close()
+
+
+class TestSortAvoidance:
+    def run_join(self, catalog, scoring, left, right):
+        context = ExecutionContext(catalog, scoring)
+        out = run_plan(SortMergeJoin(left, right, "L.k", "R.k"), context)
+        return out, context.metrics
+
+    def test_same_results_either_way(self, two_tables):
+        catalog, scoring = two_tables
+        ordered, __ = self.run_join(
+            catalog, scoring, ColumnOrderScan("L", "L.k"), ColumnOrderScan("R", "R.k")
+        )
+        unordered, __ = self.run_join(catalog, scoring, SeqScan("L"), SeqScan("R"))
+        assert sorted(s.row.values for s in ordered) == sorted(
+            s.row.values for s in unordered
+        )
+
+    def test_ordered_inputs_skip_sort_charges(self, two_tables):
+        catalog, scoring = two_tables
+        __, ordered_metrics = self.run_join(
+            catalog, scoring, ColumnOrderScan("L", "L.k"), ColumnOrderScan("R", "R.k")
+        )
+        __, unordered_metrics = self.run_join(
+            catalog, scoring, SeqScan("L"), SeqScan("R")
+        )
+        assert ordered_metrics.comparisons < unordered_metrics.comparisons

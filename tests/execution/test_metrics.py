@@ -1,0 +1,92 @@
+"""Unit tests for the metrics / simulated-cost substrate."""
+
+import pytest
+
+from repro.execution.metrics import (
+    BOOLEAN_EVAL_UNIT,
+    JOIN_PAIR_UNIT,
+    MOVE_UNIT,
+    SCAN_UNIT,
+    ExecutionMetrics,
+    OperatorStats,
+)
+
+
+class TestOperatorStats:
+    def test_selectivity(self):
+        stats = OperatorStats("op", tuples_in=10, tuples_out=4)
+        assert stats.selectivity == pytest.approx(0.4)
+
+    def test_selectivity_of_source(self):
+        assert OperatorStats("scan", tuples_in=0, tuples_out=5).selectivity == 1.0
+
+
+class TestExecutionMetrics:
+    def test_charges_accumulate(self):
+        metrics = ExecutionMetrics()
+        metrics.charge_scan(3)
+        metrics.charge_move(2)
+        metrics.charge_boolean(4)
+        metrics.charge_join_pair(5)
+        metrics.charge_comparisons(6)
+        metrics.charge_predicate(10.0, count=2)
+        assert metrics.tuples_scanned == 3
+        assert metrics.tuples_moved == 2
+        assert metrics.boolean_evaluations == 4
+        assert metrics.join_pairs_examined == 5
+        assert metrics.comparisons == 6
+        assert metrics.predicate_evaluations == 2
+        assert metrics.predicate_cost_units == 20.0
+
+    def test_simulated_cost_formula(self):
+        metrics = ExecutionMetrics()
+        metrics.charge_scan(10)
+        metrics.charge_move(10)
+        metrics.charge_join_pair(10)
+        metrics.charge_boolean(10)
+        metrics.charge_predicate(7.0)
+        expected = (
+            10 * SCAN_UNIT
+            + 10 * MOVE_UNIT
+            + 10 * JOIN_PAIR_UNIT
+            + 10 * BOOLEAN_EVAL_UNIT
+            + 7.0
+        )
+        assert metrics.simulated_cost == pytest.approx(expected)
+
+    def test_zero_cost_predicate_counts_but_costs_nothing(self):
+        metrics = ExecutionMetrics()
+        metrics.charge_predicate(0.0)
+        assert metrics.predicate_evaluations == 1
+        assert metrics.predicate_cost_units == 0.0
+
+    def test_stats_for_creates_once(self):
+        metrics = ExecutionMetrics()
+        a = metrics.stats_for("op")
+        b = metrics.stats_for("op")
+        assert a is b
+        assert metrics.stats_for("other") is not a
+
+    def test_summary_keys(self):
+        summary = ExecutionMetrics().summary()
+        assert set(summary) == {
+            "tuples_scanned",
+            "tuples_moved",
+            "predicate_evaluations",
+            "predicate_cost_units",
+            "boolean_evaluations",
+            "boolean_cost_units",
+            "join_pairs_examined",
+            "comparisons",
+            "simulated_cost",
+        }
+
+    def test_unique_operator_names_in_context(self, paper_db):
+        from repro.execution import ExecutionContext, Mu, RankScan, run_plan
+
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        plan = Mu(Mu(RankScan("S", "p3"), "p4"), "p4")
+        run_plan(plan, context, k=1)
+        # Two operators with the same label get distinct stats entries.
+        names = [n for n in context.metrics.operators if n.startswith("rank_p4")]
+        assert len(names) == 2

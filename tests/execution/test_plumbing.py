@@ -1,0 +1,118 @@
+"""Tests for the execution plumbing: lifecycle, run_plan, explain,
+ExecutionContext helpers."""
+
+import pytest
+
+from repro.execution import (
+    ExecutionContext,
+    Limit,
+    Mu,
+    RankScan,
+    SeqScan,
+    explain_physical,
+    run_plan,
+)
+
+
+class TestLifecycle:
+    def test_close_idempotent(self, paper_db):
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        scan = SeqScan("S")
+        scan.open(context)
+        scan.close()
+        scan.close()
+
+    def test_reopen_restarts(self, paper_db):
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        scan = SeqScan("S")
+        scan.open(context)
+        first = scan.next()
+        scan.close()
+        scan.open(context)
+        again = scan.next()
+        scan.close()
+        assert first.row.rid == again.row.rid
+
+    def test_iterate_helper(self, paper_db):
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        scan = SeqScan("S")
+        scan.open(context)
+        assert len(list(scan.iterate())) == 6
+        scan.close()
+
+    def test_run_plan_closes_on_error(self, paper_db):
+        """run_plan must close the tree even if iteration raises."""
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+
+        class Exploding(SeqScan):
+            def _next(self):
+                raise RuntimeError("boom")
+
+        plan = Exploding("S")
+        with pytest.raises(RuntimeError, match="boom"):
+            run_plan(plan, context)
+        # close() was called; a fresh open works.
+        plan2 = SeqScan("S")
+        run_plan(plan2, context)
+
+
+class TestRunPlan:
+    def test_k_none_drains(self, paper_db):
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        out = run_plan(RankScan("S", "p3"), context, k=None)
+        assert len(out) == 6
+
+    def test_k_zero(self, paper_db):
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        out = run_plan(RankScan("S", "p3"), context, k=0)
+        assert out == []
+
+    def test_k_limits(self, paper_db):
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        out = run_plan(RankScan("S", "p3"), context, k=2)
+        assert len(out) == 2
+
+
+class TestExplainPhysical:
+    def test_tree_rendering(self, paper_db):
+        plan = Limit(Mu(RankScan("S", "p3"), "p4"), 1)
+        text = explain_physical(plan)
+        lines = text.splitlines()
+        assert lines[0] == "limit(1)"
+        assert lines[1] == "  rank_p4"
+        assert lines[2] == "    idxScan_p3(S)"
+
+
+class TestExecutionContext:
+    def test_unique_names(self, paper_db):
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        assert context.unique_name("op") == "op"
+        assert context.unique_name("op") == "op#2"
+        assert context.unique_name("op") == "op#3"
+        assert context.unique_name("other") == "other"
+
+    def test_evaluate_predicate_charges_cost(self, paper_db):
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        row = next(paper_db.S.rows())
+        paper_db.p4.cost = 7.0
+        try:
+            score = context.evaluate_predicate("p4", row, paper_db.S.schema)
+            assert 0.0 <= score <= 1.0
+            assert context.metrics.predicate_cost_units == 7.0
+        finally:
+            paper_db.p4.cost = 1.0
+
+    def test_compiled_evaluators_cached(self, paper_db):
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        row = next(paper_db.S.rows())
+        context.evaluate_predicate("p4", row, paper_db.S.schema)
+        context.evaluate_predicate("p4", row, paper_db.S.schema)
+        assert len(context._compiled) == 1
+
+    def test_upper_bound_uses_scoring(self, paper_db):
+        from repro.algebra.rank_relation import ScoredRow
+
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        row = next(paper_db.S.rows())
+        scored = ScoredRow(row, {"p3": 0.5})
+        assert context.upper_bound(scored) == pytest.approx(2.5)

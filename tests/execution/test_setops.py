@@ -1,0 +1,191 @@
+"""Tests for the rank-aware set operations against the paper's Figure 4
+examples and the reference evaluator."""
+
+import pytest
+
+from repro.algebra.operators import (
+    LogicalDifference,
+    LogicalIntersect,
+    LogicalRank,
+    LogicalScan,
+    LogicalUnion,
+    evaluate_logical,
+)
+from repro.execution import (
+    ExecutionContext,
+    Mu,
+    RankDifference,
+    RankIntersect,
+    RankUnion,
+    SeqScan,
+    run_plan,
+)
+
+from tests.conftest import assert_descending
+
+
+def physical_inputs(side_table, predicate):
+    return Mu(SeqScan(side_table), predicate)
+
+
+def _only_a5(paper_db):
+    """R2 restricted to a = 5 (only r'3), ranked by p2 — value-disjoint
+    from R."""
+    from repro.algebra.expressions import col
+    from repro.algebra.predicates import BooleanPredicate
+    from repro.execution import Filter
+
+    condition = BooleanPredicate(col("R2.a").eq(5), "a=5")
+    return Mu(Filter(SeqScan("R2"), condition), "p2")
+
+
+def run_physical(paper_db, operator):
+    context = ExecutionContext(paper_db.catalog, paper_db.F1)
+    out = run_plan(operator, context)
+    return [
+        (s.row.values, round(context.upper_bound(s), 6)) for s in out
+    ], context
+
+
+def run_reference(paper_db, node_type):
+    plan = node_type(
+        LogicalRank(LogicalScan("R", paper_db.R.schema), "p1"),
+        LogicalRank(LogicalScan("R2", paper_db.R2.schema), "p2"),
+    )
+    result = evaluate_logical(plan, paper_db.catalog, paper_db.F1)
+    return [
+        (s.row.values, round(paper_db.F1.upper_bound(s.scores), 6)) for s in result
+    ]
+
+
+class TestRankUnion:
+    def test_figure_4d(self, paper_db):
+        got, __ = run_physical(
+            paper_db,
+            RankUnion(physical_inputs("R", "p1"), physical_inputs("R2", "p2")),
+        )
+        assert got == [
+            ((1, 2), 1.55),
+            ((3, 4), 1.4),
+            ((5, 1), 1.35),
+            ((2, 3), 1.3),
+        ]
+
+    def test_matches_reference(self, paper_db):
+        got, __ = run_physical(
+            paper_db,
+            RankUnion(physical_inputs("R", "p1"), physical_inputs("R2", "p2")),
+        )
+        assert got == run_reference(paper_db, LogicalUnion)
+
+    def test_output_descending(self, paper_db):
+        got, __ = run_physical(
+            paper_db,
+            RankUnion(physical_inputs("R", "p1"), physical_inputs("R2", "p2")),
+        )
+        assert_descending([score for __, score in got])
+
+    def test_deduplicates_by_values(self, paper_db):
+        got, __ = run_physical(
+            paper_db,
+            RankUnion(physical_inputs("R", "p1"), physical_inputs("R", "p1")),
+        )
+        assert len(got) == 3  # R ∪ R = R
+
+    def test_completes_missing_predicates(self, paper_db):
+        __, context = run_physical(
+            paper_db,
+            RankUnion(physical_inputs("R", "p1"), physical_inputs("R2", "p2")),
+        )
+        # Output order is by {p1, p2}: the union evaluates the other side's
+        # predicate for each distinct tuple.
+        union_evals = context.metrics.predicate_evaluations
+        assert union_evals >= 6 + 4  # µ inputs (3+3) plus ≥1 completion each
+
+
+class TestRankIntersect:
+    def test_figure_4c(self, paper_db):
+        got, __ = run_physical(
+            paper_db,
+            RankIntersect(physical_inputs("R", "p1"), physical_inputs("R2", "p2")),
+        )
+        assert got == [
+            ((1, 2), 1.55),
+            ((3, 4), 1.4),
+        ]
+
+    def test_matches_reference(self, paper_db):
+        got, __ = run_physical(
+            paper_db,
+            RankIntersect(physical_inputs("R", "p1"), physical_inputs("R2", "p2")),
+        )
+        assert got == run_reference(paper_db, LogicalIntersect)
+
+    def test_self_intersection_is_identity(self, paper_db):
+        got, __ = run_physical(
+            paper_db,
+            RankIntersect(physical_inputs("R", "p1"), physical_inputs("R", "p2")),
+        )
+        assert [values for values, __ in got] == [(1, 2), (3, 4), (2, 3)]
+
+    def test_disjoint_inputs_empty(self, paper_db):
+        # R2 restricted to a=5 (only r'3) shares nothing with R.
+        got, __ = run_physical(
+            paper_db,
+            RankIntersect(physical_inputs("R", "p1"), _only_a5(paper_db)),
+        )
+        assert got == []
+
+
+class TestRankDifference:
+    def test_figure_4e(self, paper_db):
+        got, __ = run_physical(
+            paper_db,
+            RankDifference(physical_inputs("R", "p1"), physical_inputs("R2", "p2")),
+        )
+        assert got == [((2, 3), 1.8)]
+
+    def test_matches_reference(self, paper_db):
+        got, __ = run_physical(
+            paper_db,
+            RankDifference(physical_inputs("R", "p1"), physical_inputs("R2", "p2")),
+        )
+        assert got == run_reference(paper_db, LogicalDifference)
+
+    def test_self_difference_empty(self, paper_db):
+        got, __ = run_physical(
+            paper_db,
+            RankDifference(physical_inputs("R", "p1"), physical_inputs("R", "p2")),
+        )
+        assert got == []
+
+    def test_difference_with_disjoint_is_identity(self, paper_db):
+        got, __ = run_physical(
+            paper_db,
+            RankDifference(physical_inputs("R", "p1"), _only_a5(paper_db)),
+        )
+        assert [values for values, __ in got] == [(1, 2), (2, 3), (3, 4)]
+
+    def test_keeps_outer_order(self, paper_db):
+        got, __ = run_physical(
+            paper_db,
+            RankDifference(physical_inputs("R", "p1"), _only_a5(paper_db)),
+        )
+        scores = [score for __, score in got]
+        assert scores == [1.9, 1.8, 1.7]  # F1_{p1} order of R
+
+    def test_union_compat_enforced(self, paper_db):
+        operator = RankDifference(
+            physical_inputs("R", "p1"), Mu(SeqScan("S"), "p3")
+        )
+        # R has 2 columns, S has 2 columns — compatible arity; build a
+        # 1-column mismatch via projection instead.
+        from repro.execution import Project
+
+        bad = RankDifference(
+            Project(physical_inputs("R", "p1"), ("R.a",)),
+            physical_inputs("R2", "p2"),
+        )
+        context = ExecutionContext(paper_db.catalog, paper_db.F1)
+        with pytest.raises(RuntimeError):
+            bad.open(context)

@@ -1,0 +1,182 @@
+"""Figure 7: the two alternative plans for Example 1 (Amy's trip query).
+
+Builds the paper's traditional plan (7a: sort-merge/nested-loop joins under
+a monolithic sort) and ranking plan (7b: µ's split from the sort and pushed
+down — µ_p1 combined with the scan into idxScan_p1(H), NRJN for the
+Boolean join c2, HRJN for the equi-join c3) over a synthetic
+Hotel/Restaurant/Museum database, and checks that
+
+* both plans produce the same top-k,
+* the ranking plan does less work,
+* the plan shapes match the figure's operators.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.expressions import col, lit
+from repro.algebra.predicates import BooleanPredicate, RankingPredicate, ScoringFunction
+from repro.execution import ExecutionContext, run_plan
+from repro.optimizer import (
+    FilterPlan,
+    HRJNPlan,
+    LimitPlan,
+    MuPlan,
+    NRJNPlan,
+    NestedLoopJoinPlan,
+    RankScanPlan,
+    SeqScanPlan,
+    SortMergeJoinPlan,
+    SortPlan,
+)
+from repro.storage import Catalog, ColumnIndex, DataType, RankIndex, Schema
+
+K = 5
+AREAS = 12
+
+
+@pytest.fixture(scope="module")
+def trip_db():
+    rng = random.Random(101)
+    catalog = Catalog()
+    hotel = catalog.create_table(
+        "H", Schema.of(("price", DataType.FLOAT), ("addr", DataType.INT))
+    )
+    restaurant = catalog.create_table(
+        "R",
+        Schema.of(
+            ("cuisine", DataType.TEXT),
+            ("price", DataType.FLOAT),
+            ("addr", DataType.INT),
+            ("area", DataType.INT),
+        ),
+    )
+    museum = catalog.create_table(
+        "M", Schema.of(("collection", DataType.TEXT), ("area", DataType.INT))
+    )
+    cuisines = ["Italian", "Thai", "French"]
+    collections = ["dinosaur", "space", "art"]
+    for __ in range(120):
+        hotel.insert([round(rng.uniform(30, 150), 2), rng.randrange(100)])
+        restaurant.insert(
+            [
+                rng.choice(cuisines),
+                round(rng.uniform(5, 60), 2),
+                rng.randrange(100),
+                rng.randrange(AREAS),
+            ]
+        )
+    for __ in range(60):
+        museum.insert([rng.choice(collections), rng.randrange(AREAS)])
+
+    p1 = RankingPredicate("p1", ["H.price"], lambda p: max(0.0, 1 - p / 150))
+    p2 = RankingPredicate(
+        "p2", ["H.addr", "R.addr"], lambda a, b: max(0.0, 1 - abs(a - b) / 100)
+    )
+    p3 = RankingPredicate(
+        "p3",
+        ["M.collection"],
+        lambda c: {"dinosaur": 1.0, "space": 0.5, "art": 0.2}[c],
+    )
+    for predicate in (p1, p2, p3):
+        catalog.register_predicate(predicate)
+    scoring = ScoringFunction([p1, p2, p3])
+    hotel.attach_index(RankIndex("H_p1", hotel.schema, "p1", p1.compile(hotel.schema)))
+    restaurant.attach_index(ColumnIndex("R_area", restaurant.schema, "R.area"))
+    museum.attach_index(ColumnIndex("M_area", museum.schema, "M.area"))
+
+    c1 = BooleanPredicate(col("R.cuisine").eq(lit("Italian")), "c1")
+    c2 = BooleanPredicate((col("H.price") + col("R.price")) < lit(100), "c2")
+    c3 = BooleanPredicate(col("R.area").eq(col("M.area")), "c3")
+    return catalog, scoring, (c1, c2, c3)
+
+
+def traditional_plan(conditions, k=K):
+    """Figure 7(a): NLJ(H, σc1(R)) on c2, SMJ with M on c3, sort on top."""
+    c1, c2, c3 = conditions
+    hr = NestedLoopJoinPlan(SeqScanPlan("H"), FilterPlan(SeqScanPlan("R"), c1), c2)
+    hrm = SortMergeJoinPlan(hr, SeqScanPlan("M"), "R.area", "M.area")
+    return LimitPlan(SortPlan(hrm, frozenset({"p1", "p2", "p3"})), k)
+
+
+def ranking_plan(conditions, k=K):
+    """Figure 7(b): µ_p1 fused into idxScan_p1(H); NRJN on c2 with σc1(R);
+    µ_p2 above; HRJN on c3 with µ_p3 over M."""
+    c1, c2, c3 = conditions
+    h_side = RankScanPlan("H", "p1")
+    r_side = FilterPlan(SeqScanPlan("R"), c1)
+    hr = MuPlan(NRJNPlan(h_side, r_side, c2), "p2")
+    m_side = MuPlan(SeqScanPlan("M"), "p3")
+    hrm = HRJNPlan(hr, m_side, "R.area", "M.area")
+    return LimitPlan(hrm, k)
+
+
+def execute(catalog, scoring, plan):
+    context = ExecutionContext(catalog, scoring)
+    out = run_plan(plan.build(), context, k=K)
+    return [round(context.upper_bound(s), 9) for s in out], context.metrics
+
+
+class TestFigure7:
+    def test_plans_agree(self, trip_db):
+        catalog, scoring, conditions = trip_db
+        traditional_scores, __ = execute(
+            catalog, scoring, traditional_plan(conditions)
+        )
+        ranking_scores, __ = execute(catalog, scoring, ranking_plan(conditions))
+        assert ranking_scores == traditional_scores
+        assert len(ranking_scores) == K
+
+    def test_ranking_plan_cheaper(self, trip_db):
+        catalog, scoring, conditions = trip_db
+        __, traditional_metrics = execute(
+            catalog, scoring, traditional_plan(conditions)
+        )
+        __, ranking_metrics = execute(catalog, scoring, ranking_plan(conditions))
+        assert ranking_metrics.simulated_cost < traditional_metrics.simulated_cost
+        # The traditional plan evaluates all three predicates on every
+        # surviving join tuple; the ranking plan does not.
+        assert (
+            ranking_metrics.predicate_evaluations
+            < traditional_metrics.predicate_evaluations
+        )
+
+    def test_plan_shapes_match_figure(self, trip_db):
+        __, __, conditions = trip_db
+        traditional_labels = [n.label() for n in traditional_plan(conditions).walk()]
+        assert any(label == "sort" for label in traditional_labels)
+        assert any(label.startswith("sortMergeJoin") for label in traditional_labels)
+        assert any(label.startswith("nestLoop") for label in traditional_labels)
+        ranking_labels = [n.label() for n in ranking_plan(conditions).walk()]
+        assert "idxScan_p1(H)" in ranking_labels
+        assert any(label.startswith("NRJN") for label in ranking_labels)
+        assert any(label.startswith("HRJN") for label in ranking_labels)
+        assert "rank_p2" in ranking_labels and "rank_p3" in ranking_labels
+        assert not any(label == "sort" for label in ranking_labels)
+
+    def test_matches_brute_force(self, trip_db):
+        catalog, scoring, conditions = trip_db
+        hotels = [r.values for r in catalog.table("H").rows()]
+        restaurants = [
+            r.values for r in catalog.table("R").rows() if r.values[0] == "Italian"
+        ]
+        museums = [r.values for r in catalog.table("M").rows()]
+        relevance = {"dinosaur": 1.0, "space": 0.5, "art": 0.2}
+        scores = []
+        for h in hotels:
+            for r in restaurants:
+                if h[0] + r[1] >= 100:
+                    continue
+                for m in museums:
+                    if r[3] != m[1]:
+                        continue
+                    scores.append(
+                        max(0.0, 1 - h[0] / 150)
+                        + max(0.0, 1 - abs(h[1] - r[2]) / 100)
+                        + relevance[m[0]]
+                    )
+        scores.sort(reverse=True)
+        expected = [round(v, 9) for v in scores[:K]]
+        got, __ = execute(catalog, scoring, ranking_plan(trip_db[2]))
+        assert got == expected

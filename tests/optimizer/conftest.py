@@ -1,0 +1,72 @@
+"""Optimizer test fixtures: a small two-table ranked database (the shape of
+Example 5: R ⋈ S on a, predicates p1 on R, p3/p4 on S)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.predicates import BooleanPredicate, RankingPredicate, ScoringFunction
+from repro.optimizer import JoinCondition, QuerySpec
+from repro.storage import Catalog, ColumnIndex, DataType, RankIndex, Schema
+
+
+class Example5DB:
+    """Randomized instance of the Example 5 query environment."""
+
+    def __init__(self, n=400, distinct=20, seed=7, k=5):
+        rng = random.Random(seed)
+        self.catalog = Catalog()
+        self.R = self.catalog.create_table(
+            "R", Schema.of(("a", DataType.INT), ("x", DataType.FLOAT))
+        )
+        self.S = self.catalog.create_table(
+            "S",
+            Schema.of(("a", DataType.INT), ("y", DataType.FLOAT), ("z", DataType.FLOAT)),
+        )
+        for __ in range(n):
+            self.R.insert([rng.randrange(distinct), rng.random()])
+            self.S.insert([rng.randrange(distinct), rng.random(), rng.random()])
+        self.p1 = RankingPredicate("p1", ["R.x"], lambda x: x, cost=1.0)
+        self.p3 = RankingPredicate("p3", ["S.y"], lambda y: y, cost=1.0)
+        self.p4 = RankingPredicate("p4", ["S.z"], lambda z: z, cost=1.0)
+        for predicate in (self.p1, self.p3, self.p4):
+            self.catalog.register_predicate(predicate)
+        self.scoring = ScoringFunction([self.p1, self.p3, self.p4])
+
+        self.R.attach_index(
+            RankIndex("R_p1", self.R.schema, "p1", self.p1.compile(self.R.schema))
+        )
+        self.S.attach_index(
+            RankIndex("S_p3", self.S.schema, "p3", self.p3.compile(self.S.schema))
+        )
+        self.R.attach_index(ColumnIndex("R_a", self.R.schema, "R.a"))
+        self.S.attach_index(ColumnIndex("S_a", self.S.schema, "S.a"))
+
+        join = JoinCondition.from_predicate(
+            BooleanPredicate(col("R.a").eq(col("S.a")), "R.a=S.a")
+        )
+        self.spec = QuerySpec(
+            tables=["R", "S"], scoring=self.scoring, k=k, join_conditions=[join]
+        )
+
+    def brute_force_scores(self, k):
+        out = []
+        for r in self.R.rows():
+            for s in self.S.rows():
+                if r[0] == s[0]:
+                    out.append(r[1] + s[1] + s[2])
+        out.sort(reverse=True)
+        return out[:k]
+
+
+@pytest.fixture
+def example5() -> Example5DB:
+    return Example5DB()
+
+
+@pytest.fixture
+def example5_small() -> Example5DB:
+    return Example5DB(n=80, distinct=8, seed=11, k=3)

@@ -1,0 +1,120 @@
+"""Tests for the sampling-based cardinality estimator (§5.2)."""
+
+import math
+
+import pytest
+
+from repro.optimizer import (
+    CardinalityEstimator,
+    MuPlan,
+    RankScanPlan,
+    SampleDatabase,
+    SeqScanPlan,
+)
+
+
+class TestSampleDatabase:
+    def test_tables_mirrored_with_names(self, example5):
+        sample = SampleDatabase(example5.catalog, ratio=0.2, seed=1)
+        assert sample.catalog.has_table("R")
+        assert sample.catalog.has_table("S")
+
+    def test_sample_size_roughly_proportional(self, example5):
+        sample = SampleDatabase(example5.catalog, ratio=0.25, seed=1)
+        n = sample.catalog.table("R").row_count
+        expected = example5.R.row_count * 0.25
+        assert 0.4 * expected <= n <= 1.8 * expected
+
+    def test_min_rows_guaranteed(self, example5):
+        sample = SampleDatabase(example5.catalog, ratio=1e-9, seed=1, min_rows=2)
+        assert sample.catalog.table("R").row_count >= 2
+
+    def test_indexes_mirrored(self, example5):
+        sample = SampleDatabase(example5.catalog, ratio=0.2, seed=1)
+        sampled_r = sample.catalog.table("R")
+        assert sampled_r.find_index(key="p1") is not None
+        assert sampled_r.find_index(key="R.a") is not None
+
+    def test_predicates_registered(self, example5):
+        sample = SampleDatabase(example5.catalog, ratio=0.2, seed=1)
+        assert sample.catalog.has_predicate("p1")
+
+    def test_deterministic_under_seed(self, example5):
+        a = SampleDatabase(example5.catalog, ratio=0.2, seed=5)
+        b = SampleDatabase(example5.catalog, ratio=0.2, seed=5)
+        assert a.catalog.table("R").row_count == b.catalog.table("R").row_count
+
+    def test_invalid_ratio(self, example5):
+        with pytest.raises(ValueError):
+            SampleDatabase(example5.catalog, ratio=0.0)
+        with pytest.raises(ValueError):
+            SampleDatabase(example5.catalog, ratio=1.5)
+
+
+class TestCutoffEstimation:
+    def test_cutoff_close_to_true_kth_score(self, example5):
+        estimator = CardinalityEstimator(
+            example5.catalog, example5.spec, ratio=0.3, seed=2
+        )
+        true_scores = example5.brute_force_scores(example5.spec.k)
+        x = true_scores[-1]
+        # The estimate should land in the right region of the score space.
+        assert estimator.cutoff == estimator.cutoff  # not NaN
+        assert estimator.cutoff <= example5.scoring.max_possible()
+        assert abs(estimator.cutoff - x) < 0.75
+
+    def test_insufficient_sample_gives_minus_inf(self, example5_small):
+        # A tiny ratio keeps ~1 row per table; the sample join is likely
+        # empty, so the cutoff must fall back to -inf (everything passes).
+        estimator = CardinalityEstimator(
+            example5_small.catalog, example5_small.spec, ratio=0.02, seed=3
+        )
+        assert estimator.cutoff == -math.inf or estimator.cutoff <= 3.0
+
+
+class TestScaling:
+    def test_seq_scan_estimates_table_size(self, example5):
+        estimator = CardinalityEstimator(
+            example5.catalog, example5.spec, ratio=0.25, seed=2
+        )
+        estimate = estimator.estimate(SeqScanPlan("R"))
+        # All seq-scan outputs are above any cutoff (bound = max possible):
+        # the estimate is sample_count / ratio ≈ table size.
+        assert estimate == pytest.approx(example5.R.row_count, rel=0.6)
+
+    def test_mu_estimate_no_larger_than_input(self, example5):
+        estimator = CardinalityEstimator(
+            example5.catalog, example5.spec, ratio=0.25, seed=2
+        )
+        scan = RankScanPlan("R", "p1")
+        mu = MuPlan(scan, "p1")
+        assert estimator.estimate(mu) <= estimator.estimate(scan) * 1.5 + 1
+
+    def test_memoization(self, example5):
+        estimator = CardinalityEstimator(
+            example5.catalog, example5.spec, ratio=0.25, seed=2
+        )
+        plan = SeqScanPlan("R")
+        first = estimator.estimate(plan)
+        assert estimator.estimate(SeqScanPlan("R")) == first
+        assert plan.fingerprint() in estimator._memo
+
+    def test_sample_outputs_exposed(self, example5):
+        estimator = CardinalityEstimator(
+            example5.catalog, example5.spec, ratio=0.25, seed=2
+        )
+        plan = SeqScanPlan("R")
+        estimator.estimate(plan)
+        assert estimator.sample_outputs(plan) > 0
+
+    def test_rank_scan_estimate_k_sensitive(self, example5):
+        """With a finite cutoff the rank-scan's estimate is below the full
+        table size — the k-sensitivity the paper's estimator captures."""
+        estimator = CardinalityEstimator(
+            example5.catalog, example5.spec, ratio=0.3, seed=2
+        )
+        if estimator.cutoff == -math.inf:
+            pytest.skip("sample too small for a finite cutoff")
+        ranked = estimator.estimate(RankScanPlan("R", "p1"))
+        full = estimator.estimate(SeqScanPlan("R"))
+        assert ranked <= full

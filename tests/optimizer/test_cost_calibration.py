@@ -1,0 +1,66 @@
+"""Cost-model calibration: estimated plan costs vs executed costs.
+
+The cost model's absolute accuracy is unimportant; what pruning requires is
+that its *ordering* of plans tracks the execution engine's measured
+simulated cost.  Checked on the four Figure 11 plans.
+"""
+
+import pytest
+
+from repro.execution import ExecutionContext, run_plan
+from repro.optimizer import CardinalityEstimator, CostModel, SampleDatabase
+from repro.workloads import WorkloadConfig, build_workload, plan1, plan2, plan3, plan4
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    workload = build_workload(
+        WorkloadConfig(table_size=800, join_selectivity=0.01, seed=29, k=10)
+    )
+    estimator = CardinalityEstimator(
+        workload.catalog,
+        workload.spec,
+        sample=SampleDatabase(workload.catalog, ratio=0.1, seed=3),
+    )
+    model = CostModel(workload.catalog, workload.spec, estimator)
+    rows = {}
+    for name, builder in (
+        ("plan1", plan1),
+        ("plan2", plan2),
+        ("plan3", plan3),
+        ("plan4", plan4),
+    ):
+        plan = builder(workload)
+        estimated = model.cost(plan)
+        context = ExecutionContext(workload.catalog, workload.scoring)
+        run_plan(plan.build(), context, k=workload.config.k)
+        rows[name] = (estimated, context.metrics.simulated_cost)
+    return rows
+
+
+class TestCalibration:
+    def test_estimates_positive(self, calibration):
+        for name, (estimated, measured) in calibration.items():
+            assert estimated > 0 and measured > 0, name
+
+    def test_traditional_vs_best_gap_predicted(self, calibration):
+        """The model must predict the dominant effect: plan1 ≫ plan2."""
+        assert calibration["plan1"][0] > calibration["plan2"][0] * 3
+
+    def test_best_plan_identified(self, calibration):
+        """The plan the model ranks cheapest is the measured cheapest (or
+        within 2× of it)."""
+        by_estimate = min(calibration, key=lambda n: calibration[n][0])
+        best_measured = min(v[1] for v in calibration.values())
+        assert calibration[by_estimate][1] <= best_measured * 2
+
+    def test_worst_plan_identified(self, calibration):
+        by_estimate = max(calibration, key=lambda n: calibration[n][0])
+        worst_measured = max(v[1] for v in calibration.values())
+        assert calibration[by_estimate][1] >= worst_measured / 2
+
+    def test_estimates_within_order_of_magnitude(self, calibration):
+        """Absolute calibration: each estimate within 10× of measurement."""
+        for name, (estimated, measured) in calibration.items():
+            ratio = estimated / measured
+            assert 0.1 <= ratio <= 10, f"{name}: est {estimated:.0f} vs {measured:.0f}"

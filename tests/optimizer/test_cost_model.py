@@ -1,0 +1,140 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.predicates import BooleanPredicate
+from repro.optimizer import (
+    CardinalityEstimator,
+    CostModel,
+    FilterPlan,
+    HRJNPlan,
+    LimitPlan,
+    MuPlan,
+    NRJNPlan,
+    RankScanPlan,
+    SeqScanPlan,
+    SortMergeJoinPlan,
+    SortPlan,
+)
+
+
+@pytest.fixture
+def model(example5):
+    estimator = CardinalityEstimator(
+        example5.catalog, example5.spec, ratio=0.25, seed=2
+    )
+    return CostModel(example5.catalog, example5.spec, estimator)
+
+
+class TestFullCardinality:
+    def test_scan_is_table_size(self, model, example5):
+        assert model.full_cardinality(SeqScanPlan("R")) == example5.R.row_count
+
+    def test_filter_scales_by_selectivity(self, model, example5):
+        condition = BooleanPredicate(col("R.x") > 0.5, "x>0.5")
+        plan = FilterPlan(SeqScanPlan("R"), condition)
+        full = model.full_cardinality(plan)
+        assert 0 < full < example5.R.row_count
+        # ~half the rows pass on uniform data.
+        assert full == pytest.approx(example5.R.row_count / 2, rel=0.5)
+
+    def test_mu_keeps_membership(self, model, example5):
+        plan = MuPlan(SeqScanPlan("R"), "p1")
+        assert model.full_cardinality(plan) == example5.R.row_count
+
+    def test_equi_join_uses_distinct_counts(self, model, example5):
+        plan = HRJNPlan(SeqScanPlan("R"), SeqScanPlan("S"), "R.a", "S.a")
+        n = example5.R.row_count
+        distinct = 20
+        assert model.full_cardinality(plan) == pytest.approx(n * n / distinct, rel=0.1)
+
+    def test_limit_caps(self, model, example5):
+        plan = LimitPlan(SeqScanPlan("R"), 7)
+        assert model.full_cardinality(plan) == 7
+
+    def test_sort_keeps_cardinality(self, model, example5):
+        plan = SortPlan(SeqScanPlan("R"), frozenset({"p1"}))
+        assert model.full_cardinality(plan) == example5.R.row_count
+
+
+class TestSelectivities:
+    def test_selection_selectivity_measured_on_sample(self, model):
+        condition = BooleanPredicate(col("R.x") > 0.9, "x>0.9")
+        selectivity = model.selection_selectivity(condition)
+        assert 0 < selectivity < 0.35
+
+    def test_selectivity_memoized(self, model):
+        condition = BooleanPredicate(col("R.x") > 0.9, "x>0.9")
+        assert model.selection_selectivity(condition) == model.selection_selectivity(
+            condition
+        )
+
+    def test_join_selectivity_from_stats(self, model):
+        selectivity = model.join_selectivity("R.a", "S.a")
+        assert selectivity == pytest.approx(1 / 20, rel=0.01)
+
+
+class TestCost:
+    def test_cost_positive_and_memoized(self, model):
+        plan = MuPlan(RankScanPlan("R", "p1"), "p1")
+        first = model.cost(plan)
+        assert first > 0
+        assert model.cost(plan) == first
+
+    def test_children_cost_included(self, model):
+        child = RankScanPlan("S", "p3")
+        parent = MuPlan(child, "p4")
+        assert model.cost(parent) > model.cost(child)
+
+    def test_sort_costs_more_than_rank_pipeline(self, model):
+        """Materialize-then-sort vs µ over a rank-scan for small k: the
+        blocking plan evaluates every predicate on every tuple."""
+        ranked = MuPlan(RankScanPlan("S", "p3"), "p4")
+        blocking = SortPlan(SeqScanPlan("S"), frozenset({"p1", "p3", "p4"}))
+        assert model.cost(blocking) > model.cost(ranked)
+
+    def test_expensive_predicate_raises_mu_cost(self, example5):
+        estimator = CardinalityEstimator(
+            example5.catalog, example5.spec, ratio=0.25, seed=2
+        )
+        model = CostModel(example5.catalog, example5.spec, estimator)
+        cheap_cost = model.cost(MuPlan(RankScanPlan("S", "p3"), "p4"))
+        example5.p4.cost = 50.0
+        try:
+            model_expensive = CostModel(example5.catalog, example5.spec, estimator)
+            expensive_cost = model_expensive.cost(
+                MuPlan(RankScanPlan("S", "p3"), "p4")
+            )
+            assert expensive_cost > cheap_cost
+        finally:
+            example5.p4.cost = 1.0
+
+    def test_nrjn_costs_more_than_hrjn(self, model, example5):
+        left = RankScanPlan("R", "p1")
+        right = RankScanPlan("S", "p3")
+        hrjn = HRJNPlan(left, right, "R.a", "S.a")
+        condition = BooleanPredicate(col("R.a").eq(col("S.a")), "j")
+        nrjn = NRJNPlan(left, right, condition)
+        assert model.cost(nrjn) > model.cost(hrjn)
+
+    def test_blocking_join_uses_full_cardinalities(self, model, example5):
+        """An SMJ's cost reflects full drains of both inputs, so it exceeds
+        the cost of its (k-sensitive) rank-join counterpart."""
+        smj = SortMergeJoinPlan(SeqScanPlan("R"), SeqScanPlan("S"), "R.a", "S.a")
+        hrjn = HRJNPlan(RankScanPlan("R", "p1"), RankScanPlan("S", "p3"), "R.a", "S.a")
+        assert model.cost(smj) > model.cost(hrjn)
+
+    def test_production_ranked_below_full_for_rank_scan(self, model, example5):
+        plan = RankScanPlan("R", "p1")
+        assert model.production(plan) <= model.full_cardinality(plan)
+
+    def test_unknown_node_raises(self, model):
+        class Strange:
+            def fingerprint(self):
+                return "?"
+
+            children = ()
+
+        with pytest.raises(TypeError):
+            model.full_cardinality(Strange())

@@ -1,0 +1,66 @@
+"""Tests for EXPLAIN ANALYZE (estimated vs actual per operator)."""
+
+import pytest
+
+from repro.optimizer import explain_analyze
+from repro.workloads import WorkloadConfig, build_workload, plan2
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(
+        WorkloadConfig(table_size=300, join_selectivity=0.02, seed=3, k=5)
+    )
+
+
+@pytest.fixture(scope="module")
+def report(workload):
+    return explain_analyze(
+        workload.catalog, workload.spec, plan2(workload), sample_ratio=0.1, seed=2
+    )
+
+
+class TestAnalyzeReport:
+    def test_one_node_per_plan_operator(self, workload, report):
+        assert len(report.nodes) == sum(1 for __ in plan2(workload).walk())
+
+    def test_returned_rows(self, report, workload):
+        assert report.returned == workload.config.k
+
+    def test_root_actuals(self, report, workload):
+        root = report.nodes[0]
+        assert root.label.startswith("limit")
+        assert root.actual_out == workload.config.k
+
+    def test_estimates_populated(self, report):
+        for node in report.nodes:
+            assert node.estimated_rows >= 0
+            assert node.estimated_cost >= 0
+
+    def test_depths_match_tree(self, report):
+        assert report.nodes[0].depth == 0
+        assert max(node.depth for node in report.nodes) >= 3
+
+    def test_render_contains_every_operator(self, report):
+        text = report.render()
+        for node in report.nodes:
+            assert node.label in text
+        assert "returned 5 rows" in text
+        assert "est rows=" in text and "actual in=" in text
+
+    def test_metrics_summary_attached(self, report):
+        assert report.metrics_summary["tuples_scanned"] > 0
+
+
+class TestDatabaseEntryPoint:
+    def test_explain_analyze_via_sql(self, workload):
+        sql = (
+            "SELECT * FROM A, B, C "
+            "WHERE A.jc1 = B.jc1 AND B.jc2 = C.jc2 AND A.b AND B.b "
+            "ORDER BY f1(A.p1) + f2(A.p2) + f3(B.p1) + f4(B.p2) + f5(C.p1) "
+            "LIMIT 3"
+        )
+        text = workload.database.explain_analyze(sql, sample_ratio=0.1, seed=2)
+        assert "limit(3)" in text
+        assert "est rows=" in text
+        assert "returned 3 rows" in text

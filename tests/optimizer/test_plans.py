@@ -1,0 +1,126 @@
+"""Unit tests for physical plan descriptors."""
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.algebra.predicates import BooleanPredicate
+from repro.execution import ExecutionContext, run_plan
+from repro.optimizer import (
+    ColumnOrderScanPlan,
+    FilterPlan,
+    HRJNPlan,
+    HashJoinPlan,
+    LimitPlan,
+    MuPlan,
+    NestedLoopJoinPlan,
+    ProjectPlan,
+    RankScanPlan,
+    SeqScanPlan,
+    SortMergeJoinPlan,
+    SortPlan,
+)
+
+
+class TestSignatures:
+    def test_scan_signature(self):
+        plan = SeqScanPlan("R")
+        assert plan.signature == (frozenset({"R"}), frozenset())
+
+    def test_rank_scan_carries_predicate(self):
+        plan = RankScanPlan("R", "p1")
+        assert plan.signature == (frozenset({"R"}), frozenset({"p1"}))
+
+    def test_mu_accumulates(self):
+        plan = MuPlan(MuPlan(SeqScanPlan("R"), "p1"), "p2")
+        assert plan.rank_predicates == frozenset({"p1", "p2"})
+
+    def test_join_unions_tables(self):
+        plan = HRJNPlan(
+            RankScanPlan("R", "p1"), RankScanPlan("S", "p3"), "R.a", "S.a"
+        )
+        assert plan.tables == frozenset({"R", "S"})
+        assert plan.rank_predicates == frozenset({"p1", "p3"})
+
+    def test_sort_carries_all_predicates(self):
+        plan = SortPlan(SeqScanPlan("R"), frozenset({"p1", "p2"}))
+        assert plan.rank_predicates == frozenset({"p1", "p2"})
+
+    def test_filter_transparent(self):
+        condition = BooleanPredicate(col("R.a") > 1, "c")
+        plan = FilterPlan(RankScanPlan("R", "p1"), condition)
+        assert plan.signature == (frozenset({"R"}), frozenset({"p1"}))
+
+
+class TestPhysicalProperties:
+    def test_column_order_scan_exposes_order(self):
+        plan = ColumnOrderScanPlan("R", "R.a")
+        assert plan.column_order == "R.a"
+
+    def test_filter_preserves_column_order(self):
+        condition = BooleanPredicate(col("R.a") > 1, "c")
+        plan = FilterPlan(ColumnOrderScanPlan("R", "R.a"), condition)
+        assert plan.column_order == "R.a"
+
+    def test_smj_ranked_only_when_no_predicates(self):
+        plain = SortMergeJoinPlan(SeqScanPlan("R"), SeqScanPlan("S"), "R.a", "S.a")
+        assert plain.is_ranked
+        ranked_input = SortMergeJoinPlan(
+            RankScanPlan("R", "p1"), SeqScanPlan("S"), "R.a", "S.a"
+        )
+        assert not ranked_input.is_ranked
+
+    def test_hash_and_nlj_same_rule(self):
+        assert HashJoinPlan(SeqScanPlan("R"), SeqScanPlan("S"), "R.a", "S.a").is_ranked
+        assert not HashJoinPlan(
+            RankScanPlan("R", "p"), SeqScanPlan("S"), "R.a", "S.a"
+        ).is_ranked
+        assert NestedLoopJoinPlan(SeqScanPlan("R"), SeqScanPlan("S"), None).is_ranked
+
+    def test_mu_is_ranked(self):
+        assert MuPlan(SeqScanPlan("R"), "p").is_ranked
+
+
+class TestFingerprints:
+    def test_identical_plans_same_fingerprint(self):
+        a = MuPlan(RankScanPlan("R", "p1"), "p2")
+        b = MuPlan(RankScanPlan("R", "p1"), "p2")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_plans_different_fingerprint(self):
+        a = MuPlan(RankScanPlan("R", "p1"), "p2")
+        b = MuPlan(RankScanPlan("R", "p2"), "p1")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_explain_indents(self):
+        plan = LimitPlan(MuPlan(SeqScanPlan("R"), "p"), 3)
+        text = plan.explain()
+        lines = text.splitlines()
+        assert lines[0].startswith("limit")
+        assert lines[1].startswith("  rank_p")
+        assert lines[2].startswith("    seqScan")
+
+    def test_walk_preorder(self):
+        plan = LimitPlan(MuPlan(SeqScanPlan("R"), "p"), 3)
+        labels = [node.label() for node in plan.walk()]
+        assert labels == ["limit(3)", "rank_p", "seqScan(R)"]
+
+
+class TestBuildRoundTrip:
+    def test_build_produces_fresh_operators(self, paper_db):
+        plan = LimitPlan(MuPlan(RankScanPlan("S", "p3"), "p4"), 2)
+        first = plan.build()
+        second = plan.build()
+        assert first is not second
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        out = run_plan(first, context, k=2)
+        assert len(out) == 2
+        # The second build is untouched and still runnable.
+        context2 = ExecutionContext(paper_db.catalog, paper_db.F2)
+        out2 = run_plan(second, context2, k=2)
+        assert [s.row.values for s in out] == [s.row.values for s in out2]
+
+    def test_project_plan_build(self, paper_db):
+        plan = ProjectPlan(MuPlan(RankScanPlan("S", "p3"), "p4"), ["S.c"])
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        out = run_plan(plan.build(), context, k=3)
+        assert all(len(s.row.values) == 1 for s in out)

@@ -1,0 +1,100 @@
+"""Unit tests for query specs and join conditions."""
+
+import pytest
+
+from repro.algebra.expressions import col, lit
+from repro.algebra.predicates import BooleanPredicate, RankingPredicate, ScoringFunction
+from repro.optimizer import JoinCondition, QuerySpec
+
+
+def scoring_two_tables():
+    pr = RankingPredicate("pr", ["R.x"], lambda x: x)
+    ps = RankingPredicate("ps", ["S.y"], lambda y: y)
+    pj = RankingPredicate("pj", ["R.x", "S.y"], lambda x, y: (x + y) / 2)
+    return ScoringFunction([pr, ps, pj])
+
+
+class TestJoinCondition:
+    def test_equi_detection(self):
+        predicate = BooleanPredicate(col("R.a").eq(col("S.b")), "j")
+        condition = JoinCondition.from_predicate(predicate)
+        assert condition.is_equi
+        assert condition.key_for("R") == "R.a"
+        assert condition.key_for("S") == "S.b"
+        assert condition.key_for("T") is None
+
+    def test_non_equi_not_flagged(self):
+        predicate = BooleanPredicate(col("R.a") < col("S.b"), "j")
+        condition = JoinCondition.from_predicate(predicate)
+        assert not condition.is_equi
+
+    def test_comparison_to_literal_not_equi(self):
+        predicate = BooleanPredicate(col("R.a").eq(lit(5)), "sel")
+        condition = JoinCondition.from_predicate(predicate)
+        assert not condition.is_equi
+
+    def test_tables(self):
+        predicate = BooleanPredicate(col("R.a").eq(col("S.b")), "j")
+        assert JoinCondition.from_predicate(predicate).tables == frozenset({"R", "S"})
+
+
+class TestQuerySpec:
+    def make(self, **kwargs):
+        scoring = scoring_two_tables()
+        join = JoinCondition.from_predicate(
+            BooleanPredicate(col("R.a").eq(col("S.a")), "j")
+        )
+        defaults = dict(
+            tables=["R", "S"], scoring=scoring, k=10, join_conditions=[join]
+        )
+        defaults.update(kwargs)
+        return QuerySpec(**defaults)
+
+    def test_valid_spec(self):
+        spec = self.make()
+        assert spec.tables == ["R", "S"]
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(tables=[])
+
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(tables=["R", "R"])
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(k=-1)
+
+    def test_multi_table_selection_rejected(self):
+        bad = BooleanPredicate(col("R.a").eq(col("S.a")), "cross")
+        with pytest.raises(ValueError):
+            self.make(selections=[bad])
+
+    def test_selections_on(self):
+        sel = BooleanPredicate(col("R.a") > 1, "sel")
+        spec = self.make(selections=[sel])
+        assert spec.selections_on("R") == [sel]
+        assert spec.selections_on("S") == []
+
+    def test_join_conditions_between(self):
+        spec = self.make()
+        found = spec.join_conditions_between(frozenset({"R"}), frozenset({"S"}))
+        assert len(found) == 1
+        assert spec.join_conditions_between(frozenset({"R"}), frozenset({"T"})) == []
+
+    def test_join_conditions_within(self):
+        spec = self.make()
+        assert len(spec.join_conditions_within(frozenset({"R", "S"}))) == 1
+        assert spec.join_conditions_within(frozenset({"R"})) == []
+
+    def test_predicates_evaluable_on(self):
+        spec = self.make()
+        assert spec.predicates_evaluable_on(frozenset({"R"})) == ["pr"]
+        assert spec.predicates_evaluable_on(frozenset({"S"})) == ["ps"]
+        # The rank-join predicate pj needs both tables.
+        assert set(spec.predicates_evaluable_on(frozenset({"R", "S"}))) == {
+            "pr",
+            "ps",
+            "pj",
+        }

@@ -1,0 +1,71 @@
+"""Plan descriptors for the rank-aware set operations."""
+
+import pytest
+
+from repro.execution import ExecutionContext, RankIntersect, run_plan
+from repro.optimizer import (
+    LimitPlan,
+    MuPlan,
+    RankDifferencePlan,
+    RankIntersectPlan,
+    RankUnionPlan,
+    SeqScanPlan,
+)
+
+
+def mu_side(table, predicate):
+    return MuPlan(SeqScanPlan(table), predicate)
+
+
+class TestSetOpPlanNodes:
+    def test_union_signature(self, paper_db):
+        plan = RankUnionPlan([mu_side("R", "p1"), mu_side("R2", "p2")])
+        assert plan.tables == frozenset({"R", "R2"})
+        assert plan.rank_predicates == frozenset({"p1", "p2"})
+
+    def test_difference_keeps_outer_predicates(self, paper_db):
+        plan = RankDifferencePlan([mu_side("R", "p1"), mu_side("R2", "p2")])
+        assert plan.rank_predicates == frozenset({"p1"})
+
+    def test_intersect_identity_label(self, paper_db):
+        by_value = RankIntersectPlan([mu_side("R", "p1"), mu_side("R2", "p2")])
+        by_identity = RankIntersectPlan(
+            [mu_side("R", "p1"), mu_side("R2", "p2")], by_identity=True
+        )
+        assert by_value.label() == "rankIntersect"
+        assert by_identity.label() == "rankIntersect_r"
+        assert by_value.fingerprint() != by_identity.fingerprint()
+
+    def test_intersect_build_passes_flag(self, paper_db):
+        plan = RankIntersectPlan(
+            [mu_side("R", "p1"), mu_side("R2", "p2")], by_identity=True
+        )
+        operator = plan.build()
+        assert isinstance(operator, RankIntersect)
+        assert operator.by_identity
+
+    def test_union_executes_figure_4d(self, paper_db):
+        plan = LimitPlan(
+            RankUnionPlan([mu_side("R", "p1"), mu_side("R2", "p2")]), 4
+        )
+        context = ExecutionContext(paper_db.catalog, paper_db.F1)
+        out = run_plan(plan.build(), context, k=4)
+        got = [(s.row.values, round(context.upper_bound(s), 4)) for s in out]
+        assert got == [
+            ((1, 2), 1.55),
+            ((3, 4), 1.4),
+            ((5, 1), 1.35),
+            ((2, 3), 1.3),
+        ]
+
+    def test_identity_intersect_self_preserves_duplicates(self, paper_db):
+        """µ_p1(R) ∩_r µ_p2(R) over the same table keeps all rows — the
+        Proposition 6 requirement."""
+        plan = RankIntersectPlan(
+            [mu_side("R", "p1"), mu_side("R", "p2")], by_identity=True
+        )
+        context = ExecutionContext(paper_db.catalog, paper_db.F1)
+        out = run_plan(plan.build(), context)
+        assert len(out) == 3
+        bounds = [context.upper_bound(s) for s in out]
+        assert bounds == sorted(bounds, reverse=True)

@@ -1,0 +1,156 @@
+"""Unit tests for the binder (AST → QuerySpec)."""
+
+import pytest
+
+from repro.engine import Database
+from repro.sql.binder import BindError, UNBOUNDED_K
+from repro.storage import DataType
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table(
+        "Hotel",
+        [("name", DataType.TEXT), ("price", DataType.FLOAT), ("area", DataType.INT)],
+    )
+    db.create_table(
+        "Restaurant",
+        [
+            ("name", DataType.TEXT),
+            ("cuisine", DataType.TEXT),
+            ("price", DataType.FLOAT),
+            ("area", DataType.INT),
+        ],
+    )
+    db.insert("Hotel", [("h1", 100.0, 1), ("h2", 80.0, 2)])
+    db.insert("Restaurant", [("r1", "Italian", 30.0, 1)])
+    db.register_predicate("cheap", ["Hotel.price"], lambda p: max(0.0, 1 - p / 200))
+    db.register_predicate(
+        "close", ["Hotel.area", "Restaurant.area"], lambda a, b: 1.0 if a == b else 0.0
+    )
+    return db
+
+
+class TestTableBinding:
+    def test_unknown_table(self, db):
+        with pytest.raises(BindError):
+            db.bind("SELECT * FROM Nope ORDER BY cheap(Nope.x) LIMIT 1")
+
+    def test_alias_resolution(self, db):
+        spec = db.bind(
+            "SELECT * FROM Hotel h WHERE h.price < 90 ORDER BY cheap(h.price) LIMIT 1"
+        )
+        assert spec.tables == ["Hotel"]
+        assert spec.selections[0].tables() == {"Hotel"}
+
+    def test_duplicate_alias_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind("SELECT * FROM Hotel h, Restaurant h ORDER BY cheap(h.price) LIMIT 1")
+
+    def test_self_join_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind(
+                "SELECT * FROM Hotel a, Hotel b ORDER BY cheap(a.price) LIMIT 1"
+            )
+
+
+class TestColumnResolution:
+    def test_bare_column_unique(self, db):
+        spec = db.bind(
+            "SELECT * FROM Hotel WHERE cuisine = 'x' OR price < 1 "
+            "ORDER BY cheap(Hotel.price) LIMIT 1"
+        ) if False else None
+        # "cuisine" is not in Hotel: must fail.
+        with pytest.raises(BindError):
+            db.bind(
+                "SELECT * FROM Hotel WHERE cuisine = 'x' "
+                "ORDER BY cheap(Hotel.price) LIMIT 1"
+            )
+
+    def test_ambiguous_bare_column(self, db):
+        with pytest.raises(BindError):
+            db.bind(
+                "SELECT * FROM Hotel, Restaurant WHERE price < 10 "
+                "ORDER BY cheap(Hotel.price) LIMIT 1"
+            )
+
+    def test_unknown_qualified_column(self, db):
+        with pytest.raises(BindError):
+            db.bind(
+                "SELECT * FROM Hotel h WHERE h.stars > 3 "
+                "ORDER BY cheap(h.price) LIMIT 1"
+            )
+
+    def test_projection_bound(self, db):
+        spec = db.bind(
+            "SELECT name, Hotel.price FROM Hotel ORDER BY cheap(Hotel.price) LIMIT 1"
+        )
+        assert spec.projection == ["Hotel.name", "Hotel.price"]
+
+
+class TestWhereClassification:
+    def test_selection_vs_join_split(self, db):
+        spec = db.bind(
+            "SELECT * FROM Hotel h, Restaurant r "
+            "WHERE r.cuisine = 'Italian' AND h.area = r.area "
+            "ORDER BY cheap(h.price) LIMIT 2"
+        )
+        assert len(spec.selections) == 1
+        assert len(spec.join_conditions) == 1
+        assert spec.join_conditions[0].is_equi
+
+    def test_cross_table_arithmetic_is_join_condition(self, db):
+        spec = db.bind(
+            "SELECT * FROM Hotel h, Restaurant r "
+            "WHERE h.price + r.price < 100 "
+            "ORDER BY cheap(h.price) LIMIT 2"
+        )
+        assert len(spec.join_conditions) == 1
+        assert not spec.join_conditions[0].is_equi
+
+
+class TestOrderByBinding:
+    def test_registered_predicate_call(self, db):
+        spec = db.bind("SELECT * FROM Hotel ORDER BY cheap(Hotel.price) LIMIT 3")
+        assert spec.scoring.predicate_names == ("cheap",)
+        assert spec.k == 3
+
+    def test_unknown_predicate_call(self, db):
+        with pytest.raises(BindError):
+            db.bind("SELECT * FROM Hotel ORDER BY shiny(Hotel.price) LIMIT 1")
+
+    def test_bare_name_resolves_to_predicate(self, db):
+        spec = db.bind("SELECT * FROM Hotel ORDER BY cheap LIMIT 1")
+        assert spec.scoring.predicate_names == ("cheap",)
+
+    def test_column_term_becomes_expression_predicate(self, db):
+        spec = db.bind("SELECT * FROM Hotel ORDER BY Hotel.price LIMIT 1")
+        (name,) = spec.scoring.predicate_names
+        assert name.startswith("expr:")
+        # p_max from stats: the max price is 100.
+        assert spec.scoring.predicate(name).p_max == pytest.approx(100.0)
+
+    def test_weighted_terms_build_wsum(self, db):
+        spec = db.bind(
+            "SELECT * FROM Hotel h, Restaurant r WHERE h.area = r.area "
+            "ORDER BY 0.7 * cheap(h.price) + 0.3 * close(h.area, r.area) LIMIT 1"
+        )
+        assert spec.scoring.combiner == "wsum"
+        assert spec.scoring.weights == (0.7, 0.3)
+
+    def test_no_order_by_gives_constant_scoring(self, db):
+        spec = db.bind("SELECT * FROM Hotel LIMIT 2")
+        assert spec.scoring.predicate_names == ("_unordered",)
+        assert spec.k == 2
+
+    def test_no_limit_unbounded(self, db):
+        spec = db.bind("SELECT * FROM Hotel ORDER BY cheap(Hotel.price)")
+        assert spec.k == UNBOUNDED_K
+
+    def test_function_call_in_where_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind(
+                "SELECT * FROM Hotel WHERE cheap(Hotel.price) = 1 "
+                "ORDER BY cheap(Hotel.price) LIMIT 1"
+            )

@@ -1,0 +1,79 @@
+"""SQL dialect edge cases and error behaviour."""
+
+import pytest
+
+from repro.sql.parser import ParseError, parse
+
+
+class TestOrderByEdges:
+    def test_mixed_product_and_sum_rejected(self):
+        # The dialect supports + chains or * chains, not a mix.
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t ORDER BY p1 * p2 + p3 LIMIT 1")
+
+    def test_empty_order_by_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t ORDER BY LIMIT 1")
+
+    def test_weighted_product_parses_as_weighted_sum_of_one(self):
+        statement = parse("SELECT * FROM t ORDER BY 0.5 * p1 LIMIT 1")
+        assert len(statement.order_by) == 1
+        assert statement.order_by[0].weight == 0.5
+        assert statement.order_by[0].combiner == "sum"
+
+    def test_call_with_no_args(self):
+        statement = parse("SELECT * FROM t ORDER BY popularity() LIMIT 1")
+        assert statement.order_by[0].expression.args == ()
+
+    def test_nested_arithmetic_in_call_args(self):
+        statement = parse(
+            "SELECT * FROM t ORDER BY score(t.a + t.b * 2, 'x') LIMIT 1"
+        )
+        call = statement.order_by[0].expression
+        assert len(call.args) == 2
+
+
+class TestWhereEdges:
+    def test_deeply_nested_parentheses(self):
+        statement = parse(
+            "SELECT * FROM t WHERE ((a = 1 OR (b = 2 AND c = 3)) AND d = 4)"
+        )
+        assert statement.where is not None
+
+    def test_double_not(self):
+        statement = parse("SELECT * FROM t WHERE NOT NOT a = 1")
+        assert statement.where.op == "not"
+        assert statement.where.operands[0].op == "not"
+
+    def test_comparison_chains_rejected(self):
+        # SQL has no "a < b < c"; the second comparison is trailing input.
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t WHERE a < b < c")
+
+    def test_arithmetic_only_where_is_allowed_syntactically(self):
+        # "WHERE t.flag" — bare truthy column (used by the §6 query).
+        statement = parse("SELECT * FROM t WHERE t.flag")
+        assert statement.where is not None
+
+    def test_string_comparison_each_side(self):
+        statement = parse("SELECT * FROM t WHERE 'a' = kind")
+        assert statement.where.op == "="
+
+
+class TestStatementEdges:
+    def test_keywords_not_usable_as_table(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM select")
+
+    def test_missing_select_rejected(self):
+        with pytest.raises(ParseError):
+            parse("FROM t")
+
+    def test_limit_float_truncates(self):
+        assert parse("SELECT * FROM t LIMIT 3.7").limit == 3
+
+    def test_whitespace_robustness(self):
+        statement = parse(
+            "select\n\t*\nfrom\tt\nwhere a=1\norder   by p1\nlimit 2"
+        )
+        assert statement.limit == 2

@@ -1,0 +1,72 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.sql.lexer import LexError, TokenType, tokenize
+
+
+def types_and_values(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = types_and_values("SELECT select SeLeCt")
+        assert all(t == (TokenType.KEYWORD, "select") for t in tokens)
+
+    def test_identifiers(self):
+        tokens = types_and_values("hotel h_1 _x")
+        assert [t[0] for t in tokens] == [TokenType.IDENTIFIER] * 3
+        assert tokens[0][1] == "hotel"
+
+    def test_qualified_name_splits_on_dot(self):
+        tokens = types_and_values("h.price")
+        assert [t[1] for t in tokens] == ["h", ".", "price"]
+
+    def test_numbers(self):
+        tokens = types_and_values("42 3.14 1e-3 0.5")
+        assert all(t[0] is TokenType.NUMBER for t in tokens)
+        assert [t[1] for t in tokens] == ["42", "3.14", "1e-3", "0.5"]
+
+    def test_integer_then_dot_identifier(self):
+        # "1.x" style: number must not swallow the qualifier dot blindly.
+        tokens = types_and_values("100 .5")
+        assert [t[1] for t in tokens] == ["100", ".5"]
+
+    def test_string_literal(self):
+        tokens = types_and_values("'Italian'")
+        assert tokens == [(TokenType.STRING, "Italian")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        tokens = types_and_values("<= >= <> != = < > + - * /")
+        assert all(t[0] is TokenType.OPERATOR for t in tokens)
+
+    def test_two_char_operators_preferred(self):
+        tokens = types_and_values("a<=b")
+        assert [t[1] for t in tokens] == ["a", "<=", "b"]
+
+    def test_punctuation(self):
+        tokens = types_and_values("f(a, b)")
+        values = [t[1] for t in tokens]
+        assert values == ["f", "(", "a", ",", "b", ")"]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_eof_always_last(self):
+        tokens = tokenize("select")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_whitespace_and_newlines(self):
+        tokens = types_and_values("select\n\t *\n from  t")
+        assert [t[1] for t in tokens] == ["select", "*", "from", "t"]

@@ -1,0 +1,139 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sql.ast import (
+    BinaryOpNode,
+    BooleanNode,
+    CallNode,
+    ColumnNode,
+    LiteralNode,
+)
+from repro.sql.parser import ParseError, parse
+
+EXAMPLE1 = """
+SELECT * FROM Hotel h, Restaurant r, Museum m
+WHERE r.cuisine = 'Italian' AND h.price + r.price < 100 AND r.area = m.area
+ORDER BY cheap(h.price) + close(h.addr, r.addr) + related(m.collection, 'dinosaur')
+LIMIT 5
+"""
+
+
+class TestSelectStructure:
+    def test_star_projection(self):
+        statement = parse("SELECT * FROM t")
+        assert statement.projection is None
+
+    def test_column_projection(self):
+        statement = parse("SELECT a, t.b FROM t")
+        assert statement.projection == ["a", "t.b"]
+
+    def test_tables_and_aliases(self):
+        statement = parse("SELECT * FROM Hotel h, Restaurant AS r")
+        assert [(t.name, t.alias) for t in statement.tables] == [
+            ("Hotel", "h"),
+            ("Restaurant", "r"),
+        ]
+
+    def test_limit(self):
+        assert parse("SELECT * FROM t LIMIT 7").limit == 7
+
+    def test_no_limit(self):
+        assert parse("SELECT * FROM t").limit is None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t garbage extra ,")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT *")
+
+
+class TestWhere:
+    def test_conjunction(self):
+        statement = parse("SELECT * FROM t WHERE a = 1 AND b < 2 AND c > 3")
+        assert isinstance(statement.where, BooleanNode)
+        assert statement.where.op == "and"
+        assert len(statement.where.operands) == 3
+
+    def test_or_precedence(self):
+        statement = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert statement.where.op == "or"
+
+    def test_not(self):
+        statement = parse("SELECT * FROM t WHERE NOT a = 1")
+        assert statement.where.op == "not"
+
+    def test_string_literal(self):
+        statement = parse("SELECT * FROM t WHERE cuisine = 'Italian'")
+        comparison = statement.where
+        assert isinstance(comparison, BinaryOpNode)
+        assert comparison.right == LiteralNode("Italian")
+
+    def test_arithmetic_in_comparison(self):
+        statement = parse("SELECT * FROM t WHERE h.price + r.price < 100")
+        comparison = statement.where
+        assert comparison.op == "<"
+        assert isinstance(comparison.left, BinaryOpNode)
+        assert comparison.left.op == "+"
+
+    def test_parenthesized_boolean(self):
+        statement = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert statement.where.op == "and"
+
+    def test_bare_boolean_column(self):
+        statement = parse("SELECT * FROM t WHERE t.flag")
+        assert isinstance(statement.where, ColumnNode)
+
+    def test_diamond_not_equal(self):
+        statement = parse("SELECT * FROM t WHERE a <> 1")
+        assert statement.where.op == "!="
+
+    def test_multiplication_precedence(self):
+        statement = parse("SELECT * FROM t WHERE a + b * 2 < 10")
+        left = statement.where.left
+        assert left.op == "+"
+        assert left.right.op == "*"
+
+
+class TestOrderBy:
+    def test_predicate_calls(self):
+        statement = parse(
+            "SELECT * FROM t ORDER BY f1(t.a) + f2(t.b, t.c) LIMIT 1"
+        )
+        assert len(statement.order_by) == 2
+        first = statement.order_by[0].expression
+        assert isinstance(first, CallNode)
+        assert first.name == "f1"
+        assert len(statement.order_by[1].expression.args) == 2
+
+    def test_bare_identifier_term(self):
+        statement = parse("SELECT * FROM t ORDER BY p1 + p2 LIMIT 1")
+        assert all(
+            isinstance(term.expression, ColumnNode) for term in statement.order_by
+        )
+
+    def test_weighted_terms(self):
+        statement = parse("SELECT * FROM t ORDER BY 0.7 * p1 + 0.3 * p2 LIMIT 1")
+        assert [term.weight for term in statement.order_by] == [0.7, 0.3]
+
+    def test_desc_suffix_accepted(self):
+        statement = parse("SELECT * FROM t ORDER BY p1 DESC LIMIT 1")
+        assert len(statement.order_by) == 1
+
+    def test_example1_parses(self):
+        statement = parse(EXAMPLE1)
+        assert len(statement.tables) == 3
+        assert len(statement.order_by) == 3
+        assert statement.limit == 5
+        names = [term.expression.name for term in statement.order_by]
+        assert names == ["cheap", "close", "related"]
+
+    def test_weight_without_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t ORDER BY 0.5 p1 LIMIT 1")
+
+    def test_limit_requires_number(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t LIMIT k")

@@ -1,0 +1,156 @@
+"""Unit tests for secondary indexes."""
+
+import random
+
+from repro.storage import ColumnIndex, DataType, MultiKeyIndex, RankIndex, Schema, Table
+
+
+def make_table():
+    table = Table(
+        "t",
+        Schema.of(("k", DataType.INT), ("flag", DataType.BOOL), ("score", DataType.FLOAT)),
+    )
+    return table
+
+
+class TestColumnIndex:
+    def test_ascending_scan(self):
+        table = make_table()
+        index = ColumnIndex("idx", table.schema, "t.k")
+        table.attach_index(index)
+        table.insert_many([(3, True, 0.1), (1, False, 0.2), (2, True, 0.3)])
+        assert [r[0] for r in index.scan_ascending()] == [1, 2, 3]
+
+    def test_descending_scan(self):
+        table = make_table()
+        index = ColumnIndex("idx", table.schema, "t.k")
+        table.attach_index(index)
+        table.insert_many([(3, True, 0.1), (1, False, 0.2)])
+        assert [r[0] for r in index.scan_descending()] == [3, 1]
+
+    def test_lookup_duplicates(self):
+        table = make_table()
+        index = ColumnIndex("idx", table.schema, "t.k")
+        table.attach_index(index)
+        table.insert_many([(1, True, 0.1), (2, True, 0.2), (1, False, 0.3)])
+        hits = list(index.lookup(1))
+        assert len(hits) == 2
+        assert all(r[0] == 1 for r in hits)
+
+    def test_lookup_missing(self):
+        table = make_table()
+        index = ColumnIndex("idx", table.schema, "t.k")
+        table.attach_index(index)
+        table.insert([1, True, 0.1])
+        assert list(index.lookup(42)) == []
+
+    def test_range_scan(self):
+        table = make_table()
+        index = ColumnIndex("idx", table.schema, "t.k")
+        table.attach_index(index)
+        table.insert_many([(i, True, 0.0) for i in range(10)])
+        assert [r[0] for r in index.range_scan(3, 6)] == [3, 4, 5, 6]
+        assert [r[0] for r in index.range_scan(None, 2)] == [0, 1, 2]
+        assert [r[0] for r in index.range_scan(8, None)] == [8, 9]
+
+    def test_backfill_on_attach(self):
+        table = make_table()
+        table.insert_many([(2, True, 0.0), (1, True, 0.0)])
+        index = ColumnIndex("idx", table.schema, "t.k")
+        table.attach_index(index)
+        assert [r[0] for r in index.scan_ascending()] == [1, 2]
+
+    def test_covers(self):
+        table = make_table()
+        index = ColumnIndex("idx", table.schema, "t.k")
+        assert index.covers("t.k")
+        assert not index.covers("t.score")
+        assert not index.covers(None)
+
+
+class TestRankIndex:
+    def test_descending_score_order(self):
+        table = make_table()
+        index = RankIndex("ridx", table.schema, "p", lambda r: r[2])
+        table.attach_index(index)
+        table.insert_many([(1, True, 0.3), (2, True, 0.9), (3, True, 0.5)])
+        scores = [s for s, __ in index.scan_by_score()]
+        assert scores == [0.9, 0.5, 0.3]
+
+    def test_ties_broken_by_row_id_ascending(self):
+        table = make_table()
+        index = RankIndex("ridx", table.schema, "p", lambda r: r[2])
+        table.attach_index(index)
+        table.insert_many([(1, True, 0.5), (2, True, 0.5), (3, True, 0.5)])
+        rows = [r for __, r in index.scan_by_score()]
+        assert [r.rid[0][1] for r in rows] == [0, 1, 2]
+
+    def test_covers_predicate_name(self):
+        index = RankIndex("ridx", make_table().schema, "p", lambda r: r[2])
+        assert index.covers("p")
+        assert not index.covers("q")
+
+    def test_random_agreement_with_sorted(self, rng):
+        table = make_table()
+        index = RankIndex("ridx", table.schema, "p", lambda r: r[2])
+        table.attach_index(index)
+        values = [(i, True, rng.random()) for i in range(200)]
+        table.insert_many(values)
+        got = [s for s, __ in index.scan_by_score()]
+        assert got == sorted((v[2] for v in values), reverse=True)
+
+
+class TestMultiKeyIndex:
+    def test_scan_matching_filters_and_orders(self):
+        table = make_table()
+        index = MultiKeyIndex("midx", table.schema, "t.flag", "p", lambda r: r[2])
+        table.attach_index(index)
+        table.insert_many(
+            [(1, True, 0.3), (2, False, 0.99), (3, True, 0.8), (4, False, 0.1)]
+        )
+        hits = list(index.scan_matching(True))
+        assert [round(s, 2) for s, __ in hits] == [0.8, 0.3]
+        assert all(r[1] is True for __, r in hits)
+
+    def test_scan_matching_false(self):
+        table = make_table()
+        index = MultiKeyIndex("midx", table.schema, "t.flag", "p", lambda r: r[2])
+        table.attach_index(index)
+        table.insert_many([(1, True, 0.3), (2, False, 0.9)])
+        assert [r[0] for __, r in index.scan_matching(False)] == [2]
+
+    def test_covers_both_keys(self):
+        index = MultiKeyIndex("midx", make_table().schema, "t.flag", "p", lambda r: r[2])
+        assert index.covers("p")
+        assert index.covers("t.flag")
+        assert not index.covers("other")
+
+
+class TestTableIndexIntegration:
+    def test_duplicate_index_name_rejected(self):
+        import pytest
+
+        table = make_table()
+        table.attach_index(ColumnIndex("idx", table.schema, "t.k"))
+        with pytest.raises(ValueError):
+            table.attach_index(ColumnIndex("idx", table.schema, "t.k"))
+
+    def test_find_index_by_key(self):
+        table = make_table()
+        column_index = ColumnIndex("c", table.schema, "t.k")
+        rank_index = RankIndex("r", table.schema, "p", lambda r: r[2])
+        table.attach_index(column_index)
+        table.attach_index(rank_index)
+        assert table.find_index(key="t.k") is column_index
+        assert table.find_index(key="p") is rank_index
+        assert table.find_index(key="nope") is None
+
+    def test_inserts_maintain_all_indexes(self):
+        table = make_table()
+        column_index = ColumnIndex("c", table.schema, "t.k")
+        rank_index = RankIndex("r", table.schema, "p", lambda r: r[2])
+        table.attach_index(column_index)
+        table.attach_index(rank_index)
+        table.insert_many([(2, True, 0.5), (1, True, 0.9)])
+        assert len(column_index) == 2
+        assert len(rank_index) == 2

@@ -1,0 +1,86 @@
+"""Property-based tests for the index structures (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage import ColumnIndex, DataType, RankIndex, Schema, Table
+
+keys = st.integers(-50, 50)
+scores = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+rows = st.lists(st.tuples(keys, scores), max_size=60)
+
+
+def build_table(data):
+    table = Table("t", Schema.of(("k", DataType.INT), ("s", DataType.FLOAT)))
+    column_index = ColumnIndex("c", table.schema, "t.k")
+    rank_index = RankIndex("r", table.schema, "p", lambda row: row[1])
+    table.attach_index(column_index)
+    table.attach_index(rank_index)
+    for row in data:
+        table.insert(list(row))
+    return table, column_index, rank_index
+
+
+class TestColumnIndexProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=rows)
+    def test_ascending_scan_sorted(self, data):
+        __, column_index, __ = build_table(data)
+        got = [r[0] for r in column_index.scan_ascending()]
+        assert got == sorted(got)
+        assert len(got) == len(data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=rows, probe=keys)
+    def test_lookup_matches_filter(self, data, probe):
+        __, column_index, __ = build_table(data)
+        got = sorted(r.rid for r in column_index.lookup(probe))
+        expected = sorted(
+            (("t", i),) for i, row in enumerate(data) if row[0] == probe
+        )
+        assert got == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=rows, low=keys, high=keys)
+    def test_range_scan_matches_filter(self, data, low, high):
+        __, column_index, __ = build_table(data)
+        got = sorted(r.rid for r in column_index.range_scan(low, high))
+        expected = sorted(
+            (("t", i),) for i, row in enumerate(data) if low <= row[0] <= high
+        )
+        assert got == expected
+
+
+class TestRankIndexProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=rows)
+    def test_scan_descending_scores(self, data):
+        __, __, rank_index = build_table(data)
+        got = [score for score, __ in rank_index.scan_by_score()]
+        assert got == sorted((row[1] for row in data), reverse=True)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=rows)
+    def test_ties_ascending_rid(self, data):
+        __, __, rank_index = build_table(data)
+        previous_score = None
+        previous_rid = None
+        for score, row in rank_index.scan_by_score():
+            if previous_score is not None and score == previous_score:
+                assert row.rid > previous_rid
+            previous_score, previous_rid = score, row.rid
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=rows)
+    def test_incremental_equals_bulk(self, data):
+        """Inserting row-by-row gives the same index as backfilling."""
+        incremental_table, __, incremental = build_table(data)
+        bulk_table = Table(
+            "t", Schema.of(("k", DataType.INT), ("s", DataType.FLOAT))
+        )
+        for row in data:
+            bulk_table.insert(list(row))
+        bulk = RankIndex("r", bulk_table.schema, "p", lambda row: row[1])
+        bulk_table.attach_index(bulk)
+        assert [r.rid for __, r in incremental.scan_by_score()] == [
+            r.rid for __, r in bulk.scan_by_score()
+        ]

@@ -1,0 +1,147 @@
+"""Unit tests for statistics and the catalog."""
+
+import pytest
+
+from repro.algebra.predicates import RankingPredicate
+from repro.storage import Catalog, CatalogError, DataType, Schema, analyze_table
+from repro.storage.stats import Histogram
+
+
+class TestHistogram:
+    def test_selectivity_le_bounds(self):
+        histogram = Histogram(0.0, 10.0, [10, 10, 10, 10])
+        assert histogram.selectivity_le(-1) == 0.0
+        assert histogram.selectivity_le(10.0) == 1.0
+        assert histogram.selectivity_le(11.0) == 1.0
+
+    def test_selectivity_le_interpolates(self):
+        histogram = Histogram(0.0, 10.0, [10, 10, 10, 10])
+        assert abs(histogram.selectivity_le(5.0) - 0.5) < 1e-9
+
+    def test_selectivity_between(self):
+        histogram = Histogram(0.0, 10.0, [10, 10, 10, 10])
+        assert abs(histogram.selectivity_between(2.5, 7.5) - 0.5) < 1e-9
+
+    def test_empty(self):
+        histogram = Histogram(0.0, 1.0, [0])
+        assert histogram.selectivity_le(0.5) == 0.0
+
+
+class TestAnalyzeTable:
+    def make_catalog(self):
+        catalog = Catalog()
+        table = catalog.create_table(
+            "t",
+            Schema.of(("k", DataType.INT), ("x", DataType.FLOAT), ("s", DataType.TEXT)),
+        )
+        table.insert_many(
+            [
+                (1, 0.5, "a"),
+                (2, 1.5, "b"),
+                (2, 2.5, None),
+                (3, 3.5, "a"),
+            ]
+        )
+        return catalog, table
+
+    def test_row_count(self):
+        __, table = self.make_catalog()
+        stats = analyze_table(table)
+        assert stats.row_count == 4
+
+    def test_distinct_counts(self):
+        __, table = self.make_catalog()
+        stats = analyze_table(table)
+        assert stats.column("k").n_distinct == 3
+        assert stats.column("s").n_distinct == 2
+
+    def test_null_fraction(self):
+        __, table = self.make_catalog()
+        stats = analyze_table(table)
+        assert abs(stats.column("s").null_fraction - 0.25) < 1e-9
+
+    def test_min_max(self):
+        __, table = self.make_catalog()
+        stats = analyze_table(table)
+        assert stats.column("x").min_value == 0.5
+        assert stats.column("x").max_value == 3.5
+
+    def test_numeric_histogram_built(self):
+        __, table = self.make_catalog()
+        stats = analyze_table(table)
+        assert stats.column("x").histogram is not None
+        assert stats.column("s").histogram is None
+
+    def test_equality_selectivity(self):
+        __, table = self.make_catalog()
+        stats = analyze_table(table)
+        assert abs(stats.column("k").equality_selectivity() - 1 / 3) < 1e-9
+
+    def test_join_selectivity(self):
+        catalog, table = self.make_catalog()
+        other = catalog.create_table("u", Schema.of(("k", DataType.INT)))
+        other.insert_many([(i,) for i in range(10)])
+        mine = analyze_table(table)
+        theirs = analyze_table(other)
+        assert abs(mine.join_selectivity("k", theirs, "k") - 1 / 10) < 1e-9
+
+    def test_empty_table(self):
+        catalog = Catalog()
+        table = catalog.create_table("e", Schema.of("a"))
+        stats = analyze_table(table)
+        assert stats.row_count == 0
+        assert stats.column("a").n_distinct == 0
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        table = catalog.create_table("t", Schema.of("a"))
+        assert catalog.table("t") is table
+        assert catalog.has_table("t")
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", Schema.of("a"))
+        with pytest.raises(CatalogError):
+            catalog.create_table("t", Schema.of("a"))
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("nope")
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table("t", Schema.of("a"))
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+
+    def test_stats_cached_and_refreshed(self):
+        catalog = Catalog()
+        table = catalog.create_table("t", Schema.of("a"))
+        table.insert([1.0])
+        first = catalog.stats("t")
+        assert first.row_count == 1
+        table.insert([2.0])
+        # Cached until re-analyzed.
+        assert catalog.stats("t").row_count == 1
+        assert catalog.analyze("t").row_count == 2
+
+    def test_predicate_registry(self):
+        catalog = Catalog()
+        predicate = RankingPredicate("p", ["t.a"], lambda v: v)
+        catalog.register_predicate(predicate)
+        assert catalog.predicate("p") is predicate
+        assert catalog.has_predicate("p")
+        with pytest.raises(CatalogError):
+            catalog.register_predicate(predicate)
+        with pytest.raises(CatalogError):
+            catalog.predicate("missing")
+
+    def test_tables_iteration(self):
+        catalog = Catalog()
+        catalog.create_table("a", Schema.of("x"))
+        catalog.create_table("b", Schema.of("x"))
+        assert sorted(t.name for t in catalog.tables()) == ["a", "b"]

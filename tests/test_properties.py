@@ -1,0 +1,264 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The central soundness claims of the paper, checked on randomized inputs:
+
+* the ranking principle — upper-bound scores never increase as more
+  predicates are evaluated, and always dominate the final score;
+* every rank-aware physical operator emits a non-increasing score stream;
+* any µ-chain permutation produces the same rank-relation;
+* physical pipelines agree with the reference (materialized) semantics;
+* top-k answers agree with the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.expressions import col
+from repro.algebra.predicates import BooleanPredicate, RankingPredicate, ScoringFunction
+from repro.algebra.rank_relation import RankRelation, ScoredRow
+from repro.execution import (
+    ExecutionContext,
+    HRJN,
+    Mu,
+    RankIntersect,
+    RankUnion,
+    RankingQueue,
+    SeqScan,
+    Sort,
+    run_plan,
+)
+from repro.storage import Catalog, DataType, Row, Schema
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+scores01 = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 5), scores01, scores01, scores01),
+    min_size=0,
+    max_size=25,
+)
+
+
+def build_catalog(rows):
+    """One table T(k, x, y, z) with predicates px, py, pz on the floats."""
+    catalog = Catalog()
+    table = catalog.create_table(
+        "T",
+        Schema.of(
+            ("k", DataType.INT),
+            ("x", DataType.FLOAT),
+            ("y", DataType.FLOAT),
+            ("z", DataType.FLOAT),
+        ),
+    )
+    for row in rows:
+        table.insert(list(row))
+    px = RankingPredicate("px", ["T.x"], lambda x: x)
+    py = RankingPredicate("py", ["T.y"], lambda y: y)
+    pz = RankingPredicate("pz", ["T.z"], lambda z: z)
+    scoring = ScoringFunction([px, py, pz])
+    return catalog, scoring
+
+
+# ----------------------------------------------------------------------
+# ranking principle
+# ----------------------------------------------------------------------
+
+class TestRankingPrinciple:
+    @given(scores=st.dictionaries(st.sampled_from(["px", "py", "pz"]), scores01))
+    def test_upper_bound_dominates_final(self, scores):
+        catalog, scoring = build_catalog([])
+        full = {"px": 0.0, "py": 0.0, "pz": 0.0}
+        full.update(scores)
+        assert scoring.upper_bound(scores) >= scoring.final_score(full) - 1e-12
+
+    @given(
+        scores=st.dictionaries(
+            st.sampled_from(["px", "py", "pz"]), scores01, min_size=1
+        )
+    )
+    def test_evaluating_more_never_raises_bound(self, scores):
+        __, scoring = build_catalog([])
+        names = list(scores)
+        for i in range(len(names)):
+            partial = {name: scores[name] for name in names[:i]}
+            fuller = {name: scores[name] for name in names[: i + 1]}
+            assert scoring.upper_bound(fuller) <= scoring.upper_bound(partial) + 1e-12
+
+
+# ----------------------------------------------------------------------
+# ranking queue
+# ----------------------------------------------------------------------
+
+class TestRankingQueue:
+    @given(st.lists(scores01, max_size=50))
+    def test_pops_in_descending_bound_order(self, bounds):
+        queue = RankingQueue()
+        for i, bound in enumerate(bounds):
+            queue.push(bound, ScoredRow(Row.base([i], "t", i), {}))
+        popped = []
+        while len(queue):
+            popped.append(queue.peek_bound())
+            queue.pop()
+        assert popped == sorted(bounds, reverse=True)
+
+    def test_empty_peek_is_minus_inf(self):
+        assert RankingQueue().peek_bound() == -math.inf
+
+
+# ----------------------------------------------------------------------
+# physical streams
+# ----------------------------------------------------------------------
+
+class TestPhysicalStreams:
+    @settings(max_examples=40, deadline=None)
+    @given(rows=rows_strategy)
+    def test_mu_chain_descending(self, rows):
+        catalog, scoring = build_catalog(rows)
+        context = ExecutionContext(catalog, scoring)
+        plan = Mu(Mu(Mu(SeqScan("T"), "px"), "py"), "pz")
+        out = run_plan(plan, context)
+        bounds = [context.upper_bound(s) for s in out]
+        assert bounds == sorted(bounds, reverse=True)
+        assert len(out) == len(rows)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=rows_strategy)
+    def test_mu_permutations_same_ranking(self, rows):
+        catalog, scoring = build_catalog(rows)
+        rankings = []
+        for order in (("px", "py", "pz"), ("pz", "px", "py"), ("py", "pz", "px")):
+            context = ExecutionContext(catalog, scoring)
+            plan = SeqScan("T")
+            for name in order:
+                plan = Mu(plan, name)
+            out = run_plan(plan, context)
+            rankings.append(
+                RankRelation(scoring, out)
+            )
+        assert rankings[0].equivalent(rankings[1])
+        assert rankings[1].equivalent(rankings[2])
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=rows_strategy)
+    def test_mu_chain_equals_sort(self, rows):
+        catalog, scoring = build_catalog(rows)
+        mu_context = ExecutionContext(catalog, scoring)
+        mu_out = run_plan(Mu(Mu(Mu(SeqScan("T"), "px"), "py"), "pz"), mu_context)
+        sort_context = ExecutionContext(catalog, scoring)
+        sort_out = run_plan(Sort(SeqScan("T")), sort_context)
+        assert RankRelation(scoring, mu_out).equivalent(
+            RankRelation(scoring, sort_out)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=rows_strategy, k=st.integers(0, 10))
+    def test_topk_matches_oracle(self, rows, k):
+        catalog, scoring = build_catalog(rows)
+        expected = sorted((x + y + z for __, x, y, z in rows), reverse=True)[:k]
+        context = ExecutionContext(catalog, scoring)
+        out = run_plan(Mu(Mu(Mu(SeqScan("T"), "px"), "py"), "pz"), context, k=k)
+        got = [context.upper_bound(s) for s in out]
+        assert len(got) == min(k, len(rows))
+        for a, b in zip(got, expected):
+            assert abs(a - b) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# joins
+# ----------------------------------------------------------------------
+
+class TestJoinProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        left_rows=st.lists(st.tuples(st.integers(0, 3), scores01), max_size=15),
+        right_rows=st.lists(st.tuples(st.integers(0, 3), scores01), max_size=15),
+        k=st.integers(1, 8),
+    )
+    def test_hrjn_topk_matches_oracle(self, left_rows, right_rows, k):
+        catalog = Catalog()
+        left = catalog.create_table(
+            "L", Schema.of(("k", DataType.INT), ("x", DataType.FLOAT))
+        )
+        right = catalog.create_table(
+            "Rr", Schema.of(("k", DataType.INT), ("y", DataType.FLOAT))
+        )
+        for row in left_rows:
+            left.insert(list(row))
+        for row in right_rows:
+            right.insert(list(row))
+        pl = RankingPredicate("pl", ["L.x"], lambda x: x)
+        pr = RankingPredicate("pr", ["Rr.y"], lambda y: y)
+        scoring = ScoringFunction([pl, pr])
+        expected = sorted(
+            (
+                lx + ry
+                for lk, lx in left_rows
+                for rk, ry in right_rows
+                if lk == rk
+            ),
+            reverse=True,
+        )[:k]
+        context = ExecutionContext(catalog, scoring)
+        plan = HRJN(Mu(SeqScan("L"), "pl"), Mu(SeqScan("Rr"), "pr"), "L.k", "Rr.k")
+        out = run_plan(plan, context, k=k)
+        got = [context.upper_bound(s) for s in out]
+        assert len(got) == min(k, len(expected))
+        for a, b in zip(got, expected):
+            assert abs(a - b) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# set operations
+# ----------------------------------------------------------------------
+
+class TestSetOperationProperties:
+    def make_pair(self, left_rows, right_rows):
+        catalog = Catalog()
+        left = catalog.create_table(
+            "L", Schema.of(("k", DataType.INT), ("x", DataType.FLOAT))
+        )
+        right = catalog.create_table(
+            "Rr", Schema.of(("k", DataType.INT), ("x", DataType.FLOAT))
+        )
+        for row in left_rows:
+            left.insert(list(row))
+        for row in right_rows:
+            right.insert(list(row))
+        pa = RankingPredicate("pa", ["x"], lambda x: x)
+        pb = RankingPredicate("pb", ["x"], lambda x: 1 - x)
+        scoring = ScoringFunction([pa, pb])
+        return catalog, scoring
+
+    small_rows = st.lists(
+        st.tuples(st.integers(0, 3), st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0])),
+        max_size=10,
+    )
+
+    @settings(max_examples=25, deadline=None)
+    @given(left_rows=small_rows, right_rows=small_rows)
+    def test_union_membership(self, left_rows, right_rows):
+        catalog, scoring = self.make_pair(left_rows, right_rows)
+        context = ExecutionContext(catalog, scoring)
+        plan = RankUnion(Mu(SeqScan("L"), "pa"), Mu(SeqScan("Rr"), "pb"))
+        out = run_plan(plan, context)
+        got = {s.row.values for s in out}
+        assert got == set(left_rows) | set(right_rows)
+        bounds = [context.upper_bound(s) for s in out]
+        assert bounds == sorted(bounds, reverse=True)
+
+    @settings(max_examples=25, deadline=None)
+    @given(left_rows=small_rows, right_rows=small_rows)
+    def test_intersection_membership(self, left_rows, right_rows):
+        catalog, scoring = self.make_pair(left_rows, right_rows)
+        context = ExecutionContext(catalog, scoring)
+        plan = RankIntersect(Mu(SeqScan("L"), "pa"), Mu(SeqScan("Rr"), "pb"))
+        out = run_plan(plan, context)
+        got = {s.row.values for s in out}
+        assert got == set(left_rows) & set(right_rows)

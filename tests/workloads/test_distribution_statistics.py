@@ -1,0 +1,89 @@
+"""Statistical validation of the §6 score distributions (scipy KS tests)."""
+
+import math
+import random
+
+import pytest
+from scipy import stats
+
+from repro.workloads.distributions import _cosine_cdf, cosine, normal, uniform
+
+N = 3000
+ALPHA = 0.01
+
+
+def sample(fn, n=N, seed=5):
+    rng = random.Random(seed)
+    return [fn(rng) for __ in range(n)]
+
+
+class TestUniform:
+    def test_ks_against_uniform(self):
+        data = sample(uniform)
+        statistic, p_value = stats.kstest(data, "uniform")
+        assert p_value > ALPHA
+
+    def test_moments(self):
+        data = sample(uniform)
+        assert abs(sum(data) / len(data) - 0.5) < 0.02
+        variance = sum((v - 0.5) ** 2 for v in data) / len(data)
+        assert abs(variance - 1 / 12) < 0.01
+
+
+class TestNormal:
+    def test_mean_near_half(self):
+        data = sample(normal)
+        assert abs(sum(data) / len(data) - 0.5) < 0.03
+
+    def test_clamped_to_unit_interval(self):
+        data = sample(normal)
+        assert min(data) >= 0.0 and max(data) <= 1.0
+
+    def test_clamping_mass_at_boundaries(self):
+        """σ = 0.4 puts ~10.6% of the mass beyond each boundary, which the
+        clamp piles onto 0 and 1."""
+        data = sample(normal, n=8000)
+        at_zero = sum(1 for v in data if v == 0.0) / len(data)
+        at_one = sum(1 for v in data if v == 1.0) / len(data)
+        expected = stats.norm.cdf(0.0, loc=0.5, scale=0.4)
+        assert at_zero == pytest.approx(expected, abs=0.02)
+        assert at_one == pytest.approx(expected, abs=0.02)
+
+    def test_interior_shape_gaussian(self):
+        """Interior (non-clamped) samples follow the truncated normal."""
+        data = [v for v in sample(normal, n=8000) if 0.0 < v < 1.0]
+        lo = stats.norm.cdf(0.0, loc=0.5, scale=0.4)
+        hi = stats.norm.cdf(1.0, loc=0.5, scale=0.4)
+
+        def truncated_cdf(x):
+            return (stats.norm.cdf(x, loc=0.5, scale=0.4) - lo) / (hi - lo)
+
+        __, p_value = stats.kstest(data, truncated_cdf)
+        assert p_value > ALPHA
+
+
+class TestCosine:
+    def test_cdf_is_valid(self):
+        assert _cosine_cdf(0.0) == pytest.approx(0.0, abs=1e-12)
+        assert _cosine_cdf(1.0) == pytest.approx(1.0, abs=1e-12)
+        assert _cosine_cdf(0.5) == pytest.approx(0.5, abs=1e-12)
+        grid = [i / 100 for i in range(101)]
+        values = [_cosine_cdf(x) for x in grid]
+        assert values == sorted(values)  # monotone
+
+    def test_ks_against_analytic_cdf(self):
+        import numpy as np
+
+        data = sample(cosine)
+        # kstest hands the CDF a numpy array; vectorize the scalar CDF.
+        vector_cdf = np.vectorize(_cosine_cdf)
+        __, p_value = stats.kstest(data, vector_cdf)
+        assert p_value > ALPHA
+
+    def test_mass_concentrated_centrally(self):
+        data = sample(cosine)
+        central = sum(1 for v in data if 0.25 <= v <= 0.75) / len(data)
+        # Analytic: F(0.75) − F(0.25) = 0.5 + 1/π ≈ 0.818.
+        expected = _cosine_cdf(0.75) - _cosine_cdf(0.25)
+        assert central == pytest.approx(expected, abs=0.03)
+        assert expected == pytest.approx(0.5 + 1 / math.pi, abs=1e-9)

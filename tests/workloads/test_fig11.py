@@ -1,0 +1,94 @@
+"""Tests for the Figure 11 plans: all four agree on answers and exhibit the
+paper's cost relationships."""
+
+import pytest
+
+from repro.execution import ExecutionContext, run_plan
+from repro.workloads import WorkloadConfig, build_workload, plan1, plan2, plan3, plan4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(
+        WorkloadConfig(table_size=800, join_selectivity=0.01, seed=13, k=10)
+    )
+
+
+def execute(workload, plan):
+    context = ExecutionContext(workload.catalog, workload.scoring)
+    out = run_plan(plan.build(), context, k=None)
+    scores = [round(context.upper_bound(s), 9) for s in out]
+    return scores, context
+
+
+class TestAgreement:
+    def test_all_plans_same_topk(self, workload):
+        results = [
+            execute(workload, builder(workload))[0]
+            for builder in (plan1, plan2, plan3, plan4)
+        ]
+        assert results[0] == results[1] == results[2] == results[3]
+
+    def test_matches_brute_force(self, workload):
+        catalog = workload.catalog
+        a_rows = [r.values for r in catalog.table("A").rows() if r.values[2]]
+        b_rows = [r.values for r in catalog.table("B").rows() if r.values[2]]
+        c_rows = [r.values for r in catalog.table("C").rows()]
+        b_by_jc1 = {}
+        for row in b_rows:
+            b_by_jc1.setdefault(row[0], []).append(row)
+        c_by_jc2 = {}
+        for row in c_rows:
+            c_by_jc2.setdefault(row[1], []).append(row)
+        scores = []
+        for a in a_rows:
+            for b in b_by_jc1.get(a[0], ()):
+                for c in c_by_jc2.get(b[1], ()):
+                    scores.append(a[3] + a[4] + b[3] + b[4] + c[3])
+        scores.sort(reverse=True)
+        expected = [round(v, 9) for v in scores[: workload.config.k]]
+        got, __ = execute(workload, plan2(workload))
+        assert got == expected
+
+
+class TestCostRelationships:
+    def test_traditional_most_expensive(self, workload):
+        costs = {}
+        for name, builder in (
+            ("plan1", plan1),
+            ("plan2", plan2),
+            ("plan3", plan3),
+            ("plan4", plan4),
+        ):
+            __, context = execute(workload, builder(workload))
+            costs[name] = context.metrics.simulated_cost
+        assert costs["plan1"] > costs["plan2"]
+        assert costs["plan1"] > costs["plan3"]
+        assert costs["plan1"] > costs["plan4"]
+
+    def test_plan1_evaluates_all_predicates_everywhere(self, workload):
+        __, context = execute(workload, plan1(workload))
+        # Every surviving A⋈B⋈C tuple gets all five predicates at the sort.
+        assert context.metrics.predicate_evaluations > 0
+        assert context.metrics.predicate_evaluations % 5 == 0
+
+    def test_plan2_scans_least(self, workload):
+        __, plan1_context = execute(workload, plan1(workload))
+        __, plan2_context = execute(workload, plan2(workload))
+        assert (
+            plan2_context.metrics.tuples_scanned
+            <= plan1_context.metrics.tuples_scanned
+        )
+
+    def test_rank_plans_incremental_in_k(self, workload):
+        """Cost grows with k for rank-aware plans (incremental), while the
+        traditional plan's cost is k-independent (blocking)."""
+        def cost_at(builder, k):
+            context = ExecutionContext(workload.catalog, workload.scoring)
+            run_plan(builder(workload, k=k).build(), context, k=k)
+            return context.metrics.simulated_cost
+
+        assert cost_at(plan2, 1) < cost_at(plan2, 100)
+        traditional_1 = cost_at(plan1, 1)
+        traditional_100 = cost_at(plan1, 100)
+        assert traditional_100 <= traditional_1 * 1.05  # nearly flat

@@ -1,0 +1,108 @@
+"""Tests for the §6 workload generator and distributions."""
+
+import math
+import random
+
+import pytest
+
+from repro.workloads import (
+    WorkloadConfig,
+    build_workload,
+    cosine,
+    normal,
+    sampler,
+    uniform,
+)
+
+
+class TestDistributions:
+    def test_uniform_range(self):
+        rng = random.Random(1)
+        values = [uniform(rng) for __ in range(2000)]
+        assert all(0 <= v <= 1 for v in values)
+        assert abs(sum(values) / len(values) - 0.5) < 0.05
+
+    def test_normal_clamped(self):
+        rng = random.Random(1)
+        values = [normal(rng) for __ in range(2000)]
+        assert all(0 <= v <= 1 for v in values)
+        assert abs(sum(values) / len(values) - 0.5) < 0.05
+
+    def test_cosine_concentrated_around_center(self):
+        rng = random.Random(1)
+        values = [cosine(rng) for __ in range(2000)]
+        assert all(0 <= v <= 1 for v in values)
+        middle = sum(1 for v in values if 0.25 <= v <= 0.75)
+        # Raised cosine puts ~0.82 of its mass in [0.25, 0.75].
+        assert middle / len(values) > 0.7
+
+    def test_sampler_lookup(self):
+        assert sampler("uniform") is uniform
+        with pytest.raises(ValueError):
+            sampler("zipf")
+
+
+class TestWorkloadConfig:
+    def test_distinct_join_values(self):
+        assert WorkloadConfig(join_selectivity=0.001).distinct_join_values == 1000
+        assert WorkloadConfig(join_selectivity=1e-4).distinct_join_values == 10_000
+
+
+class TestBuildWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return build_workload(
+            WorkloadConfig(table_size=1500, join_selectivity=0.005, seed=9, k=5)
+        )
+
+    def test_tables_built(self, workload):
+        for name in ("A", "B", "C"):
+            assert workload.catalog.table(name).row_count == 1500
+
+    def test_bool_selectivity(self, workload):
+        table = workload.catalog.table("A")
+        flag_position = table.schema.index_of("A.b")
+        fraction = sum(1 for r in table.rows() if r[flag_position]) / table.row_count
+        assert abs(fraction - 0.4) < 0.05
+
+    def test_join_column_domain(self, workload):
+        table = workload.catalog.table("A")
+        position = table.schema.index_of("A.jc1")
+        values = {r[position] for r in table.rows()}
+        assert max(values) < workload.config.distinct_join_values
+
+    def test_predicates_registered(self, workload):
+        for name in ("f1", "f2", "f3", "f4", "f5"):
+            assert workload.catalog.has_predicate(name)
+        assert workload.scoring.predicate_names == ("f1", "f2", "f3", "f4", "f5")
+
+    def test_rank_indexes_attached(self, workload):
+        assert workload.catalog.table("A").find_index(key="f1") is not None
+        assert workload.catalog.table("C").find_index(key="f5") is not None
+
+    def test_column_indexes_attached(self, workload):
+        assert workload.catalog.table("A").find_index(key="A.jc1") is not None
+        assert workload.catalog.table("C").find_index(key="C.jc2") is not None
+
+    def test_spec_shape(self, workload):
+        spec = workload.spec
+        assert spec.tables == ["A", "B", "C"]
+        assert len(spec.selections) == 2
+        assert len(spec.join_conditions) == 2
+        assert all(j.is_equi for j in spec.join_conditions)
+
+    def test_deterministic(self):
+        config = WorkloadConfig(table_size=100, seed=5)
+        a = build_workload(config)
+        b = build_workload(config)
+        rows_a = [r.values for r in a.catalog.table("A").rows()]
+        rows_b = [r.values for r in b.catalog.table("A").rows()]
+        assert rows_a == rows_b
+
+    def test_scores_in_unit_range(self, workload):
+        table = workload.catalog.table("B")
+        p1 = table.schema.index_of("B.p1")
+        p2 = table.schema.index_of("B.p2")
+        for row in table.rows():
+            assert 0.0 <= row[p1] <= 1.0
+            assert 0.0 <= row[p2] <= 1.0

@@ -1,0 +1,52 @@
+"""Wall-clock-faithful predicate costs (spin_loops)."""
+
+import time
+
+import pytest
+
+from repro.algebra.predicates import RankingPredicate
+from repro.storage import DataType, Row, Schema
+
+SCHEMA = Schema.of(("x", DataType.FLOAT), table="t")
+
+
+def evaluate_n(predicate, n=300):
+    fn = predicate.compile(SCHEMA)
+    row = Row.base([0.5], "t", 0)
+    start = time.perf_counter()
+    for __ in range(n):
+        fn(row)
+    return time.perf_counter() - start
+
+
+class TestSpinLoops:
+    def test_score_unaffected(self):
+        plain = RankingPredicate("p", ["t.x"], lambda x: x)
+        spun = RankingPredicate("q", ["t.x"], lambda x: x, spin_loops=1000)
+        row = Row.base([0.7], "t", 0)
+        assert plain.compile(SCHEMA)(row) == spun.compile(SCHEMA)(row)
+
+    def test_spin_increases_wall_time(self):
+        plain = RankingPredicate("p", ["t.x"], lambda x: x)
+        spun = RankingPredicate("q", ["t.x"], lambda x: x, spin_loops=20_000)
+        fast = evaluate_n(plain)
+        slow = evaluate_n(spun)
+        assert slow > fast * 3
+
+    def test_negative_spin_rejected(self):
+        with pytest.raises(ValueError):
+            RankingPredicate("p", ["t.x"], lambda x: x, spin_loops=-1)
+
+    def test_workload_config_scales_spin_by_cost(self):
+        from repro.workloads import WorkloadConfig, build_workload
+
+        workload = build_workload(
+            WorkloadConfig(
+                table_size=50,
+                join_selectivity=0.1,
+                predicate_cost=2.0,
+                spin_loops_per_cost=100,
+                seed=3,
+            )
+        )
+        assert workload.predicates["f1"].spin_loops == 200

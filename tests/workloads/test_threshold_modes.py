@@ -1,0 +1,46 @@
+"""Threshold-mode ablation at the workload level: "drawn" (paper) vs
+"live" (tighter bounds) must agree on answers, and live never draws more."""
+
+import pytest
+
+from repro.execution import ExecutionContext, run_plan
+from repro.workloads import WorkloadConfig, build_workload, plan2, plan3, plan4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(
+        WorkloadConfig(table_size=600, join_selectivity=0.01, seed=23, k=10)
+    )
+
+
+def run(workload, builder, mode):
+    context = ExecutionContext(workload.catalog, workload.scoring)
+    out = run_plan(
+        builder(workload, threshold_mode=mode).build(),
+        context,
+        k=workload.config.k,
+    )
+    scores = tuple(round(context.upper_bound(s), 9) for s in out)
+    return scores, context.metrics
+
+
+@pytest.mark.parametrize("builder", [plan2, plan3, plan4], ids=["p2", "p3", "p4"])
+class TestThresholdModes:
+    def test_same_answers(self, workload, builder):
+        drawn, __ = run(workload, builder, "drawn")
+        live, __ = run(workload, builder, "live")
+        assert drawn == live
+
+    def test_live_scans_no_more(self, workload, builder):
+        __, drawn_metrics = run(workload, builder, "drawn")
+        __, live_metrics = run(workload, builder, "live")
+        assert live_metrics.tuples_scanned <= drawn_metrics.tuples_scanned
+
+    def test_live_evaluates_no_more_predicates(self, workload, builder):
+        __, drawn_metrics = run(workload, builder, "drawn")
+        __, live_metrics = run(workload, builder, "live")
+        assert (
+            live_metrics.predicate_evaluations
+            <= drawn_metrics.predicate_evaluations
+        )
