@@ -1,0 +1,128 @@
+"""Repeated-query latency: cold optimization vs the plan-cache warm path.
+
+The staged planner's promise is that *repeated* traffic pays for plan
+enumeration once.  This bench measures end-to-end latency of the Fig. 9
+workload query (3 tables, 5 ranking predicates — the §6 shape whose DP
+enumeration dominates cold latency):
+
+* **cold** — planner caches invalidated, then prepare + execute: parse-free
+  spec path, full ``(SR, SP)`` enumeration, sample rebuild, predicate
+  compilation, execution;
+* **warm** — prepare + execute again: plan-cache hit, shared compiled
+  evaluators, execution only.
+
+Acceptance target: warm ≥ 5× faster.  Results land in
+``benchmark.extra_info`` (``cold_ms``, ``warm_ms``, ``speedup``) for the
+perf trajectory.
+
+Run:  pytest benchmarks/bench_plan_cache.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+from repro.cli import build_demo_database
+from repro.execution import ExecutionContext, run_plan
+
+from .conftest import cached_workload
+
+#: optimizer knobs shared by both paths (identical signatures)
+KNOBS = dict(sample_ratio=0.05, seed=3)
+
+#: Fig. 9 shape at interactive scale: fanout j·s = 10 (conftest scale note),
+#: small k so the cold run is enumeration-dominated — the repeated-traffic
+#: regime the plan cache targets.
+WORKLOAD = dict(table_size=500, join_selectivity=0.02, k=5)
+
+COLD_ROUNDS = 5
+WARM_ROUNDS = 25
+
+#: required cold/warm ratio; the paper-target default (5x) is what this
+#: bench demonstrates locally — CI lowers it via the env var to tolerate
+#: shared-runner wall-clock noise without losing the regression gate.
+MIN_SPEEDUP = float(os.environ.get("PLAN_CACHE_MIN_SPEEDUP", "5.0"))
+
+
+def _timed(fn, rounds):
+    """Best-of-``rounds`` wall time (robust against scheduler noise)."""
+    times = []
+    out = None
+    for __ in range(rounds):
+        start = time.perf_counter()
+        out = fn()
+        times.append(time.perf_counter() - start)
+    return min(times), out
+
+
+def test_plan_cache_speedup(benchmark):
+    workload = cached_workload(**WORKLOAD)
+    db = workload.database
+    planner = db.planner
+    k = workload.config.k
+
+    def execute(entry):
+        context = ExecutionContext(
+            db.catalog, entry.spec.scoring, evaluators=entry.evaluators
+        )
+        out = run_plan(entry.plan.build(), context, k=k)
+        return [round(context.upper_bound(s), 9) for s in out]
+
+    def cold():
+        planner.invalidate()
+        entry, hit = planner.prepare(workload.spec, **KNOBS)
+        assert not hit
+        return execute(entry)
+
+    def warm():
+        entry, hit = planner.prepare(workload.spec, **KNOBS)
+        assert hit
+        return execute(entry)
+
+    cold_ms, cold_scores = _timed(cold, COLD_ROUNDS)
+    warm()  # the last cold() primed the cache; keep it primed
+    warm_ms, warm_scores = _timed(warm, WARM_ROUNDS)
+    assert warm_scores == cold_scores  # identical results, identical tie order
+
+    benchmark.pedantic(warm, rounds=WARM_ROUNDS, iterations=1)
+    speedup = cold_ms / warm_ms
+    benchmark.extra_info.update(
+        cold_ms=cold_ms * 1e3,
+        warm_ms=warm_ms * 1e3,
+        speedup=speedup,
+        cache_hits=planner.cache.stats.hits,
+    )
+    print(
+        f"\nplan cache: cold={cold_ms * 1e3:.2f}ms warm={warm_ms * 1e3:.2f}ms "
+        f"speedup={speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, f"warm path only {speedup:.1f}x faster"
+
+
+def test_sql_session_warm_path(benchmark):
+    """The SQL front-door equivalent: a session re-executing one statement."""
+    db = build_demo_database(seed=7)
+    sql = (
+        "SELECT * FROM hotel, restaurant WHERE hotel.area = restaurant.area "
+        "ORDER BY cheap(hotel.price) + tasty(restaurant.price) LIMIT 10"
+    )
+    session = db.session(sample_ratio=0.05, seed=1)
+
+    def cold():
+        db.planner.invalidate()
+        return db.query(sql, sample_ratio=0.05, seed=1)
+
+    cold_ms, cold_result = _timed(cold, COLD_ROUNDS)
+    session.execute(sql)  # prime statement + plan cache
+    warm_ms, warm_result = _timed(lambda: session.execute(sql), WARM_ROUNDS)
+    assert warm_result.plan_cached
+    assert warm_result.rows == cold_result.rows
+
+    benchmark.pedantic(lambda: session.execute(sql), rounds=WARM_ROUNDS, iterations=1)
+    benchmark.extra_info.update(
+        cold_ms=cold_ms * 1e3,
+        warm_ms=warm_ms * 1e3,
+        hit_rate=db.planner.cache.stats.hit_rate,
+    )

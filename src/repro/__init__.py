@@ -27,21 +27,26 @@ from .algebra import (
     sum_of,
 )
 from .optimizer import QuerySpec, RankAwareOptimizer, optimize_traditional
+from .planner import PlanCache, Planner, PreparedQuery, Session
 from .storage import Column, DataType, Schema
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BooleanPredicate",
     "Column",
     "DataType",
     "Database",
+    "PlanCache",
+    "Planner",
+    "PreparedQuery",
     "QueryResult",
     "QuerySpec",
     "RankAwareOptimizer",
     "RankingPredicate",
     "Schema",
     "ScoringFunction",
+    "Session",
     "col",
     "lit",
     "optimize_traditional",

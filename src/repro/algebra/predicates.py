@@ -125,6 +125,19 @@ class RankingPredicate:
         return {c.partition(".")[0] for c in self.columns if "." in c}
 
     @property
+    def scorer(self) -> "Expression | Callable[..., float]":
+        """The underlying scorer (an expression tree or a plain callable).
+
+        Plan-cache signatures key on this so two predicates that merely
+        share a name cannot collide (see
+        :func:`repro.planner.signature.expression_key`).
+        """
+        if self._expression is not None:
+            return self._expression
+        assert self._fn is not None
+        return self._fn
+
+    @property
     def is_join_predicate(self) -> bool:
         """True for rank-join predicates (spanning several tables)."""
         return len(self.tables()) > 1

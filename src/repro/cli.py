@@ -11,7 +11,14 @@ The shell accepts the library's top-k dialect plus a few meta commands:
     \\d           list tables
     \\explain Q   show the chosen plan without executing
     \\metrics     toggle printing execution metrics
+    \\cache       show planner/plan-cache statistics
     \\quit        exit
+
+All statements run through one :class:`~repro.planner.Session`, so
+re-running a statement reuses its prepared plan.  Reuse shows in
+``\\cache`` as ``statement_hits`` (the session memoizes by SQL text, one
+layer *above* the plan cache, whose ``hits`` only count fresh lookups —
+e.g. from other sessions or re-preparation after data changes).
 """
 
 from __future__ import annotations
@@ -106,18 +113,28 @@ def format_result(result, show_metrics: bool = False) -> str:
     return "\n".join(lines)
 
 
-def run_statement(db: Database, statement: str, show_metrics: bool, out) -> None:
+class ShellState:
+    """Mutable shell settings + the session every statement runs through."""
+
+    def __init__(self, db: Database, show_metrics: bool = False):
+        self.db = db
+        self.session = db.session(sample_ratio=0.05, seed=1)
+        self.show_metrics = show_metrics
+
+
+def run_statement(state: ShellState, statement: str, out) -> None:
     stripped = statement.strip()
     if not stripped:
         return
     if stripped.startswith("\\"):
-        _meta_command(db, stripped, out)
+        _meta_command(state, stripped, out)
         return
-    result = db.query(stripped, sample_ratio=0.05, seed=1)
-    print(format_result(result, show_metrics), file=out)
+    result = state.session.execute(stripped)
+    print(format_result(result, state.show_metrics), file=out)
 
 
-def _meta_command(db: Database, command: str, out) -> None:
+def _meta_command(state: ShellState, command: str, out) -> None:
+    db = state.db
     if command == "\\d":
         for table in db.catalog.tables():
             columns = ", ".join(
@@ -127,7 +144,34 @@ def _meta_command(db: Database, command: str, out) -> None:
         return
     if command.startswith("\\explain "):
         sql = command[len("\\explain "):]
-        print(db.explain(sql, sample_ratio=0.05, seed=1), file=out)
+        print(state.session.explain(sql), file=out)
+        return
+    if command == "\\metrics":
+        state.show_metrics = not state.show_metrics
+        print(
+            f"metrics {'on' if state.show_metrics else 'off'}", file=out
+        )
+        return
+    if command == "\\cache":
+        # Namespace each layer's counters — "invalidations" exists in both
+        # the cache stats and the planner metrics.
+        stats = {
+            f"cache_{key}": value
+            for key, value in db.planner.cache.stats.summary().items()
+        }
+        stats.update(
+            (f"planner_{key}", value)
+            for key, value in db.planner.metrics.summary().items()
+        )
+        stats.update(
+            (f"session_{key}", value)
+            for key, value in state.session.summary().items()
+        )
+        print(
+            "planner: "
+            + ", ".join(f"{key}={value:g}" for key, value in sorted(stats.items())),
+            file=out,
+        )
         return
     print(f"unknown meta command: {command}", file=out)
 
@@ -158,51 +202,52 @@ def main(argv: list[str] | None = None, out=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    db = build_demo_database() if args.demo else Database()
-    schemas = {}
-    for spec in args.schema:
-        table_name, __, columns = spec.partition("=")
-        schemas[table_name] = parse_schema(columns)
-    for spec in args.load:
-        table_name, __, path = spec.partition("=")
-        if table_name not in schemas:
-            print(f"--load {table_name}: missing --schema", file=out)
-            return 2
-        db.create_table(table_name, schemas[table_name])
-        n = db.load_csv(table_name, path)
-        db.analyze(table_name)
-        print(f"loaded {n} rows into {table_name}", file=out)
+    with (build_demo_database() if args.demo else Database()) as db:
+        schemas = {}
+        for spec in args.schema:
+            table_name, __, columns = spec.partition("=")
+            schemas[table_name] = parse_schema(columns)
+        for spec in args.load:
+            table_name, __, path = spec.partition("=")
+            if table_name not in schemas:
+                print(f"--load {table_name}: missing --schema", file=out)
+                return 2
+            db.create_table(table_name, schemas[table_name])
+            n = db.load_csv(table_name, path)
+            db.analyze(table_name)
+            print(f"loaded {n} rows into {table_name}", file=out)
 
-    if args.command:
-        try:
-            run_statement(db, args.command, args.metrics, out)
-        except Exception as error:  # surface engine errors as text, exit 1
-            print(f"error: {error}", file=out)
-            return 1
-        return 0
-
-    # Interactive loop.
-    print("RankSQL shell — \\d lists tables, \\quit exits", file=out)
-    buffer: list[str] = []
-    while True:
-        try:
-            prompt = "ranksql> " if not buffer else "    ...> "
-            line = input(prompt)
-        except EOFError:
-            break
-        if line.strip() in ("\\quit", "\\q", "exit", "quit"):
-            break
-        if line.strip().startswith("\\") and not buffer:
-            _meta_command(db, line.strip(), out)
-            continue
-        buffer.append(line)
-        joined = " ".join(buffer)
-        if joined.rstrip().endswith(";") or "limit" in joined.lower():
-            buffer.clear()
+        state = ShellState(db, show_metrics=args.metrics)
+        if args.command:
             try:
-                run_statement(db, joined.rstrip(" ;"), args.metrics, out)
-            except Exception as error:
+                run_statement(state, args.command, out)
+            except Exception as error:  # surface engine errors as text, exit 1
                 print(f"error: {error}", file=out)
+                return 1
+            return 0
+
+        # Interactive loop.
+        print("RankSQL shell — \\d lists tables, \\quit exits", file=out)
+        buffer: list[str] = []
+        while True:
+            try:
+                prompt = "ranksql> " if not buffer else "    ...> "
+                line = input(prompt)
+            except EOFError:
+                break
+            if line.strip() in ("\\quit", "\\q", "exit", "quit"):
+                break
+            if line.strip().startswith("\\") and not buffer:
+                _meta_command(state, line.strip(), out)
+                continue
+            buffer.append(line)
+            joined = " ".join(buffer)
+            if joined.rstrip().endswith(";") or "limit" in joined.lower():
+                buffer.clear()
+                try:
+                    run_statement(state, joined.rstrip(" ;"), out)
+                except Exception as error:
+                    print(f"error: {error}", file=out)
     return 0
 
 

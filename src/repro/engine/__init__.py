@@ -1,5 +1,6 @@
 """Engine façade: the public entry point for using RankSQL as a database."""
 
+from ..planner import PreparedQuery, Session
 from .csv_io import dump_csv, load_csv
 from .database import Database
 from .persistence import PersistenceError, load_database, save_database
@@ -9,7 +10,9 @@ __all__ = [
     "Cursor",
     "Database",
     "PersistenceError",
+    "PreparedQuery",
     "QueryResult",
+    "Session",
     "dump_csv",
     "load_csv",
     "load_database",

@@ -1,33 +1,42 @@
 """The RankSQL engine façade.
 
 :class:`Database` wires the whole stack together: storage, SQL front end,
-rank-aware optimizer and execution engine.
+the staged :class:`~repro.planner.Planner` (parse → bind → optimize →
+plan cache) and the execution engine.
 
 Typical use::
 
-    db = Database()
-    db.create_table("hotel", [("price", DataType.FLOAT), ("stars", DataType.INT)])
-    db.insert("hotel", [(120.0, 4), (80.0, 3)])
-    db.register_predicate("cheap", ["hotel.price"], lambda p: max(0, 1 - p / 200))
-    db.create_rank_index("hotel", "cheap")
-    result = db.query("SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 1")
+    with Database() as db:
+        db.create_table("hotel", [("price", DataType.FLOAT), ("stars", DataType.INT)])
+        db.insert("hotel", [(120.0, 4), (80.0, 3)])
+        db.register_predicate("cheap", ["hotel.price"], lambda p: max(0, 1 - p / 200))
+        db.create_rank_index("hotel", "cheap")
+        result = db.query("SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 1")
+
+Repeated traffic should go through prepared statements or sessions, which
+reuse cached plans and compiled predicate evaluators::
+
+    top = db.prepare("SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 1")
+    top.run()          # planned once
+    top.run(k=5)       # executes only; k may exceed the prepared LIMIT
+
+Every schema, data, index or statistics change invalidates the plan cache,
+so cached plans never go stale.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from ..algebra.expressions import Expression
 from ..algebra.operators import LogicalOperator
 from ..algebra.predicates import RankingPredicate, ScoringFunction
-from ..execution.iterator import ExecutionContext, run_plan
-from ..optimizer.cardinality import SampleDatabase
-from ..optimizer.enumeration import RankAwareOptimizer, optimize_traditional
+from ..execution.iterator import EvaluatorCache, ExecutionContext, collect_plan
+from ..optimizer.enumeration import RankAwareOptimizer
 from ..optimizer.plans import PlanNode
 from ..optimizer.query_spec import QuerySpec
-from ..optimizer.rule_based import RuleBasedOptimizer
-from ..sql.binder import Binder
-from ..sql.parser import parse
+from ..planner import Planner, PreparedQuery, Session
 from ..storage.catalog import Catalog
 from ..storage.index import ColumnIndex, MultiKeyIndex, RankIndex
 from ..storage.schema import Column, DataType, Schema
@@ -38,11 +47,63 @@ ColumnSpec = "str | tuple[str, DataType] | Column"
 
 
 class Database:
-    """An in-memory rank-aware relational database."""
+    """An in-memory rank-aware relational database.
 
-    def __init__(self) -> None:
+    ``persist_dir`` attaches a persistence directory: :meth:`flush` (and
+    :meth:`close`, hence ``with Database(...)``) writes the catalog and all
+    table data there, so scripts cannot exit with half-written state.
+    """
+
+    def __init__(self, persist_dir: "str | Path | None" = None) -> None:
         self.catalog = Catalog()
-        self._sample_cache: dict[tuple[float, int], SampleDatabase] = {}
+        self.planner = Planner(self.catalog)
+        self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, flush: bool = True) -> None:
+        """Flush persistence (when attached) and drop every cached plan.
+
+        Idempotent; using the database afterwards raises ``RuntimeError``.
+        ``flush=False`` closes without writing (used when a ``with`` block
+        exits via an exception, so a half-mutated state never overwrites
+        the last consistent on-disk snapshot).
+        """
+        if self._closed:
+            return
+        if flush:
+            self.flush()
+        self.planner.invalidate()
+        self._closed = True
+
+    def flush(self) -> None:
+        """Write the database to ``persist_dir`` (no-op when not attached)."""
+        if self.persist_dir is not None:
+            from .persistence import save_database
+
+            save_database(self, self.persist_dir)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        # Only a clean exit persists; an exception keeps the previous
+        # consistent snapshot instead of flushing half-mutated state.
+        self.close(flush=exc_type is None)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("database is closed")
+
+    def _invalidate(self) -> None:
+        """Invalidate cached plans/samples after a schema/data/stats change."""
+        self.planner.invalidate()
 
     # ------------------------------------------------------------------
     # schema & data definition
@@ -53,6 +114,7 @@ class Database:
         Each spec is a name (FLOAT by default), a ``(name, DataType)`` pair,
         or a full :class:`Column`.
         """
+        self._check_open()
         resolved: list[Column] = []
         for spec in columns:
             if isinstance(spec, Column):
@@ -62,28 +124,33 @@ class Database:
             else:
                 column_name, dtype = spec
                 resolved.append(Column(column_name, dtype))
-        self._sample_cache.clear()
+        self._invalidate()
         return self.catalog.create_table(name, Schema(resolved))
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk-insert value tuples; returns the number inserted."""
-        self._sample_cache.clear()
+        self._check_open()
+        self._invalidate()
         return self.catalog.table(table).insert_many(rows)
 
     def insert_dicts(self, table: str, rows: Iterable[dict[str, Any]]) -> int:
         """Bulk-insert ``{column: value}`` dicts."""
-        self._sample_cache.clear()
+        self._check_open()
+        self._invalidate()
         return self.catalog.table(table).insert_dicts(rows)
 
     def load_csv(self, table: str, path: Any, has_header: bool = True) -> int:
         """Load a CSV file into a table (typed per the table schema)."""
         from .csv_io import load_csv
 
-        self._sample_cache.clear()
+        self._check_open()
+        self._invalidate()
         return load_csv(self.catalog.table(table), path, has_header=has_header)
 
     def analyze(self, table: str | None = None) -> None:
         """(Re)compute statistics for one table or all tables."""
+        self._check_open()
+        self._invalidate()
         if table is not None:
             self.catalog.analyze(table)
             return
@@ -107,6 +174,7 @@ class Database:
         ``spin_loops`` adds busy-work per evaluation so the abstract
         ``cost`` also shows in wall time (benchmarking aid).
         """
+        self._check_open()
         predicate = RankingPredicate(
             name, columns, scorer, cost=cost, p_max=p_max, spin_loops=spin_loops
         )
@@ -115,15 +183,17 @@ class Database:
 
     def create_column_index(self, table: str, column: str) -> ColumnIndex:
         """Ordered index on a column (equality probes, interesting order)."""
+        self._check_open()
         t = self.catalog.table(table)
         qualified = column if "." in column else f"{table}.{column}"
         index = ColumnIndex(f"{table}_{column.replace('.', '_')}_idx", t.schema, qualified)
         t.attach_index(index)
-        self._sample_cache.clear()
+        self._invalidate()
         return index
 
     def create_rank_index(self, table: str, predicate_name: str) -> RankIndex:
         """Function-based index enabling rank-scans on a predicate."""
+        self._check_open()
         t = self.catalog.table(table)
         predicate = self.catalog.predicate(predicate_name)
         index = RankIndex(
@@ -133,7 +203,7 @@ class Database:
             predicate.compile(t.schema),
         )
         t.attach_index(index)
-        self._sample_cache.clear()
+        self._invalidate()
         return index
 
     def create_multikey_index(
@@ -141,6 +211,7 @@ class Database:
     ) -> MultiKeyIndex:
         """Composite (Boolean column, predicate score) index enabling
         scan-based selection (§4.2)."""
+        self._check_open()
         t = self.catalog.table(table)
         predicate = self.catalog.predicate(predicate_name)
         qualified = bool_column if "." in bool_column else f"{table}.{bool_column}"
@@ -152,7 +223,7 @@ class Database:
             predicate.compile(t.schema),
         )
         t.attach_index(index)
-        self._sample_cache.clear()
+        self._invalidate()
         return index
 
     # ------------------------------------------------------------------
@@ -160,7 +231,8 @@ class Database:
     # ------------------------------------------------------------------
     def bind(self, sql: str) -> QuerySpec:
         """Parse and bind a SQL string to a query spec."""
-        return Binder(self.catalog).bind(parse(sql))
+        self._check_open()
+        return self.planner.bind(sql)
 
     def optimizer(
         self,
@@ -170,25 +242,49 @@ class Database:
         **kwargs: Any,
     ) -> RankAwareOptimizer:
         """A rank-aware optimizer for a spec (sample database cached)."""
-        sample = self._sample(sample_ratio, seed)
-        return RankAwareOptimizer(self.catalog, spec, sample=sample, **kwargs)
+        self._check_open()
+        return self.planner.optimizer(
+            spec, sample_ratio=sample_ratio, seed=seed, **kwargs
+        )
 
     def plan(self, query: "str | QuerySpec", **kwargs: Any) -> PlanNode:
-        """Optimize a SQL string or spec into a physical plan."""
-        spec = self.bind(query) if isinstance(query, str) else query
-        return self.optimizer(spec, **kwargs).optimize()
+        """Optimize a SQL string or spec into a physical plan (cached)."""
+        self._check_open()
+        return self.planner.plan(query, strategy="rank-aware", **kwargs)
 
     def plan_traditional(self, query: "str | QuerySpec", **kwargs: Any) -> PlanNode:
         """The materialize-then-sort baseline plan for a query."""
-        spec = self.bind(query) if isinstance(query, str) else query
-        sample = self._sample(kwargs.pop("sample_ratio", 0.001), kwargs.pop("seed", 0))
-        return optimize_traditional(self.catalog, spec, sample=sample, **kwargs)
+        self._check_open()
+        return self.planner.plan(query, strategy="traditional", **kwargs)
+
+    def prepare(
+        self, query: "str | QuerySpec", strategy: str = "rank-aware", **kwargs: Any
+    ) -> PreparedQuery:
+        """Plan a query once and return a reusable :class:`PreparedQuery`.
+
+        ``prepared.run(k=...)`` executes without re-planning (the plan cache
+        and compiled evaluators are shared); catalog changes transparently
+        trigger a re-plan on the next run.
+        """
+        self._check_open()
+        return PreparedQuery(self, query, strategy=strategy, **kwargs)
+
+    def session(self, **settings: Any) -> Session:
+        """A client session carrying per-client planner settings/metrics."""
+        self._check_open()
+        return Session(self, **settings)
 
     def query(self, query: "str | QuerySpec", **kwargs: Any) -> QueryResult:
-        """Optimize and execute a query; returns its top-k results."""
-        spec = self.bind(query) if isinstance(query, str) else query
-        plan = self.optimizer(spec, **kwargs).optimize()
-        return self.execute(plan, spec.scoring, k=spec.k)
+        """Optimize (with plan caching) and execute a query."""
+        self._check_open()
+        entry, hit = self.planner.prepare(query, strategy="rank-aware", **kwargs)
+        return self.execute(
+            entry.plan,
+            entry.scoring,
+            k=entry.k,
+            evaluators=entry.evaluators,
+            plan_cached=hit,
+        )
 
     def open_cursor(self, query: "str | QuerySpec", **kwargs: Any) -> "Cursor":
         """Optimize a query and return an incremental :class:`Cursor`.
@@ -198,46 +294,27 @@ class Database:
         beforehand" scenario) until the plan is exhausted or the cursor is
         closed.
         """
-        from .result import Cursor
-
-        spec = self.bind(query) if isinstance(query, str) else query
-        plan = self.optimizer(spec, **kwargs).optimize()
-        # Strip the top-level limit so fetching may continue past k.
-        from ..optimizer.plans import LimitPlan, ProjectPlan
-
-        unlimited = plan
-        if isinstance(unlimited, ProjectPlan) and isinstance(
-            unlimited.children[0], LimitPlan
-        ):
-            unlimited = ProjectPlan(
-                unlimited.children[0].children[0], unlimited.columns
-            )
-        elif isinstance(unlimited, LimitPlan):
-            unlimited = unlimited.children[0]
-        context = ExecutionContext(self.catalog, spec.scoring)
-        return Cursor(unlimited.build(), context, spec.scoring, unlimited)
+        return self.prepare(query, **kwargs).cursor()
 
     def execute(
         self,
         plan: PlanNode,
         scoring: ScoringFunction,
         k: int | None = None,
+        evaluators: EvaluatorCache | None = None,
+        plan_cached: bool = False,
     ) -> QueryResult:
-        """Execute a physical plan, pulling at most ``k`` results."""
-        context = ExecutionContext(self.catalog, scoring)
-        root = plan.build()
-        root.open(context)
-        try:
-            schema = root.schema()
-            out = []
-            while k is None or len(out) < k:
-                scored = root.next()
-                if scored is None:
-                    break
-                out.append(scored)
-        finally:
-            root.close()
-        return QueryResult(schema, out, scoring, plan, context.metrics)
+        """Execute a physical plan, pulling at most ``k`` results.
+
+        ``evaluators`` shares compiled predicate evaluators across
+        executions (the prepared/cached warm path).
+        """
+        self._check_open()
+        context = ExecutionContext(self.catalog, scoring, evaluators=evaluators)
+        schema, out = collect_plan(plan.build(), context, k)
+        return QueryResult(
+            schema, out, scoring, plan, context.metrics, plan_cached=plan_cached
+        )
 
     def explain(self, query: "str | QuerySpec", **kwargs: Any) -> str:
         """The optimizer's chosen plan for a query, pretty-printed."""
@@ -254,13 +331,20 @@ class Database:
         per-operator statistics (the engine's EXPLAIN ANALYZE)."""
         from ..optimizer.explain import explain_analyze
 
-        spec = self.bind(query) if isinstance(query, str) else query
-        sample = self._sample(sample_ratio, seed)
-        plan = self.optimizer(
-            spec, sample_ratio=sample_ratio, seed=seed, **kwargs
-        ).optimize()
+        self._check_open()
+        entry, __ = self.planner.prepare(
+            query,
+            strategy="rank-aware",
+            sample_ratio=sample_ratio,
+            seed=seed,
+            **kwargs,
+        )
         report = explain_analyze(
-            self.catalog, spec, plan, sample=sample, seed=seed
+            self.catalog,
+            entry.spec,
+            entry.plan,
+            sample=self.planner.sample(sample_ratio, seed),
+            seed=seed,
         )
         return report.render()
 
@@ -282,22 +366,8 @@ class Database:
         ``spec`` supplies the scoring function, ``k`` and the statistics
         context (its table list should cover the plan's tables).
         """
-        optimizer = RuleBasedOptimizer(
-            self.catalog,
-            spec,
-            sample=self._sample(sample_ratio, seed),
-            **kwargs,
+        self._check_open()
+        physical = self.planner.plan_logical(
+            logical, spec, sample_ratio=sample_ratio, seed=seed, **kwargs
         )
-        physical = optimizer.optimize(logical=logical)
         return self.execute(physical, spec.scoring, k=k if k is not None else spec.k)
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-    def _sample(self, ratio: float, seed: int) -> SampleDatabase:
-        key = (ratio, seed)
-        if key not in self._sample_cache:
-            self._sample_cache[key] = SampleDatabase(
-                self.catalog, ratio=ratio, seed=seed
-            )
-        return self._sample_cache[key]

@@ -83,6 +83,7 @@ def save_database(db: Database, directory: "str | Path") -> None:
 def load_database(
     directory: "str | Path",
     predicates: Mapping[str, Callable[..., float]] | None = None,
+    persist: bool = False,
 ) -> Database:
     """Restore a database saved by :func:`save_database`.
 
@@ -90,6 +91,10 @@ def load_database(
     present in the manifest but missing from the mapping are skipped (their
     rank indexes are dropped with a :class:`PersistenceError` only if a
     rank index needs them).
+
+    With ``persist=True`` the directory stays attached: closing the
+    returned database (``with load_database(...) as db``) writes changes
+    back, so scripts cannot exit with half-written state.
     """
     path = Path(directory)
     manifest_path = path / CATALOG_FILE
@@ -137,6 +142,8 @@ def load_database(
             else:
                 raise PersistenceError(f"unknown index kind: {kind!r}")
     db.analyze()
+    if persist:
+        db.persist_dir = path
     return db
 
 

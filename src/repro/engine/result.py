@@ -15,7 +15,9 @@ class QueryResult:
     """The outcome of executing a (top-k) query.
 
     Iterable over value tuples; also exposes per-row final scores, the
-    executed physical plan and the execution metrics.
+    executed physical plan, the execution metrics and whether the plan came
+    from the plan cache (:attr:`plan_cached` — False on a cold run, True
+    when a cached/prepared plan was reused without re-optimization).
     """
 
     def __init__(
@@ -25,12 +27,14 @@ class QueryResult:
         scoring: ScoringFunction,
         plan: PlanNode,
         metrics: ExecutionMetrics,
+        plan_cached: bool = False,
     ):
         self.schema = schema
         self.scored_rows = scored_rows
         self.scoring = scoring
         self.plan = plan
         self.metrics = metrics
+        self.plan_cached = plan_cached
 
     def __len__(self) -> int:
         return len(self.scored_rows)
@@ -91,6 +95,11 @@ class Cursor:
     so the work done is proportional to the number of rows actually
     fetched.  Close it (or use it as a context manager) to release the
     plan.
+
+    Cursors obtained from a :class:`~repro.planner.PreparedQuery` (or
+    ``Database.open_cursor``, which routes through one) execute the cached
+    plan with its shared compiled evaluators — reopening a cursor on the
+    same statement skips enumeration and recompilation.
     """
 
     def __init__(self, root, context, scoring: ScoringFunction, plan: PlanNode):

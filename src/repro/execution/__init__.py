@@ -2,9 +2,11 @@
 
 from .filter import Filter, Project
 from .iterator import (
+    EvaluatorCache,
     ExecutionContext,
     PhysicalOperator,
     RankingQueue,
+    collect_plan,
     explain_physical,
     run_plan,
 )
@@ -27,6 +29,7 @@ __all__ = [
     "BOOLEAN_EVAL_UNIT",
     "COMPARE_UNIT",
     "ColumnOrderScan",
+    "EvaluatorCache",
     "ExecutionContext",
     "ExecutionMetrics",
     "Filter",
@@ -51,6 +54,7 @@ __all__ = [
     "SeqScan",
     "Sort",
     "SortMergeJoin",
+    "collect_plan",
     "explain_physical",
     "run_plan",
 ]

@@ -32,30 +32,87 @@ from ..storage.schema import Schema
 from .metrics import ExecutionMetrics, OperatorStats
 
 
-class ExecutionContext:
-    """Shared state of one plan execution: catalog, scoring, metrics."""
+class EvaluatorCache:
+    """Compiled ranking-predicate evaluators, keyed by ``(name, schema)``.
 
-    def __init__(self, catalog: Catalog, scoring: ScoringFunction):
+    Compilation (column-position resolution, clamping closure construction)
+    happens once per predicate/schema pair; the compiled closures are pure,
+    so a cache may be shared across *executions* of the same plan — this is
+    what makes a cached/prepared plan's warm runs skip recompilation
+    entirely.  One cache must only ever be used with one scoring function.
+    """
+
+    __slots__ = ("scoring", "_compiled")
+
+    def __init__(self, scoring: ScoringFunction):
+        self.scoring = scoring
+        #: (name, schema) -> (compiled evaluator, per-evaluation cost)
+        self._compiled: dict[tuple[str, Schema], tuple[Evaluator, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._compiled)
+
+    def entry(self, name: str, schema: Schema) -> tuple[Evaluator, float]:
+        """The compiled ``(evaluator, cost)`` pair, compiling on first use."""
+        key = (name, schema)
+        hit = self._compiled.get(key)
+        if hit is None:
+            predicate = self.scoring.predicate(name)
+            hit = (predicate.compile(schema), predicate.cost)
+            self._compiled[key] = hit
+        return hit
+
+
+class ExecutionContext:
+    """Shared state of one plan execution: catalog, scoring, metrics.
+
+    ``evaluators`` may be supplied to share compiled predicate evaluators
+    across executions (the prepared-statement warm path); when omitted a
+    private cache is created.  Per-run state — metrics and operator-naming
+    counters — is reset by :meth:`begin_run`.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        scoring: ScoringFunction,
+        evaluators: EvaluatorCache | None = None,
+    ):
         self.catalog = catalog
         self.scoring = scoring
         self.metrics = ExecutionMetrics()
-        self._compiled: dict[tuple[str, Schema], Evaluator] = {}
+        if evaluators is None:
+            evaluators = EvaluatorCache(scoring)
+        elif evaluators.scoring is not scoring:
+            raise ValueError("evaluator cache belongs to a different scoring function")
+        self.evaluators = evaluators
         self._naming: dict[str, int] = {}
+
+    def begin_run(self) -> None:
+        """Reset per-run state (operator-name counters) for a fresh execution.
+
+        Without this, reusing a context across plan executions let
+        ``unique_name`` counters leak: the second run's operators were named
+        ``rank_p4#2`` and charged to fresh stats records while the compiled
+        evaluators of dead schemas accumulated.  Compiled evaluators now live
+        in the (deliberately shared) :class:`EvaluatorCache`; the naming
+        counters are per-run and cleared here.  Metrics keep accumulating —
+        a reused context measures the *total* work it has hosted.
+        """
+        self._naming.clear()
 
     def evaluate_predicate(self, name: str, row, schema: Schema) -> float:
         """Evaluate ranking predicate ``name`` on a row, charging its cost."""
-        key = (name, schema)
-        if key not in self._compiled:
-            self._compiled[key] = self.scoring.predicate(name).compile(schema)
-        self.metrics.charge_predicate(self.scoring.predicate(name).cost)
-        return self._compiled[key](row)
+        evaluate, cost = self.evaluators.entry(name, schema)
+        self.metrics.charge_predicate(cost)
+        return evaluate(row)
 
     def upper_bound(self, scored: ScoredRow) -> float:
         """``F_P[t]`` for a scored row (P = the keys of its score map)."""
         return self.scoring.upper_bound(scored.scores)
 
     def unique_name(self, base: str) -> str:
-        """A unique per-plan operator instance name (``mu_p4``, ``mu_p4#2``)."""
+        """A unique per-run operator instance name (``mu_p4``, ``mu_p4#2``)."""
         n = self._naming.get(base, 0)
         self._naming[base] = n + 1
         return base if n == 0 else f"{base}#{n + 1}"
@@ -194,15 +251,27 @@ def run_plan(
     This realizes the incremental execution model: pulling stops as soon as
     ``k`` results are reported, so work is proportional to ``k``.
     """
+    return collect_plan(root, context, k)[1]
+
+
+def collect_plan(
+    root: PhysicalOperator,
+    context: ExecutionContext,
+    k: int | None = None,
+) -> tuple[Schema, list[ScoredRow]]:
+    """:func:`run_plan` that also captures the output schema (only
+    observable while the plan is open) — the engine's result path."""
+    context.begin_run()
     root.open(context)
     try:
+        schema = root.schema()
         out: list[ScoredRow] = []
         while k is None or len(out) < k:
             scored = root.next()
             if scored is None:
                 break
             out.append(scored)
-        return out
+        return schema, out
     finally:
         root.close()
 

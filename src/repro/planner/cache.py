@@ -1,0 +1,114 @@
+"""The plan cache: optimized physical plans keyed by query signature.
+
+Repeated traffic (the ROADMAP's north star) re-runs the same parameterized
+queries; the two-dimensional ``(SR, SP)`` DP enumeration they pay for is
+identical every time.  The cache stores one :class:`CachedPlan` per
+normalized signature — the chosen :class:`~repro.optimizer.plans.PlanNode`
+plus the compiled-evaluator cache its executions share — with LRU eviction
+and *generation*-based invalidation: any DDL/DML/statistics change bumps the
+owning planner's generation, orphaning every cached entry at once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..algebra.predicates import ScoringFunction
+from ..execution.iterator import EvaluatorCache
+from ..optimizer.plans import PlanNode
+from ..optimizer.query_spec import QuerySpec
+from .signature import QuerySignature
+
+
+@dataclass
+class CachedPlan:
+    """One cache entry: a plan, its spec, and its shared runtime artifacts.
+
+    ``k`` and ``scoring`` are snapshotted at prepare time — ``QuerySpec`` is
+    mutable, and executing from a live ``spec.k`` would let a caller mutate
+    an entry that is keyed under its original signature.
+    """
+
+    signature: QuerySignature
+    spec: QuerySpec
+    plan: PlanNode
+    strategy: str
+    evaluators: EvaluatorCache
+    #: planner generation the plan was built under (stale when it differs)
+    generation: int
+    #: result size and scoring function as of prepare time (see above)
+    k: int = 0
+    scoring: ScoringFunction | None = None
+    hits: int = 0
+
+
+@dataclass
+class PlanCacheStats:
+    """Observable cache behaviour (the acceptance-criteria metrics)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache:
+    """An LRU mapping from query signature to :class:`CachedPlan`."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = PlanCacheStats()
+        self._entries: "OrderedDict[QuerySignature, CachedPlan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, signature: QuerySignature) -> bool:
+        return signature in self._entries
+
+    def get(self, signature: QuerySignature, generation: int) -> CachedPlan | None:
+        """The live entry for a signature, or None (miss / stale)."""
+        entry = self._entries.get(signature)
+        if entry is None or entry.generation != generation:
+            if entry is not None:  # stale entry: drop it eagerly
+                del self._entries[signature]
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(signature)
+        self.stats.hits += 1
+        entry.hits += 1
+        return entry
+
+    def put(self, entry: CachedPlan) -> None:
+        self._entries[entry.signature] = entry
+        self._entries.move_to_end(entry.signature)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (schema, data or statistics changed)."""
+        if self._entries:
+            self._entries.clear()
+        self.stats.invalidations += 1
+
+    def entries(self) -> list[CachedPlan]:
+        """Cached entries, least- to most-recently used (for inspection)."""
+        return list(self._entries.values())

@@ -1,0 +1,230 @@
+"""The unified planner: parse → bind → optimize behind one interface.
+
+Before this layer existed, ``engine/database.py`` wired the SQL front end
+and the three optimizers (:class:`~repro.optimizer.enumeration.RankAwareOptimizer`,
+:func:`~repro.optimizer.enumeration.optimize_traditional`,
+:class:`~repro.optimizer.rule_based.RuleBasedOptimizer`) together ad hoc,
+re-running the full ``(SR, SP)`` DP enumeration on every ``query()`` call.
+:class:`Planner` owns that pipeline as explicit stages:
+
+1. **parse** — SQL text to AST (:mod:`repro.sql.parser`);
+2. **bind** — AST to a canonical :class:`~repro.optimizer.query_spec.QuerySpec`;
+3. **optimize** — spec to a physical :class:`~repro.optimizer.plans.PlanNode`
+   under a named *strategy* (``rank-aware`` | ``traditional`` | ``rule-based``)
+   and explicit knobs;
+4. **cache** — the chosen plan, keyed by the normalized signature, together
+   with its compiled-evaluator cache so warm executions skip both
+   enumeration and predicate recompilation.
+
+The planner never executes plans — that remains the engine's job — and it
+never mutates the catalog beyond what binding requires.  Any change to
+tables, indexes or statistics must be reported via :meth:`invalidate`,
+which bumps the planner *generation* and orphans every cached artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..algebra.operators import LogicalOperator
+from ..execution.iterator import EvaluatorCache
+from ..optimizer.cardinality import SampleDatabase
+from ..optimizer.enumeration import RankAwareOptimizer, optimize_traditional
+from ..optimizer.plans import PlanNode
+from ..optimizer.query_spec import QuerySpec
+from ..optimizer.rule_based import RuleBasedOptimizer
+from ..sql.binder import Binder
+from ..sql.parser import parse
+from ..storage.catalog import Catalog
+from .cache import CachedPlan, PlanCache
+from .signature import plan_signature
+
+#: the optimization strategies the planner unifies
+STRATEGIES = ("rank-aware", "traditional", "rule-based")
+
+
+@dataclass
+class PlannerMetrics:
+    """Counters over the planner's lifetime (cache stats live on the cache)."""
+
+    binds: int = 0
+    plans_built: int = 0
+    prepares: int = 0
+    invalidations: int = 0
+    plan_seconds: float = 0.0
+    by_strategy: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "binds": self.binds,
+            "plans_built": self.plans_built,
+            "prepares": self.prepares,
+            "invalidations": self.invalidations,
+            "plan_seconds": self.plan_seconds,
+        }
+
+
+class Planner:
+    """The staged query-planning pipeline over one catalog."""
+
+    def __init__(self, catalog: Catalog, cache_capacity: int = 256):
+        self.catalog = catalog
+        self.cache = PlanCache(cache_capacity)
+        self.metrics = PlannerMetrics()
+        #: bumped on every invalidation; cached artifacts carry the value
+        #: they were built under and are stale once it moves on
+        self.generation = 0
+        self._sample_cache: dict[tuple[float, int], SampleDatabase] = {}
+
+    # ------------------------------------------------------------------
+    # front end
+    # ------------------------------------------------------------------
+    def bind(self, sql: str) -> QuerySpec:
+        """Parse and bind a SQL string to a canonical query spec."""
+        self.metrics.binds += 1
+        return Binder(self.catalog).bind(parse(sql))
+
+    def _resolve(self, query: "str | QuerySpec") -> QuerySpec:
+        return self.bind(query) if isinstance(query, str) else query
+
+    # ------------------------------------------------------------------
+    # samples (shared by every optimizer; data-dependent, so invalidated)
+    # ------------------------------------------------------------------
+    def sample(self, ratio: float, seed: int) -> SampleDatabase:
+        """The (cached) sample database for a ``(ratio, seed)`` pair."""
+        key = (ratio, seed)
+        if key not in self._sample_cache:
+            self._sample_cache[key] = SampleDatabase(
+                self.catalog, ratio=ratio, seed=seed
+            )
+        return self._sample_cache[key]
+
+    # ------------------------------------------------------------------
+    # optimization
+    # ------------------------------------------------------------------
+    def optimizer(
+        self,
+        spec: QuerySpec,
+        sample_ratio: float = 0.001,
+        seed: int = 0,
+        **knobs: Any,
+    ) -> RankAwareOptimizer:
+        """A rank-aware optimizer instance for a spec (for inspection)."""
+        return RankAwareOptimizer(
+            self.catalog, spec, sample=self.sample(sample_ratio, seed), **knobs
+        )
+
+    def plan(
+        self,
+        query: "str | QuerySpec",
+        strategy: str = "rank-aware",
+        use_cache: bool = True,
+        **knobs: Any,
+    ) -> PlanNode:
+        """Optimize a query under a strategy; returns the physical plan."""
+        return self.prepare(query, strategy=strategy, use_cache=use_cache, **knobs)[0].plan
+
+    def prepare(
+        self,
+        query: "str | QuerySpec",
+        strategy: str = "rank-aware",
+        use_cache: bool = True,
+        **knobs: Any,
+    ) -> tuple[CachedPlan, bool]:
+        """The full staged pipeline; returns ``(entry, was_cache_hit)``.
+
+        SQL strings always pass through parse + bind (the cheap stages; the
+        signature is computed from the bound spec).  On a hit, everything
+        after — the DP enumeration and predicate compilation — is skipped:
+        the entry carries the chosen plan and the compiled-evaluator cache
+        shared by all of its executions.
+        """
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        self.metrics.prepares += 1
+        spec = self._resolve(query)
+        sample_ratio = float(knobs.pop("sample_ratio", 0.001))
+        seed = int(knobs.pop("seed", 0))
+        signature = plan_signature(
+            spec, strategy, dict(knobs, sample_ratio=sample_ratio, seed=seed)
+        )
+        if use_cache:
+            entry = self.cache.get(signature, self.generation)
+            if entry is not None:
+                return entry, True
+        start = time.perf_counter()
+        plan = self._optimize(spec, strategy, sample_ratio, seed, knobs)
+        self.metrics.plan_seconds += time.perf_counter() - start
+        self.metrics.plans_built += 1
+        self.metrics.by_strategy[strategy] = (
+            self.metrics.by_strategy.get(strategy, 0) + 1
+        )
+        entry = CachedPlan(
+            signature=signature,
+            spec=spec,
+            plan=plan,
+            strategy=strategy,
+            evaluators=EvaluatorCache(spec.scoring),
+            generation=self.generation,
+            k=spec.k,
+            scoring=spec.scoring,
+        )
+        if use_cache:
+            self.cache.put(entry)
+        return entry, False
+
+    def _optimize(
+        self,
+        spec: QuerySpec,
+        strategy: str,
+        sample_ratio: float,
+        seed: int,
+        knobs: dict[str, Any],
+    ) -> PlanNode:
+        sample = self.sample(sample_ratio, seed)
+        if strategy == "rank-aware":
+            return RankAwareOptimizer(
+                self.catalog, spec, sample=sample, **knobs
+            ).optimize()
+        if strategy == "traditional":
+            if knobs:
+                raise TypeError(
+                    f"traditional strategy takes no knobs, got {sorted(knobs)}"
+                )
+            return optimize_traditional(self.catalog, spec, sample=sample)
+        return RuleBasedOptimizer(
+            self.catalog, spec, sample=sample, **knobs
+        ).optimize()
+
+    def plan_logical(
+        self,
+        logical: LogicalOperator,
+        spec: QuerySpec,
+        sample_ratio: float = 0.001,
+        seed: int = 0,
+        **knobs: Any,
+    ) -> PlanNode:
+        """Optimize a hand-built logical plan (rule-based path, uncached —
+        logical trees carry no normalized signature)."""
+        start = time.perf_counter()
+        optimizer = RuleBasedOptimizer(
+            self.catalog, spec, sample=self.sample(sample_ratio, seed), **knobs
+        )
+        plan = optimizer.optimize(logical=logical)
+        self.metrics.plan_seconds += time.perf_counter() - start
+        self.metrics.plans_built += 1
+        return plan
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Orphan every cached plan and sample (schema/data/stats changed)."""
+        self.generation += 1
+        self.metrics.invalidations += 1
+        self._sample_cache.clear()
+        self.cache.invalidate()

@@ -1,0 +1,215 @@
+"""Prepared statements and sessions: the client-facing reuse API.
+
+A :class:`PreparedQuery` pins the output of the planner pipeline — spec,
+physical plan, compiled evaluators — so each :meth:`PreparedQuery.run` pays
+only execution.  Prepared queries survive catalog changes: every run checks
+the planner generation and transparently re-plans when tables, indexes or
+statistics have moved underneath it (stale plans are never executed).
+
+A :class:`Session` carries per-client planning settings (strategy, sampling
+parameters, heuristic knobs) and accumulates client-side metrics, so
+request-serving code configures once and issues plain SQL afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any
+
+from ..execution.iterator import ExecutionContext
+from ..optimizer.plans import LimitPlan, PlanNode, ProjectPlan
+from ..optimizer.query_spec import QuerySpec
+from .cache import CachedPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.database import Database
+    from ..engine.result import Cursor, QueryResult
+
+
+def strip_limit(plan: PlanNode) -> PlanNode:
+    """The same plan without its top-level λ_k (for cursors / larger k)."""
+    if isinstance(plan, ProjectPlan) and isinstance(plan.children[0], LimitPlan):
+        return ProjectPlan(plan.children[0].children[0], plan.columns)
+    if isinstance(plan, LimitPlan):
+        return plan.children[0]
+    return plan
+
+
+class PreparedQuery:
+    """A query planned once, executable many times.
+
+    Created via :meth:`Database.prepare <repro.engine.database.Database.prepare>`
+    or :meth:`Session.prepare`.  ``run(k=...)`` may override the query's
+    LIMIT in either direction — a larger ``k`` executes the limit-stripped
+    plan, so preparation does not fix the result size.
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        query: "str | QuerySpec",
+        strategy: str = "rank-aware",
+        **knobs: Any,
+    ):
+        self._db = database
+        self._query = query
+        self._strategy = strategy
+        self._knobs = dict(knobs)
+        self._entry, self._hit = database.planner.prepare(
+            query, strategy=strategy, **knobs
+        )
+        #: whether the current entry has been executed before (its first
+        #: run after a cold build must not report plan_cached=True)
+        self._ran = False
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def spec(self) -> QuerySpec:
+        return self._entry.spec
+
+    @property
+    def plan(self) -> PlanNode:
+        return self._entry.plan
+
+    @property
+    def strategy(self) -> str:
+        return self._strategy
+
+    @property
+    def from_cache(self) -> bool:
+        """Whether the most recent (re-)preparation was a plan-cache hit."""
+        return self._hit
+
+    def explain(self) -> str:
+        return self._refresh().plan.explain()
+
+    # -- execution ---------------------------------------------------------
+    def _refresh(self) -> CachedPlan:
+        """The current entry, re-planning if the catalog moved on."""
+        planner = self._db.planner
+        if self._entry.generation != planner.generation:
+            self._entry, self._hit = planner.prepare(
+                self._query, strategy=self._strategy, **self._knobs
+            )
+            self._ran = False
+        return self._entry
+
+    def run(self, k: int | None = None) -> "QueryResult":
+        """Execute the prepared plan, returning its top ``k`` results.
+
+        ``QueryResult.plan_cached`` is faithful to the optimizer work this
+        statement actually skipped: False exactly when the current entry was
+        freshly optimized (at construction or after an invalidation) and
+        this is its first execution.
+        """
+        entry = self._refresh()
+        plan_cached = self._hit or self._ran
+        self._ran = True
+        wanted = entry.k if k is None else k
+        plan = entry.plan if wanted <= entry.k else strip_limit(entry.plan)
+        return self._db.execute(
+            plan,
+            entry.scoring,
+            k=wanted,
+            evaluators=entry.evaluators,
+            plan_cached=plan_cached,
+        )
+
+    def cursor(self) -> "Cursor":
+        """An incremental cursor over the prepared plan (limit stripped)."""
+        from ..engine.result import Cursor
+
+        entry = self._refresh()
+        unlimited = strip_limit(entry.plan)
+        context = ExecutionContext(
+            self._db.catalog, entry.scoring, evaluators=entry.evaluators
+        )
+        context.begin_run()
+        return Cursor(unlimited.build(), context, entry.scoring, unlimited)
+
+
+class Session:
+    """Per-client query context: fixed planning settings, shared statements.
+
+    ``settings`` are planner knobs applied to every statement the session
+    plans (``strategy``, ``sample_ratio``, ``seed``, heuristic flags …).
+    Prepared statements are memoized by SQL text (LRU, at most
+    ``max_statements``, so long-lived sessions issuing many distinct ad-hoc
+    statements stay bounded), so ``execute`` hits the statement cache first
+    and the shared plan cache second.
+    """
+
+    #: default bound on memoized prepared statements per session
+    MAX_STATEMENTS = 64
+
+    def __init__(self, database: "Database", **settings: Any):
+        self._db = database
+        self.strategy = settings.pop("strategy", "rank-aware")
+        self.max_statements = int(settings.pop("max_statements", self.MAX_STATEMENTS))
+        if self.max_statements < 1:
+            raise ValueError("max_statements must be positive")
+        self.settings = settings
+        self._statements: "OrderedDict[str, PreparedQuery]" = OrderedDict()
+        self._closed = False
+        #: client-side totals across every statement this session executed
+        self.queries_executed = 0
+        self.rows_returned = 0
+        self.simulated_cost = 0.0
+        #: statement-cache hits — reuse that never reaches the plan cache
+        self.statement_hits = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        self._statements.clear()
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- statements ----------------------------------------------------------
+    def prepare(self, query: "str | QuerySpec") -> PreparedQuery:
+        """Prepare a statement under the session's settings (memoized)."""
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if isinstance(query, str):
+            cached = self._statements.get(query)
+            if cached is not None:
+                self._statements.move_to_end(query)
+                self.statement_hits += 1
+                return cached
+        prepared = PreparedQuery(
+            self._db, query, strategy=self.strategy, **self.settings
+        )
+        if isinstance(query, str):
+            self._statements[query] = prepared
+            while len(self._statements) > self.max_statements:
+                self._statements.popitem(last=False)
+        return prepared
+
+    def execute(self, query: "str | QuerySpec", k: int | None = None) -> "QueryResult":
+        """Plan (with statement + plan caching) and execute a query."""
+        result = self.prepare(query).run(k=k)
+        self.queries_executed += 1
+        self.rows_returned += len(result)
+        self.simulated_cost += result.metrics.simulated_cost
+        return result
+
+    def cursor(self, query: "str | QuerySpec") -> "Cursor":
+        """An incremental cursor under the session's settings."""
+        return self.prepare(query).cursor()
+
+    def explain(self, query: "str | QuerySpec") -> str:
+        return self.prepare(query).explain()
+
+    def summary(self) -> dict[str, float]:
+        """Client-side totals (rows, statements, simulated execution cost)."""
+        return {
+            "queries_executed": self.queries_executed,
+            "rows_returned": self.rows_returned,
+            "simulated_cost": self.simulated_cost,
+            "statements_cached": len(self._statements),
+            "statement_hits": self.statement_hits,
+        }

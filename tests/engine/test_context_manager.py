@@ -1,0 +1,98 @@
+"""Database lifecycle: context manager, close(), persistence flushing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.engine import load_database
+
+SQL = "SELECT * FROM pets ORDER BY fluffy(pets.fur) LIMIT 2"
+
+
+def make_db(persist_dir=None) -> Database:
+    from repro.storage.schema import DataType
+
+    db = Database(persist_dir=persist_dir)
+    db.create_table("pets", [("name", DataType.TEXT), ("fur", DataType.FLOAT)])
+    db.insert("pets", [("rex", 0.4), ("mia", 0.9), ("ivy", 0.7)])
+    db.register_predicate("fluffy", ["pets.fur"], lambda fur: fur)
+    db.analyze()
+    return db
+
+
+class TestContextManager:
+    def test_with_block_closes(self):
+        with make_db() as db:
+            assert len(db.query(SQL)) == 2
+        assert db.closed
+
+    def test_close_is_idempotent(self):
+        db = make_db()
+        db.close()
+        db.close()
+        assert db.closed
+
+    def test_closed_database_rejects_use(self):
+        db = make_db()
+        db.close()
+        with pytest.raises(RuntimeError):
+            db.query(SQL)
+        with pytest.raises(RuntimeError):
+            db.insert("pets", [("bo", 0.1)])
+        with pytest.raises(RuntimeError):
+            db.prepare(SQL)
+
+    def test_close_invalidates_cached_plans(self):
+        db = make_db()
+        db.query(SQL)
+        assert len(db.planner.cache) == 1
+        db.close()
+        assert len(db.planner.cache) == 0
+
+
+class TestPersistenceFlush:
+    def test_exit_flushes_to_persist_dir(self, tmp_path):
+        directory = tmp_path / "petsdb"
+        with make_db(persist_dir=directory):
+            pass  # close() at block exit must write everything out
+        assert (directory / "catalog.json").exists()
+        restored = load_database(directory, predicates={"fluffy": lambda fur: fur})
+        assert restored.query(SQL).rows == [("mia", 0.9), ("ivy", 0.7)]
+
+    def test_exception_exit_does_not_flush(self, tmp_path):
+        directory = tmp_path / "petsdb"
+        with make_db(persist_dir=directory):
+            pass  # clean exit: 3 rows on disk
+        with pytest.raises(RuntimeError):
+            with load_database(
+                directory, predicates={"fluffy": lambda fur: fur}, persist=True
+            ) as db:
+                db.insert("pets", [("half", 0.5)])
+                raise RuntimeError("mid-transaction failure")
+        # The half-mutated state must NOT have overwritten the snapshot.
+        reloaded = load_database(directory, predicates={"fluffy": lambda fur: fur})
+        assert reloaded.catalog.table("pets").row_count == 3
+
+    def test_flush_without_persist_dir_is_noop(self):
+        db = make_db()
+        db.flush()  # must not raise
+        db.close()
+
+    def test_load_database_persist_writes_back(self, tmp_path):
+        directory = tmp_path / "petsdb"
+        with make_db(persist_dir=directory):
+            pass
+        with load_database(
+            directory, predicates={"fluffy": lambda fur: fur}, persist=True
+        ) as db:
+            db.insert("pets", [("zoe", 1.0)])
+        reloaded = load_database(directory, predicates={"fluffy": lambda fur: fur})
+        assert reloaded.catalog.table("pets").row_count == 4
+
+    def test_load_database_without_persist_does_not_attach(self, tmp_path):
+        directory = tmp_path / "petsdb"
+        with make_db(persist_dir=directory):
+            pass
+        db = load_database(directory, predicates={"fluffy": lambda fur: fur})
+        assert db.persist_dir is None

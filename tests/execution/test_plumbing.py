@@ -107,7 +107,34 @@ class TestExecutionContext:
         row = next(paper_db.S.rows())
         context.evaluate_predicate("p4", row, paper_db.S.schema)
         context.evaluate_predicate("p4", row, paper_db.S.schema)
-        assert len(context._compiled) == 1
+        assert len(context.evaluators) == 1
+
+    def test_evaluator_cache_shared_across_contexts(self, paper_db):
+        from repro.execution import EvaluatorCache
+
+        shared = EvaluatorCache(paper_db.F2)
+        row = next(paper_db.S.rows())
+        first = ExecutionContext(paper_db.catalog, paper_db.F2, evaluators=shared)
+        first.evaluate_predicate("p4", row, paper_db.S.schema)
+        second = ExecutionContext(paper_db.catalog, paper_db.F2, evaluators=shared)
+        second.evaluate_predicate("p4", row, paper_db.S.schema)
+        assert len(shared) == 1  # compiled once, reused by both contexts
+
+    def test_evaluator_cache_scoring_mismatch_rejected(self, paper_db):
+        from repro.execution import EvaluatorCache
+
+        with pytest.raises(ValueError):
+            ExecutionContext(
+                paper_db.catalog, paper_db.F2, evaluators=EvaluatorCache(paper_db.F1)
+            )
+
+    def test_begin_run_resets_naming_counters(self, paper_db):
+        context = ExecutionContext(paper_db.catalog, paper_db.F2)
+        assert context.unique_name("rank_p4") == "rank_p4"
+        assert context.unique_name("rank_p4") == "rank_p4#2"
+        context.begin_run()
+        # A reused context starts naming afresh — no `#2` leak (see run_plan).
+        assert context.unique_name("rank_p4") == "rank_p4"
 
     def test_upper_bound_uses_scoring(self, paper_db):
         from repro.algebra.rank_relation import ScoredRow

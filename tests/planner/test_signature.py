@@ -1,0 +1,161 @@
+"""Normalized query signatures: equal exactly when a plan is reusable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_demo_database
+from repro.planner import plan_signature, spec_signature
+
+SQL = "SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 5"
+JOIN_SQL = (
+    "SELECT * FROM hotel, restaurant WHERE hotel.area = restaurant.area "
+    "ORDER BY cheap(hotel.price) + tasty(restaurant.price) LIMIT 5"
+)
+
+
+@pytest.fixture
+def db():
+    return build_demo_database(seed=7)
+
+
+class TestSpecSignature:
+    def test_same_sql_same_signature(self, db):
+        assert spec_signature(db.bind(SQL)) == spec_signature(db.bind(SQL))
+
+    def test_join_query_stable(self, db):
+        assert spec_signature(db.bind(JOIN_SQL)) == spec_signature(db.bind(JOIN_SQL))
+
+    def test_k_differentiates(self, db):
+        other = "SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 6"
+        assert spec_signature(db.bind(SQL)) != spec_signature(db.bind(other))
+
+    def test_scoring_differentiates(self, db):
+        other = "SELECT * FROM hotel ORDER BY starry(hotel.stars) LIMIT 5"
+        assert spec_signature(db.bind(SQL)) != spec_signature(db.bind(other))
+
+    def test_selection_order_normalized(self, db):
+        ab = (
+            "SELECT * FROM hotel WHERE hotel.price < 300 AND hotel.stars > 1 "
+            "ORDER BY cheap(hotel.price) LIMIT 5"
+        )
+        ba = (
+            "SELECT * FROM hotel WHERE hotel.stars > 1 AND hotel.price < 300 "
+            "ORDER BY cheap(hotel.price) LIMIT 5"
+        )
+        assert spec_signature(db.bind(ab)) == spec_signature(db.bind(ba))
+
+    def test_selection_value_differentiates(self, db):
+        lo = (
+            "SELECT * FROM hotel WHERE hotel.price < 100 "
+            "ORDER BY cheap(hotel.price) LIMIT 5"
+        )
+        hi = (
+            "SELECT * FROM hotel WHERE hotel.price < 200 "
+            "ORDER BY cheap(hotel.price) LIMIT 5"
+        )
+        assert spec_signature(db.bind(lo)) != spec_signature(db.bind(hi))
+
+    def test_signature_is_hashable(self, db):
+        hash(spec_signature(db.bind(JOIN_SQL)))
+
+    def test_mixed_literal_types_do_not_crash(self, db):
+        # Structurally equal selections whose literals are not mutually
+        # orderable (int vs str) must still produce a signature.
+        sql = (
+            "SELECT * FROM hotel WHERE hotel.name = 5 AND hotel.name = '5' "
+            "ORDER BY cheap(hotel.price) LIMIT 3"
+        )
+        signature = spec_signature(db.bind(sql))
+        assert signature == spec_signature(db.bind(sql))
+        assert len(db.query(sql)) == 0  # contradictory filter still executes
+
+    def test_same_name_different_scorer_differentiates(self):
+        # Hand-built specs may reuse a predicate *name* with different
+        # scoring behaviour; colliding would silently serve wrong results.
+        from repro import QuerySpec, RankingPredicate, ScoringFunction
+
+        def spec(scorer):
+            predicate = RankingPredicate("s", ["t.x"], scorer)
+            return QuerySpec(tables=["t"], scoring=ScoringFunction([predicate]), k=1)
+
+        ascending = spec(lambda x: x)
+        descending = spec(lambda x: 1 - x)
+        assert spec_signature(ascending) != spec_signature(descending)
+
+    def test_aliased_selection_names_differentiate(self):
+        # Explicit BooleanPredicate names can alias distinct expressions;
+        # the signature must key on the expression, not the label.
+        from repro import BooleanPredicate, QuerySpec, RankingPredicate, ScoringFunction
+        from repro.algebra.expressions import ColumnRef, Comparison, Literal
+
+        predicate = RankingPredicate("s", ["t.x"], lambda x: x)
+
+        def spec(threshold):
+            condition = BooleanPredicate(
+                Comparison("<", ColumnRef("t.x"), Literal(threshold)), name="cheap"
+            )
+            return QuerySpec(
+                tables=["t"],
+                scoring=ScoringFunction([predicate]),
+                k=1,
+                selections=[condition],
+            )
+
+        assert spec_signature(spec(10)) != spec_signature(spec(20))
+
+    def test_function_call_selections_differentiate_by_callable(self):
+        # FunctionCall repr hides the wrapped callable ("keep(t.x)" for
+        # both); keying on repr alone served the wrong plan silently.
+        from repro import BooleanPredicate, QuerySpec, RankingPredicate, ScoringFunction
+        from repro.algebra.expressions import ColumnRef, FunctionCall
+
+        predicate = RankingPredicate("s", ["t.x"], lambda x: x)
+
+        def spec(fn):
+            condition = BooleanPredicate(
+                FunctionCall("keep", fn, [ColumnRef("t.x")])
+            )
+            return QuerySpec(
+                tables=["t"],
+                scoring=ScoringFunction([predicate]),
+                k=2,
+                selections=[condition],
+            )
+
+        below = spec(lambda x: x < 2.5)
+        above = spec(lambda x: x > 2.5)
+        assert spec_signature(below) != spec_signature(above)
+
+    def test_function_call_scorer_differentiates_by_callable(self):
+        from repro import QuerySpec, RankingPredicate, ScoringFunction
+        from repro.algebra.expressions import ColumnRef, FunctionCall
+
+        def spec(fn):
+            scorer = FunctionCall("score", fn, [ColumnRef("t.x")])
+            predicate = RankingPredicate("s", ["t.x"], scorer)
+            return QuerySpec(tables=["t"], scoring=ScoringFunction([predicate]), k=1)
+
+        assert spec_signature(spec(lambda x: x)) != spec_signature(
+            spec(lambda x: 1 - x)
+        )
+
+
+class TestPlanSignature:
+    def test_strategy_differentiates(self, db):
+        spec = db.bind(SQL)
+        assert plan_signature(spec, "rank-aware") != plan_signature(spec, "traditional")
+
+    def test_knobs_differentiate(self, db):
+        spec = db.bind(SQL)
+        assert plan_signature(spec, "rank-aware", {"left_deep": True}) != plan_signature(
+            spec, "rank-aware", {"left_deep": False}
+        )
+
+    def test_knob_order_normalized(self, db):
+        spec = db.bind(SQL)
+        assert plan_signature(
+            spec, "rank-aware", {"left_deep": True, "greedy_mu": False}
+        ) == plan_signature(
+            spec, "rank-aware", {"greedy_mu": False, "left_deep": True}
+        )
