@@ -2,7 +2,9 @@
 
 Creates a hotel table, registers a ranking predicate (a user-defined
 scoring function), builds a rank index so the engine can use a rank-scan,
-and runs a top-k SQL query through the rank-aware optimizer.
+runs a top-k SQL query through the rank-aware optimizer, and then prepares
+a parameterized statement (bind variables) so one cached plan serves many
+constants.
 
 Run:  python examples/quickstart.py
 """
@@ -62,6 +64,33 @@ def main() -> None:
         f"{result.metrics.predicate_evaluations} predicate evaluations "
         f"(simulated cost {result.metrics.simulated_cost:.1f} units)"
     )
+
+    # -- prepared statements with bind variables -----------------------
+    # `:max_price` / `:min_stars` are placeholders: the statement is
+    # planned once (on the first run), and every later binding reuses the
+    # cached template plan — only execution is paid.
+    finder = db.prepare(
+        """
+        SELECT * FROM hotel
+        WHERE hotel.price <= :max_price AND hotel.stars >= :min_stars
+        ORDER BY cheap(hotel.price) + starry(hotel.stars)
+        LIMIT 3
+        """,
+        sample_ratio=0.1,
+        seed=1,
+    )
+    print()
+    print("Prepared template, three bindings:")
+    for max_price, min_stars in [(150.0, 3), (43.0, 1), (400.0, 5)]:
+        top = finder.run(params={"max_price": max_price, "min_stars": min_stars})
+        names = ", ".join(record["hotel.name"] for record in top.to_dicts())
+        print(
+            f"  price<={max_price:>5.0f}, stars>={min_stars}: {names} "
+            f"(plan_cached={top.plan_cached})"
+        )
+    built = db.planner.metrics.plans_built
+    print(f"Plans built for 3 bindings: {built} (template reuse)")
+    assert built == 2, "expected one plan per template (ad-hoc + prepared)"
 
 
 if __name__ == "__main__":

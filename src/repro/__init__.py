@@ -20,6 +20,7 @@ Quickstart::
 from .engine import Database, QueryResult
 from .algebra import (
     BooleanPredicate,
+    ParameterError,
     RankingPredicate,
     ScoringFunction,
     col,
@@ -30,13 +31,14 @@ from .optimizer import QuerySpec, RankAwareOptimizer, optimize_traditional
 from .planner import PlanCache, Planner, PreparedQuery, Session
 from .storage import Column, DataType, Schema
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BooleanPredicate",
     "Column",
     "DataType",
     "Database",
+    "ParameterError",
     "PlanCache",
     "Planner",
     "PreparedQuery",

@@ -8,11 +8,18 @@ Usage::
 
 The shell accepts the library's top-k dialect plus a few meta commands:
 
-    \\d           list tables
-    \\explain Q   show the chosen plan without executing
-    \\metrics     toggle printing execution metrics
-    \\cache       show planner/plan-cache statistics
-    \\quit        exit
+    \\d               list tables
+    \\explain Q       show the chosen plan without executing
+    \\metrics         toggle printing execution metrics
+    \\cache           show planner/plan-cache statistics
+    \\set             list shell variables
+    \\set name value  set a variable (feeds :name placeholders)
+    \\unset name      remove a variable
+    \\quit            exit
+
+Statements may use named bind variables (``:name``): the shell supplies
+values from its ``\\set`` variables, so re-running a template with a new
+``\\set`` reuses the cached plan with fresh constants.
 
 All statements run through one :class:`~repro.planner.Session`, so
 re-running a statement reuses its prepared plan.  Reuse shows in
@@ -28,6 +35,7 @@ import random
 import sys
 
 from .engine.database import Database
+from .sql.lexer import TokenType, tokenize
 from .storage.schema import DataType
 
 _TYPE_NAMES = {
@@ -120,6 +128,54 @@ class ShellState:
         self.db = db
         self.session = db.session(sample_ratio=0.05, seed=1)
         self.show_metrics = show_metrics
+        #: \set variables feeding :name placeholders
+        self.variables: dict[str, object] = {}
+
+
+def parse_variable_value(text: str) -> object:
+    """Parse a ``\\set`` value: number, true/false, 'quoted' or bare string."""
+    stripped = text.strip()
+    if len(stripped) >= 2 and stripped[0] == "'" and stripped[-1] == "'":
+        return stripped[1:-1]
+    lowered = stripped.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    return stripped
+
+
+def statement_params(state: ShellState, sql: str) -> "dict[str, object] | None":
+    """Bindings for a statement's ``:name`` placeholders from ``\\set``
+    variables; None for literal statements.  Raises ``ValueError`` with a
+    shell-appropriate message for ``?`` placeholders or unset variables."""
+    names: set[str] = set()
+    for token in tokenize(sql):
+        if token.type is not TokenType.PARAM:
+            continue
+        if token.value == "?":
+            raise ValueError(
+                "positional (?) parameters are not supported in the shell; "
+                "use :name placeholders with \\set name value"
+            )
+        names.add(token.value[1:])
+    if not names:
+        return None
+    missing = sorted(name for name in names if name not in state.variables)
+    if missing:
+        raise ValueError(
+            f"unset parameter(s): {', '.join(missing)}; "
+            f"use \\set <name> <value> first"
+        )
+    return {name: state.variables[name] for name in sorted(names)}
 
 
 def run_statement(state: ShellState, statement: str, out) -> None:
@@ -129,7 +185,7 @@ def run_statement(state: ShellState, statement: str, out) -> None:
     if stripped.startswith("\\"):
         _meta_command(state, stripped, out)
         return
-    result = state.session.execute(stripped)
+    result = state.session.execute(stripped, params=statement_params(state, stripped))
     print(format_result(result, state.show_metrics), file=out)
 
 
@@ -144,7 +200,29 @@ def _meta_command(state: ShellState, command: str, out) -> None:
         return
     if command.startswith("\\explain "):
         sql = command[len("\\explain "):]
-        print(state.session.explain(sql), file=out)
+        print(state.session.explain(sql, params=statement_params(state, sql)), file=out)
+        return
+    if command == "\\set":
+        if not state.variables:
+            print("no variables set", file=out)
+        for name in sorted(state.variables):
+            print(f"{name} = {state.variables[name]!r}", file=out)
+        return
+    if command.startswith("\\set "):
+        rest = command[len("\\set "):].strip()
+        name, __, value = rest.partition(" ")
+        if not name or not value.strip():
+            print("usage: \\set <name> <value>", file=out)
+            return
+        state.variables[name] = parse_variable_value(value)
+        print(f"{name} = {state.variables[name]!r}", file=out)
+        return
+    if command.startswith("\\unset "):
+        name = command[len("\\unset "):].strip()
+        if state.variables.pop(name, None) is None:
+            print(f"variable {name!r} is not set", file=out)
+        else:
+            print(f"unset {name}", file=out)
         return
     if command == "\\metrics":
         state.show_metrics = not state.show_metrics
@@ -238,7 +316,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
             if line.strip() in ("\\quit", "\\q", "exit", "quit"):
                 break
             if line.strip().startswith("\\") and not buffer:
-                _meta_command(state, line.strip(), out)
+                try:
+                    _meta_command(state, line.strip(), out)
+                except Exception as error:
+                    print(f"error: {error}", file=out)
                 continue
             buffer.append(line)
             joined = " ".join(buffer)

@@ -20,6 +20,15 @@ reuse cached plans and compiled predicate evaluators::
     top.run()          # planned once
     top.run(k=5)       # executes only; k may exceed the prepared LIMIT
 
+Bind variables let one cached plan serve many constants (template reuse)::
+
+    q = db.prepare(
+        "SELECT * FROM hotel WHERE hotel.price <= :max_price "
+        "ORDER BY cheap(hotel.price) LIMIT 5"
+    )
+    q.run(params={"max_price": 150.0})   # planned here (bind peeking)
+    q.run(params={"max_price": 90.0})    # same plan, new binding
+
 Every schema, data, index or statistics change invalidates the plan cache,
 so cached plans never go stale.
 """
@@ -258,26 +267,44 @@ class Database:
         return self.planner.plan(query, strategy="traditional", **kwargs)
 
     def prepare(
-        self, query: "str | QuerySpec", strategy: str = "rank-aware", **kwargs: Any
+        self,
+        query: "str | QuerySpec",
+        strategy: str = "rank-aware",
+        params: Any = None,
+        **kwargs: Any,
     ) -> PreparedQuery:
         """Plan a query once and return a reusable :class:`PreparedQuery`.
 
         ``prepared.run(k=...)`` executes without re-planning (the plan cache
         and compiled evaluators are shared); catalog changes transparently
         trigger a re-plan on the next run.
+
+        Parameterized statements (``?`` / ``:name``) are planned once per
+        *template*: pass initial ``params`` to plan eagerly, or omit them
+        and planning happens on the first ``run(params=...)``.
         """
         self._check_open()
-        return PreparedQuery(self, query, strategy=strategy, **kwargs)
+        return PreparedQuery(self, query, strategy=strategy, params=params, **kwargs)
 
     def session(self, **settings: Any) -> Session:
         """A client session carrying per-client planner settings/metrics."""
         self._check_open()
         return Session(self, **settings)
 
-    def query(self, query: "str | QuerySpec", **kwargs: Any) -> QueryResult:
-        """Optimize (with plan caching) and execute a query."""
+    def query(
+        self, query: "str | QuerySpec", params: Any = None, **kwargs: Any
+    ) -> QueryResult:
+        """Optimize (with plan caching) and execute a query.
+
+        ``params`` binds ``?`` / ``:name`` placeholders: a sequence for
+        positional parameters, a mapping for named ones.  All bindings of
+        one template share a single cached plan, so repeated calls with
+        varying constants skip optimization entirely.
+        """
         self._check_open()
-        entry, hit = self.planner.prepare(query, strategy="rank-aware", **kwargs)
+        entry, hit = self.planner.prepare(
+            query, strategy="rank-aware", params=params, **kwargs
+        )
         return self.execute(
             entry.plan,
             entry.scoring,
@@ -286,7 +313,9 @@ class Database:
             plan_cached=hit,
         )
 
-    def open_cursor(self, query: "str | QuerySpec", **kwargs: Any) -> "Cursor":
+    def open_cursor(
+        self, query: "str | QuerySpec", params: Any = None, **kwargs: Any
+    ) -> "Cursor":
         """Optimize a query and return an incremental :class:`Cursor`.
 
         The cursor is not bounded by the query's LIMIT — it keeps producing
@@ -294,7 +323,7 @@ class Database:
         beforehand" scenario) until the plan is exhausted or the cursor is
         closed.
         """
-        return self.prepare(query, **kwargs).cursor()
+        return self.prepare(query, **kwargs).cursor(params=params)
 
     def execute(
         self,
@@ -325,6 +354,7 @@ class Database:
         query: "str | QuerySpec",
         sample_ratio: float = 0.01,
         seed: int = 0,
+        params: Any = None,
         **kwargs: Any,
     ) -> str:
         """Optimize, execute and annotate the plan with estimated vs actual
@@ -337,6 +367,7 @@ class Database:
             strategy="rank-aware",
             sample_ratio=sample_ratio,
             seed=seed,
+            params=params,
             **kwargs,
         )
         report = explain_analyze(

@@ -16,8 +16,15 @@ class QueryResult:
 
     Iterable over value tuples; also exposes per-row final scores, the
     executed physical plan, the execution metrics and whether the plan came
-    from the plan cache (:attr:`plan_cached` — False on a cold run, True
-    when a cached/prepared plan was reused without re-optimization).
+    from the plan cache (:attr:`plan_cached`).
+
+    :attr:`plan_cached` is faithful to the optimizer work this execution
+    actually skipped: False exactly when the plan was freshly optimized for
+    this run — including the *cold template build* of a parameterized
+    statement's first ``run(params=...)``, which must never report True no
+    matter how many bindings follow it.  It is True when a cached or
+    prepared plan was reused without re-optimization, e.g. warm runs of the
+    same template with different bindings.
     """
 
     def __init__(
@@ -102,11 +109,23 @@ class Cursor:
     same statement skips enumeration and recompilation.
     """
 
-    def __init__(self, root, context, scoring: ScoringFunction, plan: PlanNode):
+    def __init__(
+        self,
+        root,
+        context,
+        scoring: ScoringFunction,
+        plan: PlanNode,
+        parameters=None,
+    ):
         self._root = root
         self._context = context
         self.scoring = scoring
         self.plan = plan
+        #: bind-variable isolation: snapshot the (validated) bindings at
+        #: open and restore them before every fetch, so other executions
+        #: of the same template cannot change this cursor's predicates
+        self._parameters = parameters
+        self._bindings = parameters.current() if parameters is not None else None
         self._root.open(context)
         self.schema: Schema = self._root.schema()
         self._closed = False
@@ -154,6 +173,8 @@ class Cursor:
             raise RuntimeError("cursor is closed")
         if self._exhausted:
             return None
+        if self._parameters is not None:
+            self._parameters.restore(self._bindings)
         scored = self._root.next()
         if scored is None:
             self._exhausted = True

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..algebra.expressions import Comparison, ColumnRef
+from ..algebra.parameters import ParameterSlots
 from ..algebra.predicates import BooleanPredicate, ScoringFunction
 
 
@@ -66,6 +67,9 @@ class QuerySpec:
     selections: list[BooleanPredicate] = field(default_factory=list)
     join_conditions: list[JoinCondition] = field(default_factory=list)
     projection: list[str] | None = None
+    #: bind-variable slots shared by this spec's Parameter expressions
+    #: (None for fully literal queries); values are injected per execution
+    parameters: ParameterSlots | None = None
 
     def __post_init__(self) -> None:
         if not self.tables:

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..algebra.operators import LogicalOperator
+from ..algebra.parameters import bind_slots
 from ..execution.iterator import EvaluatorCache
 from ..optimizer.cardinality import SampleDatabase
 from ..optimizer.enumeration import RankAwareOptimizer, optimize_traditional
@@ -121,16 +122,20 @@ class Planner:
         query: "str | QuerySpec",
         strategy: str = "rank-aware",
         use_cache: bool = True,
+        params: Any = None,
         **knobs: Any,
     ) -> PlanNode:
         """Optimize a query under a strategy; returns the physical plan."""
-        return self.prepare(query, strategy=strategy, use_cache=use_cache, **knobs)[0].plan
+        return self.prepare(
+            query, strategy=strategy, use_cache=use_cache, params=params, **knobs
+        )[0].plan
 
     def prepare(
         self,
         query: "str | QuerySpec",
         strategy: str = "rank-aware",
         use_cache: bool = True,
+        params: Any = None,
         **knobs: Any,
     ) -> tuple[CachedPlan, bool]:
         """The full staged pipeline; returns ``(entry, was_cache_hit)``.
@@ -140,6 +145,18 @@ class Planner:
         after — the DP enumeration and predicate compilation — is skipped:
         the entry carries the chosen plan and the compiled-evaluator cache
         shared by all of its executions.
+
+        ``params`` are the bind-variable values for parameterized queries.
+        The signature never covers them, so every binding of one template
+        shares a single cache entry; on a hit the values are written into
+        the *entry's* parameter slots (the ones its compiled evaluators
+        read).  On a miss they also serve as *peeked* values: the
+        sampling-based cardinality estimator evaluates predicates during
+        enumeration, so the first binding shapes the template plan — later
+        bindings reuse it unchanged (standard bind-peeking semantics;
+        correctness never depends on the peeked values, only plan quality).
+        A parameterized query prepared without ``params`` raises
+        :class:`~repro.algebra.parameters.ParameterError`.
         """
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -155,7 +172,9 @@ class Planner:
         if use_cache:
             entry = self.cache.get(signature, self.generation)
             if entry is not None:
+                bind_slots(entry.spec.parameters, params)
                 return entry, True
+        bind_slots(spec.parameters, params)
         start = time.perf_counter()
         plan = self._optimize(spec, strategy, sample_ratio, seed, knobs)
         self.metrics.plan_seconds += time.perf_counter() - start

@@ -6,6 +6,13 @@ only execution.  Prepared queries survive catalog changes: every run checks
 the planner generation and transparently re-plans when tables, indexes or
 statistics have moved underneath it (stale plans are never executed).
 
+Parameterized statements (``?`` / ``:name`` placeholders) are prepared
+*once per template*: ``run(params=...)`` injects the bindings into the
+cached plan's parameter slots, so every constant reuses the same plan and
+compiled evaluators.  Because the optimizer's sampling estimator needs
+concrete values, a parameterized statement prepared without initial
+bindings defers planning to its first ``run(params=...)`` (bind peeking).
+
 A :class:`Session` carries per-client planning settings (strategy, sampling
 parameters, heuristic knobs) and accumulates client-side metrics, so
 request-serving code configures once and issues plain SQL afterwards.
@@ -16,6 +23,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any
 
+from ..algebra.parameters import ParameterError, bind_slots
 from ..execution.iterator import ExecutionContext
 from ..optimizer.plans import LimitPlan, PlanNode, ProjectPlan
 from ..optimizer.query_spec import QuerySpec
@@ -36,12 +44,19 @@ def strip_limit(plan: PlanNode) -> PlanNode:
 
 
 class PreparedQuery:
-    """A query planned once, executable many times.
+    """A query planned once (per template), executable many times.
 
     Created via :meth:`Database.prepare <repro.engine.database.Database.prepare>`
     or :meth:`Session.prepare`.  ``run(k=...)`` may override the query's
     LIMIT in either direction — a larger ``k`` executes the limit-stripped
     plan, so preparation does not fix the result size.
+
+    For a parameterized statement, every ``run`` must supply one complete
+    set of bindings (``run(params=...)``); bindings are per-run, never
+    remembered between runs.  Planning happens on the first run (or at
+    construction when initial ``params`` are given) using those first
+    bindings as peeked values for the sampling-based cost estimates; all
+    later bindings execute the same cached template plan.
     """
 
     def __init__(
@@ -49,26 +64,57 @@ class PreparedQuery:
         database: "Database",
         query: "str | QuerySpec",
         strategy: str = "rank-aware",
+        params: Any = None,
         **knobs: Any,
     ):
         self._db = database
         self._query = query
         self._strategy = strategy
         self._knobs = dict(knobs)
-        self._entry, self._hit = database.planner.prepare(
-            query, strategy=strategy, **knobs
-        )
+        planner = database.planner
+        spec = planner.bind(query) if isinstance(query, str) else query
+        self._parameterized = bool(spec.parameters)
+        self._entry: CachedPlan | None = None
+        self._hit = False
+        self._pending_spec: QuerySpec | None = None
+        if self._parameterized and params is None:
+            # Defer planning to the first run(params=...): optimizing needs
+            # concrete values for the sampling estimator (bind peeking).
+            self._pending_spec = spec
+        else:
+            self._entry, self._hit = planner.prepare(
+                spec, strategy=strategy, params=params, **knobs
+            )
         #: whether the current entry has been executed before (its first
         #: run after a cold build must not report plan_cached=True)
         self._ran = False
 
     # -- introspection -----------------------------------------------------
     @property
+    def parameterized(self) -> bool:
+        """Whether this statement has bind-variable placeholders."""
+        return self._parameterized
+
+    @property
+    def parameter_keys(self) -> tuple[str, ...]:
+        """Slot keys of the statement's placeholders, in order."""
+        spec = self.spec
+        return spec.parameters.keys if spec.parameters is not None else ()
+
+    @property
     def spec(self) -> QuerySpec:
-        return self._entry.spec
+        if self._entry is not None:
+            return self._entry.spec
+        assert self._pending_spec is not None
+        return self._pending_spec
 
     @property
     def plan(self) -> PlanNode:
+        if self._entry is None:
+            raise ParameterError(
+                "parameterized statement is not planned yet; "
+                "call run(params=...) or explain(params=...) first"
+            )
         return self._entry.plan
 
     @property
@@ -77,32 +123,59 @@ class PreparedQuery:
 
     @property
     def from_cache(self) -> bool:
-        """Whether the most recent (re-)preparation was a plan-cache hit."""
+        """Whether the most recent (re-)preparation was a plan-cache hit.
+
+        False while a parameterized statement's planning is still deferred.
+        """
         return self._hit
 
-    def explain(self) -> str:
-        return self._refresh().plan.explain()
+    def explain(self, params: Any = None) -> str:
+        """The chosen plan, pretty-printed.
+
+        ``params`` are required whenever (re-)planning has to happen —
+        while planning is still deferred, and after a catalog change
+        orphaned the cached template (re-optimization peeks the values,
+        exactly like ``run``).  When supplied they are always validated
+        and bound, so a warm ``explain`` gives the same feedback on
+        misnamed or mistyped bindings as ``run`` would; a warm ``explain``
+        without ``params`` just prints the current template plan.
+        """
+        entry = self._refresh(params)
+        if params is not None:
+            bind_slots(entry.spec.parameters, params)
+        return entry.plan.explain()
 
     # -- execution ---------------------------------------------------------
-    def _refresh(self) -> CachedPlan:
-        """The current entry, re-planning if the catalog moved on."""
+    def _refresh(self, params: Any = None) -> CachedPlan:
+        """The current entry, (re-)planning if deferred or the catalog
+        moved on; ``params`` supply peek values for a cold build."""
         planner = self._db.planner
-        if self._entry.generation != planner.generation:
+        if self._entry is None or self._entry.generation != planner.generation:
+            query = self._query if self._pending_spec is None else self._pending_spec
             self._entry, self._hit = planner.prepare(
-                self._query, strategy=self._strategy, **self._knobs
+                query, strategy=self._strategy, params=params, **self._knobs
             )
+            self._pending_spec = None
             self._ran = False
         return self._entry
 
-    def run(self, k: int | None = None) -> "QueryResult":
+    def run(self, k: int | None = None, params: Any = None) -> "QueryResult":
         """Execute the prepared plan, returning its top ``k`` results.
 
+        ``params`` binds the statement's placeholders for this run (and is
+        required, in full, on every run of a parameterized statement).
+
         ``QueryResult.plan_cached`` is faithful to the optimizer work this
-        statement actually skipped: False exactly when the current entry was
-        freshly optimized (at construction or after an invalidation) and
-        this is its first execution.
+        statement actually skipped — including for parameterized runs: it is
+        False exactly when the template was freshly optimized (at
+        construction, on the deferred first ``run(params=...)``, or after an
+        invalidation) and this is its first execution.  A cold template
+        build never reports ``plan_cached=True``, no matter how many
+        bindings follow; a first run that *hits* a template another
+        statement already planned does report True.
         """
-        entry = self._refresh()
+        entry = self._refresh(params)
+        bind_slots(entry.spec.parameters, params)
         plan_cached = self._hit or self._ran
         self._ran = True
         wanted = entry.k if k is None else k
@@ -115,17 +188,31 @@ class PreparedQuery:
             plan_cached=plan_cached,
         )
 
-    def cursor(self) -> "Cursor":
-        """An incremental cursor over the prepared plan (limit stripped)."""
+    def cursor(self, params: Any = None) -> "Cursor":
+        """An incremental cursor over the prepared plan (limit stripped).
+
+        The cursor snapshots its (validated) bindings at open and restores
+        them before every fetch, so later executions of the same template —
+        other ``run``/``cursor`` calls with different ``params``, including
+        from unrelated statements that share the cached plan — cannot
+        change an open cursor's predicates mid-stream.
+        """
         from ..engine.result import Cursor
 
-        entry = self._refresh()
+        entry = self._refresh(params)
+        bind_slots(entry.spec.parameters, params)
         unlimited = strip_limit(entry.plan)
         context = ExecutionContext(
             self._db.catalog, entry.scoring, evaluators=entry.evaluators
         )
         context.begin_run()
-        return Cursor(unlimited.build(), context, entry.scoring, unlimited)
+        return Cursor(
+            unlimited.build(),
+            context,
+            entry.scoring,
+            unlimited,
+            parameters=entry.spec.parameters,
+        )
 
 
 class Session:
@@ -171,7 +258,13 @@ class Session:
 
     # -- statements ----------------------------------------------------------
     def prepare(self, query: "str | QuerySpec") -> PreparedQuery:
-        """Prepare a statement under the session's settings (memoized)."""
+        """Prepare a statement under the session's settings (memoized).
+
+        Memoization is by SQL *text*: a parameterized template prepared once
+        serves every subsequent ``execute(sql, params=...)`` with fresh
+        bindings — the statement cache and the shared plan cache both see
+        one entry per template, not one per constant.
+        """
         if self._closed:
             raise RuntimeError("session is closed")
         if isinstance(query, str):
@@ -189,20 +282,28 @@ class Session:
                 self._statements.popitem(last=False)
         return prepared
 
-    def execute(self, query: "str | QuerySpec", k: int | None = None) -> "QueryResult":
-        """Plan (with statement + plan caching) and execute a query."""
-        result = self.prepare(query).run(k=k)
+    def execute(
+        self,
+        query: "str | QuerySpec",
+        k: int | None = None,
+        params: Any = None,
+    ) -> "QueryResult":
+        """Plan (with statement + plan caching) and execute a query.
+
+        ``params`` binds ``?`` / ``:name`` placeholders for this execution.
+        """
+        result = self.prepare(query).run(k=k, params=params)
         self.queries_executed += 1
         self.rows_returned += len(result)
         self.simulated_cost += result.metrics.simulated_cost
         return result
 
-    def cursor(self, query: "str | QuerySpec") -> "Cursor":
+    def cursor(self, query: "str | QuerySpec", params: Any = None) -> "Cursor":
         """An incremental cursor under the session's settings."""
-        return self.prepare(query).cursor()
+        return self.prepare(query).cursor(params=params)
 
-    def explain(self, query: "str | QuerySpec") -> str:
-        return self.prepare(query).explain()
+    def explain(self, query: "str | QuerySpec", params: Any = None) -> str:
+        return self.prepare(query).explain(params=params)
 
     def summary(self) -> dict[str, float]:
         """Client-side totals (rows, statements, simulated execution cost)."""

@@ -10,6 +10,10 @@ other.  The signature therefore covers every input the optimizer reads:
 * the scoring function (combiner, weights, per-predicate name/cost/p_max —
   declaration order matters because weights are positional);
 * ``k`` and the projection list;
+* the parameter *structure* — slot keys of ``?`` / ``:name`` placeholders.
+  Bound values are deliberately excluded: bindings change executions, not
+  plans, which is exactly what lets one cached template plan serve every
+  constant (template reuse);
 * the optimizer strategy and knob values (heuristic flags, threshold mode,
   sampling parameters).
 
@@ -29,6 +33,7 @@ from ..algebra.expressions import (
     FunctionCall,
     Literal,
 )
+from ..algebra.parameters import Parameter
 from ..optimizer.query_spec import QuerySpec
 
 #: a hashable, comparison-stable cache key
@@ -52,6 +57,12 @@ def expression_key(expression: Expression) -> tuple:
         # (5 vs '5') and distinct across equal-hash values (0 vs False).
         value = expression.value
         return ("lit", type(value).__name__, repr(value))
+    if isinstance(expression, Parameter):
+        # Keyed by slot, never by bound value: every binding of a template
+        # shares the signature (and therefore one cached plan), and the
+        # "param" tag keeps parameterized specs from ever colliding with
+        # literal ones.
+        return ("param", expression.key)
     if isinstance(expression, (Arithmetic, Comparison)):
         return (
             type(expression).__name__,
@@ -125,6 +136,9 @@ def spec_signature(spec: QuerySpec) -> QuerySignature:
         (scoring.combiner, scoring.weights, predicates),
         spec.k,
         tuple(spec.projection) if spec.projection is not None else None,
+        # Parameter structure (slot keys in order), never bound values —
+        # all bindings of one template share this component.
+        spec.parameters.signature() if spec.parameters is not None else None,
     )
 
 

@@ -29,6 +29,17 @@ class LiteralNode:
 
 
 @dataclass(frozen=True)
+class ParameterNode:
+    """A bind-variable placeholder: positional ``?`` or named ``:name``.
+
+    ``key`` is the slot key — ``"?1"``, ``"?2"``, … for positional
+    placeholders (ordinal by occurrence) or ``":name"`` for named ones.
+    """
+
+    key: str
+
+
+@dataclass(frozen=True)
 class BinaryOpNode:
     """Arithmetic or comparison binary operation."""
 
@@ -53,7 +64,9 @@ class CallNode:
     args: tuple["ExpressionNode", ...]
 
 
-ExpressionNode = Union[ColumnNode, LiteralNode, BinaryOpNode, BooleanNode, CallNode]
+ExpressionNode = Union[
+    ColumnNode, LiteralNode, ParameterNode, BinaryOpNode, BooleanNode, CallNode
+]
 
 
 # -- query structure ------------------------------------------------------
@@ -93,3 +106,5 @@ class SelectStatement:
     where: ExpressionNode | None = None
     order_by: list[OrderTerm] = field(default_factory=list)
     limit: int | None = None
+    #: parameter slot keys in first-occurrence order ("?1"... or ":name")
+    parameters: tuple[str, ...] = ()

@@ -11,6 +11,14 @@ function over ranking predicates:
 * a column or arithmetic expression — bound as an *expression predicate*
   with zero evaluation cost; its maximal value (needed for upper-bound
   scores) is taken from table statistics.
+
+Bind-variable placeholders (``?`` / ``:name``) become
+:class:`~repro.algebra.parameters.Parameter` expressions sharing one
+:class:`~repro.algebra.parameters.ParameterSlots` object per statement,
+attached to the resulting spec — the foundation of template-level plan
+reuse.  Parameters are allowed anywhere in WHERE (selections and join
+conditions) but not in ORDER BY scoring expressions, whose maxima must be
+statically known for the ranking principle's upper bounds.
 """
 
 from __future__ import annotations
@@ -24,9 +32,11 @@ from ..algebra.expressions import (
     Literal,
     split_conjuncts,
 )
+from ..algebra.parameters import Parameter, ParameterSlots
 from ..algebra.predicates import BooleanPredicate, RankingPredicate, ScoringFunction
 from ..optimizer.query_spec import JoinCondition, QuerySpec
 from ..storage.catalog import Catalog
+from ..storage.schema import DataType
 from .ast import (
     BinaryOpNode,
     BooleanNode,
@@ -34,6 +44,7 @@ from .ast import (
     ColumnNode,
     ExpressionNode,
     LiteralNode,
+    ParameterNode,
     SelectStatement,
 )
 
@@ -50,8 +61,13 @@ class Binder:
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
+        #: per-statement bind-variable slots, rebuilt by every bind() call
+        self._slots = ParameterSlots()
 
     def bind(self, statement: SelectStatement) -> QuerySpec:
+        self._slots = ParameterSlots()
+        for key in statement.parameters:
+            self._slots.declare(key)
         alias_map = self._bind_tables(statement)
         tables = list(alias_map.values())
         selections: list[BooleanPredicate] = []
@@ -78,6 +94,7 @@ class Binder:
             selections=selections,
             join_conditions=join_conditions,
             projection=projection,
+            parameters=self._slots if self._slots else None,
         )
 
     # ------------------------------------------------------------------
@@ -125,13 +142,17 @@ class Binder:
     def _expression(self, node: ExpressionNode, alias_map: dict[str, str]) -> Expression:
         if isinstance(node, LiteralNode):
             return Literal(node.value)
+        if isinstance(node, ParameterNode):
+            return Parameter(self._slots.declare(node.key), self._slots)
         if isinstance(node, ColumnNode):
             return ColumnRef(self._qualify(node.reference(), alias_map))
         if isinstance(node, BinaryOpNode):
             left = self._expression(node.left, alias_map)
             right = self._expression(node.right, alias_map)
             if node.op in ("+", "-", "*", "/", "%"):
+                self._expect_parameter_types(left, right, arithmetic=True)
                 return Arithmetic(node.op, left, right)
+            self._expect_parameter_types(left, right, arithmetic=False)
             return Comparison(node.op, left, right)
         if isinstance(node, BooleanNode):
             return BooleanOp(
@@ -144,6 +165,39 @@ class Binder:
                 "(as a ranking predicate)"
             )
         raise BindError(f"unsupported expression node: {type(node).__name__}")
+
+    def _expect_parameter_types(
+        self, left: Expression, right: Expression, arithmetic: bool
+    ) -> None:
+        """Infer expected binding types for parameters from their context.
+
+        A parameter compared against a column expects that column's type;
+        one compared against arithmetic, or used inside arithmetic, expects
+        a number; one compared against a literal expects that literal's
+        type.  Violations surface as clear
+        :class:`~repro.algebra.parameters.ParameterError`\\ s at bind time
+        instead of raw ``TypeError``\\ s from deep inside planning or
+        execution.
+        """
+        for parameter, other in ((left, right), (right, left)):
+            if not isinstance(parameter, Parameter):
+                continue
+            if arithmetic or isinstance(other, Arithmetic):
+                self._slots.expect(parameter.key, DataType.FLOAT)
+            elif isinstance(other, ColumnRef):
+                table, __, __column = other.name.partition(".")
+                dtype = self.catalog.table(table).schema.column(other.name).dtype
+                if dtype is DataType.INT:
+                    # Comparisons against INT columns accept any number
+                    # (`stars >= 2.5` is fine); only number-vs-text and
+                    # number-vs-bool mixups are errors.
+                    dtype = DataType.FLOAT
+                self._slots.expect(parameter.key, dtype)
+            elif isinstance(other, Literal) and other.value is not None:
+                dtype = DataType.infer(other.value)
+                if dtype is DataType.INT:
+                    dtype = DataType.FLOAT
+                self._slots.expect(parameter.key, dtype)
 
     # ------------------------------------------------------------------
     # scoring function
@@ -173,6 +227,13 @@ class Binder:
     def _order_predicate(
         self, node: ExpressionNode, alias_map: dict[str, str]
     ) -> RankingPredicate:
+        if _contains_parameter(node):
+            raise BindError(
+                "parameters are not supported in ORDER BY scoring expressions: "
+                "the optimizer's upper-bound pruning (Property 1) needs "
+                "statically known score maxima; register a ranking predicate "
+                "or inline the constant instead"
+            )
         if isinstance(node, CallNode):
             if not self.catalog.has_predicate(node.name):
                 raise BindError(f"unknown ranking predicate: {node.name!r}")
@@ -219,6 +280,19 @@ class Binder:
             else:
                 total += 1.0
         return max(total, 1.0)
+
+
+def _contains_parameter(node: ExpressionNode) -> bool:
+    """Whether an AST expression contains a bind-variable placeholder."""
+    if isinstance(node, ParameterNode):
+        return True
+    if isinstance(node, BinaryOpNode):
+        return _contains_parameter(node.left) or _contains_parameter(node.right)
+    if isinstance(node, BooleanNode):
+        return any(_contains_parameter(operand) for operand in node.operands)
+    if isinstance(node, CallNode):
+        return any(_contains_parameter(argument) for argument in node.args)
+    return False
 
 
 def bind(statement: SelectStatement, catalog: Catalog) -> QuerySpec:

@@ -21,6 +21,8 @@ class TokenType(enum.Enum):
     STRING = "string"
     OPERATOR = "operator"
     PUNCT = "punct"
+    #: bind-variable placeholder: ``?`` (value "?") or ``:name`` (value ":name")
+    PARAM = "param"
     EOF = "eof"
 
 
@@ -72,6 +74,19 @@ def tokenize(text: str) -> list[Token]:
         if ch.isspace():
             i += 1
             continue
+        if ch == "?":
+            tokens.append(Token(TokenType.PARAM, "?", i))
+            i += 1
+            continue
+        if ch == ":":
+            j = i + 1
+            if j < n and (text[j].isalpha() or text[j] == "_"):
+                while j < n and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                tokens.append(Token(TokenType.PARAM, text[i:j], i))
+                i = j
+                continue
+            raise LexError(f"expected a parameter name after ':' at position {i}")
         if ch == "'":
             end = text.find("'", i + 1)
             if end < 0:

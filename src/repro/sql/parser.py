@@ -13,7 +13,9 @@ Grammar (simplified)::
     comparison := additive [cmp_op additive]
     additive  := multiplicative (('+'|'-') multiplicative)*
     multiplicative := primary (('*'|'/'|'%') primary)*
-    primary   := number | string | TRUE | FALSE | call | column | '(' additive ')'
+    primary   := number | string | TRUE | FALSE | param | call | column
+                 | '(' additive ')'
+    param     := '?' | ':' name        -- bind variables; one style per statement
     order_term := [number '*'] (call | column | ...)
 """
 
@@ -27,6 +29,7 @@ from .ast import (
     ExpressionNode,
     LiteralNode,
     OrderTerm,
+    ParameterNode,
     SelectStatement,
     TableRef,
 )
@@ -46,6 +49,9 @@ class Parser:
         self.text = text
         self.tokens = tokenize(text)
         self.position = 0
+        #: parameter slot keys in first-occurrence order
+        self._parameters: list[str] = []
+        self._parameter_style: str | None = None
 
     # -- token plumbing --------------------------------------------------
     def _peek(self) -> Token:
@@ -94,6 +100,7 @@ class Parser:
         token = self._peek()
         if token.type is not TokenType.EOF:
             raise ParseError(f"trailing input at {token.position}: {token.value!r}")
+        statement.parameters = tuple(self._parameters)
         return statement
 
     def _select(self) -> SelectStatement:
@@ -113,6 +120,11 @@ class Parser:
         limit = None
         if self._accept_keyword("limit"):
             token = self._advance()
+            if token.type is TokenType.PARAM:
+                raise ParseError(
+                    f"LIMIT does not take a parameter at {token.position}; "
+                    "override the result size at execution time (run(k=...)) instead"
+                )
             if token.type is not TokenType.NUMBER:
                 raise ParseError(f"LIMIT needs a number at {token.position}")
             limit = int(float(token.value))
@@ -264,6 +276,8 @@ class Parser:
         if token.is_keyword("false"):
             self._advance()
             return LiteralNode(False)
+        if token.type is TokenType.PARAM:
+            return self._parameter()
         if self._accept_punct("("):
             inner = self._additive()
             self._expect_punct(")")
@@ -271,6 +285,33 @@ class Parser:
         if token.type is TokenType.IDENTIFIER:
             return self._identifier_expression()
         raise ParseError(f"unexpected token {token.value!r} at {token.position}")
+
+    def _parameter(self) -> ParameterNode:
+        """A bind-variable placeholder: ``?`` (ordinal) or ``:name``.
+
+        Slot keys must be assigned *here*, not downstream: IN/BETWEEN
+        desugaring duplicates the left-hand subtree, so a binder walking
+        the AST would count one textual ``?`` twice.  The style-mixing
+        check is duplicated in ``ParameterSlots.declare`` deliberately —
+        the parser owns the error with position info for SQL input, the
+        slots guard programmatic construction.
+        """
+        token = self._advance()
+        if token.value == "?":
+            style = "positional"
+            key = f"?{sum(1 for k in self._parameters if k.startswith('?')) + 1}"
+        else:
+            style, key = "named", token.value
+        if self._parameter_style is None:
+            self._parameter_style = style
+        elif self._parameter_style != style:
+            raise ParseError(
+                f"cannot mix positional (?) and named (:name) parameters "
+                f"(at {token.position})"
+            )
+        if style == "positional" or key not in self._parameters:
+            self._parameters.append(key)
+        return ParameterNode(key)
 
     def _identifier_expression(self) -> ExpressionNode:
         name = self._advance().value
