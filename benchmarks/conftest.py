@@ -7,9 +7,20 @@ join fanout* ``j × s`` (the quantity that shapes the Figure 12 curves).
 Every bench records, besides wall time, the deterministic simulated cost
 and the headline operation counts, which is what the paper's shapes are
 made of.
+
+Machine-readable results: every case recorded through :func:`record` /
+:func:`record_result` is also appended to a session-wide list that is
+written to ``BENCH_results.json`` (override with the
+``BENCH_RESULTS_PATH`` env var) when the benchmark session ends — CI
+uploads it as an artifact so the perf trajectory is diffable across runs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+import time
 
 import pytest
 
@@ -22,6 +33,9 @@ BENCH_JOIN_SELECTIVITY = 0.005  # same fanout j*s = 10 at the reduced scale
 BENCH_K = 10
 
 _workload_cache: dict[tuple, Workload] = {}
+
+#: session-wide machine-readable results (written at sessionfinish)
+_bench_results: list[dict] = []
 
 
 def cached_workload(**overrides) -> Workload:
@@ -56,9 +70,48 @@ def execute(workload: Workload, plan_node, k=None):
 
 
 def record(benchmark, metrics, **extra) -> None:
-    """Attach the paper-relevant counters to the benchmark record."""
+    """Attach the paper-relevant counters to the benchmark record (and the
+    session's machine-readable results)."""
     benchmark.extra_info.update(metrics.summary())
     benchmark.extra_info.update(extra)
+    entry = {"name": getattr(benchmark, "name", None)}
+    try:  # wall stats exist only when pytest-benchmark timing is enabled
+        entry["wall_seconds"] = benchmark.stats.stats.mean
+    except Exception:
+        pass
+    entry.update(metrics.summary())
+    entry.update(extra)
+    record_result(**entry)
+
+
+def record_result(name=None, **fields) -> None:
+    """Append one case to the session's ``BENCH_results.json`` payload.
+
+    ``fields`` should at least carry a wall time (``wall_seconds``) and/or
+    the simulated cost so the artifact is useful on its own.
+    """
+    entry = {"name": name}
+    entry.update(fields)
+    _bench_results.append(entry)
+
+
+def bench_results_path() -> str:
+    return os.environ.get("BENCH_RESULTS_PATH", "BENCH_results.json")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write every recorded case to the machine-readable results file."""
+    if not _bench_results:
+        return
+    payload = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": _bench_results,
+    }
+    with open(bench_results_path(), "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

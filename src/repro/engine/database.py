@@ -61,11 +61,22 @@ class Database:
     ``persist_dir`` attaches a persistence directory: :meth:`flush` (and
     :meth:`close`, hence ``with Database(...)``) writes the catalog and all
     table data there, so scripts cannot exit with half-written state.
+
+    ``batch_execution`` (default on) lowers unranked (``P = φ``) plan
+    segments onto the batched columnar executor
+    (:mod:`repro.execution.batch`); results, scores and tie order are
+    identical to row mode.  Pass ``batch_execution=False`` to force pure
+    tuple-at-a-time (Volcano) execution everywhere — the row-mode escape
+    hatch for debugging or apples-to-apples operator benchmarking.
     """
 
-    def __init__(self, persist_dir: "str | Path | None" = None) -> None:
+    def __init__(
+        self,
+        persist_dir: "str | Path | None" = None,
+        batch_execution: bool = True,
+    ) -> None:
         self.catalog = Catalog()
-        self.planner = Planner(self.catalog)
+        self.planner = Planner(self.catalog, batch_execution=batch_execution)
         self.persist_dir = Path(persist_dir) if persist_dir is not None else None
         self._closed = False
 
@@ -306,7 +317,7 @@ class Database:
             query, strategy="rank-aware", params=params, **kwargs
         )
         return self.execute(
-            entry.plan,
+            entry.executable,
             entry.scoring,
             k=entry.k,
             evaluators=entry.evaluators,

@@ -1,5 +1,21 @@
-"""Physical execution engine: rank-aware iterators and metrics."""
+"""Physical execution engine: rank-aware iterators, the batched columnar
+path for unranked segments, and metrics."""
 
+from .batch import (
+    BATCH_SIZE,
+    Batch,
+    BatchColumnOrderScan,
+    BatchFilter,
+    BatchHashJoin,
+    BatchLimit,
+    BatchNestedLoopJoin,
+    BatchOperator,
+    BatchProject,
+    BatchScan,
+    BatchSort,
+    BatchSortMergeJoin,
+    BatchToRow,
+)
 from .filter import Filter, Project
 from .iterator import (
     EvaluatorCache,
@@ -26,7 +42,20 @@ from .setops import RankDifference, RankIntersect, RankUnion
 from .sort import Limit, Sort
 
 __all__ = [
+    "BATCH_SIZE",
     "BOOLEAN_EVAL_UNIT",
+    "Batch",
+    "BatchColumnOrderScan",
+    "BatchFilter",
+    "BatchHashJoin",
+    "BatchLimit",
+    "BatchNestedLoopJoin",
+    "BatchOperator",
+    "BatchProject",
+    "BatchScan",
+    "BatchSort",
+    "BatchSortMergeJoin",
+    "BatchToRow",
     "COMPARE_UNIT",
     "ColumnOrderScan",
     "EvaluatorCache",

@@ -1,0 +1,1003 @@
+"""Batched columnar execution for unranked (``P = φ``) plan segments.
+
+The Volcano iterators of :mod:`repro.execution.iterator` move one
+:class:`~repro.algebra.rank_relation.ScoredRow` per ``next()`` call — the
+right granularity for rank-aware operators, whose whole point is emitting
+incrementally in score order, but pure overhead for the unranked segments
+below them.  A ``P = φ`` subtree has every tuple at the same maximal
+possible score, so Definition 1 places no order constraint on it, and its
+rank-aware consumer cannot emit anything before the subtree is exhausted
+anyway (its bound stays at ``F_φ`` until then).  Those segments are free to
+execute in bulk.
+
+This module is that bulk path:
+
+* :class:`Batch` — a column-vector slice of tuples (value vectors + rid
+  vector + evaluated-score vectors), the unit batch operators exchange;
+* batch operators (:class:`BatchScan`, :class:`BatchFilter`,
+  :class:`BatchProject`, :class:`BatchHashJoin`,
+  :class:`BatchSortMergeJoin`, :class:`BatchNestedLoopJoin`,
+  :class:`BatchSort`, :class:`BatchLimit`) — vectorized equivalents of the
+  row operators, producing the *same tuples in the same order* while
+  charging :class:`~repro.execution.metrics.ExecutionMetrics` in per-batch
+  increments (``charge_*(count)``) instead of one call per tuple;
+* :class:`BatchToRow` — the adapter at the frontier where a rank-aware
+  consumer begins: a :class:`~repro.execution.iterator.PhysicalOperator`
+  that unpacks batches back into ``ScoredRow`` tuples, preserving rid
+  tie-order and the ``bound()`` / ``predicates()`` contracts.
+
+The planner's lowering pass
+(:func:`repro.optimizer.plans.lower_to_batch`) swaps maximal ``P = φ``
+descriptor subtrees onto this path; rank-aware operators (µ, HRJN/NRJN,
+rank set-ops, rank-scans) are never lowered — batching them would destroy
+the incremental emission the ranking principle is about.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Iterator
+
+from ..algebra.expressions import Evaluator
+from ..algebra.predicates import BooleanPredicate
+from ..algebra.rank_relation import ScoredRow
+from ..storage.row import Row
+from ..storage.schema import Schema
+from .iterator import ExecutionContext, PhysicalOperator
+from .metrics import OperatorStats
+from .scans import sorted_column_order
+
+#: tuples per batch — large enough to amortize per-batch dispatch, small
+#: enough to keep intermediate vectors cache- and memory-friendly
+BATCH_SIZE = 1024
+
+Rid = tuple[tuple[str, int], ...]
+
+
+class Batch:
+    """A slice of tuples in columnar form.
+
+    A batch always carries the parallel ``rids`` vector (deterministic
+    identity / tie-order) and at least one tuple representation:
+
+    * ``columns`` — per-column value vectors (built lazily when only a
+      row-wise representation was supplied);
+    * ``values`` — per-tuple value tuples (built lazily from columns);
+    * ``rows`` — the original :class:`Row` objects, kept when the batch's
+      tuples are 1:1 with stored base rows so the frontier can emit them
+      without re-allocating.
+
+    ``scores`` maps predicate name to an evaluated score vector — empty
+    everywhere in a ``P = φ`` segment, populated by :class:`BatchSort` at
+    the frontier of lowered traditional plans.
+    """
+
+    __slots__ = ("schema", "rids", "rows", "scores", "_columns", "_values")
+
+    def __init__(
+        self,
+        schema: Schema,
+        rids: list[Rid],
+        *,
+        columns: "tuple[list, ...] | None" = None,
+        values: "list[tuple] | None" = None,
+        rows: "list[Row] | None" = None,
+        scores: "dict[str, list[float]] | None" = None,
+    ):
+        if columns is None and values is None and rows is None:
+            raise ValueError("batch needs columns, values or rows")
+        self.schema = schema
+        self.rids = rids
+        self.rows = rows
+        self.scores: dict[str, list[float]] = scores if scores is not None else {}
+        self._columns = columns
+        self._values = values
+
+    def __len__(self) -> int:
+        return len(self.rids)
+
+    @property
+    def columns(self) -> tuple[list, ...]:
+        """Per-column value vectors (computed from the tuples on demand)."""
+        if self._columns is None:
+            values = self.value_tuples()
+            if values:
+                self._columns = tuple(list(v) for v in zip(*values))
+            else:
+                self._columns = tuple([] for __ in range(len(self.schema)))
+        return self._columns
+
+    def value_tuples(self) -> list[tuple]:
+        """Plain value tuples, one per tuple (for join concatenation)."""
+        if self._values is None:
+            if self.rows is not None:
+                self._values = [r.values for r in self.rows]
+            else:
+                assert self._columns is not None
+                self._values = list(zip(*self._columns))
+        return self._values
+
+    def tuples(self) -> "list[Row] | list[tuple]":
+        """Indexable row-likes for compiled evaluators (``row[pos]``)."""
+        if self.rows is not None:
+            return self.rows
+        return self.value_tuples()
+
+    def select(self, indices: list[int]) -> "Batch":
+        """The sub-batch at ``indices`` (order preserved)."""
+        values = self.value_tuples()
+        return Batch(
+            self.schema,
+            [self.rids[i] for i in indices],
+            values=[values[i] for i in indices],
+            rows=[self.rows[i] for i in indices] if self.rows is not None else None,
+            scores={
+                name: [vec[i] for i in indices] for name, vec in self.scores.items()
+            },
+        )
+
+    def to_scored_rows(self) -> list[ScoredRow]:
+        """Unpack into ``ScoredRow`` objects (the frontier conversion)."""
+        names = list(self.scores)
+        if self.rows is not None:
+            rows: "list[Row]" = self.rows
+        else:
+            rows = [
+                Row(values, rid)
+                for values, rid in zip(self.value_tuples(), self.rids)
+            ]
+        if not names:
+            return [ScoredRow(row, {}) for row in rows]
+        vectors = [self.scores[n] for n in names]
+        return [
+            ScoredRow(row, dict(zip(names, per_row)))
+            for row, per_row in zip(rows, zip(*vectors))
+        ]
+
+
+class BatchOperator:
+    """Base class of batch (vector-at-a-time) operators.
+
+    Mirrors the :class:`~repro.execution.iterator.PhysicalOperator`
+    lifecycle — ``open(context)`` / ``next_batch()`` / ``close()`` — with
+    the same per-operator stats and bulk metric charging: every emitted
+    batch counts ``len(batch)`` tuples out and moves in one call.
+    """
+
+    kind = "batchOperator"
+
+    def __init__(self) -> None:
+        self._context: ExecutionContext | None = None
+        self._stats: OperatorStats | None = None
+        self._opened = False
+
+    # -- lifecycle ------------------------------------------------------
+    def open(self, context: ExecutionContext) -> None:
+        self._context = context
+        self._stats = context.metrics.stats_for(context.unique_name(self.describe()))
+        self._opened = True
+        self._open()
+
+    def next_batch(self) -> Batch | None:
+        """The next non-empty batch, or None when exhausted."""
+        if not self._opened:
+            raise RuntimeError(f"{self.describe()}: next_batch() before open()")
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return None
+            if len(batch):
+                assert self._stats is not None and self._context is not None
+                self._stats.tuples_out += len(batch)
+                self._context.metrics.charge_move(len(batch))
+                return batch
+
+    def close(self) -> None:
+        if self._opened:
+            self._close()
+            self._opened = False
+
+    # -- contracts -------------------------------------------------------
+    def schema(self) -> Schema:
+        raise NotImplementedError
+
+    def predicates(self) -> frozenset[str]:
+        """Evaluated ranking-predicate set ``P`` of the output (φ for every
+        batch operator except :class:`BatchSort`)."""
+        return frozenset()
+
+    def column_order(self) -> str | None:
+        return None
+
+    def bound_hint(self) -> float:
+        """Upper bound on the ``F_P`` score of any tuple still to come
+        (``F_φ`` for unranked operators)."""
+        return self.context.scoring.max_possible()
+
+    def notify_limit(self, k: int) -> None:
+        """See :meth:`PhysicalOperator.notify_limit`; only
+        :class:`BatchSort` reacts."""
+
+    def describe(self) -> str:
+        return self.kind
+
+    def children(self) -> tuple["BatchOperator", ...]:
+        return ()
+
+    # -- subclass hooks ---------------------------------------------------
+    def _open(self) -> None:
+        raise NotImplementedError
+
+    def _next_batch(self) -> Batch | None:
+        raise NotImplementedError
+
+    def _close(self) -> None:
+        for child in self.children():
+            child.close()
+
+    # -- helpers ----------------------------------------------------------
+    @property
+    def context(self) -> ExecutionContext:
+        assert self._context is not None, "operator not opened"
+        return self._context
+
+    @property
+    def stats(self) -> OperatorStats:
+        assert self._stats is not None, "operator not opened"
+        return self._stats
+
+    def _record_input(self, count: int) -> None:
+        self.stats.tuples_in += count
+
+    def _drain(self, child: "BatchOperator") -> Iterator[Batch]:
+        while True:
+            batch = child.next_batch()
+            if batch is None:
+                return
+            self._record_input(len(batch))
+            yield batch
+
+
+# ----------------------------------------------------------------------
+# scans
+# ----------------------------------------------------------------------
+
+class BatchScan(BatchOperator):
+    """Sequential scan over the table's columnar view (heap order)."""
+
+    kind = "batchScan"
+
+    def __init__(self, table_name: str):
+        super().__init__()
+        self.table_name = table_name
+        self._schema: Schema | None = None
+        self._view = None
+        self._position = 0
+
+    def describe(self) -> str:
+        return f"batchScan({self.table_name})"
+
+    def schema(self) -> Schema:
+        if self._schema is None:
+            raise RuntimeError("scan not opened")
+        return self._schema
+
+    def _open(self) -> None:
+        table = self.context.catalog.table(self.table_name)
+        self._schema = table.schema
+        self._view = table.columns()
+        self._position = 0
+
+    def _next_batch(self) -> Batch | None:
+        view = self._view
+        assert view is not None
+        start = self._position
+        if start >= len(view):
+            return None
+        end = min(start + BATCH_SIZE, len(view))
+        self._position = end
+        self.context.metrics.charge_scan(end - start)
+        return Batch(
+            view.schema,
+            view.rids[start:end],
+            columns=tuple(column[start:end] for column in view.columns),
+            rows=view.rows[start:end],
+        )
+
+    def _close(self) -> None:
+        self._view = None
+
+
+class BatchColumnOrderScan(BatchOperator):
+    """Index scan in ascending column order, batched.
+
+    Falls back to a transient heap sort (charging its comparisons) when the
+    table has no :class:`~repro.storage.index.ColumnIndex` — same recovery
+    as the row-mode :class:`~repro.execution.scans.ColumnOrderScan`.
+    """
+
+    kind = "batchScanCol"
+
+    def __init__(self, table_name: str, column: str):
+        super().__init__()
+        self.table_name = table_name
+        self.column = column
+        self._schema: Schema | None = None
+        self._rows: list[Row] | None = None
+        self._position = 0
+
+    def describe(self) -> str:
+        return f"batchScan_{self.column}({self.table_name})"
+
+    def schema(self) -> Schema:
+        if self._schema is None:
+            raise RuntimeError("scan not opened")
+        return self._schema
+
+    def column_order(self) -> str | None:
+        return self.column
+
+    def _open(self) -> None:
+        from ..storage.index import ColumnIndex
+
+        table = self.context.catalog.table(self.table_name)
+        self._schema = table.schema
+        index = table.find_index(key=self.column)
+        if isinstance(index, ColumnIndex):
+            self._rows = list(index.scan_ascending())
+        else:
+            self._rows = sorted_column_order(table, self.column, self.context.metrics)
+        self._position = 0
+
+    def _next_batch(self) -> Batch | None:
+        rows = self._rows
+        assert rows is not None
+        start = self._position
+        if start >= len(rows):
+            return None
+        end = min(start + BATCH_SIZE, len(rows))
+        self._position = end
+        chunk = rows[start:end]
+        self.context.metrics.charge_scan(len(chunk))
+        return Batch(self.schema(), [r.rid for r in chunk], rows=chunk)
+
+    def _close(self) -> None:
+        self._rows = None
+
+
+# ----------------------------------------------------------------------
+# unary operators
+# ----------------------------------------------------------------------
+
+class BatchFilter(BatchOperator):
+    """Selection σ_c applied over whole batches (order preserving)."""
+
+    kind = "batchFilter"
+
+    def __init__(self, child: BatchOperator, condition: BooleanPredicate):
+        super().__init__()
+        self.child = child
+        self.condition = condition
+        self._evaluator: Evaluator | None = None
+
+    def describe(self) -> str:
+        return f"batchFilter({self.condition.name})"
+
+    def children(self) -> tuple[BatchOperator, ...]:
+        return (self.child,)
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def column_order(self) -> str | None:
+        return self.child.column_order()
+
+    def _open(self) -> None:
+        self.child.open(self.context)
+        self._evaluator = self.condition.compile(self.child.schema())
+
+    def _next_batch(self) -> Batch | None:
+        evaluate = self._evaluator
+        assert evaluate is not None
+        batch = self.child.next_batch()
+        if batch is None:
+            return None
+        n = len(batch)
+        self._record_input(n)
+        self.context.metrics.charge_boolean(n, cost=self.condition.cost)
+        keep = [i for i, t in enumerate(batch.tuples()) if evaluate(t)]
+        if len(keep) == n:
+            return batch
+        return batch.select(keep)
+
+
+class BatchProject(BatchOperator):
+    """Projection π over column vectors (narrows the value layout)."""
+
+    kind = "batchProject"
+
+    def __init__(self, child: BatchOperator, columns: tuple[str, ...]):
+        super().__init__()
+        self.child = child
+        self.columns = tuple(columns)
+        self._positions: list[int] | None = None
+        self._schema: Schema | None = None
+
+    def describe(self) -> str:
+        return f"batchProject({', '.join(self.columns)})"
+
+    def children(self) -> tuple[BatchOperator, ...]:
+        return (self.child,)
+
+    def schema(self) -> Schema:
+        if self._schema is None:
+            raise RuntimeError("project not opened")
+        return self._schema
+
+    def _open(self) -> None:
+        self.child.open(self.context)
+        child_schema = self.child.schema()
+        self._positions = [child_schema.index_of(c) for c in self.columns]
+        self._schema = child_schema.project(self.columns)
+
+    def _next_batch(self) -> Batch | None:
+        positions = self._positions
+        assert positions is not None and self._schema is not None
+        batch = self.child.next_batch()
+        if batch is None:
+            return None
+        self._record_input(len(batch))
+        vectors = batch.columns
+        return Batch(
+            self._schema,
+            batch.rids,
+            columns=tuple(vectors[p] for p in positions),
+            scores=dict(batch.scores),
+        )
+
+
+class BatchLimit(BatchOperator):
+    """λ_k over batches: truncate the stream after ``k`` tuples."""
+
+    kind = "batchLimit"
+
+    def __init__(self, child: BatchOperator, k: int):
+        super().__init__()
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.child = child
+        self.k = k
+        self._emitted = 0
+
+    def describe(self) -> str:
+        return f"batchLimit({self.k})"
+
+    def children(self) -> tuple[BatchOperator, ...]:
+        return (self.child,)
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def predicates(self) -> frozenset[str]:
+        return self.child.predicates()
+
+    def _open(self) -> None:
+        self.child.open(self.context)
+        self._emitted = 0
+
+    def _next_batch(self) -> Batch | None:
+        remaining = self.k - self._emitted
+        if remaining <= 0:
+            return None
+        batch = self.child.next_batch()
+        if batch is None:
+            return None
+        self._record_input(len(batch))
+        if len(batch) > remaining:
+            batch = batch.select(list(range(remaining)))
+        self._emitted += len(batch)
+        return batch
+
+
+# ----------------------------------------------------------------------
+# joins
+# ----------------------------------------------------------------------
+
+class _BatchBinaryJoin(BatchOperator):
+    """Shared plumbing for binary batch joins."""
+
+    def __init__(self, left: BatchOperator, right: BatchOperator):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self._schema: Schema | None = None
+
+    def children(self) -> tuple[BatchOperator, ...]:
+        return (self.left, self.right)
+
+    def schema(self) -> Schema:
+        if self._schema is None:
+            raise RuntimeError("join not opened")
+        return self._schema
+
+    def _open_children(self) -> None:
+        self.left.open(self.context)
+        self.right.open(self.context)
+        self._schema = self.left.schema().concat(self.right.schema())
+
+
+class BatchHashJoin(_BatchBinaryJoin):
+    """Classical hash equi-join, batched: blocking build over the right
+    input, vectorized probe over left batches.  Output order is identical
+    to the row :class:`~repro.execution.joins.HashJoin` — probe-major, with
+    partners in build-arrival order."""
+
+    kind = "batchHashJoin"
+
+    def __init__(
+        self,
+        left: BatchOperator,
+        right: BatchOperator,
+        left_key: str,
+        right_key: str,
+    ):
+        super().__init__(left, right)
+        self.left_key = left_key
+        self.right_key = right_key
+        self._hash: dict[Any, list[tuple[tuple, Rid]]] | None = None
+        self._left_position = -1
+
+    def describe(self) -> str:
+        return f"batchHashJoin({self.left_key}={self.right_key})"
+
+    def _open(self) -> None:
+        self._open_children()
+        self._hash = None
+        self._left_position = self.left.schema().index_of(self.left_key)
+
+    def _build(self) -> None:
+        position = self.right.schema().index_of(self.right_key)
+        table: dict[Any, list[tuple[tuple, Rid]]] = {}
+        for batch in self._drain(self.right):
+            keys = batch.columns[position]
+            values = batch.value_tuples()
+            rids = batch.rids
+            for i, key in enumerate(keys):
+                table.setdefault(key, []).append((values[i], rids[i]))
+        self._hash = table
+
+    def _next_batch(self) -> Batch | None:
+        if self._hash is None:
+            self._build()
+        table = self._hash
+        assert table is not None
+        while True:
+            batch = self.left.next_batch()
+            if batch is None:
+                return None
+            self._record_input(len(batch))
+            keys = batch.columns[self._left_position]
+            values = batch.value_tuples()
+            rids = batch.rids
+            out_values: list[tuple] = []
+            out_rids: list[Rid] = []
+            pairs = 0
+            for i, key in enumerate(keys):
+                partners = table.get(key)
+                if not partners:
+                    continue
+                value, rid = values[i], rids[i]
+                pairs += len(partners)
+                for partner_value, partner_rid in partners:
+                    out_values.append(value + partner_value)
+                    out_rids.append(rid + partner_rid)
+            if pairs:
+                self.context.metrics.charge_join_pair(pairs)
+            if out_values:
+                return Batch(self.schema(), out_rids, values=out_values)
+
+
+class BatchSortMergeJoin(_BatchBinaryJoin):
+    """Classical sort-merge equi-join, batched (fully blocking).
+
+    Drains both inputs into columnar buffers, argsorts each side by
+    ``(key, rid)`` and merges — the same key-major output order (equal-key
+    cross products in left-then-right rid order) as the row
+    :class:`~repro.execution.joins.SortMergeJoin`, with comparison costs
+    charged by the same formulas."""
+
+    kind = "batchSMJ"
+
+    def __init__(
+        self,
+        left: BatchOperator,
+        right: BatchOperator,
+        left_key: str,
+        right_key: str,
+    ):
+        super().__init__(left, right)
+        self.left_key = left_key
+        self.right_key = right_key
+        self._output: "tuple[list[tuple], list[Rid]] | None" = None
+        self._position = 0
+
+    def describe(self) -> str:
+        return f"batchSMJ({self.left_key}={self.right_key})"
+
+    def column_order(self) -> str | None:
+        return self.left_key
+
+    def _open(self) -> None:
+        self._open_children()
+        self._output = None
+        self._position = 0
+
+    def _collect(
+        self, side: BatchOperator, key_name: str
+    ) -> tuple[list, list[tuple], list[Rid]]:
+        """Drain one input; return (key vector, value tuples, rids) sorted
+        by ``(key, rid)``, charging sort comparisons unless the input
+        already delivers the key's interesting order."""
+        position = side.schema().index_of(key_name)
+        keys: list = []
+        values: list[tuple] = []
+        rids: list[Rid] = []
+        for batch in self._drain(side):
+            keys.extend(batch.columns[position])
+            values.extend(batch.value_tuples())
+            rids.extend(batch.rids)
+        n = len(keys)
+        if side.column_order() != key_name:
+            self.context.metrics.charge_comparisons(
+                int(n * max(1, math.log2(n or 1)))
+            )
+        order = sorted(range(n), key=lambda i: (keys[i], rids[i]))
+        return (
+            [keys[i] for i in order],
+            [values[i] for i in order],
+            [rids[i] for i in order],
+        )
+
+    def _merge(self) -> None:
+        context = self.context
+        left_keys, left_values, left_rids = self._collect(self.left, self.left_key)
+        right_keys, right_values, right_rids = self._collect(
+            self.right, self.right_key
+        )
+        out_values: list[tuple] = []
+        out_rids: list[Rid] = []
+        i = j = 0
+        n_left, n_right = len(left_keys), len(right_keys)
+        comparisons = 0
+        pairs = 0
+        while i < n_left and j < n_right:
+            comparisons += 1
+            lk = left_keys[i]
+            rk = right_keys[j]
+            if lk < rk:
+                i += 1
+            elif lk > rk:
+                j += 1
+            else:
+                j_end = j
+                while j_end < n_right and right_keys[j_end] == lk:
+                    j_end += 1
+                i_end = i
+                while i_end < n_left and left_keys[i_end] == lk:
+                    i_end += 1
+                for a in range(i, i_end):
+                    left_value, left_rid = left_values[a], left_rids[a]
+                    for b in range(j, j_end):
+                        out_values.append(left_value + right_values[b])
+                        out_rids.append(left_rid + right_rids[b])
+                pairs += (i_end - i) * (j_end - j)
+                i, j = i_end, j_end
+        context.metrics.charge_comparisons(comparisons)
+        context.metrics.charge_join_pair(pairs)
+        self._output = (out_values, out_rids)
+
+    def _next_batch(self) -> Batch | None:
+        if self._output is None:
+            self._merge()
+        values, rids = self._output  # type: ignore[misc]
+        start = self._position
+        if start >= len(values):
+            return None
+        end = min(start + BATCH_SIZE, len(values))
+        self._position = end
+        return Batch(self.schema(), rids[start:end], values=values[start:end])
+
+
+class BatchNestedLoopJoin(_BatchBinaryJoin):
+    """Classical nested-loop join, batched (inner side materialized).
+
+    Outer-major output order, identical to the row
+    :class:`~repro.execution.joins.NestedLoopJoin`."""
+
+    kind = "batchNestLoop"
+
+    def __init__(
+        self,
+        left: BatchOperator,
+        right: BatchOperator,
+        condition: BooleanPredicate | None,
+    ):
+        super().__init__(left, right)
+        self.condition = condition
+        self._inner: "tuple[list[tuple], list[Rid]] | None" = None
+        self._evaluator: Evaluator | None = None
+
+    def describe(self) -> str:
+        name = self.condition.name if self.condition else "true"
+        return f"batchNestLoop({name})"
+
+    def _open(self) -> None:
+        self._open_children()
+        self._inner = None
+        self._evaluator = (
+            self.condition.compile(self.schema()) if self.condition else None
+        )
+
+    def _materialize_inner(self) -> None:
+        values: list[tuple] = []
+        rids: list[Rid] = []
+        for batch in self._drain(self.right):
+            values.extend(batch.value_tuples())
+            rids.extend(batch.rids)
+        self._inner = (values, rids)
+
+    def _next_batch(self) -> Batch | None:
+        if self._inner is None:
+            self._materialize_inner()
+        inner_values, inner_rids = self._inner  # type: ignore[misc]
+        context = self.context
+        evaluate = self._evaluator
+        condition = self.condition
+        while True:
+            batch = self.left.next_batch()
+            if batch is None:
+                return None
+            self._record_input(len(batch))
+            out_values: list[tuple] = []
+            out_rids: list[Rid] = []
+            pairs = len(batch) * len(inner_values)
+            booleans = 0
+            for outer_value, outer_rid in zip(batch.value_tuples(), batch.rids):
+                for partner_value, partner_rid in zip(inner_values, inner_rids):
+                    merged = outer_value + partner_value
+                    if evaluate is not None:
+                        booleans += 1
+                        if not evaluate(merged):
+                            continue
+                    out_values.append(merged)
+                    out_rids.append(outer_rid + partner_rid)
+            if pairs:
+                context.metrics.charge_join_pair(pairs)
+            if booleans:
+                assert condition is not None
+                context.metrics.charge_boolean(booleans, cost=condition.cost)
+            if out_values:
+                return Batch(self.schema(), out_rids, values=out_values)
+
+
+# ----------------------------------------------------------------------
+# sort (the frontier of lowered traditional plans)
+# ----------------------------------------------------------------------
+
+class BatchSort(BatchOperator):
+    """Blocking τ_F over batches: drain, evaluate every remaining ranking
+    predicate as a score vector, argsort by ``(−F, rid)``, emit in rank
+    order with the score vectors attached.
+
+    Like the row :class:`~repro.execution.sort.Sort`, it keeps only a
+    bounded top-k selection when a directly-enclosing λ_k announces its
+    ``k`` via :meth:`notify_limit` (cursor plans strip the λ and therefore
+    always get the full ordering).
+    """
+
+    kind = "batchSort"
+
+    def __init__(self, child: BatchOperator, fetch_limit: int | None = None):
+        super().__init__()
+        self.child = child
+        self.fetch_limit = fetch_limit
+        self._ordered: "tuple[list, dict[str, list[float]], list[float]] | None" = None
+        self._position = 0
+        self._rows_kept = False
+
+    def describe(self) -> str:
+        if self.fetch_limit is not None:
+            return f"batchSort(top {self.fetch_limit})"
+        return "batchSort"
+
+    def notify_limit(self, k: int) -> None:
+        if self.fetch_limit is None:
+            self.fetch_limit = k
+
+    def children(self) -> tuple[BatchOperator, ...]:
+        return (self.child,)
+
+    def schema(self) -> Schema:
+        return self.child.schema()
+
+    def predicates(self) -> frozenset[str]:
+        return frozenset(self.context.scoring.predicate_names)
+
+    def bound_hint(self) -> float:
+        if self._ordered is None:
+            return self.context.scoring.max_possible()
+        if self._position >= len(self._ordered[0]):
+            return -math.inf
+        return self._ordered[2][self._position]
+
+    def _open(self) -> None:
+        self.child.open(self.context)
+        self._ordered = None
+        self._position = 0
+
+    def _materialize(self) -> None:
+        context = self.context
+        scoring = context.scoring
+        schema = self.child.schema()
+        items: list = []  # Row objects or value tuples, kept per-source
+        rids: list[Rid] = []
+        rows: "list[Row] | None" = []
+        scores: dict[str, list[float]] = {}
+        for batch in self._drain(self.child):
+            if rows is not None and batch.rows is not None:
+                rows.extend(batch.rows)
+            else:
+                rows = None
+            items.extend(batch.tuples())
+            rids.extend(batch.rids)
+            for name, vector in batch.scores.items():
+                scores.setdefault(name, []).extend(vector)
+        n = len(items)
+        for name in scoring.predicate_names:
+            if name in scores and len(scores[name]) == n:
+                continue
+            evaluate, cost = context.evaluators.entry(name, schema)
+            scores[name] = [evaluate(t) for t in items]
+            context.metrics.charge_predicate(cost, n)
+        names = scoring.predicate_names
+        vectors = [scores[name] for name in names]
+        # Per-row F via the same upper_bound arithmetic as the row path, so
+        # scores (and the sort order they induce) are bit-identical.
+        bounds = [
+            scoring.upper_bound(dict(zip(names, per_row)))
+            for per_row in zip(*vectors)
+        ] if n else []
+        k = self.fetch_limit
+        if k is not None and k < n:
+            context.metrics.charge_comparisons(int(n * max(1, math.log2(max(2, k)))))
+            order = heapq.nsmallest(k, range(n), key=lambda i: (-bounds[i], rids[i]))
+        else:
+            context.metrics.charge_comparisons(int(n * max(1, math.log2(n or 1))))
+            order = sorted(range(n), key=lambda i: (-bounds[i], rids[i]))
+        carrier = rows if rows is not None else items
+        self._ordered = (
+            [(carrier[i], rids[i]) for i in order],
+            {name: [scores[name][i] for i in order] for name in names},
+            [bounds[i] for i in order],
+        )
+        self._rows_kept = rows is not None
+
+    def _next_batch(self) -> Batch | None:
+        if self._ordered is None:
+            self._materialize()
+        ordered, score_vectors, __ = self._ordered  # type: ignore[misc]
+        start = self._position
+        if start >= len(ordered):
+            return None
+        end = min(start + BATCH_SIZE, len(ordered))
+        self._position = end
+        chunk = ordered[start:end]
+        rids = [rid for __, rid in chunk]
+        sliced_scores = {
+            name: vector[start:end] for name, vector in score_vectors.items()
+        }
+        if self._rows_kept:
+            return Batch(
+                self.schema(),
+                rids,
+                rows=[item for item, __ in chunk],
+                scores=sliced_scores,
+            )
+        return Batch(
+            self.schema(),
+            rids,
+            values=[item for item, __ in chunk],
+            scores=sliced_scores,
+        )
+
+    def _close(self) -> None:
+        self.child.close()
+        self._ordered = None
+
+
+# ----------------------------------------------------------------------
+# the frontier adapter
+# ----------------------------------------------------------------------
+
+class BatchToRow(PhysicalOperator):
+    """Adapter from a batch segment back to the rank-aware iterator world.
+
+    Sits exactly where a rank-aware consumer begins.  It pulls batches from
+    the segment root and re-emits them one :class:`ScoredRow` at a time,
+    preserving tuple order (hence rid tie-order), evaluated scores, and the
+    ``bound()`` / ``predicates()`` contracts of the operator it replaces:
+    ``F_φ`` until exhausted for an unranked segment, the next pending
+    tuple's score for a segment topped by :class:`BatchSort`.
+
+    Moves are *not* re-charged here — the segment root already charged its
+    emitted tuples — so a lowered plan's ``tuples_moved`` stays comparable
+    to its row-mode equivalent.
+    """
+
+    kind = "batchSegment"
+
+    def __init__(self, source: BatchOperator):
+        super().__init__()
+        self.source = source
+        self._pending: list[ScoredRow] = []
+        self._position = 0
+        self._exhausted = False
+
+    def describe(self) -> str:
+        return f"batch[{self.source.describe()}]"
+
+    def notify_limit(self, k: int) -> None:
+        self.source.notify_limit(k)
+
+    def schema(self) -> Schema:
+        return self.source.schema()
+
+    def predicates(self) -> frozenset[str]:
+        return self.source.predicates()
+
+    def column_order(self) -> str | None:
+        return self.source.column_order()
+
+    def bound(self) -> float:
+        if self._position < len(self._pending):
+            return self.context.upper_bound(self._pending[self._position])
+        if self._exhausted:
+            return -math.inf
+        return self.source.bound_hint()
+
+    def next(self) -> ScoredRow | None:
+        # Overridden from PhysicalOperator: count tuples out but skip the
+        # per-tuple move charge (see class docstring).
+        if not self._opened:
+            raise RuntimeError(f"{self.describe()}: next() before open()")
+        scored = self._next()
+        if scored is not None:
+            assert self._stats is not None
+            self._stats.tuples_out += 1
+        return scored
+
+    def _open(self) -> None:
+        self.source.open(self.context)
+        self._pending = []
+        self._position = 0
+        self._exhausted = False
+
+    def _next(self) -> ScoredRow | None:
+        while self._position >= len(self._pending):
+            if self._exhausted:
+                return None
+            batch = self.source.next_batch()
+            if batch is None:
+                self._exhausted = True
+                return None
+            self._record_input(len(batch))
+            self._pending = batch.to_scored_rows()
+            self._position = 0
+        scored = self._pending[self._position]
+        self._position += 1
+        return scored
+
+    def _close(self) -> None:
+        self.source.close()
+        self._pending = []

@@ -172,6 +172,14 @@ class PhysicalOperator:
         System-R "interesting order" physical property."""
         return None
 
+    def notify_limit(self, k: int) -> None:
+        """Hint from a directly-enclosing λ_k that at most ``k`` tuples will
+        ever be pulled.  Blocking operators (Sort, BatchSort) use it to keep
+        a bounded top-k heap instead of fully sorting; everyone else ignores
+        it.  Only :class:`~repro.execution.sort.Limit` may call this — a
+        consumer that pulls past ``k`` (cursors) must build its plan without
+        the λ, which never sends the hint."""
+
     def describe(self) -> str:
         return self.kind
 

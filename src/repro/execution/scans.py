@@ -28,6 +28,19 @@ from ..storage.schema import Schema
 from .iterator import PhysicalOperator
 
 
+def sorted_column_order(table, column: str, metrics) -> list[Row]:
+    """The table's rows in ascending ``(column value, rid)`` order — the
+    exact sequence a :class:`~repro.storage.index.ColumnIndex` scan would
+    deliver — built by a transient sort whose comparison cost is charged to
+    ``metrics``.  Shared by the row and batch column-order scans as their
+    index-less fallback."""
+    position = table.schema.index_of(column)
+    rows = sorted(table.rows(), key=lambda r: (r[position], r.rid))
+    n = len(rows)
+    metrics.charge_comparisons(int(n * max(1, math.log2(n or 1))))
+    return rows
+
+
 class SeqScan(PhysicalOperator):
     """Sequential scan of a heap table (``P = φ``)."""
 
@@ -170,13 +183,18 @@ class ColumnOrderScan(PhysicalOperator):
 
     def _open(self) -> None:
         table = self.context.catalog.table(self.table_name)
-        index = table.find_index(key=self.column)
-        if not isinstance(index, ColumnIndex):
-            raise RuntimeError(
-                f"no column index on {self.table_name!r}.{self.column!r}"
-            )
         self._schema = table.schema
-        self._rows = index.scan_ascending()
+        index = table.find_index(key=self.column)
+        if isinstance(index, ColumnIndex):
+            self._rows = index.scan_ascending()
+        else:
+            # No column index (dropped or never built): fall back to a
+            # transient sort of the heap in (column, rid) order — the same
+            # sequence the index would deliver — charging the sort's
+            # comparison cost so the plan survives instead of erroring.
+            self._rows = iter(
+                sorted_column_order(table, self.column, self.context.metrics)
+            )
         self._exhausted = False
 
     def _next(self) -> ScoredRow | None:

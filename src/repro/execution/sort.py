@@ -6,12 +6,20 @@ only then starts emitting — the materialize-then-sort scheme the paper
 contrasts against.  Its startup cost is almost its total cost and is
 independent of ``k``.
 
+When a :class:`Limit` sits directly above it (the common ``ORDER BY …
+LIMIT k`` shape), the λ passes ``k`` down via
+:meth:`~repro.execution.iterator.PhysicalOperator.notify_limit` and the
+sort keeps only a bounded top-k selection (``heapq.nsmallest`` on the
+rank-order key) instead of materializing a fully sorted copy — same first
+``k`` tuples, same tie order, ``O(n log k)`` comparisons.
+
 :class:`Limit` (λ_k) stops pulling after ``k`` tuples, which is what makes
 pipelined rank-aware plans cost proportional to ``k``.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 
 from ..algebra.rank_relation import ScoredRow, rank_order_key
@@ -24,14 +32,24 @@ class Sort(PhysicalOperator):
 
     kind = "sort"
 
-    def __init__(self, child: PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, fetch_limit: int | None = None):
         super().__init__()
         self.child = child
+        #: when set (by a directly-enclosing λ_k), only the top
+        #: ``fetch_limit`` tuples are kept — never set on cursor plans,
+        #: which strip the λ and therefore need the full ordering
+        self.fetch_limit = fetch_limit
         self._buffer: list[ScoredRow] | None = None
         self._position = 0
 
     def describe(self) -> str:
+        if self.fetch_limit is not None:
+            return f"sort(top {self.fetch_limit})"
         return "sort"
+
+    def notify_limit(self, k: int) -> None:
+        if self.fetch_limit is None:
+            self.fetch_limit = k
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
@@ -69,10 +87,17 @@ class Sort(PhysicalOperator):
                     score = context.evaluate_predicate(name, scored.row, schema)
                     scored = scored.with_score(name, score)
             buffer.append(scored)
-        context.metrics.charge_comparisons(
-            int(len(buffer) * max(1, math.log2(len(buffer) or 1)))
-        )
-        buffer.sort(key=lambda s: rank_order_key(context.scoring, s))
+        n = len(buffer)
+        k = self.fetch_limit
+        key = lambda s: rank_order_key(context.scoring, s)  # noqa: E731
+        if k is not None and k < n:
+            context.metrics.charge_comparisons(int(n * max(1, math.log2(max(2, k)))))
+            # Identical to sorted(buffer, key=key)[:k]: the key ends in the
+            # row id, so the order is total and ties come out by id.
+            buffer = heapq.nsmallest(k, buffer, key=key)
+        else:
+            context.metrics.charge_comparisons(int(n * max(1, math.log2(n or 1))))
+            buffer.sort(key=key)
         self._buffer = buffer
 
     def _next(self) -> ScoredRow | None:
@@ -102,6 +127,9 @@ class Limit(PhysicalOperator):
         self.child = child
         self.k = k
         self._emitted = 0
+        # A λ guarantees its child is pulled at most k times, which lets
+        # blocking sorts below keep a bounded top-k heap.
+        child.notify_limit(k)
 
     def describe(self) -> str:
         return f"limit({self.k})"

@@ -12,9 +12,22 @@ tables and evaluated ranking predicates (§5.1).
 
 from __future__ import annotations
 
+import copy
 from typing import Sequence
 
 from ..algebra.predicates import BooleanPredicate
+from ..execution.batch import (
+    BatchColumnOrderScan,
+    BatchFilter,
+    BatchHashJoin,
+    BatchNestedLoopJoin,
+    BatchOperator,
+    BatchProject,
+    BatchScan,
+    BatchSort,
+    BatchSortMergeJoin,
+    BatchToRow,
+)
 from ..execution.filter import Filter, Project
 from ..execution.iterator import PhysicalOperator
 from ..execution.joins import HRJN, NRJN, HashJoin, NestedLoopJoin, SortMergeJoin
@@ -467,3 +480,147 @@ class RankDifferencePlan(PlanNode):
 
     def label(self) -> str:
         return "rankDifference"
+
+
+# ----------------------------------------------------------------------
+# batched columnar lowering (P = φ segments)
+# ----------------------------------------------------------------------
+
+#: descriptor kinds with a batch-operator equivalent.  Rank-aware nodes
+#: (MuPlan, RankScanPlan, ScanSelectPlan, the rank joins and set-ops) are
+#: deliberately absent: batching them would break incremental, score-ordered
+#: emission — the ranking principle forbids bulk execution above µ.
+_BATCHABLE = (
+    SeqScanPlan,
+    ColumnOrderScanPlan,
+    FilterPlan,
+    ProjectPlan,
+    HashJoinPlan,
+    SortMergeJoinPlan,
+    NestedLoopJoinPlan,
+)
+
+
+def _segment_lowerable(plan: PlanNode) -> bool:
+    """Whether an entire subtree is an unranked (``P = φ``) segment made
+    exclusively of operators with batch equivalents."""
+    if not isinstance(plan, _BATCHABLE):
+        return False
+    if plan.rank_predicates:
+        return False
+    return all(_segment_lowerable(child) for child in plan.children)
+
+
+def _build_batch(plan: PlanNode) -> BatchOperator:
+    """Instantiate the batch-operator tree for a lowerable descriptor."""
+    if isinstance(plan, SeqScanPlan):
+        return BatchScan(plan.table)
+    if isinstance(plan, ColumnOrderScanPlan):
+        return BatchColumnOrderScan(plan.table, plan.column)
+    if isinstance(plan, FilterPlan):
+        return BatchFilter(_build_batch(plan.children[0]), plan.condition)
+    if isinstance(plan, ProjectPlan):
+        return BatchProject(_build_batch(plan.children[0]), plan.columns)
+    if isinstance(plan, HashJoinPlan):
+        return BatchHashJoin(
+            _build_batch(plan.children[0]),
+            _build_batch(plan.children[1]),
+            plan.left_key,
+            plan.right_key,
+        )
+    if isinstance(plan, SortMergeJoinPlan):
+        return BatchSortMergeJoin(
+            _build_batch(plan.children[0]),
+            _build_batch(plan.children[1]),
+            plan.left_key,
+            plan.right_key,
+        )
+    if isinstance(plan, NestedLoopJoinPlan):
+        return BatchNestedLoopJoin(
+            _build_batch(plan.children[0]),
+            _build_batch(plan.children[1]),
+            plan.condition,
+        )
+    if isinstance(plan, SortPlan):
+        return BatchSort(_build_batch(plan.children[0]))
+    raise TypeError(f"no batch equivalent for {plan.label()}")
+
+
+class BatchSegmentPlan(PlanNode):
+    """A maximal ``P = φ`` subtree lowered onto the batched columnar path.
+
+    Wraps the original row-mode descriptor subtree (``inner``); building
+    produces the equivalent batch-operator tree topped by the
+    :class:`~repro.execution.batch.BatchToRow` frontier adapter, so the
+    surrounding plan still sees an ordinary
+    :class:`~repro.execution.iterator.PhysicalOperator`.
+    """
+
+    def __init__(self, inner: PlanNode):
+        super().__init__()
+        self.inner = inner
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return self.inner.tables
+
+    @property
+    def rank_predicates(self) -> frozenset[str]:
+        return self.inner.rank_predicates
+
+    @property
+    def column_order(self) -> str | None:
+        return self.inner.column_order
+
+    @property
+    def is_ranked(self) -> bool:
+        return self.inner.is_ranked
+
+    def build(self) -> PhysicalOperator:
+        return BatchToRow(_build_batch(self.inner))
+
+    def label(self) -> str:
+        return "batch"
+
+    def fingerprint(self) -> str:
+        return f"batch({self.inner.fingerprint()})"
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + "batch segment"]
+        lines.append(self.inner.explain(indent + 1))
+        return "\n".join(lines)
+
+    def walk(self):
+        yield self
+        yield from self.inner.walk()
+
+
+def lower_to_batch(plan: PlanNode) -> PlanNode:
+    """Lower every maximal ``P = φ`` segment of ``plan`` to batch execution.
+
+    Walks the descriptor tree top-down and wraps each maximal unranked
+    subtree in a :class:`BatchSegmentPlan`.  A blocking :class:`SortPlan`
+    whose *input* is such a segment is the segment's frontier: it lowers to
+    :class:`~repro.execution.batch.BatchSort`, which evaluates the complete
+    scoring function over column vectors before emitting in rank order —
+    the materialize-then-sort shape of traditional plans, executed in bulk.
+    Rank-aware operators are never absorbed into a segment, and λ_k stays
+    in row mode so consumer-side contracts (cursors, limit stripping,
+    top-k hints) are unchanged.
+
+    Nodes are treated as immutable: rewritten interior nodes are shallow
+    copies with new child tuples, so a cached row-mode plan and its lowered
+    twin can coexist.
+    """
+    if isinstance(plan, SortPlan) and _segment_lowerable(plan.children[0]):
+        return BatchSegmentPlan(plan)
+    if _segment_lowerable(plan):
+        return BatchSegmentPlan(plan)
+    if not plan.children:
+        return plan
+    lowered = tuple(lower_to_batch(child) for child in plan.children)
+    if all(new is old for new, old in zip(lowered, plan.children)):
+        return plan
+    clone = copy.copy(plan)
+    clone.children = lowered
+    return clone

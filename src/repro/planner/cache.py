@@ -41,6 +41,16 @@ class CachedPlan:
     k: int = 0
     scoring: ScoringFunction | None = None
     hits: int = 0
+    #: the executable twin of ``plan``: identical shape except that maximal
+    #: ``P = φ`` segments are lowered to batched columnar execution (equals
+    #: ``plan`` when batch execution is off).  ``plan`` stays row-mode for
+    #: explain/analyze introspection.
+    exec_plan: PlanNode | None = None
+
+    @property
+    def executable(self) -> PlanNode:
+        """The plan executions should build (lowered when available)."""
+        return self.exec_plan if self.exec_plan is not None else self.plan
 
 
 @dataclass

@@ -33,7 +33,7 @@ from ..algebra.parameters import bind_slots
 from ..execution.iterator import EvaluatorCache
 from ..optimizer.cardinality import SampleDatabase
 from ..optimizer.enumeration import RankAwareOptimizer, optimize_traditional
-from ..optimizer.plans import PlanNode
+from ..optimizer.plans import PlanNode, lower_to_batch
 from ..optimizer.query_spec import QuerySpec
 from ..optimizer.rule_based import RuleBasedOptimizer
 from ..sql.binder import Binder
@@ -70,9 +70,18 @@ class PlannerMetrics:
 class Planner:
     """The staged query-planning pipeline over one catalog."""
 
-    def __init__(self, catalog: Catalog, cache_capacity: int = 256):
+    def __init__(
+        self,
+        catalog: Catalog,
+        cache_capacity: int = 256,
+        batch_execution: bool = True,
+    ):
         self.catalog = catalog
         self.cache = PlanCache(cache_capacity)
+        #: lower unranked (``P = φ``) plan segments onto the batched
+        #: columnar path (:func:`repro.optimizer.plans.lower_to_batch`);
+        #: cached entries carry the lowered twin alongside the row plan
+        self.batch_execution = batch_execution
         self.metrics = PlannerMetrics()
         #: bumped on every invalidation; cached artifacts carry the value
         #: they were built under and are stale once it moves on
@@ -191,6 +200,7 @@ class Planner:
             generation=self.generation,
             k=spec.k,
             scoring=spec.scoring,
+            exec_plan=lower_to_batch(plan) if self.batch_execution else None,
         )
         if use_cache:
             self.cache.put(entry)

@@ -179,7 +179,8 @@ class PreparedQuery:
         plan_cached = self._hit or self._ran
         self._ran = True
         wanted = entry.k if k is None else k
-        plan = entry.plan if wanted <= entry.k else strip_limit(entry.plan)
+        executable = entry.executable
+        plan = executable if wanted <= entry.k else strip_limit(executable)
         return self._db.execute(
             plan,
             entry.scoring,
@@ -201,7 +202,9 @@ class PreparedQuery:
 
         entry = self._refresh(params)
         bind_slots(entry.spec.parameters, params)
-        unlimited = strip_limit(entry.plan)
+        # Stripping the λ also strips its top-k hint, so a lowered
+        # BatchSort below delivers the full ordering the cursor needs.
+        unlimited = strip_limit(entry.executable)
         context = ExecutionContext(
             self._db.catalog, entry.scoring, evaluators=entry.evaluators
         )

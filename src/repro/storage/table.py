@@ -4,10 +4,19 @@ A :class:`Table` is an append-only heap of rows with a fixed schema.  It is
 the unit the catalog manages and scans read from.  Secondary indexes
 (:mod:`repro.storage.index`) are registered on the table and kept in sync on
 insert.
+
+Besides the row heap, a table maintains a lazily-built *columnar view*
+(:meth:`Table.columns`): one Python list per column, parallel to the heap,
+plus the row-id and row-object vectors.  The batched execution path
+(:mod:`repro.execution.batch`) reads this view so unranked plan segments
+can move whole column vectors instead of one :class:`Row` per operator
+call.  The view is a cached snapshot — any insert invalidates it, and the
+next :meth:`columns` call rebuilds it from the heap.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from .row import Row
@@ -15,6 +24,25 @@ from .schema import Schema, SchemaError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .index import Index
+
+
+@dataclass(frozen=True)
+class ColumnarView:
+    """An immutable columnar snapshot of a table's heap.
+
+    ``columns[i]`` is the full vector of column ``i``'s values in heap
+    order; ``rids`` and ``rows`` are the parallel identity and row-object
+    vectors.  All vectors share indices with each other and with the heap
+    ordinals at snapshot time.
+    """
+
+    schema: Schema
+    columns: tuple[list, ...]
+    rids: list[tuple[tuple[str, int], ...]]
+    rows: list[Row]
+
+    def __len__(self) -> int:
+        return len(self.rows)
 
 
 class Table:
@@ -27,6 +55,7 @@ class Table:
         self.schema = schema.with_table(name)
         self._rows: list[Row] = []
         self._indexes: dict[str, "Index"] = {}
+        self._columnar: ColumnarView | None = None
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -48,17 +77,31 @@ class Table:
         self.schema.validate_row(values)
         row = Row.base(values, self.name, len(self._rows))
         self._rows.append(row)
+        self._columnar = None
         for index in self._indexes.values():
             index.insert(row)
         return row
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
-        """Insert many rows; returns the number inserted."""
-        count = 0
+        """Bulk-insert many rows; returns the number inserted.
+
+        The bulk path validates *every* row before touching table state, so
+        a bad row leaves the table and its indexes unchanged, then extends
+        the heap in one go and feeds each index a single sorted-merge batch
+        (:meth:`Index.insert_many`) instead of one bisect-insert per row.
+        """
+        base = len(self._rows)
+        staged: list[Row] = []
         for values in rows:
-            self.insert(values)
-            count += 1
-        return count
+            self.schema.validate_row(values)
+            staged.append(Row.base(values, self.name, base + len(staged)))
+        if not staged:
+            return 0
+        self._rows.extend(staged)
+        self._columnar = None
+        for index in self._indexes.values():
+            index.insert_many(staged)
+        return len(staged)
 
     def insert_dicts(self, rows: Iterable[dict[str, Any]]) -> int:
         """Insert rows given as ``{column: value}`` dicts.
@@ -68,16 +111,15 @@ class Table:
         """
         names = self.schema.column_names()
         known = set(names)
-        count = 0
+        staged: list[list[Any]] = []
         for mapping in rows:
             unknown = set(mapping) - known
             if unknown:
                 raise SchemaError(
                     f"unknown columns for table {self.name!r}: {sorted(unknown)}"
                 )
-            self.insert([mapping.get(n) for n in names])
-            count += 1
-        return count
+            staged.append([mapping.get(n) for n in names])
+        return self.insert_many(staged)
 
     def rows(self) -> Iterator[Row]:
         """Iterate over all rows in heap (insertion) order."""
@@ -87,12 +129,33 @@ class Table:
         """Fetch the row with the given heap ordinal."""
         return self._rows[ordinal]
 
+    def columns(self) -> ColumnarView:
+        """The (cached) columnar view of the heap.
+
+        Built on first use after any insert; the returned snapshot is
+        immutable and safe to share across concurrent scans.
+        """
+        view = self._columnar
+        if view is None:
+            rows = list(self._rows)
+            if rows:
+                vectors = tuple(list(v) for v in zip(*(r.values for r in rows)))
+            else:
+                vectors = tuple([] for __ in range(len(self.schema)))
+            view = ColumnarView(
+                schema=self.schema,
+                columns=vectors,
+                rids=[r.rid for r in rows],
+                rows=rows,
+            )
+            self._columnar = view
+        return view
+
     def attach_index(self, index: "Index") -> None:
         """Register a secondary index and backfill it with existing rows."""
         if index.name in self._indexes:
             raise ValueError(f"index {index.name!r} already exists on {self.name!r}")
-        for row in self._rows:
-            index.insert(row)
+        index.insert_many(self._rows)
         self._indexes[index.name] = index
 
     def find_index(self, *, key: str | None = None) -> "Index | None":

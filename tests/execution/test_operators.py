@@ -91,10 +91,17 @@ class TestColumnOrderScan:
         values = [s.row[0] for s in out]
         assert values == sorted(values)
 
-    def test_missing_index_raises(self, paper_db):
+    def test_missing_index_falls_back_to_transient_sort(self, paper_db):
+        # No column index on S.c: the scan builds a transient sorted
+        # iterator (charging the sort's comparisons) instead of raising.
         context = ctx(paper_db)
-        with pytest.raises(RuntimeError):
-            ColumnOrderScan("S", "S.c").open(context)
+        out = run_plan(ColumnOrderScan("S", "S.c"), context)
+        table = paper_db.catalog.table("S")
+        position = table.schema.index_of("S.c")
+        assert [s.row.rid for s in out] == [
+            r.rid for r in sorted(table.rows(), key=lambda r: (r[position], r.rid))
+        ]
+        assert context.metrics.comparisons > 0
 
 
 class TestScanSelect:

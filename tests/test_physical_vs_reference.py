@@ -1,11 +1,17 @@
 """Randomized agreement between the physical engine and the reference
-(materialized) semantics.
+(materialized) semantics, and between the row and batch execution paths.
 
 For randomly generated data and a catalogue of plan shapes — µ chains with
 interleaved filters, rank-joins, set operations — the physical pipeline
 must produce a rank-relation equivalent (same membership, same score order,
 ties free) to the reference evaluator's result for the corresponding
 logical plan.
+
+Row/batch parity is *stricter*: for every workload query and plan shape,
+the lowered (batched columnar) plan must produce the identical sequence —
+same rows, same evaluated scores, same deterministic rid tie order — as
+the row-mode plan it replaces, while rank-aware operators keep emitting
+incrementally.
 """
 
 from __future__ import annotations
@@ -155,3 +161,166 @@ class TestSetOperations:
         assert_physical_matches_reference(
             catalog, scoring, LogicalDifference(ll, lr), RankDifference(pl, pr)
         )
+
+
+# ----------------------------------------------------------------------
+# row / batch execution parity
+# ----------------------------------------------------------------------
+
+from repro.optimizer.plans import (  # noqa: E402
+    BatchSegmentPlan,
+    MuPlan,
+    RankScanPlan,
+    ScanSelectPlan,
+    lower_to_batch,
+)
+from repro.workloads import ALL_PLANS, WorkloadConfig, build_workload  # noqa: E402
+
+_workloads: dict = {}
+
+
+def parity_workload():
+    """A small (memoized) §6 workload for exhaustive parity runs."""
+    key = "default"
+    if key not in _workloads:
+        _workloads[key] = build_workload(
+            WorkloadConfig(table_size=200, join_selectivity=0.02, k=8, seed=7)
+        )
+    return _workloads[key]
+
+
+def drain(catalog, scoring, plan_node, k=None):
+    """Execute a plan descriptor; return the full observable sequence —
+    (rid, values, evaluated scores) per tuple, in emission order."""
+    context = ExecutionContext(catalog, scoring)
+    out = run_plan(plan_node.build(), context, k=k)
+    return [(s.row.rid, s.row.values, dict(s.scores)) for s in out]
+
+
+def assert_paths_identical(catalog, scoring, plan_node, k=None):
+    """The lowered plan must emit the identical sequence (rows, scores,
+    rid tie order) as its row-mode twin."""
+    lowered = lower_to_batch(plan_node)
+    row_sequence = drain(catalog, scoring, plan_node, k=k)
+    batch_sequence = drain(catalog, scoring, lowered, k=k)
+    assert batch_sequence == row_sequence
+
+
+@pytest.mark.parametrize("plan_name", sorted(ALL_PLANS))
+def test_fig11_plan_parity(plan_name):
+    """All four §6.1 plan shapes: identical rows, scores and tie order."""
+    workload = parity_workload()
+    plan = ALL_PLANS[plan_name](workload)
+    assert_paths_identical(workload.catalog, workload.scoring, plan)
+
+
+@pytest.mark.parametrize("strategy", ["rank-aware", "traditional", "rule-based"])
+def test_workload_query_parity(strategy):
+    """The workload query under every optimizer strategy, both paths."""
+    workload = parity_workload()
+    plan = workload.database.planner.plan(
+        workload.spec, strategy=strategy, sample_ratio=0.2, seed=1
+    )
+    assert_paths_identical(workload.catalog, workload.scoring, plan)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_generated_query_parity_row_vs_batch_database(seed):
+    """End-to-end: the same SQL on a batch-mode and a row-mode Database
+    returns identical rows and scores for every generated query."""
+    from repro.engine.database import Database
+    from repro.storage.schema import DataType
+
+    queries = [
+        "SELECT * FROM L ORDER BY pa(L.x) LIMIT 7",
+        "SELECT * FROM L WHERE L.k > 1 ORDER BY pa(L.x) LIMIT 9",
+        "SELECT * FROM L, R WHERE L.k = R.k ORDER BY pa(L.x) + pb(R.x) LIMIT 6",
+        "SELECT * FROM L, R WHERE L.k = R.k AND R.k < 4 "
+        "ORDER BY pa(L.x) + pb(R.x) LIMIT 12",
+    ]
+
+    def make(batch_execution):
+        db = Database(batch_execution=batch_execution)
+        for name in ("L", "R"):
+            db.create_table(name, [("k", DataType.INT), ("x", DataType.FLOAT)])
+            local = random.Random(seed if name == "L" else seed + 99)
+            db.insert(
+                name,
+                [
+                    (local.randrange(5), round(local.random(), 2))
+                    for __ in range(40)
+                ],
+            )
+        db.register_predicate("pa", ["L.x"], lambda x: x)
+        db.register_predicate("pb", ["R.x"], lambda x: 1 - x)
+        db.analyze()
+        return db
+
+    batch_db = make(True)
+    row_db = make(False)
+    for sql in queries:
+        for strategy in ("rank-aware", "traditional"):
+            got = batch_db.session(strategy=strategy, sample_ratio=0.5, seed=1).execute(sql)
+            want = row_db.session(strategy=strategy, sample_ratio=0.5, seed=1).execute(sql)
+            assert got.rows == want.rows, (sql, strategy)
+            assert got.scores == want.scores, (sql, strategy)
+
+
+class TestLoweringPass:
+    """Unit tests for :func:`lower_to_batch`: batch segments are maximal
+    ``P = φ`` subtrees and never absorb a rank-aware operator."""
+
+    RANK_AWARE = (MuPlan, RankScanPlan, ScanSelectPlan)
+
+    def all_plans(self):
+        workload = parity_workload()
+        plans = [builder(workload) for builder in ALL_PLANS.values()]
+        for strategy in ("rank-aware", "traditional", "rule-based"):
+            plans.append(
+                workload.database.planner.plan(
+                    workload.spec, strategy=strategy, sample_ratio=0.2, seed=1
+                )
+            )
+        return plans
+
+    def test_segments_never_cross_rank_operators(self):
+        from repro.optimizer.plans import SortPlan
+
+        for plan in self.all_plans():
+            lowered = lower_to_batch(plan)
+            for node in lowered.walk():
+                if not isinstance(node, BatchSegmentPlan):
+                    continue
+                inner = node.inner
+                if isinstance(inner, SortPlan):
+                    # Sort is the frontier: it *evaluates* the predicates,
+                    # but its input segment must be P = φ.
+                    inner = inner.children[0]
+                assert not inner.rank_predicates
+                for segment_node in inner.walk():
+                    assert not isinstance(segment_node, self.RANK_AWARE)
+
+    def test_rank_operators_survive_lowering(self):
+        workload = parity_workload()
+        lowered = lower_to_batch(ALL_PLANS["plan2"](workload))
+        kinds = {type(node).__name__ for node in lowered.walk()}
+        assert "MuPlan" in kinds and "HRJNPlan" in kinds
+
+    def test_traditional_plan_lowers_the_sort_segment(self):
+        workload = parity_workload()
+        lowered = lower_to_batch(ALL_PLANS["plan1"](workload))
+        segments = [
+            node for node in lowered.walk() if isinstance(node, BatchSegmentPlan)
+        ]
+        assert len(segments) == 1  # one maximal segment: the whole sort input
+        from repro.optimizer.plans import SortPlan
+
+        assert isinstance(segments[0].inner, SortPlan)
+
+    def test_original_plan_untouched(self):
+        workload = parity_workload()
+        plan = ALL_PLANS["plan1"](workload)
+        before = plan.fingerprint()
+        lowered = lower_to_batch(plan)
+        assert plan.fingerprint() == before
+        assert lowered is not plan
