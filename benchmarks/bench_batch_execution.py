@@ -1,6 +1,8 @@
 """Batched columnar execution vs row-at-a-time Volcano on unranked segments.
 
-The lowering pass (:func:`repro.optimizer.plans.lower_to_batch`) swaps the
+The lowering (:func:`repro.optimizer.plans.lower_to_batch` for the
+unconditional mode, the cost-governed decision of
+:mod:`repro.optimizer.hybrid` under ``batch_execution="auto"``) swaps the
 ``P = φ`` segments of a plan onto the batch operators of
 :mod:`repro.execution.batch`; rank-aware operators stay tuple-at-a-time.
 This bench measures the end-to-end wall-clock effect on the §6.1 plans at
@@ -14,10 +16,15 @@ is *all* unranked segment — the traditional materialize-then-sort plan 1
   lowers the bar via the env var to tolerate shared-runner noise, the
   default demonstrates the paper-target locally).
 * **hybrid (plan 4)** — µ operators above a sort-merge join: only the
-  join subtree lowers, the rank-aware top stays incremental.
+  join subtree lowers, the rank-aware top stays incremental; the µ
+  frontier prescores its predicate vectorized per batch.
+* **auto mode** — the costed decision agrees with the measurements: the
+  bench-scale traditional plan lowers, a tiny-table twin stays row-mode.
+* **NumPy backend** — the same lowered plans with
+  ``REPRO_VECTOR_BACKEND=numpy`` kernels, identical results required.
 
 Every case also checks *parity*: identical rows, scores and rid tie order
-between the two paths, and (for these fully-drained shapes) an identical
+between the paths, and (for these fully-drained shapes) an identical
 simulated cost — batching changes how fast tuples move, not how many.
 
 Run:  pytest benchmarks/bench_batch_execution.py --benchmark-only -q -s
@@ -31,8 +38,10 @@ import time
 import pytest
 
 from repro.execution import ExecutionContext, run_plan
+from repro.execution import vectors
+from repro.execution.batch import BatchToRow
 from repro.optimizer.plans import BatchSegmentPlan, lower_to_batch
-from repro.workloads import ALL_PLANS
+from repro.workloads import ALL_PLANS, WorkloadConfig, build_workload
 
 from .conftest import cached_workload, record_result
 
@@ -137,3 +146,177 @@ def test_rank_aware_plan_untouched(benchmark):
     row_sequence, __, __ = _run(workload, plan, workload.config.k)
     batch_sequence, __, __ = _run(workload, lowered, workload.config.k)
     assert batch_sequence == row_sequence
+
+
+def test_frontier_vectorization_speedup(benchmark):
+    """The vectorized µ frontier: plan 4's µ prescores its predicate per
+    batch inside BatchToRow.  Same results, same charges, measurably less
+    per-tuple dispatch than the unvectorized frontier."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    workload = cached_workload()
+    k = workload.config.k
+    lowered = lower_to_batch(ALL_PLANS["plan4"](workload))
+    on_sequence, on_time, on_metrics = _best_of(workload, lowered, k, rounds=5)
+    original = BatchToRow.request_prescore
+    BatchToRow.request_prescore = lambda self, name: False
+    try:
+        off_sequence, off_time, off_metrics = _best_of(
+            workload, lowered, k, rounds=5
+        )
+    finally:
+        BatchToRow.request_prescore = original
+    assert on_sequence == off_sequence
+    assert on_metrics.simulated_cost == pytest.approx(
+        off_metrics.simulated_cost, rel=1e-9
+    )
+    speedup = off_time / on_time
+    for mode, elapsed, metrics in (
+        ("frontier-unvectorized", off_time, off_metrics),
+        ("frontier-vectorized", on_time, on_metrics),
+    ):
+        record_result(
+            name=f"batch_execution[plan4:{mode}]",
+            plan="plan4",
+            mode=mode,
+            wall_seconds=elapsed,
+            **metrics.summary(),
+        )
+    print(
+        f"\nplan4 frontier: unvectorized {off_time * 1000:.1f} ms -> "
+        f"prescored {on_time * 1000:.1f} ms ({speedup:.2f}x)"
+    )
+    benchmark.extra_info["frontier_speedup"] = speedup
+    # The prescored frontier must never regress the batch path.
+    assert speedup >= 0.9, f"frontier prescore regressed plan4: {speedup:.2f}x"
+
+
+@pytest.mark.skipif(not vectors.numpy_available(), reason="numpy not installed")
+def test_numpy_backend_parity_and_speedup(benchmark):
+    """The NumPy column-vector backend behind the same Batch API: plan 1's
+    lowered twin with vectorized filter/sort/frontier kernels — identical
+    rows, scores, tie order and simulated cost, recorded alongside the
+    pure-python numbers."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    workload = cached_workload()
+    k = workload.config.k
+    lowered = lower_to_batch(ALL_PLANS["plan1"](workload))
+    previous = vectors.backend()
+    try:
+        vectors.set_backend("python")
+        python_sequence, python_time, python_metrics = _best_of(workload, lowered, k)
+        vectors.set_backend("numpy")
+        numpy_sequence, numpy_time, numpy_metrics = _best_of(workload, lowered, k)
+    finally:
+        vectors.set_backend(previous)
+    assert numpy_sequence == python_sequence
+    assert numpy_metrics.simulated_cost == pytest.approx(
+        python_metrics.simulated_cost, rel=1e-9
+    )
+    speedup = python_time / numpy_time
+    record_result(
+        name="batch_execution[plan1:numpy]",
+        plan="plan1",
+        mode="numpy",
+        wall_seconds=numpy_time,
+        **numpy_metrics.summary(),
+    )
+    print(
+        f"\nplan1 batch: python {python_time * 1000:.1f} ms -> numpy "
+        f"{numpy_time * 1000:.1f} ms ({speedup:.2f}x)"
+    )
+    benchmark.extra_info["numpy_speedup"] = speedup
+
+
+def test_auto_mode_decisions_and_parity(benchmark):
+    """``batch_execution="auto"``: the costed decision lowers the
+    bench-scale traditional plan (and matches the unconditional path's
+    results exactly) while a tiny-table twin of the same query stays
+    tuple-at-a-time."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sql = (
+        "SELECT * FROM A, B, C WHERE A.jc1 = B.jc1 AND B.jc2 = C.jc2 "
+        "AND A.b AND B.b ORDER BY f1(A.p1) + f2(A.p2) + f3(B.p1) + "
+        "f4(B.p2) + f5(C.p1) LIMIT 10"
+    )
+
+    # Large (bench-scale) workload: the traditional plan's segment lowers.
+    large = cached_workload()
+    planner = large.database.planner
+    previous_mode = planner.batch_execution
+    try:
+        planner.batch_execution = "auto"
+        entry, __ = planner.prepare(
+            sql, strategy="traditional", sample_ratio=0.05, seed=7, use_cache=False
+        )
+        assert entry.decisions
+        lowered_segments = [
+            n for n in entry.executable.walk() if isinstance(n, BatchSegmentPlan)
+        ]
+        assert lowered_segments, "bench-scale traditional plan must lower"
+        top = lowered_segments[0].decision
+        start = time.perf_counter()
+        auto_result = large.database.execute(
+            entry.executable, entry.scoring, k=entry.k, evaluators=entry.evaluators
+        )
+        auto_time = time.perf_counter() - start
+        # Parity against the pure row-mode twin of the same template.
+        planner.batch_execution = False
+        row_entry, __ = planner.prepare(
+            sql, strategy="traditional", sample_ratio=0.05, seed=7, use_cache=False
+        )
+        row_result = large.database.execute(
+            row_entry.executable, row_entry.scoring, k=row_entry.k
+        )
+        assert auto_result.rows == row_result.rows
+        assert auto_result.scores == row_result.scores
+    finally:
+        planner.batch_execution = previous_mode
+    record_result(
+        name="batch_execution[auto:traditional-large]",
+        mode="auto",
+        decision=top.winner,
+        row_cost_estimate=top.row_cost,
+        batch_cost_estimate=top.batch_cost,
+        wall_seconds=auto_time,
+        **auto_result.metrics.summary(),
+    )
+    print(
+        f"\nauto (large): {top.segment} row est {top.row_cost:,.0f} vs "
+        f"batch est {top.batch_cost:,.0f} -> {top.winner}, "
+        f"executed in {auto_time * 1000:.1f} ms"
+    )
+
+    # Tiny twin: a filtered single-table top-k over 64-row tables — the
+    # same σ-over-scan segment shape that lowers at bench scale stays
+    # tuple-at-a-time under the same pricing.
+    tiny = build_workload(
+        WorkloadConfig(table_size=64, join_selectivity=0.15, k=10, seed=7)
+    )
+    tiny.database.planner.batch_execution = "auto"
+    tiny_sql = "SELECT * FROM A WHERE A.b ORDER BY f1(A.p1) + f2(A.p2) LIMIT 10"
+    tiny_entry, __ = tiny.database.planner.prepare(
+        tiny_sql, strategy="traditional", sample_ratio=0.5, seed=7
+    )
+    assert tiny_entry.decisions, "tiny segment must be priced"
+    row_kept = [d for d in tiny_entry.decisions if d.winner == "row"]
+    assert row_kept, "64-row segments must stay tuple-at-a-time"
+    assert not any(
+        isinstance(n, BatchSegmentPlan) for n in tiny_entry.executable.walk()
+    )
+    record_result(
+        name="batch_execution[auto:traditional-tiny]",
+        mode="auto",
+        decision="row",
+        decisions_total=len(tiny_entry.decisions),
+        decisions_row=len(row_kept),
+        row_cost_estimate=row_kept[0].row_cost,
+        batch_cost_estimate=row_kept[0].batch_cost,
+    )
+    print(
+        f"auto (tiny): {row_kept[0].segment} row est "
+        f"{row_kept[0].row_cost:,.0f} vs batch est "
+        f"{row_kept[0].batch_cost:,.0f} -> row"
+    )
+    benchmark.extra_info.update(
+        {"large_decision": top.winner, "tiny_row_segments": len(row_kept)}
+    )

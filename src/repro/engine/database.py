@@ -35,6 +35,7 @@ so cached plans never go stale.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
@@ -55,6 +56,27 @@ from .result import QueryResult
 ColumnSpec = "str | tuple[str, DataType] | Column"
 
 
+def _default_batch_execution() -> "bool | str":
+    """The engine-wide default execution mode: ``"auto"`` (cost-governed
+    hybrid), overridable via the ``REPRO_BATCH_EXECUTION`` environment
+    variable (``false`` | ``true`` | ``auto``) so whole test suites and CI
+    jobs can pin a mode without touching call sites."""
+    raw = os.environ.get("REPRO_BATCH_EXECUTION")
+    if raw is None:
+        return "auto"
+    value = raw.strip().lower()
+    if value in ("false", "0", "off", "row"):
+        return False
+    if value in ("true", "1", "on", "always"):
+        return True
+    if value == "auto":
+        return "auto"
+    raise ValueError(
+        f"unknown REPRO_BATCH_EXECUTION value {raw!r}; "
+        "expected false, true or auto"
+    )
+
+
 class Database:
     """An in-memory rank-aware relational database.
 
@@ -62,23 +84,41 @@ class Database:
     :meth:`close`, hence ``with Database(...)``) writes the catalog and all
     table data there, so scripts cannot exit with half-written state.
 
-    ``batch_execution`` (default on) lowers unranked (``P = φ``) plan
-    segments onto the batched columnar executor
-    (:mod:`repro.execution.batch`); results, scores and tie order are
-    identical to row mode.  Pass ``batch_execution=False`` to force pure
-    tuple-at-a-time (Volcano) execution everywhere — the row-mode escape
-    hatch for debugging or apples-to-apples operator benchmarking.
+    ``batch_execution`` selects how unranked (``P = φ``) plan segments
+    reach the batched columnar executor (:mod:`repro.execution.batch`);
+    results, scores and tie order are identical in every mode:
+
+    * ``"auto"`` (default) — **cost-governed hybrid execution**: the
+      optimizer prices each segment's row-regime and batch-regime costs in
+      one cost model and lowers only where batch wins, so tiny segments
+      stay tuple-at-a-time while large drained segments run columnar.
+      ``explain`` shows both candidates' costs and the winner per segment.
+    * ``True`` — unconditionally lower every segment (the pre-costed
+      behaviour, kept for benchmarking the decision itself).
+    * ``False`` — pure tuple-at-a-time (Volcano) execution everywhere —
+      the row-mode escape hatch for debugging or apples-to-apples operator
+      benchmarking.
+
+    When omitted, the mode honours the ``REPRO_BATCH_EXECUTION``
+    environment variable (``false`` | ``true`` | ``auto``).
     """
 
     def __init__(
         self,
         persist_dir: "str | Path | None" = None,
-        batch_execution: bool = True,
+        batch_execution: "bool | str | None" = None,
     ) -> None:
+        if batch_execution is None:
+            batch_execution = _default_batch_execution()
         self.catalog = Catalog()
         self.planner = Planner(self.catalog, batch_execution=batch_execution)
         self.persist_dir = Path(persist_dir) if persist_dir is not None else None
         self._closed = False
+
+    @property
+    def batch_execution(self) -> "bool | str":
+        """The engine's execution mode (``False`` | ``True`` | ``"auto"``)."""
+        return self.planner.batch_execution
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -357,8 +397,21 @@ class Database:
         )
 
     def explain(self, query: "str | QuerySpec", **kwargs: Any) -> str:
-        """The optimizer's chosen plan for a query, pretty-printed."""
-        return self.plan(query, **kwargs).explain()
+        """The optimizer's chosen plan for a query, pretty-printed.
+
+        Under ``batch_execution="auto"`` the tree marks every lowered
+        segment (``batch segment (row cost=… vs batch cost=… -> batch)``)
+        and a footer lists the per-segment pricing for segments that
+        stayed row-mode as well — both candidates' costs and which won.
+        """
+        self._check_open()
+        entry, __ = self.planner.prepare(query, strategy="rank-aware", **kwargs)
+        text = entry.plan.explain()
+        if entry.decisions:
+            from ..optimizer.hybrid import render_decisions
+
+            text += "\n" + render_decisions(entry.decisions)
+        return text
 
     def explain_analyze(
         self,
@@ -387,6 +440,7 @@ class Database:
             entry.plan,
             sample=self.planner.sample(sample_ratio, seed),
             seed=seed,
+            decisions=entry.decisions,
         )
         return report.render()
 

@@ -40,6 +40,11 @@ from .rank import Mu
 from .scans import ColumnOrderScan, RankScan, ScanSelect, SeqScan
 from .setops import RankDifference, RankIntersect, RankUnion
 from .sort import Limit, Sort
+from .vectors import (
+    numpy_available,
+    set_backend as set_vector_backend,
+    backend as vector_backend,
+)
 
 __all__ = [
     "BATCH_SIZE",
@@ -85,5 +90,8 @@ __all__ = [
     "SortMergeJoin",
     "collect_plan",
     "explain_physical",
+    "numpy_available",
     "run_plan",
+    "set_vector_backend",
+    "vector_backend",
 ]

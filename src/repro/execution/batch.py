@@ -44,6 +44,7 @@ from ..algebra.predicates import BooleanPredicate
 from ..algebra.rank_relation import ScoredRow
 from ..storage.row import Row
 from ..storage.schema import Schema
+from . import vectors
 from .iterator import ExecutionContext, PhysicalOperator
 from .metrics import OperatorStats
 from .scans import sorted_column_order
@@ -380,6 +381,7 @@ class BatchFilter(BatchOperator):
         self.child = child
         self.condition = condition
         self._evaluator: Evaluator | None = None
+        self._kernel = None
 
     def describe(self) -> str:
         return f"batchFilter({self.condition.name})"
@@ -396,6 +398,7 @@ class BatchFilter(BatchOperator):
     def _open(self) -> None:
         self.child.open(self.context)
         self._evaluator = self.condition.compile(self.child.schema())
+        self._kernel = vectors.boolean_kernel(self.condition, self.child.schema())
 
     def _next_batch(self) -> Batch | None:
         evaluate = self._evaluator
@@ -406,7 +409,7 @@ class BatchFilter(BatchOperator):
         n = len(batch)
         self._record_input(n)
         self.context.metrics.charge_boolean(n, cost=self.condition.cost)
-        keep = [i for i, t in enumerate(batch.tuples()) if evaluate(t)]
+        keep = vectors.keep_indices(self._kernel, evaluate, batch)
         if len(keep) == n:
             return batch
         return batch.select(keep)
@@ -854,19 +857,33 @@ class BatchSort(BatchOperator):
             for name, vector in batch.scores.items():
                 scores.setdefault(name, []).extend(vector)
         n = len(items)
-        for name in scoring.predicate_names:
-            if name in scores and len(scores[name]) == n:
-                continue
-            evaluate, cost = context.evaluators.entry(name, schema)
-            scores[name] = [evaluate(t) for t in items]
-            context.metrics.charge_predicate(cost, n)
+        missing = [
+            name
+            for name in scoring.predicate_names
+            if name not in scores or len(scores[name]) != n
+        ]
+        if missing:
+            # One synthetic batch over the whole materialized input lets
+            # the vector kernels (and the bulk python loop) score each
+            # remaining predicate column-wise in a single pass.
+            whole = Batch(
+                schema,
+                rids,
+                rows=rows if rows is not None else None,
+                values=None if rows is not None else items,
+            )
+            for name in missing:
+                evaluate, cost = context.evaluators.entry(name, schema)
+                kernel = vectors.ranking_kernel(scoring.predicate(name), schema)
+                scores[name] = vectors.score_vector(kernel, evaluate, whole)
+                context.metrics.charge_predicate(cost, n)
         names = scoring.predicate_names
-        vectors = [scores[name] for name in names]
+        score_columns = [scores[name] for name in names]
         # Per-row F via the same upper_bound arithmetic as the row path, so
         # scores (and the sort order they induce) are bit-identical.
         bounds = [
             scoring.upper_bound(dict(zip(names, per_row)))
-            for per_row in zip(*vectors)
+            for per_row in zip(*score_columns)
         ] if n else []
         k = self.fetch_limit
         if k is not None and k < n:
@@ -933,6 +950,27 @@ class BatchToRow(PhysicalOperator):
     Moves are *not* re-charged here — the segment root already charged its
     emitted tuples — so a lowered plan's ``tuples_moved`` stays comparable
     to its row-mode equivalent.
+
+    **Frontier vectorization.**  A rank-aware consumer can push per-tuple
+    predicate work *down into* the adapter, where it runs once per batch
+    instead of once per ``next()``:
+
+    * :meth:`request_prescore` — a directly-enclosing µ registers its
+      ranking predicate; each incoming batch gets the predicate evaluated
+      as one score vector (NumPy-vectorized when the
+      :mod:`~repro.execution.vectors` backend allows, a tight bulk loop
+      otherwise) before any tuple crosses into the row world.  µ's
+      idempotent-input path then consumes the scores without re-evaluating.
+      Only accepted while the segment is unranked (``P = φ``): prescored
+      values ride along as extra score entries, and the adapter's
+      :meth:`bound` / :meth:`predicates` contracts keep describing the
+      *segment's* predicate set, so the consumer's thresholds stay sound
+      (an unranked stream gives no per-tuple order information, prescored
+      or not).
+    * :meth:`request_prefilter` — a directly-enclosing σ registers its
+      Boolean condition; batches are filtered columnar-side before
+      conversion.  Membership-only, order-preserving, and charged here
+      (same evaluation count the row filter would have charged).
     """
 
     kind = "batchSegment"
@@ -943,6 +981,10 @@ class BatchToRow(PhysicalOperator):
         self._pending: list[ScoredRow] = []
         self._position = 0
         self._exhausted = False
+        self._prescore: list[str] = []
+        self._prescore_kernels: dict[str, tuple] = {}
+        self._prefilters: list[BooleanPredicate] = []
+        self._prefilter_compiled: list[tuple] = []
 
     def describe(self) -> str:
         return f"batch[{self.source.describe()}]"
@@ -959,9 +1001,85 @@ class BatchToRow(PhysicalOperator):
     def column_order(self) -> str | None:
         return self.source.column_order()
 
+    # -- frontier vectorization hooks -----------------------------------
+    def request_prescore(self, predicate_name: str) -> bool:
+        """Register a ranking predicate for per-batch evaluation.
+
+        Accepted only while the segment is unranked (``P = φ``) — above a
+        :class:`BatchSort` frontier every predicate is already evaluated,
+        and a non-empty ``P`` would make the extra score entries interfere
+        with the descending-order contract.
+        """
+        if self.source.predicates():
+            return False
+        if predicate_name not in self._prescore:
+            self._prescore.append(predicate_name)
+            schema = self.source.schema()
+            evaluate, cost = self.context.evaluators.entry(predicate_name, schema)
+            kernel = vectors.ranking_kernel(
+                self.context.scoring.predicate(predicate_name), schema
+            )
+            self._prescore_kernels[predicate_name] = (evaluate, cost, kernel)
+        return True
+
+    def request_prefilter(
+        self, condition: BooleanPredicate, stats: OperatorStats | None = None
+    ) -> bool:
+        """Register a Boolean condition to apply columnar-side per batch.
+
+        ``stats`` is the pushing operator's record: its ``tuples_in`` is
+        charged here for every tuple the prefilter examines, so the σ
+        node's actual-input cardinality reads the same whether or not the
+        condition was pushed down.
+        """
+        schema = self.source.schema()
+        self._prefilters.append(condition)
+        self._prefilter_compiled.append(
+            (
+                condition,
+                condition.compile(schema),
+                vectors.boolean_kernel(condition, schema),
+                stats,
+            )
+        )
+        return True
+
+    def _prepare_batch(self, batch: Batch) -> Batch:
+        """Apply registered prefilters and prescores to an incoming batch."""
+        metrics = self.context.metrics
+        for condition, evaluate, kernel, stats in self._prefilter_compiled:
+            n = len(batch)
+            if not n:
+                break
+            if stats is not None:
+                stats.tuples_in += n
+            metrics.charge_boolean(n, cost=condition.cost)
+            keep = vectors.keep_indices(kernel, evaluate, batch)
+            if len(keep) != n:
+                batch = batch.select(keep)
+        n = len(batch)
+        if n:
+            for name in self._prescore:
+                if name in batch.scores:
+                    continue  # already evaluated below (e.g. by BatchSort)
+                evaluate, cost, kernel = self._prescore_kernels[name]
+                batch.scores[name] = vectors.score_vector(kernel, evaluate, batch)
+                metrics.charge_predicate(cost, n)
+        return batch
+
     def bound(self) -> float:
         if self._position < len(self._pending):
-            return self.context.upper_bound(self._pending[self._position])
+            scored = self._pending[self._position]
+            if self._prescore:
+                # Prescored entries are a consumer-side cache, not part of
+                # this operator's evaluated set P: the bound must keep
+                # describing F_P (= F_φ here), because batch order carries
+                # no information about the prescored predicate.
+                own = self.predicates()
+                return self.context.scoring.upper_bound(
+                    {n: v for n, v in scored.scores.items() if n in own}
+                )
+            return self.context.upper_bound(scored)
         if self._exhausted:
             return -math.inf
         return self.source.bound_hint()
@@ -982,6 +1100,10 @@ class BatchToRow(PhysicalOperator):
         self._pending = []
         self._position = 0
         self._exhausted = False
+        self._prescore = []
+        self._prescore_kernels = {}
+        self._prefilters = []
+        self._prefilter_compiled = []
 
     def _next(self) -> ScoredRow | None:
         while self._position >= len(self._pending):
@@ -992,6 +1114,7 @@ class BatchToRow(PhysicalOperator):
                 self._exhausted = True
                 return None
             self._record_input(len(batch))
+            batch = self._prepare_batch(batch)
             self._pending = batch.to_scored_rows()
             self._position = 0
         scored = self._pending[self._position]

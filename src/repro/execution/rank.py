@@ -51,6 +51,10 @@ class Mu(PhysicalOperator):
         self._queue = RankingQueue()
         self._input_exhausted = False
         self._last_input_bound = math.inf
+        #: whether the child (a BatchToRow frontier) evaluates this µ's
+        #: predicate vectorized per batch before tuples cross into the
+        #: row world (see PhysicalOperator.request_prescore)
+        self._prescored = False
 
     def describe(self) -> str:
         return f"rank_{self.predicate_name}"
@@ -81,6 +85,15 @@ class Mu(PhysicalOperator):
         self._queue = RankingQueue()
         self._input_exhausted = False
         self._last_input_bound = math.inf
+        # Vectorized frontier: when the input is a BatchToRow adapter over
+        # an unranked (P = φ) segment, have it evaluate this µ's predicate
+        # columnar per batch — the idempotent-input path below then reads
+        # the score instead of re-evaluating per tuple.
+        self._prescored = False
+        if self.predicate_name not in self.child.predicates():
+            request = getattr(self.child, "request_prescore", None)
+            if request is not None:
+                self._prescored = bool(request(self.predicate_name))
 
     def _next(self) -> ScoredRow | None:
         context = self.context
@@ -100,7 +113,14 @@ class Mu(PhysicalOperator):
             self._record_input()
             # The drawn tuple's F_P (before applying p) bounds every future
             # input tuple, because the input arrives in F_P order.
-            self._last_input_bound = context.upper_bound(scored)
+            if self._prescored:
+                # Prescoring only happens over a P = φ frontier: the score
+                # riding along with the drawn tuple is a cache, not order
+                # information, so the input threshold stays F_φ — exactly
+                # what the row path would compute from the scoreless tuple.
+                self._last_input_bound = context.scoring.max_possible()
+            else:
+                self._last_input_bound = context.upper_bound(scored)
             if self.predicate_name in scored.scores:
                 # Predicate already evaluated below (idempotent µ).
                 updated = scored

@@ -14,7 +14,9 @@ from .enumeration import (
     RankAwareOptimizer,
     optimize_traditional,
 )
+from .hybrid import SegmentDecision, decide_batch_lowering, render_decisions
 from .plans import (
+    BatchSegmentPlan,
     ColumnOrderScanPlan,
     FilterPlan,
     HRJNPlan,
@@ -69,8 +71,12 @@ __all__ = [
     "explain_analyze",
     "SampleRun",
     "ScanSelectPlan",
+    "BatchSegmentPlan",
+    "SegmentDecision",
     "SeqScanPlan",
     "SortMergeJoinPlan",
     "SortPlan",
+    "decide_batch_lowering",
     "optimize_traditional",
+    "render_decisions",
 ]

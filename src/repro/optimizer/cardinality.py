@@ -36,7 +36,7 @@ from ..algebra.rank_relation import rank_order_key, ScoredRow
 from ..storage.catalog import Catalog
 from ..storage.index import ColumnIndex, MultiKeyIndex, RankIndex
 from ..execution.iterator import ExecutionContext
-from .plans import PlanNode
+from .plans import BatchSegmentPlan, PlanNode
 from .query_spec import QuerySpec
 
 DEFAULT_SAMPLE_RATIO = 0.001
@@ -204,6 +204,11 @@ class CardinalityEstimator:
         return self._run(plan).outputs_above_cutoff
 
     def _run(self, plan: PlanNode) -> SampleRun:
+        # A lowered segment produces the identical tuples as its row-mode
+        # twin; estimate (and memoize) through the wrapper so the batch
+        # alternative never re-executes a subplan on the sample.
+        while isinstance(plan, BatchSegmentPlan):
+            plan = plan.inner
         key = plan.fingerprint()
         if key in self._memo:
             return self._memo[key]

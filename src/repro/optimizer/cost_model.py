@@ -23,6 +23,7 @@ every tuple at the maximal score, so any buffering consumer drains it.
 from __future__ import annotations
 
 from ..algebra.predicates import BooleanPredicate, ScoringFunction
+from ..execution.batch import BATCH_SIZE
 from ..execution.metrics import (
     BOOLEAN_EVAL_UNIT,
     COMPARE_UNIT,
@@ -33,6 +34,7 @@ from ..execution.metrics import (
 from ..storage.catalog import Catalog
 from .cardinality import CardinalityEstimator, SampleDatabase
 from .plans import (
+    BatchSegmentPlan,
     ColumnOrderScanPlan,
     FilterPlan,
     HRJNPlan,
@@ -60,6 +62,36 @@ import math
 DEFAULT_JOIN_SELECTIVITY = 0.1
 #: Per-tuple priority-queue maintenance cost inside buffering operators.
 QUEUE_UNIT = 0.02
+
+# ---------------------------------------------------------------------------
+# Batch-regime units.
+#
+# The *simulated* runtime cost (execution/metrics.py) is deliberately
+# identical row-vs-batch: batching changes how fast tuples move, not how
+# many operations happen.  What the batch path removes is per-tuple
+# *dispatch* — one Python operator call, one metrics charge, one ScoredRow
+# per tuple — which the row regime's ``MOVE_UNIT`` stands in for.  The
+# batch regime replaces that per-tuple term with a much smaller bulk
+# handling cost plus per-batch and per-segment fixed overheads, calibrated
+# against the wall-clock ratios measured by bench_batch_execution.py
+# (~5× on move-dominated plans).  These units exist so the optimizer can
+# price the two execution regimes against each other; they are never
+# charged at runtime.
+# ---------------------------------------------------------------------------
+
+#: per-tuple bulk handling inside a batch operator (vs MOVE_UNIT per tuple
+#: of row-mode dispatch — the ~5× measured batching advantage)
+BATCH_TUPLE_UNIT = 0.01
+#: per-batch (≤ BATCH_SIZE tuples) operator dispatch
+BATCH_DISPATCH_UNIT = 0.5
+#: fixed per-segment overhead: columnar-view access, batch-operator tree
+#: construction, first-batch warmup.  Deliberately conservative: segments
+#: whose measured gain sits inside benchmark noise (bare scans, tuples in
+#: the low hundreds) stay on the simpler row path.
+BATCH_SETUP_UNIT = 6.0
+#: per tuple crossing the BatchToRow frontier back into the row world
+#: (ScoredRow re-materialization)
+FRONTIER_TUPLE_UNIT = 0.015
 
 _BLOCKING = (SortPlan, SortMergeJoinPlan, HashJoinPlan, NestedLoopJoinPlan)
 
@@ -151,6 +183,9 @@ class CostModel:
         return float(self.catalog.table(table).row_count)
 
     def _full(self, plan: PlanNode) -> float:
+        if isinstance(plan, BatchSegmentPlan):
+            # The lowered twin produces the identical tuples.
+            return self.full_cardinality(plan.inner)
         if isinstance(plan, (SeqScanPlan, RankScanPlan, ColumnOrderScanPlan)):
             return self._table_size(plan.table)
         if isinstance(plan, ScanSelectPlan):
@@ -213,6 +248,14 @@ class CostModel:
         return self.scoring.predicate(name).cost
 
     def _cost_inner(self, plan: PlanNode, drained: bool) -> float:
+        if isinstance(plan, BatchSegmentPlan):
+            # The batch-regime alternative: the whole segment runs on the
+            # columnar path, then every emitted tuple crosses the
+            # BatchToRow frontier back into the row world.
+            inner_cost = self._batch_cost(plan.inner, drained)
+            n_out = self.production(plan, drained)
+            return inner_cost + BATCH_SETUP_UNIT + n_out * FRONTIER_TUPLE_UNIT
+
         child_drained = drained or isinstance(plan, _BLOCKING)
         children_cost = sum(self._cost(c, child_drained) for c in plan.children)
 
@@ -307,3 +350,95 @@ class CostModel:
             )
 
         raise TypeError(f"unknown plan node: {type(plan).__name__}")
+
+    # ------------------------------------------------------------------
+    # batch-regime cost (the columnar-path twin of _cost_inner)
+    # ------------------------------------------------------------------
+    def _batch_overhead(self, n: float) -> float:
+        """Dispatch + bulk handling for ``n`` tuples consumed in batches —
+        the batch regime's substitute for ``n × MOVE_UNIT``."""
+        batches = math.ceil(n / BATCH_SIZE) if n > 0 else 0
+        return batches * BATCH_DISPATCH_UNIT + n * BATCH_TUPLE_UNIT
+
+    def batch_segment_cost(self, plan: PlanNode, drained: bool = False) -> float:
+        """Cost of running a lowerable segment on the batched columnar
+        path, *excluding* the per-segment setup and frontier charges (those
+        belong to the enclosing :class:`BatchSegmentPlan` node)."""
+        return self._batch_cost(plan, drained)
+
+    def _batch_cost(self, plan: PlanNode, drained: bool) -> float:
+        key = ("batch", plan.fingerprint(), drained)
+        if key in self._cost_memo:
+            return self._cost_memo[key]
+        value = self._batch_cost_inner(plan, drained)
+        self._cost_memo[key] = value
+        return value
+
+    def _batch_cost_inner(self, plan: PlanNode, drained: bool) -> float:
+        if isinstance(plan, BatchSegmentPlan):
+            # Nested wrappers dissolve inside an enclosing segment: one
+            # pipeline, one frontier — no extra setup or conversion.
+            return self._batch_cost(plan.inner, drained)
+
+        child_drained = drained or isinstance(plan, _BLOCKING)
+        children_cost = sum(self._batch_cost(c, child_drained) for c in plan.children)
+
+        if isinstance(plan, (SeqScanPlan, ColumnOrderScanPlan)):
+            n = self.production(plan, drained)
+            batches = math.ceil(n / BATCH_SIZE) if n > 0 else 0
+            return n * SCAN_UNIT + batches * BATCH_DISPATCH_UNIT
+
+        if isinstance(plan, FilterPlan):
+            n_in = self._consumed(plan.children[0], child_drained)
+            return children_cost + n_in * plan.condition.cost + self._batch_overhead(n_in)
+
+        if isinstance(plan, ProjectPlan):
+            n_in = self._consumed(plan.children[0], child_drained)
+            return children_cost + self._batch_overhead(n_in)
+
+        if isinstance(plan, SortPlan):
+            n_in = self.full_cardinality(plan.children[0])
+            missing = frozenset(self.scoring.predicate_names) - plan.children[0].rank_predicates
+            predicate_cost = sum(self._predicate_cost(name) for name in missing)
+            sort_cost = n_in * max(1.0, math.log2(n_in or 1)) * COMPARE_UNIT
+            return children_cost + n_in * predicate_cost + self._batch_overhead(n_in) + sort_cost
+
+        if isinstance(plan, SortMergeJoinPlan):
+            left, right = plan.children
+            n_left = self.full_cardinality(left)
+            n_right = self.full_cardinality(right)
+            sort_cost = 0.0
+            for child, key, n in (
+                (left, plan.left_key, n_left),
+                (right, plan.right_key, n_right),
+            ):
+                if not self._order_matches(child.column_order, key):
+                    sort_cost += n * max(1.0, math.log2(n or 1)) * COMPARE_UNIT
+            pairs = self.full_cardinality(plan)
+            return children_cost + sort_cost + self._batch_overhead(n_left + n_right) + (
+                pairs * JOIN_PAIR_UNIT
+            )
+
+        if isinstance(plan, HashJoinPlan):
+            left, right = plan.children
+            n_left = self.full_cardinality(left)
+            n_right = self.full_cardinality(right)
+            pairs = self.full_cardinality(plan)
+            return children_cost + self._batch_overhead(n_left + n_right) + (
+                pairs * JOIN_PAIR_UNIT
+            )
+
+        if isinstance(plan, NestedLoopJoinPlan):
+            left, right = plan.children
+            n_left = self.full_cardinality(left)
+            n_right = self.full_cardinality(right)
+            pairs = n_left * n_right
+            extra = BOOLEAN_EVAL_UNIT if plan.condition else 0.0
+            # Pair examination dominates either way (the row formula has no
+            # per-input move term); only the batch dispatch granularity
+            # differs, and it is negligible against n_left × n_right.
+            return children_cost + pairs * (JOIN_PAIR_UNIT + extra)
+
+        raise TypeError(
+            f"no batch-regime cost for plan node: {type(plan).__name__}"
+        )

@@ -36,6 +36,7 @@ from ..storage.index import ColumnIndex, MultiKeyIndex, RankIndex
 from .cardinality import CardinalityEstimator, SampleDatabase
 from .cost_model import CostModel
 from .plans import (
+    BatchSegmentPlan,
     ColumnOrderScanPlan,
     FilterPlan,
     HRJNPlan,
@@ -51,6 +52,7 @@ from .plans import (
     SeqScanPlan,
     SortMergeJoinPlan,
     SortPlan,
+    segment_lowerable,
 )
 from .query_spec import JoinCondition, QuerySpec
 
@@ -95,6 +97,17 @@ class RankAwareOptimizer:
         enumeration dimension (signature component ``SB``), so expensive
         filters can be scheduled anywhere — interleaved with µ operators or
         deferred above joins — instead of always pushed to the scans.
+    batch_execution:
+        ``"auto"`` makes batch lowering a *fourth costed decision* inside
+        the DP: every generated plan that is a pure ``P = φ`` segment also
+        spawns a :class:`~repro.optimizer.plans.BatchSegmentPlan`
+        alternative, priced by the same cost model (batch-regime dispatch
+        rates, per-segment setup, BatchToRow frontier) and competing in the
+        same memo bucket — so the choice between tuple-at-a-time and bulk
+        columnar execution is made per segment, per signature, and can in
+        turn shift join-order and µ-scheduling decisions.  The default
+        (``False``) keeps enumeration purely row-mode (lowering, if any,
+        happens in a later pass).
     """
 
     def __init__(
@@ -110,6 +123,7 @@ class RankAwareOptimizer:
         enumerate_selections: bool = False,
         threshold_mode: str = "drawn",
         allow_cartesian: bool = False,
+        batch_execution: "bool | str" = False,
     ):
         self.catalog = catalog
         self.spec = spec
@@ -123,6 +137,8 @@ class RankAwareOptimizer:
         self.enumerate_selections = enumerate_selections
         self.threshold_mode = threshold_mode
         self.allow_cartesian = allow_cartesian
+        #: "auto" prices BatchSegmentPlan alternatives during enumeration
+        self.batch_execution = batch_execution
         #: memo: signature -> {physical_key -> Candidate}
         self.memo: dict[Signature, dict[tuple, Candidate]] = {}
         #: number of plans generated (for enumeration-efficiency reports)
@@ -292,14 +308,30 @@ class RankAwareOptimizer:
         sb: frozenset[str],
         plan: PlanNode,
     ) -> None:
-        """Cost a generated plan and keep it if it wins its physical class."""
-        self.plans_generated += 1
-        candidate = Candidate(plan, self.cost_model.cost(plan))
+        """Cost a generated plan and keep it if it wins its physical class.
+
+        Under ``batch_execution="auto"`` a plan that is a pure ``P = φ``
+        segment also spawns its lowered (BatchSegmentPlan) alternative.
+        The wrapper shares the row plan's signature and physical
+        properties, so the two compete in the same bucket and only the
+        cheaper execution regime survives — batch lowering decided by the
+        DP, per segment.
+        """
+        alternatives = [plan]
+        if (
+            self.batch_execution == "auto"
+            and not isinstance(plan, BatchSegmentPlan)
+            and segment_lowerable(plan)
+        ):
+            alternatives.append(BatchSegmentPlan(plan))
         bucket = self.memo.setdefault((sr, sp, sb), {})
-        key = candidate.physical_key
-        incumbent = bucket.get(key)
-        if incumbent is None or candidate.cost < incumbent.cost:
-            bucket[key] = candidate
+        for alternative in alternatives:
+            self.plans_generated += 1
+            candidate = Candidate(alternative, self.cost_model.cost(alternative))
+            key = candidate.physical_key
+            incumbent = bucket.get(key)
+            if incumbent is None or candidate.cost < incumbent.cost:
+                bucket[key] = candidate
 
     # ------------------------------------------------------------------
     # plan constructors
@@ -507,6 +539,13 @@ class RankAwareOptimizer:
             for candidate in self._candidates(*signature):
                 plan = SortPlan(candidate.plan, all_predicates)
                 out.append(Candidate(plan, self.cost_model.cost(plan)))
+                if self.batch_execution == "auto" and segment_lowerable(
+                    plan.children[0]
+                ):
+                    # The batch twin of the materialize-then-sort shape:
+                    # the sort is the segment's frontier (BatchSort).
+                    wrapped = BatchSegmentPlan(plan)
+                    out.append(Candidate(wrapped, self.cost_model.cost(wrapped)))
         return out
 
 

@@ -19,11 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..algebra.predicates import ScoringFunction
+from ..execution.batch import BatchOperator, BatchToRow
 from ..execution.iterator import ExecutionContext, PhysicalOperator
 from ..storage.catalog import Catalog
 from .cardinality import CardinalityEstimator, SampleDatabase
 from .cost_model import CostModel
-from .plans import PlanNode
+from .plans import BatchSegmentPlan, PlanNode, SortPlan
 from .query_spec import QuerySpec
 
 
@@ -46,6 +47,8 @@ class AnalyzeReport:
     nodes: list[NodeReport]
     returned: int
     metrics_summary: dict
+    #: per-segment row-vs-batch pricing records (auto mode), if any
+    decisions: "list | None" = None
 
     def render(self) -> str:
         """Pretty-print the annotated plan tree."""
@@ -60,6 +63,10 @@ class AnalyzeReport:
                 f"(est rows={node.estimated_rows:,.0f} cost={node.estimated_cost:,.0f})"
                 f"  (actual in={node.actual_in} out={node.actual_out})"
             )
+        if self.decisions:
+            from .hybrid import render_decisions
+
+            lines.append(render_decisions(self.decisions))
         lines.append(
             f"returned {self.returned} rows; "
             f"measured cost {self.metrics_summary['simulated_cost']:,.1f} units, "
@@ -77,8 +84,16 @@ def explain_analyze(
     sample: SampleDatabase | None = None,
     sample_ratio: float = 0.01,
     seed: int = 0,
+    decisions: "list | None" = None,
 ) -> AnalyzeReport:
-    """Execute ``plan`` and report estimated-vs-actual per operator."""
+    """Execute ``plan`` and report estimated-vs-actual per operator.
+
+    ``plan`` may contain lowered segments (:class:`BatchSegmentPlan`) —
+    the report descends through the ``BatchToRow`` frontier into the batch
+    operator tree, so per-operator actuals stay visible on the columnar
+    path too.  ``decisions`` (the auto mode's per-segment pricing records)
+    are rendered as a footer when supplied.
+    """
     estimator = CardinalityEstimator(
         catalog, spec, sample=sample, ratio=sample_ratio, seed=seed
     )
@@ -98,20 +113,25 @@ def explain_analyze(
         _collect(plan, root, 0, estimator, cost_model, nodes)
     finally:
         root.close()
-    return AnalyzeReport(nodes, returned, context.metrics.summary())
+    return AnalyzeReport(nodes, returned, context.metrics.summary(), decisions)
 
 
 def _collect(
     plan: PlanNode,
-    operator: PhysicalOperator,
+    operator: "PhysicalOperator | BatchOperator",
     depth: int,
     estimator: CardinalityEstimator,
     cost_model: CostModel,
     out: list[NodeReport],
 ) -> None:
+    label = plan.label()
+    if isinstance(plan, BatchSegmentPlan):
+        label = "batch segment"
+        if plan.decision is not None:
+            label += f" ({plan.decision.summary()})"
     out.append(
         NodeReport(
-            label=plan.label(),
+            label=label,
             depth=depth,
             estimated_rows=estimator.estimate(plan),
             estimated_cost=cost_model.cost(plan),
@@ -119,5 +139,11 @@ def _collect(
             actual_out=operator.stats.tuples_out,
         )
     )
+    if isinstance(plan, BatchSegmentPlan) and isinstance(operator, BatchToRow):
+        # Descend through the frontier into the batch operator tree; the
+        # descriptor subtree and the built operators are shape-identical
+        # (a Sort frontier maps onto BatchSort).
+        _collect(plan.inner, operator.source, depth + 1, estimator, cost_model, out)
+        return
     for child_plan, child_operator in zip(plan.children, operator.children()):
         _collect(child_plan, child_operator, depth + 1, estimator, cost_model, out)

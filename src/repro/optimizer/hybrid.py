@@ -1,0 +1,153 @@
+"""Cost-governed hybrid execution: batch lowering as an optimizer decision.
+
+The batched columnar path (:mod:`repro.execution.batch`) used to be applied
+by an unconditional post-pass — every ``P = φ`` segment was lowered, always.
+That contradicts the paper's central argument: the optimizer should *price*
+alternative execution strategies in one cost model and pick per plan, the
+same way it prices rank-aware against traditional plans.  This module is
+the pricing pass for the row-vs-batch dimension:
+
+* :class:`SegmentDecision` — one priced comparison: a maximal ``P = φ``
+  segment, its estimated row-regime and batch-regime costs, and the winner;
+* :func:`decide_batch_lowering` — walk a physical plan top-down, find every
+  maximal lowerable segment (exactly the segments the unconditional
+  :func:`~repro.optimizer.plans.lower_to_batch` pass would lower), compare
+  the two regimes under the plan's own :class:`~repro.optimizer.cost_model.CostModel`,
+  and wrap the segment in a :class:`~repro.optimizer.plans.BatchSegmentPlan`
+  only when the batch regime is estimated cheaper.
+
+Small segments stay tuple-at-a-time: the per-segment setup and the
+per-tuple ``BatchToRow`` frontier conversion (``BATCH_SETUP_UNIT``,
+``FRONTIER_TUPLE_UNIT``) outweigh the dispatch savings below a few hundred
+tuples.  Large drained segments lower: the bulk regime replaces row-mode
+per-tuple dispatch (``MOVE_UNIT``) with per-batch dispatch plus a ~5×
+smaller per-tuple handling cost.
+
+The pass also runs over plans the enumerator already decided (its
+``batch_execution="auto"`` knob prices :class:`BatchSegmentPlan`
+alternatives *during* the DP): existing wrappers are re-priced and
+annotated, never re-wrapped, so the recorded decisions always reflect the
+one cost model that produced the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cost_model import CostModel
+from .plans import (
+    BatchSegmentPlan,
+    PlanNode,
+    SortPlan,
+    segment_lowerable,
+)
+
+import copy
+
+
+@dataclass
+class SegmentDecision:
+    """One priced row-vs-batch comparison for a maximal ``P = φ`` segment."""
+
+    #: label of the segment's root operator (matches the plan tree)
+    segment: str
+    #: estimated cost of executing the segment tuple-at-a-time
+    row_cost: float
+    #: estimated cost of the lowered twin (bulk operators + BatchToRow
+    #: frontier + per-segment setup)
+    batch_cost: float
+
+    @property
+    def lowered(self) -> bool:
+        return self.batch_cost < self.row_cost
+
+    @property
+    def winner(self) -> str:
+        return "batch" if self.lowered else "row"
+
+    def summary(self) -> str:
+        return (
+            f"row cost={self.row_cost:,.0f} vs batch cost={self.batch_cost:,.0f}"
+            f" -> {self.winner}"
+        )
+
+
+def price_segment(segment: PlanNode, cost_model: CostModel) -> SegmentDecision:
+    """Price both execution regimes for one lowerable segment.
+
+    ``segment`` may already be wrapped in a :class:`BatchSegmentPlan` (the
+    enumerator's doing); the comparison is always row twin vs batch twin.
+    """
+    inner = segment.inner if isinstance(segment, BatchSegmentPlan) else segment
+    wrapped = segment if isinstance(segment, BatchSegmentPlan) else BatchSegmentPlan(inner)
+    return SegmentDecision(
+        segment=inner.label(),
+        row_cost=cost_model.cost(inner),
+        batch_cost=cost_model.cost(wrapped),
+    )
+
+
+def decide_batch_lowering(
+    plan: PlanNode, cost_model: CostModel
+) -> tuple[PlanNode, list[SegmentDecision]]:
+    """Lower each maximal ``P = φ`` segment of ``plan`` iff batch wins.
+
+    Returns the decided plan (nodes treated as immutable — rewritten
+    interior nodes are shallow copies, as in
+    :func:`~repro.optimizer.plans.lower_to_batch`) and the list of
+    per-segment decisions, in plan order.  Segments the enumerator already
+    wrapped are kept (and annotated); segments it left row-mode are priced
+    here — the same cost model reaches the same conclusion, so the pass is
+    a no-op on fully DP-decided plans apart from collecting the records.
+    """
+    decisions: list[SegmentDecision] = []
+    decided = _decide(plan, cost_model, decisions)
+    return decided, decisions
+
+
+def _decide(
+    plan: PlanNode, cost_model: CostModel, decisions: list[SegmentDecision]
+) -> PlanNode:
+    if isinstance(plan, BatchSegmentPlan):
+        # Already decided (by the enumerator or a previous pass): keep, but
+        # record and annotate the comparison that justifies it.
+        decision = price_segment(plan, cost_model)
+        plan.decision = decision
+        decisions.append(decision)
+        return plan
+
+    # Price the largest lowerable candidate rooted here: the whole subtree
+    # when it is a pure ``P = φ`` segment, or the sort-inclusive twin when
+    # a blocking sort sits on such a segment (it lowers to BatchSort).
+    # When the maximal candidate loses, recursion continues below — a
+    # smaller sub-segment may still win on its own (its frontier sits at a
+    # cheaper point of the plan).
+    is_candidate = segment_lowerable(plan) or (
+        isinstance(plan, SortPlan) and segment_lowerable(plan.children[0])
+    )
+    if is_candidate:
+        decision = price_segment(plan, cost_model)
+        decisions.append(decision)
+        if decision.lowered:
+            wrapped = BatchSegmentPlan(plan)
+            wrapped.decision = decision
+            return wrapped
+
+    if not plan.children:
+        return plan
+    decided = tuple(_decide(child, cost_model, decisions) for child in plan.children)
+    if all(new is old for new, old in zip(decided, plan.children)):
+        return plan
+    clone = copy.copy(plan)
+    clone.children = decided
+    return clone
+
+
+def render_decisions(decisions: list[SegmentDecision]) -> str:
+    """The explain footer: every priced segment, both costs, the winner."""
+    if not decisions:
+        return "hybrid execution: no lowerable segments"
+    lines = ["hybrid execution decisions (costed per segment):"]
+    for decision in decisions:
+        lines.append(f"  {decision.segment}: {decision.summary()}")
+    return "\n".join(lines)

@@ -503,7 +503,15 @@ _BATCHABLE = (
 
 def _segment_lowerable(plan: PlanNode) -> bool:
     """Whether an entire subtree is an unranked (``P = φ``) segment made
-    exclusively of operators with batch equivalents."""
+    exclusively of operators with batch equivalents.
+
+    :class:`BatchSegmentPlan` wrappers are transparent: a subtree that was
+    already (partially) lowered — e.g. by the enumerator's per-signature
+    batch alternatives — can be absorbed into a larger segment, where the
+    nested wrapper dissolves (one frontier crossing, not two).
+    """
+    if isinstance(plan, BatchSegmentPlan):
+        return _segment_lowerable(plan.inner)
     if not isinstance(plan, _BATCHABLE):
         return False
     if plan.rank_predicates:
@@ -511,8 +519,18 @@ def _segment_lowerable(plan: PlanNode) -> bool:
     return all(_segment_lowerable(child) for child in plan.children)
 
 
+def segment_lowerable(plan: PlanNode) -> bool:
+    """Public alias of the segment-lowerability test (used by the
+    enumerator and the cost-governed decision pass)."""
+    return _segment_lowerable(plan)
+
+
 def _build_batch(plan: PlanNode) -> BatchOperator:
     """Instantiate the batch-operator tree for a lowerable descriptor."""
+    if isinstance(plan, BatchSegmentPlan):
+        # Nested wrappers dissolve: the enclosing segment is one batch
+        # pipeline with a single BatchToRow frontier at its root.
+        return _build_batch(plan.inner)
     if isinstance(plan, SeqScanPlan):
         return BatchScan(plan.table)
     if isinstance(plan, ColumnOrderScanPlan):
@@ -546,6 +564,21 @@ def _build_batch(plan: PlanNode) -> BatchOperator:
     raise TypeError(f"no batch equivalent for {plan.label()}")
 
 
+def _unwrap_segments(plan: PlanNode) -> PlanNode:
+    """The same subtree with every :class:`BatchSegmentPlan` wrapper
+    replaced by its inner plan (pure; copies only rewritten interiors)."""
+    if isinstance(plan, BatchSegmentPlan):
+        return _unwrap_segments(plan.inner)
+    if not plan.children:
+        return plan
+    unwrapped = tuple(_unwrap_segments(child) for child in plan.children)
+    if all(new is old for new, old in zip(unwrapped, plan.children)):
+        return plan
+    clone = copy.copy(plan)
+    clone.children = unwrapped
+    return clone
+
+
 class BatchSegmentPlan(PlanNode):
     """A maximal ``P = φ`` subtree lowered onto the batched columnar path.
 
@@ -558,7 +591,16 @@ class BatchSegmentPlan(PlanNode):
 
     def __init__(self, inner: PlanNode):
         super().__init__()
-        self.inner = inner
+        # Nested wrappers dissolve eagerly: a segment absorbed into a
+        # larger one is a single batch pipeline with one frontier, and the
+        # descriptor tree should say so (affected interior nodes are
+        # shallow-copied; memo-shared subtrees are never mutated).
+        self.inner = _unwrap_segments(inner)
+        #: cost-governed lowering annotation (set by the decision pass /
+        #: enumerator when the segment was *priced*, not blindly lowered):
+        #: a ``SegmentDecision`` carrying both candidates' estimated costs.
+        #: Purely informational — never part of the fingerprint.
+        self.decision = None
 
     @property
     def tables(self) -> frozenset[str]:
@@ -586,7 +628,10 @@ class BatchSegmentPlan(PlanNode):
         return f"batch({self.inner.fingerprint()})"
 
     def explain(self, indent: int = 0) -> str:
-        lines = ["  " * indent + "batch segment"]
+        head = "batch segment"
+        if self.decision is not None:
+            head += f" ({self.decision.summary()})"
+        lines = ["  " * indent + head]
         lines.append(self.inner.explain(indent + 1))
         return "\n".join(lines)
 
@@ -612,6 +657,8 @@ def lower_to_batch(plan: PlanNode) -> PlanNode:
     copies with new child tuples, so a cached row-mode plan and its lowered
     twin can coexist.
     """
+    if isinstance(plan, BatchSegmentPlan):
+        return plan  # already lowered (idempotent over decided plans)
     if isinstance(plan, SortPlan) and _segment_lowerable(plan.children[0]):
         return BatchSegmentPlan(plan)
     if _segment_lowerable(plan):

@@ -4,9 +4,15 @@ Repeated traffic (the ROADMAP's north star) re-runs the same parameterized
 queries; the two-dimensional ``(SR, SP)`` DP enumeration they pay for is
 identical every time.  The cache stores one :class:`CachedPlan` per
 normalized signature — the chosen :class:`~repro.optimizer.plans.PlanNode`
-plus the compiled-evaluator cache its executions share — with LRU eviction
-and *generation*-based invalidation: any DDL/DML/statistics change bumps the
-owning planner's generation, orphaning every cached entry at once.
+plus the compiled-evaluator cache its executions share — with
+**cost-weighted eviction** and *generation*-based invalidation: any
+DDL/DML/statistics change bumps the owning planner's generation, orphaning
+every cached entry at once.
+
+Eviction weighs recency by how expensive the entry is to rebuild: the
+victim minimizes ``plan_cost / age`` (an old, cheap-to-replan entry goes
+before a slightly-older template whose enumeration took a hundred times
+longer).  With uniform costs this degrades exactly to LRU.
 """
 
 from __future__ import annotations
@@ -41,11 +47,21 @@ class CachedPlan:
     k: int = 0
     scoring: ScoringFunction | None = None
     hits: int = 0
-    #: the executable twin of ``plan``: identical shape except that maximal
-    #: ``P = φ`` segments are lowered to batched columnar execution (equals
-    #: ``plan`` when batch execution is off).  ``plan`` stays row-mode for
-    #: explain/analyze introspection.
+    #: the executable twin of ``plan``.  Under ``batch_execution=True``
+    #: (the unconditional legacy mode) ``plan`` stays row-mode for
+    #: explain/analyze and this carries the blindly-lowered twin; under
+    #: ``"auto"`` the costed decision is part of the chosen plan itself and
+    #: this equals ``plan``; ``None`` means row-mode execution.
     exec_plan: PlanNode | None = None
+    #: per-segment row-vs-batch pricing records
+    #: (:class:`~repro.optimizer.hybrid.SegmentDecision`), populated under
+    #: ``batch_execution="auto"`` — what explain renders
+    decisions: "list | None" = None
+    #: how expensive this entry was to build (measured planning seconds) —
+    #: the weight cost-aware eviction protects it with
+    plan_cost: float = 0.0
+    #: cache-clock stamp of the last touch (maintained by PlanCache)
+    last_used: int = 0
 
     @property
     def executable(self) -> PlanNode:
@@ -78,7 +94,14 @@ class PlanCacheStats:
 
 
 class PlanCache:
-    """An LRU mapping from query signature to :class:`CachedPlan`."""
+    """A cost-weighted LRU mapping from query signature to :class:`CachedPlan`.
+
+    Under pressure the victim is the entry minimizing ``plan_cost / age``
+    (age in cache-clock ticks since the last touch): recency still matters,
+    but an expensive-to-replan template outlives many cheap entries that
+    were touched slightly more recently.  Uniform plan costs reduce the
+    policy to plain LRU (ties break toward the least recently used).
+    """
 
     def __init__(self, capacity: int = 256):
         if capacity < 1:
@@ -86,12 +109,18 @@ class PlanCache:
         self.capacity = capacity
         self.stats = PlanCacheStats()
         self._entries: "OrderedDict[QuerySignature, CachedPlan]" = OrderedDict()
+        #: monotone access clock; every touch stamps the entry
+        self._clock = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, signature: QuerySignature) -> bool:
         return signature in self._entries
+
+    def _touch(self, entry: CachedPlan) -> None:
+        self._clock += 1
+        entry.last_used = self._clock
 
     def get(self, signature: QuerySignature, generation: int) -> CachedPlan | None:
         """The live entry for a signature, or None (miss / stale)."""
@@ -102,6 +131,7 @@ class PlanCache:
             self.stats.misses += 1
             return None
         self._entries.move_to_end(signature)
+        self._touch(entry)
         self.stats.hits += 1
         entry.hits += 1
         return entry
@@ -109,9 +139,27 @@ class PlanCache:
     def put(self, entry: CachedPlan) -> None:
         self._entries[entry.signature] = entry
         self._entries.move_to_end(entry.signature)
+        self._touch(entry)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            del self._entries[self._victim()]
             self.stats.evictions += 1
+
+    def _victim(self) -> QuerySignature:
+        """The signature to evict: minimal ``plan_cost / age``.
+
+        Iteration runs least- to most-recently used and the comparison is
+        strict, so equal scores (e.g. all-zero costs) evict the least
+        recently used entry — the LRU degradation.
+        """
+        best_signature = None
+        best_score = None
+        for signature, entry in self._entries.items():
+            age = max(1, self._clock - entry.last_used)
+            score = entry.plan_cost / age
+            if best_score is None or score < best_score:
+                best_signature, best_score = signature, score
+        assert best_signature is not None
+        return best_signature
 
     def invalidate(self) -> None:
         """Drop every cached plan (schema, data or statistics changed)."""

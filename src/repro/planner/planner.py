@@ -32,7 +32,9 @@ from ..algebra.operators import LogicalOperator
 from ..algebra.parameters import bind_slots
 from ..execution.iterator import EvaluatorCache
 from ..optimizer.cardinality import SampleDatabase
-from ..optimizer.enumeration import RankAwareOptimizer, optimize_traditional
+from ..optimizer.cost_model import CostModel
+from ..optimizer.enumeration import RankAwareOptimizer
+from ..optimizer.hybrid import decide_batch_lowering
 from ..optimizer.plans import PlanNode, lower_to_batch
 from ..optimizer.query_spec import QuerySpec
 from ..optimizer.rule_based import RuleBasedOptimizer
@@ -44,6 +46,21 @@ from .signature import plan_signature
 
 #: the optimization strategies the planner unifies
 STRATEGIES = ("rank-aware", "traditional", "rule-based")
+
+#: accepted ``batch_execution`` modes (``"auto"`` = cost-governed hybrid)
+BATCH_MODES = (False, True, "auto")
+
+
+def normalize_batch_mode(mode: "bool | str") -> "bool | str":
+    """Validate and normalize a ``batch_execution`` mode value."""
+    if isinstance(mode, str):
+        mode = mode.strip().lower()
+        if mode in ("auto",):
+            return "auto"
+        raise ValueError(
+            f"unknown batch_execution mode {mode!r}; expected one of {BATCH_MODES}"
+        )
+    return bool(mode)
 
 
 @dataclass
@@ -74,14 +91,21 @@ class Planner:
         self,
         catalog: Catalog,
         cache_capacity: int = 256,
-        batch_execution: bool = True,
+        batch_execution: "bool | str" = "auto",
     ):
         self.catalog = catalog
         self.cache = PlanCache(cache_capacity)
-        #: lower unranked (``P = φ``) plan segments onto the batched
-        #: columnar path (:func:`repro.optimizer.plans.lower_to_batch`);
-        #: cached entries carry the lowered twin alongside the row plan
-        self.batch_execution = batch_execution
+        #: how unranked (``P = φ``) plan segments reach the batched
+        #: columnar path:
+        #:
+        #: * ``"auto"`` (default) — a costed optimizer decision: the DP
+        #:   prices BatchSegmentPlan alternatives per segment and the
+        #:   decision pass records both candidates' costs;
+        #: * ``True`` — the legacy unconditional post-pass
+        #:   (:func:`repro.optimizer.plans.lower_to_batch`), every segment
+        #:   lowers regardless of size;
+        #: * ``False`` — pure tuple-at-a-time (Volcano) execution.
+        self.batch_execution = normalize_batch_mode(batch_execution)
         self.metrics = PlannerMetrics()
         #: bumped on every invalidation; cached artifacts carry the value
         #: they were built under and are stale once it moves on
@@ -185,8 +209,23 @@ class Planner:
                 return entry, True
         bind_slots(spec.parameters, params)
         start = time.perf_counter()
-        plan = self._optimize(spec, strategy, sample_ratio, seed, knobs)
-        self.metrics.plan_seconds += time.perf_counter() - start
+        plan, cost_model = self._optimize(spec, strategy, sample_ratio, seed, knobs)
+        decisions = None
+        if self.batch_execution == "auto":
+            # Cost-governed hybrid execution: lower each maximal P = φ
+            # segment iff the batch regime prices cheaper.  Plans from the
+            # DP (rank-aware / traditional strategies) already embed the
+            # decision; the pass re-prices those wrappers for the record
+            # and decides any segment the DP did not see (rule-based
+            # plans, post-DP λ/π tops).
+            plan, decisions = decide_batch_lowering(plan, cost_model)
+            exec_plan: PlanNode | None = plan
+        elif self.batch_execution:
+            exec_plan = lower_to_batch(plan)
+        else:
+            exec_plan = None
+        elapsed = time.perf_counter() - start
+        self.metrics.plan_seconds += elapsed
         self.metrics.plans_built += 1
         self.metrics.by_strategy[strategy] = (
             self.metrics.by_strategy.get(strategy, 0) + 1
@@ -200,7 +239,9 @@ class Planner:
             generation=self.generation,
             k=spec.k,
             scoring=spec.scoring,
-            exec_plan=lower_to_batch(plan) if self.batch_execution else None,
+            exec_plan=exec_plan,
+            decisions=decisions,
+            plan_cost=elapsed,
         )
         if use_cache:
             self.cache.put(entry)
@@ -213,21 +254,35 @@ class Planner:
         sample_ratio: float,
         seed: int,
         knobs: dict[str, Any],
-    ) -> PlanNode:
+    ) -> tuple[PlanNode, CostModel]:
+        """Run the strategy's optimizer; returns the plan *and* the cost
+        model that priced it (the hybrid decision pass reuses it, so
+        row-vs-batch is judged by the same model that chose the plan)."""
         sample = self.sample(sample_ratio, seed)
+        # Under "auto", the DP itself prices BatchSegmentPlan alternatives
+        # per signature — batch lowering becomes a fourth enumeration
+        # decision instead of a post-pass rewrite.
+        dp_batch = "auto" if self.batch_execution == "auto" else False
         if strategy == "rank-aware":
-            return RankAwareOptimizer(
-                self.catalog, spec, sample=sample, **knobs
-            ).optimize()
+            optimizer = RankAwareOptimizer(
+                self.catalog, spec, sample=sample, batch_execution=dp_batch, **knobs
+            )
+            return optimizer.optimize(), optimizer.cost_model
         if strategy == "traditional":
             if knobs:
                 raise TypeError(
                     f"traditional strategy takes no knobs, got {sorted(knobs)}"
                 )
-            return optimize_traditional(self.catalog, spec, sample=sample)
-        return RuleBasedOptimizer(
-            self.catalog, spec, sample=sample, **knobs
-        ).optimize()
+            optimizer = RankAwareOptimizer(
+                self.catalog,
+                spec,
+                sample=sample,
+                enumerate_ranking=False,
+                batch_execution=dp_batch,
+            )
+            return optimizer.optimize(), optimizer.cost_model
+        rule_based = RuleBasedOptimizer(self.catalog, spec, sample=sample, **knobs)
+        return rule_based.optimize(), rule_based.cost_model
 
     def plan_logical(
         self,

@@ -255,6 +255,108 @@ class TestBulkInsert:
         assert len(keys) == 5
 
 
+class TestFrontierVectorization:
+    """The µ-frontier prescore and σ-frontier prefilter hooks."""
+
+    def test_mu_prescore_identical_output_and_charges(self, paper_db):
+        from repro.execution import Mu
+
+        row_out, row_metrics = run_rows(paper_db, Mu(SeqScan("S"), "p3"))
+        batch_out, batch_metrics = run_rows(
+            paper_db, Mu(BatchToRow(BatchScan("S")), "p3")
+        )
+        assert batch_out == row_out
+        assert (
+            batch_metrics.predicate_evaluations
+            == row_metrics.predicate_evaluations
+        )
+        assert (
+            batch_metrics.predicate_cost_units == row_metrics.predicate_cost_units
+        )
+
+    def test_mu_requests_prescore_from_frontier(self, paper_db):
+        from repro.execution import Mu
+
+        adapter = BatchToRow(BatchScan("S"))
+        mu = Mu(adapter, "p3")
+        mu.open(ctx(paper_db))
+        assert adapter._prescore == ["p3"]
+        first = mu.next()
+        assert first is not None and "p3" in first.scores
+        mu.close()
+
+    def test_prescore_refused_above_batch_sort(self, paper_db):
+        from repro.execution import Mu
+
+        # Above a BatchSort frontier every predicate is already evaluated;
+        # the adapter must refuse (P != φ) and µ's idempotent path applies.
+        adapter = BatchToRow(BatchSort(BatchScan("S")))
+        mu = Mu(adapter, "p3")
+        mu.open(ctx(paper_db))
+        assert adapter._prescore == []
+        row_sorted, __ = run_rows(paper_db, Sort(SeqScan("S")))
+        out = []
+        while True:
+            scored = mu.next()
+            if scored is None:
+                break
+            out.append((scored.row.rid, scored.row.values, dict(scored.scores)))
+        mu.close()
+        assert out == row_sorted
+
+    def test_prescored_frontier_bound_stays_f_phi(self, paper_db):
+        from repro.execution import Mu
+
+        context = ctx(paper_db)
+        adapter = BatchToRow(BatchScan("S"))
+        mu = Mu(adapter, "p3")
+        mu.open(context)
+        assert mu.next() is not None
+        # Prescored values ride along as a cache; the adapter's bound must
+        # keep describing the segment's P = φ while tuples are pending.
+        if adapter._position < len(adapter._pending):
+            assert adapter.bound() == pytest.approx(
+                context.scoring.max_possible()
+            )
+        mu.close()
+
+    def test_filter_pushes_condition_into_frontier(self, paper_db):
+        condition = BooleanPredicate(col("S.a") > 1, "a>1")
+        row_out, row_metrics = run_rows(paper_db, Filter(SeqScan("S"), condition))
+        adapter = BatchToRow(BatchScan("S"))
+        pushed = Filter(adapter, condition)
+        batch_out, batch_metrics = run_rows(paper_db, pushed)
+        assert batch_out == row_out
+        assert (
+            batch_metrics.boolean_evaluations == row_metrics.boolean_evaluations
+        )
+        assert batch_metrics.boolean_cost_units == pytest.approx(
+            row_metrics.boolean_cost_units
+        )
+        # The σ node's actual-input cardinality means the same thing in
+        # both modes: every tuple the condition examined, not survivors.
+        row_stats = next(
+            s for name, s in row_metrics.operators.items() if "filter" in name
+        )
+        pushed_stats = next(
+            s for name, s in batch_metrics.operators.items() if "filter" in name
+        )
+        assert pushed_stats.tuples_in == row_stats.tuples_in
+        assert pushed_stats.tuples_out == row_stats.tuples_out
+
+    def test_prescore_rejects_unknown_consumer_predicates_gracefully(self, paper_db):
+        # A second µ for a different predicate above the same frontier is
+        # impossible (single parent), but repeated requests for the same
+        # predicate must not duplicate work.
+        context = ctx(paper_db)
+        adapter = BatchToRow(BatchScan("S"))
+        adapter.open(context)
+        assert adapter.request_prescore("p3")
+        assert adapter.request_prescore("p3")
+        assert adapter._prescore == ["p3"]
+        adapter.close()
+
+
 class TestBatchSizeBoundary:
     def test_multi_batch_scan(self):
         catalog = Catalog()

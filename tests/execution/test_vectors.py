@@ -1,0 +1,261 @@
+"""The vector-kernel backends: python fallback always, NumPy when gated.
+
+Parity is the contract: for every expression/predicate in the vectorizable
+subset, the NumPy kernels must produce bit-identical values to the
+compiled row evaluators; anything outside the subset must fall back
+(return None) rather than diverge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.expressions import col, lit
+from repro.algebra.predicates import BooleanPredicate, RankingPredicate
+from repro.execution import vectors
+from repro.execution.batch import Batch
+from repro.storage.schema import DataType, Schema
+
+numpy_only = pytest.mark.skipif(
+    not vectors.numpy_available(), reason="numpy not installed"
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(("k", DataType.INT), ("x", DataType.FLOAT)).with_table("T")
+
+
+def make_batch(schema, rows):
+    rids = [(("T", i),) for i in range(len(rows))]
+    return Batch(schema, rids, values=[tuple(r) for r in rows])
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    before = vectors.backend()
+    yield
+    vectors.set_backend(before)
+
+
+class TestBackendGate:
+    def test_default_is_python(self):
+        assert vectors.backend() in vectors.BACKENDS
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            vectors.set_backend("cuda")
+
+    def test_python_backend_compiles_no_kernels(self, schema):
+        vectors.set_backend("python")
+        condition = BooleanPredicate(col("T.k") > 1, "k>1")
+        assert vectors.boolean_kernel(condition, schema) is None
+        predicate = RankingPredicate("pa", ["T.x"], lambda x: x)
+        assert vectors.ranking_kernel(predicate, schema) is None
+
+    @numpy_only
+    def test_numpy_backend_toggles(self):
+        vectors.set_backend("numpy")
+        assert vectors.backend() == "numpy"
+        vectors.set_backend("python")
+        assert vectors.backend() == "python"
+
+    def test_env_gate_rejects_unknown_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_BACKEND", "nunpy")
+        with pytest.raises(ValueError):
+            vectors._configure_from_env()
+
+    def test_env_gate_accepts_python(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_BACKEND", "python")
+        vectors._configure_from_env()
+        assert vectors.backend() == "python"
+
+
+@numpy_only
+class TestBooleanKernelParity:
+    CASES = [
+        BooleanPredicate(col("T.k") > 1, "gt"),
+        BooleanPredicate(col("T.k") >= 2, "ge"),
+        BooleanPredicate(col("T.k").eq(3), "eq"),
+        BooleanPredicate(col("T.k").ne(3), "ne"),
+        BooleanPredicate(col("T.x") * 2 + 1 < col("T.k"), "arith"),
+        BooleanPredicate((col("T.k") > 0).and_(col("T.x") < lit(0.5)), "and"),
+        BooleanPredicate((col("T.k") > 3).or_(col("T.x") >= lit(0.9)), "or"),
+        BooleanPredicate((col("T.k") > 1).not_(), "not"),
+        BooleanPredicate(col("T.k"), "bare-truthiness"),
+    ]
+
+    @pytest.mark.parametrize("condition", CASES, ids=lambda c: c.name)
+    def test_matches_row_evaluator(self, schema, condition):
+        rows = [
+            (0, 0.1), (1, 0.9), (2, 0.5), (3, 0.4), (4, 0.95), (2, None), (None, 0.3),
+        ]
+        batch = make_batch(schema, rows)
+        evaluate = condition.compile(schema)
+        expected = [i for i, t in enumerate(batch.tuples()) if evaluate(t)]
+        vectors.set_backend("numpy")
+        kernel = vectors.boolean_kernel(condition, schema)
+        assert kernel is not None, condition.name
+        assert kernel.keep_indices(batch) == expected
+        # the shared entry point agrees too
+        assert vectors.keep_indices(kernel, evaluate, batch) == expected
+
+    def test_boolean_op_with_literal_operand_does_not_crash(self, schema):
+        # Regression: `a > 1 OR 0` — a numeric Literal inside AND/OR used
+        # to reach numpy's bitwise ufuncs as a raw float and raise.
+        rows = [(0, 0.1), (2, 0.5), (3, 0.4)]
+        batch = make_batch(schema, rows)
+        vectors.set_backend("numpy")
+        for condition in (
+            BooleanPredicate((col("T.k") > 1).or_(lit(0)), "or-lit"),
+            BooleanPredicate((col("T.k") > 1).and_(lit(5)), "and-lit"),
+            BooleanPredicate(lit(0).not_(), "not-lit"),
+        ):
+            evaluate = condition.compile(schema)
+            expected = [i for i, t in enumerate(batch.tuples()) if evaluate(t)]
+            got = vectors.keep_indices(
+                vectors.boolean_kernel(condition, schema), evaluate, batch
+            )
+            assert got == expected, condition.name
+
+    def test_huge_integers_fall_back_to_exact_row_semantics(self, schema):
+        # Regression: float64 merges integers beyond 2^53; the kernel must
+        # refuse the batch so the row evaluator keeps exact comparisons.
+        big = 2**53
+        rows = [(big, 0.1), (big + 1, 0.2)]
+        batch = make_batch(schema, rows)
+        condition = BooleanPredicate(col("T.k").eq(big + 1), "eq-big")
+        vectors.set_backend("numpy")
+        kernel = vectors.boolean_kernel(condition, schema)
+        assert kernel is not None
+        evaluate = condition.compile(schema)
+        assert kernel.keep_indices(batch) is None  # refused, not rounded
+        assert vectors.keep_indices(kernel, evaluate, batch) == [1]
+
+    def test_division_by_zero_falls_back(self, schema):
+        condition = BooleanPredicate(lit(1.0) / col("T.x") > 2, "div")
+        vectors.set_backend("numpy")
+        kernel = vectors.boolean_kernel(condition, schema)
+        assert kernel is not None
+        batch = make_batch(schema, [(1, 0.1), (2, 0.0)])
+        assert kernel.keep_indices(batch) is None  # caller loops instead
+
+    def test_text_columns_fall_back(self):
+        schema = Schema.of(("name", DataType.TEXT), ("x", DataType.FLOAT)).with_table("T")
+        condition = BooleanPredicate(col("T.x") > 0.5, "x>0.5")
+        vectors.set_backend("numpy")
+        kernel = vectors.boolean_kernel(condition, schema)
+        assert kernel is not None
+        batch = make_batch(schema, [("a", 0.1), ("b", 0.9)])
+        # the referenced column is numeric: vectorizes fine
+        assert kernel.keep_indices(batch) == [1]
+        # a condition over the text column cannot compile at all
+        eq = BooleanPredicate(col("T.name").eq("a"), "name=a")
+        assert vectors.boolean_kernel(eq, schema) is None
+
+
+@numpy_only
+class TestRankingKernelParity:
+    def scores_both_ways(self, schema, predicate, rows):
+        batch = make_batch(schema, rows)
+        evaluate = predicate.compile(schema)
+        expected = [evaluate(t) for t in batch.tuples()]
+        vectors.set_backend("numpy")
+        kernel = vectors.ranking_kernel(predicate, schema)
+        assert kernel is not None
+        got = kernel.scores(batch)
+        return expected, got
+
+    def test_expression_scorer(self, schema):
+        predicate = RankingPredicate("pe", ["T.x"], lit(1.0) - col("T.x") * 0.5)
+        expected, got = self.scores_both_ways(
+            schema, predicate, [(0, 0.2), (1, 0.8), (2, 1.9), (3, None)]
+        )
+        assert got == expected  # clamping + NULL -> 0 replicated exactly
+
+    def test_vectorizable_callable_scorer(self, schema):
+        predicate = RankingPredicate("pc", ["T.x"], lambda x: x)
+        expected, got = self.scores_both_ways(
+            schema, predicate, [(0, 0.25), (1, 0.75), (2, 0.5)]
+        )
+        assert got == expected
+
+    def test_non_vectorizable_callable_falls_back(self, schema):
+        predicate = RankingPredicate("pf", ["T.x"], lambda x: max(0.0, x - 0.1))
+        batch = make_batch(schema, [(0, 0.25), (1, 0.75)])
+        vectors.set_backend("numpy")
+        kernel = vectors.ranking_kernel(predicate, schema)
+        assert kernel is not None
+        # max() raises on arrays -> per-batch fallback
+        assert kernel.scores(batch) is None
+        evaluate = predicate.compile(schema)
+        assert vectors.score_vector(kernel, evaluate, batch) == [
+            evaluate(t) for t in batch.tuples()
+        ]
+
+    def test_spin_loops_disable_vectorization(self, schema):
+        predicate = RankingPredicate("ps", ["T.x"], lambda x: x, spin_loops=5)
+        vectors.set_backend("numpy")
+        assert vectors.ranking_kernel(predicate, schema) is None
+
+    def test_callable_scorer_with_nulls_falls_back(self, schema):
+        # Regression: a plain callable sees Python None in row mode (it
+        # may branch on it or raise); feeding it NaN instead silently
+        # changes the outcome, so NULL batches must force the fallback.
+        predicate = RankingPredicate(
+            "pn", ["T.x"], lambda v: 0.5 if v is None else v
+        )
+        batch = make_batch(schema, [(0, 0.25), (1, None)])
+        vectors.set_backend("numpy")
+        kernel = vectors.ranking_kernel(predicate, schema)
+        assert kernel is not None
+        assert kernel.scores(batch) is None
+        evaluate = predicate.compile(schema)
+        assert vectors.score_vector(kernel, evaluate, batch) == [0.25, 0.5]
+
+    def test_numeric_strings_never_coerced(self):
+        # Regression: np.asarray(['10','20'], float) succeeds — but the
+        # row evaluator raises on '10' > 15, and the kernel must defer to
+        # it rather than invent a numeric interpretation.
+        schema = Schema.of(("s", DataType.TEXT), ("x", DataType.FLOAT)).with_table("T")
+        condition = BooleanPredicate(col("T.s") > 15, "s>15")
+        vectors.set_backend("numpy")
+        kernel = vectors.boolean_kernel(condition, schema)
+        assert kernel is not None
+        batch = make_batch(schema, [("10", 0.1), ("20", 0.2)])
+        assert kernel.keep_indices(batch) is None  # fall back, don't coerce
+        predicate = RankingPredicate("pt", ["T.s"], lambda s: 1.0)
+        rank_kernel = vectors.ranking_kernel(predicate, schema)
+        assert rank_kernel is not None
+        assert rank_kernel.scores(batch) is None
+
+    def test_clamping_matches_row_path(self, schema):
+        predicate = RankingPredicate("pclamp", ["T.x"], col("T.x") * 3 - 1, p_max=0.8)
+        expected, got = self.scores_both_ways(
+            schema, predicate, [(0, 0.0), (1, 0.5), (2, 0.9), (3, None)]
+        )
+        assert got == expected
+        assert max(got) <= 0.8 and min(got) >= 0.0
+
+
+@numpy_only
+class TestEndToEndBackendParity:
+    def test_lowered_workload_plans_identical_across_backends(self):
+        from repro.execution import ExecutionContext, run_plan
+        from repro.optimizer.plans import lower_to_batch
+        from repro.workloads import ALL_PLANS, WorkloadConfig, build_workload
+
+        w = build_workload(
+            WorkloadConfig(table_size=250, join_selectivity=0.04, k=8, seed=5)
+        )
+        for name in sorted(ALL_PLANS):
+            lowered = lower_to_batch(ALL_PLANS[name](w))
+            sequences = {}
+            for backend in ("python", "numpy"):
+                vectors.set_backend(backend)
+                context = ExecutionContext(w.catalog, w.scoring)
+                out = run_plan(lowered.build(), context, k=8)
+                sequences[backend] = [
+                    (s.row.rid, s.row.values, dict(s.scores)) for s in out
+                ]
+            assert sequences["python"] == sequences["numpy"], name

@@ -121,7 +121,7 @@ class TestInvalidation:
 
 class TestPlanCacheUnit:
     @staticmethod
-    def entry(signature, generation=0):
+    def entry(signature, generation=0, plan_cost=0.0):
         return CachedPlan(
             signature=signature,
             spec=None,
@@ -129,6 +129,7 @@ class TestPlanCacheUnit:
             strategy="rank-aware",
             evaluators=None,
             generation=generation,
+            plan_cost=plan_cost,
         )
 
     def test_lru_eviction(self):
@@ -158,3 +159,64 @@ class TestPlanCacheUnit:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             PlanCache(capacity=0)
+
+
+class TestCostWeightedEviction:
+    """Eviction weighs recency by replanning cost (`plan_cost / age`):
+    expensive-to-replan templates survive pressure that would LRU-evict
+    them, while uniform costs degrade to plain LRU."""
+
+    entry = staticmethod(TestPlanCacheUnit.entry)
+
+    def test_expensive_entry_survives_lru_pressure(self):
+        cache = PlanCache(capacity=2)
+        cache.put(self.entry(("costly",), plan_cost=10.0))
+        cache.put(self.entry(("cheap-1",), plan_cost=0.001))
+        # LRU would evict "costly" (least recently used); cost-weighting
+        # sacrifices the cheap, newer entry instead.
+        cache.put(self.entry(("cheap-2",), plan_cost=0.001))
+        assert ("costly",) in cache
+        assert ("cheap-1",) not in cache
+        assert ("cheap-2",) in cache
+        assert cache.stats.evictions == 1
+
+    def test_uniform_costs_degrade_to_lru(self):
+        cache = PlanCache(capacity=2)
+        cache.put(self.entry(("a",), plan_cost=1.0))
+        cache.put(self.entry(("b",), plan_cost=1.0))
+        assert cache.get(("a",), 0) is not None  # touch: "a" is now MRU
+        cache.put(self.entry(("c",), plan_cost=1.0))  # evicts "b" (LRU)
+        assert ("b",) not in cache
+        assert ("a",) in cache and ("c",) in cache
+
+    def test_aged_costly_entry_outweighs_fresh_cheap_ones(self):
+        cache = PlanCache(capacity=2)
+        cache.put(self.entry(("costly",), plan_cost=5.0))
+        cache.put(self.entry(("cheap-hot",), plan_cost=0.01))
+        # Age the costly entry hard: 50 touches on the cheap one.
+        for __ in range(50):
+            assert cache.get(("cheap-hot",), 0) is not None
+        cache.put(self.entry(("newcomer",), plan_cost=0.01))
+        # costly: 5 / ~52 ticks ≈ 0.10 still beats either cheap entry's
+        # 0.01 / 1 — recency discounts the cost, but fifty touches on a
+        # hundredth of the cost do not overturn it.
+        assert ("costly",) in cache
+        assert cache.stats.evictions == 1
+
+    def test_sustained_heat_eventually_overturns_cost(self):
+        cache = PlanCache(capacity=2)
+        cache.put(self.entry(("costly",), plan_cost=5.0))
+        cache.put(self.entry(("cheap-hot",), plan_cost=0.01))
+        # Enough age makes even a 500× cost gap lose: after ~1000 ticks the
+        # costly entry scores 5/1000 < 0.01/1.
+        for __ in range(1000):
+            assert cache.get(("cheap-hot",), 0) is not None
+        cache.put(self.entry(("newcomer",), plan_cost=0.01))
+        assert ("costly",) not in cache
+        assert ("cheap-hot",) in cache and ("newcomer",) in cache
+
+    def test_planner_stamps_measured_plan_cost(self, db):
+        db.query(SQL)
+        entries = db.planner.cache.entries()
+        assert len(entries) == 1
+        assert entries[0].plan_cost > 0.0  # measured planning seconds

@@ -88,3 +88,85 @@ class TestTable:
     def test_empty_name_rejected(self):
         with pytest.raises(ValueError):
             Table("", Schema.of("a"))
+
+
+class TestColumnarViewInvalidation:
+    """The cached columnar view must refresh after *every* heap-mutating
+    path — including the bulk ones (`insert_many`, `insert_dicts`, CSV
+    load) — and must survive non-mutating operations (`attach_index`
+    backfill) unchanged.  Regression tests for the batched execution path,
+    which reads stale views as silently-wrong query results."""
+
+    def make(self):
+        return Table("t", Schema.of(("a", DataType.INT), ("b", DataType.FLOAT)))
+
+    def assert_view_current(self, table):
+        view = table.columns()
+        rows = list(table.rows())
+        assert len(view) == len(rows)
+        assert view.rids == [r.rid for r in rows]
+        assert view.columns[0] == [r[0] for r in rows]
+        assert view.columns[1] == [r[1] for r in rows]
+
+    def test_insert_many_after_columnar_read(self):
+        table = self.make()
+        table.insert_many([(1, 0.1), (2, 0.2)])
+        stale = table.columns()
+        assert len(stale) == 2
+        table.insert_many([(3, 0.3), (4, 0.4)])
+        fresh = table.columns()
+        assert fresh is not stale
+        self.assert_view_current(table)
+        # the old snapshot is immutable: it still describes the old state
+        assert len(stale) == 2
+
+    def test_insert_dicts_after_columnar_read(self):
+        table = self.make()
+        table.insert_dicts([{"a": 1, "b": 0.5}])
+        stale = table.columns()
+        table.insert_dicts([{"a": 2}])
+        assert table.columns() is not stale
+        self.assert_view_current(table)
+
+    def test_empty_bulk_insert_keeps_cached_view(self):
+        table = self.make()
+        table.insert_many([(1, 0.1)])
+        view = table.columns()
+        assert table.insert_many([]) == 0
+        assert table.columns() is view  # no mutation, no invalidation
+
+    def test_csv_load_after_columnar_read(self, tmp_path):
+        from repro.engine.csv_io import load_csv
+
+        table = self.make()
+        table.insert_many([(1, 0.25)])
+        stale = table.columns()
+        path = tmp_path / "rows.csv"
+        path.write_text("a,b\n7,0.75\n8,0.5\n")
+        assert load_csv(table, path) == 2
+        assert table.columns() is not stale
+        self.assert_view_current(table)
+
+    def test_attach_index_backfill_does_not_stale_the_view(self):
+        from repro.storage import ColumnIndex
+
+        table = self.make()
+        table.insert_many([(3, 0.3), (1, 0.1), (2, 0.2)])
+        view = table.columns()
+        # Backfilling an index reads the heap but never mutates it: the
+        # cached snapshot stays valid (and identical).
+        table.attach_index(ColumnIndex("t_a_idx", table.schema, "t.a"))
+        assert table.columns() is view
+        self.assert_view_current(table)
+        # ... and bulk inserts after the backfill refresh both structures.
+        table.insert_many([(0, 0.0)])
+        self.assert_view_current(table)
+        index = table.find_index(key="t.a")
+        assert [r[0] for r in index.scan_ascending()] == [0, 1, 2, 3]
+
+    def test_single_insert_after_bulk_read(self):
+        table = self.make()
+        table.insert_many([(1, 0.1)])
+        table.columns()
+        table.insert((2, 0.2))
+        self.assert_view_current(table)

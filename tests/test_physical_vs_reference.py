@@ -225,9 +225,10 @@ def test_workload_query_parity(strategy):
 
 
 @pytest.mark.parametrize("seed", range(4))
-def test_generated_query_parity_row_vs_batch_database(seed):
-    """End-to-end: the same SQL on a batch-mode and a row-mode Database
-    returns identical rows and scores for every generated query."""
+def test_generated_query_parity_across_execution_modes(seed):
+    """End-to-end: the same SQL returns identical rows and scores whether
+    the Database runs pure row mode, unconditional batch lowering, or the
+    cost-governed ``"auto"`` hybrid, for every generated query."""
     from repro.engine.database import Database
     from repro.storage.schema import DataType
 
@@ -256,14 +257,19 @@ def test_generated_query_parity_row_vs_batch_database(seed):
         db.analyze()
         return db
 
-    batch_db = make(True)
-    row_db = make(False)
+    databases = {mode: make(mode) for mode in (False, True, "auto")}
     for sql in queries:
         for strategy in ("rank-aware", "traditional"):
-            got = batch_db.session(strategy=strategy, sample_ratio=0.5, seed=1).execute(sql)
-            want = row_db.session(strategy=strategy, sample_ratio=0.5, seed=1).execute(sql)
-            assert got.rows == want.rows, (sql, strategy)
-            assert got.scores == want.scores, (sql, strategy)
+            outputs = {
+                mode: db.session(
+                    strategy=strategy, sample_ratio=0.5, seed=1
+                ).execute(sql)
+                for mode, db in databases.items()
+            }
+            want = outputs[False]
+            for mode in (True, "auto"):
+                assert outputs[mode].rows == want.rows, (sql, strategy, mode)
+                assert outputs[mode].scores == want.scores, (sql, strategy, mode)
 
 
 class TestLoweringPass:
