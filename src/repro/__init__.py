@@ -29,20 +29,23 @@ from .algebra import (
 )
 from .optimizer import QuerySpec, RankAwareOptimizer, optimize_traditional
 from .planner import PlanCache, Planner, PreparedQuery, Session
-from .storage import Column, DataType, Schema
+from .server import QueryServer, connect
+from .storage import Column, DatabaseSnapshot, DataType, Schema
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BooleanPredicate",
     "Column",
     "DataType",
     "Database",
+    "DatabaseSnapshot",
     "ParameterError",
     "PlanCache",
     "Planner",
     "PreparedQuery",
     "QueryResult",
+    "QueryServer",
     "QuerySpec",
     "RankAwareOptimizer",
     "RankingPredicate",
@@ -50,6 +53,7 @@ __all__ = [
     "ScoringFunction",
     "Session",
     "col",
+    "connect",
     "lit",
     "optimize_traditional",
     "sum_of",

@@ -1,10 +1,11 @@
-"""Interactive SQL shell and one-shot query runner.
+"""Interactive SQL shell, one-shot query runner, and the serve command.
 
 Usage::
 
     python -m repro --demo                  # interactive shell on demo data
     python -m repro --demo -c "SELECT ..."  # one query, print, exit
     python -m repro --load hotels=hotels.csv --schema "name:text,price:float" ...
+    python -m repro serve --demo --port 5433 --workers 4   # TCP query server
 
 The shell accepts the library's top-k dialect plus a few meta commands:
 
@@ -15,17 +16,23 @@ The shell accepts the library's top-k dialect plus a few meta commands:
     \\set             list shell variables
     \\set name value  set a variable (feeds :name placeholders)
     \\unset name      remove a variable
+    \\connect H:P     attach the shell to a serving database (client mode)
+    \\disconnect      return to the local embedded database
     \\quit            exit
 
 Statements may use named bind variables (``:name``): the shell supplies
 values from its ``\\set`` variables, so re-running a template with a new
 ``\\set`` reuses the cached plan with fresh constants.
 
-All statements run through one :class:`~repro.planner.Session`, so
+Local statements run through one :class:`~repro.planner.Session`, so
 re-running a statement reuses its prepared plan.  Reuse shows in
 ``\\cache`` as ``statement_hits`` (the session memoizes by SQL text, one
 layer *above* the plan cache, whose ``hits`` only count fresh lookups —
 e.g. from other sessions or re-preparation after data changes).
+
+After ``\\connect host:port`` statements travel over the line-delimited
+JSON protocol to a ``python -m repro serve`` process instead; ``\\cache``
+then shows the *server's* shared-cache and session counters.
 """
 
 from __future__ import annotations
@@ -95,8 +102,12 @@ def parse_schema(spec: str) -> list[tuple[str, DataType]]:
 
 
 def format_result(result, show_metrics: bool = False) -> str:
-    """Render a QueryResult as an aligned text table."""
-    names = result.schema.qualified_names() + ["score"]
+    """Render a QueryResult (or a remote RemoteResult) as an aligned text
+    table — remote results carry plain column names instead of a schema."""
+    if hasattr(result, "schema"):
+        names = result.schema.qualified_names() + ["score"]
+    else:
+        names = list(result.columns) + ["score"]
     rows = [
         [("" if v is None else str(v)) for v in row] + [f"{score:.4f}"]
         for row, score in zip(result.rows, result.scores)
@@ -113,7 +124,8 @@ def format_result(result, show_metrics: bool = False) -> str:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
     if show_metrics:
-        summary = result.metrics.summary()
+        metrics = result.metrics
+        summary = metrics.summary() if hasattr(metrics, "summary") else metrics
         lines.append(
             "metrics: "
             + ", ".join(f"{key}={value:g}" for key, value in summary.items())
@@ -122,7 +134,11 @@ def format_result(result, show_metrics: bool = False) -> str:
 
 
 class ShellState:
-    """Mutable shell settings + the session every statement runs through."""
+    """Mutable shell settings + the session every statement runs through.
+
+    ``remote`` (after ``\\connect``) redirects statements to a serving
+    database over TCP; ``\\disconnect`` drops back to the local session.
+    """
 
     def __init__(self, db: Database, show_metrics: bool = False):
         self.db = db
@@ -130,6 +146,24 @@ class ShellState:
         self.show_metrics = show_metrics
         #: \set variables feeding :name placeholders
         self.variables: dict[str, object] = {}
+        #: active remote session (client mode), if any
+        self.remote = None
+
+    def execute(self, sql: str, params=None):
+        """Run a statement on the active backend (remote when connected)."""
+        if self.remote is not None:
+            return self.remote.execute(sql, params=params)
+        return self.session.execute(sql, params=params)
+
+    def explain(self, sql: str, params=None) -> str:
+        if self.remote is not None:
+            return self.remote.explain(sql, params=params)
+        return self.session.explain(sql, params=params)
+
+    def disconnect(self) -> None:
+        if self.remote is not None:
+            self.remote.close()
+            self.remote = None
 
 
 def parse_variable_value(text: str) -> object:
@@ -185,22 +219,47 @@ def run_statement(state: ShellState, statement: str, out) -> None:
     if stripped.startswith("\\"):
         _meta_command(state, stripped, out)
         return
-    result = state.session.execute(stripped, params=statement_params(state, stripped))
+    result = state.execute(stripped, params=statement_params(state, stripped))
     print(format_result(result, state.show_metrics), file=out)
 
 
 def _meta_command(state: ShellState, command: str, out) -> None:
     db = state.db
     if command == "\\d":
+        if state.remote is not None:
+            print("\\d is unavailable in client mode (\\disconnect first)", file=out)
+            return
         for table in db.catalog.tables():
             columns = ", ".join(
                 f"{c.name} {c.dtype.value}" for c in table.schema
             )
             print(f"{table.name}({columns})  [{table.row_count} rows]", file=out)
         return
+    if command.startswith("\\connect "):
+        from .server.client import connect
+
+        target = command[len("\\connect "):].strip()
+        host, sep, port_text = target.rpartition(":")
+        if not sep or not port_text.isdigit():
+            print("usage: \\connect <host>:<port>", file=out)
+            return
+        state.disconnect()
+        state.remote = connect(host or "127.0.0.1", int(port_text))
+        print(
+            f"connected to {target} as session {state.remote.session_id}",
+            file=out,
+        )
+        return
+    if command == "\\disconnect":
+        if state.remote is None:
+            print("not connected", file=out)
+        else:
+            state.disconnect()
+            print("disconnected (back to local database)", file=out)
+        return
     if command.startswith("\\explain "):
         sql = command[len("\\explain "):]
-        print(state.session.explain(sql, params=statement_params(state, sql)), file=out)
+        print(state.explain(sql, params=statement_params(state, sql)), file=out)
         return
     if command == "\\set":
         if not state.variables:
@@ -231,6 +290,24 @@ def _meta_command(state: ShellState, command: str, out) -> None:
         )
         return
     if command == "\\cache":
+        if state.remote is not None:
+            payload = state.remote.metrics()
+            stats = dict(payload.get("server", {}))
+            stats.update(
+                (f"session_{key}", value)
+                for key, value in payload.get("session", {}).items()
+                if key != "session_id"
+            )
+            print(
+                "server: "
+                + ", ".join(
+                    f"{key}={value:g}"
+                    for key, value in sorted(stats.items())
+                    if isinstance(value, (int, float))
+                ),
+                file=out,
+            )
+            return
         # Namespace each layer's counters — "invalidations" exists in both
         # the cache stats and the planner metrics.
         stats = {
@@ -254,8 +331,70 @@ def _meta_command(state: ShellState, command: str, out) -> None:
     print(f"unknown meta command: {command}", file=out)
 
 
+def _load_tables(db: Database, args, out) -> int:
+    """Apply ``--schema``/``--load`` pairs; returns non-zero on bad specs."""
+    schemas = {}
+    for spec in args.schema:
+        table_name, __, columns = spec.partition("=")
+        schemas[table_name] = parse_schema(columns)
+    for spec in args.load:
+        table_name, __, path = spec.partition("=")
+        if table_name not in schemas:
+            print(f"--load {table_name}: missing --schema", file=out)
+            return 2
+        db.create_table(table_name, schemas[table_name])
+        n = db.load_csv(table_name, path)
+        db.analyze(table_name)
+        print(f"loaded {n} rows into {table_name}", file=out)
+    return 0
+
+
+def serve_main(argv: list[str], out) -> int:
+    """``python -m repro serve``: run the TCP query server until killed."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve", description="RankSQL concurrent query server"
+    )
+    parser.add_argument("--demo", action="store_true", help="serve the demo database")
+    parser.add_argument(
+        "--load", action="append", default=[], metavar="TABLE=FILE.csv",
+        help="load a CSV file into a new table (repeatable)",
+    )
+    parser.add_argument(
+        "--schema", action="append", default=[], metavar="TABLE=name:type,...",
+        help="schema for a --load table (types: int,float,text,bool)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=5433, help="TCP port (0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=4, help="worker threads")
+    args = parser.parse_args(argv)
+
+    with (build_demo_database() if args.demo else Database()) as db:
+        status = _load_tables(db, args, out)
+        if status:
+            return status
+        with db.serve(host=args.host, port=args.port, workers=args.workers) as server:
+            host, port = server.address
+            print(
+                f"serving on {host}:{port} with {args.workers} workers — "
+                f"connect with \\connect {host}:{port} (Ctrl-C stops)",
+                file=out,
+            )
+            import time
+
+            try:
+                while True:
+                    time.sleep(1)
+            except KeyboardInterrupt:
+                print("shutting down", file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out or sys.stdout
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:], out)
     parser = argparse.ArgumentParser(
         prog="repro", description="RankSQL top-k SQL shell"
     )
@@ -281,19 +420,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
     args = parser.parse_args(argv)
 
     with (build_demo_database() if args.demo else Database()) as db:
-        schemas = {}
-        for spec in args.schema:
-            table_name, __, columns = spec.partition("=")
-            schemas[table_name] = parse_schema(columns)
-        for spec in args.load:
-            table_name, __, path = spec.partition("=")
-            if table_name not in schemas:
-                print(f"--load {table_name}: missing --schema", file=out)
-                return 2
-            db.create_table(table_name, schemas[table_name])
-            n = db.load_csv(table_name, path)
-            db.analyze(table_name)
-            print(f"loaded {n} rows into {table_name}", file=out)
+        status = _load_tables(db, args, out)
+        if status:
+            return status
 
         state = ShellState(db, show_metrics=args.metrics)
         if args.command:
@@ -329,6 +458,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
                     run_statement(state, joined.rstrip(" ;"), out)
                 except Exception as error:
                     print(f"error: {error}", file=out)
+        state.disconnect()
     return 0
 
 

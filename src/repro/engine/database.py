@@ -31,6 +31,19 @@ Bind variables let one cached plan serve many constants (template reuse)::
 
 Every schema, data, index or statistics change invalidates the plan cache,
 so cached plans never go stale.
+
+**Thread model.**  The storage layer is versioned (copy-on-write
+publication per table) and the planner's bookkeeping is lock-guarded, so
+concurrent *reads* are always safe and writers never block readers.
+Concurrent multi-client traffic should go through the serving subsystem —
+:meth:`Database.serve` / :mod:`repro.server` — which additionally gives
+every statement a consistent :meth:`snapshot` across tables captured at
+admission, serializes statements per session, and makes parameterized
+executions of one cached template atomic.  The bare embedded API stays
+single-client: calling ``db.query`` from many threads without the server
+is safe per-statement but reads current table versions independently
+(statement-level consistency only) and must not interleave parameterized
+runs of one template.
 """
 
 from __future__ import annotations
@@ -49,7 +62,9 @@ from ..optimizer.query_spec import QuerySpec
 from ..planner import Planner, PreparedQuery, Session
 from ..storage.catalog import Catalog
 from ..storage.index import ColumnIndex, MultiKeyIndex, RankIndex
+from ..storage.row import Row
 from ..storage.schema import Column, DataType, Schema
+from ..storage.snapshot import DatabaseSnapshot
 from ..storage.table import Table
 from .result import QueryResult
 
@@ -207,6 +222,38 @@ class Database:
         self._invalidate()
         return load_csv(self.catalog.table(table), path, has_header=has_header)
 
+    def delete_where(
+        self,
+        table: str,
+        condition: "Callable[[Row], bool] | None" = None,
+        *,
+        column: str | None = None,
+        equals: Any = None,
+    ) -> int:
+        """Delete rows matching ``condition(row)`` — or, for the simple
+        (wire-friendly) form, rows whose ``column`` equals ``equals``.
+
+        Publishes a new table version without the matching rows; readers
+        admitted on an older snapshot still see them (snapshot isolation).
+        Returns the number deleted.
+        """
+        self._check_open()
+        t = self.catalog.table(table)
+        if (condition is None) == (column is None):
+            raise ValueError("pass exactly one of: condition, column=/equals=")
+        if condition is None:
+            qualified = column if "." in column else f"{table}.{column}"
+            position = t.schema.index_of(qualified)
+            value = equals
+
+            def condition(row: Row, _p=position, _v=value) -> bool:
+                return row[_p] == _v
+
+        deleted = t.delete_where(condition)
+        if deleted:
+            self._invalidate()
+        return deleted
+
     def analyze(self, table: str | None = None) -> None:
         """(Re)compute statistics for one table or all tables."""
         self._check_open()
@@ -342,8 +389,48 @@ class Database:
         self._check_open()
         return Session(self, **settings)
 
+    # ------------------------------------------------------------------
+    # concurrent serving
+    # ------------------------------------------------------------------
+    def snapshot(self) -> DatabaseSnapshot:
+        """A consistent, immutable capture of every table's current version.
+
+        O(#tables) reference copies — cheap enough to take per statement.
+        Pass it to :meth:`query` / :meth:`execute` to pin what the plan
+        reads; the serving subsystem does this at statement admission.
+        """
+        self._check_open()
+        return DatabaseSnapshot(self.catalog)
+
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        workers: int = 4,
+        **session_defaults: Any,
+    ) -> "QueryServer":
+        """Start a concurrent multi-session server over this database.
+
+        Returns the started :class:`~repro.server.QueryServer`.  With
+        ``port=None`` only the in-process client surface is available
+        (``server.session()``); pass ``port=0`` for an ephemeral TCP port
+        or a concrete port for ``python -m repro``-style serving.  All
+        sessions share this database's plan cache; every statement reads a
+        snapshot captured at admission.
+        """
+        from ..server import QueryServer
+
+        self._check_open()
+        return QueryServer(
+            self, workers=workers, host=host, port=port, **session_defaults
+        ).start()
+
     def query(
-        self, query: "str | QuerySpec", params: Any = None, **kwargs: Any
+        self,
+        query: "str | QuerySpec",
+        params: Any = None,
+        snapshot: DatabaseSnapshot | None = None,
+        **kwargs: Any,
     ) -> QueryResult:
         """Optimize (with plan caching) and execute a query.
 
@@ -351,6 +438,10 @@ class Database:
         positional parameters, a mapping for named ones.  All bindings of
         one template share a single cached plan, so repeated calls with
         varying constants skip optimization entirely.
+
+        ``snapshot`` (from :meth:`snapshot`) executes against the captured
+        table versions instead of the live catalog — the embedded route to
+        the same snapshot-isolated reads the server gives every statement.
         """
         self._check_open()
         entry, hit = self.planner.prepare(
@@ -362,6 +453,7 @@ class Database:
             k=entry.k,
             evaluators=entry.evaluators,
             plan_cached=hit,
+            snapshot=snapshot,
         )
 
     def open_cursor(
@@ -383,14 +475,21 @@ class Database:
         k: int | None = None,
         evaluators: EvaluatorCache | None = None,
         plan_cached: bool = False,
+        snapshot: DatabaseSnapshot | None = None,
     ) -> QueryResult:
         """Execute a physical plan, pulling at most ``k`` results.
 
         ``evaluators`` shares compiled predicate evaluators across
-        executions (the prepared/cached warm path).
+        executions (the prepared/cached warm path).  ``snapshot`` pins the
+        table versions every scan reads (snapshot-isolated execution);
+        ``None`` reads the live catalog.
         """
         self._check_open()
-        context = ExecutionContext(self.catalog, scoring, evaluators=evaluators)
+        context = ExecutionContext(
+            snapshot if snapshot is not None else self.catalog,
+            scoring,
+            evaluators=evaluators,
+        )
         schema, out = collect_plan(plan.build(), context, k)
         return QueryResult(
             schema, out, scoring, plan, context.metrics, plan_cached=plan_cached

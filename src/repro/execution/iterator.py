@@ -70,6 +70,20 @@ class ExecutionContext:
     across executions (the prepared-statement warm path); when omitted a
     private cache is created.  Per-run state — metrics and operator-naming
     counters — is reset by :meth:`begin_run`.
+
+    **Isolation audit (the snapshot contract).**  ``catalog`` may be the
+    live :class:`~repro.storage.catalog.Catalog` *or* a
+    :class:`~repro.storage.snapshot.DatabaseSnapshot` — operators must
+    reach table state exclusively through ``context.catalog.table(name)``
+    and the returned object's read surface (``rows()``, ``columns()``,
+    ``find_index()``, ``indexes``, ``schema`` …), never by caching a
+    ``Table`` across runs or reaching into the catalog another way.  That
+    single entry point is what makes a whole plan execute against the
+    versions captured at admission.  Everything else a run touches is
+    already isolation-safe: one context is built per execution (the engine
+    and server never share one across concurrent statements), metrics are
+    context-local, the evaluator cache is append-only with idempotent
+    entries, and scoring/predicate objects are immutable registrations.
     """
 
     def __init__(

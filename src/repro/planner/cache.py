@@ -13,18 +13,36 @@ Eviction weighs recency by how expensive the entry is to rebuild: the
 victim minimizes ``plan_cost / age`` (an old, cheap-to-replan entry goes
 before a slightly-older template whose enumeration took a hundred times
 longer).  With uniform costs this degrades exactly to LRU.
+
+The cache is **process-wide shared state** in the concurrent serving
+subsystem (:mod:`repro.server`): every session of every client hits the
+same instance, so all sessions reuse each other's compiled plans.  All
+operations — ``get`` (which reorders and restamps), ``put`` + eviction,
+and ``invalidate`` — are atomic under one internal lock; stats counters
+are only ever updated while it is held, so no hit, miss or eviction is
+lost and no victim is evicted twice under contention.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..algebra.predicates import ScoringFunction
 from ..execution.iterator import EvaluatorCache
-from ..optimizer.plans import PlanNode
+from ..optimizer.plans import LimitPlan, PlanNode, ProjectPlan
 from ..optimizer.query_spec import QuerySpec
 from .signature import QuerySignature
+
+
+def strip_limit(plan: PlanNode) -> PlanNode:
+    """The same plan without its top-level λ_k (for cursors / larger k)."""
+    if isinstance(plan, ProjectPlan) and isinstance(plan.children[0], LimitPlan):
+        return ProjectPlan(plan.children[0].children[0], plan.columns)
+    if isinstance(plan, LimitPlan):
+        return plan.children[0]
+    return plan
 
 
 @dataclass
@@ -62,11 +80,25 @@ class CachedPlan:
     plan_cost: float = 0.0
     #: cache-clock stamp of the last touch (maintained by PlanCache)
     last_used: int = 0
+    #: serializes *parameterized* executions of this entry: bind values
+    #: live in the spec's shared ParameterSlots and are read during
+    #: execution, so concurrent runs of one template must bind + execute
+    #: atomically (non-parameterized entries never take it)
+    execution_lock: "threading.Lock" = field(default_factory=threading.Lock)
 
     @property
     def executable(self) -> PlanNode:
         """The plan executions should build (lowered when available)."""
         return self.exec_plan if self.exec_plan is not None else self.plan
+
+    def executable_for(self, k: int | None) -> tuple[PlanNode, int]:
+        """The executable plan and effective result size for a ``k``
+        override — a ``k`` beyond the prepared LIMIT runs the
+        limit-stripped twin (shared by prepared statements and server
+        sessions, so the override semantics cannot drift apart)."""
+        wanted = self.k if k is None else k
+        plan = self.executable
+        return (plan if wanted <= self.k else strip_limit(plan)), wanted
 
 
 @dataclass
@@ -111,38 +143,59 @@ class PlanCache:
         self._entries: "OrderedDict[QuerySignature, CachedPlan]" = OrderedDict()
         #: monotone access clock; every touch stamps the entry
         self._clock = 0
+        #: guards entries, clock and stats — every public operation is
+        #: atomic, so concurrent sessions can share one cache
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, signature: QuerySignature) -> bool:
-        return signature in self._entries
+        with self._lock:
+            return signature in self._entries
 
     def _touch(self, entry: CachedPlan) -> None:
         self._clock += 1
         entry.last_used = self._clock
 
     def get(self, signature: QuerySignature, generation: int) -> CachedPlan | None:
-        """The live entry for a signature, or None (miss / stale)."""
-        entry = self._entries.get(signature)
-        if entry is None or entry.generation != generation:
-            if entry is not None:  # stale entry: drop it eagerly
-                del self._entries[signature]
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(signature)
-        self._touch(entry)
-        self.stats.hits += 1
-        entry.hits += 1
-        return entry
+        """The live entry for a signature, or None (miss / stale).
+
+        Only entries *older* than the caller's generation are dropped; an
+        entry *newer* than it means the caller read the generation before
+        a concurrent invalidation — its lookup misses, but another
+        session's fresher plan must not be destroyed by it.
+        """
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None or entry.generation != generation:
+                if entry is not None and entry.generation < generation:
+                    del self._entries[signature]  # stale: drop it eagerly
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(signature)
+            self._touch(entry)
+            self.stats.hits += 1
+            entry.hits += 1
+            return entry
 
     def put(self, entry: CachedPlan) -> None:
-        self._entries[entry.signature] = entry
-        self._entries.move_to_end(entry.signature)
-        self._touch(entry)
-        while len(self._entries) > self.capacity:
-            del self._entries[self._victim()]
-            self.stats.evictions += 1
+        """Insert an entry (newest generation wins on conflicts).
+
+        A build that raced an invalidation arrives stale-on-arrival; it
+        must not replace a fresher plan another session built meanwhile.
+        """
+        with self._lock:
+            existing = self._entries.get(entry.signature)
+            if existing is not None and existing.generation > entry.generation:
+                return
+            self._entries[entry.signature] = entry
+            self._entries.move_to_end(entry.signature)
+            self._touch(entry)
+            while len(self._entries) > self.capacity:
+                del self._entries[self._victim()]
+                self.stats.evictions += 1
 
     def _victim(self) -> QuerySignature:
         """The signature to evict: minimal ``plan_cost / age``.
@@ -163,10 +216,12 @@ class PlanCache:
 
     def invalidate(self) -> None:
         """Drop every cached plan (schema, data or statistics changed)."""
-        if self._entries:
-            self._entries.clear()
-        self.stats.invalidations += 1
+        with self._lock:
+            if self._entries:
+                self._entries.clear()
+            self.stats.invalidations += 1
 
     def entries(self) -> list[CachedPlan]:
         """Cached entries, least- to most-recently used (for inspection)."""
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())

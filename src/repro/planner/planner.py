@@ -24,6 +24,7 @@ which bumps the planner *generation* and orphans every cached artifact.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -111,13 +112,21 @@ class Planner:
         #: they were built under and are stale once it moves on
         self.generation = 0
         self._sample_cache: dict[tuple[float, int], SampleDatabase] = {}
+        #: guards generation bumps, the sample cache and metric counters —
+        #: the planner is shared by every concurrent session of a served
+        #: database, so its bookkeeping must be race-free.  Optimization
+        #: itself (the expensive part) runs outside the lock; two sessions
+        #: missing on the same signature may both plan it, and the second
+        #: ``cache.put`` simply wins — wasted work, never corruption.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # front end
     # ------------------------------------------------------------------
     def bind(self, sql: str) -> QuerySpec:
         """Parse and bind a SQL string to a canonical query spec."""
-        self.metrics.binds += 1
+        with self._lock:
+            self.metrics.binds += 1
         return Binder(self.catalog).bind(parse(sql))
 
     def _resolve(self, query: "str | QuerySpec") -> QuerySpec:
@@ -129,11 +138,12 @@ class Planner:
     def sample(self, ratio: float, seed: int) -> SampleDatabase:
         """The (cached) sample database for a ``(ratio, seed)`` pair."""
         key = (ratio, seed)
-        if key not in self._sample_cache:
-            self._sample_cache[key] = SampleDatabase(
-                self.catalog, ratio=ratio, seed=seed
-            )
-        return self._sample_cache[key]
+        with self._lock:
+            sample = self._sample_cache.get(key)
+            if sample is None:
+                sample = SampleDatabase(self.catalog, ratio=ratio, seed=seed)
+                self._sample_cache[key] = sample
+            return sample
 
     # ------------------------------------------------------------------
     # optimization
@@ -169,6 +179,7 @@ class Planner:
         strategy: str = "rank-aware",
         use_cache: bool = True,
         params: Any = None,
+        bind: bool = True,
         **knobs: Any,
     ) -> tuple[CachedPlan, bool]:
         """The full staged pipeline; returns ``(entry, was_cache_hit)``.
@@ -190,12 +201,25 @@ class Planner:
         correctness never depends on the peeked values, only plan quality).
         A parameterized query prepared without ``params`` raises
         :class:`~repro.algebra.parameters.ParameterError`.
+
+        ``bind=False`` skips installing ``params`` into a cache *hit*'s
+        shared parameter slots: the concurrent serving layer defers that
+        bind until it holds the entry's ``execution_lock``, so one
+        template's interleaved executions cannot overwrite each other's
+        values mid-run.  A cache *miss* still bind-peeks ``params`` — the
+        freshly-built entry is not visible to any other thread until it is
+        put into the cache, so that bind cannot race.
         """
         if strategy not in STRATEGIES:
             raise ValueError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
             )
-        self.metrics.prepares += 1
+        with self._lock:
+            self.metrics.prepares += 1
+            # One generation read serves the whole prepare: an invalidation
+            # racing with this build just makes the entry stale-on-arrival
+            # (dropped by the next get), never wrongly fresh.
+            generation = self.generation
         spec = self._resolve(query)
         sample_ratio = float(knobs.pop("sample_ratio", 0.001))
         seed = int(knobs.pop("seed", 0))
@@ -203,9 +227,10 @@ class Planner:
             spec, strategy, dict(knobs, sample_ratio=sample_ratio, seed=seed)
         )
         if use_cache:
-            entry = self.cache.get(signature, self.generation)
+            entry = self.cache.get(signature, generation)
             if entry is not None:
-                bind_slots(entry.spec.parameters, params)
+                if bind:
+                    bind_slots(entry.spec.parameters, params)
                 return entry, True
         bind_slots(spec.parameters, params)
         start = time.perf_counter()
@@ -225,18 +250,19 @@ class Planner:
         else:
             exec_plan = None
         elapsed = time.perf_counter() - start
-        self.metrics.plan_seconds += elapsed
-        self.metrics.plans_built += 1
-        self.metrics.by_strategy[strategy] = (
-            self.metrics.by_strategy.get(strategy, 0) + 1
-        )
+        with self._lock:
+            self.metrics.plan_seconds += elapsed
+            self.metrics.plans_built += 1
+            self.metrics.by_strategy[strategy] = (
+                self.metrics.by_strategy.get(strategy, 0) + 1
+            )
         entry = CachedPlan(
             signature=signature,
             spec=spec,
             plan=plan,
             strategy=strategy,
             evaluators=EvaluatorCache(spec.scoring),
-            generation=self.generation,
+            generation=generation,
             k=spec.k,
             scoring=spec.scoring,
             exec_plan=exec_plan,
@@ -308,7 +334,8 @@ class Planner:
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
         """Orphan every cached plan and sample (schema/data/stats changed)."""
-        self.generation += 1
-        self.metrics.invalidations += 1
-        self._sample_cache.clear()
+        with self._lock:
+            self.generation += 1
+            self.metrics.invalidations += 1
+            self._sample_cache.clear()
         self.cache.invalidate()

@@ -25,22 +25,14 @@ from typing import TYPE_CHECKING, Any
 
 from ..algebra.parameters import ParameterError, bind_slots
 from ..execution.iterator import ExecutionContext
-from ..optimizer.plans import LimitPlan, PlanNode, ProjectPlan
 from ..optimizer.query_spec import QuerySpec
-from .cache import CachedPlan
+from .cache import CachedPlan, strip_limit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.database import Database
     from ..engine.result import Cursor, QueryResult
 
-
-def strip_limit(plan: PlanNode) -> PlanNode:
-    """The same plan without its top-level λ_k (for cursors / larger k)."""
-    if isinstance(plan, ProjectPlan) and isinstance(plan.children[0], LimitPlan):
-        return ProjectPlan(plan.children[0].children[0], plan.columns)
-    if isinstance(plan, LimitPlan):
-        return plan.children[0]
-    return plan
+__all__ = ["PreparedQuery", "Session", "strip_limit"]
 
 
 class PreparedQuery:
@@ -178,9 +170,7 @@ class PreparedQuery:
         bind_slots(entry.spec.parameters, params)
         plan_cached = self._hit or self._ran
         self._ran = True
-        wanted = entry.k if k is None else k
-        executable = entry.executable
-        plan = executable if wanted <= entry.k else strip_limit(executable)
+        plan, wanted = entry.executable_for(k)
         return self._db.execute(
             plan,
             entry.scoring,

@@ -1,0 +1,38 @@
+"""The concurrent serving subsystem: multi-session server over one engine.
+
+Turns the embedded :class:`~repro.engine.database.Database` into a
+multi-session engine:
+
+* :class:`QueryServer` — admission, worker-pool execution, and a
+  line-delimited JSON wire protocol over TCP
+  (:mod:`repro.server.protocol`);
+* :class:`SessionManager` / :class:`ServerSession` — per-client settings
+  and metrics over the **process-wide shared plan cache**;
+* snapshot-isolated reads — every statement executes against the
+  :class:`~repro.storage.snapshot.DatabaseSnapshot` captured at admission,
+  so readers never block writers and never observe half-applied DML;
+* :func:`connect` / :class:`RemoteSession` — the TCP client (what the CLI's
+  ``\\connect`` uses), plus :class:`InProcessClient` for tests and
+  embedding.
+
+Start serving with :meth:`Database.serve <repro.engine.database.Database.serve>`
+or ``python -m repro serve``.
+"""
+
+from .client import RemoteResult, RemoteSession, connect
+from .protocol import ProtocolError, ServerError
+from .server import InProcessClient, QueryServer
+from .session import ServerSession, SessionError, SessionManager
+
+__all__ = [
+    "InProcessClient",
+    "ProtocolError",
+    "QueryServer",
+    "RemoteResult",
+    "RemoteSession",
+    "ServerError",
+    "ServerSession",
+    "SessionError",
+    "SessionManager",
+    "connect",
+]

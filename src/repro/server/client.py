@@ -1,0 +1,150 @@
+"""TCP client for the serving protocol (the ``\\connect`` backend).
+
+:func:`connect` opens a socket, says ``hello`` and returns a
+:class:`RemoteSession` whose surface mirrors the in-process client:
+``execute`` returns a :class:`RemoteResult` carrying columns, rows, scores
+and the server-side execution metrics.  One connection carries one session;
+requests are answered in order (the protocol has no statement ids), which
+matches the per-session serialization the server enforces anyway.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from . import protocol
+from .protocol import ProtocolError, ServerError
+
+__all__ = ["connect", "RemoteSession", "RemoteResult", "ServerError"]
+
+
+class RemoteResult:
+    """A query result materialized from the wire.
+
+    Mirrors the read surface of :class:`~repro.engine.result.QueryResult`
+    that clients render: ``columns``, ``rows`` (value tuples, best first),
+    ``scores``, ``plan_cached`` and the execution-metrics summary dict.
+    """
+
+    __slots__ = ("columns", "rows", "scores", "plan_cached", "metrics")
+
+    def __init__(self, payload: dict[str, Any]):
+        self.columns: list[str] = list(payload.get("columns", ()))
+        self.rows: list[tuple] = [tuple(r) for r in payload.get("rows", ())]
+        self.scores: list[float] = list(payload.get("scores", ()))
+        self.plan_cached: bool = bool(payload.get("plan_cached", False))
+        self.metrics: dict[str, float] = dict(payload.get("metrics", {}))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        out = []
+        for row, score in zip(self.rows, self.scores):
+            record = dict(zip(self.columns, row))
+            record["score"] = score
+            out.append(record)
+        return out
+
+    def __repr__(self) -> str:
+        return f"RemoteResult(rows={len(self.rows)}, cached={self.plan_cached})"
+
+
+class RemoteSession:
+    """One session over one TCP connection to a query server."""
+
+    def __init__(self, sock: socket.socket, session_id: str):
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        self.session_id = session_id
+        self._closed = False
+
+    # -- plumbing ----------------------------------------------------------
+    def _roundtrip(self, message: dict[str, Any]) -> dict[str, Any]:
+        if self._closed:
+            raise RuntimeError("remote session is closed")
+        self._sock.sendall(protocol.encode(message))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.check_response(protocol.decode(line))
+
+    # -- the client surface ------------------------------------------------
+    def execute(
+        self, sql: str, params: Any = None, k: int | None = None
+    ) -> RemoteResult:
+        message: dict[str, Any] = {"op": "query", "sql": sql}
+        if params is not None:
+            message["params"] = params
+        if k is not None:
+            message["k"] = k
+        return RemoteResult(self._roundtrip(message))
+
+    def explain(self, sql: str, params: Any = None) -> str:
+        message: dict[str, Any] = {"op": "explain", "sql": sql}
+        if params is not None:
+            message["params"] = params
+        return self._roundtrip(message)["text"]
+
+    def insert(self, table: str, rows: list) -> int:
+        return self._roundtrip(
+            {"op": "insert", "table": table, "rows": [list(r) for r in rows]}
+        )["inserted"]
+
+    def delete(self, table: str, column: str, equals: Any) -> int:
+        return self._roundtrip(
+            {"op": "delete", "table": table, "column": column, "equals": equals}
+        )["deleted"]
+
+    def metrics(self) -> dict[str, Any]:
+        return self._roundtrip({"op": "metrics"})
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self._roundtrip({"op": "close"})
+        except (OSError, ConnectionError, ServerError, ProtocolError):
+            pass  # best-effort goodbye; the socket closes either way
+        finally:
+            self._closed = True
+            self._reader.close()
+            self._sock.close()
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = 5433,
+    timeout: float | None = 10.0,
+    **settings: Any,
+) -> RemoteSession:
+    """Open a session on a serving database; ``settings`` become the
+    session's planner settings (strategy, sample_ratio, …)."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    try:
+        message: dict[str, Any] = {"op": "hello"}
+        if settings:
+            message["settings"] = settings
+        sock.sendall(protocol.encode(message))
+        reader = sock.makefile("rb")
+        try:
+            line = reader.readline()
+        finally:
+            reader.close()
+        if not line:
+            raise ConnectionError("server closed the connection during hello")
+        response = protocol.check_response(protocol.decode(line))
+        return RemoteSession(sock, response["session"])
+    except BaseException:
+        sock.close()
+        raise

@@ -1,0 +1,126 @@
+"""The wire protocol: line-delimited JSON over TCP.
+
+Every message — request and response alike — is one JSON object on one
+``\\n``-terminated line (NDJSON), so any language with a JSON parser and a
+socket can speak to the server, and a session transcript is trivially
+greppable.  Requests carry an ``op``; responses carry ``ok`` plus either
+the op's payload or an ``error`` envelope:
+
+Requests (client → server)::
+
+    {"op": "hello", "settings": {...}}          open a session
+    {"op": "query", "sql": "...", "params": ..., "k": ...}
+    {"op": "explain", "sql": "...", "params": ...}
+    {"op": "insert", "table": "t", "rows": [[...], ...]}
+    {"op": "delete", "table": "t", "column": "c", "equals": v}
+    {"op": "metrics"}                           session + shared-cache stats
+    {"op": "close"}                             close the session
+
+Responses (server → client)::
+
+    {"ok": true, "session": "s1"}                                (hello)
+    {"ok": true, "columns": [...], "rows": [[...]], "scores": [...],
+     "plan_cached": true, "metrics": {...}}                      (query)
+    {"ok": false, "error": {"type": "CatalogError", "message": "..."}}
+
+Values are restricted to the engine's data types (int, float, text, bool,
+NULL), all JSON-native, so serialization is lossless.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.result import QueryResult
+
+#: protocol ops a server understands
+OPS = ("hello", "query", "explain", "insert", "delete", "metrics", "close")
+
+
+class ProtocolError(Exception):
+    """Raised for malformed messages or unknown ops."""
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """One message as a ``\\n``-terminated JSON line."""
+    return (json.dumps(message, default=str) + "\n").encode("utf-8")
+
+
+def decode(line: "str | bytes") -> dict[str, Any]:
+    """Parse one line into a message dict (raises :class:`ProtocolError`
+    on anything that is not a JSON object)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    stripped = line.strip()
+    if not stripped:
+        raise ProtocolError("empty message")
+    try:
+        message = json.loads(stripped)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"bad JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def request_op(message: dict[str, Any]) -> str:
+    """Validate and extract a request's ``op``."""
+    op = message.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request is missing its 'op' field")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+    return op
+
+
+def result_payload(result: "QueryResult") -> dict[str, Any]:
+    """Serialize a :class:`~repro.engine.result.QueryResult` for the wire.
+
+    Rows and scores keep their order (best first); ``metrics`` carries the
+    execution-metrics summary so remote clients see the same counters
+    embedded callers do.
+    """
+    return {
+        "ok": True,
+        "columns": list(result.schema.qualified_names()),
+        "rows": [list(values) for values in result.rows],
+        "scores": result.scores,
+        "plan_cached": result.plan_cached,
+        "metrics": result.metrics.summary(),
+    }
+
+
+def error_payload(error: BaseException) -> dict[str, Any]:
+    """The error envelope for a failed request (type name + message)."""
+    return {
+        "ok": False,
+        "error": {"type": type(error).__name__, "message": str(error)},
+    }
+
+
+def check_response(message: dict[str, Any]) -> dict[str, Any]:
+    """Client-side: raise :class:`ServerError` for error envelopes,
+    pass successful responses through."""
+    if message.get("ok"):
+        return message
+    error = message.get("error") or {}
+    raise ServerError(
+        error.get("message", "unknown server error"),
+        remote_type=error.get("type", "Exception"),
+    )
+
+
+class ServerError(Exception):
+    """A server-side failure surfaced on the client, carrying the remote
+    exception's type name."""
+
+    def __init__(self, message: str, remote_type: str = "Exception"):
+        super().__init__(message)
+        self.remote_type = remote_type
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.remote_type}] {super().__str__()}"

@@ -1,0 +1,465 @@
+"""The concurrent query server: admission, worker pool, wire front end.
+
+:class:`QueryServer` turns an embedded :class:`~repro.engine.database.Database`
+into a multi-session engine.  The flow of one statement:
+
+1. **Admission** — :meth:`QueryServer.submit` resolves the session and
+   captures a :class:`~repro.storage.snapshot.DatabaseSnapshot` *now*:
+   whatever versions the tables are at when the statement is accepted are
+   the versions the whole plan will read.  The statement then joins the
+   server queue.
+2. **Queueing** — a bounded set of worker threads drains the queue; the
+   queue length is observable (:meth:`QueryServer.summary`), which is the
+   hook a future admission-control policy needs.
+3. **Execution** — the worker runs the statement through its
+   :class:`~repro.server.session.ServerSession`, which plans against the
+   process-wide shared plan cache and executes against the admission
+   snapshot.  The result (or exception) resolves the caller's future.
+
+Two client surfaces share that path:
+
+* **in-process** — :meth:`QueryServer.session` returns an
+  :class:`InProcessClient` whose ``execute`` goes admission → queue →
+  worker exactly like remote traffic (tests and embedding servers use
+  this; no sockets involved);
+* **TCP** — :meth:`QueryServer.start` (with a port) listens for
+  connections speaking the line-delimited JSON protocol
+  (:mod:`repro.server.protocol`); each connection gets a session on
+  ``hello`` and a reader thread that forwards its statements.
+
+Thread model: workers execute statements concurrently; per-session
+statements serialize on the session lock; writers (``insert`` / ``delete``
+ops and the embedded write API) serialize per table on the storage write
+lock and publish new versions readers never block on.  Wire DML
+deliberately bypasses the read queue — it needs no snapshot and must not
+wait behind queued reads — running on the connection thread instead; it
+is surfaced separately as ``writes_executed`` in :meth:`QueryServer.summary`
+(a future admission-control policy that should govern writes would route
+these through :meth:`QueryServer.submit`).  The GIL bounds CPU
+parallelism, so the worker pool's win is *overlap* — queue wait, client
+think time and socket I/O — exactly the shape of multi-user serving.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..storage.snapshot import DatabaseSnapshot
+from . import protocol
+from .protocol import ProtocolError
+from .session import ServerSession, SessionError, SessionManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.database import Database
+    from ..engine.result import QueryResult
+
+
+@dataclass
+class _Request:
+    """One admitted statement waiting for a worker."""
+
+    session: ServerSession
+    sql: str
+    params: Any
+    k: int | None
+    snapshot: DatabaseSnapshot
+    future: "Future[QueryResult]" = field(default_factory=Future)
+
+
+class QueryServer:
+    """A threaded, multi-session front end over one database.
+
+    ``workers`` sizes the execution pool; ``port`` (not None) additionally
+    opens the TCP listener on :meth:`start` (``port=0`` picks an ephemeral
+    port — see :attr:`address`).  Use as a context manager for clean
+    shutdown::
+
+        with db.serve(workers=4) as server:
+            with server.session() as client:
+                client.execute("SELECT ... LIMIT 5")
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        workers: int = 4,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        **session_defaults: Any,
+    ):
+        if workers < 1:
+            raise ValueError("worker pool needs at least one thread")
+        self.database = database
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.sessions = SessionManager(database, **session_defaults)
+        self._queue: "queue.Queue[_Request | None]" = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._listener: socket.socket | None = None
+        self._connections: set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+        self._running = False
+        self._lock = threading.Lock()
+        #: admission/queue metrics
+        self.statements_admitted = 0
+        self.statements_completed = 0
+        self.statements_failed = 0
+        self.max_queue_depth = 0
+        #: wire DML ops (insert/delete), which bypass the read queue: they
+        #: run on the connection thread and serialize on the storage write
+        #: locks, so they are counted separately from queued statements
+        self.writes_executed = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryServer":
+        """Spin up the worker pool (and the TCP listener when a port is
+        configured); idempotent."""
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        if self.port is not None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            listener.listen()
+            listener.settimeout(0.2)
+            self._listener = listener
+            self.port = listener.getsockname()[1]
+            accept = threading.Thread(
+                target=self._accept_loop, name="repro-accept", daemon=True
+            )
+            accept.start()
+            self._threads.append(accept)
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The listening ``(host, port)`` (port resolved after start)."""
+        if self.port is None:
+            raise RuntimeError("server has no TCP listener configured")
+        return (self.host, self.port)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def stop(self) -> None:
+        """Drain and stop: close connections, stop workers, close sessions."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+        if self._listener is not None:
+            self._listener.close()
+        with self._connections_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        with self._lock:
+            # Sentinels go in under the lock, after _running is False: no
+            # request can be enqueued behind them (see submit()).
+            for __ in range(self.workers):
+                self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads.clear()
+        # Belt and braces: fail anything still queued (e.g. a worker died
+        # on join timeout) so no caller blocks on an unresolvable future.
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if request is not None:
+                request.future.set_exception(
+                    RuntimeError("server stopped before executing the statement")
+                )
+        self.sessions.close_all()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # admission + execution (shared by in-process and TCP clients)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        session: "ServerSession | str",
+        sql: str,
+        params: Any = None,
+        k: int | None = None,
+    ) -> "Future[QueryResult]":
+        """Admit one statement; returns a future resolved by a worker.
+
+        Admission is where the snapshot is captured: the statement will
+        execute against the table versions current *now*, regardless of
+        how long it queues or what writers do meanwhile.
+        """
+        if isinstance(session, str):
+            session = self.sessions.get(session)
+        request = _Request(
+            session=session,
+            sql=sql,
+            params=params,
+            k=k,
+            snapshot=self.database.snapshot(),
+        )
+        # Admission check + enqueue are atomic with stop(): either this
+        # request precedes the workers' shutdown sentinels in the FIFO
+        # (and will be served), or the server is already stopping and the
+        # caller fails fast instead of waiting on a future nobody resolves.
+        with self._lock:
+            if not self._running:
+                raise RuntimeError("server is not running (call start())")
+            self.statements_admitted += 1
+            depth = self._queue.qsize() + 1
+            if depth > self.max_queue_depth:
+                self.max_queue_depth = depth
+            self._queue.put(request)
+        return request.future
+
+    def execute(
+        self,
+        session: "ServerSession | str",
+        sql: str,
+        params: Any = None,
+        k: int | None = None,
+    ) -> "QueryResult":
+        """:meth:`submit` and wait — the synchronous client call."""
+        return self.submit(session, sql, params=params, k=k).result()
+
+    def session(self, **settings: Any) -> "InProcessClient":
+        """Open a session and return its in-process client handle."""
+        return InProcessClient(self, self.sessions.open(**settings))
+
+    def _worker_loop(self) -> None:
+        while True:
+            request = self._queue.get()
+            if request is None:
+                return
+            try:
+                result = request.session.execute(
+                    request.sql,
+                    params=request.params,
+                    k=request.k,
+                    snapshot=request.snapshot,
+                )
+            except BaseException as error:  # resolve, never kill the worker
+                with self._lock:
+                    self.statements_failed += 1
+                request.future.set_exception(error)
+            else:
+                with self._lock:
+                    self.statements_completed += 1
+                request.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Server, session and shared-cache counters in one dict."""
+        cache = self.database.planner.cache
+        out = {
+            "workers": self.workers,
+            "statements_admitted": self.statements_admitted,
+            "statements_completed": self.statements_completed,
+            "statements_failed": self.statements_failed,
+            "queue_depth": self._queue.qsize(),
+            "max_queue_depth": self.max_queue_depth,
+            "writes_executed": self.writes_executed,
+        }
+        for key, value in self.sessions.summary().items():
+            out[key if key.startswith("sessions_") else f"sessions_{key}"] = value
+        out.update(
+            (f"shared_cache_{key}", value)
+            for key, value in cache.stats.summary().items()
+        )
+        out["shared_cache_entries"] = len(cache)
+        return out
+
+    # ------------------------------------------------------------------
+    # TCP front end
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running:
+            try:
+                conn, __ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed during stop()
+            with self._connections_lock:
+                self._connections.add(conn)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        session: ServerSession | None = None
+        try:
+            reader = conn.makefile("rb")
+            try:
+                for line in reader:
+                    if not line.strip():
+                        continue
+                    try:
+                        response, session, done = self._handle_message(
+                            line, session
+                        )
+                    except (
+                        ProtocolError,
+                        SessionError,
+                    ) as error:
+                        response, done = protocol.error_payload(error), False
+                    except Exception as error:
+                        response, done = protocol.error_payload(error), False
+                    try:
+                        conn.sendall(protocol.encode(response))
+                    except OSError:
+                        return
+                    if done:
+                        return
+            finally:
+                reader.close()
+        except OSError:
+            pass  # connection torn down mid-read (client or stop())
+        finally:
+            if session is not None and not session.closed:
+                try:
+                    self.sessions.close(session.session_id)
+                except SessionError:
+                    pass
+            with self._connections_lock:
+                self._connections.discard(conn)
+            conn.close()
+
+    def _handle_message(
+        self, line: bytes, session: ServerSession | None
+    ) -> tuple[dict[str, Any], ServerSession | None, bool]:
+        """Dispatch one wire message; returns (response, session, done)."""
+        message = protocol.decode(line)
+        op = protocol.request_op(message)
+        if op == "hello":
+            if session is not None:
+                raise ProtocolError("session already open on this connection")
+            settings = message.get("settings") or {}
+            if not isinstance(settings, dict):
+                raise ProtocolError("'settings' must be an object")
+            session = self.sessions.open(**settings)
+            return {"ok": True, "session": session.session_id}, session, False
+        if session is None:
+            raise ProtocolError(f"op {op!r} requires a session; send 'hello' first")
+        if op == "query":
+            result = self.execute(
+                session,
+                self._sql_of(message),
+                params=message.get("params"),
+                k=message.get("k"),
+            )
+            return protocol.result_payload(result), session, False
+        if op == "explain":
+            text = session.explain(self._sql_of(message), params=message.get("params"))
+            return {"ok": True, "text": text}, session, False
+        if op == "insert":
+            table = message.get("table")
+            rows = message.get("rows")
+            if not isinstance(table, str) or not isinstance(rows, list):
+                raise ProtocolError("'insert' needs a table name and a row list")
+            inserted = self.database.insert(table, [tuple(r) for r in rows])
+            with self._lock:
+                self.writes_executed += 1
+            return {"ok": True, "inserted": inserted}, session, False
+        if op == "delete":
+            table = message.get("table")
+            column = message.get("column")
+            if not isinstance(table, str) or not isinstance(column, str):
+                raise ProtocolError("'delete' needs a table and a column")
+            equals = message.get("equals")
+            deleted = self.database.delete_where(
+                table, column=column, equals=equals
+            )
+            with self._lock:
+                self.writes_executed += 1
+            return {"ok": True, "deleted": deleted}, session, False
+        if op == "metrics":
+            payload = {
+                "ok": True,
+                "session": session.summary(),
+                "server": self.summary(),
+            }
+            return payload, session, False
+        assert op == "close"
+        self.sessions.close(session.session_id)
+        return {"ok": True, "closed": session.session_id}, None, True
+
+    @staticmethod
+    def _sql_of(message: dict[str, Any]) -> str:
+        sql = message.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise ProtocolError("request is missing its 'sql' text")
+        return sql
+
+
+class InProcessClient:
+    """A session handle whose statements go through the server's
+    admission → queue → worker path, without sockets (the test surface,
+    and the natural embedding API)."""
+
+    def __init__(self, server: QueryServer, session: ServerSession):
+        self._server = server
+        self.session = session
+
+    @property
+    def session_id(self) -> str:
+        return self.session.session_id
+
+    def execute(
+        self, sql: str, params: Any = None, k: int | None = None
+    ) -> "QueryResult":
+        return self._server.execute(self.session, sql, params=params, k=k)
+
+    def submit(
+        self, sql: str, params: Any = None, k: int | None = None
+    ) -> "Future[QueryResult]":
+        return self._server.submit(self.session, sql, params=params, k=k)
+
+    def explain(self, sql: str, params: Any = None) -> str:
+        return self.session.explain(sql, params=params)
+
+    def summary(self) -> dict[str, float]:
+        return self.session.summary()
+
+    def close(self) -> None:
+        if not self.session.closed:
+            self._server.sessions.close(self.session.session_id)
+
+    def __enter__(self) -> "InProcessClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

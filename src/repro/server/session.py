@@ -1,0 +1,235 @@
+"""Server sessions: per-client execution state over one shared engine.
+
+A :class:`ServerSession` is the unit of admission in the concurrent
+serving subsystem: it carries a client's planner settings and metrics, and
+executes statements against the **process-wide shared plan cache** — every
+session reuses plans any other session compiled (the cache key is the
+``(catalog generation, query signature)`` pair, so staleness is handled
+once, centrally).  Per-session hit/miss counters record how much of that
+shared work each client actually reused.
+
+Concurrency contract:
+
+* Statements of *different* sessions run concurrently on the server's
+  worker pool.
+* Statements of *one* session are serialized on the session's statement
+  lock (a client that pipelines requests still gets in-order, one-at-a-time
+  execution — the wire protocol has no statement ids to match replies by).
+* A *parameterized* statement binds its values into the cached template's
+  shared parameter slots; bind + execute happen atomically under the
+  entry's ``execution_lock`` so interleaved executions of one template
+  never read each other's constants (see
+  :meth:`repro.planner.Planner.prepare` ``bind=False``).
+* Reads are **snapshot-isolated**: the server captures a
+  :class:`~repro.storage.snapshot.DatabaseSnapshot` at admission and the
+  whole plan executes against those table versions, no matter what
+  concurrent writers commit meanwhile.
+
+The :class:`SessionManager` owns the id → session registry (thread-safe),
+hands out monotonically-numbered session ids, and aggregates summaries.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from ..algebra.parameters import bind_slots
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.database import Database
+    from ..engine.result import QueryResult
+    from ..storage.snapshot import DatabaseSnapshot
+
+
+class SessionError(Exception):
+    """Raised for unknown or closed sessions."""
+
+
+class ServerSession:
+    """One client's execution context on a served database."""
+
+    def __init__(
+        self,
+        session_id: str,
+        database: "Database",
+        strategy: str = "rank-aware",
+        **settings: Any,
+    ):
+        self.session_id = session_id
+        self._db = database
+        self.strategy = strategy
+        self.settings = settings
+        self._closed = False
+        #: serializes this session's statements (see the module contract)
+        self._statement_lock = threading.Lock()
+        #: client-side totals
+        self.queries_executed = 0
+        self.rows_returned = 0
+        #: shared-plan-cache reuse as *this session* experienced it
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionError(f"session {self.session_id!r} is closed")
+
+    # -- execution ---------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        params: Any = None,
+        k: int | None = None,
+        snapshot: "DatabaseSnapshot | None" = None,
+    ) -> "QueryResult":
+        """Plan (against the shared cache) and execute one statement.
+
+        ``snapshot`` pins the table versions the plan reads (captured by
+        the server at admission); ``None`` executes against the live
+        catalog (the embedded, single-threaded convenience path).
+        """
+        self._check_open()
+        with self._statement_lock:
+            planner = self._db.planner
+            entry, hit = planner.prepare(
+                sql,
+                strategy=self.strategy,
+                params=params,
+                bind=False,
+                **self.settings,
+            )
+            if hit:
+                self.plan_cache_hits += 1
+            else:
+                self.plan_cache_misses += 1
+            plan, wanted = entry.executable_for(k)
+            if entry.spec.parameters:
+                # Atomic bind + execute: one template's concurrent runs
+                # (other sessions, other workers) queue here instead of
+                # overwriting each other's constants mid-execution.
+                with entry.execution_lock:
+                    bind_slots(entry.spec.parameters, params)
+                    result = self._execute(entry, plan, wanted, hit, snapshot)
+            else:
+                bind_slots(entry.spec.parameters, params)  # rejects stray params
+                result = self._execute(entry, plan, wanted, hit, snapshot)
+            # Counter updates stay inside the statement lock: a client
+            # pipelining submits may have its statements finished by
+            # different workers, and increments must not be lost.
+            self.queries_executed += 1
+            self.rows_returned += len(result)
+        return result
+
+    def _execute(self, entry, plan, k, hit, snapshot) -> "QueryResult":
+        return self._db.execute(
+            plan,
+            entry.scoring,
+            k=k,
+            evaluators=entry.evaluators,
+            plan_cached=hit,
+            snapshot=snapshot,
+        )
+
+    def explain(self, sql: str, params: Any = None) -> str:
+        """The chosen plan for a statement under this session's settings."""
+        self._check_open()
+        with self._statement_lock:
+            entry, __ = self._db.planner.prepare(
+                sql,
+                strategy=self.strategy,
+                params=params,
+                bind=False,
+                **self.settings,
+            )
+            return entry.plan.explain()
+
+    # -- metrics -----------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """This session's shared-plan-cache hit rate."""
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "session_id": self.session_id,
+            "queries_executed": self.queries_executed,
+            "rows_returned": self.rows_returned,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "plan_cache_hit_rate": self.hit_rate,
+        }
+
+
+class SessionManager:
+    """Thread-safe registry of a served database's sessions."""
+
+    def __init__(self, database: "Database", **defaults: Any):
+        self._db = database
+        self._defaults = defaults
+        self._lock = threading.Lock()
+        self._sessions: dict[str, ServerSession] = {}
+        self._counter = 0
+        #: sessions ever admitted (open + closed), for capacity metrics
+        self.sessions_opened = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def open(self, **settings: Any) -> ServerSession:
+        """Admit a new session (``settings`` override the server defaults)."""
+        with self._lock:
+            self._counter += 1
+            self.sessions_opened += 1
+            session_id = f"s{self._counter}"
+            merged = dict(self._defaults)
+            merged.update(settings)
+            session = ServerSession(session_id, self._db, **merged)
+            self._sessions[session_id] = session
+            return session
+
+    def get(self, session_id: str) -> ServerSession:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"unknown session {session_id!r}")
+        return session
+
+    def close(self, session_id: str) -> None:
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise SessionError(f"unknown session {session_id!r}")
+        session.close()
+
+    def close_all(self) -> None:
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+
+    def sessions(self) -> list[ServerSession]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate client-side totals across open sessions."""
+        sessions = self.sessions()
+        return {
+            "sessions_open": len(sessions),
+            "sessions_opened": self.sessions_opened,
+            "queries_executed": sum(s.queries_executed for s in sessions),
+            "rows_returned": sum(s.rows_returned for s in sessions),
+            "plan_cache_hits": sum(s.plan_cache_hits for s in sessions),
+            "plan_cache_misses": sum(s.plan_cache_misses for s in sessions),
+        }

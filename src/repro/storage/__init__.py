@@ -1,11 +1,13 @@
-"""Storage substrate: schemas, rows, heap tables, indexes, catalog, stats."""
+"""Storage substrate: schemas, rows, versioned heap tables, indexes,
+catalog, statistics, and consistent database snapshots."""
 
 from .catalog import Catalog, CatalogError
 from .index import ColumnIndex, Index, MultiKeyIndex, RankIndex
 from .row import Row
 from .schema import Column, DataType, Schema, SchemaError
+from .snapshot import DatabaseSnapshot
 from .stats import ColumnStats, Histogram, TableStats, analyze_table
-from .table import Table
+from .table import ColumnarView, Table, TableVersion
 
 __all__ = [
     "Catalog",
@@ -13,7 +15,9 @@ __all__ = [
     "Column",
     "ColumnIndex",
     "ColumnStats",
+    "ColumnarView",
     "DataType",
+    "DatabaseSnapshot",
     "Histogram",
     "Index",
     "MultiKeyIndex",
@@ -23,5 +27,6 @@ __all__ = [
     "SchemaError",
     "Table",
     "TableStats",
+    "TableVersion",
     "analyze_table",
 ]

@@ -4,15 +4,21 @@ The :class:`Catalog` owns every table, its statistics, and the registry of
 *ranking predicates* (user-defined scoring functions with an evaluation
 cost).  Both the binder (name resolution) and the optimizer (statistics,
 access-path discovery) consult it.
+
+Registry operations are guarded by one re-entrant lock so concurrent
+sessions can create tables, analyze and capture snapshots without tearing
+the dictionaries; per-table data is versioned separately (see
+:mod:`repro.storage.table`), so the lock is never held during DML.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Iterator
 
 from .schema import Schema
 from .stats import TableStats, analyze_table
-from .table import Table
+from .table import Table, TableVersion
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..algebra.predicates import RankingPredicate
@@ -26,6 +32,7 @@ class Catalog:
     """Registry of tables, statistics, and ranking predicates."""
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, TableStats] = {}
         self._predicates: dict[str, "RankingPredicate"] = {}
@@ -35,18 +42,20 @@ class Catalog:
     # ------------------------------------------------------------------
     def create_table(self, name: str, schema: Schema) -> Table:
         """Create and register an empty table."""
-        if name in self._tables:
-            raise CatalogError(f"table {name!r} already exists")
-        table = Table(name, schema)
-        self._tables[name] = table
-        return table
+        with self._lock:
+            if name in self._tables:
+                raise CatalogError(f"table {name!r} already exists")
+            table = Table(name, schema)
+            self._tables[name] = table
+            return table
 
     def drop_table(self, name: str) -> None:
         """Remove a table (and its cached statistics)."""
-        if name not in self._tables:
-            raise CatalogError(f"unknown table: {name!r}")
-        del self._tables[name]
-        self._stats.pop(name, None)
+        with self._lock:
+            if name not in self._tables:
+                raise CatalogError(f"unknown table: {name!r}")
+            del self._tables[name]
+            self._stats.pop(name, None)
 
     def table(self, name: str) -> Table:
         """Look up a table by name."""
@@ -59,7 +68,19 @@ class Catalog:
         return name in self._tables
 
     def tables(self) -> Iterator[Table]:
-        return iter(self._tables.values())
+        with self._lock:
+            return iter(list(self._tables.values()))
+
+    def table_versions(self) -> dict[str, TableVersion]:
+        """One consistent capture of every table's published version — the
+        building block of :class:`~repro.storage.snapshot.DatabaseSnapshot`.
+
+        The lock only pins the *registry* while versions are read; each
+        version itself is immutable, so the capture is O(#tables) and never
+        blocks writers for longer than a dict scan.
+        """
+        with self._lock:
+            return {name: table.version() for name, table in self._tables.items()}
 
     # ------------------------------------------------------------------
     # statistics
@@ -67,7 +88,8 @@ class Catalog:
     def analyze(self, name: str) -> TableStats:
         """(Re)compute and cache statistics for a table."""
         stats = analyze_table(self.table(name))
-        self._stats[name] = stats
+        with self._lock:
+            self._stats[name] = stats
         return stats
 
     def stats(self, name: str) -> TableStats:
@@ -81,9 +103,12 @@ class Catalog:
     # ------------------------------------------------------------------
     def register_predicate(self, predicate: "RankingPredicate") -> None:
         """Register a ranking predicate by name."""
-        if predicate.name in self._predicates:
-            raise CatalogError(f"ranking predicate {predicate.name!r} already exists")
-        self._predicates[predicate.name] = predicate
+        with self._lock:
+            if predicate.name in self._predicates:
+                raise CatalogError(
+                    f"ranking predicate {predicate.name!r} already exists"
+                )
+            self._predicates[predicate.name] = predicate
 
     def predicate(self, name: str) -> "RankingPredicate":
         try:
@@ -95,4 +120,5 @@ class Catalog:
         return name in self._predicates
 
     def predicates(self) -> Iterator["RankingPredicate"]:
-        return iter(self._predicates.values())
+        with self._lock:
+            return iter(list(self._predicates.values()))

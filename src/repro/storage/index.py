@@ -16,11 +16,21 @@ Three index flavours back the physical access paths of the engine:
 
 All indexes are kept sorted with :mod:`bisect` over immutable key tuples and
 are maintained incrementally on insert via :meth:`Table.attach_index`.
+
+**Rebind discipline (versioning contract).**  Index maintenance never
+mutates the entry arrays in place: every write builds fresh ``_keys`` /
+``_rows`` lists and *rebinds* the attributes.  A published
+:class:`~repro.storage.table.TableVersion` can therefore pin an index's
+exact state with an O(1) shallow copy (:meth:`Index.pinned`) — concurrent
+readers scanning a pinned snapshot are immune to any later write, while
+the live index object handed out at creation time keeps reflecting the
+latest data.
 """
 
 from __future__ import annotations
 
 import bisect
+import copy
 from typing import Any, Callable, Iterator
 
 from .row import Row
@@ -52,11 +62,15 @@ class Index:
         raise NotImplementedError
 
     def insert(self, row: Row) -> None:
-        """Insert a row, maintaining key order (ties broken by row id)."""
+        """Insert a row, maintaining key order (ties broken by row id).
+
+        Rebinds fresh arrays instead of ``list.insert`` (same O(n) cost)
+        so pinned snapshots of the previous state stay frozen.
+        """
         key = (self.key_for(row), row.rid)
         pos = bisect.bisect_left(self._keys, key)
-        self._keys.insert(pos, key)
-        self._rows.insert(pos, row)
+        self._keys = self._keys[:pos] + [key] + self._keys[pos:]
+        self._rows = self._rows[:pos] + [row] + self._rows[pos:]
 
     def insert_many(self, rows: "list[Row] | tuple[Row, ...]") -> None:
         """Bulk-insert rows: sort the batch once, then merge it with the
@@ -90,6 +104,31 @@ class Index:
         self._keys = keys
         self._rows = out_rows
 
+    def pinned(self) -> "Index":
+        """An O(1) frozen snapshot of the current state.
+
+        The shallow copy shares the entry arrays with the live index; the
+        rebind discipline guarantees no later write ever mutates them, so
+        the snapshot is immutable by construction.  Published table
+        versions hold pinned snapshots, keeping concurrent readers
+        isolated from writers.
+        """
+        return copy.copy(self)
+
+    def remove_rids(self, rids: "set[tuple[tuple[str, int], ...]]") -> int:
+        """Remove every row whose rid is in ``rids`` (rebind-style; key
+        order is preserved).  Returns the number removed."""
+        keys: list[Any] = []
+        rows: list[Row] = []
+        for key, row in zip(self._keys, self._rows):
+            if row.rid not in rids:
+                keys.append(key)
+                rows.append(row)
+        removed = len(self._rows) - len(rows)
+        self._keys = keys
+        self._rows = rows
+        return removed
+
     def scan_ascending(self) -> Iterator[Row]:
         """All rows in ascending key order."""
         return iter(self._rows)
@@ -117,19 +156,24 @@ class ColumnIndex(Index):
 
     def lookup(self, value: Any) -> Iterator[Row]:
         """All rows whose indexed column equals ``value``."""
-        lo = bisect.bisect_left(self._keys, (value,))
-        for i in range(lo, len(self._keys)):
-            if self._keys[i][0] != value:
+        # Bind the arrays once: the rebind discipline means a concurrent
+        # write replaces them wholesale, so a scan that captured both
+        # stays on one consistent state instead of tearing mid-iteration.
+        keys, rows = self._keys, self._rows
+        lo = bisect.bisect_left(keys, (value,))
+        for i in range(lo, len(keys)):
+            if keys[i][0] != value:
                 break
-            yield self._rows[i]
+            yield rows[i]
 
     def range_scan(self, low: Any = None, high: Any = None) -> Iterator[Row]:
         """Rows with ``low <= key <= high`` (None = unbounded), ascending."""
-        start = 0 if low is None else bisect.bisect_left(self._keys, (low,))
-        for i in range(start, len(self._keys)):
-            if high is not None and self._keys[i][0] > high:
+        keys, rows = self._keys, self._rows
+        start = 0 if low is None else bisect.bisect_left(keys, (low,))
+        for i in range(start, len(keys)):
+            if high is not None and keys[i][0] > high:
                 break
-            yield self._rows[i]
+            yield rows[i]
 
 
 class RankIndex(Index):
@@ -163,8 +207,9 @@ class RankIndex(Index):
     def scan_by_score(self) -> Iterator[tuple[float, Row]]:
         """Yield ``(score, row)`` pairs in descending score order
         (ties in ascending row-id order)."""
-        for i in range(len(self._rows)):
-            yield -self._keys[i][0], self._rows[i]
+        keys, rows = self._keys, self._rows  # one consistent rebind state
+        for i in range(len(rows)):
+            yield -keys[i][0], rows[i]
 
 
 class MultiKeyIndex(Index):
@@ -199,7 +244,8 @@ class MultiKeyIndex(Index):
     def scan_matching(self, bool_value: bool = True) -> Iterator[tuple[float, Row]]:
         """Yield ``(score, row)`` for rows whose Boolean key equals
         ``bool_value``, in descending score order (ties by ascending row id)."""
-        for i in range(len(self._rows)):
-            flag, negated_score = self._keys[i][0]
+        keys, rows = self._keys, self._rows  # one consistent rebind state
+        for i in range(len(rows)):
+            flag, negated_score = keys[i][0]
             if flag == bool_value:
-                yield -negated_score, self._rows[i]
+                yield -negated_score, rows[i]

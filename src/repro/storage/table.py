@@ -1,23 +1,48 @@
-"""Heap tables.
+"""Heap tables with copy-on-write version publication.
 
-A :class:`Table` is an append-only heap of rows with a fixed schema.  It is
-the unit the catalog manages and scans read from.  Secondary indexes
-(:mod:`repro.storage.index`) are registered on the table and kept in sync on
-insert.
+A :class:`Table` is a heap of rows with a fixed schema.  It is the unit the
+catalog manages and scans read from.  Secondary indexes
+(:mod:`repro.storage.index`) are registered on the table and kept in sync
+by every write.
 
-Besides the row heap, a table maintains a lazily-built *columnar view*
-(:meth:`Table.columns`): one Python list per column, parallel to the heap,
-plus the row-id and row-object vectors.  The batched execution path
-(:mod:`repro.execution.batch`) reads this view so unranked plan segments
-can move whole column vectors instead of one :class:`Row` per operator
-call.  The view is a cached snapshot — any insert invalidates it, and the
-next :meth:`columns` call rebuilds it from the heap.
+**Versioning (snapshot-isolated reads).**  All table state a reader can
+observe — the row heap, every secondary index, and the lazily-built
+columnar view — is published as an immutable :class:`TableVersion`.
+Writers serialize on the table's write lock, prepare the whole write
+(heap copy, index maintenance), and publish the next version with a single
+attribute assignment, bumping the per-table generation.  Index maintenance
+follows a *rebind* discipline (see :class:`~repro.storage.index.Index`):
+entry arrays are never mutated in place, so a version can pin an index's
+state with an O(1) shallow copy.  A reader that captured a version
+(directly, or through a :class:`~repro.storage.snapshot.DatabaseSnapshot`)
+keeps scanning exactly the rows, index entries and column arrays it
+started with; it never blocks a writer and never observes half-applied
+DML.
+
+The convenience read API on :class:`Table` (``rows()``, ``columns()``,
+``find_index()`` …) delegates to the *current* version — single-threaded
+code behaves exactly as before, and index objects handed out by
+``attach_index``/``create_*_index`` remain live handles that always
+reflect the latest data.  Multi-statement readers that need one consistent
+view across calls must capture :meth:`Table.version` once (the serving
+layer does this at statement admission).
+
+Besides the row heap, each version carries a lazily-built *columnar view*
+(:meth:`TableVersion.columns`): one Python list per column, parallel to
+the heap, plus the row-id and row-object vectors.  The batched execution
+path (:mod:`repro.execution.batch`) reads this view so unranked plan
+segments can move whole column vectors instead of one :class:`Row` per
+operator call.  The view is cached *per version* — publication-safe by
+construction: a writer publishing a new version never touches the arrays
+an old snapshot's readers are scanning, and a version whose heap is
+unchanged (index attachment) carries the already-built view forward.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from .row import Row
 from .schema import Schema, SchemaError
@@ -45,23 +70,54 @@ class ColumnarView:
         return len(self.rows)
 
 
-class Table:
-    """An in-memory heap table with secondary indexes."""
+class TableVersion:
+    """One immutable published version of a table.
 
-    def __init__(self, name: str, schema: Schema):
-        if not name:
-            raise ValueError("table name must be non-empty")
+    Exposes the full *read* API of :class:`Table` (``rows``, ``columns``,
+    ``find_index``, ``indexes``, ``row_count`` …) so execution operators
+    and snapshots can treat a captured version exactly like the table
+    itself.  Nothing here changes after publication — the only
+    lazily-filled field is the cached columnar view, whose construction is
+    deterministic and guarded by a per-version lock, so every reader sees
+    the same arrays.
+    """
+
+    __slots__ = (
+        "name",
+        "schema",
+        "generation",
+        "_rows",
+        "_indexes",
+        "_columnar",
+        "_columnar_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        rows: tuple[Row, ...],
+        indexes: dict[str, "Index"],
+        generation: int,
+        columnar: ColumnarView | None = None,
+    ):
         self.name = name
-        self.schema = schema.with_table(name)
-        self._rows: list[Row] = []
-        self._indexes: dict[str, "Index"] = {}
-        self._columnar: ColumnarView | None = None
+        self.schema = schema
+        self.generation = generation
+        self._rows = rows
+        #: pinned index snapshots (their entry arrays never change again)
+        self._indexes = indexes
+        self._columnar = columnar
+        self._columnar_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._rows)
 
     def __repr__(self) -> str:
-        return f"Table({self.name!r}, rows={len(self._rows)})"
+        return (
+            f"TableVersion({self.name!r}, gen={self.generation}, "
+            f"rows={len(self._rows)})"
+        )
 
     @property
     def row_count(self) -> int:
@@ -69,39 +125,198 @@ class Table:
 
     @property
     def indexes(self) -> dict[str, "Index"]:
-        """Registered indexes by index name."""
+        """This version's pinned index snapshots by index name."""
         return dict(self._indexes)
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over this version's rows in heap (insertion) order."""
+        return iter(self._rows)
+
+    def row_at(self, position: int) -> Row:
+        """Fetch the row at the given heap position (== the insertion
+        ordinal while no delete has run on the table)."""
+        return self._rows[position]
+
+    def columns(self) -> ColumnarView:
+        """The (cached) columnar view of this version's heap.
+
+        Built on first use, once per version; the returned snapshot is
+        immutable and safe to share across concurrent scans.  Readers
+        holding this version keep these exact column arrays no matter how
+        many newer versions writers publish.
+        """
+        view = self._columnar
+        if view is not None:
+            return view
+        with self._columnar_lock:
+            if self._columnar is None:
+                rows = list(self._rows)
+                if rows:
+                    vectors = tuple(
+                        list(v) for v in zip(*(r.values for r in rows))
+                    )
+                else:
+                    vectors = tuple([] for __ in range(len(self.schema)))
+                self._columnar = ColumnarView(
+                    schema=self.schema,
+                    columns=vectors,
+                    rids=[r.rid for r in rows],
+                    rows=rows,
+                )
+        return self._columnar
+
+    def find_index(self, *, key: str | None = None) -> "Index | None":
+        """Find an index whose leading key matches ``key`` (a column or
+        predicate name), if any."""
+        for index in self._indexes.values():
+            if index.covers(key):
+                return index
+        return None
+
+
+class Table:
+    """An in-memory heap table with secondary indexes and COW versioning.
+
+    Reads delegate to the currently-published :class:`TableVersion`; writes
+    serialize on the table's write lock, maintain the live index objects
+    (rebind discipline, so previously published versions stay frozen) and
+    publish a fresh version atomically.  Readers therefore never block
+    writers (and vice versa): a scan that captured a version keeps it
+    until it finishes.
+
+    The copy-on-write publication makes a *single-row* ``insert`` O(heap);
+    bulk loads should use :meth:`insert_many`/:meth:`insert_dicts`, which
+    pay one copy per batch.
+    """
+
+    def __init__(self, name: str, schema: Schema):
+        if not name:
+            raise ValueError("table name must be non-empty")
+        self.name = name
+        self.schema = schema.with_table(name)
+        self._write_lock = threading.RLock()
+        #: monotone rid allocator — never reused, even after deletes, so a
+        #: row's identity is stable across every version it appears in
+        self._next_ordinal = 0
+        #: live index objects (stable handles; mutated only under the
+        #: write lock, and only by rebinding their entry arrays)
+        self._live_indexes: dict[str, "Index"] = {}
+        self._version = TableVersion(self.name, self.schema, (), {}, 0)
+
+    def __len__(self) -> int:
+        return len(self._version)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={len(self)})"
+
+    # ------------------------------------------------------------------
+    # versioned read API (delegates to the current published version)
+    # ------------------------------------------------------------------
+    def version(self) -> TableVersion:
+        """The currently-published immutable version — the snapshot-capture
+        point for readers that need one consistent view across calls."""
+        return self._version
+
+    @property
+    def generation(self) -> int:
+        """The published version's generation (bumped by every write)."""
+        return self._version.generation
+
+    @property
+    def row_count(self) -> int:
+        return self._version.row_count
+
+    @property
+    def indexes(self) -> dict[str, "Index"]:
+        """The live index handles by index name (always-current reads;
+        captured versions hold their own pinned snapshots instead)."""
+        return dict(self._live_indexes)
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over all rows in heap (insertion) order.
+
+        The iterator is pinned to the version current at the call, so a
+        concurrent write never changes (or tears) an in-progress scan.
+        """
+        return self._version.rows()
+
+    def row_at(self, position: int) -> Row:
+        """Fetch the row at the given heap position in the current version."""
+        return self._version.row_at(position)
+
+    def columns(self) -> ColumnarView:
+        """The current version's (cached) columnar view — see
+        :meth:`TableVersion.columns`."""
+        return self._version.columns()
+
+    def find_index(self, *, key: str | None = None) -> "Index | None":
+        """Find a live index whose leading key matches ``key`` (a column
+        or predicate name), if any."""
+        for index in self._live_indexes.values():
+            if index.covers(key):
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # writes (copy-on-write version publication)
+    # ------------------------------------------------------------------
+    def _publish(
+        self, rows: tuple[Row, ...], columnar: ColumnarView | None = None
+    ) -> TableVersion:
+        """Pin the live indexes and atomically publish the next version
+        (write lock held).  ``columnar`` carries a still-valid cached view
+        forward when the heap did not change."""
+        pinned = {
+            name: index.pinned() for name, index in self._live_indexes.items()
+        }
+        version = TableVersion(
+            self.name,
+            self.schema,
+            rows,
+            pinned,
+            self._version.generation + 1,
+            columnar=columnar,
+        )
+        self._version = version
+        return version
 
     def insert(self, values: Sequence[Any]) -> Row:
         """Validate and append one row; returns the stored :class:`Row`."""
         self.schema.validate_row(values)
-        row = Row.base(values, self.name, len(self._rows))
-        self._rows.append(row)
-        self._columnar = None
-        for index in self._indexes.values():
-            index.insert(row)
-        return row
+        with self._write_lock:
+            row = Row.base(values, self.name, self._next_ordinal)
+            self._next_ordinal += 1
+            for index in self._live_indexes.values():
+                index.insert(row)
+            self._publish(self._version._rows + (row,))
+            return row
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk-insert many rows; returns the number inserted.
 
         The bulk path validates *every* row before touching table state, so
         a bad row leaves the table and its indexes unchanged, then extends
-        the heap in one go and feeds each index a single sorted-merge batch
-        (:meth:`Index.insert_many`) instead of one bisect-insert per row.
+        the heap in one copy and feeds each index a single sorted-merge
+        batch (:meth:`Index.insert_many`) instead of one bisect-insert per
+        row.  The new version publishes only after every index is complete
+        — a concurrent reader sees all of the batch or none of it.
         """
-        base = len(self._rows)
-        staged: list[Row] = []
-        for values in rows:
+        materialized = list(rows)
+        for values in materialized:
             self.schema.validate_row(values)
-            staged.append(Row.base(values, self.name, base + len(staged)))
-        if not staged:
+        if not materialized:
             return 0
-        self._rows.extend(staged)
-        self._columnar = None
-        for index in self._indexes.values():
-            index.insert_many(staged)
-        return len(staged)
+        with self._write_lock:
+            base = self._next_ordinal
+            staged = [
+                Row.base(values, self.name, base + i)
+                for i, values in enumerate(materialized)
+            ]
+            self._next_ordinal += len(staged)
+            for index in self._live_indexes.values():
+                index.insert_many(staged)
+            self._publish(self._version._rows + tuple(staged))
+            return len(staged)
 
     def insert_dicts(self, rows: Iterable[dict[str, Any]]) -> int:
         """Insert rows given as ``{column: value}`` dicts.
@@ -121,47 +336,44 @@ class Table:
             staged.append([mapping.get(n) for n in names])
         return self.insert_many(staged)
 
-    def rows(self) -> Iterator[Row]:
-        """Iterate over all rows in heap (insertion) order."""
-        return iter(self._rows)
+    def delete_where(self, condition: Callable[[Row], bool]) -> int:
+        """Delete every row for which ``condition(row)`` is true; returns
+        the number deleted.
 
-    def row_at(self, ordinal: int) -> Row:
-        """Fetch the row with the given heap ordinal."""
-        return self._rows[ordinal]
-
-    def columns(self) -> ColumnarView:
-        """The (cached) columnar view of the heap.
-
-        Built on first use after any insert; the returned snapshot is
-        immutable and safe to share across concurrent scans.
+        Publishes a new version without the matching rows (surviving rows
+        keep their identities — rids are never renumbered or reused), with
+        every index filtered to match.  Readers holding an older version
+        still see the deleted rows; readers admitted after publication
+        never do.
         """
-        view = self._columnar
-        if view is None:
-            rows = list(self._rows)
-            if rows:
-                vectors = tuple(list(v) for v in zip(*(r.values for r in rows)))
-            else:
-                vectors = tuple([] for __ in range(len(self.schema)))
-            view = ColumnarView(
-                schema=self.schema,
-                columns=vectors,
-                rids=[r.rid for r in rows],
-                rows=rows,
-            )
-            self._columnar = view
-        return view
+        with self._write_lock:
+            keep: list[Row] = []
+            dead: set[tuple[tuple[str, int], ...]] = set()
+            for row in self._version._rows:
+                if condition(row):
+                    dead.add(row.rid)
+                else:
+                    keep.append(row)
+            if not dead:
+                return 0
+            for index in self._live_indexes.values():
+                index.remove_rids(dead)
+            self._publish(tuple(keep))
+            return len(dead)
 
     def attach_index(self, index: "Index") -> None:
-        """Register a secondary index and backfill it with existing rows."""
-        if index.name in self._indexes:
-            raise ValueError(f"index {index.name!r} already exists on {self.name!r}")
-        index.insert_many(self._rows)
-        self._indexes[index.name] = index
+        """Register a secondary index and backfill it with existing rows.
 
-    def find_index(self, *, key: str | None = None) -> "Index | None":
-        """Find an index whose leading key matches ``key`` (a column or
-        predicate name), if any."""
-        for index in self._indexes.values():
-            if index.covers(key):
-                return index
-        return None
+        The heap is unchanged, so the published version carries the cached
+        columnar view forward — attaching an index never invalidates
+        readers' column arrays.
+        """
+        with self._write_lock:
+            if index.name in self._live_indexes:
+                raise ValueError(
+                    f"index {index.name!r} already exists on {self.name!r}"
+                )
+            current = self._version
+            index.insert_many(list(current._rows))
+            self._live_indexes[index.name] = index
+            self._publish(current._rows, columnar=current._columnar)

@@ -1,0 +1,188 @@
+"""Multi-threaded stress for the shared plan cache.
+
+Eight threads hammer one :class:`PlanCache` — and, separately, one real
+:class:`Planner` — and every invariant the single-threaded accounting
+gives must survive: no lost entries, no double evictions, consistent
+hit/miss totals, capacity never exceeded.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.database import Database
+from repro.planner.cache import CachedPlan, PlanCache
+from repro.storage.schema import DataType
+
+THREADS = 8
+
+
+def entry_for(signature, generation: int = 0, cost: float = 0.0) -> CachedPlan:
+    """A minimal synthetic entry (the cache never inspects the plan)."""
+    return CachedPlan(
+        signature=signature,
+        spec=None,
+        plan=None,
+        strategy="rank-aware",
+        evaluators=None,
+        generation=generation,
+        plan_cost=cost,
+    )
+
+
+class TestPlanCacheStress:
+    def test_no_lost_entries_or_double_evictions(self):
+        """THREADS threads × unique signatures: every put either survives
+        or is counted as exactly one eviction."""
+        cache = PlanCache(capacity=32)
+        per_thread = 200
+
+        def hammer(thread_id: int) -> None:
+            for i in range(per_thread):
+                signature = (thread_id, i)
+                cache.put(entry_for(signature))
+                cache.get(signature, 0)  # may hit or already be evicted
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        puts = THREADS * per_thread
+        assert len(cache) <= 32
+        # Conservation: every inserted entry is either resident or was
+        # evicted exactly once (a double eviction would overcount, a lost
+        # entry would undercount).
+        assert cache.stats.evictions + len(cache) == puts
+        # Every get was counted exactly once, as a hit or a miss.
+        assert cache.stats.hits + cache.stats.misses == puts
+
+    def test_concurrent_gets_count_every_lookup(self):
+        cache = PlanCache(capacity=64)
+        for i in range(16):
+            cache.put(entry_for(("shared", i)))
+        lookups_per_thread = 500
+
+        def hammer() -> None:
+            for i in range(lookups_per_thread):
+                assert cache.get(("shared", i % 16), 0) is not None
+
+        threads = [threading.Thread(target=hammer) for __ in range(THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.stats.hits == THREADS * lookups_per_thread
+        assert len(cache) == 16
+
+    def test_invalidation_races_never_corrupt(self):
+        """get/put racing generation bumps: stale entries are dropped, the
+        cache stays within capacity, and no operation raises."""
+        cache = PlanCache(capacity=16)
+        stop = threading.Event()
+
+        def mutate() -> None:
+            for generation in range(300):
+                cache.put(entry_for(("g", generation % 24), generation % 3))
+            stop.set()
+
+        def probe() -> None:
+            while not stop.is_set():
+                for i in range(24):
+                    cache.get(("g", i), 1)
+                cache.entries()
+                len(cache)
+
+        def invalidate() -> None:
+            while not stop.is_set():
+                cache.invalidate()
+
+        threads = (
+            [threading.Thread(target=mutate)]
+            + [threading.Thread(target=probe) for __ in range(THREADS - 2)]
+            + [threading.Thread(target=invalidate)]
+        )
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 16
+
+
+class TestGenerationOrdering:
+    def test_stale_reader_cannot_evict_a_fresher_entry(self):
+        """A get() with a generation read before a concurrent invalidation
+        must miss without destroying the fresher entry."""
+        cache = PlanCache(capacity=8)
+        fresh = entry_for("sig", generation=6)
+        cache.put(fresh)
+        assert cache.get("sig", 5) is None  # stale reader: miss...
+        assert cache.get("sig", 6) is fresh  # ...but the entry survives
+
+    def test_stale_build_cannot_replace_a_fresher_entry(self):
+        cache = PlanCache(capacity=8)
+        fresh = entry_for("sig", generation=6)
+        cache.put(fresh)
+        cache.put(entry_for("sig", generation=5))  # stale-on-arrival build
+        assert cache.get("sig", 6) is fresh
+
+    def test_older_entries_are_still_dropped_eagerly(self):
+        cache = PlanCache(capacity=8)
+        cache.put(entry_for("sig", generation=3))
+        assert cache.get("sig", 4) is None
+        assert len(cache) == 0
+
+
+class TestPlannerStress:
+    def test_eight_threads_share_templates(self):
+        """Eight threads × six templates against one real planner: results
+        stay correct, the cache converges to one entry per template, and
+        reuse dominates."""
+        db = Database()
+        db.create_table("h", [("name", DataType.TEXT), ("price", DataType.FLOAT)])
+        db.insert("h", [(f"x{i}", float(i)) for i in range(60)])
+        db.register_predicate("cheap", ["h.price"], lambda p: max(0.0, 1 - p / 60))
+        db.create_rank_index("h", "cheap")
+        db.analyze()
+
+        templates = [
+            f"SELECT * FROM h WHERE h.price <= {bound} "
+            f"ORDER BY cheap(h.price) LIMIT 5"
+            for bound in (10, 20, 30, 40, 50, 60)
+        ]
+        expected = [db.query(sql).rows for sql in templates]
+        db.planner.cache.invalidate()  # measure the threaded phase alone
+        stats = db.planner.cache.stats
+        base_hits, base_misses = stats.hits, stats.misses
+
+        errors: list[BaseException] = []
+
+        def hammer() -> None:
+            try:
+                for __ in range(20):
+                    for sql, want in zip(templates, expected):
+                        assert db.query(sql).rows == want
+            except BaseException as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for __ in range(THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        # One surviving entry per template; concurrent first-misses may
+        # have built a few duplicates, but the put is last-wins by key.
+        assert len(db.planner.cache) == len(templates)
+        total = THREADS * 20 * len(templates)
+        hits = stats.hits - base_hits
+        misses = stats.misses - base_misses
+        assert hits + misses == total
+        # Reuse must dominate: at most one cold build per (thread, template)
+        # even under the worst racing.
+        assert misses <= THREADS * len(templates)
+        assert hits / total > 0.9

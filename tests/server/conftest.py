@@ -1,0 +1,85 @@
+"""Shared fixtures for the serving-subsystem tests: a small mixed-workload
+database and the statement mix every session runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.storage.schema import DataType
+
+
+def build_serving_db(rows: int = 120) -> Database:
+    """A compact two-table database with rank indexes and parameterized
+    templates — enough shape for joins, µ evaluation and bind variables."""
+    db = Database()
+    db.create_table(
+        "hotel",
+        [
+            ("name", DataType.TEXT),
+            ("price", DataType.FLOAT),
+            ("stars", DataType.INT),
+            ("area", DataType.INT),
+        ],
+    )
+    db.create_table(
+        "restaurant",
+        [("name", DataType.TEXT), ("price", DataType.FLOAT), ("area", DataType.INT)],
+    )
+    db.insert(
+        "hotel",
+        [
+            (f"hotel-{i}", 40.0 + (i * 7919) % 360, 1 + i % 5, i % 8)
+            for i in range(rows)
+        ],
+    )
+    db.insert(
+        "restaurant",
+        [(f"rest-{i}", 10.0 + (i * 104729) % 80, i % 8) for i in range(rows)],
+    )
+    db.register_predicate("cheap", ["hotel.price"], lambda p: max(0.0, 1 - p / 400))
+    db.register_predicate("starry", ["hotel.stars"], lambda s: s / 5)
+    db.register_predicate(
+        "tasty", ["restaurant.price"], lambda p: max(0.0, 1 - p / 90)
+    )
+    db.create_rank_index("hotel", "cheap")
+    db.create_rank_index("restaurant", "tasty")
+    db.create_column_index("hotel", "area")
+    db.create_column_index("restaurant", "area")
+    db.analyze()
+    return db
+
+
+#: the mixed workload: rank scans, a join, aggregative scoring, and a
+#: parameterized template (sql, params)
+MIXED_WORKLOAD: list[tuple[str, "dict | None"]] = [
+    ("SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 5", None),
+    (
+        "SELECT * FROM hotel ORDER BY cheap(hotel.price) + starry(hotel.stars) "
+        "LIMIT 7",
+        None,
+    ),
+    (
+        "SELECT * FROM hotel, restaurant WHERE hotel.area = restaurant.area "
+        "ORDER BY cheap(hotel.price) + tasty(restaurant.price) LIMIT 4",
+        None,
+    ),
+    (
+        "SELECT * FROM hotel WHERE hotel.price <= :max_price "
+        "ORDER BY cheap(hotel.price) LIMIT 6",
+        {"max_price": 220.0},
+    ),
+    ("SELECT * FROM restaurant ORDER BY tasty(restaurant.price) LIMIT 5", None),
+]
+
+
+@pytest.fixture()
+def serving_db() -> Database:
+    db = build_serving_db()
+    yield db
+    db.close()
+
+
+@pytest.fixture()
+def mixed_workload() -> "list[tuple[str, dict | None]]":
+    return list(MIXED_WORKLOAD)

@@ -1,0 +1,63 @@
+"""Unit tests for the line-delimited JSON wire protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import protocol
+from repro.server.protocol import ProtocolError, ServerError
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        message = {"op": "query", "sql": "SELECT 1", "params": {"x": 1.5}}
+        line = protocol.encode(message)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert protocol.decode(line) == message
+
+    def test_decode_accepts_str_and_bytes(self):
+        assert protocol.decode('{"op": "metrics"}') == {"op": "metrics"}
+        assert protocol.decode(b'{"op": "metrics"}\n') == {"op": "metrics"}
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"not json\n")
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"\n")
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"[1, 2]\n")  # must be an object
+
+    def test_null_and_bool_values_survive(self):
+        message = {"op": "insert", "table": "t", "rows": [[None, True, 1, 1.5, "s"]]}
+        assert protocol.decode(protocol.encode(message)) == message
+
+
+class TestRequestValidation:
+    def test_known_ops(self):
+        for op in protocol.OPS:
+            assert protocol.request_op({"op": op}) == op
+
+    def test_missing_or_unknown_op(self):
+        with pytest.raises(ProtocolError):
+            protocol.request_op({})
+        with pytest.raises(ProtocolError):
+            protocol.request_op({"op": "drop_everything"})
+
+
+class TestResponses:
+    def test_error_payload_carries_type_and_message(self):
+        payload = protocol.error_payload(ValueError("boom"))
+        assert payload == {
+            "ok": False,
+            "error": {"type": "ValueError", "message": "boom"},
+        }
+
+    def test_check_response_passes_success_through(self):
+        message = {"ok": True, "rows": []}
+        assert protocol.check_response(message) is message
+
+    def test_check_response_raises_server_error(self):
+        with pytest.raises(ServerError) as excinfo:
+            protocol.check_response(protocol.error_payload(KeyError("nope")))
+        assert excinfo.value.remote_type == "KeyError"

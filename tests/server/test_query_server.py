@@ -1,0 +1,237 @@
+"""The concurrent query server: smoke, determinism and shared-cache reuse.
+
+The acceptance bar from the serving tentpole:
+
+* 16 concurrent sessions running the mixed workload produce results
+  byte-identical to serial execution;
+* the shared plan cache reaches a hit rate ≥ 0.9 on repeated templates;
+* the TCP front end speaks the documented protocol, including error
+  envelopes that keep the connection usable.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.server import ServerError, SessionError, connect
+from repro.server.session import SessionManager
+
+SESSIONS = 16
+ROUNDS = 3
+
+#: the plain rank-scan statement used by single-statement smoke tests
+TOP_HOTELS = "SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 5"
+
+
+def run_mixed_workload(client, workload, rounds: int = ROUNDS) -> list[tuple]:
+    """Execute the mixed workload ``rounds`` times; returns a flat,
+    comparable transcript of (rows, scores) per statement."""
+    transcript = []
+    for __ in range(rounds):
+        for sql, params in workload:
+            result = client.execute(sql, params=params)
+            transcript.append((tuple(map(tuple, result.rows)), tuple(result.scores)))
+    return transcript
+
+
+class TestInProcessServing:
+    def test_two_sessions_share_one_plan(self, serving_db):
+        with serving_db.serve(workers=2) as server:
+            with server.session() as first, server.session() as second:
+                sql = TOP_HOTELS
+                a = first.execute(sql)
+                b = second.execute(sql)
+                assert a.rows == b.rows
+                assert not a.plan_cached and b.plan_cached
+                assert first.summary()["plan_cache_misses"] == 1
+                assert second.summary()["plan_cache_hits"] == 1
+
+    def test_sixteen_sessions_byte_identical_to_serial(self, serving_db, mixed_workload):
+        # Serial reference: one session, no concurrency.
+        with serving_db.serve(workers=1) as server:
+            with server.session() as client:
+                reference = run_mixed_workload(client, mixed_workload)
+        serving_db.planner.cache.invalidate()
+
+        with serving_db.serve(workers=8) as server:
+            clients = [server.session() for __ in range(SESSIONS)]
+            transcripts: dict[int, list] = {}
+            errors: list[BaseException] = []
+
+            def drive(slot: int) -> None:
+                try:
+                    transcripts[slot] = run_mixed_workload(clients[slot], mixed_workload)
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=drive, args=(i,)) for i in range(SESSIONS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            for slot in range(SESSIONS):
+                assert transcripts[slot] == reference
+
+            # Shared-cache reuse on repeated templates: across 16 sessions
+            # × 3 rounds × 5 templates, only the first execution of each
+            # template (plus racing cold builds) may miss.
+            summaries = [c.summary() for c in clients]
+            hits = sum(s["plan_cache_hits"] for s in summaries)
+            misses = sum(s["plan_cache_misses"] for s in summaries)
+            assert hits + misses == SESSIONS * ROUNDS * len(mixed_workload)
+            assert hits / (hits + misses) >= 0.9
+            for client in clients:
+                client.close()
+
+    def test_parameterized_template_isolation_under_concurrency(self, serving_db):
+        """Concurrent bindings of one template never bleed into each
+        other's results (the per-entry execution lock)."""
+        sql = (
+            "SELECT * FROM hotel WHERE hotel.price <= :max_price "
+            "ORDER BY cheap(hotel.price) LIMIT 50"
+        )
+        bounds = [60.0, 120.0, 240.0, 400.0]
+        with serving_db.serve(workers=4) as server:
+            with server.session() as warm:
+                expected = {
+                    bound: tuple(map(tuple, warm.execute(sql, params={"max_price": bound}).rows))
+                    for bound in bounds
+                }
+            errors: list[BaseException] = []
+
+            def drive(bound: float) -> None:
+                try:
+                    with server.session() as client:
+                        for __ in range(15):
+                            rows = tuple(
+                                map(tuple, client.execute(sql, params={"max_price": bound}).rows)
+                            )
+                            assert rows == expected[bound]
+                            assert all(price <= bound for __, price, *rest in rows)
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=drive, args=(bound,))
+                for bound in bounds
+                for __ in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+
+    def test_statement_errors_resolve_futures(self, serving_db):
+        with serving_db.serve(workers=2) as server:
+            with server.session() as client:
+                future = client.submit("SELECT * FROM nope ORDER BY cheap(hotel.price) LIMIT 1")
+                with pytest.raises(Exception):
+                    future.result(timeout=10)
+                # the worker survived the failure
+                assert len(client.execute(TOP_HOTELS).rows) == 5
+            assert server.summary()["statements_failed"] == 1
+
+    def test_submit_after_stop_is_rejected(self, serving_db):
+        server = serving_db.serve(workers=1)
+        client = server.session()
+        server.stop()
+        with pytest.raises(RuntimeError):
+            client.execute(TOP_HOTELS)
+        server.stop()  # idempotent
+
+
+class TestSessionManager:
+    def test_lifecycle(self, serving_db):
+        manager = SessionManager(serving_db)
+        session = manager.open()
+        assert manager.get(session.session_id) is session
+        manager.close(session.session_id)
+        with pytest.raises(SessionError):
+            manager.get(session.session_id)
+        with pytest.raises(SessionError):
+            manager.close(session.session_id)
+        with pytest.raises(SessionError):
+            session.execute("SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 1")
+
+    def test_ids_are_unique_under_concurrency(self, serving_db):
+        manager = SessionManager(serving_db)
+        ids: list[str] = []
+        lock = threading.Lock()
+
+        def open_some() -> None:
+            for __ in range(50):
+                session = manager.open()
+                with lock:
+                    ids.append(session.session_id)
+
+        threads = [threading.Thread(target=open_some) for __ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(ids) == len(set(ids)) == 400
+
+
+class TestTcpFrontEnd:
+    def test_hello_query_metrics_close(self, serving_db):
+        with serving_db.serve(workers=2, port=0) as server:
+            host, port = server.address
+            with connect(host, port) as remote:
+                result = remote.execute(TOP_HOTELS)
+                assert len(result.rows) == 5
+                assert result.scores == sorted(result.scores, reverse=True)
+                assert result.columns[0] == "hotel.name"
+                text = remote.explain(TOP_HOTELS)
+                assert "limit" in text
+                payload = remote.metrics()
+                assert payload["session"]["queries_executed"] == 1
+                assert payload["server"]["statements_completed"] == 1
+
+    def test_remote_matches_in_process(self, serving_db, mixed_workload):
+        with serving_db.serve(workers=2, port=0) as server:
+            host, port = server.address
+            with server.session() as local:
+                with connect(host, port) as remote:
+                    for sql, params in mixed_workload:
+                        mine = local.execute(sql, params=params)
+                        theirs = remote.execute(sql, params=params)
+                        assert [list(r) for r in mine.rows] == [
+                            list(r) for r in theirs.rows
+                        ]
+                        assert mine.scores == pytest.approx(theirs.scores)
+
+    def test_error_envelope_keeps_connection_usable(self, serving_db):
+        with serving_db.serve(workers=2, port=0) as server:
+            host, port = server.address
+            with connect(host, port) as remote:
+                with pytest.raises(ServerError):
+                    remote.execute("SELECT broken syntax !!!")
+                assert len(remote.execute(TOP_HOTELS).rows) == 5
+
+    def test_writes_over_the_wire(self, serving_db):
+        with serving_db.serve(workers=2, port=0) as server:
+            host, port = server.address
+            with connect(host, port) as remote:
+                remote.insert("hotel", [["wire", 1.0, 5, 0]])
+                top = remote.execute(
+                    "SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 1"
+                )
+                assert top.rows[0][0] == "wire"
+                assert remote.delete("hotel", "name", "wire") == 1
+                top = remote.execute(
+                    "SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 1"
+                )
+                assert top.rows[0][0] != "wire"
+
+    def test_session_settings_travel_in_hello(self, serving_db):
+        with serving_db.serve(workers=1, port=0) as server:
+            host, port = server.address
+            with connect(host, port, strategy="traditional") as remote:
+                result = remote.execute(TOP_HOTELS)
+                assert len(result.rows) == 5

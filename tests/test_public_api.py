@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.storage",
     "repro.sql",
     "repro.engine",
+    "repro.server",
     "repro.workloads",
 ]
 
