@@ -37,16 +37,33 @@ import time
 
 import pytest
 
+from repro.algebra.expressions import col
+from repro.algebra.predicates import BooleanPredicate, RankingPredicate, ScoringFunction
 from repro.execution import ExecutionContext, run_plan
-from repro.execution import vectors
+from repro.execution import morsels, vectors
 from repro.execution.batch import BatchToRow
-from repro.optimizer.plans import BatchSegmentPlan, lower_to_batch
+from repro.optimizer.plans import (
+    BatchSegmentPlan,
+    FilterPlan,
+    LimitPlan,
+    SeqScanPlan,
+    SortPlan,
+    lower_to_batch,
+)
+from repro.storage import Catalog, DataType, Schema
 from repro.workloads import ALL_PLANS, WorkloadConfig, build_workload
 
 from .conftest import cached_workload, record_result
 
 #: required row/batch wall-clock ratio on the traditional plan
 MIN_SPEEDUP = float(os.environ.get("BATCH_MIN_SPEEDUP", "3.0"))
+
+#: required DOP-4/DOP-1 wall-clock ratio on the morsel sweep (0 = record
+#: only; CI sets 1.8 on multi-core runners)
+PARALLEL_MIN_SPEEDUP = float(os.environ.get("PARALLEL_MIN_SPEEDUP", "0"))
+
+#: degrees of parallelism the sweep measures
+DOP_SWEEP = (1, 2, 4, 8)
 
 ROUNDS = 3
 
@@ -225,6 +242,109 @@ def test_numpy_backend_parity_and_speedup(benchmark):
         f"{numpy_time * 1000:.1f} ms ({speedup:.2f}x)"
     )
     benchmark.extra_info["numpy_speedup"] = speedup
+
+
+def _parallel_sweep_workload(n=6000, spin=600, seed=13):
+    """A predicate-dominated single-table top-k: the shape where morsel
+    parallelism pays.  Spin-looped predicates keep scoring on the
+    pure-python path (``RankingKernel`` refuses them), so per-morsel work
+    is real CPU that the fork backend spreads over cores; the per-morsel
+    top-k keeps each task's result (k entries + a metrics sink) tiny."""
+    import random
+
+    catalog = Catalog()
+    table = catalog.create_table(
+        "T", Schema.of(("k", DataType.INT), ("x", DataType.FLOAT))
+    )
+    rng = random.Random(seed)
+    for __ in range(n):
+        table.insert([rng.randrange(5), round(rng.random(), 6)])
+    pa = RankingPredicate("pa", ["x"], lambda x: x, cost=1.0, spin_loops=spin)
+    pb = RankingPredicate("pb", ["x"], lambda x: 1 - x, cost=1.0, spin_loops=spin)
+    scoring = ScoringFunction([pa, pb])
+    condition = BooleanPredicate(col("T.k") > 0, "k>0")
+
+    def make_plan(k=10):
+        return LimitPlan(
+            SortPlan(
+                FilterPlan(SeqScanPlan("T"), condition),
+                all_predicates=frozenset({"pa", "pb"}),
+            ),
+            k,
+        )
+
+    return catalog, scoring, make_plan
+
+
+def _drain_plan(catalog, scoring, plan_node, k):
+    context = ExecutionContext(catalog, scoring)
+    start = time.perf_counter()
+    out = run_plan(plan_node.build(), context, k=k)
+    elapsed = time.perf_counter() - start
+    sequence = [(s.row.rid, s.row.values, dict(s.scores)) for s in out]
+    return sequence, elapsed, context.metrics
+
+
+def test_parallel_dop_sweep(benchmark, monkeypatch):
+    """Morsel-driven intra-query parallelism: the DOP 1/2/4/8 speedup
+    curve on a predicate-dominated sort plan, byte-identical results at
+    every DOP, written to BENCH_results.json.  With PARALLEL_MIN_SPEEDUP
+    set (CI), DOP 4 must beat serial by that factor."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cores = os.cpu_count() or 1
+    if PARALLEL_MIN_SPEEDUP > 0 and cores < 4:
+        pytest.skip(f"PARALLEL_MIN_SPEEDUP gate needs >= 4 cores (have {cores})")
+    if PARALLEL_MIN_SPEEDUP > 0 and not morsels.fork_available():
+        pytest.skip("PARALLEL_MIN_SPEEDUP gate needs the fork backend")
+
+    n = 6000
+    catalog, scoring, make_plan = _parallel_sweep_workload(n=n)
+    # 16 morsels: enough tasks for every swept DOP to divide the work.
+    monkeypatch.setenv("REPRO_MORSEL_SIZE", str(n // 16))
+    backend = "thread"
+    if morsels.fork_available():
+        # Process workers: this workload's per-morsel cost is pure-python
+        # predicate spinning, which threads cannot overlap under the GIL.
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "process")
+        backend = "process"
+
+    base_sequence = None
+    base_time = None
+    curve: dict[int, float] = {}
+    for dop in DOP_SWEEP:
+        lowered = lower_to_batch(make_plan(), parallelism=dop)
+        best = None
+        for __ in range(2):
+            sequence, elapsed, metrics = _drain_plan(catalog, scoring, lowered, 10)
+            if best is None or elapsed < best[1]:
+                best = (sequence, elapsed, metrics)
+        sequence, elapsed, metrics = best
+        if dop == 1:
+            base_sequence, base_time = sequence, elapsed
+        else:
+            assert sequence == base_sequence, f"dop={dop}: parallel divergence"
+        curve[dop] = base_time / elapsed
+        record_result(
+            name=f"parallel_execution[dop={dop}]",
+            dop=dop,
+            backend=backend,
+            cores=cores,
+            wall_seconds=elapsed,
+            speedup=curve[dop],
+            **metrics.summary(),
+        )
+    print(
+        "\nmorsel DOP sweep (%s backend, %d cores): " % (backend, cores)
+        + ", ".join(f"dop {d}: {s:.2f}x" for d, s in curve.items())
+    )
+    benchmark.extra_info.update(
+        {"backend": backend, **{f"speedup_dop{d}": s for d, s in curve.items()}}
+    )
+    if PARALLEL_MIN_SPEEDUP > 0:
+        assert curve[4] >= PARALLEL_MIN_SPEEDUP, (
+            f"DOP 4 only {curve[4]:.2f}x over serial "
+            f"(required {PARALLEL_MIN_SPEEDUP}x)"
+        )
 
 
 def test_auto_mode_decisions_and_parity(benchmark):

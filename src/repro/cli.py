@@ -53,10 +53,10 @@ _TYPE_NAMES = {
 }
 
 
-def build_demo_database(seed: int = 7) -> Database:
+def build_demo_database(seed: int = 7, parallelism: "int | str | None" = None) -> Database:
     """The quickstart hotel/restaurant demo database."""
     rng = random.Random(seed)
-    db = Database()
+    db = Database(parallelism=parallelism)
     db.create_table(
         "hotel",
         [("name", DataType.TEXT), ("price", DataType.FLOAT), ("stars", DataType.INT),
@@ -366,9 +366,18 @@ def serve_main(argv: list[str], out) -> int:
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument("--port", type=int, default=5433, help="TCP port (0 = ephemeral)")
     parser.add_argument("--workers", type=int, default=4, help="worker threads")
+    parser.add_argument(
+        "--parallelism", default=None, metavar="N|auto",
+        help="intra-query DOP ceiling (default: REPRO_PARALLELISM or 1)",
+    )
     args = parser.parse_args(argv)
 
-    with (build_demo_database() if args.demo else Database()) as db:
+    database = (
+        build_demo_database(parallelism=args.parallelism)
+        if args.demo
+        else Database(parallelism=args.parallelism)
+    )
+    with database as db:
         status = _load_tables(db, args, out)
         if status:
             return status
@@ -417,9 +426,18 @@ def main(argv: list[str] | None = None, out=None) -> int:
     parser.add_argument(
         "--metrics", action="store_true", help="print execution metrics per query"
     )
+    parser.add_argument(
+        "--parallelism", default=None, metavar="N|auto",
+        help="intra-query DOP ceiling (default: REPRO_PARALLELISM or 1)",
+    )
     args = parser.parse_args(argv)
 
-    with (build_demo_database() if args.demo else Database()) as db:
+    database = (
+        build_demo_database(parallelism=args.parallelism)
+        if args.demo
+        else Database(parallelism=args.parallelism)
+    )
+    with database as db:
         status = _load_tables(db, args, out)
         if status:
             return status

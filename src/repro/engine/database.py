@@ -92,6 +92,32 @@ def _default_batch_execution() -> "bool | str":
     )
 
 
+def _default_parallelism() -> "int | str":
+    """The engine-wide DOP ceiling default: ``1`` (serial), overridable via
+    the ``REPRO_PARALLELISM`` environment variable (a positive integer or
+    ``auto`` = core count) so CI jobs can turn on intra-query parallelism
+    for a whole suite without touching call sites."""
+    raw = os.environ.get("REPRO_PARALLELISM")
+    if raw is None:
+        return 1
+    value = raw.strip().lower()
+    if value == "auto":
+        return "auto"
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValueError(
+            f"unknown REPRO_PARALLELISM value {raw!r}; "
+            "expected a positive integer or auto"
+        ) from None
+    if parsed < 1:
+        raise ValueError(
+            f"unknown REPRO_PARALLELISM value {raw!r}; "
+            "expected a positive integer or auto"
+        )
+    return parsed
+
+
 class Database:
     """An in-memory rank-aware relational database.
 
@@ -116,17 +142,31 @@ class Database:
 
     When omitted, the mode honours the ``REPRO_BATCH_EXECUTION``
     environment variable (``false`` | ``true`` | ``auto``).
+
+    ``parallelism`` is the **DOP ceiling** for morsel-driven intra-query
+    parallelism: the optimizer may choose any per-segment degree of
+    parallelism up to it (a costed decision, like batch lowering).  ``1``
+    (the default) disables the parallel regime entirely; ``"auto"``
+    resolves to the machine's core count.  When omitted, honours the
+    ``REPRO_PARALLELISM`` environment variable.
     """
 
     def __init__(
         self,
         persist_dir: "str | Path | None" = None,
         batch_execution: "bool | str | None" = None,
+        parallelism: "int | str | None" = None,
     ) -> None:
         if batch_execution is None:
             batch_execution = _default_batch_execution()
+        if parallelism is None:
+            parallelism = _default_parallelism()
         self.catalog = Catalog()
-        self.planner = Planner(self.catalog, batch_execution=batch_execution)
+        self.planner = Planner(
+            self.catalog,
+            batch_execution=batch_execution,
+            parallelism=parallelism,
+        )
         self.persist_dir = Path(persist_dir) if persist_dir is not None else None
         self._closed = False
 
@@ -134,6 +174,11 @@ class Database:
     def batch_execution(self) -> "bool | str":
         """The engine's execution mode (``False`` | ``True`` | ``"auto"``)."""
         return self.planner.batch_execution
+
+    @property
+    def parallelism(self) -> int:
+        """The engine's DOP ceiling (1 = serial execution)."""
+        return self.planner.parallelism
 
     # ------------------------------------------------------------------
     # lifecycle

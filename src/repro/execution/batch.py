@@ -37,16 +37,17 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Iterator
+import time
+from typing import Any, Callable, Iterator
 
 from ..algebra.expressions import Evaluator
 from ..algebra.predicates import BooleanPredicate
 from ..algebra.rank_relation import ScoredRow
 from ..storage.row import Row
 from ..storage.schema import Schema
-from . import vectors
+from . import morsels, vectors
 from .iterator import ExecutionContext, PhysicalOperator
-from .metrics import OperatorStats
+from .metrics import ExecutionMetrics, OperatorStats
 from .scans import sorted_column_order
 
 #: tuples per batch — large enough to amortize per-batch dispatch, small
@@ -157,6 +158,205 @@ class Batch:
         ]
 
 
+# ----------------------------------------------------------------------
+# morsel decomposition (the parallel path)
+# ----------------------------------------------------------------------
+#
+# A MorselChain is a *random-access* decomposition of a batch pipeline:
+# a source that can produce any morsel's batches independently, plus the
+# per-batch stages of the operators stacked above it.  BatchToRow turns a
+# chain into one task per morsel and runs the tasks on the shared pool
+# (morsels.run_tasks), gathering results in morsel order.
+#
+# Determinism contract: morsel boundaries partition the source in its
+# serial emission order and every stage is order-preserving within a
+# batch, so the ordered concatenation of per-morsel outputs is exactly
+# the serial output — rid tie-order included.
+#
+# Metrics contract: every stage replicates the serial operator's charges,
+# per tuple and under the same operator-stats names, into the task's
+# *private* ExecutionMetrics sink (workers never touch shared state); the
+# consuming thread merges each sink as it gathers the morsel's result.
+# Charges that are formulas over the whole input (sort / merge-join
+# comparison estimates) are applied once, on the statement's metrics, by
+# the operator that owns them — so for fully-drained segments parallel
+# totals equal serial totals exactly.  Blocking phases (hash build,
+# sort-merge collection, sort materialization) run on the statement
+# thread and fan out their own morsels before the probe chain is built.
+
+
+class _Stage:
+    """One operator's per-batch transform inside a morsel task."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(
+        self, name: str, fn: "Callable[[Batch, ExecutionMetrics], Batch | None]"
+    ):
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, batch: Batch, sink: ExecutionMetrics) -> Batch | None:
+        return self.fn(batch, sink)
+
+
+def _emit(batch: Batch, name: str, sink: ExecutionMetrics) -> Batch:
+    """The serial emission accounting (:meth:`BatchOperator.next_batch`)
+    for a batch produced inside a morsel task."""
+    count = len(batch)
+    sink.stats_for(name).tuples_out += count
+    sink.charge_move(count)
+    return batch
+
+
+class _ViewSource:
+    """Morsels over a table's :class:`~repro.storage.table.ColumnarView`
+    (:class:`BatchScan`'s parallel twin)."""
+
+    def __init__(self, view, name: str):
+        self.view = view
+        self.name = name
+        self.width = morsels.morsel_size()
+
+    def morsel_count(self) -> int:
+        return math.ceil(len(self.view) / self.width)
+
+    def batches(self, index: int, sink: ExecutionMetrics) -> Iterator[Batch]:
+        view = self.view
+        stop = min((index + 1) * self.width, len(view))
+        position = index * self.width
+        while position < stop:
+            end = min(position + BATCH_SIZE, stop)
+            sink.charge_scan(end - position)
+            yield _emit(
+                Batch(
+                    view.schema,
+                    view.rids[position:end],
+                    columns=tuple(c[position:end] for c in view.columns),
+                    rows=view.rows[position:end],
+                ),
+                self.name,
+                sink,
+            )
+            position = end
+
+
+class _RowSource:
+    """Morsels over a materialized row list (column-order scans)."""
+
+    def __init__(self, rows: list[Row], schema: Schema, name: str):
+        self.rows = rows
+        self.schema = schema
+        self.name = name
+        self.width = morsels.morsel_size()
+
+    def morsel_count(self) -> int:
+        return math.ceil(len(self.rows) / self.width)
+
+    def batches(self, index: int, sink: ExecutionMetrics) -> Iterator[Batch]:
+        rows = self.rows
+        stop = min((index + 1) * self.width, len(rows))
+        position = index * self.width
+        while position < stop:
+            end = min(position + BATCH_SIZE, stop)
+            chunk = rows[position:end]
+            sink.charge_scan(len(chunk))
+            yield _emit(
+                Batch(self.schema, [r.rid for r in chunk], rows=chunk),
+                self.name,
+                sink,
+            )
+            position = end
+
+
+class _TupleSource:
+    """Morsels over a blocking operator's materialized (values, rids)
+    output (sort-merge join emission): no scan charge, emission accounting
+    only — exactly what the serial wrapper charges."""
+
+    def __init__(
+        self, values: list[tuple], rids: "list[Rid]", schema: Schema, name: str
+    ):
+        self.values = values
+        self.rids = rids
+        self.schema = schema
+        self.name = name
+        self.width = morsels.morsel_size()
+
+    def morsel_count(self) -> int:
+        return math.ceil(len(self.values) / self.width)
+
+    def batches(self, index: int, sink: ExecutionMetrics) -> Iterator[Batch]:
+        stop = min((index + 1) * self.width, len(self.values))
+        position = index * self.width
+        while position < stop:
+            end = min(position + BATCH_SIZE, stop)
+            yield _emit(
+                Batch(
+                    self.schema,
+                    self.rids[position:end],
+                    values=self.values[position:end],
+                ),
+                self.name,
+                sink,
+            )
+            position = end
+
+
+class MorselChain:
+    """A source plus the order-preserving stages stacked above it."""
+
+    __slots__ = ("source", "stages")
+
+    def __init__(self, source, stages: tuple[_Stage, ...] = ()):
+        self.source = source
+        self.stages = tuple(stages)
+
+    def extended(self, stage: _Stage) -> "MorselChain":
+        return MorselChain(self.source, self.stages + (stage,))
+
+    def tasks(self, finalize=None) -> list:
+        """One closure per morsel.
+
+        Each task runs its morsel's batches through the stages with a
+        private metrics sink, accumulating every operator's busy time
+        into the sink's per-operator ``wall_seconds``, and returns
+        ``(result, sink)`` — where ``result`` is the surviving batch
+        list, or ``finalize(batches, sink)`` when a finalizer is given.
+        """
+        source = self.source
+        stages = self.stages
+        out = []
+        for index in range(source.morsel_count()):
+
+            def task(index: int = index):
+                sink = ExecutionMetrics()
+                source_stats = sink.stats_for(source.name)
+                produced: list[Batch] = []
+                iterator = source.batches(index, sink)
+                while True:
+                    started = time.perf_counter()
+                    batch = next(iterator, None)
+                    source_stats.wall_seconds += time.perf_counter() - started
+                    if batch is None:
+                        break
+                    for stage in stages:
+                        started = time.perf_counter()
+                        batch = stage(batch, sink)
+                        sink.stats_for(stage.name).wall_seconds += (
+                            time.perf_counter() - started
+                        )
+                        if batch is None:
+                            break
+                    else:
+                        produced.append(batch)
+                result = produced if finalize is None else finalize(produced, sink)
+                return result, sink
+
+            out.append(task)
+        return out
+
+
 class BatchOperator:
     """Base class of batch (vector-at-a-time) operators.
 
@@ -172,6 +372,9 @@ class BatchOperator:
         self._context: ExecutionContext | None = None
         self._stats: OperatorStats | None = None
         self._opened = False
+        #: the segment's costed degree of parallelism (installed by
+        #: :class:`BatchToRow` before open; 1 = the serial path)
+        self._dop = 1
 
     # -- lifecycle ------------------------------------------------------
     def open(self, context: ExecutionContext) -> None:
@@ -184,15 +387,21 @@ class BatchOperator:
         """The next non-empty batch, or None when exhausted."""
         if not self._opened:
             raise RuntimeError(f"{self.describe()}: next_batch() before open()")
-        while True:
-            batch = self._next_batch()
-            if batch is None:
-                return None
-            if len(batch):
-                assert self._stats is not None and self._context is not None
-                self._stats.tuples_out += len(batch)
-                self._context.metrics.charge_move(len(batch))
-                return batch
+        started = time.perf_counter()
+        try:
+            while True:
+                batch = self._next_batch()
+                if batch is None:
+                    return None
+                if len(batch):
+                    assert self._stats is not None and self._context is not None
+                    self._stats.tuples_out += len(batch)
+                    self._context.metrics.charge_move(len(batch))
+                    return batch
+        finally:
+            # inclusive wall time (children's pulls run inside this call);
+            # morsel stages instead time their own busy share per worker
+            self.stats.wall_seconds += time.perf_counter() - started
 
     def close(self) -> None:
         if self._opened:
@@ -225,6 +434,29 @@ class BatchOperator:
 
     def children(self) -> tuple["BatchOperator", ...]:
         return ()
+
+    # -- parallelism ------------------------------------------------------
+    def set_parallelism(self, dop: int) -> None:
+        """Install the segment's costed degree of parallelism, recursively
+        (called by :class:`BatchToRow` before ``open``)."""
+        self._dop = max(1, int(dop))
+        for child in self.children():
+            child.set_parallelism(self._dop)
+
+    @property
+    def dop(self) -> int:
+        return self._dop
+
+    def morsel_chain(self) -> "MorselChain | None":
+        """A random-access morsel decomposition of this operator's output,
+        or None when the subtree cannot be decomposed (the serial
+        ``next_batch`` path remains the fallback, always correct).
+
+        Called only after ``open()`` and only with ``dop > 1`` installed.
+        Blocking phases below (hash build, sort-merge collection) may run
+        — themselves fanned out over morsels — as a side effect.
+        """
+        return None
 
     # -- subclass hooks ---------------------------------------------------
     def _open(self) -> None:
@@ -306,6 +538,10 @@ class BatchScan(BatchOperator):
             rows=view.rows[start:end],
         )
 
+    def morsel_chain(self) -> "MorselChain | None":
+        assert self._view is not None
+        return MorselChain(_ViewSource(self._view, self.stats.name))
+
     def _close(self) -> None:
         self._view = None
 
@@ -363,6 +599,12 @@ class BatchColumnOrderScan(BatchOperator):
         self.context.metrics.charge_scan(len(chunk))
         return Batch(self.schema(), [r.rid for r in chunk], rows=chunk)
 
+    def morsel_chain(self) -> "MorselChain | None":
+        # The ordered row list was materialized (and any fallback-sort
+        # comparisons charged) serially in _open; morsels just slice it.
+        assert self._rows is not None
+        return MorselChain(_RowSource(self._rows, self.schema(), self.stats.name))
+
     def _close(self) -> None:
         self._rows = None
 
@@ -414,6 +656,29 @@ class BatchFilter(BatchOperator):
             return batch
         return batch.select(keep)
 
+    def morsel_chain(self) -> "MorselChain | None":
+        chain = self.child.morsel_chain()
+        if chain is None:
+            return None
+        name = self.stats.name
+        condition = self.condition
+        evaluate = self._evaluator
+        kernel = self._kernel
+        assert evaluate is not None
+
+        def stage(batch: Batch, sink: ExecutionMetrics) -> Batch | None:
+            n = len(batch)
+            sink.stats_for(name).tuples_in += n
+            sink.charge_boolean(n, cost=condition.cost)
+            keep = vectors.keep_indices(kernel, evaluate, batch)
+            if len(keep) != n:
+                batch = batch.select(keep)
+            if not len(batch):
+                return None  # the serial wrapper skips empty batches too
+            return _emit(batch, name, sink)
+
+        return chain.extended(_Stage(name, stage))
+
 
 class BatchProject(BatchOperator):
     """Projection π over column vectors (narrows the value layout)."""
@@ -458,6 +723,31 @@ class BatchProject(BatchOperator):
             columns=tuple(vectors[p] for p in positions),
             scores=dict(batch.scores),
         )
+
+    def morsel_chain(self) -> "MorselChain | None":
+        chain = self.child.morsel_chain()
+        if chain is None:
+            return None
+        name = self.stats.name
+        positions = self._positions
+        schema = self._schema
+        assert positions is not None and schema is not None
+
+        def stage(batch: Batch, sink: ExecutionMetrics) -> Batch | None:
+            sink.stats_for(name).tuples_in += len(batch)
+            columns = batch.columns
+            return _emit(
+                Batch(
+                    schema,
+                    batch.rids,
+                    columns=tuple(columns[p] for p in positions),
+                    scores=dict(batch.scores),
+                ),
+                name,
+                sink,
+            )
+
+        return chain.extended(_Stage(name, stage))
 
 
 class BatchLimit(BatchOperator):
@@ -562,6 +852,33 @@ class BatchHashJoin(_BatchBinaryJoin):
     def _build(self) -> None:
         position = self.right.schema().index_of(self.right_key)
         table: dict[Any, list[tuple[tuple, Rid]]] = {}
+        chain = self.right.morsel_chain() if self._dop > 1 else None
+        if chain is not None:
+            name = self.stats.name
+
+            def finalize(batches: list[Batch], sink: ExecutionMetrics):
+                partition: dict[Any, list[tuple[tuple, Rid]]] = {}
+                stats = sink.stats_for(name)
+                for batch in batches:
+                    stats.tuples_in += len(batch)
+                    keys = batch.columns[position]
+                    values = batch.value_tuples()
+                    rids = batch.rids
+                    for i, key in enumerate(keys):
+                        partition.setdefault(key, []).append((values[i], rids[i]))
+                return partition
+
+            # Merging the per-morsel partitions in morsel order reproduces
+            # both the per-key partner order and the dict's key insertion
+            # order of the serial build exactly.
+            for partition, sink in morsels.run_tasks(
+                chain.tasks(finalize), self._dop
+            ):
+                self.context.metrics.merge(sink)
+                for key, entries in partition.items():
+                    table.setdefault(key, []).extend(entries)
+            self._hash = table
+            return
         for batch in self._drain(self.right):
             keys = batch.columns[position]
             values = batch.value_tuples()
@@ -569,6 +886,43 @@ class BatchHashJoin(_BatchBinaryJoin):
             for i, key in enumerate(keys):
                 table.setdefault(key, []).append((values[i], rids[i]))
         self._hash = table
+
+    def morsel_chain(self) -> "MorselChain | None":
+        if self._hash is None:
+            self._build()
+        chain = self.left.morsel_chain()
+        if chain is None:
+            return None  # the built table still serves the serial probe
+        table = self._hash
+        assert table is not None
+        position = self._left_position
+        schema = self.schema()
+        name = self.stats.name
+
+        def stage(batch: Batch, sink: ExecutionMetrics) -> Batch | None:
+            sink.stats_for(name).tuples_in += len(batch)
+            keys = batch.columns[position]
+            values = batch.value_tuples()
+            rids = batch.rids
+            out_values: list[tuple] = []
+            out_rids: list[Rid] = []
+            pairs = 0
+            for i, key in enumerate(keys):
+                partners = table.get(key)
+                if not partners:
+                    continue
+                value, rid = values[i], rids[i]
+                pairs += len(partners)
+                for partner_value, partner_rid in partners:
+                    out_values.append(value + partner_value)
+                    out_rids.append(rid + partner_rid)
+            if pairs:
+                sink.charge_join_pair(pairs)
+            if not out_values:
+                return None
+            return _emit(Batch(schema, out_rids, values=out_values), name, sink)
+
+        return chain.extended(_Stage(name, stage))
 
     def _next_batch(self) -> Batch | None:
         if self._hash is None:
@@ -643,6 +997,9 @@ class BatchSortMergeJoin(_BatchBinaryJoin):
         by ``(key, rid)``, charging sort comparisons unless the input
         already delivers the key's interesting order."""
         position = side.schema().index_of(key_name)
+        chain = side.morsel_chain() if self._dop > 1 else None
+        if chain is not None:
+            return self._parallel_collect(side, key_name, position, chain)
         keys: list = []
         values: list[tuple] = []
         rids: list[Rid] = []
@@ -660,6 +1017,63 @@ class BatchSortMergeJoin(_BatchBinaryJoin):
             [keys[i] for i in order],
             [values[i] for i in order],
             [rids[i] for i in order],
+        )
+
+    def _parallel_collect(
+        self, side: BatchOperator, key_name: str, position: int, chain: "MorselChain"
+    ) -> tuple[list, list[tuple], list[Rid]]:
+        """Per-morsel ``(key, rid)``-sorted runs, k-way merged.  Rids are
+        unique, so ``(key, rid)`` is a total order and the run merge is
+        identical to the serial side's one global sort."""
+        name = self.stats.name
+
+        def finalize(batches: list[Batch], sink: ExecutionMetrics):
+            keys: list = []
+            values: list[tuple] = []
+            rids: list[Rid] = []
+            stats = sink.stats_for(name)
+            for batch in batches:
+                stats.tuples_in += len(batch)
+                keys.extend(batch.columns[position])
+                values.extend(batch.value_tuples())
+                rids.extend(batch.rids)
+            m = len(keys)
+            order = sorted(range(m), key=lambda i: (keys[i], rids[i]))
+            return (
+                [keys[i] for i in order],
+                [values[i] for i in order],
+                [rids[i] for i in order],
+            )
+
+        runs = []
+        total = 0
+        for run, sink in morsels.run_tasks(chain.tasks(finalize), self._dop):
+            self.context.metrics.merge(sink)
+            total += len(run[0])
+            if run[0]:
+                runs.append(run)
+        if side.column_order() != key_name:
+            # the serial comparison formula over the whole input, once
+            self.context.metrics.charge_comparisons(
+                int(total * max(1, math.log2(total or 1)))
+            )
+        keys = []
+        values = []
+        rids = []
+        for key, value, rid in heapq.merge(
+            *(zip(*run) for run in runs), key=lambda item: (item[0], item[2])
+        ):
+            keys.append(key)
+            values.append(value)
+            rids.append(rid)
+        return keys, values, rids
+
+    def morsel_chain(self) -> "MorselChain | None":
+        if self._output is None:
+            self._merge()
+        values, rids = self._output  # type: ignore[misc]
+        return MorselChain(
+            _TupleSource(values, rids, self.schema(), self.stats.name)
         )
 
     def _merge(self) -> None:
@@ -745,10 +1159,70 @@ class BatchNestedLoopJoin(_BatchBinaryJoin):
     def _materialize_inner(self) -> None:
         values: list[tuple] = []
         rids: list[Rid] = []
+        chain = self.right.morsel_chain() if self._dop > 1 else None
+        if chain is not None:
+            name = self.stats.name
+
+            def finalize(batches: list[Batch], sink: ExecutionMetrics):
+                stats = sink.stats_for(name)
+                part_values: list[tuple] = []
+                part_rids: list[Rid] = []
+                for batch in batches:
+                    stats.tuples_in += len(batch)
+                    part_values.extend(batch.value_tuples())
+                    part_rids.extend(batch.rids)
+                return part_values, part_rids
+
+            for (part_values, part_rids), sink in morsels.run_tasks(
+                chain.tasks(finalize), self._dop
+            ):
+                self.context.metrics.merge(sink)
+                values.extend(part_values)
+                rids.extend(part_rids)
+            self._inner = (values, rids)
+            return
         for batch in self._drain(self.right):
             values.extend(batch.value_tuples())
             rids.extend(batch.rids)
         self._inner = (values, rids)
+
+    def morsel_chain(self) -> "MorselChain | None":
+        if self._inner is None:
+            self._materialize_inner()
+        chain = self.left.morsel_chain()
+        if chain is None:
+            return None
+        inner_values, inner_rids = self._inner  # type: ignore[misc]
+        evaluate = self._evaluator
+        condition = self.condition
+        schema = self.schema()
+        name = self.stats.name
+
+        def stage(batch: Batch, sink: ExecutionMetrics) -> Batch | None:
+            sink.stats_for(name).tuples_in += len(batch)
+            out_values: list[tuple] = []
+            out_rids: list[Rid] = []
+            pairs = len(batch) * len(inner_values)
+            booleans = 0
+            for outer_value, outer_rid in zip(batch.value_tuples(), batch.rids):
+                for partner_value, partner_rid in zip(inner_values, inner_rids):
+                    merged = outer_value + partner_value
+                    if evaluate is not None:
+                        booleans += 1
+                        if not evaluate(merged):
+                            continue
+                    out_values.append(merged)
+                    out_rids.append(outer_rid + partner_rid)
+            if pairs:
+                sink.charge_join_pair(pairs)
+            if booleans:
+                assert condition is not None
+                sink.charge_boolean(booleans, cost=condition.cost)
+            if not out_values:
+                return None
+            return _emit(Batch(schema, out_rids, values=out_values), name, sink)
+
+        return chain.extended(_Stage(name, stage))
 
     def _next_batch(self) -> Batch | None:
         if self._inner is None:
@@ -840,6 +1314,8 @@ class BatchSort(BatchOperator):
         self._position = 0
 
     def _materialize(self) -> None:
+        if self._dop > 1 and self._parallel_materialize():
+            return
         context = self.context
         scoring = context.scoring
         schema = self.child.schema()
@@ -899,6 +1375,129 @@ class BatchSort(BatchOperator):
             [bounds[i] for i in order],
         )
         self._rows_kept = rows is not None
+
+    def _parallel_materialize(self) -> bool:
+        """Per-morsel score + sort (+ top-k), k-way merged by the same
+        ``(-F, rid)`` total order — identical output to the serial
+        materialization.  Returns False when the child has no morsel
+        decomposition (the caller falls back to the serial body)."""
+        chain = self.child.morsel_chain()
+        if chain is None:
+            return False
+        context = self.context
+        scoring = context.scoring
+        schema = self.child.schema()
+        names = scoring.predicate_names
+        # Resolve evaluators and kernels on the statement thread — the
+        # evaluator cache mutates on first use and is not task-safe.
+        prepared = {
+            name: (
+                *context.evaluators.entry(name, schema),
+                vectors.ranking_kernel(scoring.predicate(name), schema),
+            )
+            for name in names
+        }
+        sort_name = self.stats.name
+        k = self.fetch_limit
+
+        def finalize(batches: list[Batch], sink: ExecutionMetrics):
+            stats = sink.stats_for(sort_name)
+            items: list = []
+            rids: list[Rid] = []
+            rows: "list[Row] | None" = []
+            scores: dict[str, list[float]] = {}
+            for batch in batches:
+                stats.tuples_in += len(batch)
+                if rows is not None and batch.rows is not None:
+                    rows.extend(batch.rows)
+                else:
+                    rows = None
+                items.extend(batch.tuples())
+                rids.extend(batch.rids)
+                for name, vector in batch.scores.items():
+                    scores.setdefault(name, []).extend(vector)
+            n = len(items)
+            missing = [
+                name
+                for name in names
+                if name not in scores or len(scores[name]) != n
+            ]
+            if missing and n:
+                whole = Batch(
+                    schema,
+                    rids,
+                    rows=rows if rows is not None else None,
+                    values=None if rows is not None else items,
+                )
+                for name in missing:
+                    evaluate, cost, kernel = prepared[name]
+                    scores[name] = vectors.score_vector(kernel, evaluate, whole)
+                    sink.charge_predicate(cost, n)
+            elif missing:
+                for name in missing:
+                    scores[name] = []
+            score_columns = [scores[name] for name in names]
+            bounds = [
+                scoring.upper_bound(dict(zip(names, per_row)))
+                for per_row in zip(*score_columns)
+            ] if n else []
+            if k is not None and k < n:
+                order = heapq.nsmallest(
+                    k, range(n), key=lambda i: (-bounds[i], rids[i])
+                )
+            else:
+                order = sorted(range(n), key=lambda i: (-bounds[i], rids[i]))
+            run = [
+                (
+                    bounds[i],
+                    rids[i],
+                    items[i],
+                    tuple(scores[name][i] for name in names),
+                )
+                for i in order
+            ]
+            return n, rows is not None, run
+
+        total = 0
+        rows_kept = True
+        runs = []
+        for (count, kept, run), sink in morsels.run_tasks(
+            chain.tasks(finalize), self._dop
+        ):
+            context.metrics.merge(sink)
+            total += count
+            rows_kept = rows_kept and kept
+            if run:
+                runs.append(run)
+        n = total
+        # The serial comparison formulas over the whole input, charged once
+        # — simulated cost stays identical to the serial sort.
+        if k is not None and k < n:
+            context.metrics.charge_comparisons(
+                int(n * max(1, math.log2(max(2, k))))
+            )
+            limit = k
+        else:
+            context.metrics.charge_comparisons(int(n * max(1, math.log2(n or 1))))
+            limit = n
+        ordered: list[tuple] = []
+        for entry in heapq.merge(*runs, key=lambda e: (-e[0], e[1])):
+            if len(ordered) >= limit:
+                break
+            ordered.append(entry)
+        # When every morsel carried base rows, items *are* those Row
+        # objects (Batch.tuples returns rows when present), matching the
+        # serial carrier choice in both representations.
+        self._ordered = (
+            [(item, rid) for __, rid, item, __ in ordered],
+            {
+                name: [per_row[position] for __, __, __, per_row in ordered]
+                for position, name in enumerate(names)
+            },
+            [bound for bound, __, __, __ in ordered],
+        )
+        self._rows_kept = rows_kept
+        return True
 
     def _next_batch(self) -> Batch | None:
         if self._ordered is None:
@@ -971,13 +1570,28 @@ class BatchToRow(PhysicalOperator):
       Boolean condition; batches are filtered columnar-side before
       conversion.  Membership-only, order-preserving, and charged here
       (same evaluation count the row filter would have charged).
+
+    **Morsel-driven parallelism.**  At ``parallelism > 1`` the adapter
+    asks the segment root for a :class:`MorselChain` and drives it as one
+    task per morsel on the shared pool (:mod:`repro.execution.morsels`),
+    gathering per-morsel ``ScoredRow`` lists **in morsel order** — the
+    order-restoring gather that keeps parallel output byte-identical to
+    serial execution.  Frontier prefilters/prescores and the row
+    conversion run inside the tasks.  Segments without a decomposition
+    (e.g. topped by :class:`BatchSort`, which instead parallelizes its
+    own materialization) fall back to the serial pull path transparently.
     """
 
     kind = "batchSegment"
 
-    def __init__(self, source: BatchOperator):
+    def __init__(self, source: BatchOperator, parallelism: int = 1):
         super().__init__()
         self.source = source
+        #: the segment's costed degree of parallelism (1 = serial); at
+        #: DOP > 1 the segment runs as morsel tasks on the shared pool
+        #: with an order-restoring gather here at the frontier
+        self.parallelism = max(1, int(parallelism))
+        source.set_parallelism(self.parallelism)
         self._pending: list[ScoredRow] = []
         self._position = 0
         self._exhausted = False
@@ -985,6 +1599,8 @@ class BatchToRow(PhysicalOperator):
         self._prescore_kernels: dict[str, tuple] = {}
         self._prefilters: list[BooleanPredicate] = []
         self._prefilter_compiled: list[tuple] = []
+        self._driver: "Iterator | None" = None
+        self._driver_started = False
 
     def describe(self) -> str:
         return f"batch[{self.source.describe()}]"
@@ -1104,19 +1720,100 @@ class BatchToRow(PhysicalOperator):
         self._prescore_kernels = {}
         self._prefilters = []
         self._prefilter_compiled = []
+        self._driver = None
+        self._driver_started = False
+
+    def _start_driver(self) -> "Iterator | None":
+        """Build the parallel morsel driver, or None for the serial path.
+
+        Runs at the first ``next()`` — after the consumer registered its
+        prescores/prefilters and λ_k announced its limit — so the morsel
+        stages capture the final frontier configuration.  The driver
+        yields ``(scored_rows, sink)`` per morsel **in morsel order**
+        (the order-restoring gather), with at most ``parallelism``
+        morsels in flight.
+        """
+        if self.parallelism <= 1:
+            return None
+        chain = self.source.morsel_chain()
+        if chain is None:
+            return None
+        name = self.stats.name
+        prefilters = [
+            (
+                condition,
+                evaluate,
+                kernel,
+                stats.name if stats is not None else None,
+            )
+            for condition, evaluate, kernel, stats in self._prefilter_compiled
+        ]
+        prescore = list(self._prescore)
+        prescore_kernels = dict(self._prescore_kernels)
+
+        def finalize(batches: list[Batch], sink: ExecutionMetrics):
+            # The morsel-side twin of _record_input + _prepare_batch +
+            # to_scored_rows, charging the private sink under the same
+            # operator names the serial path uses.
+            started = time.perf_counter()
+            stats = sink.stats_for(name)
+            scored: list[ScoredRow] = []
+            for batch in batches:
+                stats.tuples_in += len(batch)
+                for condition, evaluate, kernel, stats_name in prefilters:
+                    n = len(batch)
+                    if not n:
+                        break
+                    if stats_name is not None:
+                        sink.stats_for(stats_name).tuples_in += n
+                    sink.charge_boolean(n, cost=condition.cost)
+                    keep = vectors.keep_indices(kernel, evaluate, batch)
+                    if len(keep) != n:
+                        batch = batch.select(keep)
+                n = len(batch)
+                if n:
+                    for predicate_name in prescore:
+                        if predicate_name in batch.scores:
+                            continue
+                        evaluate, cost, kernel = prescore_kernels[predicate_name]
+                        batch.scores[predicate_name] = vectors.score_vector(
+                            kernel, evaluate, batch
+                        )
+                        sink.charge_predicate(cost, n)
+                    scored.extend(batch.to_scored_rows())
+            stats.wall_seconds += time.perf_counter() - started
+            return scored
+
+        return morsels.run_tasks(chain.tasks(finalize), self.parallelism)
 
     def _next(self) -> ScoredRow | None:
         while self._position >= len(self._pending):
             if self._exhausted:
                 return None
+            if not self._driver_started:
+                self._driver_started = True
+                self._driver = self._start_driver()
+            if self._driver is not None:
+                step = next(self._driver, None)
+                if step is None:
+                    self._exhausted = True
+                    return None
+                scored, sink = step
+                self.context.metrics.merge(sink)
+                self._pending = scored
+                self._position = 0
+                continue
+            started = time.perf_counter()
             batch = self.source.next_batch()
             if batch is None:
                 self._exhausted = True
+                self.stats.wall_seconds += time.perf_counter() - started
                 return None
             self._record_input(len(batch))
             batch = self._prepare_batch(batch)
             self._pending = batch.to_scored_rows()
             self._position = 0
+            self.stats.wall_seconds += time.perf_counter() - started
         scored = self._pending[self._position]
         self._position += 1
         return scored
@@ -1124,3 +1821,4 @@ class BatchToRow(PhysicalOperator):
     def _close(self) -> None:
         self.source.close()
         self._pending = []
+        self._driver = None

@@ -1,0 +1,226 @@
+"""The process-wide morsel pool: intra-query parallelism plumbing.
+
+A *morsel* is a fixed-size rid range of a batch segment's source — the
+unit of work the parallel execution path schedules (Leis et al.,
+"Morsel-Driven Parallelism", adapted to this engine's batch segments).
+This module owns everything below the operators:
+
+* :func:`morsel_size` — the range width (``REPRO_MORSEL_SIZE``, default
+  4 × the batch size, so a morsel dispatches a handful of batches).
+* the **shared worker pool** — one lazily-created
+  :class:`~concurrent.futures.ThreadPoolExecutor` per process, shared by
+  every statement of every session (:func:`shared_pool`).  The server's
+  per-statement workers submit morsels here too, so intra-query and
+  inter-session parallelism draw from the same bounded set of threads
+  instead of oversubscribing cores.
+* :func:`run_tasks` — ordered, lazily-windowed task execution: at most
+  ``dop`` morsels are in flight, and results are yielded **in morsel
+  order** regardless of completion order.  This is the order-restoring
+  gather that keeps parallel output byte-identical to serial execution.
+* a **fork process-pool backend** (``REPRO_PARALLEL_BACKEND=process``)
+  for pure-python workloads the GIL would otherwise serialize.  Morsel
+  task closures are stashed in a module global *before* the pool forks,
+  so workers inherit them by memory image and only picklable *results*
+  cross the pipe.  Platforms without ``fork`` fall back to threads.
+
+Worker tasks never submit tasks of their own — every decomposition is a
+flat list of morsels driven from the statement thread — so the shared
+pool cannot deadlock however many statements stack up on it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import warnings
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterator, Sequence
+
+#: default morsel width: four batches per morsel keeps per-task overhead
+#: small while still splitting mid-size tables into enough tasks to scale
+MORSEL_SIZE_DEFAULT = 4096
+
+BACKENDS = ("thread", "process")
+
+Task = Callable[[], Any]
+
+
+def morsel_size() -> int:
+    """The configured morsel width in tuples (``REPRO_MORSEL_SIZE``)."""
+    raw = os.environ.get("REPRO_MORSEL_SIZE")
+    if raw is None:
+        return MORSEL_SIZE_DEFAULT
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"bad REPRO_MORSEL_SIZE value {raw!r}; expected a positive integer"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"bad REPRO_MORSEL_SIZE value {raw!r}; expected a positive integer"
+        )
+    return value
+
+
+def hardware_parallelism() -> int:
+    """The core count ``parallelism="auto"`` resolves to."""
+    return max(1, os.cpu_count() or 1)
+
+
+def parallel_backend() -> str:
+    """The configured morsel backend (``REPRO_PARALLEL_BACKEND``)."""
+    raw = os.environ.get("REPRO_PARALLEL_BACKEND")
+    if raw is None:
+        return "thread"
+    name = raw.strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown REPRO_PARALLEL_BACKEND value {raw!r}; "
+            f"expected one of {BACKENDS}"
+        )
+    return name
+
+
+# ----------------------------------------------------------------------
+# the shared thread pool
+# ----------------------------------------------------------------------
+
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+
+
+def shared_pool() -> ThreadPoolExecutor:
+    """The process-wide morsel pool, created on first use.
+
+    Sized to the machine (never below 2, so single-core hosts still
+    exercise genuine concurrency); statements bound their *own* in-flight
+    work with the windowing in :func:`run_tasks`, the pool bounds the
+    total across all concurrent statements.
+    """
+    global _pool
+    with _pool_lock:
+        if _pool is None:
+            _pool = ThreadPoolExecutor(
+                max_workers=max(2, hardware_parallelism()),
+                thread_name_prefix="repro-morsel",
+            )
+        return _pool
+
+
+def pool_summary() -> dict[str, int]:
+    """Shared-pool facts for server/CLI introspection (no side effects —
+    reporting on an unused pool must not create it)."""
+    with _pool_lock:
+        started = _pool is not None
+        workers = _pool._max_workers if _pool is not None else 0
+    return {
+        "morsel_pool_started": int(started),
+        "morsel_pool_workers": workers
+        if started
+        else max(2, hardware_parallelism()),
+    }
+
+
+# ----------------------------------------------------------------------
+# ordered task execution
+# ----------------------------------------------------------------------
+
+def run_tasks(
+    tasks: Sequence[Task], dop: int, backend: str | None = None
+) -> Iterator[Any]:
+    """Run morsel tasks with ``dop``-way parallelism, yielding results in
+    task order.
+
+    The serial path (``dop <= 1`` or a single task) runs tasks inline on
+    the calling thread.  The thread backend keeps a sliding window of
+    ``dop`` futures on the shared pool: the consumer always receives the
+    *oldest* outstanding result first, so downstream sees exactly the
+    serial sequence.  Exceptions surface in task order.  A consumer that
+    stops early leaves at most ``dop - 1`` already-submitted morsels to
+    finish and be discarded.
+    """
+    dop = max(1, int(dop))
+    if backend is None:
+        backend = parallel_backend()
+    if dop <= 1 or len(tasks) <= 1:
+        return (task() for task in tasks)
+    if backend == "process" and fork_available():
+        return iter(_run_forked(tasks, dop))
+    return _run_windowed(tasks, dop)
+
+
+def _run_windowed(tasks: Sequence[Task], dop: int) -> Iterator[Any]:
+    pool = shared_pool()
+    pending: deque = deque()
+    iterator = iter(tasks)
+    for task in itertools.islice(iterator, dop):
+        pending.append(pool.submit(task))
+    for task in iterator:
+        result = pending.popleft().result()
+        pending.append(pool.submit(task))
+        yield result
+    while pending:
+        yield pending.popleft().result()
+
+
+# ----------------------------------------------------------------------
+# fork process-pool backend (pure-python mode)
+# ----------------------------------------------------------------------
+#
+# Thread workers scale only work that releases the GIL (the NumPy
+# kernels).  Pure-python morsels — expensive user predicates, python-mode
+# kernels — need real processes.  Closures over operators and user
+# lambdas do not pickle, so the fork backend stashes the task list in a
+# module global *before* creating the pool: forked workers inherit the
+# closures through the copied address space and are sent only morsel
+# indices.  Results therefore must be picklable (they are: batches,
+# rows and metric sinks are plain data).
+
+_fork_lock = threading.Lock()
+_fork_tasks: Sequence[Task] | None = None
+
+
+def fork_available() -> bool:
+    """Whether the fork start method exists on this platform."""
+    if not hasattr(os, "fork"):
+        return False
+    import multiprocessing
+
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return False
+    return True
+
+
+def _run_fork_task(index: int) -> Any:
+    tasks = _fork_tasks
+    assert tasks is not None, "fork worker started without a task stash"
+    return tasks[index]()
+
+
+def _run_forked(tasks: Sequence[Task], dop: int) -> list[Any]:
+    import multiprocessing
+
+    global _fork_tasks
+    context = multiprocessing.get_context("fork")
+    # One forked sweep at a time: the task stash is a process-wide slot.
+    with _fork_lock:
+        _fork_tasks = list(tasks)
+        try:
+            with warnings.catch_warnings():
+                # Python 3.12+ deprecation-warns on fork inside a threaded
+                # process; the workers only run self-contained morsels, so
+                # the fork is safe — and must survive PYTHONWARNINGS=error.
+                warnings.simplefilter("ignore", DeprecationWarning)
+                pool = context.Pool(processes=min(dop, len(tasks)))
+            try:
+                return pool.map(_run_fork_task, range(len(tasks)))
+            finally:
+                pool.close()
+                pool.join()
+        finally:
+            _fork_tasks = None

@@ -23,6 +23,7 @@ every tuple at the maximal score, so any buffering consumer drains it.
 from __future__ import annotations
 
 from ..algebra.predicates import BooleanPredicate, ScoringFunction
+from ..execution import morsels
 from ..execution.batch import BATCH_SIZE
 from ..execution.metrics import (
     BOOLEAN_EVAL_UNIT,
@@ -93,6 +94,30 @@ BATCH_SETUP_UNIT = 6.0
 #: (ScoredRow re-materialization)
 FRONTIER_TUPLE_UNIT = 0.015
 
+# ---------------------------------------------------------------------------
+# Parallel-regime units.
+#
+# Intra-query parallelism is priced the same way batch lowering is: the
+# serial batch cost of a segment is the work to divide, and the parallel
+# alternative pays fixed coordination overheads for a ÷DOP on that work.
+# The overheads are deliberately steep — a couple of hundred units per
+# worker — so segments in the low thousands of tuples (where the measured
+# thread-pool handoff latency swamps any speedup) stay serial, exactly as
+# BATCH_SETUP_UNIT keeps tiny segments on the row path.  The effective
+# speedup is ``min(dop, tasks)``: a segment that decomposes into fewer
+# morsels than workers cannot use the extra workers, so over-parallel DOPs
+# price strictly worse and the decision self-caps.
+# ---------------------------------------------------------------------------
+
+#: per-worker startup/teardown: pool handoff, private metrics sink,
+#: per-worker operator state
+PARALLEL_WORKER_UNIT = 150.0
+#: per-morsel task dispatch: closure submission, future wait, ordered
+#: gather bookkeeping
+MORSEL_DISPATCH_UNIT = 30.0
+#: per tuple passing through the order-restoring gather at the frontier
+PARALLEL_TUPLE_UNIT = 0.002
+
 _BLOCKING = (SortPlan, SortMergeJoinPlan, HashJoinPlan, NestedLoopJoinPlan)
 
 
@@ -110,7 +135,7 @@ class CostModel:
         self.scoring: ScoringFunction = spec.scoring
         self.estimator = estimator
         self._full_memo: dict[str, float] = {}
-        self._cost_memo: dict[tuple[str, bool], float] = {}
+        self._cost_memo: dict[tuple, float] = {}
         self._selectivity_memo: dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -230,7 +255,11 @@ class CostModel:
     # cost
     # ------------------------------------------------------------------
     def _cost(self, plan: PlanNode, drained: bool) -> float:
-        key = (plan.fingerprint(), drained)
+        # ``dop`` is deliberately excluded from plan fingerprints (like
+        # ``decision``, it is an annotation, not identity) — so it must be
+        # part of the memo key, or a dop-2 wrapper would return the dop-1
+        # price cached for the same segment.
+        key = (plan.fingerprint(), drained, getattr(plan, "dop", 1))
         if key in self._cost_memo:
             return self._cost_memo[key]
         value = self._cost_inner(plan, drained)
@@ -250,11 +279,11 @@ class CostModel:
     def _cost_inner(self, plan: PlanNode, drained: bool) -> float:
         if isinstance(plan, BatchSegmentPlan):
             # The batch-regime alternative: the whole segment runs on the
-            # columnar path, then every emitted tuple crosses the
-            # BatchToRow frontier back into the row world.
-            inner_cost = self._batch_cost(plan.inner, drained)
-            n_out = self.production(plan, drained)
-            return inner_cost + BATCH_SETUP_UNIT + n_out * FRONTIER_TUPLE_UNIT
+            # columnar path (at the wrapper's DOP), then every emitted
+            # tuple crosses the BatchToRow frontier back into the row world.
+            return self.parallel_segment_cost(
+                plan.inner, getattr(plan, "dop", 1), drained
+            )
 
         child_drained = drained or isinstance(plan, _BLOCKING)
         children_cost = sum(self._cost(c, child_drained) for c in plan.children)
@@ -365,6 +394,51 @@ class CostModel:
         path, *excluding* the per-segment setup and frontier charges (those
         belong to the enclosing :class:`BatchSegmentPlan` node)."""
         return self._batch_cost(plan, drained)
+
+    def parallel_segment_cost(
+        self, inner: PlanNode, dop: int, drained: bool = False
+    ) -> float:
+        """Cost of a lowered segment executed at ``dop``-way parallelism.
+
+        ``dop=1`` is exactly the serial batch formula (inner batch cost +
+        segment setup + frontier conversion), so the parallel regime is a
+        strict superset of the PR-4 pricing.  For ``dop>1`` the divisible
+        work — the inner pipeline plus the frontier conversion, both of
+        which morsel tasks perform on workers — is divided by the
+        *effective* speedup ``min(dop, tasks)``, and the coordination
+        overheads are added on top: per-worker setup, per-morsel dispatch,
+        and the ordered gather's per-tuple handling.
+        """
+        dop = max(1, int(dop))
+        key = ("parallel", inner.fingerprint(), dop, drained)
+        if key in self._cost_memo:
+            return self._cost_memo[key]
+        inner_cost = self._batch_cost(inner, drained)
+        n_out = self.production(inner, drained)
+        if dop <= 1:
+            value = inner_cost + BATCH_SETUP_UNIT + n_out * FRONTIER_TUPLE_UNIT
+        else:
+            source = self._segment_source_tuples(inner)
+            tasks = math.ceil(source / morsels.morsel_size()) if source > 0 else 0
+            speedup = min(dop, tasks) if tasks else 1
+            work = inner_cost + n_out * FRONTIER_TUPLE_UNIT
+            value = (
+                BATCH_SETUP_UNIT
+                + dop * PARALLEL_WORKER_UNIT
+                + tasks * MORSEL_DISPATCH_UNIT
+                + work / speedup
+                + n_out * PARALLEL_TUPLE_UNIT
+            )
+        self._cost_memo[key] = value
+        return value
+
+    def _segment_source_tuples(self, plan: PlanNode) -> float:
+        """Estimated size of the segment's widest morsel source — the
+        cardinality that determines how many morsel tasks the segment
+        decomposes into (the leaf scans are what gets range-partitioned)."""
+        if not plan.children:
+            return self.full_cardinality(plan)
+        return max(self._segment_source_tuples(c) for c in plan.children)
 
     def _batch_cost(self, plan: PlanNode, drained: bool) -> float:
         key = ("batch", plan.fingerprint(), drained)

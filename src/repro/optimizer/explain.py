@@ -38,6 +38,11 @@ class NodeReport:
     estimated_cost: float
     actual_in: int
     actual_out: int
+    #: measured wall-clock milliseconds, recorded for batch operators only
+    #: (serial nodes: inclusive time in ``next_batch``; parallel morsel
+    #: stages: summed worker busy time, which can exceed elapsed — that is
+    #: how a DOP win shows per node).  ``None`` for row-mode operators.
+    wall_ms: float | None = None
 
 
 @dataclass
@@ -58,11 +63,14 @@ class AnalyzeReport:
         lines = []
         for node in self.nodes:
             name = "  " * node.depth + node.label
-            lines.append(
+            line = (
                 f"{name:<{label_width}}  "
                 f"(est rows={node.estimated_rows:,.0f} cost={node.estimated_cost:,.0f})"
                 f"  (actual in={node.actual_in} out={node.actual_out})"
             )
+            if node.wall_ms is not None:
+                line += f" time={node.wall_ms:.2f}ms"
+            lines.append(line)
         if self.decisions:
             from .hybrid import render_decisions
 
@@ -129,6 +137,9 @@ def _collect(
         label = "batch segment"
         if plan.decision is not None:
             label += f" ({plan.decision.summary()})"
+    wall_ms = None
+    if isinstance(operator, (BatchOperator, BatchToRow)):
+        wall_ms = operator.stats.wall_seconds * 1000.0
     out.append(
         NodeReport(
             label=label,
@@ -137,6 +148,7 @@ def _collect(
             estimated_cost=cost_model.cost(plan),
             actual_in=operator.stats.tuples_in,
             actual_out=operator.stats.tuples_out,
+            wall_ms=wall_ms,
         )
     )
     if isinstance(plan, BatchSegmentPlan) and isinstance(operator, BatchToRow):

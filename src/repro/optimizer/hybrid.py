@@ -23,6 +23,15 @@ tuples.  Large drained segments lower: the bulk regime replaces row-mode
 per-tuple dispatch (``MOVE_UNIT``) with per-batch dispatch plus a ~5×
 smaller per-tuple handling cost.
 
+Since PR 6 the same pass also prices the segment's **degree of
+parallelism**: every candidate DOP up to the session's ``parallelism``
+knob is costed with the parallel-regime formulas
+(:meth:`~repro.optimizer.cost_model.CostModel.parallel_segment_cost`), and
+the cheapest candidate is stamped on the wrapper
+(:attr:`~repro.optimizer.plans.BatchSegmentPlan.dop`).  Small segments
+keep DOP 1 — worker setup and morsel dispatch overheads dominate — while
+segments whose morsel count exceeds the DOP divide their work and win.
+
 The pass also runs over plans the enumerator already decided (its
 ``batch_execution="auto"`` knob prices :class:`BatchSegmentPlan`
 alternatives *during* the DP): existing wrappers are re-priced and
@@ -32,7 +41,7 @@ one cost model that produced the plan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .cost_model import CostModel
 from .plans import (
@@ -53,42 +62,83 @@ class SegmentDecision:
     segment: str
     #: estimated cost of executing the segment tuple-at-a-time
     row_cost: float
-    #: estimated cost of the lowered twin (bulk operators + BatchToRow
-    #: frontier + per-segment setup)
+    #: estimated cost of the lowered twin at DOP 1 (bulk operators +
+    #: BatchToRow frontier + per-segment setup)
     batch_cost: float
+    #: chosen degree of parallelism (1 = serial batch execution)
+    dop: int = 1
+    #: estimated batch cost per candidate DOP, ``{dop: cost}``; always
+    #: contains at least ``{1: batch_cost}``
+    parallel_costs: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def chosen_batch_cost(self) -> float:
+        """Batch-regime cost at the chosen DOP."""
+        return self.parallel_costs.get(self.dop, self.batch_cost)
 
     @property
     def lowered(self) -> bool:
-        return self.batch_cost < self.row_cost
+        return self.chosen_batch_cost < self.row_cost
 
     @property
     def winner(self) -> str:
-        return "batch" if self.lowered else "row"
+        if not self.lowered:
+            return "row"
+        return "batch" if self.dop <= 1 else f"batch(dop={self.dop})"
 
     def summary(self) -> str:
-        return (
+        text = (
             f"row cost={self.row_cost:,.0f} vs batch cost={self.batch_cost:,.0f}"
-            f" -> {self.winner}"
         )
+        if self.dop > 1:
+            text += (
+                f" vs batch@dop={self.dop} cost={self.chosen_batch_cost:,.0f}"
+            )
+        return f"{text} -> {self.winner}"
 
 
-def price_segment(segment: PlanNode, cost_model: CostModel) -> SegmentDecision:
-    """Price both execution regimes for one lowerable segment.
+def _dop_candidates(max_dop: int) -> list[int]:
+    """Candidate degrees of parallelism up to the session knob: powers of
+    two plus ``max_dop`` itself (the classical exchange-operator ladder)."""
+    max_dop = max(1, int(max_dop))
+    candidates = [1]
+    dop = 2
+    while dop < max_dop:
+        candidates.append(dop)
+        dop *= 2
+    if max_dop > 1:
+        candidates.append(max_dop)
+    return candidates
+
+
+def price_segment(
+    segment: PlanNode, cost_model: CostModel, max_dop: int = 1
+) -> SegmentDecision:
+    """Price both execution regimes — and every candidate DOP of the batch
+    regime up to ``max_dop`` — for one lowerable segment.
 
     ``segment`` may already be wrapped in a :class:`BatchSegmentPlan` (the
     enumerator's doing); the comparison is always row twin vs batch twin.
+    The decision's ``dop`` is the cheapest candidate (ties break low, so
+    parallelism must *win*, not merely match, to be chosen).
     """
     inner = segment.inner if isinstance(segment, BatchSegmentPlan) else segment
-    wrapped = segment if isinstance(segment, BatchSegmentPlan) else BatchSegmentPlan(inner)
+    parallel_costs = {
+        dop: cost_model.parallel_segment_cost(inner, dop)
+        for dop in _dop_candidates(max_dop)
+    }
+    best_dop = min(parallel_costs, key=lambda dop: (parallel_costs[dop], dop))
     return SegmentDecision(
         segment=inner.label(),
         row_cost=cost_model.cost(inner),
-        batch_cost=cost_model.cost(wrapped),
+        batch_cost=parallel_costs[1],
+        dop=best_dop,
+        parallel_costs=parallel_costs,
     )
 
 
 def decide_batch_lowering(
-    plan: PlanNode, cost_model: CostModel
+    plan: PlanNode, cost_model: CostModel, max_dop: int = 1
 ) -> tuple[PlanNode, list[SegmentDecision]]:
     """Lower each maximal ``P = φ`` segment of ``plan`` iff batch wins.
 
@@ -101,18 +151,24 @@ def decide_batch_lowering(
     a no-op on fully DP-decided plans apart from collecting the records.
     """
     decisions: list[SegmentDecision] = []
-    decided = _decide(plan, cost_model, decisions)
+    decided = _decide(plan, cost_model, decisions, max(1, int(max_dop)))
     return decided, decisions
 
 
 def _decide(
-    plan: PlanNode, cost_model: CostModel, decisions: list[SegmentDecision]
+    plan: PlanNode,
+    cost_model: CostModel,
+    decisions: list[SegmentDecision],
+    max_dop: int,
 ) -> PlanNode:
     if isinstance(plan, BatchSegmentPlan):
         # Already decided (by the enumerator or a previous pass): keep, but
-        # record and annotate the comparison that justifies it.
-        decision = price_segment(plan, cost_model)
+        # record and annotate the comparison that justifies it — including
+        # the DOP choice, which the enumerator does not price.
+        decision = price_segment(plan, cost_model, max_dop)
         plan.decision = decision
+        if decision.lowered:
+            plan.dop = decision.dop
         decisions.append(decision)
         return plan
 
@@ -126,16 +182,18 @@ def _decide(
         isinstance(plan, SortPlan) and segment_lowerable(plan.children[0])
     )
     if is_candidate:
-        decision = price_segment(plan, cost_model)
+        decision = price_segment(plan, cost_model, max_dop)
         decisions.append(decision)
         if decision.lowered:
-            wrapped = BatchSegmentPlan(plan)
+            wrapped = BatchSegmentPlan(plan, dop=decision.dop)
             wrapped.decision = decision
             return wrapped
 
     if not plan.children:
         return plan
-    decided = tuple(_decide(child, cost_model, decisions) for child in plan.children)
+    decided = tuple(
+        _decide(child, cost_model, decisions, max_dop) for child in plan.children
+    )
     if all(new is old for new, old in zip(decided, plan.children)):
         return plan
     clone = copy.copy(plan)

@@ -589,7 +589,7 @@ class BatchSegmentPlan(PlanNode):
     :class:`~repro.execution.iterator.PhysicalOperator`.
     """
 
-    def __init__(self, inner: PlanNode):
+    def __init__(self, inner: PlanNode, dop: int = 1):
         super().__init__()
         # Nested wrappers dissolve eagerly: a segment absorbed into a
         # larger one is a single batch pipeline with one frontier, and the
@@ -601,6 +601,11 @@ class BatchSegmentPlan(PlanNode):
         #: a ``SegmentDecision`` carrying both candidates' estimated costs.
         #: Purely informational — never part of the fingerprint.
         self.decision = None
+        #: the segment's degree of parallelism (a costed decision, like
+        #: the lowering itself).  Excluded from the fingerprint, same as
+        #: ``decision``: two wrappers over the same inner tree produce the
+        #: same tuples — DOP only changes *how* they are produced.
+        self.dop = max(1, int(dop))
 
     @property
     def tables(self) -> frozenset[str]:
@@ -619,7 +624,7 @@ class BatchSegmentPlan(PlanNode):
         return self.inner.is_ranked
 
     def build(self) -> PhysicalOperator:
-        return BatchToRow(_build_batch(self.inner))
+        return BatchToRow(_build_batch(self.inner), parallelism=self.dop)
 
     def label(self) -> str:
         return "batch"
@@ -631,6 +636,8 @@ class BatchSegmentPlan(PlanNode):
         head = "batch segment"
         if self.decision is not None:
             head += f" ({self.decision.summary()})"
+        elif self.dop > 1:
+            head += f" (dop={self.dop})"
         lines = ["  " * indent + head]
         lines.append(self.inner.explain(indent + 1))
         return "\n".join(lines)
@@ -640,7 +647,7 @@ class BatchSegmentPlan(PlanNode):
         yield from self.inner.walk()
 
 
-def lower_to_batch(plan: PlanNode) -> PlanNode:
+def lower_to_batch(plan: PlanNode, parallelism: int = 1) -> PlanNode:
     """Lower every maximal ``P = φ`` segment of ``plan`` to batch execution.
 
     Walks the descriptor tree top-down and wraps each maximal unranked
@@ -653,6 +660,12 @@ def lower_to_batch(plan: PlanNode) -> PlanNode:
     in row mode so consumer-side contracts (cursors, limit stripping,
     top-k hints) are unchanged.
 
+    ``parallelism`` is stamped on every created wrapper as its degree of
+    parallelism — this is the *unconditional* lowering pass
+    (``batch_execution=True``), so the DOP is the caller's knob verbatim;
+    the cost-governed pass (:func:`repro.optimizer.hybrid
+    .decide_batch_lowering`) prices DOP per segment instead.
+
     Nodes are treated as immutable: rewritten interior nodes are shallow
     copies with new child tuples, so a cached row-mode plan and its lowered
     twin can coexist.
@@ -660,12 +673,12 @@ def lower_to_batch(plan: PlanNode) -> PlanNode:
     if isinstance(plan, BatchSegmentPlan):
         return plan  # already lowered (idempotent over decided plans)
     if isinstance(plan, SortPlan) and _segment_lowerable(plan.children[0]):
-        return BatchSegmentPlan(plan)
+        return BatchSegmentPlan(plan, dop=parallelism)
     if _segment_lowerable(plan):
-        return BatchSegmentPlan(plan)
+        return BatchSegmentPlan(plan, dop=parallelism)
     if not plan.children:
         return plan
-    lowered = tuple(lower_to_batch(child) for child in plan.children)
+    lowered = tuple(lower_to_batch(child, parallelism) for child in plan.children)
     if all(new is old for new, old in zip(lowered, plan.children)):
         return plan
     clone = copy.copy(plan)

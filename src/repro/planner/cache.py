@@ -78,6 +78,9 @@ class CachedPlan:
     #: how expensive this entry was to build (measured planning seconds) —
     #: the weight cost-aware eviction protects it with
     plan_cost: float = 0.0
+    #: the DOP ceiling the plan was decided under (part of the signature;
+    #: the chosen per-segment DOPs live on the BatchSegmentPlan wrappers)
+    parallelism: int = 1
     #: cache-clock stamp of the last touch (maintained by PlanCache)
     last_used: int = 0
     #: serializes *parameterized* executions of this entry: bind values

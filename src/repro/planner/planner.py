@@ -31,6 +31,7 @@ from typing import Any
 
 from ..algebra.operators import LogicalOperator
 from ..algebra.parameters import bind_slots
+from ..execution import morsels
 from ..execution.iterator import EvaluatorCache
 from ..optimizer.cardinality import SampleDatabase
 from ..optimizer.cost_model import CostModel
@@ -64,6 +65,32 @@ def normalize_batch_mode(mode: "bool | str") -> "bool | str":
     return bool(mode)
 
 
+def normalize_parallelism(value: "int | str") -> int:
+    """Validate and normalize a ``parallelism`` knob value.
+
+    Accepts a positive integer (the maximum per-segment DOP the optimizer
+    may choose) or ``"auto"`` (the machine's core count).  ``1`` means
+    serial execution — the parallel regime is never priced.
+    """
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text == "auto":
+            return morsels.hardware_parallelism()
+        try:
+            value = int(text)
+        except ValueError:
+            raise ValueError(
+                f"bad parallelism value {value!r}; expected a positive "
+                "integer or 'auto'"
+            ) from None
+    value = int(value)
+    if value < 1:
+        raise ValueError(
+            f"bad parallelism value {value!r}; expected a positive integer or 'auto'"
+        )
+    return value
+
+
 @dataclass
 class PlannerMetrics:
     """Counters over the planner's lifetime (cache stats live on the cache)."""
@@ -93,6 +120,7 @@ class Planner:
         catalog: Catalog,
         cache_capacity: int = 256,
         batch_execution: "bool | str" = "auto",
+        parallelism: "int | str" = 1,
     ):
         self.catalog = catalog
         self.cache = PlanCache(cache_capacity)
@@ -107,6 +135,11 @@ class Planner:
         #:   lowers regardless of size;
         #: * ``False`` — pure tuple-at-a-time (Volcano) execution.
         self.batch_execution = normalize_batch_mode(batch_execution)
+        #: maximum per-segment degree of parallelism the optimizer may
+        #: choose (1 = serial; "auto" resolved to the core count at
+        #: construction).  Overridable per statement via the
+        #: ``parallelism=`` prepare knob.
+        self.parallelism = normalize_parallelism(parallelism)
         self.metrics = PlannerMetrics()
         #: bumped on every invalidation; cached artifacts carry the value
         #: they were built under and are stale once it moves on
@@ -223,8 +256,21 @@ class Planner:
         spec = self._resolve(query)
         sample_ratio = float(knobs.pop("sample_ratio", 0.001))
         seed = int(knobs.pop("seed", 0))
+        # Popped before the optimizer sees the knobs (the enumerators do
+        # not take it) but folded into the signature: plans decided at
+        # different DOP ceilings are different plans.
+        parallelism = normalize_parallelism(
+            knobs.pop("parallelism", self.parallelism)
+        )
         signature = plan_signature(
-            spec, strategy, dict(knobs, sample_ratio=sample_ratio, seed=seed)
+            spec,
+            strategy,
+            dict(
+                knobs,
+                sample_ratio=sample_ratio,
+                seed=seed,
+                parallelism=parallelism,
+            ),
         )
         if use_cache:
             entry = self.cache.get(signature, generation)
@@ -243,10 +289,12 @@ class Planner:
             # decision; the pass re-prices those wrappers for the record
             # and decides any segment the DP did not see (rule-based
             # plans, post-DP λ/π tops).
-            plan, decisions = decide_batch_lowering(plan, cost_model)
+            plan, decisions = decide_batch_lowering(
+                plan, cost_model, max_dop=parallelism
+            )
             exec_plan: PlanNode | None = plan
         elif self.batch_execution:
-            exec_plan = lower_to_batch(plan)
+            exec_plan = lower_to_batch(plan, parallelism=parallelism)
         else:
             exec_plan = None
         elapsed = time.perf_counter() - start
@@ -268,6 +316,7 @@ class Planner:
             exec_plan=exec_plan,
             decisions=decisions,
             plan_cost=elapsed,
+            parallelism=parallelism,
         )
         if use_cache:
             self.cache.put(entry)

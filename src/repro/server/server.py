@@ -49,6 +49,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from ..execution import morsels
 from ..storage.snapshot import DatabaseSnapshot
 from . import protocol
 from .protocol import ProtocolError
@@ -298,6 +299,10 @@ class QueryServer:
             for key, value in cache.stats.summary().items()
         )
         out["shared_cache_entries"] = len(cache)
+        # Statements of every session submit their morsels to the one
+        # process-wide pool (execution/morsels.py), so intra-query DOP and
+        # the worker count here never oversubscribe cores together.
+        out.update(morsels.pool_summary())
         return out
 
     # ------------------------------------------------------------------

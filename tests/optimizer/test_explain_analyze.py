@@ -51,6 +51,26 @@ class TestAnalyzeReport:
     def test_metrics_summary_attached(self, report):
         assert report.metrics_summary["tuples_scanned"] > 0
 
+    def test_row_operators_report_no_wall_time(self, report):
+        # plan2 is a fully rank-aware (row-mode) tree: no batch nodes, so
+        # no per-node timings — the column stays absent, not zero.
+        assert all(node.wall_ms is None for node in report.nodes)
+
+
+class TestBatchWallTimings:
+    def test_batch_nodes_report_wall_time(self, workload):
+        from repro.optimizer.plans import lower_to_batch
+        from repro.workloads import plan1
+
+        lowered = lower_to_batch(plan1(workload))
+        report = explain_analyze(
+            workload.catalog, workload.spec, lowered, sample_ratio=0.1, seed=2
+        )
+        timed = [n for n in report.nodes if n.wall_ms is not None]
+        assert timed, "lowered plans must carry batch-node timings"
+        assert any(n.wall_ms > 0 for n in timed)
+        assert "ms" in report.render()
+
 
 class TestDatabaseEntryPoint:
     def test_explain_analyze_via_sql(self, workload):

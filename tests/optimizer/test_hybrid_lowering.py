@@ -45,8 +45,8 @@ SQL = (
 )
 
 
-def single_table_db(n: int, batch_execution="auto") -> Database:
-    db = Database(batch_execution=batch_execution)
+def single_table_db(n: int, batch_execution="auto", **kwargs) -> Database:
+    db = Database(batch_execution=batch_execution, **kwargs)
     db.create_table("T", [("k", DataType.INT), ("x", DataType.FLOAT)])
     rng = random.Random(11)
     db.insert("T", [(rng.randrange(5), round(rng.random(), 6)) for __ in range(n)])
@@ -136,6 +136,120 @@ class TestSegmentPricing:
         assert "filter(k>1)" in text
         assert "-> batch" in text
         assert "row cost=100" in text and "batch cost=80" in text
+
+
+class TestParallelismPricing:
+    """DOP as a costed decision: the parallel-regime formulas and the
+    per-segment choice the decision pass stamps on wrappers."""
+
+    def test_dop1_parallel_cost_is_the_serial_batch_formula(self):
+        db = single_table_db(500)
+        spec = db.bind(SQL)
+        model = cost_model_for(db, spec)
+        segment = FilterPlan(SeqScanPlan("T"), spec.selections[0])
+        n_out = model.production(segment)
+        assert model.parallel_segment_cost(segment, 1) == pytest.approx(
+            model.batch_segment_cost(segment)
+            + BATCH_SETUP_UNIT
+            + n_out * FRONTIER_TUPLE_UNIT
+        )
+
+    def test_max_dop1_decision_matches_legacy_shape(self):
+        # With no parallelism the decision must be byte-identical to PR 4:
+        # dop 1, one candidate, the unchanged summary format.
+        db = single_table_db(2000)
+        spec = db.bind(SQL)
+        model = cost_model_for(db, spec)
+        decision = price_segment(
+            FilterPlan(SeqScanPlan("T"), spec.selections[0]), model
+        )
+        assert decision.dop == 1
+        assert set(decision.parallel_costs) == {1}
+        assert decision.winner == "batch"
+        assert "dop" not in decision.summary()
+
+    def test_small_segment_stays_serial_under_high_max_dop(self):
+        db = single_table_db(500)
+        spec = db.bind(SQL)
+        model = cost_model_for(db, spec)
+        decision = price_segment(
+            FilterPlan(SeqScanPlan("T"), spec.selections[0]), model, max_dop=8
+        )
+        # Worker setup + morsel dispatch dominate a sub-morsel segment.
+        assert decision.dop == 1
+
+    def test_large_segment_chooses_parallel_dop(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "256")
+        db = single_table_db(8000)
+        spec = db.bind(SQL)
+        model = cost_model_for(db, spec)
+        segment = FilterPlan(SeqScanPlan("T"), spec.selections[0])
+        decision = price_segment(segment, model, max_dop=4)
+        assert decision.dop == 4
+        assert decision.winner == "batch(dop=4)"
+        assert decision.chosen_batch_cost < decision.batch_cost
+        assert "batch@dop=4" in decision.summary()
+        # every candidate up to the ceiling was priced
+        assert set(decision.parallel_costs) == {1, 2, 4}
+
+    def test_dop_beyond_task_count_prices_worse(self, monkeypatch):
+        # min(dop, tasks): a segment splitting into 2 morsels cannot use
+        # 8 workers — the extra worker setup must make dop 8 strictly
+        # costlier than dop 2, so the decision self-caps.
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "4096")
+        db = single_table_db(8000)  # two morsels
+        spec = db.bind(SQL)
+        model = cost_model_for(db, spec)
+        segment = FilterPlan(SeqScanPlan("T"), spec.selections[0])
+        decision = price_segment(segment, model, max_dop=8)
+        assert decision.parallel_costs[8] > decision.parallel_costs[2]
+        assert decision.dop == 2
+
+    def test_memo_keeps_dop_variants_distinct(self):
+        db = single_table_db(2000)
+        spec = db.bind(SQL)
+        model = cost_model_for(db, spec)
+        segment = FilterPlan(SeqScanPlan("T"), spec.selections[0])
+        serial = model.cost(BatchSegmentPlan(segment))
+        parallel = model.cost(BatchSegmentPlan(segment, dop=4))
+        again = model.cost(BatchSegmentPlan(segment))
+        # dop is not part of the fingerprint; a shared memo entry would
+        # make one of these return the other's price
+        assert serial == again
+        assert parallel != serial
+
+    def test_decision_pass_stamps_dop_on_wrapper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "256")
+        db = single_table_db(8000)
+        spec = db.bind(SQL)
+        model = cost_model_for(db, spec)
+        decided, decisions = decide_batch_lowering(
+            segment_plan(spec), model, max_dop=4
+        )
+        wrappers = [n for n in decided.walk() if isinstance(n, BatchSegmentPlan)]
+        assert len(wrappers) == 1
+        assert wrappers[0].dop == decisions[0].dop == 4
+
+    def test_explain_shows_dop_decision_end_to_end(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "256")
+        db = single_table_db(8000, parallelism=4)
+        text = db.explain(SQL, sample_ratio=0.5, seed=1)
+        assert "-> batch(dop=4)" in text
+        assert "batch@dop=4" in text
+        # serial-batch candidate stays visible alongside
+        assert "row cost=" in text and "batch cost=" in text
+
+    def test_parallelism_is_part_of_the_plan_signature(self):
+        db = single_table_db(500)
+        entry_serial, __ = db.planner.prepare(
+            SQL, sample_ratio=0.5, seed=1, parallelism=1
+        )
+        entry_parallel, hit = db.planner.prepare(
+            SQL, sample_ratio=0.5, seed=1, parallelism=4
+        )
+        assert not hit  # a different DOP ceiling is a different plan
+        assert entry_serial.parallelism == 1
+        assert entry_parallel.parallelism == 4
 
 
 class TestEnumerationPricesBatchAlternatives:

@@ -272,6 +272,102 @@ def test_generated_query_parity_across_execution_modes(seed):
                 assert outputs[mode].scores == want.scores, (sql, strategy, mode)
 
 
+# ----------------------------------------------------------------------
+# morsel-parallel / serial execution parity
+# ----------------------------------------------------------------------
+
+from repro.execution import vectors  # noqa: E402
+
+
+def _backends():
+    modes = ["python"]
+    if vectors.numpy_available():
+        modes.append("numpy")
+    return modes
+
+
+@pytest.fixture
+def vector_backend(request):
+    """Pin the kernel backend for one test, restoring it afterwards."""
+    before = vectors.backend()
+    vectors.set_backend(request.param)
+    yield request.param
+    vectors.set_backend(before)
+
+
+@pytest.fixture
+def tiny_morsels(monkeypatch):
+    """Shrink morsels so the 200-row parity workload splits into many."""
+    monkeypatch.setenv("REPRO_MORSEL_SIZE", "64")
+
+
+@pytest.mark.parametrize("vector_backend", _backends(), indirect=True)
+@pytest.mark.parametrize("dop", [1, 2, 8])
+@pytest.mark.parametrize("plan_name", sorted(ALL_PLANS))
+def test_fig11_plan_parallel_parity(plan_name, dop, vector_backend, tiny_morsels):
+    """Every §6.1 plan shape at DOP 1/2/8, in both kernel backends, must
+    emit the byte-identical sequence the serial lowered plan emits."""
+    workload = parity_workload()
+    serial = drain(
+        workload.catalog,
+        workload.scoring,
+        lower_to_batch(ALL_PLANS[plan_name](workload)),
+    )
+    parallel = drain(
+        workload.catalog,
+        workload.scoring,
+        lower_to_batch(ALL_PLANS[plan_name](workload), parallelism=dop),
+    )
+    assert parallel == serial
+
+
+@pytest.mark.parametrize("vector_backend", _backends(), indirect=True)
+@pytest.mark.parametrize("dop", [2, 8])
+@pytest.mark.parametrize("seed", range(4))
+def test_generated_query_parity_across_dop(seed, dop, vector_backend, tiny_morsels):
+    """End-to-end over the Database API: a parallelism ceiling must never
+    change any generated query's rows or scores, in either backend."""
+    from repro.engine.database import Database
+    from repro.storage.schema import DataType
+
+    queries = [
+        "SELECT * FROM L ORDER BY pa(L.x) LIMIT 7",
+        "SELECT * FROM L WHERE L.k > 1 ORDER BY pa(L.x) LIMIT 9",
+        "SELECT * FROM L, R WHERE L.k = R.k ORDER BY pa(L.x) + pb(R.x) LIMIT 6",
+        "SELECT * FROM L, R WHERE L.k = R.k AND R.k < 4 "
+        "ORDER BY pa(L.x) + pb(R.x) LIMIT 12",
+    ]
+
+    def make(parallelism):
+        db = Database(batch_execution=True, parallelism=parallelism)
+        for name in ("L", "R"):
+            db.create_table(name, [("k", DataType.INT), ("x", DataType.FLOAT)])
+            local = random.Random(seed if name == "L" else seed + 99)
+            db.insert(
+                name,
+                [
+                    (local.randrange(5), round(local.random(), 2))
+                    for __ in range(40)
+                ],
+            )
+        db.register_predicate("pa", ["L.x"], lambda x: x)
+        db.register_predicate("pb", ["R.x"], lambda x: 1 - x)
+        db.analyze()
+        return db
+
+    serial_db, parallel_db = make(1), make(dop)
+    for sql in queries:
+        for strategy in ("rank-aware", "traditional"):
+            want = serial_db.session(
+                strategy=strategy, sample_ratio=0.5, seed=1
+            ).execute(sql)
+            got = parallel_db.session(
+                strategy=strategy, sample_ratio=0.5, seed=1
+            ).execute(sql)
+            assert got.rows == want.rows, (sql, strategy, dop)
+            assert got.scores == want.scores, (sql, strategy, dop)
+
+
 class TestLoweringPass:
     """Unit tests for :func:`lower_to_batch`: batch segments are maximal
     ``P = φ`` subtrees and never absorb a rank-aware operator."""
