@@ -24,6 +24,13 @@ Statements may use named bind variables (``:name``): the shell supplies
 values from its ``\\set`` variables, so re-running a template with a new
 ``\\set`` reuses the cached plan with fresh constants.
 
+``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` open, publish and discard a
+multi-statement transaction on the active backend (local session or the
+connected server alike): inside one, queries read the BEGIN-time snapshot
+plus the transaction's own buffered writes.  A ``COMMIT`` that loses
+first-committer-wins validation reports the serialization error; retry
+the transaction from ``BEGIN``.
+
 Local statements run through one :class:`~repro.planner.Session`, so
 re-running a statement reuses its prepared plan.  Reuse shows in
 ``\\cache`` as ``statement_hits`` (the session memoizes by SQL text, one
@@ -160,6 +167,24 @@ class ShellState:
             return self.remote.explain(sql, params=params)
         return self.session.explain(sql, params=params)
 
+    def begin(self):
+        """Open a transaction on the active backend; returns its id."""
+        if self.remote is not None:
+            return self.remote.begin()
+        return self.session.begin().txn_id
+
+    def commit(self) -> int:
+        """Commit the open transaction; returns the commit sequence."""
+        if self.remote is not None:
+            return self.remote.commit()
+        return self.session.commit()
+
+    def rollback(self) -> None:
+        if self.remote is not None:
+            self.remote.rollback()
+        else:
+            self.session.rollback()
+
     def disconnect(self) -> None:
         if self.remote is not None:
             self.remote.close()
@@ -212,12 +237,34 @@ def statement_params(state: ShellState, sql: str) -> "dict[str, object] | None":
     return {name: state.variables[name] for name in sorted(names)}
 
 
+#: statements the shell routes to the transaction surface, not the planner
+TXN_KEYWORDS = ("begin", "commit", "rollback")
+
+
+def transaction_keyword(statement: str) -> "str | None":
+    """``"begin"``/``"commit"``/``"rollback"`` when the statement is one of
+    the transaction-control keywords (case-insensitive, optional ``;``)."""
+    word = statement.strip().rstrip(";").strip().lower()
+    return word if word in TXN_KEYWORDS else None
+
+
 def run_statement(state: ShellState, statement: str, out) -> None:
     stripped = statement.strip()
     if not stripped:
         return
     if stripped.startswith("\\"):
         _meta_command(state, stripped, out)
+        return
+    keyword = transaction_keyword(stripped)
+    if keyword == "begin":
+        print(f"BEGIN (transaction {state.begin()})", file=out)
+        return
+    if keyword == "commit":
+        print(f"COMMIT (sequence {state.commit()})", file=out)
+        return
+    if keyword == "rollback":
+        state.rollback()
+        print("ROLLBACK", file=out)
         return
     result = state.execute(stripped, params=statement_params(state, stripped))
     print(format_result(result, state.show_metrics), file=out)
@@ -470,7 +517,11 @@ def main(argv: list[str] | None = None, out=None) -> int:
                 continue
             buffer.append(line)
             joined = " ".join(buffer)
-            if joined.rstrip().endswith(";") or "limit" in joined.lower():
+            if (
+                joined.rstrip().endswith(";")
+                or "limit" in joined.lower()
+                or transaction_keyword(joined) is not None
+            ):
                 buffer.clear()
                 try:
                     run_statement(state, joined.rstrip(" ;"), out)

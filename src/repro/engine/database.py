@@ -66,6 +66,7 @@ from ..storage.row import Row
 from ..storage.schema import Column, DataType, Schema
 from ..storage.snapshot import DatabaseSnapshot
 from ..storage.table import Table
+from ..storage.transaction import Transaction, TransactionManager
 from .result import QueryResult
 
 ColumnSpec = "str | tuple[str, DataType] | Column"
@@ -166,6 +167,12 @@ class Database:
             self.catalog,
             batch_execution=batch_execution,
             parallelism=parallelism,
+        )
+        #: multi-statement transactions (BEGIN/COMMIT/ROLLBACK).  Commit is
+        #: the *only* transactional path that invalidates the plan cache —
+        #: buffered writes never do, rollbacks never do.
+        self.transactions = TransactionManager(
+            self.catalog, on_commit=self._invalidate
         )
         self.persist_dir = Path(persist_dir) if persist_dir is not None else None
         self._closed = False
@@ -443,15 +450,36 @@ class Database:
         O(#tables) reference copies — cheap enough to take per statement.
         Pass it to :meth:`query` / :meth:`execute` to pin what the plan
         reads; the serving subsystem does this at statement admission.
+
+        Capture serializes with transaction commit publication (one short
+        manager lock), so a snapshot always observes whole commits — never
+        one table of a multi-table transaction without the other.
         """
         self._check_open()
-        return DatabaseSnapshot(self.catalog)
+        return self.transactions.capture()
+
+    def begin(self, session: "str | None" = None) -> Transaction:
+        """Start a multi-statement transaction (embedded surface).
+
+        All the transaction's reads see the snapshot captured here plus
+        its own buffered writes; ``txn.commit()`` publishes atomically with
+        first-committer-wins conflict detection (raising
+        :class:`~repro.storage.transaction.SerializationError` on loss),
+        ``txn.rollback()`` discards.  Usable as a context manager
+        (commit on clean exit, rollback on exception)::
+
+            with db.begin() as txn:
+                txn.insert(db.catalog.table("kv"), [(1, 42)])
+        """
+        self._check_open()
+        return self.transactions.begin(session=session)
 
     def serve(
         self,
         host: str = "127.0.0.1",
         port: int | None = None,
         workers: int = 4,
+        record_history: bool = False,
         **session_defaults: Any,
     ) -> "QueryServer":
         """Start a concurrent multi-session server over this database.
@@ -461,13 +489,20 @@ class Database:
         (``server.session()``); pass ``port=0`` for an ephemeral TCP port
         or a concrete port for ``python -m repro``-style serving.  All
         sessions share this database's plan cache; every statement reads a
-        snapshot captured at admission.
+        snapshot captured at admission.  ``record_history=True`` logs
+        every finished transaction for the black-box isolation checker
+        (``server.history()`` harvests it; see :mod:`repro.verify`).
         """
         from ..server import QueryServer
 
         self._check_open()
         return QueryServer(
-            self, workers=workers, host=host, port=port, **session_defaults
+            self,
+            workers=workers,
+            host=host,
+            port=port,
+            record_history=record_history,
+            **session_defaults,
         ).start()
 
     def query(

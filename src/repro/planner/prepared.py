@@ -151,11 +151,20 @@ class PreparedQuery:
             self._ran = False
         return self._entry
 
-    def run(self, k: int | None = None, params: Any = None) -> "QueryResult":
+    def run(
+        self,
+        k: int | None = None,
+        params: Any = None,
+        snapshot: Any = None,
+    ) -> "QueryResult":
         """Execute the prepared plan, returning its top ``k`` results.
 
         ``params`` binds the statement's placeholders for this run (and is
         required, in full, on every run of a parameterized statement).
+
+        ``snapshot`` pins the table versions the plan reads (a
+        :class:`~repro.storage.snapshot.DatabaseSnapshot` or a
+        transaction's read view); ``None`` reads the live catalog.
 
         ``QueryResult.plan_cached`` is faithful to the optimizer work this
         statement actually skipped — including for parameterized runs: it is
@@ -177,6 +186,7 @@ class PreparedQuery:
             k=wanted,
             evaluators=entry.evaluators,
             plan_cached=plan_cached,
+            snapshot=snapshot,
         )
 
     def cursor(self, params: Any = None) -> "Cursor":
@@ -217,6 +227,13 @@ class Session:
     ``max_statements``, so long-lived sessions issuing many distinct ad-hoc
     statements stay bounded), so ``execute`` hits the statement cache first
     and the shared plan cache second.
+
+    A session may hold one open **transaction** (:meth:`begin` /
+    :meth:`commit` / :meth:`rollback`).  While it is open, every
+    ``execute`` reads the BEGIN-time snapshot plus the transaction's own
+    buffered writes, and :meth:`insert` / :meth:`delete_where` buffer
+    instead of publishing — the embedded mirror of the server-session
+    surface (:class:`repro.server.session.ServerSession`).
     """
 
     #: default bound on memoized prepared statements per session
@@ -231,6 +248,8 @@ class Session:
         self.settings = settings
         self._statements: "OrderedDict[str, PreparedQuery]" = OrderedDict()
         self._closed = False
+        #: the session's open transaction, if any (at most one)
+        self.transaction = None
         #: client-side totals across every statement this session executed
         self.queries_executed = 0
         self.rows_returned = 0
@@ -240,6 +259,9 @@ class Session:
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
+        transaction, self.transaction = self.transaction, None
+        if transaction is not None:
+            transaction.rollback()
         self._statements.clear()
         self._closed = True
 
@@ -284,12 +306,90 @@ class Session:
         """Plan (with statement + plan caching) and execute a query.
 
         ``params`` binds ``?`` / ``:name`` placeholders for this execution.
+        Inside an open transaction the query reads its view (BEGIN-time
+        snapshot + own buffered writes) and is logged to its event stream.
         """
-        result = self.prepare(query).run(k=k, params=params)
+        transaction = self.transaction if self.in_transaction else None
+        snapshot = transaction.read_view() if transaction is not None else None
+        result = self.prepare(query).run(k=k, params=params, snapshot=snapshot)
         self.queries_executed += 1
         self.rows_returned += len(result)
         self.simulated_cost += result.metrics.simulated_cost
+        if transaction is not None and transaction.active:
+            transaction.record_query(
+                query if isinstance(query, str) else repr(query),
+                params,
+                [tuple(values) for values in result.rows],
+            )
         return result
+
+    # -- transactions ------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        return self.transaction is not None and self.transaction.active
+
+    def begin(self):
+        """Open a transaction on this session (at most one at a time);
+        returns the :class:`~repro.storage.transaction.Transaction`."""
+        from ..storage.transaction import TransactionError
+
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if self.in_transaction:
+            raise TransactionError(
+                "session already has an open transaction; "
+                "COMMIT or ROLLBACK it first"
+            )
+        self.transaction = self._db.begin()
+        return self.transaction
+
+    def commit(self) -> int:
+        """Commit the open transaction; returns the commit sequence.
+        Raises :class:`~repro.storage.transaction.SerializationError` on a
+        first-committer-wins conflict (retry means a fresh :meth:`begin`)."""
+        from ..storage.transaction import TransactionError
+
+        transaction = self.transaction
+        if transaction is None or not transaction.active:
+            raise TransactionError("session has no open transaction")
+        self.transaction = None
+        return transaction.commit()
+
+    def rollback(self) -> None:
+        """Discard the open transaction's buffered writes (no-op when none
+        is open, so cleanup paths may call it unconditionally)."""
+        transaction, self.transaction = self.transaction, None
+        if transaction is not None:
+            transaction.rollback()
+
+    # -- DML (transactional when a transaction is open) --------------------
+    def insert(self, table: str, rows: Any) -> int:
+        """Insert value tuples — buffered in the open transaction, applied
+        immediately (autocommit) otherwise."""
+        if self.in_transaction:
+            return self.transaction.insert(self._db.catalog.table(table), rows)
+        return self._db.insert(table, rows)
+
+    def delete_where(
+        self,
+        table: str,
+        condition: Any = None,
+        *,
+        column: "str | None" = None,
+        equals: Any = None,
+    ) -> int:
+        """Delete rows — buffered in the open transaction (matched against
+        its own read view), applied immediately (autocommit) otherwise."""
+        if self.in_transaction:
+            return self.transaction.delete_where(
+                self._db.catalog.table(table),
+                condition,
+                column=column,
+                equals=equals,
+            )
+        return self._db.delete_where(
+            table, condition, column=column, equals=equals
+        )
 
     def cursor(self, query: "str | QuerySpec", params: Any = None) -> "Cursor":
         """An incremental cursor under the session's settings."""

@@ -13,18 +13,25 @@ multi-session engine:
   so readers never block writers and never observe half-applied DML;
 * :func:`connect` / :class:`RemoteSession` — the TCP client (what the CLI's
   ``\\connect`` uses), plus :class:`InProcessClient` for tests and
-  embedding.
+  embedding;
+* multi-statement transactions — ``begin``/``commit``/``rollback`` on
+  every client surface (sessions hold at most one open transaction; see
+  :mod:`repro.storage.transaction`), with :class:`HistoryRecorder`
+  (``record_history=True``) logging finished transactions for the
+  black-box isolation checker in :mod:`repro.verify`.
 
 Start serving with :meth:`Database.serve <repro.engine.database.Database.serve>`
 or ``python -m repro serve``.
 """
 
 from .client import RemoteResult, RemoteSession, connect
+from .history import HistoryRecorder
 from .protocol import ProtocolError, ServerError
 from .server import InProcessClient, QueryServer
 from .session import ServerSession, SessionError, SessionManager
 
 __all__ = [
+    "HistoryRecorder",
     "InProcessClient",
     "ProtocolError",
     "QueryServer",

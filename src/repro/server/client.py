@@ -100,6 +100,32 @@ class RemoteSession:
             {"op": "delete", "table": table, "column": column, "equals": equals}
         )["deleted"]
 
+    # -- transactions ------------------------------------------------------
+    def begin(self) -> int:
+        """Open a transaction on this session; returns its id.  Until
+        commit/rollback, queries read the BEGIN-time snapshot (plus this
+        session's own buffered writes) and insert/delete buffer."""
+        return self._roundtrip({"op": "begin"})["txn"]
+
+    def commit(self) -> int:
+        """Commit; returns the commit sequence number.  A first-committer-
+        wins conflict raises the same
+        :class:`~repro.storage.transaction.SerializationError` embedded
+        callers see (the transaction is already aborted server-side), so
+        one retry loop serves both surfaces."""
+        try:
+            return self._roundtrip({"op": "commit"})["commit_seq"]
+        except ServerError as error:
+            if error.remote_type == "SerializationError":
+                from ..storage.transaction import SerializationError
+
+                raise SerializationError(str(error)) from None
+            raise
+
+    def rollback(self) -> None:
+        """Discard the open transaction (no-op when none is open)."""
+        self._roundtrip({"op": "rollback"})
+
     def metrics(self) -> dict[str, Any]:
         return self._roundtrip({"op": "metrics"})
 

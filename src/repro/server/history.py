@@ -1,0 +1,65 @@
+"""Transaction-history recording for black-box isolation checking.
+
+:class:`HistoryRecorder` subscribes to the engine's
+:class:`~repro.storage.transaction.TransactionManager` and captures every
+finished transaction — its begin/commit order stamps, terminal status,
+owning session and statement-level event log — as a
+:class:`~repro.verify.history.TransactionRecord`.  The harvested
+:class:`~repro.verify.history.History` is what the black-box SI checker
+(:mod:`repro.verify`) consumes: the recorder observes *only* what crossed
+the transaction API, never engine internals, which is exactly the
+black-box discipline the checking literature prescribes.
+
+The manager invokes ``transaction_finished`` under its lock (begin/commit
+are already serialized there), so the callback just snapshots the
+transaction into an append-only list; harvesting copies the list under
+the recorder's own lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from ..verify.history import History, TransactionRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.transaction import Transaction
+
+
+class HistoryRecorder:
+    """Append-only log of finished transactions, harvestable as a
+    :class:`~repro.verify.history.History`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[TransactionRecord] = []
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # -- the TransactionManager listener surface ---------------------------
+    def transaction_finished(self, txn: "Transaction") -> None:
+        record = TransactionRecord(
+            txn_id=txn.txn_id,
+            begin_seq=txn.begin_seq,
+            end_seq=txn.end_seq,
+            status=txn.status,
+            session=txn.session,
+            events=list(txn.events),
+        )
+        with self._lock:
+            self._records.append(record)
+
+    # -- harvesting --------------------------------------------------------
+    def history(self, initial: "dict | None" = None) -> History:
+        """The recorded history so far (``initial`` preloads the key-value
+        state the workload started from — see
+        :class:`~repro.verify.history.History`)."""
+        with self._lock:
+            return History(list(self._records), initial=initial)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()

@@ -13,8 +13,17 @@ Requests (client → server)::
     {"op": "explain", "sql": "...", "params": ...}
     {"op": "insert", "table": "t", "rows": [[...], ...]}
     {"op": "delete", "table": "t", "column": "c", "equals": v}
+    {"op": "begin"}                             start a transaction
+    {"op": "commit"}                            commit (may conflict-abort)
+    {"op": "rollback"}                          discard buffered writes
     {"op": "metrics"}                           session + shared-cache stats
     {"op": "close"}                             close the session
+
+Inside a transaction every ``query`` reads the BEGIN-time snapshot plus
+the session's own buffered writes, and ``insert``/``delete`` buffer
+instead of publishing.  A ``commit`` that loses first-committer-wins
+validation answers with an error envelope of type ``SerializationError``
+(the transaction is already aborted — retry from ``begin``).
 
 Responses (server → client)::
 
@@ -36,7 +45,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.result import QueryResult
 
 #: protocol ops a server understands
-OPS = ("hello", "query", "explain", "insert", "delete", "metrics", "close")
+OPS = (
+    "hello",
+    "query",
+    "explain",
+    "insert",
+    "delete",
+    "begin",
+    "commit",
+    "rollback",
+    "metrics",
+    "close",
+)
 
 
 class ProtocolError(Exception):

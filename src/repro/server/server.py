@@ -30,9 +30,12 @@ Two client surfaces share that path:
 Thread model: workers execute statements concurrently; per-session
 statements serialize on the session lock; writers (``insert`` / ``delete``
 ops and the embedded write API) serialize per table on the storage write
-lock and publish new versions readers never block on.  Wire DML
-deliberately bypasses the read queue — it needs no snapshot and must not
-wait behind queued reads — running on the connection thread instead; it
+lock and publish new versions readers never block on.  DML routes through
+the session, so inside an open transaction (``begin``/``commit``/
+``rollback`` ops) it buffers privately instead of publishing, and queries
+read the BEGIN-time snapshot plus those buffered writes.  Wire DML
+deliberately bypasses the read queue — it needs no admission snapshot and
+must not wait behind queued reads — running on the connection thread; it
 is surfaced separately as ``writes_executed`` in :meth:`QueryServer.summary`
 (a future admission-control policy that should govern writes would route
 these through :meth:`QueryServer.submit`).  The GIL bounds CPU
@@ -58,6 +61,9 @@ from .session import ServerSession, SessionError, SessionManager
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.database import Database
     from ..engine.result import QueryResult
+    from ..storage.transaction import Transaction
+    from ..verify.history import History
+    from .history import HistoryRecorder
 
 
 @dataclass
@@ -91,6 +97,7 @@ class QueryServer:
         workers: int = 4,
         host: str = "127.0.0.1",
         port: int | None = None,
+        record_history: bool = False,
         **session_defaults: Any,
     ):
         if workers < 1:
@@ -100,6 +107,15 @@ class QueryServer:
         self.host = host
         self.port = port
         self.sessions = SessionManager(database, **session_defaults)
+        #: transaction-history recording for the black-box isolation
+        #: checker (repro.verify); opt-in — it retains every finished
+        #: transaction's event log until harvested
+        self.recorder: "HistoryRecorder | None" = None
+        if record_history:
+            from .history import HistoryRecorder
+
+            self.recorder = HistoryRecorder()
+            database.transactions.add_listener(self.recorder)
         self._queue: "queue.Queue[_Request | None]" = queue.Queue()
         self._threads: list[threading.Thread] = []
         self._listener: socket.socket | None = None
@@ -196,6 +212,18 @@ class QueryServer:
                     RuntimeError("server stopped before executing the statement")
                 )
         self.sessions.close_all()
+        if self.recorder is not None:
+            self.database.transactions.remove_listener(self.recorder)
+
+    def history(self, initial: "dict | None" = None) -> "History":
+        """The recorded transaction history (requires
+        ``record_history=True``); feed it to
+        :func:`repro.verify.check_snapshot_isolation`."""
+        if self.recorder is None:
+            raise RuntimeError(
+                "history recording is off; serve with record_history=True"
+            )
+        return self.recorder.history(initial=initial)
 
     def __enter__(self) -> "QueryServer":
         return self.start()
@@ -395,7 +423,7 @@ class QueryServer:
             rows = message.get("rows")
             if not isinstance(table, str) or not isinstance(rows, list):
                 raise ProtocolError("'insert' needs a table name and a row list")
-            inserted = self.database.insert(table, [tuple(r) for r in rows])
+            inserted = session.insert(table, [tuple(r) for r in rows])
             with self._lock:
                 self.writes_executed += 1
             return {"ok": True, "inserted": inserted}, session, False
@@ -405,12 +433,26 @@ class QueryServer:
             if not isinstance(table, str) or not isinstance(column, str):
                 raise ProtocolError("'delete' needs a table and a column")
             equals = message.get("equals")
-            deleted = self.database.delete_where(
-                table, column=column, equals=equals
-            )
+            deleted = session.delete(table, column=column, equals=equals)
             with self._lock:
                 self.writes_executed += 1
             return {"ok": True, "deleted": deleted}, session, False
+        if op == "begin":
+            txn = session.begin()
+            return (
+                {"ok": True, "txn": txn.txn_id, "begin_seq": txn.begin_seq},
+                session,
+                False,
+            )
+        if op == "commit":
+            # A first-committer-wins loss raises SerializationError here;
+            # the generic error envelope carries its type name, which the
+            # remote client maps back to the same exception for retries.
+            commit_seq = session.commit()
+            return {"ok": True, "commit_seq": commit_seq}, session, False
+        if op == "rollback":
+            session.rollback()
+            return {"ok": True, "rolled_back": True}, session, False
         if op == "metrics":
             payload = {
                 "ok": True,
@@ -455,6 +497,25 @@ class InProcessClient:
 
     def explain(self, sql: str, params: Any = None) -> str:
         return self.session.explain(sql, params=params)
+
+    # Transactions and DML run on the caller's thread (like wire DML on
+    # its connection thread): begin/commit are short critical sections and
+    # buffered writes touch only session-private state, so they never
+    # queue behind reads.
+    def begin(self) -> "Transaction":
+        return self.session.begin()
+
+    def commit(self) -> int:
+        return self.session.commit()
+
+    def rollback(self) -> None:
+        self.session.rollback()
+
+    def insert(self, table: str, rows: list) -> int:
+        return self.session.insert(table, rows)
+
+    def delete(self, table: str, column: str, equals: Any) -> int:
+        return self.session.delete(table, column=column, equals=equals)
 
     def summary(self) -> dict[str, float]:
         return self.session.summary()

@@ -24,6 +24,14 @@ Concurrency contract:
   :class:`~repro.storage.snapshot.DatabaseSnapshot` at admission and the
   whole plan executes against those table versions, no matter what
   concurrent writers commit meanwhile.
+* A session may hold at most one open **transaction**
+  (:meth:`ServerSession.begin` / ``commit`` / ``rollback``).  While it is
+  open, every statement of the session reads the BEGIN-time snapshot plus
+  the transaction's own buffered writes (an admission snapshot the server
+  captured is overridden — transactional reads must not advance), DML
+  buffers instead of publishing, and executed queries are logged into the
+  transaction's event stream for the history recorder.  Closing a session
+  rolls back its open transaction.
 
 The :class:`SessionManager` owns the id → session registry (thread-safe),
 hands out monotonically-numbered session ids, and aggregates summaries.
@@ -35,6 +43,7 @@ import threading
 from typing import TYPE_CHECKING, Any
 
 from ..algebra.parameters import bind_slots
+from ..storage.transaction import Transaction, TransactionError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.database import Database
@@ -63,6 +72,8 @@ class ServerSession:
         self._closed = False
         #: serializes this session's statements (see the module contract)
         self._statement_lock = threading.Lock()
+        #: the session's open transaction, if any (at most one)
+        self.transaction: "Transaction | None" = None
         #: client-side totals
         self.queries_executed = 0
         self.rows_returned = 0
@@ -76,11 +87,81 @@ class ServerSession:
         return self._closed
 
     def close(self) -> None:
+        # An open transaction dies with its session — buffered writes are
+        # private, so this is a pure discard.
+        transaction, self.transaction = self.transaction, None
+        if transaction is not None:
+            transaction.rollback()
         self._closed = True
 
     def _check_open(self) -> None:
         if self._closed:
             raise SessionError(f"session {self.session_id!r} is closed")
+
+    # -- transactions ------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        return self.transaction is not None and self.transaction.active
+
+    def begin(self) -> "Transaction":
+        """Open a transaction on this session (at most one at a time)."""
+        self._check_open()
+        with self._statement_lock:
+            if self.in_transaction:
+                raise TransactionError(
+                    f"session {self.session_id!r} already has an open "
+                    "transaction; COMMIT or ROLLBACK it first"
+                )
+            self.transaction = self._db.begin(session=self.session_id)
+            return self.transaction
+
+    def commit(self) -> int:
+        """Commit the open transaction; returns the commit sequence.
+        Raises :class:`~repro.storage.transaction.SerializationError` on a
+        first-committer-wins conflict (the transaction is gone either way
+        — retry means a fresh ``begin``)."""
+        self._check_open()
+        with self._statement_lock:
+            transaction = self.transaction
+            if transaction is None or not transaction.active:
+                raise TransactionError(
+                    f"session {self.session_id!r} has no open transaction"
+                )
+            self.transaction = None
+            return transaction.commit()
+
+    def rollback(self) -> None:
+        """Discard the open transaction's buffered writes.  A no-op when
+        none is open, so cleanup paths may call it unconditionally."""
+        self._check_open()
+        with self._statement_lock:
+            transaction, self.transaction = self.transaction, None
+            if transaction is not None:
+                transaction.rollback()
+
+    # -- DML (transactional when a transaction is open) --------------------
+    def insert(self, table: str, rows: list) -> int:
+        """Insert value tuples — buffered in the open transaction, applied
+        immediately (autocommit) otherwise."""
+        self._check_open()
+        with self._statement_lock:
+            if self.in_transaction:
+                return self.transaction.insert(
+                    self._db.catalog.table(table), rows
+                )
+            return self._db.insert(table, rows)
+
+    def delete(self, table: str, column: str, equals: Any) -> int:
+        """Delete rows by column equality — buffered in the open
+        transaction (matched against its own read view), applied
+        immediately (autocommit) otherwise."""
+        self._check_open()
+        with self._statement_lock:
+            if self.in_transaction:
+                return self.transaction.delete_where(
+                    self._db.catalog.table(table), column=column, equals=equals
+                )
+            return self._db.delete_where(table, column=column, equals=equals)
 
     # -- execution ---------------------------------------------------------
     def execute(
@@ -94,10 +175,15 @@ class ServerSession:
 
         ``snapshot`` pins the table versions the plan reads (captured by
         the server at admission); ``None`` executes against the live
-        catalog (the embedded, single-threaded convenience path).
+        catalog (the embedded, single-threaded convenience path).  While
+        the session has an open transaction, its read view (BEGIN-time
+        snapshot + own buffered writes) overrides either.
         """
         self._check_open()
         with self._statement_lock:
+            transaction = self.transaction if self.in_transaction else None
+            if transaction is not None:
+                snapshot = transaction.read_view()
             planner = self._db.planner
             entry, hit = planner.prepare(
                 sql,
@@ -126,6 +212,10 @@ class ServerSession:
             # different workers, and increments must not be lost.
             self.queries_executed += 1
             self.rows_returned += len(result)
+            if transaction is not None and transaction.active:
+                transaction.record_query(
+                    sql, params, [tuple(values) for values in result.rows]
+                )
         return result
 
     def _execute(self, entry, plan, k, hit, snapshot) -> "QueryResult":

@@ -1,5 +1,6 @@
 """Storage substrate: schemas, rows, versioned heap tables, indexes,
-catalog, statistics, and consistent database snapshots."""
+catalog, statistics, consistent database snapshots, and multi-statement
+transactions over the copy-on-write version chains."""
 
 from .catalog import Catalog, CatalogError
 from .index import ColumnIndex, Index, MultiKeyIndex, RankIndex
@@ -8,6 +9,13 @@ from .schema import Column, DataType, Schema, SchemaError
 from .snapshot import DatabaseSnapshot
 from .stats import ColumnStats, Histogram, TableStats, analyze_table
 from .table import ColumnarView, Table, TableVersion
+from .transaction import (
+    SerializationError,
+    Transaction,
+    TransactionError,
+    TransactionManager,
+    TransactionSnapshot,
+)
 
 __all__ = [
     "Catalog",
@@ -25,8 +33,13 @@ __all__ = [
     "Row",
     "Schema",
     "SchemaError",
+    "SerializationError",
     "Table",
     "TableStats",
     "TableVersion",
+    "Transaction",
+    "TransactionError",
+    "TransactionManager",
+    "TransactionSnapshot",
     "analyze_table",
 ]

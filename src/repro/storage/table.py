@@ -361,6 +361,45 @@ class Table:
             self._publish(tuple(keep))
             return len(dead)
 
+    # ------------------------------------------------------------------
+    # transaction support (see repro.storage.transaction)
+    # ------------------------------------------------------------------
+    def allocate_ordinals(self, count: int) -> int:
+        """Reserve ``count`` rids from the monotone allocator; returns the
+        first.  Transactions call this at *buffer* time so staged rows
+        carry their final identity immediately (visible to the
+        transaction's own reads, stable through commit).  Ordinals are
+        never reused, so a rolled-back reservation is just a gap."""
+        if count < 0:
+            raise ValueError("cannot reserve a negative rid range")
+        with self._write_lock:
+            base = self._next_ordinal
+            self._next_ordinal += count
+            return base
+
+    def apply_commit(
+        self,
+        deleted: "set[tuple[tuple[str, int], ...]]",
+        staged: "list[Row]",
+    ) -> TableVersion:
+        """Apply one transaction's buffered writes against the *current*
+        version and publish — the whole commit becomes visible in one
+        publication.  Staged rows must carry rids from
+        :meth:`allocate_ordinals`; the caller (the transaction manager)
+        has already validated that every ``deleted`` rid is still present.
+        """
+        with self._write_lock:
+            rows = self._version._rows
+            if deleted:
+                rows = tuple(r for r in rows if r.rid not in deleted)
+                for index in self._live_indexes.values():
+                    index.remove_rids(deleted)
+            if staged:
+                rows = rows + tuple(staged)
+                for index in self._live_indexes.values():
+                    index.insert_many(staged)
+            return self._publish(rows)
+
     def attach_index(self, index: "Index") -> None:
         """Register a secondary index and backfill it with existing rows.
 

@@ -1,0 +1,39 @@
+"""Black-box isolation verification.
+
+This package turns snapshot isolation from a design claim into a
+regression-testable property, following the recorded-history approach of
+"Efficient Black-box Checking of Snapshot Isolation" (arXiv 2301.07313)
+and HISTEX (arXiv 1903.00731): run a concurrent transactional workload,
+record every transaction's reads, writes and begin/commit order, and
+verify isolation *from the history alone* — the checker never looks
+inside the engine.
+
+* :mod:`repro.verify.history` — the machine-readable history model
+  (:class:`Op`, :class:`TransactionRecord`, :class:`History`, JSON
+  round-trip) plus :func:`interpret_kv`, which maps the statement-level
+  events the serving layer records into key-value read/write ops.
+* :mod:`repro.verify.checker` — :func:`check_snapshot_isolation`, the
+  black-box checker detecting aborted reads, future reads, long forks,
+  non-repeatable reads and lost updates (SI violations), and write skew
+  (a serializability anomaly SI admits, reported as *beyond SI*).
+* :mod:`repro.verify.fuzz` — the randomized multi-session fuzz driver
+  that hammers a served database with concurrent read/write transactions
+  and feeds the recorded history to the checker (the CI isolation job).
+"""
+
+from .checker import Anomaly, CheckReport, check_snapshot_isolation
+from .history import History, Op, TransactionRecord, interpret_kv
+from .fuzz import FuzzConfig, FuzzResult, run_fuzz
+
+__all__ = [
+    "Anomaly",
+    "CheckReport",
+    "check_snapshot_isolation",
+    "History",
+    "Op",
+    "TransactionRecord",
+    "interpret_kv",
+    "FuzzConfig",
+    "FuzzResult",
+    "run_fuzz",
+]

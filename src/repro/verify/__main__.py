@@ -1,0 +1,99 @@
+"""The isolation fuzz campaign as a command: ``python -m repro.verify``.
+
+Runs the randomized multi-session transaction fuzz (CI's ``isolation``
+job), prints the checker's verdict, and exits nonzero if the recorded
+history shows *any* anomaly.  The seed is logged on every run; replay a
+failure with ``REPRO_FUZZ_SEED=<seed>`` (or ``--seed``), which
+regenerates the same per-transaction intents (thread interleaving stays
+nondeterministic, so rerun a few times when chasing a race).
+
+    python -m repro.verify                       # fresh seed, CI defaults
+    REPRO_FUZZ_SEED=1234 python -m repro.verify  # replay a logged seed
+    python -m repro.verify --transactions 1000 --sessions 8 --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from .fuzz import FuzzConfig, run_fuzz
+
+
+def pick_seed(args_seed: "int | None") -> int:
+    """--seed beats REPRO_FUZZ_SEED beats time-derived entropy."""
+    if args_seed is not None:
+        return args_seed
+    env = os.environ.get("REPRO_FUZZ_SEED", "").strip()
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            raise SystemExit(f"REPRO_FUZZ_SEED must be an integer, got {env!r}")
+    return int(time.time_ns() % 2**31)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    defaults = FuzzConfig()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="randomized black-box snapshot-isolation fuzz",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--sessions", type=int, default=defaults.sessions)
+    parser.add_argument("--transactions", type=int, default=defaults.transactions)
+    parser.add_argument("--keys", type=int, default=defaults.keys)
+    parser.add_argument(
+        "--read-fraction", type=float, default=defaults.read_fraction
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=60.0,
+        help="wall-clock bound in seconds (workers stop issuing past it)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also dump the recorded history as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    config = FuzzConfig(
+        sessions=args.sessions,
+        transactions=args.transactions,
+        keys=args.keys,
+        seed=pick_seed(args.seed),
+        read_fraction=args.read_fraction,
+        time_budget=args.time_budget,
+    )
+    print(
+        f"isolation fuzz: seed={config.seed} (replay with "
+        f"REPRO_FUZZ_SEED={config.seed})",
+        flush=True,
+    )
+    started = time.monotonic()
+    result = run_fuzz(config)
+    elapsed = time.monotonic() - started
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.history.to_json(indent=2))
+        print(f"history written to {args.json}")
+    print(result.render())
+    print(f"elapsed: {elapsed:.1f}s")
+    if not result.certified:
+        print(
+            f"FAIL: anomalies found; replay with REPRO_FUZZ_SEED={config.seed}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"certified: {result.stats['committed']} committed transactions, "
+        "zero anomalies"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,335 @@
+"""The black-box snapshot-isolation checker.
+
+:func:`check_snapshot_isolation` verifies a recorded
+:class:`~repro.verify.history.History` against the SI contract using only
+the history itself — order stamps, statuses and key-value ops — never the
+engine's internals.  Under snapshot isolation every transaction ``T``
+must:
+
+1. **read from one consistent snapshot** — every read of key ``k`` (before
+   ``T`` writes ``k`` itself) observes the value installed by the *latest*
+   transaction that committed before ``T`` began (``end_seq <=
+   T.begin_seq``), or the initial state;
+2. **read its own writes** — after ``T`` buffers a write of ``k``, its
+   reads of ``k`` observe that value;
+3. **win or abort** — no two *concurrent* transactions (neither committed
+   before the other began) may both commit writes to the same key
+   (first-committer-wins).
+
+Violations are reported as :class:`Anomaly` records, classified the way
+the isolation literature names them:
+
+* ``aborted-read`` — observed a value written only by an aborted (or
+  rolled-back / still-active) transaction;
+* ``future-read`` — observed a write committed *after* the reader's
+  snapshot point (the read-side face of a non-repeatable read);
+* ``long-fork`` — observed a *stale* version: a commit the snapshot should
+  contain is missing, i.e. the reader sat on a forked/inconsistent
+  snapshot (the anomaly parallel snapshot isolation admits and SI forbids);
+* ``non-repeatable-read`` — two reads of one key inside one transaction,
+  with no own write between them, observed different values;
+* ``intermediate-read`` — observed a value a transaction overwrote before
+  committing (never externally visible under any isolation level);
+* ``lost-update`` — two concurrent transactions both committed writes to
+  one key (first-committer-wins violated; the classic lost update);
+* ``phantom-value`` — observed a value no recorded transaction ever wrote
+  (corruption, or a gap in the recording);
+* ``write-skew`` — two concurrent committed transactions with disjoint
+  write sets where each read a key the other wrote.  SI *admits* this
+  (it is a serializability anomaly, not an SI anomaly), so it is reported
+  with ``beyond_si=True`` and does not fail :attr:`CheckReport.si_ok` —
+  but a workload that should be serializable can assert on it.
+
+Classification assumes the unique-value discipline documented in
+:mod:`repro.verify.history`; with colliding values the checker still
+detects that *something* is wrong, but may name it less precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .history import History, TransactionRecord
+
+#: anomaly kinds that violate snapshot isolation itself
+SI_VIOLATIONS = (
+    "aborted-read",
+    "future-read",
+    "long-fork",
+    "non-repeatable-read",
+    "intermediate-read",
+    "lost-update",
+    "phantom-value",
+)
+
+#: anomaly kinds admitted by SI but reported (serializability violations)
+BEYOND_SI = ("write-skew",)
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One isolation violation found in a history."""
+
+    kind: str
+    key: Any
+    txns: tuple[int, ...]
+    description: str
+    #: True for anomalies SI admits (reported, but not SI violations)
+    beyond_si: bool = False
+
+    def __repr__(self) -> str:
+        return f"Anomaly({self.kind}, key={self.key!r}, txns={self.txns})"
+
+
+@dataclass
+class CheckReport:
+    """The checker's verdict over one history."""
+
+    anomalies: list[Anomaly] = field(default_factory=list)
+    transactions: int = 0
+    committed: int = 0
+    reads_checked: int = 0
+
+    @property
+    def si_violations(self) -> list[Anomaly]:
+        return [a for a in self.anomalies if not a.beyond_si]
+
+    @property
+    def beyond_si(self) -> list[Anomaly]:
+        return [a for a in self.anomalies if a.beyond_si]
+
+    @property
+    def si_ok(self) -> bool:
+        """Whether the history satisfies snapshot isolation."""
+        return not self.si_violations
+
+    @property
+    def ok(self) -> bool:
+        """Whether the history is anomaly-free entirely (serializable-clean)."""
+        return not self.anomalies
+
+    def kinds(self) -> set[str]:
+        return {a.kind for a in self.anomalies}
+
+    def summary(self) -> dict[str, Any]:
+        by_kind: dict[str, int] = {}
+        for anomaly in self.anomalies:
+            by_kind[anomaly.kind] = by_kind.get(anomaly.kind, 0) + 1
+        return {
+            "transactions": self.transactions,
+            "committed": self.committed,
+            "reads_checked": self.reads_checked,
+            "anomalies": len(self.anomalies),
+            "si_violations": len(self.si_violations),
+            "si_ok": self.si_ok,
+            "by_kind": by_kind,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"SI check: {self.committed}/{self.transactions} committed, "
+            f"{self.reads_checked} reads checked -> "
+            + ("OK" if self.si_ok else "SI VIOLATED")
+        ]
+        for anomaly in self.anomalies:
+            tag = " (beyond SI)" if anomaly.beyond_si else ""
+            lines.append(
+                f"  [{anomaly.kind}]{tag} key={anomaly.key!r} "
+                f"txns={list(anomaly.txns)}: {anomaly.description}"
+            )
+        return "\n".join(lines)
+
+
+def _concurrent(a: TransactionRecord, b: TransactionRecord) -> bool:
+    """Neither transaction committed before the other began."""
+    return a.begin_seq < b.end_seq and b.begin_seq < a.end_seq
+
+
+def check_snapshot_isolation(history: History) -> CheckReport:
+    """Check a history against snapshot isolation; see the module docstring
+    for the verdict semantics and anomaly classes."""
+    report = CheckReport(transactions=len(history.records))
+    committed = history.committed()
+    report.committed = len(committed)
+
+    # Per-key version chains from committed final writes, in commit order.
+    versions: dict[Any, list[tuple[int, int, Any]]] = {}
+    for txn in committed:
+        for key, value in txn.final_writes().items():
+            versions.setdefault(key, []).append((txn.end_seq, txn.txn_id, value))
+
+    # (key, value) -> every write of it anywhere (classification evidence).
+    writers: dict[tuple[Any, Any], list[tuple[TransactionRecord, bool]]] = {}
+    for txn in history.records:
+        finals = txn.final_writes()
+        seen_final: set[Any] = set()
+        for op in reversed(txn.ops):
+            if op.kind != "w":
+                continue
+            is_final = op.key not in seen_final and finals.get(op.key) == op.value
+            seen_final.add(op.key)
+            writers.setdefault((op.key, op.value), []).append((txn, is_final))
+
+    def snapshot_value(key: Any, begin_seq: int) -> Any:
+        """The value T's snapshot must hold for ``key``."""
+        value = history.initial.get(key)
+        for end_seq, __, installed in versions.get(key, ()):
+            if end_seq <= begin_seq:
+                value = installed
+            else:
+                break
+        return value
+
+    anomalies: list[Anomaly] = []
+
+    def classify_read(txn: TransactionRecord, key: Any, observed: Any, expected: Any):
+        evidence = writers.get((key, observed), [])
+        committed_writes = [(w, final) for w, final in evidence if w.committed]
+        if committed_writes:
+            writer, is_final = max(
+                committed_writes, key=lambda pair: (pair[1], pair[0].end_seq)
+            )
+            if not is_final:
+                anomalies.append(
+                    Anomaly(
+                        "intermediate-read",
+                        key,
+                        (txn.txn_id, writer.txn_id),
+                        f"observed {observed!r}, an intermediate value txn "
+                        f"{writer.txn_id} overwrote before committing",
+                    )
+                )
+            elif writer.end_seq > txn.begin_seq:
+                anomalies.append(
+                    Anomaly(
+                        "future-read",
+                        key,
+                        (txn.txn_id, writer.txn_id),
+                        f"observed {observed!r} committed at seq "
+                        f"{writer.end_seq}, after the snapshot point "
+                        f"(begin seq {txn.begin_seq}); expected {expected!r}",
+                    )
+                )
+            else:
+                anomalies.append(
+                    Anomaly(
+                        "long-fork",
+                        key,
+                        (txn.txn_id, writer.txn_id),
+                        f"observed stale value {observed!r} (committed seq "
+                        f"{writer.end_seq}) instead of {expected!r}: the "
+                        "snapshot missed a commit it must contain",
+                    )
+                )
+            return
+        if evidence:  # written, but never by a committed transaction
+            writer = evidence[0][0]
+            anomalies.append(
+                Anomaly(
+                    "aborted-read",
+                    key,
+                    (txn.txn_id, writer.txn_id),
+                    f"observed {observed!r}, written only by txn "
+                    f"{writer.txn_id} ({writer.status})",
+                )
+            )
+            return
+        if observed == history.initial.get(key):
+            anomalies.append(
+                Anomaly(
+                    "long-fork",
+                    key,
+                    (txn.txn_id,),
+                    f"observed the initial value {observed!r} instead of "
+                    f"{expected!r}: the snapshot missed a commit it must "
+                    "contain",
+                )
+            )
+            return
+        anomalies.append(
+            Anomaly(
+                "phantom-value",
+                key,
+                (txn.txn_id,),
+                f"observed {observed!r}, which no recorded transaction wrote",
+            )
+        )
+
+    # 1 + 2: snapshot reads, read-your-writes, repeatability.
+    for txn in committed:
+        own: dict[Any, Any] = {}
+        #: last observed value per key since the last own write of it
+        last_read: dict[Any, Any] = {}
+        for op in txn.ops:
+            if op.kind == "w":
+                own[op.key] = op.value
+                last_read.pop(op.key, None)
+                continue
+            report.reads_checked += 1
+            if op.key in last_read and last_read[op.key] != op.value:
+                anomalies.append(
+                    Anomaly(
+                        "non-repeatable-read",
+                        op.key,
+                        (txn.txn_id,),
+                        f"read {last_read[op.key]!r} then {op.value!r} with "
+                        "no own write in between",
+                    )
+                )
+            expected = (
+                own[op.key]
+                if op.key in own
+                else snapshot_value(op.key, txn.begin_seq)
+            )
+            if op.value != expected:
+                classify_read(txn, op.key, op.value, expected)
+            last_read[op.key] = op.value
+
+    # 3: first-committer-wins — concurrent committed writers of one key.
+    for key, chain in sorted(versions.items(), key=lambda kv: repr(kv[0])):
+        if len(chain) < 2:
+            continue
+        txns = [history.record(txn_id) for __, txn_id, __ in chain]
+        for i in range(len(txns)):
+            for j in range(i + 1, len(txns)):
+                if _concurrent(txns[i], txns[j]):
+                    anomalies.append(
+                        Anomaly(
+                            "lost-update",
+                            key,
+                            (txns[i].txn_id, txns[j].txn_id),
+                            "concurrent transactions both committed a write "
+                            "to this key (first-committer-wins violated)",
+                        )
+                    )
+
+    # Write skew (beyond SI): concurrent, disjoint write sets, crossing reads.
+    read_keys = {
+        txn.txn_id: {op.key for op in txn.reads()} for txn in committed
+    }
+    write_keys = {txn.txn_id: set(txn.final_writes()) for txn in committed}
+    for i in range(len(committed)):
+        for j in range(i + 1, len(committed)):
+            a, b = committed[i], committed[j]
+            wa, wb = write_keys[a.txn_id], write_keys[b.txn_id]
+            if not wa or not wb or (wa & wb) or not _concurrent(a, b):
+                continue
+            crossing_ab = read_keys[a.txn_id] & wb
+            crossing_ba = read_keys[b.txn_id] & wa
+            if crossing_ab and crossing_ba:
+                anomalies.append(
+                    Anomaly(
+                        "write-skew",
+                        tuple(sorted(crossing_ab | crossing_ba, key=repr)),
+                        (a.txn_id, b.txn_id),
+                        "concurrent transactions read each other's written "
+                        "keys and committed disjoint writes (admitted by SI, "
+                        "not serializable)",
+                        beyond_si=True,
+                    )
+                )
+
+    anomalies.sort(key=lambda a: (a.beyond_si, a.kind, repr(a.key), a.txns))
+    report.anomalies = anomalies
+    return report

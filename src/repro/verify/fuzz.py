@@ -1,0 +1,214 @@
+"""The randomized multi-session isolation fuzz driver.
+
+:func:`run_fuzz` hammers a served database with concurrent read/write
+transactions over a small register table (``kv(key, val)``), harvests the
+server's recorded history, interprets it into key-value ops
+(:func:`~repro.verify.history.interpret_kv`) and runs the black-box SI
+checker over it.  The workload is deliberately shaped so the checker's
+verdict is sharp:
+
+* **small key space** — contention is the point; write-write conflicts
+  and overlapping snapshots happen constantly;
+* **unique values** — every write stores the writing transaction's id,
+  so reads-from is unambiguous;
+* **each transaction is all-reads or all-read-modify-writes** — an update
+  transaction writes *every* key it reads, so two concurrent updaters
+  with crossing reads always have intersecting write sets, which
+  first-committer-wins resolves.  That makes the workload serializable by
+  construction, so a clean run certifies with **zero** anomalies — the
+  checker's structural write-skew detection (which must over-approximate
+  from a history) has nothing to flag, and any anomaly at all is a bug.
+
+A serialization conflict (first-committer-wins loss) aborts the
+transaction; the driver retries it with the same intent up to
+``max_retries`` times, which is also the client retry-path test the
+acceptance criteria ask for.
+
+Reproducibility: the seed fully determines each transaction's intent
+(keys touched, read/write mix) though not the thread interleaving; a
+failing run logs its seed, and ``REPRO_FUZZ_SEED`` replays the same
+intent stream in CI.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from .checker import CheckReport, check_snapshot_isolation
+from .history import History, interpret_kv
+
+#: the register-read statement every fuzz transaction uses
+READ_SQL = "SELECT * FROM kv WHERE kv.key = :k"
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs for one fuzz run (defaults match the CI acceptance gate)."""
+
+    sessions: int = 4
+    transactions: int = 240
+    keys: int = 8
+    seed: int = 0
+    #: probability a transaction is read-only (the rest read-modify-write
+    #: every key they touch — see the module docstring for why per-txn)
+    read_fraction: float = 0.5
+    #: keys touched per transaction, drawn uniformly from [1, max_ops]
+    max_ops: int = 4
+    #: per-transaction retry budget after serialization aborts
+    max_retries: int = 20
+    #: wall-clock bound; workers stop issuing new transactions past it
+    time_budget: "float | None" = None
+
+
+@dataclass
+class FuzzResult:
+    """A fuzz run's history, checker verdict and workload counters."""
+
+    config: FuzzConfig
+    history: History
+    report: CheckReport
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def certified(self) -> bool:
+        """Zero anomalies — SI *and* (for this workload) serializable."""
+        return self.report.ok
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz seed={self.config.seed} sessions={self.config.sessions} "
+            f"keys={self.config.keys}: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.stats.items())),
+            self.report.render(),
+        ]
+        return "\n".join(lines)
+
+
+def _build_database(config: FuzzConfig):
+    from ..engine.database import Database
+    from ..storage.schema import DataType
+
+    db = Database()
+    db.create_table("kv", [("key", DataType.INT), ("val", DataType.INT)])
+    db.insert("kv", [(key, 0) for key in range(config.keys)])
+    db.create_column_index("kv", "key")
+    db.analyze()
+    return db
+
+
+def _transaction_intent(config: FuzzConfig, serial: int) -> list[tuple[str, int]]:
+    """The (deterministic) op list for the ``serial``-th transaction."""
+    rng = random.Random((config.seed * 1_000_003) ^ serial)
+    kind = "r" if rng.random() < config.read_fraction else "rmw"
+    return [
+        (kind, rng.randrange(config.keys))
+        for __ in range(rng.randint(1, config.max_ops))
+    ]
+
+
+def run_fuzz(config: FuzzConfig | None = None, **overrides: Any) -> FuzzResult:
+    """Run one fuzz campaign and return the checked result.
+
+    Builds a fresh register database, serves it with history recording on,
+    runs ``config.transactions`` transactions across ``config.sessions``
+    concurrent in-process sessions, then checks the recorded history.
+    """
+    from ..storage.transaction import SerializationError
+
+    if config is None:
+        config = FuzzConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a FuzzConfig or keyword overrides, not both")
+
+    db = _build_database(config)
+    initial = {key: 0 for key in range(config.keys)}
+    counters = {
+        "attempted": 0,
+        "committed": 0,
+        "conflicts": 0,
+        "retries_exhausted": 0,
+        "reads": 0,
+        "rmw": 0,
+    }
+    counters_lock = threading.Lock()
+    serial_lock = threading.Lock()
+    serial_box = [0]
+    deadline = (
+        time.monotonic() + config.time_budget
+        if config.time_budget is not None
+        else None
+    )
+    errors: list[BaseException] = []
+
+    def next_serial() -> "int | None":
+        with serial_lock:
+            if serial_box[0] >= config.transactions:
+                return None
+            if deadline is not None and time.monotonic() > deadline:
+                return None
+            serial = serial_box[0]
+            serial_box[0] += 1
+            return serial
+
+    def run_transaction(client, serial: int) -> None:
+        intent = _transaction_intent(config, serial)
+        for attempt in range(config.max_retries + 1):
+            txn = client.begin()
+            try:
+                for kind, key in intent:
+                    client.execute(READ_SQL, params={"k": key})
+                    if kind == "rmw":
+                        client.delete("kv", column="key", equals=key)
+                        client.insert("kv", [(key, txn.txn_id)])
+                client.commit()
+            except SerializationError:
+                with counters_lock:
+                    counters["conflicts"] += 1
+                continue  # the retry path: same intent, fresh transaction
+            except BaseException:
+                client.rollback()
+                raise
+            with counters_lock:
+                counters["committed"] += 1
+                for kind, __ in intent:
+                    counters["reads" if kind == "r" else "rmw"] += 1
+            return
+        with counters_lock:
+            counters["retries_exhausted"] += 1
+
+    def worker() -> None:
+        client = server.session()
+        try:
+            while True:
+                serial = next_serial()
+                if serial is None:
+                    return
+                with counters_lock:
+                    counters["attempted"] += 1
+                run_transaction(client, serial)
+        except BaseException as error:  # surfaced after join
+            errors.append(error)
+        finally:
+            client.close()
+
+    with db.serve(workers=config.sessions, record_history=True) as server:
+        threads = [
+            threading.Thread(target=worker, name=f"fuzz-{i}", daemon=True)
+            for i in range(config.sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        recorded = server.history(initial=initial)
+
+    history = interpret_kv(recorded)
+    report = check_snapshot_isolation(history)
+    db.close()
+    return FuzzResult(config=config, history=history, report=report, stats=dict(counters))

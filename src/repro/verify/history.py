@@ -1,0 +1,263 @@
+"""The transaction-history model for black-box isolation checking.
+
+A *history* is everything an outside observer can know about a
+transactional run: one :class:`TransactionRecord` per transaction carrying
+its begin/end order stamps, its final status, and what it read and wrote.
+The checker (:mod:`repro.verify.checker`) consumes histories in terms of
+abstract key-value *operations* (:class:`Op`): ``r(k, v)`` — the
+transaction read key ``k`` and observed value ``v`` (``None`` = absent) —
+and ``w(k, v)`` — it wrote value ``v`` to key ``k`` (``None`` = delete).
+
+Histories reach that form two ways:
+
+* **hand-crafted** — the known-anomaly corpus builds records with explicit
+  ``ops`` and order stamps (the checker is itself under test);
+* **recorded** — the engine's transactions log statement-level *events*
+  (queries with their parameters and result rows, buffered inserts and
+  deletes); :func:`interpret_kv` maps those events onto key-value ops for
+  the canonical register-table workload the fuzz driver runs.
+
+Order stamps come from one logical clock: the transaction manager bumps a
+single counter at every begin and every commit, so ``begin_seq`` and
+``end_seq`` values interleave into one total order.  A transaction's
+snapshot should contain exactly the writes of transactions whose
+``end_seq`` precedes its ``begin_seq`` — that is the property the checker
+verifies.
+
+Values are assumed *distinguishable*: a workload that writes the same
+value to the same key from two different transactions makes reads-from
+ambiguous and classification approximate.  The fuzz driver writes each
+key's value as the writing transaction's unique id, the standard
+black-box-checking discipline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Op:
+    """One key-value operation: ``kind`` is ``"r"`` or ``"w"``."""
+
+    kind: str
+    key: Any
+    value: Any
+
+    def __post_init__(self):
+        if self.kind not in ("r", "w"):
+            raise ValueError(f"op kind must be 'r' or 'w', got {self.kind!r}")
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.key!r}, {self.value!r})"
+
+
+#: terminal transaction statuses a history may contain
+STATUSES = ("committed", "aborted", "rolled-back", "active")
+
+
+@dataclass
+class TransactionRecord:
+    """One transaction as the history sees it.
+
+    ``begin_seq``/``end_seq`` are logical-clock stamps (see the module
+    docstring); ``end_seq`` is ``None`` only for transactions still active
+    when the history was harvested.  ``status`` is ``"committed"``,
+    ``"aborted"`` (serialization conflict — first-committer-wins loss),
+    ``"rolled-back"`` (client rollback) or ``"active"``.  ``events`` are
+    the raw statement-level records the serving layer logged; ``ops`` are
+    the interpreted key-value operations the checker consumes.
+    """
+
+    txn_id: int
+    begin_seq: int
+    end_seq: "int | None" = None
+    status: str = "active"
+    session: "str | None" = None
+    events: list[dict] = field(default_factory=list)
+    ops: list[Op] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.status not in STATUSES:
+            raise ValueError(
+                f"unknown status {self.status!r}; expected one of {STATUSES}"
+            )
+
+    @property
+    def committed(self) -> bool:
+        return self.status == "committed"
+
+    def reads(self) -> list[Op]:
+        return [op for op in self.ops if op.kind == "r"]
+
+    def writes(self) -> list[Op]:
+        return [op for op in self.ops if op.kind == "w"]
+
+    def final_writes(self) -> dict[Any, Any]:
+        """The last written value per key — what this transaction installs
+        at commit (intermediate overwrites inside the transaction are not
+        externally visible)."""
+        out: dict[Any, Any] = {}
+        for op in self.ops:
+            if op.kind == "w":
+                out[op.key] = op.value
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "txn_id": self.txn_id,
+            "begin_seq": self.begin_seq,
+            "end_seq": self.end_seq,
+            "status": self.status,
+            "session": self.session,
+            "events": self.events,
+            "ops": [[op.kind, op.key, op.value] for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TransactionRecord":
+        return cls(
+            txn_id=payload["txn_id"],
+            begin_seq=payload["begin_seq"],
+            end_seq=payload.get("end_seq"),
+            status=payload.get("status", "active"),
+            session=payload.get("session"),
+            events=list(payload.get("events", ())),
+            ops=[Op(kind, key, value) for kind, key, value in payload.get("ops", ())],
+        )
+
+
+class History:
+    """An ordered collection of transaction records plus the initial state.
+
+    ``initial`` maps keys to their values before any recorded transaction
+    ran (the preloaded register table); keys absent from it read as
+    ``None`` at the start of the history.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[TransactionRecord] = (),
+        initial: "dict | None" = None,
+    ):
+        self.records: list[TransactionRecord] = list(records)
+        self.initial: dict = dict(initial or {})
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TransactionRecord]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        by_status: dict[str, int] = {}
+        for record in self.records:
+            by_status[record.status] = by_status.get(record.status, 0) + 1
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(by_status.items()))
+        return f"History({len(self.records)} txns: {parts})"
+
+    def committed(self) -> list[TransactionRecord]:
+        """Committed records in commit (``end_seq``) order."""
+        out = [r for r in self.records if r.committed]
+        out.sort(key=lambda r: r.end_seq)
+        return out
+
+    def record(self, txn_id: int) -> TransactionRecord:
+        for candidate in self.records:
+            if candidate.txn_id == txn_id:
+                return candidate
+        raise KeyError(f"no transaction {txn_id} in history")
+
+    # -- serialization (the machine-readable format) -----------------------
+    def to_json(self, indent: "int | None" = None) -> str:
+        payload = {
+            "initial": [[k, v] for k, v in self.initial.items()],
+            "transactions": [r.to_dict() for r in self.records],
+        }
+        return json.dumps(payload, indent=indent, default=str)
+
+    @classmethod
+    def from_json(cls, text: str) -> "History":
+        payload = json.loads(text)
+        return cls(
+            records=[
+                TransactionRecord.from_dict(r) for r in payload["transactions"]
+            ],
+            initial={k: v for k, v in payload.get("initial", ())},
+        )
+
+
+def interpret_kv(
+    history: History,
+    *,
+    table: str = "kv",
+    key_pos: int = 0,
+    val_pos: int = 1,
+    read_param: str = "k",
+) -> History:
+    """Interpret recorded statement-level events as key-value ops.
+
+    The canonical register workload reads one key per statement
+    (``SELECT * FROM kv WHERE kv.key = :k``) and writes a key as a
+    buffered delete + insert.  Event mapping:
+
+    * ``insert`` on ``table`` → ``w(row[key_pos], row[val_pos])`` per row;
+    * ``delete`` on ``table`` with ``equals`` → ``w(equals, None)``
+      (a tombstone; a following insert of the same key overwrites it —
+      :meth:`TransactionRecord.final_writes` keeps the last);
+    * ``query`` whose params bind ``read_param`` → ``r(params[read_param],
+      rows[0][val_pos])``, or ``r(key, None)`` when no row came back.
+
+    Events touching other tables pass through silently; an event on the
+    register table the mapping cannot interpret (a predicate-style delete
+    with no ``equals``, a query returning several rows) raises
+    ``ValueError`` — an uninterpretable history must never be certified.
+
+    Returns a new :class:`History` whose records carry the interpreted
+    ``ops`` (the original records are not mutated).
+    """
+    out: list[TransactionRecord] = []
+    for record in history.records:
+        ops: list[Op] = []
+        for event in record.events:
+            kind = event.get("op")
+            if kind == "insert":
+                if event.get("table") != table:
+                    continue
+                for row in event.get("rows", ()):
+                    ops.append(Op("w", row[key_pos], row[val_pos]))
+            elif kind == "delete":
+                if event.get("table") != table:
+                    continue
+                if "equals" not in event or event.get("column") is None:
+                    raise ValueError(
+                        f"uninterpretable delete event on {table!r} "
+                        f"(txn {record.txn_id}): needs column/equals form"
+                    )
+                ops.append(Op("w", event["equals"], None))
+            elif kind == "query":
+                params = event.get("params") or {}
+                if not isinstance(params, dict) or read_param not in params:
+                    continue  # not a register read (e.g. a full scan)
+                rows = event.get("rows", ())
+                if len(rows) > 1:
+                    raise ValueError(
+                        f"register read returned {len(rows)} rows "
+                        f"(txn {record.txn_id}); keys must be unique"
+                    )
+                value = rows[0][val_pos] if rows else None
+                ops.append(Op("r", params[read_param], value))
+        out.append(
+            TransactionRecord(
+                txn_id=record.txn_id,
+                begin_seq=record.begin_seq,
+                end_seq=record.end_seq,
+                status=record.status,
+                session=record.session,
+                events=list(record.events),
+                ops=ops,
+            )
+        )
+    return History(out, initial=history.initial)

@@ -1,0 +1,331 @@
+"""The known-anomaly corpus: hand-crafted histories exercising every
+anomaly class the black-box checker knows, plus clean histories it must
+certify.  This is the checker's own test — a checker that cannot reject
+these histories proves nothing when it certifies the engine's."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.checker import (
+    BEYOND_SI,
+    SI_VIOLATIONS,
+    check_snapshot_isolation,
+)
+from repro.verify.history import History, Op, TransactionRecord, interpret_kv
+
+
+def txn(txn_id, begin, end, ops, status="committed"):
+    """Corpus shorthand: ops are ('r'|'w', key, value) triples."""
+    return TransactionRecord(
+        txn_id=txn_id,
+        begin_seq=begin,
+        end_seq=end,
+        status=status,
+        ops=[Op(kind, key, value) for kind, key, value in ops],
+    )
+
+
+def history(*records, initial=None):
+    return History(records, initial=initial if initial is not None else {"x": 0, "y": 0})
+
+
+# ----------------------------------------------------------------------
+# clean histories certify
+# ----------------------------------------------------------------------
+class TestCleanHistories:
+    def test_empty_history(self):
+        report = check_snapshot_isolation(history())
+        assert report.ok and report.si_ok
+        assert report.anomalies == []
+
+    def test_serial_read_write_chain(self):
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 1, 2, [("r", "x", 0), ("w", "x", 1)]),
+                txn(2, 3, 4, [("r", "x", 1), ("w", "x", 2)]),
+                txn(3, 5, 6, [("r", "x", 2), ("r", "y", 0)]),
+            )
+        )
+        assert report.ok
+        assert report.reads_checked == 4
+
+    def test_read_your_writes_and_tombstones(self):
+        report = check_snapshot_isolation(
+            history(
+                txn(
+                    1,
+                    1,
+                    2,
+                    [
+                        ("r", "x", 0),
+                        ("w", "x", 1),
+                        ("r", "x", 1),  # own buffered write
+                        ("w", "x", None),
+                        ("r", "x", None),  # own buffered delete
+                    ],
+                ),
+                txn(2, 3, 4, [("r", "x", None)]),  # the tombstone committed
+            )
+        )
+        assert report.ok
+
+    def test_concurrent_reader_on_old_snapshot_is_fine(self):
+        # T2 began before T1 committed: reading the pre-T1 value is exactly SI.
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 1, 3, [("w", "x", 1)]),
+                txn(2, 2, 4, [("r", "x", 0)]),
+            )
+        )
+        assert report.ok
+
+    def test_aborted_writer_leaves_no_trace(self):
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 1, 2, [("w", "x", 1)], status="aborted"),
+                txn(2, 3, 4, [("r", "x", 0)]),  # correctly ignores the abort
+            )
+        )
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# every anomaly class is detected
+# ----------------------------------------------------------------------
+class TestAnomalyCorpus:
+    def test_lost_update(self):
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 1, 3, [("r", "x", 0), ("w", "x", 1)]),
+                txn(2, 2, 4, [("r", "x", 0), ("w", "x", 2)]),
+            )
+        )
+        assert not report.si_ok
+        assert "lost-update" in report.kinds()
+        [anomaly] = [a for a in report.anomalies if a.kind == "lost-update"]
+        assert set(anomaly.txns) == {1, 2}
+        assert anomaly.key == "x"
+
+    def test_write_skew_is_beyond_si(self):
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 1, 3, [("r", "y", 0), ("w", "x", 1)]),
+                txn(2, 2, 4, [("r", "x", 0), ("w", "y", 2)]),
+            )
+        )
+        # SI admits write skew: si_ok holds, but the full verdict does not.
+        assert report.si_ok
+        assert not report.ok
+        assert report.kinds() == {"write-skew"}
+        [anomaly] = report.anomalies
+        assert anomaly.beyond_si
+        assert set(anomaly.txns) == {1, 2}
+
+    def test_no_write_skew_without_crossing_reads(self):
+        # Disjoint writes but only one side read the other's key: not skew.
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 1, 3, [("r", "y", 0), ("w", "x", 1)]),
+                txn(2, 2, 4, [("w", "y", 2)]),
+            )
+        )
+        assert report.ok
+
+    def test_aborted_read(self):
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 1, 2, [("w", "x", 1)], status="aborted"),
+                txn(2, 3, 4, [("r", "x", 1)]),
+            )
+        )
+        assert "aborted-read" in report.kinds()
+        assert not report.si_ok
+
+    def test_rolled_back_read_is_an_aborted_read(self):
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 1, 2, [("w", "x", 1)], status="rolled-back"),
+                txn(2, 3, 4, [("r", "x", 1)]),
+            )
+        )
+        assert "aborted-read" in report.kinds()
+
+    def test_long_fork(self):
+        # Both commits precede T3's begin, but T3's snapshot contains only
+        # one of them — the forked-snapshot anomaly SI forbids.
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 1, 2, [("w", "x", 1)]),
+                txn(2, 3, 4, [("w", "y", 2)]),
+                txn(3, 5, 6, [("r", "x", 1), ("r", "y", 0)]),
+            )
+        )
+        assert "long-fork" in report.kinds()
+        assert not report.si_ok
+
+    def test_stale_version_read(self):
+        # T3 observes T1's version even though T2 overwrote it before T3
+        # began — a stale (superseded) version, reported as a fork.
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 1, 2, [("w", "x", 1)]),
+                txn(2, 3, 4, [("w", "x", 2)]),
+                txn(3, 5, 6, [("r", "x", 1)]),
+            )
+        )
+        assert "long-fork" in report.kinds()
+
+    def test_future_read(self):
+        # T2's snapshot predates T1's commit, yet it observed T1's write.
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 2, 3, [("w", "x", 1)]),
+                txn(2, 1, 4, [("r", "x", 1)]),
+            )
+        )
+        assert "future-read" in report.kinds()
+        assert not report.si_ok
+
+    def test_non_repeatable_read(self):
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 2, 3, [("w", "x", 1)]),
+                txn(2, 1, 4, [("r", "x", 0), ("r", "x", 1)]),
+            )
+        )
+        assert "non-repeatable-read" in report.kinds()
+        assert not report.si_ok
+
+    def test_own_write_between_reads_is_not_non_repeatable(self):
+        report = check_snapshot_isolation(
+            history(txn(1, 1, 2, [("r", "x", 0), ("w", "x", 1), ("r", "x", 1)]))
+        )
+        assert report.ok
+
+    def test_intermediate_read(self):
+        # T1 buffered x=1 then overwrote it with x=2 before committing;
+        # nobody may ever observe 1.
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 1, 2, [("w", "x", 1), ("w", "x", 2)]),
+                txn(2, 3, 4, [("r", "x", 1)]),
+            )
+        )
+        assert "intermediate-read" in report.kinds()
+        assert not report.si_ok
+
+    def test_phantom_value(self):
+        report = check_snapshot_isolation(
+            history(txn(1, 1, 2, [("r", "x", 99)]))
+        )
+        assert "phantom-value" in report.kinds()
+        assert not report.si_ok
+
+
+# ----------------------------------------------------------------------
+# verdict plumbing
+# ----------------------------------------------------------------------
+class TestReportSemantics:
+    def test_kind_taxonomy_is_disjoint(self):
+        assert not (set(SI_VIOLATIONS) & set(BEYOND_SI))
+
+    def test_summary_and_render(self):
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 1, 3, [("w", "x", 1)]),
+                txn(2, 2, 4, [("w", "x", 2)]),
+            )
+        )
+        summary = report.summary()
+        assert summary["transactions"] == 2
+        assert summary["committed"] == 2
+        assert summary["si_ok"] is False
+        assert summary["by_kind"] == {"lost-update": 1}
+        text = report.render()
+        assert "SI VIOLATED" in text and "lost-update" in text
+
+    def test_render_marks_beyond_si(self):
+        report = check_snapshot_isolation(
+            history(
+                txn(1, 1, 3, [("r", "y", 0), ("w", "x", 1)]),
+                txn(2, 2, 4, [("r", "x", 0), ("w", "y", 2)]),
+            )
+        )
+        assert "(beyond SI)" in report.render()
+        assert "OK" in report.render()  # SI itself holds
+
+    def test_json_roundtrip_preserves_the_verdict(self):
+        original = history(
+            txn(1, 1, 3, [("r", "x", 0), ("w", "x", 1)]),
+            txn(2, 2, 4, [("r", "x", 0), ("w", "x", 2)]),
+            txn(3, 5, 6, [("w", "y", 3)], status="rolled-back"),
+        )
+        restored = History.from_json(original.to_json())
+        assert len(restored) == len(original)
+        assert restored.record(3).status == "rolled-back"
+        assert restored.record(1).ops == original.record(1).ops
+        before = check_snapshot_isolation(original)
+        after = check_snapshot_isolation(restored)
+        assert [repr(a) for a in before.anomalies] == [
+            repr(a) for a in after.anomalies
+        ]
+
+
+# ----------------------------------------------------------------------
+# event interpretation (recorded histories -> key-value ops)
+# ----------------------------------------------------------------------
+class TestInterpretKv:
+    def record(self, events, txn_id=1):
+        return TransactionRecord(
+            txn_id=txn_id, begin_seq=1, end_seq=2, status="committed", events=events
+        )
+
+    def test_maps_register_events(self):
+        record = self.record(
+            [
+                {"op": "query", "sql": "...", "params": {"k": 3}, "rows": [[3, 0]]},
+                {"op": "delete", "table": "kv", "column": "key", "equals": 3},
+                {"op": "insert", "table": "kv", "rows": [[3, 7]]},
+                {"op": "query", "sql": "...", "params": {"k": 9}, "rows": []},
+            ]
+        )
+        out = interpret_kv(History([record], initial={3: 0}))
+        assert out.record(1).ops == [
+            Op("r", 3, 0),
+            Op("w", 3, None),
+            Op("w", 3, 7),
+            Op("r", 9, None),
+        ]
+        assert out.record(1).final_writes() == {3: 7}
+
+    def test_other_tables_and_scans_pass_through(self):
+        record = self.record(
+            [
+                {"op": "insert", "table": "audit", "rows": [[1, 2]]},
+                {"op": "delete", "table": "audit", "column": "key", "equals": 1},
+                {"op": "query", "sql": "...", "params": None, "rows": [[1, 1], [2, 2]]},
+            ]
+        )
+        out = interpret_kv(History([record]))
+        assert out.record(1).ops == []
+
+    def test_predicate_delete_on_register_is_rejected(self):
+        record = self.record([{"op": "delete", "table": "kv", "column": None}])
+        with pytest.raises(ValueError, match="uninterpretable delete"):
+            interpret_kv(History([record]))
+
+    def test_multi_row_register_read_is_rejected(self):
+        record = self.record(
+            [{"op": "query", "sql": "...", "params": {"k": 1}, "rows": [[1, 1], [1, 2]]}]
+        )
+        with pytest.raises(ValueError, match="keys must be unique"):
+            interpret_kv(History([record]))
+
+    def test_does_not_mutate_the_input(self):
+        record = self.record(
+            [{"op": "insert", "table": "kv", "rows": [[1, 5]]}]
+        )
+        source = History([record])
+        interpret_kv(source)
+        assert source.record(1).ops == []

@@ -1,0 +1,107 @@
+"""The randomized multi-session fuzz driver, scaled down for the tier-1
+suite (CI's ``isolation`` job runs the full campaign).  A run certifies
+only when the recorded history shows zero anomalies — SI violations *and*
+serializability violations — because the workload is serializable by
+construction."""
+
+from __future__ import annotations
+
+from repro.verify.fuzz import FuzzConfig, run_fuzz
+from repro.verify.history import interpret_kv
+
+
+class TestFuzzCertification:
+    def test_small_campaign_certifies(self):
+        result = run_fuzz(sessions=3, transactions=60, keys=4, seed=7)
+        assert result.certified, result.report.render()
+        assert result.report.si_ok
+        assert result.stats["committed"] == 60
+        assert result.stats["retries_exhausted"] == 0
+        # every committed transaction made it into the recorded history
+        committed = result.history.committed()
+        assert len(committed) >= result.stats["committed"]
+
+    def test_contention_produces_conflicts_and_retries_absorb_them(self):
+        # One hot key across four sessions: first-committer-wins must fire,
+        # and the retry path must still land every transaction.
+        result = run_fuzz(
+            sessions=4,
+            transactions=40,
+            keys=1,
+            seed=3,
+            read_fraction=0.2,
+            max_retries=100,
+        )
+        assert result.certified, result.report.render()
+        assert result.stats["conflicts"] > 0
+        assert result.stats["committed"] == 40
+        # aborted attempts are recorded too, with their terminal status
+        statuses = {record.status for record in result.history}
+        assert "aborted" in statuses
+
+    def test_unique_value_discipline(self):
+        # Every committed write stores the writer's txn_id — the discipline
+        # that keeps the checker's reads-from mapping unambiguous.
+        result = run_fuzz(sessions=2, transactions=30, keys=4, seed=11)
+        for record in result.history.committed():
+            for key, value in record.final_writes().items():
+                assert value == record.txn_id
+
+    def test_read_only_transactions_write_nothing(self):
+        result = run_fuzz(sessions=2, transactions=30, keys=4, seed=5)
+        pure_reads = [
+            r
+            for r in result.history.committed()
+            if r.ops and not r.final_writes()
+        ]
+        assert pure_reads, "expected some read-only transactions at 0.5 mix"
+
+    def test_render_mentions_the_seed(self):
+        result = run_fuzz(sessions=2, transactions=10, keys=4, seed=42)
+        assert "seed=42" in result.render()
+
+
+class TestFuzzDeterminism:
+    def test_intent_stream_is_seed_deterministic(self):
+        from repro.verify.fuzz import _transaction_intent
+
+        config = FuzzConfig(seed=9)
+        first = [_transaction_intent(config, i) for i in range(50)]
+        second = [_transaction_intent(config, i) for i in range(50)]
+        assert first == second
+        other = [_transaction_intent(FuzzConfig(seed=10), i) for i in range(50)]
+        assert first != other
+
+    def test_intent_is_all_reads_or_all_rmw(self):
+        # The workload stays serializable by construction only if updaters
+        # write every key they read (see the fuzz module docstring).
+        config = FuzzConfig(seed=1, transactions=200)
+        for serial in range(200):
+            kinds = {kind for kind, __ in _intent(config, serial)}
+            assert len(kinds) == 1
+
+    def test_config_vs_overrides_are_exclusive(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            run_fuzz(FuzzConfig(), seed=1)
+
+
+def _intent(config, serial):
+    from repro.verify.fuzz import _transaction_intent
+
+    return _transaction_intent(config, serial)
+
+
+class TestHistoryHarvest:
+    def test_harvested_history_is_checkable_json(self):
+        from repro.verify.checker import check_snapshot_isolation
+        from repro.verify.history import History
+
+        result = run_fuzz(sessions=2, transactions=20, keys=4, seed=13)
+        restored = interpret_kv(History.from_json(result.history.to_json()))
+        # JSON keys arrive as written (ints survive in the op triples), so
+        # the checker's verdict must survive the round trip too
+        report = check_snapshot_isolation(restored)
+        assert report.ok
+        assert report.committed == result.report.committed

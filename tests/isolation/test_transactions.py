@@ -1,0 +1,314 @@
+"""Multi-statement transaction semantics, engine level and on every
+client surface: read-your-writes, isolation until commit, atomic apply,
+first-committer-wins conflicts with clean retry, rollback, and the
+one-open-transaction-per-session discipline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.storage.schema import DataType
+from repro.storage.transaction import SerializationError, TransactionError
+
+READ = "SELECT * FROM kv WHERE kv.key = :k"
+
+
+def rmw(db, txn, key: int, value: int) -> None:
+    """The canonical register update: delete the key, insert the new row."""
+    table = db.catalog.table("kv")
+    txn.delete_where(table, column="key", equals=key)
+    txn.insert(table, [(key, value)])
+
+
+# ----------------------------------------------------------------------
+# engine level (Database.begin / Transaction)
+# ----------------------------------------------------------------------
+class TestEngineTransactions:
+    def test_read_your_writes_and_isolation_until_commit(self, kv_db, read_kv):
+        txn = kv_db.begin()
+        rmw(kv_db, txn, 0, 41)
+        # the transaction's view sees its buffered write, through SQL
+        assert read_kv(kv_db, 0, snapshot=txn.read_view()) == 41
+        # ... while the live database still sees the old value
+        assert read_kv(kv_db, 0) == 0
+        txn.commit()
+        assert read_kv(kv_db, 0) == 41
+
+    def test_statements_read_the_begin_snapshot(self, kv_db, read_kv):
+        txn = kv_db.begin()
+        # an autocommit writer runs after BEGIN ...
+        kv_db.delete_where("kv", column="key", equals=5)
+        kv_db.insert("kv", [(5, 99)])
+        assert read_kv(kv_db, 5) == 99
+        # ... but every statement in the transaction reads the BEGIN snapshot
+        assert read_kv(kv_db, 5, snapshot=txn.read_view()) == 0
+        assert read_kv(kv_db, 5, snapshot=txn.read_view()) == 0
+        txn.commit()  # read-only: no writes to validate, nothing published
+        assert read_kv(kv_db, 5) == 99
+
+    def test_buffered_delete_hides_row_from_own_view_only(self, kv_db, read_kv):
+        txn = kv_db.begin()
+        deleted = txn.delete_where(kv_db.catalog.table("kv"), column="key", equals=2)
+        assert deleted == 1
+        assert read_kv(kv_db, 2, snapshot=txn.read_view()) is None
+        assert read_kv(kv_db, 2) == 0
+        txn.commit()
+        assert read_kv(kv_db, 2) is None
+
+    def test_commit_applies_multi_table_writes_atomically(self, kv_db, read_kv):
+        kv_db.create_table("audit", [("key", DataType.INT), ("who", DataType.INT)])
+        txn = kv_db.begin()
+        rmw(kv_db, txn, 1, 7)
+        txn.insert(kv_db.catalog.table("audit"), [(1, txn.txn_id)])
+        # neither table shows anything before commit
+        assert read_kv(kv_db, 1) == 0
+        assert kv_db.query("SELECT * FROM audit").rows == []
+        commit_seq = txn.commit()
+        assert commit_seq > txn.begin_seq
+        assert read_kv(kv_db, 1) == 7
+        assert kv_db.query("SELECT * FROM audit").rows == [(1, txn.txn_id)]
+
+    def test_first_committer_wins(self, kv_db, read_kv):
+        t1 = kv_db.begin()
+        t2 = kv_db.begin()
+        rmw(kv_db, t1, 3, 111)
+        rmw(kv_db, t2, 3, 222)
+        t1.commit()
+        with pytest.raises(SerializationError):
+            t2.commit()
+        assert t2.status == "aborted"
+        assert not t2.active
+        # the winner's value survives; the loser published nothing
+        assert read_kv(kv_db, 3) == 111
+        # the retry path: a fresh transaction over the new state succeeds
+        t3 = kv_db.begin()
+        assert read_kv(kv_db, 3, snapshot=t3.read_view()) == 111
+        rmw(kv_db, t3, 3, 222)
+        t3.commit()
+        assert read_kv(kv_db, 3) == 222
+        assert kv_db.transactions.summary()["txn_conflicts"] == 1
+
+    def test_disjoint_writers_do_not_conflict(self, kv_db, read_kv):
+        t1 = kv_db.begin()
+        t2 = kv_db.begin()
+        rmw(kv_db, t1, 1, 11)
+        rmw(kv_db, t2, 2, 22)
+        t1.commit()
+        t2.commit()  # different keys: no first-committer-wins loss
+        assert read_kv(kv_db, 1) == 11
+        assert read_kv(kv_db, 2) == 22
+
+    def test_rollback_discards_buffered_writes(self, kv_db, read_kv):
+        txn = kv_db.begin()
+        rmw(kv_db, txn, 4, 1234)
+        txn.delete_where(kv_db.catalog.table("kv"), column="key", equals=6)
+        txn.rollback()
+        assert txn.status == "rolled-back"
+        assert not txn.active
+        assert read_kv(kv_db, 4) == 0
+        assert read_kv(kv_db, 6) == 0
+
+    def test_context_manager_commits_and_rolls_back(self, kv_db, read_kv):
+        with kv_db.begin() as txn:
+            rmw(kv_db, txn, 0, 5)
+        assert txn.status == "committed"
+        assert read_kv(kv_db, 0) == 5
+
+        with pytest.raises(RuntimeError, match="boom"):
+            with kv_db.begin() as txn:
+                rmw(kv_db, txn, 0, 6)
+                raise RuntimeError("boom")
+        assert txn.status == "rolled-back"
+        assert read_kv(kv_db, 0) == 5
+
+    def test_finished_transactions_reject_further_work(self, kv_db):
+        txn = kv_db.begin()
+        txn.commit()
+        table = kv_db.catalog.table("kv")
+        with pytest.raises(TransactionError):
+            txn.insert(table, [(0, 1)])
+        with pytest.raises(TransactionError):
+            txn.delete_where(table, column="key", equals=0)
+        with pytest.raises(TransactionError):
+            txn.commit()
+        txn.rollback()  # rollback after finish stays a no-op
+        assert txn.status == "committed"
+
+    def test_logical_clock_totally_orders_begin_and_end(self, kv_db):
+        t1 = kv_db.begin()
+        t2 = kv_db.begin()
+        assert t1.begin_seq < t2.begin_seq
+        rmw(kv_db, t1, 0, 1)
+        t1.commit()
+        t2.commit()
+        stamps = [t1.begin_seq, t2.begin_seq, t1.end_seq, t2.end_seq]
+        assert len(set(stamps)) == len(stamps)
+        assert t1.end_seq < t2.end_seq
+
+    def test_manager_counters(self, kv_db):
+        base = kv_db.transactions.summary()
+        t1 = kv_db.begin()
+        rmw(kv_db, t1, 0, 1)
+        t1.commit()
+        t2 = kv_db.begin()
+        t2.rollback()
+        summary = kv_db.transactions.summary()
+        assert summary["txns_begun"] == base["txns_begun"] + 2
+        assert summary["txns_committed"] == base["txns_committed"] + 1
+        assert summary["txns_rolled_back"] == base["txns_rolled_back"] + 1
+
+
+# ----------------------------------------------------------------------
+# embedded Session surface
+# ----------------------------------------------------------------------
+class TestEmbeddedSession:
+    def test_session_transaction_roundtrip(self, kv_db):
+        session = kv_db.session()
+        txn = session.begin()
+        assert session.in_transaction
+        session.delete_where("kv", column="key", equals=0)
+        session.insert("kv", [(0, txn.txn_id)])
+        rows = session.execute(READ, params={"k": 0}).rows
+        assert rows == [(0, txn.txn_id)]
+        # outside the session's transaction nothing is visible yet
+        assert kv_db.query(READ, params={"k": 0}).rows == [(0, 0)]
+        commit_seq = session.commit()
+        assert commit_seq == txn.end_seq
+        assert not session.in_transaction
+        assert kv_db.query(READ, params={"k": 0}).rows == [(0, txn.txn_id)]
+
+    def test_one_open_transaction_per_session(self, kv_db):
+        session = kv_db.session()
+        session.begin()
+        with pytest.raises(TransactionError, match="already has an open"):
+            session.begin()
+        session.rollback()
+        with pytest.raises(TransactionError, match="no open transaction"):
+            session.commit()
+        session.rollback()  # rollback with nothing open is a no-op
+
+    def test_close_rolls_back_open_transaction(self, kv_db, read_kv):
+        session = kv_db.session()
+        txn = session.begin()
+        session.insert("kv", [(50, 1)])
+        session.close()
+        assert txn.status == "rolled-back"
+        assert read_kv(kv_db, 50) is None
+
+    def test_autocommit_outside_transaction(self, kv_db, read_kv):
+        session = kv_db.session()
+        session.insert("kv", [(60, 6)])
+        assert read_kv(kv_db, 60) == 6  # applied immediately, no txn open
+        session.delete_where("kv", column="key", equals=60)
+        assert read_kv(kv_db, 60) is None
+
+
+# ----------------------------------------------------------------------
+# served surfaces: in-process client and the TCP wire protocol
+# ----------------------------------------------------------------------
+class TestServedSurfaces:
+    def test_in_process_client_conflict_and_retry(self, kv_db):
+        with kv_db.serve(workers=2) as server:
+            c1 = server.session()
+            c2 = server.session()
+            t1 = c1.begin()
+            t2 = c2.begin()
+            for client, txn in ((c1, t1), (c2, t2)):
+                assert client.execute(READ, params={"k": 7}).rows == [(7, 0)]
+                client.delete("kv", column="key", equals=7)
+                client.insert("kv", [(7, txn.txn_id)])
+            c1.commit()
+            with pytest.raises(SerializationError):
+                c2.commit()
+            # losing client retries from a fresh BEGIN and succeeds
+            t2b = c2.begin()
+            assert c2.execute(READ, params={"k": 7}).rows == [(7, t1.txn_id)]
+            c2.delete("kv", column="key", equals=7)
+            c2.insert("kv", [(7, t2b.txn_id)])
+            c2.commit()
+            assert c1.execute(READ, params={"k": 7}).rows == [(7, t2b.txn_id)]
+            c1.close()
+            c2.close()
+
+    def test_tcp_wire_transactions(self, kv_db):
+        from repro.server.client import connect
+
+        with kv_db.serve(workers=2, port=0) as server:
+            host, port = server.address
+            with connect(host, port) as s1, connect(host, port) as s2:
+                txn1 = s1.begin()
+                txn2 = s2.begin()
+                assert isinstance(txn1, int) and txn1 != txn2
+                for s, txn in ((s1, txn1), (s2, txn2)):
+                    assert s.execute(READ, params={"k": 1}).rows == [(1, 0)]
+                    s.delete("kv", column="key", equals=1)
+                    s.insert("kv", [[1, txn]])
+                commit_seq = s1.commit()
+                assert isinstance(commit_seq, int)
+                with pytest.raises(SerializationError):
+                    s2.commit()
+                # the loser's session is usable again immediately
+                assert s2.execute(READ, params={"k": 1}).rows == [(1, txn1)]
+                # and rollback over the wire discards cleanly
+                s2.begin()
+                s2.insert("kv", [[90, 1]])
+                s2.rollback()
+                assert s2.execute(READ, params={"k": 90}).rows == []
+
+    def test_wire_commit_without_transaction_is_an_error(self, kv_db):
+        from repro.server.client import ServerError, connect
+
+        with kv_db.serve(workers=1, port=0) as server:
+            host, port = server.address
+            with connect(host, port) as s:
+                with pytest.raises(ServerError, match="no open transaction"):
+                    s.commit()
+                with pytest.raises(ServerError, match="already has an open"):
+                    s.begin()
+                    s.begin()
+                s.rollback()
+
+    def test_server_close_rolls_back_open_transaction(self, kv_db, read_kv):
+        with kv_db.serve(workers=1) as server:
+            client = server.session()
+            client.begin()
+            client.insert("kv", [(70, 1)])
+            client.close()
+            assert read_kv(kv_db, 70) is None
+
+
+def test_snapshot_capture_is_serialized_with_commits():
+    """Database.snapshot() routes through the transaction manager's lock,
+    so a snapshot never observes half of a multi-table commit."""
+    import threading
+
+    db = Database()
+    db.create_table("a", [("v", DataType.INT)])
+    db.create_table("b", [("v", DataType.INT)])
+    stop = threading.Event()
+    torn: list[tuple[int, int]] = []
+
+    def writer() -> None:
+        value = 1
+        while not stop.is_set():
+            txn = db.begin()
+            txn.insert(db.catalog.table("a"), [(value,)])
+            txn.insert(db.catalog.table("b"), [(value,)])
+            txn.commit()
+            value += 1
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    try:
+        for __ in range(300):
+            snap = db.snapshot()
+            rows_a = snap.table("a").row_count
+            rows_b = snap.table("b").row_count
+            if rows_a != rows_b:
+                torn.append((rows_a, rows_b))
+    finally:
+        stop.set()
+        thread.join(timeout=5)
+        db.close()
+    assert torn == [], f"snapshots observed half-applied commits: {torn[:5]}"

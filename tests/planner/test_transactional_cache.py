@@ -1,0 +1,109 @@
+"""The shared plan cache under transactional DML.
+
+Autocommit DML invalidates the plan cache at publication (every insert /
+delete bumps the planner generation).  Transactions must not leak that
+cost early or double-pay it: buffered writes are session-private, so the
+generation moves only when a *dirty commit* publishes — exactly once per
+commit, never on rollback, never on a read-only commit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.storage.schema import DataType
+from repro.storage.transaction import SerializationError
+
+SQL = "SELECT * FROM kv WHERE kv.key = :k"
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table("kv", [("key", DataType.INT), ("val", DataType.INT)])
+    database.insert("kv", [(key, 0) for key in range(4)])
+    database.create_column_index("kv", "key")
+    database.analyze()
+    yield database
+    database.close()
+
+
+def rmw(db, txn, key, value):
+    table = db.catalog.table("kv")
+    txn.delete_where(table, column="key", equals=key)
+    txn.insert(table, [(key, value)])
+
+
+def test_autocommit_dml_still_invalidates(db):
+    generation = db.planner.generation
+    db.insert("kv", [(9, 9)])
+    assert db.planner.generation > generation
+
+
+def test_buffered_writes_do_not_bump_the_generation(db):
+    txn = db.begin()
+    generation = db.planner.generation
+    rmw(db, txn, 0, 1)
+    rmw(db, txn, 1, 2)
+    # reads inside the transaction plan against the cache as usual
+    db.query(SQL, params={"k": 0}, snapshot=txn.read_view())
+    assert db.planner.generation == generation
+    txn.rollback()
+
+
+def test_dirty_commit_invalidates_exactly_once(db):
+    txn = db.begin()
+    rmw(db, txn, 0, 1)
+    rmw(db, txn, 1, 2)  # several buffered statements, one publication
+    generation = db.planner.generation
+    txn.commit()
+    assert db.planner.generation == generation + 1
+
+
+def test_rollback_does_not_invalidate(db):
+    txn = db.begin()
+    rmw(db, txn, 0, 1)
+    generation = db.planner.generation
+    txn.rollback()
+    assert db.planner.generation == generation
+
+
+def test_read_only_commit_does_not_invalidate(db):
+    txn = db.begin()
+    db.query(SQL, params={"k": 0}, snapshot=txn.read_view())
+    generation = db.planner.generation
+    txn.commit()
+    assert db.planner.generation == generation
+
+
+def test_conflict_abort_does_not_invalidate(db):
+    winner = db.begin()
+    loser = db.begin()
+    rmw(db, winner, 0, 1)
+    rmw(db, loser, 0, 2)
+    winner.commit()
+    generation = db.planner.generation
+    with pytest.raises(SerializationError):
+        loser.commit()
+    # the loser published nothing, so cached plans stay valid
+    assert db.planner.generation == generation
+
+
+def test_cached_plan_survives_a_transaction_and_expires_at_commit(db):
+    # a rank query: unordered statements carry per-bind scoring closures
+    # in their signature and never hit the shared cache
+    db.register_predicate("hot", ["kv.val"], lambda v: v)
+    literal = "SELECT * FROM kv ORDER BY hot(kv.val) LIMIT 2"
+    entry_before, __ = db.planner.prepare(literal)
+    __, hit_before = db.planner.prepare(literal)
+    assert hit_before  # warmed by the first prepare
+
+    txn = db.begin()
+    rmw(db, txn, 0, 1)
+    entry_during, hit_during = db.planner.prepare(literal)
+    assert hit_during  # buffered writes never orphan shared plans
+    assert entry_during is entry_before
+
+    txn.commit()
+    __, hit_after = db.planner.prepare(literal)
+    assert not hit_after  # the commit's publication orphaned the entry
