@@ -17,7 +17,7 @@ Quickstart::
     result = db.query("SELECT * FROM hotel ORDER BY cheap(hotel.price) LIMIT 3")
 """
 
-from .engine import Database, QueryResult
+from .engine import Database, QueryResult, load_database, save_database
 from .algebra import (
     BooleanPredicate,
     ParameterError,
@@ -55,7 +55,9 @@ __all__ = [
     "col",
     "connect",
     "lit",
+    "load_database",
     "optimize_traditional",
+    "save_database",
     "sum_of",
     "__version__",
 ]

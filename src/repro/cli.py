@@ -60,10 +60,26 @@ _TYPE_NAMES = {
 }
 
 
-def build_demo_database(seed: int = 7, parallelism: "int | str | None" = None) -> Database:
-    """The quickstart hotel/restaurant demo database."""
+#: the demo's predicate callables, by name — handed to ``load_database``
+#: when reopening a durable demo directory so its rank indexes can rebind
+DEMO_PREDICATES = {
+    "cheap": lambda p: max(0.0, 1 - p / 400),
+    "starry": lambda s: s / 5,
+    "tasty": lambda p: max(0.0, 1 - p / 90),
+}
+
+
+def build_demo_database(
+    seed: int = 7,
+    parallelism: "int | str | None" = None,
+    db: "Database | None" = None,
+) -> Database:
+    """The quickstart hotel/restaurant demo database.  Pass ``db`` to
+    populate an existing (e.g. durability-attached) database instead of
+    creating a fresh in-memory one."""
     rng = random.Random(seed)
-    db = Database(parallelism=parallelism)
+    if db is None:
+        db = Database(parallelism=parallelism)
     db.create_table(
         "hotel",
         [("name", DataType.TEXT), ("price", DataType.FLOAT), ("stars", DataType.INT),
@@ -85,12 +101,91 @@ def build_demo_database(seed: int = 7, parallelism: "int | str | None" = None) -
         [(f"rest-{i}", rng.choice(cuisines), round(rng.uniform(10, 90), 2),
           rng.randrange(10)) for i in range(500)],
     )
-    db.register_predicate("cheap", ["hotel.price"], lambda p: max(0.0, 1 - p / 400))
-    db.register_predicate("starry", ["hotel.stars"], lambda s: s / 5)
-    db.register_predicate("tasty", ["restaurant.price"], lambda p: max(0.0, 1 - p / 90))
+    db.register_predicate("cheap", ["hotel.price"], DEMO_PREDICATES["cheap"])
+    db.register_predicate("starry", ["hotel.stars"], DEMO_PREDICATES["starry"])
+    db.register_predicate("tasty", ["restaurant.price"], DEMO_PREDICATES["tasty"])
     db.create_rank_index("hotel", "cheap")
     db.create_rank_index("restaurant", "tasty")
     db.analyze()
+    return db
+
+
+def _add_durability_args(parser: argparse.ArgumentParser) -> None:
+    """The durability flags shared by the shell and ``serve``."""
+    parser.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="durable database directory: recovered if it exists "
+        "(checkpoint + WAL replay), created otherwise",
+    )
+    parser.add_argument(
+        "--durability", default="auto",
+        choices=("auto", "wal", "checkpoint", "none"),
+        help="durability mode for --data-dir (auto = whatever the "
+        "directory already uses, wal for a fresh one)",
+    )
+    parser.add_argument(
+        "--fsync", default=None, choices=("commit", "always", "never"),
+        help="WAL fsync discipline (default: the directory's, or commit)",
+    )
+
+
+def open_database(args, out) -> Database:
+    """The database the shell/server runs on, honouring ``--data-dir``.
+
+    An existing directory is recovered (atomic checkpoint + WAL tail
+    replay); a fresh one is created durable.  Without ``--data-dir`` the
+    database is in-memory, with the demo loaded when ``--demo`` asks.
+    """
+    if args.data_dir is None:
+        return (
+            build_demo_database(parallelism=args.parallelism)
+            if args.demo
+            else Database(parallelism=args.parallelism)
+        )
+    from pathlib import Path
+
+    from .engine.persistence import CATALOG_FILE, load_database
+
+    path = Path(args.data_dir)
+    durability = None if args.durability == "none" else args.durability
+    if (path / CATALOG_FILE).exists():
+        # Always offer the demo predicate callables: a directory created
+        # with --demo must reopen without the flag ("run --demo --data-dir
+        # trip.db" then "serve --data-dir trip.db"); unused entries are
+        # ignored, and non-demo predicates still fail with the load_database
+        # error telling the user to register them.
+        db = load_database(
+            path,
+            predicates=DEMO_PREDICATES,
+            persist=True,
+            durability=durability,
+            fsync=args.fsync,
+        )
+        stats = db.recovery_stats or {}
+        recovered = stats.get("replayed", 0)
+        print(
+            f"opened {path}: {sum(1 for __ in db.catalog.tables())} table(s)"
+            + (
+                f", replayed {recovered} committed transaction(s) from the WAL"
+                if recovered
+                else ""
+            ),
+            file=out,
+        )
+        return db
+    db = Database(
+        persist_dir=path,
+        parallelism=args.parallelism,
+        durability="wal" if durability == "auto" else durability,
+        fsync=args.fsync or "commit",
+    )
+    if args.demo:
+        build_demo_database(db=db)
+    print(
+        f"created durable database in {path} "
+        f"(durability={db.durability or 'none'}, fsync={db.fsync_mode})",
+        file=out,
+    )
     return db
 
 
@@ -417,13 +512,10 @@ def serve_main(argv: list[str], out) -> int:
         "--parallelism", default=None, metavar="N|auto",
         help="intra-query DOP ceiling (default: REPRO_PARALLELISM or 1)",
     )
+    _add_durability_args(parser)
     args = parser.parse_args(argv)
 
-    database = (
-        build_demo_database(parallelism=args.parallelism)
-        if args.demo
-        else Database(parallelism=args.parallelism)
-    )
+    database = open_database(args, out)
     with database as db:
         status = _load_tables(db, args, out)
         if status:
@@ -441,7 +533,10 @@ def serve_main(argv: list[str], out) -> int:
                 while True:
                     time.sleep(1)
             except KeyboardInterrupt:
-                print("shutting down", file=out)
+                # Graceful: refuse new statements, drain in-flight ones,
+                # roll back open transactions, checkpoint durable state.
+                print("shutting down (draining in-flight statements)", file=out)
+                server.shutdown()
     return 0
 
 
@@ -451,6 +546,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:], out)
+    if argv and argv[0] == "run":  # explicit alias of the default shell
+        argv = argv[1:]
     parser = argparse.ArgumentParser(
         prog="repro", description="RankSQL top-k SQL shell"
     )
@@ -477,13 +574,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "--parallelism", default=None, metavar="N|auto",
         help="intra-query DOP ceiling (default: REPRO_PARALLELISM or 1)",
     )
+    _add_durability_args(parser)
     args = parser.parse_args(argv)
 
-    database = (
-        build_demo_database(parallelism=args.parallelism)
-        if args.demo
-        else Database(parallelism=args.parallelism)
-    )
+    database = open_database(args, out)
     with database as db:
         status = _load_tables(db, args, out)
         if status:

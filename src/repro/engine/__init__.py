@@ -3,7 +3,12 @@
 from ..planner import PreparedQuery, Session
 from .csv_io import dump_csv, load_csv
 from .database import Database
-from .persistence import PersistenceError, load_database, save_database
+from .persistence import (
+    PersistenceError,
+    load_database,
+    save_database,
+    write_checkpoint,
+)
 from .result import Cursor, QueryResult
 
 __all__ = [
@@ -17,4 +22,5 @@ __all__ = [
     "load_csv",
     "load_database",
     "save_database",
+    "write_checkpoint",
 ]

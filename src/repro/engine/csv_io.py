@@ -2,6 +2,20 @@
 
 A pragmatic adoption path: load data files into the engine and dump query
 results back out, with type coercion driven by the table schema.
+
+Two NULL conventions coexist:
+
+* ``nulls="empty"`` (default) — the interchange convention for foreign
+  files: an empty cell is NULL, and NULL dumps as an empty cell.  Lossy
+  for TEXT (``""`` and NULL collide) but matches what spreadsheet
+  exports produce.
+* ``nulls="token"`` — the fidelity convention used by the persistence
+  layer: NULL is the token ``\\N``, a TEXT value that itself starts with
+  a backslash gets one more prepended on dump (stripped on load), and the
+  empty string stays the empty string.  Every value of every
+  :class:`DataType` round-trips exactly, including ``""`` vs NULL,
+  quotes/newlines (the csv module's own quoting handles those) and
+  arbitrarily large ints.
 """
 
 from __future__ import annotations
@@ -16,13 +30,37 @@ from ..storage.table import Table
 _TRUE_STRINGS = {"true", "t", "yes", "y", "1"}
 _FALSE_STRINGS = {"false", "f", "no", "n", "0"}
 
+#: the NULL spelling under ``nulls="token"`` (PostgreSQL's COPY convention)
+NULL_TOKEN = "\\N"
 
-def coerce_value(text: str, dtype: DataType) -> Any:
+
+def encode_cell(value: Any, nulls: str = "empty") -> Any:
+    """The on-disk spelling of one value under the given NULL convention."""
+    if value is None:
+        return NULL_TOKEN if nulls == "token" else ""
+    if nulls == "token" and isinstance(value, str) and value.startswith("\\"):
+        return "\\" + value
+    return value
+
+
+def coerce_value(text: str, dtype: DataType, nulls: str = "empty") -> Any:
     """Convert one CSV cell to a Python value of the column's type.
 
-    Empty strings become NULL.  Booleans accept the usual spellings.
+    Under ``nulls="empty"``, empty strings become NULL.  Under
+    ``nulls="token"`` only ``\\N`` does (and a leading escape backslash is
+    stripped from TEXT), so ``""`` survives as a TEXT value.  Booleans
+    accept the usual spellings.
     """
-    if text == "":
+    if nulls == "token":
+        if text == NULL_TOKEN:
+            return None
+        if text.startswith("\\"):
+            text = text[1:]
+        if dtype is DataType.TEXT:
+            return text
+        if text == "":
+            return None
+    elif text == "":
         return None
     if dtype is DataType.INT:
         return int(float(text)) if "." in text or "e" in text.lower() else int(text)
@@ -38,19 +76,19 @@ def coerce_value(text: str, dtype: DataType) -> Any:
     return text
 
 
-def load_csv(
-    table: Table,
+def read_csv_rows(
+    schema: Schema,
     path: "str | Path",
     has_header: bool = True,
     delimiter: str = ",",
-) -> int:
-    """Load a CSV file into a table; returns the number of rows inserted.
+    nulls: str = "empty",
+) -> list[list[Any]]:
+    """Parse a CSV file into schema-typed value rows (no table touched).
 
     With a header, columns are matched by name (extra file columns are
     ignored, missing table columns become NULL).  Without one, columns are
     taken positionally and must match the schema's arity.
     """
-    schema: Schema = table.schema
     names = schema.column_names()
     dtypes = {c.name: c.dtype for c in schema}
     staged: list[list[Any]] = []
@@ -60,7 +98,7 @@ def load_csv(
         if has_header:
             header = next(reader, None)
             if header is None:
-                return 0
+                return staged
             header = [h.strip() for h in header]
         for raw in reader:
             if not raw:
@@ -68,7 +106,9 @@ def load_csv(
             if header is not None:
                 by_name = dict(zip(header, raw))
                 values = [
-                    coerce_value(by_name[n], dtypes[n]) if n in by_name else None
+                    coerce_value(by_name[n], dtypes[n], nulls)
+                    if n in by_name
+                    else None
                     for n in names
                 ]
             else:
@@ -77,9 +117,25 @@ def load_csv(
                         f"row has {len(raw)} fields, schema needs {len(names)}"
                     )
                 values = [
-                    coerce_value(cell, dtypes[n]) for cell, n in zip(raw, names)
+                    coerce_value(cell, dtypes[n], nulls)
+                    for cell, n in zip(raw, names)
                 ]
             staged.append(values)
+    return staged
+
+
+def load_csv(
+    table: Table,
+    path: "str | Path",
+    has_header: bool = True,
+    delimiter: str = ",",
+    nulls: str = "empty",
+) -> int:
+    """Load a CSV file into a table; returns the number of rows inserted.
+    See :func:`read_csv_rows` for the column-matching rules."""
+    staged = read_csv_rows(
+        table.schema, path, has_header=has_header, delimiter=delimiter, nulls=nulls
+    )
     # One bulk insert: rows validated up front, indexes touched once.
     return table.insert_many(staged)
 
@@ -89,6 +145,7 @@ def dump_csv(
     column_names: list[str],
     path: "str | Path",
     delimiter: str = ",",
+    nulls: str = "empty",
 ) -> int:
     """Write rows (e.g. ``QueryResult.rows``) to a CSV file with a header."""
     count = 0
@@ -96,6 +153,6 @@ def dump_csv(
         writer = csv.writer(handle, delimiter=delimiter)
         writer.writerow(column_names)
         for row in rows:
-            writer.writerow(["" if v is None else v for v in row])
+            writer.writerow([encode_cell(v, nulls) for v in row])
             count += 1
     return count

@@ -49,6 +49,7 @@ runs of one template.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
@@ -61,13 +62,23 @@ from ..optimizer.plans import PlanNode
 from ..optimizer.query_spec import QuerySpec
 from ..planner import Planner, PreparedQuery, Session
 from ..storage.catalog import Catalog
+from ..storage.faults import NO_FAULTS
 from ..storage.index import ColumnIndex, MultiKeyIndex, RankIndex
 from ..storage.row import Row
 from ..storage.schema import Column, DataType, Schema
 from ..storage.snapshot import DatabaseSnapshot
 from ..storage.table import Table
-from ..storage.transaction import Transaction, TransactionManager
+from ..storage.transaction import (
+    SerializationError,
+    Transaction,
+    TransactionManager,
+    retry_backoff,
+)
+from ..storage.wal import WriteAheadLog
 from .result import QueryResult
+
+#: the durability modes ``Database(durability=...)`` accepts
+DURABILITY_MODES = ("wal", "checkpoint")
 
 ColumnSpec = "str | tuple[str, DataType] | Column"
 
@@ -157,6 +168,9 @@ class Database:
         persist_dir: "str | Path | None" = None,
         batch_execution: "bool | str | None" = None,
         parallelism: "int | str | None" = None,
+        durability: "str | None" = None,
+        fsync: str = "commit",
+        fault_injector: Any = None,
     ) -> None:
         if batch_execution is None:
             batch_execution = _default_batch_execution()
@@ -175,7 +189,26 @@ class Database:
             self.catalog, on_commit=self._invalidate
         )
         self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        #: durability state — None until :meth:`attach_durability`
+        self.durability: "str | None" = None
+        self.fsync_mode = fsync
+        self.fault_injector = NO_FAULTS if fault_injector is None else fault_injector
+        self.wal: "WriteAheadLog | None" = None
+        #: stats from the last WAL replay (set by ``load_database``)
+        self.recovery_stats: "dict | None" = None
+        self._checkpoint_id = 0
         self._closed = False
+        if durability is not None:
+            if persist_dir is None:
+                raise ValueError(
+                    "durability requires a persist_dir to write to"
+                )
+            self.attach_durability(
+                persist_dir,
+                mode=durability,
+                fsync=fsync,
+                fault_injector=fault_injector,
+            )
 
     @property
     def batch_execution(self) -> "bool | str":
@@ -202,15 +235,146 @@ class Database:
             return
         if flush:
             self.flush()
+        if self.wal is not None:
+            self.wal.close()
         self.planner.invalidate()
         self._closed = True
 
     def flush(self) -> None:
-        """Write the database to ``persist_dir`` (no-op when not attached)."""
+        """Checkpoint the database to ``persist_dir`` (no-op when not
+        attached).  Always atomic: a crash mid-flush leaves the previous
+        complete on-disk snapshot loadable."""
         if self.persist_dir is not None:
-            from .persistence import save_database
+            self.checkpoint()
 
-            save_database(self, self.persist_dir)
+    def attach_durability(
+        self,
+        directory: "str | Path",
+        mode: str = "wal",
+        fsync: str = "commit",
+        fault_injector: Any = None,
+        checkpoint_id: "int | None" = None,
+    ) -> None:
+        """Attach a durability directory to this database.
+
+        ``mode="wal"`` opens (or continues) the write-ahead log there and
+        makes every commit — transactional or autocommit — durable at its
+        commit record; ``mode="checkpoint"`` skips per-commit logging and
+        makes state durable only at :meth:`checkpoint`/:meth:`flush`/DDL.
+        A directory with no manifest yet gets an initial checkpoint, so a
+        durable database is loadable from its very first commit.
+        """
+        from .persistence import CATALOG_FILE, latest_checkpoint_id
+
+        if mode not in DURABILITY_MODES:
+            raise ValueError(
+                f"unknown durability mode {mode!r}; expected one of "
+                f"{DURABILITY_MODES} or None"
+            )
+        self.persist_dir = Path(directory)
+        self.persist_dir.mkdir(parents=True, exist_ok=True)
+        self.durability = mode
+        self.fsync_mode = fsync
+        if fault_injector is not None:
+            self.fault_injector = fault_injector
+        if checkpoint_id is None:
+            checkpoint_id = latest_checkpoint_id(self.persist_dir)
+        self._checkpoint_id = checkpoint_id
+        if mode == "wal":
+            self.wal = WriteAheadLog(
+                self.persist_dir, fsync=fsync, injector=self.fault_injector
+            )
+            self.transactions.wal = self.wal
+        if not (self.persist_dir / CATALOG_FILE).exists():
+            self.checkpoint()
+
+    def checkpoint(self) -> int:
+        """Write one atomic checkpoint to ``persist_dir``; returns its id.
+
+        With a WAL attached, the table-version capture and the WAL
+        rotation happen under the transaction-manager lock, so the
+        checkpoint contains exactly the commits of the pre-rotation
+        segments; the manifest stamps the new epoch and old segments are
+        garbage-collected once the manifest swap (the atomic commit
+        point) has succeeded.
+        """
+        from .persistence import write_checkpoint
+
+        if self.persist_dir is None:
+            raise RuntimeError("no persist_dir attached to checkpoint into")
+        state = None
+        durability = None
+        new_epoch = None
+        if self.wal is not None:
+            with self.transactions.exclusive():
+                state = {
+                    table.name: (table.version(), table.next_ordinal)
+                    for table in self.catalog.tables()
+                }
+                new_epoch = self.wal.rotate()
+            durability = {
+                "mode": "wal",
+                "fsync": self.fsync_mode,
+                "wal_epoch": new_epoch,
+            }
+        elif self.durability == "checkpoint":
+            durability = {
+                "mode": "checkpoint",
+                "fsync": self.fsync_mode,
+                "wal_epoch": 0,
+            }
+        self._checkpoint_id = write_checkpoint(
+            self,
+            self.persist_dir,
+            checkpoint_id=self._checkpoint_id + 1,
+            state=state,
+            durability=durability,
+            injector=self.fault_injector,
+        )
+        if self.wal is not None and new_epoch is not None:
+            self.wal.remove_segments_before(new_epoch)
+        return self._checkpoint_id
+
+    def _ddl_checkpoint(self) -> None:
+        """Schema changes are not WAL-logged; a durable database persists
+        them by checkpointing immediately."""
+        if self.durability is not None and self.persist_dir is not None:
+            self.checkpoint()
+
+    def run_transaction(
+        self,
+        fn: "Callable[[Transaction], Any]",
+        retries: int = 10,
+        backoff: float = 0.01,
+        session: "str | None" = None,
+    ) -> Any:
+        """Run ``fn(txn)`` in a transaction, retrying serialization
+        conflicts with jittered exponential backoff.
+
+        ``fn`` gets a fresh :class:`Transaction` per attempt; the helper
+        commits after ``fn`` returns (unless ``fn`` already finished the
+        transaction) and rolls back on any exception.  After ``retries``
+        conflict retries the :class:`SerializationError` propagates.
+        Returns ``fn``'s result.
+        """
+        self._check_open()
+        attempt = 0
+        while True:
+            txn = self.begin(session=session)
+            try:
+                result = fn(txn)
+                if txn.active:
+                    txn.commit()
+                return result
+            except SerializationError:
+                txn.rollback()
+                if attempt >= retries:
+                    raise
+                time.sleep(retry_backoff(attempt, backoff))
+                attempt += 1
+            except BaseException:
+                txn.rollback()
+                raise
 
     @property
     def closed(self) -> bool:
@@ -252,27 +416,57 @@ class Database:
                 column_name, dtype = spec
                 resolved.append(Column(column_name, dtype))
         self._invalidate()
-        return self.catalog.create_table(name, Schema(resolved))
+        created = self.catalog.create_table(name, Schema(resolved))
+        self._ddl_checkpoint()
+        return created
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
-        """Bulk-insert value tuples; returns the number inserted."""
+        """Bulk-insert value tuples; returns the number inserted.
+
+        On a WAL-durable database, autocommit DML runs as a one-statement
+        transaction so it is logged and crash-safe like any commit.
+        """
         self._check_open()
+        if self.wal is not None:
+            with self.begin(session="autocommit") as txn:
+                return txn.insert(self.catalog.table(table), rows)
         self._invalidate()
         return self.catalog.table(table).insert_many(rows)
 
     def insert_dicts(self, table: str, rows: Iterable[dict[str, Any]]) -> int:
         """Bulk-insert ``{column: value}`` dicts."""
         self._check_open()
+        if self.wal is not None:
+            t = self.catalog.table(table)
+            names = t.schema.column_names()
+            known = set(names)
+            staged: list[list[Any]] = []
+            for mapping in rows:
+                unknown = set(mapping) - known
+                if unknown:
+                    from ..storage.schema import SchemaError
+
+                    raise SchemaError(
+                        f"unknown columns for table {table!r}: {sorted(unknown)}"
+                    )
+                staged.append([mapping.get(n) for n in names])
+            with self.begin(session="autocommit") as txn:
+                return txn.insert(t, staged)
         self._invalidate()
         return self.catalog.table(table).insert_dicts(rows)
 
     def load_csv(self, table: str, path: Any, has_header: bool = True) -> int:
         """Load a CSV file into a table (typed per the table schema)."""
-        from .csv_io import load_csv
+        from .csv_io import load_csv, read_csv_rows
 
         self._check_open()
+        t = self.catalog.table(table)
+        if self.wal is not None:
+            staged = read_csv_rows(t.schema, path, has_header=has_header)
+            with self.begin(session="autocommit") as txn:
+                return txn.insert(t, staged)
         self._invalidate()
-        return load_csv(self.catalog.table(table), path, has_header=has_header)
+        return load_csv(t, path, has_header=has_header)
 
     def delete_where(
         self,
@@ -293,6 +487,11 @@ class Database:
         t = self.catalog.table(table)
         if (condition is None) == (column is None):
             raise ValueError("pass exactly one of: condition, column=/equals=")
+        if self.wal is not None:
+            with self.begin(session="autocommit") as txn:
+                if condition is not None:
+                    return txn.delete_where(t, condition)
+                return txn.delete_where(t, column=column, equals=equals)
         if condition is None:
             qualified = column if "." in column else f"{table}.{column}"
             position = t.schema.index_of(qualified)
@@ -338,6 +537,7 @@ class Database:
             name, columns, scorer, cost=cost, p_max=p_max, spin_loops=spin_loops
         )
         self.catalog.register_predicate(predicate)
+        self._ddl_checkpoint()
         return predicate
 
     def create_column_index(self, table: str, column: str) -> ColumnIndex:
@@ -348,6 +548,7 @@ class Database:
         index = ColumnIndex(f"{table}_{column.replace('.', '_')}_idx", t.schema, qualified)
         t.attach_index(index)
         self._invalidate()
+        self._ddl_checkpoint()
         return index
 
     def create_rank_index(self, table: str, predicate_name: str) -> RankIndex:
@@ -363,6 +564,7 @@ class Database:
         )
         t.attach_index(index)
         self._invalidate()
+        self._ddl_checkpoint()
         return index
 
     def create_multikey_index(
@@ -383,6 +585,7 @@ class Database:
         )
         t.attach_index(index)
         self._invalidate()
+        self._ddl_checkpoint()
         return index
 
     # ------------------------------------------------------------------

@@ -1,40 +1,184 @@
-"""Directory-based persistence for databases.
+"""Directory-based persistence: atomic checkpoints and crash recovery.
 
-``save_database`` writes a catalog to a directory: one ``catalog.json``
-(schemas, index definitions) plus one CSV per table.  ``load_database``
-restores it.
+A database directory holds one ``catalog.json`` manifest (schemas, index
+definitions, predicate names, durability state), one CSV per table, and —
+for WAL-durable databases — the write-ahead log segments
+(:mod:`repro.storage.wal`).
+
+**Every save is an atomic checkpoint.**  Table files are written into a
+temp directory inside the target, fsynced, and renamed (``os.replace``)
+into place under fresh checkpoint-stamped names (``{table}.ckpt{id}.csv``)
+— never overwriting the files the current manifest references.  The new
+manifest is then written to a temp name, fsynced, and ``os.replace``d over
+``catalog.json``: that single rename is the commit point.  A crash at any
+earlier step leaves the previous manifest referencing the previous (still
+intact) files; a crash after it leaves only stale garbage, which the next
+checkpoint's GC sweep removes.  :func:`save_database` — the plain
+``flush()`` path — is exactly this protocol with no WAL attached, so even
+non-durable databases can never corrupt their last complete snapshot.
+
+Checkpoint CSVs use the fidelity NULL convention (``\\N`` token — see
+:mod:`repro.engine.csv_io`) and carry a leading ``__rid__`` column, so a
+restored row keeps its original rid; WAL records reference rows by rid,
+and replay would mis-target renumbered rows.
+
+**Recovery** (:func:`load_database`) restores the checkpoint the manifest
+names, then — when the manifest records WAL durability — replays every log
+segment at or past the manifest's ``wal_epoch``: records are regrouped per
+transaction, groups *with* a commit record are applied in commit order
+(the original publication order), groups without one are discarded, and a
+torn tail (CRC/length mismatch from a crash mid-append) is truncated to
+the durable prefix.  No acknowledged commit is lost; no partial
+transaction survives.
 
 Ranking predicates are Python callables and cannot be serialized — the
-catalog file records their *names*, and :func:`load_database` takes a
+manifest records their *names*, and :func:`load_database` takes a
 ``predicates`` mapping to re-register them; rank and multi-key indexes are
 rebuilt from the restored predicates.
 """
 
 from __future__ import annotations
 
+import csv
+import io
 import json
+import os
+import re
 from pathlib import Path
-from typing import Callable, Mapping
+from typing import Any, Callable, Mapping
 
-from ..algebra.predicates import RankingPredicate
+from ..storage.faults import NO_FAULTS, InjectedCrash
 from ..storage.index import ColumnIndex, MultiKeyIndex, RankIndex
+from ..storage.row import Row
 from ..storage.schema import DataType
-from .csv_io import dump_csv, load_csv
+from ..storage.table import Table, TableVersion
+from ..storage.wal import _fsync_directory, committed_groups, scan_segments
+from .csv_io import coerce_value, encode_cell, load_csv
 from .database import Database
 
 CATALOG_FILE = "catalog.json"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: manifest versions this reader understands (v1: pre-checkpoint in-place
+#: saves — plain CSVs, no rids, no durability state)
+SUPPORTED_VERSIONS = (1, 2)
+
+RID_COLUMN = "__rid__"
+TMP_DIR = ".ckpt.tmp"
+_CKPT_FILE = re.compile(r"^(?P<table>.+)\.ckpt(?P<id>\d+)\.csv$")
 
 
 class PersistenceError(Exception):
     """Raised on malformed database directories or missing predicates."""
 
 
-def save_database(db: Database, directory: "str | Path") -> None:
-    """Write the database to ``directory`` (created if needed)."""
+# ---------------------------------------------------------------------------
+# manifest + table-file rendering
+# ---------------------------------------------------------------------------
+def _index_entries(indexes: "Mapping[str, Any]") -> list[dict]:
+    entries: list[dict] = []
+    for index in indexes.values():
+        if isinstance(index, ColumnIndex):
+            entries.append({"kind": "column", "column": index.column})
+        elif isinstance(index, MultiKeyIndex):
+            entries.append(
+                {
+                    "kind": "multikey",
+                    "bool_column": index.bool_column,
+                    "predicate": index.predicate_name,
+                }
+            )
+        elif isinstance(index, RankIndex):
+            entries.append({"kind": "rank", "predicate": index.predicate_name})
+    return entries
+
+
+def _render_table_csv(version: TableVersion) -> bytes:
+    """One checkpoint table file as bytes: ``__rid__`` + the schema's
+    columns, fidelity NULL convention."""
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow([RID_COLUMN] + version.schema.column_names())
+    for row in version.rows():
+        ordinal = row.rid[0][1]
+        writer.writerow(
+            [ordinal] + [encode_cell(v, nulls="token") for v in row.values]
+        )
+    return buffer.getvalue().encode("utf-8")
+
+
+def _write_file_atomic(
+    path: Path, tmp_dir: Path, data: bytes, injector: Any, torn_site: "str | None"
+) -> None:
+    """Write ``data`` to a temp file, fsync, rename into ``path``."""
+    tmp = tmp_dir / (path.name + ".tmp")
+    if torn_site is not None:
+        prefix = injector.torn_prefix(torn_site, data)
+        if prefix is not None:
+            # Crash mid-write(2): the torn bytes land in the temp file,
+            # which no manifest will ever reference.
+            tmp.write_bytes(prefix)
+            raise InjectedCrash(torn_site)
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def latest_checkpoint_id(directory: "str | Path") -> int:
+    """The checkpoint id of the current manifest (0 if none)."""
+    manifest_path = Path(directory) / CATALOG_FILE
+    if not manifest_path.exists():
+        return 0
+    try:
+        with open(manifest_path) as handle:
+            return int(json.load(handle).get("checkpoint", 0))
+    except (json.JSONDecodeError, ValueError, OSError):
+        return 0
+
+
+def write_checkpoint(
+    db: Database,
+    directory: "str | Path",
+    *,
+    checkpoint_id: "int | None" = None,
+    state: "Mapping[str, tuple[TableVersion, int]] | None" = None,
+    durability: "dict | None" = None,
+    injector: Any = NO_FAULTS,
+) -> int:
+    """Write one atomic checkpoint of ``db`` into ``directory``.
+
+    ``state`` maps table name to ``(version, next_ordinal)`` — the
+    snapshot to persist (defaults to the tables' current versions; the
+    durable engine captures it under the transaction-manager lock so the
+    checkpoint is transaction-consistent with the WAL rotation).
+    ``durability`` is stamped into the manifest verbatim (mode, fsync
+    discipline, the WAL epoch recovery must replay from).  Returns the
+    checkpoint id.
+    """
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
-    manifest: dict = {"version": FORMAT_VERSION, "tables": [], "predicates": []}
+    injector.reach("checkpoint.begin")
+    if checkpoint_id is None:
+        checkpoint_id = latest_checkpoint_id(path) + 1
+    if state is None:
+        state = {
+            table.name: (table.version(), table.next_ordinal)
+            for table in db.catalog.tables()
+        }
+
+    tmp_dir = path / TMP_DIR
+    tmp_dir.mkdir(exist_ok=True)
+    for stale in tmp_dir.iterdir():  # leftovers from a crashed checkpoint
+        stale.unlink(missing_ok=True)
+
+    manifest: dict = {
+        "version": FORMAT_VERSION,
+        "checkpoint": checkpoint_id,
+        "tables": [],
+        "predicates": [],
+        "durability": durability,
+    }
     for predicate in db.catalog.predicates():
         manifest["predicates"].append(
             {
@@ -44,53 +188,171 @@ def save_database(db: Database, directory: "str | Path") -> None:
                 "p_max": predicate.p_max,
             }
         )
-    for table in db.catalog.tables():
-        entry = {
-            "name": table.name,
-            "columns": [
-                {"name": c.name, "type": c.dtype.value} for c in table.schema
-            ],
-            "rows_file": f"{table.name}.csv",
-            "indexes": [],
-        }
-        for index in table.indexes.values():
-            if isinstance(index, ColumnIndex):
-                entry["indexes"].append(
-                    {"kind": "column", "column": index.column}
-                )
-            elif isinstance(index, MultiKeyIndex):
-                entry["indexes"].append(
-                    {
-                        "kind": "multikey",
-                        "bool_column": index.bool_column,
-                        "predicate": index.predicate_name,
-                    }
-                )
-            elif isinstance(index, RankIndex):
-                entry["indexes"].append(
-                    {"kind": "rank", "predicate": index.predicate_name}
-                )
-        manifest["tables"].append(entry)
-        dump_csv(
-            (row.values for row in table.rows()),
-            table.schema.column_names(),
-            path / entry["rows_file"],
+
+    # 1. table files: temp write + fsync + rename to fresh stamped names
+    for name in sorted(state):
+        version, next_ordinal = state[name]
+        rows_file = f"{name}.ckpt{checkpoint_id:06d}.csv"
+        _write_file_atomic(
+            path / rows_file,
+            tmp_dir,
+            _render_table_csv(version),
+            injector,
+            "checkpoint.table.torn",
         )
-    with open(path / CATALOG_FILE, "w") as handle:
-        json.dump(manifest, handle, indent=2)
+        manifest["tables"].append(
+            {
+                "name": name,
+                "columns": [
+                    {"name": c.name, "type": c.dtype.value}
+                    for c in version.schema
+                ],
+                "rows_file": rows_file,
+                "next_ordinal": next_ordinal,
+                "indexes": _index_entries(version.indexes),
+            }
+        )
+    _fsync_directory(path)
+    injector.reach("checkpoint.tables")
+
+    # 2. manifest: temp write + fsync, then the atomic commit point
+    data = json.dumps(manifest, indent=2).encode("utf-8")
+    tmp_manifest = path / (CATALOG_FILE + ".tmp")
+    with open(tmp_manifest, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    injector.reach("checkpoint.manifest.tmp")
+    os.replace(tmp_manifest, path / CATALOG_FILE)
+    _fsync_directory(path)
+    injector.reach("checkpoint.manifest")
+
+    # 3. GC: checkpoint files no manifest references any more
+    for entry in path.iterdir():
+        match = _CKPT_FILE.match(entry.name)
+        if match and int(match.group("id")) != checkpoint_id:
+            injector.reach("checkpoint.gc")
+            entry.unlink(missing_ok=True)
+    try:
+        tmp_dir.rmdir()
+    except OSError:
+        pass
+    return checkpoint_id
+
+
+def save_database(db: Database, directory: "str | Path") -> None:
+    """Write the database to ``directory`` (created if needed) — one
+    atomic checkpoint: a crash mid-save always leaves the previous
+    complete snapshot loadable."""
+    write_checkpoint(db, directory)
+
+
+# ---------------------------------------------------------------------------
+# loading + recovery
+# ---------------------------------------------------------------------------
+def _restore_table_v2(db: Database, path: Path, entry: dict) -> None:
+    table = db.catalog.table(entry["name"])
+    rows_file = path / entry["rows_file"]
+    if not rows_file.exists():
+        raise PersistenceError(
+            f"manifest references missing table file: {entry['rows_file']}"
+        )
+    dtypes = [c.dtype for c in table.schema]
+    restored: list[tuple[int, list]] = []
+    with open(rows_file, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or header[0] != RID_COLUMN:
+            raise PersistenceError(
+                f"table file {rows_file.name} lacks the {RID_COLUMN} column"
+            )
+        for raw in reader:
+            if not raw:
+                continue
+            restored.append(
+                (
+                    int(raw[0]),
+                    [
+                        coerce_value(cell, dtype, nulls="token")
+                        for cell, dtype in zip(raw[1:], dtypes)
+                    ],
+                )
+            )
+    table.restore_rows(restored, entry.get("next_ordinal", 0))
+
+
+def replay_wal(db: Database, directory: "str | Path", from_epoch: int) -> dict:
+    """Replay committed WAL groups past the checkpoint into ``db``.
+
+    Returns replay stats: committed groups applied, records scanned,
+    discarded in-flight transactions, and the highest replayed txn id
+    (the id allocator must resume above it).
+    """
+    records = scan_segments(directory, from_epoch=from_epoch, truncate=True)
+    groups = committed_groups(records)
+    discarded = len({r.get("txn") for r in records}) - len(groups)
+    max_txn = 0
+    for group in groups:
+        max_txn = max(max_txn, group["txn"])
+        # Re-derive the transaction's write set with buffer semantics:
+        # deleting a rid the same transaction staged just unstages it.
+        staged: dict[str, dict[int, list]] = {}
+        deleted: dict[str, set[int]] = {}
+        for op in group["ops"]:
+            name = op["table"]
+            if op["t"] == "insert":
+                bucket = staged.setdefault(name, {})
+                for ordinal, values in op["rows"]:
+                    bucket[ordinal] = values
+            else:
+                bucket = staged.get(name, {})
+                doomed = deleted.setdefault(name, set())
+                for ordinal in op["rids"]:
+                    if ordinal in bucket:
+                        del bucket[ordinal]
+                    else:
+                        doomed.add(ordinal)
+        for name in sorted(set(staged) | set(deleted)):
+            table = db.catalog.table(name)
+            dead = {
+                ((name, ordinal),) for ordinal in deleted.get(name, ())
+            }
+            rows = [
+                Row.base(values, name, ordinal)
+                for ordinal, values in sorted(staged.get(name, {}).items())
+            ]
+            if dead or rows:
+                table.apply_commit(dead, rows)
+            if rows:
+                table.ensure_next_ordinal(rows[-1].rid[0][1] + 1)
+    return {
+        "records": len(records),
+        "replayed": len(groups),
+        "discarded": max(0, discarded),
+        "max_txn": max_txn,
+    }
 
 
 def load_database(
     directory: "str | Path",
     predicates: Mapping[str, Callable[..., float]] | None = None,
     persist: bool = False,
+    durability: "str | None" = "auto",
+    fsync: "str | None" = None,
+    fault_injector: Any = None,
 ) -> Database:
-    """Restore a database saved by :func:`save_database`.
+    """Restore a database saved by :func:`save_database` or a durable
+    checkpoint, replaying the WAL tail when one is attached.
 
     ``predicates`` maps predicate name to its scoring callable; predicates
-    present in the manifest but missing from the mapping are skipped (their
-    rank indexes are dropped with a :class:`PersistenceError` only if a
-    rank index needs them).
+    present in the manifest but missing from the mapping are skipped (a
+    :class:`PersistenceError` is raised only if a rank index needs them).
+
+    ``durability="auto"`` (default) re-attaches whatever durability mode
+    the manifest records, so reopening a WAL-durable directory keeps it
+    WAL-durable; pass ``None`` to detach (read-only recovery) or an
+    explicit mode to convert.  ``fsync`` likewise defaults to the
+    manifest's discipline.
 
     With ``persist=True`` the directory stays attached: closing the
     returned database (``with load_database(...) as db``) writes changes
@@ -102,10 +364,10 @@ def load_database(
         raise PersistenceError(f"not a database directory: {directory}")
     with open(manifest_path) as handle:
         manifest = json.load(handle)
-    if manifest.get("version") != FORMAT_VERSION:
-        raise PersistenceError(
-            f"unsupported format version: {manifest.get('version')!r}"
-        )
+    version = manifest.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise PersistenceError(f"unsupported format version: {version!r}")
+
     predicates = dict(predicates or {})
     db = Database()
     for entry in manifest.get("predicates", []):
@@ -120,13 +382,23 @@ def load_database(
             p_max=entry.get("p_max", 1.0),
         )
     for entry in manifest["tables"]:
-        columns = [
-            (c["name"], DataType(c["type"])) for c in entry["columns"]
-        ]
+        columns = [(c["name"], DataType(c["type"])) for c in entry["columns"]]
         db.create_table(entry["name"], columns)
-        rows_file = path / entry["rows_file"]
-        if rows_file.exists():
-            db.load_csv(entry["name"], rows_file)
+        if version >= 2:
+            _restore_table_v2(db, path, entry)
+        else:
+            rows_file = path / entry["rows_file"]
+            if rows_file.exists():
+                db.load_csv(entry["name"], rows_file)
+
+    recorded = manifest.get("durability") or {}
+    if recorded.get("mode") == "wal":
+        stats = replay_wal(db, path, int(recorded.get("wal_epoch", 0)))
+        db.transactions.ensure_txn_id(stats["max_txn"] + 1)
+        db.recovery_stats = stats
+
+    # indexes attach after replay: backfill sees the recovered heap once
+    for entry in manifest["tables"]:
         for index in entry.get("indexes", []):
             kind = index["kind"]
             if kind == "column":
@@ -142,7 +414,20 @@ def load_database(
             else:
                 raise PersistenceError(f"unknown index kind: {kind!r}")
     db.analyze()
-    if persist:
+
+    if durability == "auto":
+        durability = recorded.get("mode")
+    if fsync is None:
+        fsync = recorded.get("fsync", "commit")
+    if durability:
+        db.attach_durability(
+            path,
+            mode=durability,
+            fsync=fsync,
+            fault_injector=fault_injector,
+            checkpoint_id=int(manifest.get("checkpoint", 0)),
+        )
+    elif persist:
         db.persist_dir = path
     return db
 

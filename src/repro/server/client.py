@@ -11,8 +11,10 @@ matches the per-session serialization the server enforces anyway.
 from __future__ import annotations
 
 import socket
-from typing import Any
+import time
+from typing import Any, Callable
 
+from ..storage.transaction import SerializationError, retry_backoff
 from . import protocol
 from .protocol import ProtocolError, ServerError
 
@@ -62,6 +64,10 @@ class RemoteSession:
         self._reader = sock.makefile("rb")
         self.session_id = session_id
         self._closed = False
+        #: client-side view of whether a transaction is open (begin sets,
+        #: commit/rollback clear — commit clears even on a conflict, since
+        #: the server aborted the transaction either way)
+        self.in_transaction = False
 
     # -- plumbing ----------------------------------------------------------
     def _roundtrip(self, message: dict[str, Any]) -> dict[str, Any]:
@@ -105,7 +111,9 @@ class RemoteSession:
         """Open a transaction on this session; returns its id.  Until
         commit/rollback, queries read the BEGIN-time snapshot (plus this
         session's own buffered writes) and insert/delete buffer."""
-        return self._roundtrip({"op": "begin"})["txn"]
+        txn = self._roundtrip({"op": "begin"})["txn"]
+        self.in_transaction = True
+        return txn
 
     def commit(self) -> int:
         """Commit; returns the commit sequence number.  A first-committer-
@@ -113,18 +121,51 @@ class RemoteSession:
         :class:`~repro.storage.transaction.SerializationError` embedded
         callers see (the transaction is already aborted server-side), so
         one retry loop serves both surfaces."""
+        self.in_transaction = False
         try:
             return self._roundtrip({"op": "commit"})["commit_seq"]
         except ServerError as error:
             if error.remote_type == "SerializationError":
-                from ..storage.transaction import SerializationError
-
                 raise SerializationError(str(error)) from None
             raise
 
     def rollback(self) -> None:
         """Discard the open transaction (no-op when none is open)."""
+        self.in_transaction = False
         self._roundtrip({"op": "rollback"})
+
+    def run_transaction(
+        self,
+        fn: "Callable[[RemoteSession], Any]",
+        retries: int = 10,
+        backoff: float = 0.01,
+    ) -> Any:
+        """Run ``fn(session)`` in a transaction, retrying serialization
+        conflicts with jittered exponential backoff — the remote twin of
+        :meth:`Database.run_transaction`.  The helper begins before and
+        commits after ``fn`` (unless ``fn`` already finished the
+        transaction itself); any exception rolls back."""
+        attempt = 0
+        while True:
+            self.begin()
+            try:
+                result = fn(self)
+                if self.in_transaction:
+                    self.commit()
+                return result
+            except SerializationError:
+                self.rollback()
+                if attempt >= retries:
+                    raise
+                time.sleep(retry_backoff(attempt, backoff))
+                attempt += 1
+            except BaseException:
+                if self.in_transaction:
+                    try:
+                        self.rollback()
+                    except (OSError, ConnectionError, ServerError):
+                        pass  # the connection may be the thing that died
+                raise
 
     def metrics(self) -> dict[str, Any]:
         return self._roundtrip({"op": "metrics"})

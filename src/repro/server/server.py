@@ -48,12 +48,14 @@ from __future__ import annotations
 import queue
 import socket
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..execution import morsels
 from ..storage.snapshot import DatabaseSnapshot
+from ..storage.transaction import SerializationError, retry_backoff
 from . import protocol
 from .protocol import ProtocolError
 from .session import ServerSession, SessionError, SessionManager
@@ -98,14 +100,21 @@ class QueryServer:
         host: str = "127.0.0.1",
         port: int | None = None,
         record_history: bool = False,
+        idle_timeout: "float | None" = None,
         **session_defaults: Any,
     ):
         if workers < 1:
             raise ValueError("worker pool needs at least one thread")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive (or None)")
         self.database = database
         self.workers = workers
         self.host = host
         self.port = port
+        #: seconds of client silence before a connection is reaped (None =
+        #: never); every connection polls its socket with a short timeout,
+        #: so a dead client cannot pin its thread forever either way
+        self.idle_timeout = idle_timeout
         self.sessions = SessionManager(database, **session_defaults)
         #: transaction-history recording for the black-box isolation
         #: checker (repro.verify); opt-in — it retains every finished
@@ -122,12 +131,18 @@ class QueryServer:
         self._connections: set[socket.socket] = set()
         self._connections_lock = threading.Lock()
         self._running = False
+        #: set by :meth:`shutdown`: stop admitting, let in-flight finish
+        self._draining = False
         self._lock = threading.Lock()
+        #: signalled whenever a statement resolves (drain waits on it)
+        self._idle = threading.Condition(self._lock)
         #: admission/queue metrics
         self.statements_admitted = 0
         self.statements_completed = 0
         self.statements_failed = 0
         self.max_queue_depth = 0
+        #: idle connections closed by the reaper
+        self.connections_reaped = 0
         #: wire DML ops (insert/delete), which bypass the read queue: they
         #: run on the connection thread and serialize on the storage write
         #: locks, so they are counted separately from queued statements
@@ -215,6 +230,40 @@ class QueryServer:
         if self.recorder is not None:
             self.database.transactions.remove_listener(self.recorder)
 
+    def shutdown(self, drain_timeout: float = 10.0) -> None:
+        """Graceful stop: refuse new statements, drain in-flight ones,
+        roll back every session's open transaction, and checkpoint
+        durable state.
+
+        Admission stops immediately (:meth:`submit` raises); statements
+        already queued or executing get up to ``drain_timeout`` seconds to
+        finish, then :meth:`stop` tears down connections and workers
+        (``sessions.close_all`` rolls back open transactions there).  If
+        the database has durability attached, a final checkpoint persists
+        everything the WAL holds — a restart recovers with an empty log.
+        """
+        with self._idle:
+            if not self._running:
+                return
+            self._draining = True
+            deadline = time.monotonic() + drain_timeout
+            while (
+                self.statements_admitted
+                != self.statements_completed + self.statements_failed
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break  # stop() fails whatever is still queued
+                self._idle.wait(remaining)
+        self.stop()
+        database = self.database
+        if database.durability is not None and database.persist_dir is not None:
+            database.checkpoint()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     def history(self, initial: "dict | None" = None) -> "History":
         """The recorded transaction history (requires
         ``record_history=True``); feed it to
@@ -263,6 +312,10 @@ class QueryServer:
         with self._lock:
             if not self._running:
                 raise RuntimeError("server is not running (call start())")
+            if self._draining:
+                raise RuntimeError(
+                    "server is draining for shutdown; no new statements"
+                )
             self.statements_admitted += 1
             depth = self._queue.qsize() + 1
             if depth > self.max_queue_depth:
@@ -297,12 +350,14 @@ class QueryServer:
                     snapshot=request.snapshot,
                 )
             except BaseException as error:  # resolve, never kill the worker
-                with self._lock:
+                with self._idle:
                     self.statements_failed += 1
+                    self._idle.notify_all()
                 request.future.set_exception(error)
             else:
-                with self._lock:
+                with self._idle:
                     self.statements_completed += 1
+                    self._idle.notify_all()
                 request.future.set_result(result)
 
     # ------------------------------------------------------------------
@@ -319,6 +374,8 @@ class QueryServer:
             "queue_depth": self._queue.qsize(),
             "max_queue_depth": self.max_queue_depth,
             "writes_executed": self.writes_executed,
+            "connections_reaped": self.connections_reaped,
+            "draining": self._draining,
         }
         for key, value in self.sessions.summary().items():
             out[key if key.startswith("sessions_") else f"sessions_{key}"] = value
@@ -353,13 +410,27 @@ class QueryServer:
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
+        """One connection's read loop: a hand-buffered ``recv`` with a
+        short socket timeout, so the thread regularly wakes to notice a
+        stopping server or an idle client (``idle_timeout``) instead of
+        blocking in a read forever — a dead client can never pin its
+        thread.  Bytes are split on newlines into protocol messages."""
         session: ServerSession | None = None
+        poll = 0.5
+        if self.idle_timeout is not None:
+            poll = min(poll, max(self.idle_timeout / 4, 0.05))
+        last_activity = time.monotonic()
+        buffer = b""
         try:
-            reader = conn.makefile("rb")
-            try:
-                for line in reader:
+            conn.settimeout(poll)
+            while True:
+                newline = buffer.find(b"\n")
+                if newline >= 0:
+                    line = buffer[: newline + 1]
+                    buffer = buffer[newline + 1 :]
                     if not line.strip():
                         continue
+                    last_activity = time.monotonic()
                     try:
                         response, session, done = self._handle_message(
                             line, session
@@ -377,8 +448,26 @@ class QueryServer:
                         return
                     if done:
                         return
-            finally:
-                reader.close()
+                    continue
+                if not self._running:
+                    return
+                try:
+                    chunk = conn.recv(65536)
+                except socket.timeout:
+                    if (
+                        self.idle_timeout is not None
+                        and time.monotonic() - last_activity
+                        > self.idle_timeout
+                    ):
+                        with self._lock:
+                            self.connections_reaped += 1
+                        return
+                    continue
+                except OSError:
+                    return
+                if not chunk:
+                    return  # client closed its end
+                buffer += chunk
         except OSError:
             pass  # connection torn down mid-read (client or stop())
         finally:
@@ -516,6 +605,35 @@ class InProcessClient:
 
     def delete(self, table: str, column: str, equals: Any) -> int:
         return self.session.delete(table, column=column, equals=equals)
+
+    def run_transaction(
+        self,
+        fn: "Callable[[InProcessClient], Any]",
+        retries: int = 10,
+        backoff: float = 0.01,
+    ) -> Any:
+        """Run ``fn(client)`` in a transaction on this session, retrying
+        serialization conflicts with jittered exponential backoff — the
+        served twin of :meth:`Database.run_transaction`.  The helper
+        begins before and commits after ``fn`` (unless ``fn`` already
+        finished the transaction); any exception rolls back."""
+        attempt = 0
+        while True:
+            self.begin()
+            try:
+                result = fn(self)
+                if self.session.in_transaction:
+                    self.commit()
+                return result
+            except SerializationError:
+                self.rollback()
+                if attempt >= retries:
+                    raise
+                time.sleep(retry_backoff(attempt, backoff))
+                attempt += 1
+            except BaseException:
+                self.rollback()
+                raise
 
     def summary(self) -> dict[str, float]:
         return self.session.summary()

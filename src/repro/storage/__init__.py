@@ -1,8 +1,17 @@
 """Storage substrate: schemas, rows, versioned heap tables, indexes,
-catalog, statistics, consistent database snapshots, and multi-statement
-transactions over the copy-on-write version chains."""
+catalog, statistics, consistent database snapshots, multi-statement
+transactions over the copy-on-write version chains, the write-ahead log
+behind crash-safe durability, and the fault-injection hooks the crash
+tests drive it with."""
 
 from .catalog import Catalog, CatalogError
+from .faults import (
+    CRASHPOINT_NAMES,
+    CRASHPOINTS,
+    FaultInjector,
+    InjectedCrash,
+    NO_FAULTS,
+)
 from .index import ColumnIndex, Index, MultiKeyIndex, RankIndex
 from .row import Row
 from .schema import Column, DataType, Schema, SchemaError
@@ -16,8 +25,11 @@ from .transaction import (
     TransactionManager,
     TransactionSnapshot,
 )
+from .wal import WALError, WriteAheadLog, committed_groups, scan_segments
 
 __all__ = [
+    "CRASHPOINT_NAMES",
+    "CRASHPOINTS",
     "Catalog",
     "CatalogError",
     "Column",
@@ -26,9 +38,12 @@ __all__ = [
     "ColumnarView",
     "DataType",
     "DatabaseSnapshot",
+    "FaultInjector",
     "Histogram",
     "Index",
+    "InjectedCrash",
     "MultiKeyIndex",
+    "NO_FAULTS",
     "RankIndex",
     "Row",
     "Schema",
@@ -41,5 +56,9 @@ __all__ = [
     "TransactionError",
     "TransactionManager",
     "TransactionSnapshot",
+    "WALError",
+    "WriteAheadLog",
     "analyze_table",
+    "committed_groups",
+    "scan_segments",
 ]

@@ -1,0 +1,168 @@
+"""Pluggable fault injection for the durability layer.
+
+Every durability-critical IO site in the WAL and checkpoint code announces
+itself to a :class:`FaultInjector` before touching disk (``reach(site)``).
+A test arms the injector with a *crashpoint* — a named site plus a hit
+count — and the matching arrival raises :class:`InjectedCrash` instead of
+performing the IO.  From that moment the injector is **crashed**: every
+subsequent ``reach`` at *any* site raises too, freezing the on-disk state
+exactly as a real process death would, while the in-memory process (which
+a real crash would have destroyed anyway) is free to unwind.
+
+Two sites additionally simulate *torn writes*: instead of refusing the
+write outright, the injector hands back a strict prefix of the payload
+bytes, the caller makes that prefix durable, and only then does the crash
+fire — producing exactly the partially-persisted record a power loss in
+the middle of a ``write(2)`` leaves behind.  Recovery must detect these by
+checksum and truncate to the durable prefix.
+
+:data:`CRASHPOINTS` is the registry of every named site; the crash-fuzz
+campaign (:mod:`repro.verify.crash`) sweeps all of them.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+#: every named crashpoint in the durability layer, in rough pipeline order.
+#: ``torn: True`` sites persist a partial payload before crashing.
+CRASHPOINTS: tuple[dict, ...] = (
+    {"site": "wal.append.before", "torn": False,
+     "doc": "before a WAL record reaches the OS at all"},
+    {"site": "wal.append.torn", "torn": True,
+     "doc": "mid-record: a strict prefix of the record is durable"},
+    {"site": "wal.append.after", "torn": False,
+     "doc": "record handed to the OS, nothing fsynced yet"},
+    {"site": "wal.fsync.before", "torn": False,
+     "doc": "before the WAL fsync (commit record may be in OS cache only)"},
+    {"site": "wal.fsync.after", "torn": False,
+     "doc": "commit durable on disk, acknowledgement never sent"},
+    {"site": "wal.rotate", "torn": False,
+     "doc": "during checkpoint WAL rotation (new segment created)"},
+    {"site": "checkpoint.begin", "torn": False,
+     "doc": "checkpoint requested, no file written yet"},
+    {"site": "checkpoint.table.torn", "torn": True,
+     "doc": "mid table-file write inside the checkpoint temp dir"},
+    {"site": "checkpoint.tables", "torn": False,
+     "doc": "all table files written and renamed, manifest untouched"},
+    {"site": "checkpoint.manifest.tmp", "torn": False,
+     "doc": "new manifest written to its temp name, not yet swapped"},
+    {"site": "checkpoint.manifest", "torn": False,
+     "doc": "manifest atomically replaced, stale files not yet deleted"},
+    {"site": "checkpoint.gc", "torn": False,
+     "doc": "stale checkpoint files and WAL segments deleted (complete)"},
+)
+
+#: the site names alone, for sweeping
+CRASHPOINT_NAMES: tuple[str, ...] = tuple(p["site"] for p in CRASHPOINTS)
+
+#: sites that support torn-write simulation
+TORN_SITES: frozenset[str] = frozenset(
+    p["site"] for p in CRASHPOINTS if p["torn"]
+)
+
+
+class InjectedCrash(RuntimeError):
+    """A simulated process death at a named crashpoint.  Everything after
+    it must treat the on-disk state as final: the injector refuses all
+    further durability IO for the process's lifetime."""
+
+    def __init__(self, site: str):
+        super().__init__(f"injected crash at {site!r}")
+        self.site = site
+
+
+class FaultInjector:
+    """Arms one crashpoint and freezes the disk once it fires.
+
+    ``arm(site, hits=n)`` makes the ``n``-th arrival at ``site`` crash;
+    until then arrivals just count (``hits_seen``).  Thread-safe — the
+    durability layer calls ``reach`` from commit, checkpoint and rotation
+    paths concurrently.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        self._armed_site: "str | None" = None
+        self._remaining = 0
+        self.crashed = False
+        self.crash_site: "str | None" = None
+        #: arrivals per site (armed or not) — coverage accounting
+        self.hits_seen: dict[str, int] = {}
+
+    def __repr__(self) -> str:
+        state = f"crashed at {self.crash_site!r}" if self.crashed else (
+            f"armed {self._armed_site!r} in {self._remaining}"
+            if self._armed_site else "idle"
+        )
+        return f"FaultInjector({state})"
+
+    def arm(self, site: str, hits: int = 1) -> None:
+        """Crash on the ``hits``-th arrival at ``site`` (1 = next)."""
+        if site not in CRASHPOINT_NAMES:
+            raise ValueError(f"unknown crashpoint {site!r}")
+        if hits < 1:
+            raise ValueError("hits must be >= 1")
+        with self._lock:
+            self._armed_site = site
+            self._remaining = hits
+            self.crashed = False
+            self.crash_site = None
+
+    def reach(self, site: str) -> None:
+        """Announce arrival at a site; raises :class:`InjectedCrash` when
+        this arrival is the armed one — or always, once crashed."""
+        with self._lock:
+            self.hits_seen[site] = self.hits_seen.get(site, 0) + 1
+            if self.crashed:
+                raise InjectedCrash(self.crash_site or site)
+            if site == self._armed_site:
+                self._remaining -= 1
+                if self._remaining <= 0:
+                    self.crashed = True
+                    self.crash_site = site
+                    raise InjectedCrash(site)
+
+    def torn_prefix(self, site: str, data: bytes) -> "bytes | None":
+        """Like :meth:`reach`, but for torn-capable write sites: returns
+        ``None`` when the write should proceed whole, or a strict prefix
+        of ``data`` the caller must persist *before* re-raising the crash
+        (which the next ``reach``/``torn_prefix`` call will deliver —
+        callers raise :class:`InjectedCrash` themselves after persisting).
+        """
+        with self._lock:
+            self.hits_seen[site] = self.hits_seen.get(site, 0) + 1
+            if self.crashed:
+                raise InjectedCrash(self.crash_site or site)
+            if site != self._armed_site:
+                return None
+            self._remaining -= 1
+            if self._remaining > 0:
+                return None
+            self.crashed = True
+            self.crash_site = site
+            if len(data) <= 1:
+                return b""
+            return bytes(data[: self._rng.randint(1, len(data) - 1)])
+
+
+class _NoFaults:
+    """The default injector: free of charge, never crashes."""
+
+    crashed = False
+    crash_site = None
+
+    def reach(self, site: str) -> None:
+        pass
+
+    def torn_prefix(self, site: str, data: bytes) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NO_FAULTS"
+
+
+#: shared no-op injector used whenever none is supplied
+NO_FAULTS = _NoFaults()

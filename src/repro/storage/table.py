@@ -364,6 +364,51 @@ class Table:
     # ------------------------------------------------------------------
     # transaction support (see repro.storage.transaction)
     # ------------------------------------------------------------------
+    @property
+    def next_ordinal(self) -> int:
+        """The monotone rid allocator's next value — persisted by
+        checkpoints so restored tables never reuse a rid that a logged
+        (but not yet replayed) transaction already carries."""
+        return self._next_ordinal
+
+    def ensure_next_ordinal(self, floor: int) -> None:
+        """Advance the rid allocator to at least ``floor`` (never back).
+        WAL replay calls this with one past the highest replayed ordinal."""
+        with self._write_lock:
+            if floor > self._next_ordinal:
+                self._next_ordinal = floor
+
+    def restore_rows(
+        self, entries: "Iterable[tuple[int, Sequence[Any]]]", next_ordinal: int
+    ) -> int:
+        """Bulk-load ``(ordinal, values)`` pairs with their original rids
+        — the checkpoint-restore path.  Unlike :meth:`insert_many`, rids
+        come from the caller, and the allocator resumes at
+        ``next_ordinal`` (or past the highest restored rid if larger).
+        Only valid while the table is empty."""
+        materialized = [(ordinal, values) for ordinal, values in entries]
+        for __, values in materialized:
+            self.schema.validate_row(values)
+        with self._write_lock:
+            if len(self._version):
+                raise ValueError(
+                    f"restore_rows on non-empty table {self.name!r}"
+                )
+            restored = [
+                Row.base(values, self.name, ordinal)
+                for ordinal, values in materialized
+            ]
+            floor = max(
+                [next_ordinal] + [ordinal + 1 for ordinal, __ in materialized]
+            )
+            if floor > self._next_ordinal:
+                self._next_ordinal = floor
+            if restored:
+                for index in self._live_indexes.values():
+                    index.insert_many(restored)
+                self._publish(self._version._rows + tuple(restored))
+            return len(restored)
+
     def allocate_ordinals(self, count: int) -> int:
         """Reserve ``count`` rids from the monotone allocator; returns the
         first.  Transactions call this at *buffer* time so staged rows

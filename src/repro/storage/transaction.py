@@ -41,6 +41,7 @@ table's write lock, so autocommit DML and transactions interleave safely.
 
 from __future__ import annotations
 
+import random
 import threading
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
@@ -61,6 +62,22 @@ class SerializationError(TransactionError):
     """First-committer-wins conflict: another transaction committed a
     write to a row this transaction also wrote.  The transaction is
     aborted; the client may retry it from ``BEGIN``."""
+
+
+def retry_backoff(
+    attempt: int,
+    backoff: float,
+    max_backoff: float = 0.5,
+    rng: "random.Random | None" = None,
+) -> float:
+    """The delay before retry ``attempt`` (0-based) of a serialization
+    conflict: exponential in the attempt, capped at ``max_backoff``, with
+    uniform jitter in (0.5, 1.0]× so colliding retriers decorrelate.
+    Shared by every ``run_transaction`` surface (embedded, in-process
+    client, remote session)."""
+    base = min(backoff * (2**attempt), max_backoff)
+    roll = rng.random() if rng is not None else random.random()
+    return base * (0.5 + 0.5 * roll)
 
 
 class _WriteSet:
@@ -192,6 +209,16 @@ class Transaction:
         self.snapshot = snapshot
         self._write_sets: dict[str, _WriteSet] = {}
         self._lock = threading.RLock()
+        #: replay ops for the WAL, accumulated as writes buffer and
+        #: written *at commit, under the manager lock* — never earlier.
+        #: Logging op-by-op as statements execute would let a checkpoint's
+        #: WAL rotation land mid-transaction, splitting one commit group
+        #: across segments; the checkpoint (which only contains commits
+        #: from *before* its rotation) would then be paired with a tail
+        #: holding the commit record but not all of its ops.  Group
+        #: logging under the same lock rotation takes makes each segment
+        #: boundary a whole-transaction boundary.
+        self._wal_ops: list[tuple[str, str, list]] = []
         #: statement-level log: queries with observed rows, buffered DML
         self.events: list[dict[str, Any]] = []
 
@@ -258,10 +285,19 @@ class Transaction:
         with self._lock:
             write_set = self._write_set(table)
             base = table.allocate_ordinals(len(materialized))
-            write_set.staged.extend(
+            staged = [
                 Row.base(values, table.name, base + i)
                 for i, values in enumerate(materialized)
-            )
+            ]
+            if self._manager.wal is not None:
+                self._wal_ops.append(
+                    (
+                        "insert",
+                        table.name,
+                        [(row.rid[0][1], list(row.values)) for row in staged],
+                    )
+                )
+            write_set.staged.extend(staged)
             write_set.mutations += 1
             self.events.append(
                 {"op": "insert", "table": table.name, "rows": materialized}
@@ -299,6 +335,17 @@ class Transaction:
             if matched:
                 staged_rids = {row.rid for row in write_set.staged}
                 doomed = {row.rid for row in matched}
+                if self._manager.wal is not None:
+                    # the *full* matched set, own staged rows included —
+                    # replay re-derives the unstaging below, so it must
+                    # see the same delete the buffer saw
+                    self._wal_ops.append(
+                        (
+                            "delete",
+                            table.name,
+                            sorted(rid[0][1] for rid in doomed),
+                        )
+                    )
                 # deleting an own staged row just unstages it
                 write_set.staged = [
                     row for row in write_set.staged if row.rid not in doomed
@@ -358,6 +405,12 @@ class TransactionManager:
     ):
         self.catalog = catalog
         self.on_commit = on_commit
+        #: the attached :class:`~repro.storage.wal.WriteAheadLog`, or None.
+        #: When set, a writing transaction's commit record is appended and
+        #: fsynced *before* publication — the durability point: an
+        #: acknowledged commit survives any crash after it, and a crash
+        #: before it leaves no trace recovery would apply.
+        self.wal: Any = None
         self._lock = threading.Lock()
         self._clock = 0
         self._next_txn_id = 1
@@ -411,6 +464,21 @@ class TransactionManager:
         with self._lock:
             return DatabaseSnapshot(self.catalog)
 
+    def exclusive(self) -> threading.Lock:
+        """The manager lock, for callers that must serialize with begins
+        and commit publication — the checkpoint path holds it across
+        {capture table versions, rotate the WAL} so the snapshot contains
+        exactly the commits of the pre-rotation segments."""
+        return self._lock
+
+    def ensure_txn_id(self, floor: int) -> None:
+        """Advance the transaction-id allocator to at least ``floor`` —
+        recovery calls this so post-crash transactions never reuse an id
+        that appears in the replayed log."""
+        with self._lock:
+            if floor > self._next_txn_id:
+                self._next_txn_id = floor
+
     def begin(self, session: "str | None" = None) -> Transaction:
         """Start a transaction: bump the clock, capture the snapshot, all
         atomically with respect to commits."""
@@ -458,6 +526,26 @@ class TransactionManager:
                     "validation (" + "; ".join(conflicts) + "); retry from BEGIN"
                 )
 
+            # The durability point: the whole commit group — begin, every
+            # buffered op, then the commit record — is written here, under
+            # the manager lock, and the commit record is fsynced before
+            # anything publishes.  Writing the group at commit (rather
+            # than op-by-op as statements ran) means a checkpoint's WAL
+            # rotation, which takes this same lock, can never split one
+            # group across segments.  If this raises (injected crash, disk
+            # failure) the transaction stays unpublished in memory —
+            # whether it survives recovery depends on whether the commit
+            # record made it down, which is exactly a real crash's
+            # ambiguity.
+            if self.wal is not None and txn._wal_ops:
+                self.wal.log_begin(txn.txn_id)
+                for kind, name, payload in txn._wal_ops:
+                    if kind == "insert":
+                        self.wal.log_insert(txn.txn_id, name, payload)
+                    else:
+                        self.wal.log_delete(txn.txn_id, name, payload)
+                self.wal.log_commit(txn.txn_id)
+
             for write_set in dirty:
                 write_set.table.apply_commit(
                     write_set.deleted, write_set.staged
@@ -474,6 +562,8 @@ class TransactionManager:
             if txn.status != ACTIVE:
                 return
             self._finish(txn, ROLLED_BACK)
+            # Nothing to undo in the log: a transaction's records are only
+            # written at commit, so a rolled-back one never touched it.
 
     def _finish(self, txn: Transaction, status: str) -> int:
         """Stamp the end of a transaction (manager lock held)."""

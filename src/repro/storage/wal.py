@@ -1,0 +1,347 @@
+"""The append-only write-ahead log.
+
+One WAL *record* is a length-prefixed, CRC-checksummed JSON payload::
+
+    +----------------+----------------+------------------------+
+    | length (u32 LE)| crc32 (u32 LE) | payload (UTF-8 JSON)   |
+    +----------------+----------------+------------------------+
+
+Payloads are transaction lifecycle events, tagged ``t``:
+
+* ``{"t": "begin", "txn": id}`` — opens a transaction's group (read-only
+  and rolled-back transactions never touch the log: the engine writes a
+  writing transaction's whole group — begin, ops, commit — at commit);
+* ``{"t": "insert", "txn": id, "table": name, "rows": [[ordinal,
+  [values…]], …]}`` — buffered inserts with their pre-allocated rids;
+* ``{"t": "delete", "txn": id, "table": name, "rids": [ordinal, …]}`` —
+  rids the transaction deletes (matched against its own read view);
+* ``{"t": "commit", "txn": id}`` — the durability point: once this record
+  is on disk the transaction **must** survive recovery, so the engine
+  persists it *before* publishing the commit in memory;
+* ``{"t": "rollback", "txn": id}`` — the group is void (recovery discards
+  uncommitted groups anyway; the record exists so the log reads cleanly).
+
+The log lives in segment files ``wal.<epoch>.log``.  A checkpoint rotates
+to a fresh segment (under the transaction-manager lock, so the checkpoint
+snapshot contains exactly the commits of earlier segments) and stamps the
+new epoch into the manifest; recovery replays every segment at or past the
+manifest's epoch.  Segments older than the manifest epoch are garbage —
+but harmless if a crash preserved them, since replay never reads them.
+
+**Torn tails.**  A crash mid-append leaves a record whose length prefix,
+payload bytes or checksum is incomplete.  :func:`scan_segments` detects
+this (short read or CRC mismatch), yields only the durable prefix, and —
+in the *last* segment only — truncates the file back to that prefix so
+later appends start from a clean boundary.  A corrupt record *before* the
+tail of the final segment is not a torn write but real corruption, and
+raises :class:`WALError` instead of silently dropping committed data.
+
+``fsync`` discipline: ``"commit"`` (default) fsyncs on commit records
+only, ``"always"`` on every append, ``"never"`` leaves flushing to the OS
+(durable against process crashes, not power loss).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from .faults import NO_FAULTS, InjectedCrash
+
+_HEADER = struct.Struct("<II")
+#: sanity bound on one record; a longer length prefix is corruption
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+FSYNC_MODES = ("commit", "always", "never")
+
+SEGMENT_PREFIX = "wal."
+SEGMENT_SUFFIX = ".log"
+
+
+class WALError(Exception):
+    """Unusable log state: corruption before the tail, bad segment names,
+    unknown fsync modes."""
+
+
+def segment_path(directory: "str | Path", epoch: int) -> Path:
+    return Path(directory) / f"{SEGMENT_PREFIX}{epoch:08d}{SEGMENT_SUFFIX}"
+
+
+def list_segments(directory: "str | Path") -> list[tuple[int, Path]]:
+    """All WAL segments in a directory as sorted ``(epoch, path)`` pairs."""
+    out = []
+    directory = Path(directory)
+    if not directory.is_dir():
+        return out
+    for path in directory.iterdir():
+        name = path.name
+        if not (name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)):
+            continue
+        middle = name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)]
+        try:
+            epoch = int(middle)
+        except ValueError:
+            raise WALError(f"unrecognized WAL segment name: {name!r}")
+        out.append((epoch, path))
+    out.sort()
+    return out
+
+
+def encode_record(payload: dict) -> bytes:
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(data), zlib.crc32(data)) + data
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make a directory entry (new/renamed file) itself durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # platforms without directory fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def iter_records(path: Path) -> Iterator[tuple[int, dict]]:
+    """Yield ``(offset, payload)`` for every *whole, valid* record; stops
+    at the first torn or corrupt one.  Use :func:`scan_segments` for the
+    policy of when stopping is acceptable."""
+    with open(path, "rb") as handle:
+        offset = 0
+        while True:
+            header = handle.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                return
+            length, crc = _HEADER.unpack(header)
+            if length > MAX_RECORD_BYTES:
+                return
+            data = handle.read(length)
+            if len(data) < length or zlib.crc32(data) != crc:
+                return
+            try:
+                payload = json.loads(data.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return
+            yield offset, payload
+            offset += _HEADER.size + length
+
+
+def _durable_prefix(path: Path) -> int:
+    """Byte length of the longest valid record prefix of a segment."""
+    end = 0
+    for offset, payload in iter_records(path):
+        end = offset + len(encode_record(payload))
+    return end
+
+
+def scan_segments(
+    directory: "str | Path",
+    from_epoch: int = 0,
+    truncate: bool = True,
+) -> list[dict]:
+    """All valid records of every segment with epoch >= ``from_epoch``.
+
+    A torn/corrupt tail is legal only in the *last* segment (a crash can
+    only have interrupted the newest appends); there it is truncated away
+    (with ``truncate=True``) so the durable prefix becomes the whole file.
+    Anywhere else a short segment raises :class:`WALError`.
+    """
+    segments = [s for s in list_segments(directory) if s[0] >= from_epoch]
+    records: list[dict] = []
+    for position, (epoch, path) in enumerate(segments):
+        durable = _durable_prefix(path)
+        size = path.stat().st_size
+        if durable < size:
+            if position != len(segments) - 1:
+                raise WALError(
+                    f"corrupt record mid-log in {path.name} (not the final "
+                    f"segment): durable prefix {durable} of {size} bytes"
+                )
+            if truncate:
+                with open(path, "rb+") as handle:
+                    handle.truncate(durable)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        for offset, payload in iter_records(path):
+            if offset >= durable:
+                break
+            records.append(payload)
+    return records
+
+
+def committed_groups(records: Iterable[dict]) -> list[dict]:
+    """Fold a record stream into committed transaction groups.
+
+    Returns ``[{"txn": id, "ops": [record, …]}, …]`` in commit-record
+    order — exactly the publication order of the original run.  Rolled-back
+    groups and groups with no commit record (in flight at the crash) are
+    discarded: *no partial transaction survives recovery*.
+    """
+    open_groups: dict[int, list[dict]] = {}
+    committed: list[dict] = []
+    for record in records:
+        kind = record.get("t")
+        txn = record.get("txn")
+        if kind == "begin":
+            open_groups[txn] = []
+        elif kind in ("insert", "delete"):
+            open_groups.setdefault(txn, []).append(record)
+        elif kind == "commit":
+            committed.append({"txn": txn, "ops": open_groups.pop(txn, [])})
+        elif kind == "rollback":
+            open_groups.pop(txn, None)
+        else:
+            raise WALError(f"unknown WAL record type: {record!r}")
+    return committed
+
+
+class WriteAheadLog:
+    """Appender over the segment files of one database directory.
+
+    Thread-safe: appends serialize on the internal lock.  The engine
+    additionally writes each transaction's whole group (begin, ops,
+    commit) under the transaction-manager lock — the same lock rotation
+    takes — so one group never straddles a segment boundary and a
+    checkpoint's segments always hold whole transactions.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        epoch: "int | None" = None,
+        fsync: str = "commit",
+        injector: Any = NO_FAULTS,
+    ):
+        if fsync not in FSYNC_MODES:
+            raise WALError(
+                f"unknown fsync mode {fsync!r}; expected one of {FSYNC_MODES}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self._injector = injector
+        self._lock = threading.Lock()
+        if epoch is None:
+            existing = list_segments(self.directory)
+            epoch = existing[-1][0] if existing else 1
+        self.epoch = epoch
+        self._handle = open(segment_path(self.directory, epoch), "ab")
+        self.records_appended = 0
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    @property
+    def lsn(self) -> tuple[int, int]:
+        """The next append position as ``(epoch, byte offset)``."""
+        return (self.epoch, self._handle.tell())
+
+    def append(self, payload: dict, sync: bool = False) -> tuple[int, int]:
+        """Append one record; returns its LSN.  ``sync=True`` (commit
+        records) forces the fsync under the ``"commit"`` discipline."""
+        inj = self._injector
+        with self._lock:
+            inj.reach("wal.append.before")
+            encoded = encode_record(payload)
+            prefix = inj.torn_prefix("wal.append.torn", encoded)
+            if prefix is not None:
+                # The crash interrupted write(2): persist the torn prefix
+                # exactly as the disk would have, then die.
+                self._handle.write(prefix)
+                self._handle.flush()
+                raise InjectedCrash("wal.append.torn")
+            lsn = (self.epoch, self._handle.tell())
+            self._handle.write(encoded)
+            inj.reach("wal.append.after")
+            self._handle.flush()
+            if self.fsync == "always" or (sync and self.fsync == "commit"):
+                inj.reach("wal.fsync.before")
+                os.fsync(self._handle.fileno())
+                inj.reach("wal.fsync.after")
+            self.records_appended += 1
+            return lsn
+
+    # -- the record vocabulary ---------------------------------------------
+    def log_begin(self, txn_id: int) -> None:
+        self.append({"t": "begin", "txn": txn_id})
+
+    def log_insert(
+        self, txn_id: int, table: str, rows: "Sequence[tuple[int, Sequence[Any]]]"
+    ) -> None:
+        self.append(
+            {
+                "t": "insert",
+                "txn": txn_id,
+                "table": table,
+                "rows": [[ordinal, list(values)] for ordinal, values in rows],
+            }
+        )
+
+    def log_delete(self, txn_id: int, table: str, ordinals: Sequence[int]) -> None:
+        self.append(
+            {"t": "delete", "txn": txn_id, "table": table, "rids": list(ordinals)}
+        )
+
+    def log_commit(self, txn_id: int) -> None:
+        """The durability point — fsynced under the default discipline."""
+        self.append({"t": "commit", "txn": txn_id}, sync=True)
+
+    def log_rollback(self, txn_id: int) -> None:
+        self.append({"t": "rollback", "txn": txn_id})
+
+    # ------------------------------------------------------------------
+    # rotation (checkpointing) & lifecycle
+    # ------------------------------------------------------------------
+    def rotate(self) -> int:
+        """Switch appends to a fresh segment; returns its epoch.
+
+        The old segment stays on disk until the checkpoint's manifest swap
+        succeeds and garbage collection removes it — recovery from a crash
+        mid-checkpoint replays old + new segments in order.
+        """
+        with self._lock:
+            self._injector.reach("wal.rotate")
+            new_epoch = self.epoch + 1
+            handle = open(segment_path(self.directory, new_epoch), "ab")
+            handle.flush()
+            os.fsync(handle.fileno())
+            _fsync_directory(self.directory)
+            old = self._handle
+            self._handle = handle
+            self.epoch = new_epoch
+            old.flush()
+            os.fsync(old.fileno())
+            old.close()
+            return new_epoch
+
+    def remove_segments_before(self, epoch: int) -> int:
+        """Delete segments older than ``epoch`` (post-checkpoint GC);
+        returns how many were removed."""
+        removed = 0
+        for seg_epoch, path in list_segments(self.directory):
+            if seg_epoch < epoch:
+                self._injector.reach("checkpoint.gc")
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                if self.fsync != "never":
+                    os.fsync(self._handle.fileno())
+                self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -19,11 +19,18 @@ inside the engine.
 * :mod:`repro.verify.fuzz` — the randomized multi-session fuzz driver
   that hammers a served database with concurrent read/write transactions
   and feeds the recorded history to the checker (the CI isolation job).
+* :mod:`repro.verify.crash` — the crash-recovery fuzz campaign: injected
+  crashes at every named durability crashpoint plus a torn-tail WAL
+  corpus, each followed by cold recovery and black-box verification that
+  no acknowledged commit is lost, no partial write survives, and the
+  recovered database still certifies under the SI checker (the CI
+  durability job).
 """
 
 from .checker import Anomaly, CheckReport, check_snapshot_isolation
 from .history import History, Op, TransactionRecord, interpret_kv
 from .fuzz import FuzzConfig, FuzzResult, run_fuzz
+from .crash import CrashFuzzConfig, CrashFuzzResult, CrashTrial, run_crash_campaign
 
 __all__ = [
     "Anomaly",
@@ -36,4 +43,8 @@ __all__ = [
     "FuzzConfig",
     "FuzzResult",
     "run_fuzz",
+    "CrashFuzzConfig",
+    "CrashFuzzResult",
+    "CrashTrial",
+    "run_crash_campaign",
 ]

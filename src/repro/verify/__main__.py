@@ -1,13 +1,23 @@
-"""The isolation fuzz campaign as a command: ``python -m repro.verify``.
+"""The verification campaigns as a command: ``python -m repro.verify``.
 
-Runs the randomized multi-session transaction fuzz (CI's ``isolation``
-job), prints the checker's verdict, and exits nonzero if the recorded
-history shows *any* anomaly.  The seed is logged on every run; replay a
-failure with ``REPRO_FUZZ_SEED=<seed>`` (or ``--seed``), which
-regenerates the same per-transaction intents (thread interleaving stays
+Two modes share one entry point:
+
+* **isolation** (default) — the randomized multi-session transaction
+  fuzz (CI's ``isolation`` job): hammer a served database, record the
+  history, run the black-box SI checker, exit nonzero on any anomaly.
+* **durability** (``--crash``) — the crash-recovery fuzz campaign (CI's
+  ``durability`` job): inject crashes at every named crashpoint plus a
+  torn-tail WAL corpus, recover cold each time, and exit nonzero if any
+  acknowledged commit is lost, any partial write survives, or the
+  recovered database fails the SI checker.
+
+The seed is logged on every run; replay a failure with
+``REPRO_FUZZ_SEED=<seed>`` (or ``--seed``), which regenerates the same
+per-transaction intents and crashpoint arming (thread interleaving stays
 nondeterministic, so rerun a few times when chasing a race).
 
-    python -m repro.verify                       # fresh seed, CI defaults
+    python -m repro.verify                       # isolation fuzz, CI defaults
+    python -m repro.verify --crash --crashes 200 # the durability gate
     REPRO_FUZZ_SEED=1234 python -m repro.verify  # replay a logged seed
     python -m repro.verify --transactions 1000 --sessions 8 --json out.json
 """
@@ -19,6 +29,7 @@ import os
 import sys
 import time
 
+from .crash import CrashFuzzConfig, run_crash_campaign
 from .fuzz import FuzzConfig, run_fuzz
 
 
@@ -35,11 +46,47 @@ def pick_seed(args_seed: "int | None") -> int:
     return int(time.time_ns() % 2**31)
 
 
+def _crash_main(args) -> int:
+    config = CrashFuzzConfig(
+        crashes=args.crashes,
+        torn_tails=args.torn_tails,
+        sessions=args.sessions,
+        keys=args.keys,
+        seed=pick_seed(args.seed),
+        time_budget=args.time_budget,
+        work_dir=args.work_dir,
+    )
+    print(
+        f"crash-recovery fuzz: seed={config.seed} (replay with "
+        f"REPRO_FUZZ_SEED={config.seed})",
+        flush=True,
+    )
+    started = time.monotonic()
+    result = run_crash_campaign(config)
+    elapsed = time.monotonic() - started
+    print(result.render())
+    print(f"elapsed: {elapsed:.1f}s")
+    if not result.certified:
+        print(
+            f"FAIL: {len(result.failures)} recovery failure(s); replay with "
+            f"REPRO_FUZZ_SEED={config.seed}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"certified: {result.stats['crashes_fired']} injected crashes across "
+        f"{result.stats['sites_covered']} sites + "
+        f"{result.stats['torn_tails']} torn tails, every recovery intact"
+    )
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     defaults = FuzzConfig()
+    crash_defaults = CrashFuzzConfig()
     parser = argparse.ArgumentParser(
         prog="python -m repro.verify",
-        description="randomized black-box snapshot-isolation fuzz",
+        description="randomized black-box isolation and durability fuzz",
     )
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--sessions", type=int, default=defaults.sessions)
@@ -57,7 +104,33 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--json", metavar="PATH", help="also dump the recorded history as JSON"
     )
+    parser.add_argument(
+        "--crash",
+        action="store_true",
+        help="run the crash-recovery durability campaign instead of the "
+        "isolation fuzz",
+    )
+    parser.add_argument(
+        "--crashes",
+        type=int,
+        default=crash_defaults.crashes,
+        help="crash-injection trials (round-robin over every crashpoint)",
+    )
+    parser.add_argument(
+        "--torn-tails",
+        type=int,
+        default=crash_defaults.torn_tails,
+        help="torn-tail WAL corpus trials",
+    )
+    parser.add_argument(
+        "--work-dir",
+        default=None,
+        help="parent directory for crash-trial state (default: system temp)",
+    )
     args = parser.parse_args(argv)
+
+    if args.crash:
+        return _crash_main(args)
 
     config = FuzzConfig(
         sessions=args.sessions,

@@ -1,0 +1,536 @@
+"""The randomized crash-recovery fuzz campaign.
+
+:func:`run_crash_campaign` certifies the durability subsystem the same
+way :mod:`repro.verify.fuzz` certifies isolation — black-box, from the
+outside.  Each *crash trial*:
+
+1. builds a WAL-durable register database (``kv(key, val)``) in a fresh
+   directory, serves it, and hammers it with concurrent read-modify-write
+   transactions while a background thread checkpoints continuously;
+2. arms the :class:`~repro.storage.faults.FaultInjector` at one named
+   crashpoint (the campaign sweeps all of
+   :data:`~repro.storage.faults.CRASHPOINT_NAMES` round-robin, torn-write
+   sites included) so the "disk" freezes mid-workload exactly as a
+   process death would;
+3. abandons the wreck and recovers the directory with
+   :func:`~repro.engine.persistence.load_database`, then checks:
+
+   * **no lost acks** — every commit acknowledged to a client is in the
+     recovered state;
+   * **no partial writes** — the recovered state equals the acked
+     commits applied in commit order, plus *at most one* uncertain
+     commit (a ``commit()`` that raised mid-crash: its record may or may
+     not have become durable before the crash — both outcomes are legal,
+     a half-applied one is not);
+   * **isolation survives recovery** — the pre-crash recorded history
+     and a fresh post-recovery workload on the recovered database both
+     pass :func:`~repro.verify.checker.check_snapshot_isolation`.
+
+The campaign also runs a *torn-tail corpus*: sequential commits, then
+the WAL's tail is truncated at a random byte offset (or a tail byte is
+flipped), and recovery must land on exactly a commit-order prefix —
+never garbage, never a partially applied transaction.
+
+Reproducibility: the seed determines each trial's crashpoint arming,
+intents and tail mutation (thread interleaving stays nondeterministic);
+``REPRO_FUZZ_SEED`` replays a logged campaign in CI.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..storage.faults import CRASHPOINT_NAMES, FaultInjector, InjectedCrash
+from ..storage.transaction import SerializationError
+from .checker import check_snapshot_isolation
+from .fuzz import READ_SQL
+from .history import interpret_kv
+
+#: crashpoints on the per-commit WAL path — reached constantly, so a
+#: trial can arm a deeper hit count and still fire quickly
+_WAL_SITES = frozenset(
+    s for s in CRASHPOINT_NAMES if s.startswith("wal.append") or s.startswith("wal.fsync")
+)
+
+
+@dataclass(frozen=True)
+class CrashFuzzConfig:
+    """Knobs for one crash-recovery campaign (defaults suit a quick local
+    run; CI raises ``crashes`` to meet its coverage gate)."""
+
+    #: crash-injection trials (the crashpoint sweep is round-robin, so
+    #: ``crashes >= len(CRASHPOINT_NAMES)`` covers every named site)
+    crashes: int = 12
+    #: torn-tail corpus trials (truncate / corrupt the WAL tail, recover)
+    torn_tails: int = 6
+    sessions: int = 3
+    keys: int = 8
+    seed: int = 0
+    #: keys touched per transaction, drawn uniformly from [1, max_ops]
+    max_ops: int = 3
+    #: per-trial cap on issued transactions (a trial usually crashes long
+    #: before; hitting the cap makes it a clean-abandon durability check)
+    transactions: int = 400
+    #: seconds between background checkpoint attempts during the workload
+    checkpoint_interval: float = 0.005
+    #: WAL fsync discipline under test
+    fsync: str = "commit"
+    #: post-recovery isolation workload size (transactions)
+    post_transactions: int = 24
+    #: wall-clock bound for the whole campaign; remaining trials are
+    #: skipped (and counted) once it is exceeded
+    time_budget: "float | None" = None
+    #: parent directory for trial state (None = the system temp dir)
+    work_dir: "str | None" = None
+
+
+@dataclass
+class CrashTrial:
+    """One crash-inject/recover cycle's outcome."""
+
+    trial: int
+    site: str
+    hits: int
+    crashed: bool
+    crash_site: "str | None"
+    acked: int
+    uncertain: int
+    replayed: int
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class CrashFuzzResult:
+    """A campaign's trial outcomes and aggregate verdict."""
+
+    config: CrashFuzzConfig
+    trials: list[CrashTrial] = field(default_factory=list)
+    torn_failures: list[str] = field(default_factory=list)
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def failures(self) -> list[str]:
+        out = [f for t in self.trials for f in t.failures]
+        out.extend(self.torn_failures)
+        return out
+
+    @property
+    def certified(self) -> bool:
+        """Every trial recovered with nothing lost, nothing partial, and
+        snapshot isolation intact before and after recovery."""
+        return not self.failures
+
+    def render(self) -> str:
+        fired = [t for t in self.trials if t.crashed]
+        sites = sorted({t.crash_site for t in fired if t.crash_site})
+        lines = [
+            f"crash fuzz seed={self.config.seed}: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.stats.items())),
+            f"  crashed at {len(sites)} distinct sites: {', '.join(sites) or '-'}",
+        ]
+        for failure in self.failures:
+            lines.append(f"  FAIL: {failure}")
+        if self.certified:
+            lines.append(
+                f"  every recovery intact: {self.stats.get('acked_total', 0)} acked "
+                "commits durable, zero partial writes, SI certified pre and post"
+            )
+        return "\n".join(lines)
+
+
+def _intent(config: CrashFuzzConfig, trial: int, serial: int) -> list[tuple[str, int]]:
+    """The deterministic op list for one workload transaction: mostly
+    read-modify-writes (durability needs writers), each write storing the
+    writing transaction's unique id."""
+    rng = random.Random((config.seed * 2_097_593) ^ (trial * 8191) ^ serial)
+    kind = "r" if rng.random() < 0.25 else "rmw"
+    return [
+        (kind, rng.randrange(config.keys))
+        for __ in range(rng.randint(1, config.max_ops))
+    ]
+
+
+def _build_durable_database(directory: str, config: CrashFuzzConfig, injector):
+    """A WAL-durable register database, checkpointed so the workload
+    starts from a clean segment boundary.  The injector is attached but
+    must still be unarmed here — setup IO is not under test."""
+    from ..engine.database import Database
+    from ..storage.schema import DataType
+
+    db = Database(
+        persist_dir=directory,
+        durability="wal",
+        fsync=config.fsync,
+        fault_injector=injector,
+    )
+    db.create_table("kv", [("key", DataType.INT), ("val", DataType.INT)])
+    db.insert("kv", [(key, 0) for key in range(config.keys)])
+    db.create_column_index("kv", "key")
+    db.analyze()
+    db.checkpoint()
+    return db
+
+
+def _abandon(db) -> None:
+    """Walk away from a crashed database exactly like a dead process: no
+    flush, no checkpoint — just release the WAL file handle."""
+    try:
+        if db.wal is not None:
+            db.wal.close()
+    except Exception:
+        pass
+
+
+def _read_state(db) -> dict[int, int]:
+    """The register table's contents straight off the storage layer."""
+    table = db.catalog.table("kv")
+    return {row.values[0]: row.values[1] for row in table.rows()}
+
+
+def _arm_plan(site: str, rng: random.Random) -> int:
+    """How many arrivals at ``site`` before the crash fires.  WAL-path
+    sites are hit on every commit, so deeper counts still fire fast;
+    checkpoint-path sites are hit once per checkpoint pass."""
+    return rng.randint(1, 4) if site in _WAL_SITES else rng.randint(1, 2)
+
+
+def _run_crash_trial(config: CrashFuzzConfig, trial: int) -> CrashTrial:
+    from ..engine.persistence import load_database
+
+    rng = random.Random((config.seed * 2_097_593) ^ trial)
+    site = CRASHPOINT_NAMES[trial % len(CRASHPOINT_NAMES)]
+    hits = _arm_plan(site, rng)
+    directory = tempfile.mkdtemp(prefix=f"crashfuzz-{trial}-", dir=config.work_dir)
+    outcome = CrashTrial(
+        trial=trial, site=site, hits=hits,
+        crashed=False, crash_site=None, acked=0, uncertain=0, replayed=0,
+    )
+    try:
+        injector = FaultInjector(seed=rng.randrange(2**31))
+        db = _build_durable_database(directory, config, injector)
+        initial = {key: 0 for key in range(config.keys)}
+        injector.arm(site, hits=hits)
+
+        acked: list[dict] = []
+        uncertain: list[dict] = []
+        lock = threading.Lock()
+        stop = threading.Event()
+        serial_box = [0]
+        errors: list[BaseException] = []
+
+        def next_serial() -> "int | None":
+            with lock:
+                if serial_box[0] >= config.transactions:
+                    return None
+                serial_box[0] += 1
+                return serial_box[0] - 1
+
+        def checkpointer() -> None:
+            while not stop.wait(config.checkpoint_interval):
+                try:
+                    db.checkpoint()
+                except InjectedCrash:
+                    stop.set()
+                    return
+                except BaseException as error:  # a real bug, not the injector
+                    errors.append(error)
+                    stop.set()
+                    return
+
+        def worker() -> None:
+            client = server.session()
+            try:
+                while not stop.is_set():
+                    serial = next_serial()
+                    if serial is None:
+                        return
+                    intent = _intent(config, trial, serial)
+                    txn = client.begin()
+                    writes: dict[int, int] = {}
+                    committing = False
+                    try:
+                        for kind, key in intent:
+                            client.execute(READ_SQL, params={"k": key})
+                            if kind == "rmw":
+                                client.delete("kv", column="key", equals=key)
+                                client.insert("kv", [(key, txn.txn_id)])
+                                writes[key] = txn.txn_id
+                        committing = True
+                        seq = client.commit()
+                    except SerializationError:
+                        continue  # first-committer-wins loss; move on
+                    except InjectedCrash:
+                        stop.set()
+                        if committing:
+                            # The ack never arrived: the commit record may
+                            # or may not be durable.  Both are legal.
+                            with lock:
+                                uncertain.append(
+                                    {"txn": txn.txn_id, "writes": dict(writes)}
+                                )
+                        else:
+                            try:
+                                client.rollback()
+                            except Exception:
+                                pass
+                        return
+                    except RuntimeError:
+                        return  # server stopping/draining underneath us
+                    else:
+                        with lock:
+                            acked.append(
+                                {"txn": txn.txn_id, "seq": seq, "writes": writes}
+                            )
+            except BaseException as error:
+                errors.append(error)
+                stop.set()
+            finally:
+                try:
+                    client.close()
+                except Exception:
+                    pass
+
+        with db.serve(workers=config.sessions, record_history=True) as server:
+            threads = [
+                threading.Thread(target=worker, name=f"crash-{trial}-{i}", daemon=True)
+                for i in range(config.sessions)
+            ]
+            ckpt = threading.Thread(
+                target=checkpointer, name=f"crash-{trial}-ckpt", daemon=True
+            )
+            for thread in threads:
+                thread.start()
+            ckpt.start()
+            for thread in threads:
+                thread.join()
+            stop.set()
+            ckpt.join()
+            recorded = server.history(initial=initial)
+        if errors:
+            raise errors[0]
+        _abandon(db)
+
+        outcome.crashed = injector.crashed
+        outcome.crash_site = injector.crash_site
+        outcome.acked = len(acked)
+        outcome.uncertain = len(uncertain)
+
+        # The pre-crash history must already certify (same engine, same
+        # checker as the isolation fuzz).
+        pre_report = check_snapshot_isolation(interpret_kv(recorded))
+        if not pre_report.ok:
+            outcome.failures.append(
+                f"trial {trial} ({site}): pre-crash history failed SI: "
+                + "; ".join(a.description for a in pre_report.anomalies[:3])
+            )
+
+        # Recover the directory cold, exactly like a restarted process.
+        recovered = load_database(directory)
+        outcome.replayed = (recovered.recovery_stats or {}).get("replayed", 0)
+        durable = _read_state(recovered)
+
+        # No lost acks, no partial writes: the durable state must be the
+        # acked commits applied in commit order — optionally plus exactly
+        # one uncertain commit, applied whole, on top.
+        expected = dict(initial)
+        for record in sorted(acked, key=lambda r: r["seq"]):
+            expected.update(record["writes"])
+        legal = [expected] + [
+            {**expected, **u["writes"]} for u in uncertain
+        ]
+        if durable not in legal:
+            lost = {
+                k: v for k, v in expected.items() if durable.get(k) != v
+            }
+            outcome.failures.append(
+                f"trial {trial} ({site}, hits={hits}, crashed at "
+                f"{injector.crash_site!r}): recovered state is not the acked "
+                f"commit sequence (+/- one uncertain commit); "
+                f"diverging keys vs acked: {sorted(lost.items())[:6]}"
+            )
+
+        # The recovered database must still serve isolated transactions.
+        post_report = _post_recovery_workload(config, trial, recovered, durable)
+        if post_report is not None and not post_report.ok:
+            outcome.failures.append(
+                f"trial {trial} ({site}): post-recovery history failed SI: "
+                + "; ".join(a.description for a in post_report.anomalies[:3])
+            )
+        recovered.close()
+    except InjectedCrash as crash:
+        outcome.failures.append(
+            f"trial {trial} ({site}): InjectedCrash at {crash.site!r} escaped "
+            "the workload — a durability path is missing its guard"
+        )
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    return outcome
+
+
+def _post_recovery_workload(config: CrashFuzzConfig, trial: int, db, durable):
+    """A short concurrent workload on the recovered database, recorded
+    and checked for SI — recovery must hand back a database that still
+    isolates, not just one with the right bytes."""
+    if config.post_transactions <= 0:
+        return None
+    lock = threading.Lock()
+    serial_box = [0]
+    errors: list[BaseException] = []
+
+    def worker() -> None:
+        client = server.session()
+        try:
+            while True:
+                with lock:
+                    if serial_box[0] >= config.post_transactions:
+                        return
+                    serial_box[0] += 1
+                    serial = serial_box[0] - 1
+                intent = _intent(config, trial + 100_003, serial)
+
+                def body(c) -> None:
+                    txn_id = c.session.transaction.txn_id
+                    for kind, key in intent:
+                        c.execute(READ_SQL, params={"k": key})
+                        if kind == "rmw":
+                            c.delete("kv", column="key", equals=key)
+                            c.insert("kv", [(key, txn_id)])
+
+                try:
+                    client.run_transaction(body, retries=8, backoff=0.001)
+                except SerializationError:
+                    pass  # retries exhausted under contention; fine here
+        except BaseException as error:
+            errors.append(error)
+        finally:
+            client.close()
+
+    with db.serve(workers=config.sessions, record_history=True) as server:
+        threads = [
+            threading.Thread(target=worker, name=f"post-{trial}-{i}", daemon=True)
+            for i in range(config.sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        recorded = server.history(initial=durable)
+    if errors:
+        raise errors[0]
+    return check_snapshot_isolation(interpret_kv(recorded))
+
+
+def _run_torn_tail_trial(config: CrashFuzzConfig, trial: int) -> "str | None":
+    """Commit sequentially, mutilate the WAL tail, recover: the result
+    must be exactly a commit-order prefix.  Returns a failure description
+    or None."""
+    from ..engine.persistence import load_database
+    from ..storage import wal as wal_mod
+
+    rng = random.Random((config.seed * 7_368_787) ^ trial)
+    directory = tempfile.mkdtemp(prefix=f"torntail-{trial}-", dir=config.work_dir)
+    try:
+        db = _build_durable_database(directory, config, None)
+        # Sequential committed transactions; prefix_states[i] is the legal
+        # recovered state if exactly the first i commits survive the tail.
+        state = {key: 0 for key in range(config.keys)}
+        prefix_states = [dict(state)]
+        for __ in range(rng.randint(3, 10)):
+            table = db.catalog.table("kv")
+            with db.begin() as txn:
+                for key in sorted({rng.randrange(config.keys) for __ in range(2)}):
+                    txn.delete_where(table, column="key", equals=key)
+                    txn.insert(table, [(key, txn.txn_id)])
+                    state[key] = txn.txn_id
+            prefix_states.append(dict(state))
+        _abandon(db)
+
+        # Mutilate the tail of the one live segment (setup checkpointed,
+        # so every commit above lives in the current epoch's file).
+        segments = wal_mod.list_segments(Path(directory))
+        __, tail = segments[-1]
+        size = tail.stat().st_size
+        if rng.random() < 0.5:
+            with open(tail, "r+b") as handle:
+                handle.truncate(rng.randrange(0, size))
+            mutation = "truncate"
+        else:
+            offset = rng.randrange(0, size)
+            with open(tail, "r+b") as handle:
+                handle.seek(offset)
+                byte = handle.read(1)
+                handle.seek(offset)
+                handle.write(bytes([byte[0] ^ 0xFF]))
+            mutation = f"byteflip@{offset}"
+
+        recovered = load_database(directory)
+        durable = _read_state(recovered)
+        recovered.close()
+        if durable not in prefix_states:
+            return (
+                f"torn-tail trial {trial} ({mutation}, {size}B segment): "
+                f"recovered state is not a commit-order prefix"
+            )
+        return None
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def run_crash_campaign(
+    config: "CrashFuzzConfig | None" = None, **overrides: Any
+) -> CrashFuzzResult:
+    """Run one crash-recovery campaign and return the verdict.
+
+    Sweeps every named crashpoint round-robin across ``config.crashes``
+    injected-crash trials, then runs the torn-tail corpus.  Fully seeded;
+    stops early (counting skips) past ``config.time_budget``.
+    """
+    if config is None:
+        config = CrashFuzzConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a CrashFuzzConfig or keyword overrides, not both")
+
+    deadline = (
+        time.monotonic() + config.time_budget
+        if config.time_budget is not None
+        else None
+    )
+    result = CrashFuzzResult(config=config)
+    skipped = 0
+    for trial in range(config.crashes):
+        if deadline is not None and time.monotonic() > deadline:
+            skipped += 1
+            continue
+        result.trials.append(_run_crash_trial(config, trial))
+    torn_run = 0
+    for trial in range(config.torn_tails):
+        if deadline is not None and time.monotonic() > deadline:
+            skipped += 1
+            continue
+        torn_run += 1
+        failure = _run_torn_tail_trial(config, trial)
+        if failure is not None:
+            result.torn_failures.append(failure)
+    fired = [t for t in result.trials if t.crashed]
+    result.stats = {
+        "trials": len(result.trials),
+        "crashes_fired": len(fired),
+        "sites_covered": len({t.crash_site for t in fired if t.crash_site}),
+        "acked_total": sum(t.acked for t in result.trials),
+        "uncertain_total": sum(t.uncertain for t in result.trials),
+        "replayed_total": sum(t.replayed for t in result.trials),
+        "torn_tails": torn_run,
+        "skipped_over_budget": skipped,
+    }
+    return result

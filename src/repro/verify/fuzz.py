@@ -20,8 +20,9 @@ verdict is sharp:
   from a history) has nothing to flag, and any anomaly at all is a bug.
 
 A serialization conflict (first-committer-wins loss) aborts the
-transaction; the driver retries it with the same intent up to
-``max_retries`` times, which is also the client retry-path test the
+transaction; the driver retries it with the same intent through the
+client's own ``run_transaction`` helper (jittered-backoff retry, up to
+``max_retries`` attempts), which is also the client retry-path test the
 acceptance criteria ask for.
 
 Reproducibility: the seed fully determines each transaction's intent
@@ -154,31 +155,35 @@ def run_fuzz(config: FuzzConfig | None = None, **overrides: Any) -> FuzzResult:
             serial_box[0] += 1
             return serial
 
-    def run_transaction(client, serial: int) -> None:
+    def run_one(client, serial: int) -> None:
         intent = _transaction_intent(config, serial)
-        for attempt in range(config.max_retries + 1):
-            txn = client.begin()
-            try:
-                for kind, key in intent:
-                    client.execute(READ_SQL, params={"k": key})
-                    if kind == "rmw":
-                        client.delete("kv", column="key", equals=key)
-                        client.insert("kv", [(key, txn.txn_id)])
-                client.commit()
-            except SerializationError:
-                with counters_lock:
-                    counters["conflicts"] += 1
-                continue  # the retry path: same intent, fresh transaction
-            except BaseException:
-                client.rollback()
-                raise
+        attempts = [0]
+
+        def body(c) -> None:
+            attempts[0] += 1
+            txn_id = c.session.transaction.txn_id
+            for kind, key in intent:
+                c.execute(READ_SQL, params={"k": key})
+                if kind == "rmw":
+                    c.delete("kv", column="key", equals=key)
+                    c.insert("kv", [(key, txn_id)])
+
+        try:
+            # The client's own retry helper: same intent, fresh
+            # transaction per attempt, jittered exponential backoff.
+            client.run_transaction(
+                body, retries=config.max_retries, backoff=0.001
+            )
+        except SerializationError:
             with counters_lock:
-                counters["committed"] += 1
-                for kind, __ in intent:
-                    counters["reads" if kind == "r" else "rmw"] += 1
+                counters["conflicts"] += attempts[0]
+                counters["retries_exhausted"] += 1
             return
         with counters_lock:
-            counters["retries_exhausted"] += 1
+            counters["conflicts"] += attempts[0] - 1
+            counters["committed"] += 1
+            for kind, __ in intent:
+                counters["reads" if kind == "r" else "rmw"] += 1
 
     def worker() -> None:
         client = server.session()
@@ -189,7 +194,7 @@ def run_fuzz(config: FuzzConfig | None = None, **overrides: Any) -> FuzzResult:
                     return
                 with counters_lock:
                     counters["attempted"] += 1
-                run_transaction(client, serial)
+                run_one(client, serial)
         except BaseException as error:  # surfaced after join
             errors.append(error)
         finally:

@@ -1,0 +1,49 @@
+"""The randomized crash-recovery campaign, scaled down for the tier-1
+suite (CI's ``durability`` job runs the full campaign via
+``python -m repro.verify --crash``)."""
+
+from __future__ import annotations
+
+from repro.storage.faults import CRASHPOINT_NAMES
+from repro.verify.crash import CrashFuzzConfig, run_crash_campaign
+
+
+class TestCrashCampaign:
+    def test_small_campaign_certifies(self):
+        # One trial per crashpoint plus a torn-tail corpus; every recovery
+        # must preserve exactly the acked commits (± the uncertain one).
+        result = run_crash_campaign(
+            crashes=len(CRASHPOINT_NAMES),
+            torn_tails=4,
+            sessions=2,
+            transactions=48,
+            keys=4,
+            seed=7,
+        )
+        assert result.certified, result.render()
+        assert result.stats["torn_tails"] == 4
+        assert result.stats["crashes_fired"] > 0
+        assert result.stats["acked_total"] > 0
+
+    def test_trials_round_robin_all_sites(self):
+        result = run_crash_campaign(
+            crashes=len(CRASHPOINT_NAMES),
+            torn_tails=0,
+            sessions=2,
+            transactions=48,
+            keys=4,
+            seed=3,
+        )
+        assert result.certified, result.render()
+        armed = {trial.site for trial in result.trials}
+        assert armed == set(CRASHPOINT_NAMES)
+
+    def test_render_mentions_the_seed(self):
+        result = run_crash_campaign(
+            crashes=2, torn_tails=1, sessions=2, transactions=24, seed=42
+        )
+        assert "seed=42" in result.render()
+
+    def test_config_defaults_cover_every_site(self):
+        # the default trial count sweeps the whole crashpoint registry
+        assert CrashFuzzConfig().crashes >= len(CRASHPOINT_NAMES)

@@ -1,0 +1,214 @@
+"""Engine-level durability: WAL-backed commits survive abrupt death and
+replay through ``load_database``; un-acknowledged work never survives.
+
+Abandoning a database here means closing only its WAL file handle —
+``db.close()`` would checkpoint and make everything durable, defeating
+the point.  That mirrors what a real crash leaves behind: whatever the
+log already holds, and nothing else.
+"""
+
+import pytest
+
+from repro.engine import Database, load_database
+from repro.storage import DataType, FaultInjector, InjectedCrash
+from repro.storage.wal import list_segments
+
+
+def make_db(tmp_path, **kwargs):
+    db = Database(persist_dir=tmp_path, durability="wal", **kwargs)
+    db.create_table("kv", [("key", DataType.INT), ("val", DataType.INT)])
+    return db
+
+
+def abandon(db):
+    """Simulate process death: drop the WAL handle, checkpoint nothing."""
+    if db.wal is not None:
+        db.wal.close()
+
+
+def state(db):
+    return {row.values[0]: row.values[1] for row in db.catalog.table("kv").rows()}
+
+
+def test_committed_transaction_survives_crash(tmp_path):
+    db = make_db(tmp_path)
+    with db.begin() as txn:
+        txn.insert(db.catalog.table("kv"), [(1, 10), (2, 20)])
+    with db.begin() as txn:
+        txn.delete_where(db.catalog.table("kv"), column="key", equals=1)
+        txn.insert(db.catalog.table("kv"), [(1, 11)])
+    abandon(db)
+
+    recovered = load_database(tmp_path)
+    assert state(recovered) == {1: 11, 2: 20}
+    assert recovered.recovery_stats["replayed"] == 2
+    recovered.close()
+
+
+def test_uncommitted_transaction_does_not_survive(tmp_path):
+    db = make_db(tmp_path)
+    db.insert("kv", [(1, 10)])
+    txn = db.begin()
+    txn.insert(db.catalog.table("kv"), [(2, 20)])
+    # no commit — the crash takes the in-flight transaction with it
+    abandon(db)
+
+    recovered = load_database(tmp_path)
+    assert state(recovered) == {1: 10}
+    recovered.close()
+
+
+def test_rolled_back_transaction_writes_no_wal_records(tmp_path):
+    db = make_db(tmp_path)
+    before = db.wal.records_appended
+    txn = db.begin()
+    txn.insert(db.catalog.table("kv"), [(1, 10)])
+    txn.rollback()
+    # nothing is logged until commit, so a rollback costs zero records
+    assert db.wal.records_appended == before
+    abandon(db)
+
+    recovered = load_database(tmp_path)
+    assert state(recovered) == {}
+    recovered.close()
+
+
+def test_crash_before_commit_record_loses_transaction(tmp_path):
+    injector = FaultInjector(seed=1)
+    db = make_db(tmp_path, fault_injector=injector)
+    db.insert("kv", [(1, 10)])
+    txn = db.begin()
+    txn.insert(db.catalog.table("kv"), [(2, 20)])
+    # the commit group is begin, insert, commit: crash on the 3rd append
+    # leaves the commit record unwritten, so the commit was never durable
+    injector.arm("wal.append.before", hits=3)
+    with pytest.raises(InjectedCrash):
+        txn.commit()
+    abandon(db)
+
+    recovered = load_database(tmp_path)
+    assert state(recovered) == {1: 10}
+    recovered.close()
+
+
+def test_crash_after_commit_fsync_keeps_transaction(tmp_path):
+    injector = FaultInjector(seed=1)
+    db = make_db(tmp_path, fault_injector=injector)
+    db.insert("kv", [(1, 10)])
+    txn = db.begin()
+    txn.insert(db.catalog.table("kv"), [(2, 20)])
+    # the crash fires after the commit record hit the disk: the commit is
+    # durable even though the caller never saw an acknowledgement
+    injector.arm("wal.fsync.after", hits=1)
+    with pytest.raises(InjectedCrash):
+        txn.commit()
+    abandon(db)
+
+    recovered = load_database(tmp_path)
+    assert state(recovered) == {1: 10, 2: 20}
+    recovered.close()
+
+
+def test_autocommit_dml_is_durable(tmp_path):
+    db = make_db(tmp_path)
+    db.insert("kv", [(1, 10), (2, 20), (3, 30)])
+    db.delete_where("kv", column="key", equals=2)
+    abandon(db)
+
+    recovered = load_database(tmp_path)
+    assert state(recovered) == {1: 10, 3: 30}
+    recovered.close()
+
+
+def test_ddl_checkpoints_immediately(tmp_path):
+    db = make_db(tmp_path)
+    db.create_table("extra", [("x", DataType.TEXT)])
+    abandon(db)
+
+    recovered = load_database(tmp_path)
+    assert recovered.catalog.has_table("extra")
+    recovered.close()
+
+
+def test_checkpoint_rotates_and_garbage_collects(tmp_path):
+    db = make_db(tmp_path)
+    db.insert("kv", [(1, 10)])
+    old_epoch = db.wal.epoch
+    db.checkpoint()
+    assert db.wal.epoch == old_epoch + 1
+    epochs = [epoch for epoch, __ in list_segments(tmp_path)]
+    assert epochs == [db.wal.epoch]
+    # post-checkpoint commits land in the fresh segment and still replay
+    db.insert("kv", [(2, 20)])
+    abandon(db)
+
+    recovered = load_database(tmp_path)
+    assert state(recovered) == {1: 10, 2: 20}
+    assert recovered.recovery_stats["replayed"] == 1  # only the tail
+    recovered.close()
+
+
+def test_recovery_resumes_txn_ids_above_replayed(tmp_path):
+    db = make_db(tmp_path)
+    with db.begin() as txn:
+        txn.insert(db.catalog.table("kv"), [(1, txn.txn_id)])
+        high = txn.txn_id
+    abandon(db)
+
+    recovered = load_database(tmp_path)
+    assert recovered.recovery_stats["max_txn"] == high
+    with recovered.begin() as txn:
+        assert txn.txn_id > high
+        txn.insert(recovered.catalog.table("kv"), [(2, txn.txn_id)])
+    recovered.close()
+
+
+def test_reopened_database_stays_wal_durable(tmp_path):
+    db = make_db(tmp_path)
+    db.insert("kv", [(1, 10)])
+    abandon(db)
+
+    second = load_database(tmp_path)
+    assert second.durability == "wal"
+    second.insert("kv", [(2, 20)])
+    abandon(second)
+
+    third = load_database(tmp_path)
+    assert state(third) == {1: 10, 2: 20}
+    third.close()
+
+
+def test_checkpoint_mode_is_durable_only_at_checkpoints(tmp_path):
+    db = Database(persist_dir=tmp_path, durability="checkpoint")
+    db.create_table("kv", [("key", DataType.INT), ("val", DataType.INT)])
+    assert db.wal is None
+    db.insert("kv", [(1, 10)])
+    db.checkpoint()
+    db.insert("kv", [(2, 20)])  # after the checkpoint: not durable
+
+    recovered = load_database(tmp_path)
+    assert state(recovered) == {1: 10}
+    assert recovered.durability == "checkpoint"
+    recovered.close()
+
+
+def test_durability_requires_persist_dir():
+    with pytest.raises(ValueError, match="persist_dir"):
+        Database(durability="wal")
+
+
+def test_unknown_durability_mode_rejected(tmp_path):
+    with pytest.raises(ValueError, match="durability mode"):
+        Database(persist_dir=tmp_path, durability="prayers")
+
+
+def test_load_with_durability_none_detaches(tmp_path):
+    db = make_db(tmp_path)
+    db.insert("kv", [(1, 10)])
+    abandon(db)
+
+    readonly = load_database(tmp_path, durability=None)
+    assert readonly.durability is None
+    assert readonly.wal is None
+    assert state(readonly) == {1: 10}
+    readonly.close(flush=False)

@@ -1,4 +1,6 @@
-"""Tests for directory-based save/load."""
+"""Tests for directory-based save/load, including mid-save crashes:
+the save is one atomic checkpoint, so an interrupted write must leave
+the previous complete snapshot loadable."""
 
 import random
 
@@ -9,8 +11,9 @@ from repro.engine.persistence import (
     PersistenceError,
     load_database,
     save_database,
+    write_checkpoint,
 )
-from repro.storage import DataType
+from repro.storage import DataType, FaultInjector, InjectedCrash
 
 
 def cheapness(price):
@@ -102,3 +105,57 @@ class TestErrors:
         save_database(db, tmp_path / "db")
         restored = load_database(tmp_path / "db")
         assert restored.catalog.table("empty").row_count == 0
+
+
+class TestAtomicSave:
+    """A crash at any point of a save never corrupts the directory: the
+    manifest swap is the commit point, so recovery sees either the whole
+    old snapshot or the whole new one."""
+
+    def snapshot(self, tmp_path, db):
+        save_database(db, tmp_path)
+        return [r.values for r in db.catalog.table("item").rows()]
+
+    def reloaded_values(self, tmp_path):
+        restored = load_database(tmp_path, predicates={"cheap": cheapness})
+        return [r.values for r in restored.catalog.table("item").rows()]
+
+    @pytest.mark.parametrize(
+        "site",
+        ["checkpoint.table.torn", "checkpoint.tables", "checkpoint.manifest.tmp"],
+    )
+    def test_crash_before_manifest_swap_keeps_old_snapshot(
+        self, db, tmp_path, site
+    ):
+        original = self.snapshot(tmp_path, db)
+        db.insert("item", [("crashed", 1.0, True)])
+        injector = FaultInjector(seed=5)
+        injector.arm(site, hits=1)
+        with pytest.raises(InjectedCrash):
+            write_checkpoint(db, tmp_path, injector=injector)
+        assert self.reloaded_values(tmp_path) == original
+
+    def test_crash_after_manifest_swap_keeps_new_snapshot(self, db, tmp_path):
+        self.snapshot(tmp_path, db)
+        db.insert("item", [("landed", 1.0, True)])
+        injector = FaultInjector(seed=5)
+        # the swap succeeded; only post-commit GC was interrupted
+        injector.arm("checkpoint.gc", hits=1)
+        with pytest.raises(InjectedCrash):
+            write_checkpoint(db, tmp_path, injector=injector)
+        values = self.reloaded_values(tmp_path)
+        assert ("landed", 1.0, True) in values
+
+    def test_interrupted_save_leaves_no_poisoned_temp_state(self, db, tmp_path):
+        original = self.snapshot(tmp_path, db)
+        db.insert("item", [("crashed", 1.0, True)])
+        injector = FaultInjector(seed=5)
+        injector.arm("checkpoint.table.torn", hits=1)
+        with pytest.raises(InjectedCrash):
+            write_checkpoint(db, tmp_path, injector=injector)
+        # a later save over the crashed directory works and wins
+        db.insert("item", [("landed", 2.0, False)])
+        save_database(db, tmp_path)
+        values = self.reloaded_values(tmp_path)
+        assert ("landed", 2.0, False) in values
+        assert len(values) == len(original) + 2

@@ -1,0 +1,112 @@
+"""The retry helper: ``run_transaction`` on the embedded Database (the
+client surfaces are covered in tests/server/test_hardening.py).
+
+Serialization conflicts retry with jittered exponential backoff; any
+other exception rolls back and propagates untouched; the retry budget is
+a hard cap.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import Database
+from repro.storage import DataType, SerializationError
+from repro.storage.transaction import retry_backoff
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table("kv", [("key", DataType.INT), ("val", DataType.INT)])
+    db.insert("kv", [(0, 0)])
+    return db
+
+
+def bump(db, txn, value):
+    table = db.catalog.table("kv")
+    txn.delete_where(table, column="key", equals=0)
+    txn.insert(table, [(0, value)])
+
+
+def value_of(db):
+    return {r.values[0]: r.values[1] for r in db.catalog.table("kv").rows()}[0]
+
+
+class TestRunTransaction:
+    def test_commits_and_returns_fn_result(self, db):
+        result = db.run_transaction(lambda txn: bump(db, txn, 7) or "done")
+        assert result == "done"
+        assert value_of(db) == 7
+
+    def test_retries_serialization_conflicts(self, db):
+        attempts = []
+
+        def body(txn):
+            attempts.append(txn.txn_id)
+            if len(attempts) < 3:
+                # conflict manufactured mid-flight: another commit lands on
+                # the row this transaction also writes
+                db.run_transaction(lambda inner: bump(db, inner, 100))
+            bump(db, txn, 7)
+
+        db.run_transaction(body, retries=5, backoff=0.0001)
+        assert len(attempts) == 3
+        # each attempt ran in a fresh transaction
+        assert len(set(attempts)) == 3
+        assert value_of(db) == 7
+
+    def test_exhausted_retries_raise(self, db):
+        def always_conflicts(txn):
+            db.run_transaction(lambda inner: bump(db, inner, 100))
+            bump(db, txn, 7)
+
+        with pytest.raises(SerializationError):
+            db.run_transaction(always_conflicts, retries=2, backoff=0.0001)
+        assert value_of(db) == 100  # the conflicting writes won; ours never landed
+
+    def test_other_exceptions_roll_back_and_propagate(self, db):
+        def explodes(txn):
+            bump(db, txn, 7)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            db.run_transaction(explodes)
+        assert value_of(db) == 0
+        summary = db.transactions.summary()
+        assert summary["txns_rolled_back"] >= 1
+        assert summary["txns_begun"] == summary["txns_committed"] + summary["txns_rolled_back"]
+
+    def test_fn_may_finish_the_transaction_itself(self, db):
+        def commits_itself(txn):
+            bump(db, txn, 7)
+            txn.commit()
+
+        db.run_transaction(commits_itself)
+        assert value_of(db) == 7
+
+        def rolls_back_itself(txn):
+            bump(db, txn, 99)
+            txn.rollback()
+
+        db.run_transaction(rolls_back_itself)
+        assert value_of(db) == 7
+
+
+class TestRetryBackoff:
+    def test_exponential_with_jitter_bounds(self):
+        rng = random.Random(3)
+        for attempt in range(8):
+            delay = retry_backoff(attempt, 0.01, rng=rng)
+            base = min(0.01 * (2**attempt), 0.5)
+            assert 0.5 * base < delay <= base
+
+    def test_caps_at_max_backoff(self):
+        rng = random.Random(3)
+        delays = [retry_backoff(a, 0.01, max_backoff=0.05, rng=rng) for a in range(20)]
+        assert max(delays) <= 0.05
+
+    def test_jitter_decorrelates(self):
+        rng = random.Random(5)
+        delays = {retry_backoff(3, 0.01, rng=rng) for __ in range(16)}
+        assert len(delays) > 1

@@ -1,0 +1,209 @@
+"""Server hardening: the idle-connection reaper, graceful shutdown
+(drain → rollback → checkpoint), and the client-side retry helpers on
+both session surfaces."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine import Database, load_database
+from repro.server import connect
+from repro.storage import DataType, SerializationError
+
+
+def build_kv_db(**kwargs) -> Database:
+    db = Database(**kwargs)
+    db.create_table("kv", [("key", DataType.INT), ("val", DataType.INT)])
+    db.insert("kv", [(0, 0), (1, 0)])
+    db.create_column_index("kv", "key")
+    db.analyze()
+    return db
+
+
+READ = "SELECT * FROM kv WHERE kv.key = :k"
+
+
+class TestIdleReaper:
+    def test_idle_connection_is_reaped(self):
+        db = build_kv_db()
+        with db.serve(port=0, workers=2, idle_timeout=0.3) as server:
+            host, port = server.address
+            client = connect(host, port)
+            assert client.execute(READ, params={"k": 0}).rows
+            deadline = time.monotonic() + 5.0
+            while server.connections_reaped == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert server.connections_reaped == 1
+            assert server.summary()["connections_reaped"] == 1
+            # the reaped socket is dead from the client's point of view
+            with pytest.raises((ConnectionError, OSError)):
+                client.execute(READ, params={"k": 0})
+        db.close()
+
+    def test_active_connection_is_not_reaped(self):
+        db = build_kv_db()
+        with db.serve(port=0, workers=2, idle_timeout=0.4) as server:
+            host, port = server.address
+            with connect(host, port) as client:
+                for __ in range(6):
+                    time.sleep(0.15)  # keep chattering under the timeout
+                    assert client.execute(READ, params={"k": 0}).rows
+                assert server.connections_reaped == 0
+        db.close()
+
+    def test_rejects_nonpositive_idle_timeout(self):
+        db = build_kv_db()
+        with pytest.raises(ValueError, match="idle_timeout"):
+            db.serve(workers=1, idle_timeout=0.0)
+        db.close()
+
+
+class TestGracefulShutdown:
+    def test_shutdown_drains_then_refuses_new_work(self):
+        db = build_kv_db()
+        server = db.serve(workers=2)
+        client = server.session()
+        assert client.execute(READ, params={"k": 0}).rows
+        server.shutdown(drain_timeout=5.0)
+        assert server.draining
+        assert (
+            server.statements_admitted
+            == server.statements_completed + server.statements_failed
+        )
+        # refused either way: draining while the drain runs, stopped after
+        with pytest.raises(RuntimeError, match="draining|not running"):
+            server.submit(client.session, READ, params={"k": 0})
+        db.close()
+
+    def test_shutdown_rolls_back_open_transactions(self):
+        db = build_kv_db()
+        server = db.serve(workers=2)
+        client = server.session()
+        client.begin()
+        client.delete("kv", column="key", equals=0)
+        client.insert("kv", [(0, 123)])
+        server.shutdown(drain_timeout=2.0)  # close_all rolls the txn back
+        values = {r.values[0]: r.values[1] for r in db.catalog.table("kv").rows()}
+        assert values[0] == 0
+        db.close()
+
+    def test_shutdown_checkpoints_durable_state(self, tmp_path):
+        db = build_kv_db(persist_dir=tmp_path, durability="wal")
+        server = db.serve(workers=2)
+        with server.session() as client:
+            client.run_transaction(
+                lambda c: (c.delete("kv", column="key", equals=1), c.insert("kv", [(1, 77)]))
+            )
+        server.shutdown(drain_timeout=5.0)
+        db.close()
+
+        recovered = load_database(tmp_path)
+        values = {
+            r.values[0]: r.values[1] for r in recovered.catalog.table("kv").rows()
+        }
+        assert values[1] == 77
+        # the shutdown checkpoint rotated the WAL: nothing left to replay
+        assert recovered.recovery_stats["replayed"] == 0
+        recovered.close()
+
+    def test_shutdown_is_idempotent(self):
+        db = build_kv_db()
+        server = db.serve(workers=1)
+        server.shutdown(drain_timeout=1.0)
+        server.shutdown(drain_timeout=1.0)  # second call is a no-op
+        db.close()
+
+
+class TestClientRetryHelpers:
+    def test_in_process_run_transaction_retries_conflicts(self):
+        db = build_kv_db()
+        with db.serve(workers=2) as server:
+            with server.session() as victim, server.session() as aggressor:
+                attempts = [0]
+
+                def body(c):
+                    attempts[0] += 1
+                    c.execute(READ, params={"k": 0})
+                    if attempts[0] == 1:
+                        # land a conflicting commit while we're in flight
+                        aggressor.run_transaction(
+                            lambda a: (
+                                a.delete("kv", column="key", equals=0),
+                                a.insert("kv", [(0, 500)]),
+                            )
+                        )
+                    c.delete("kv", column="key", equals=0)
+                    c.insert("kv", [(0, 7)])
+
+                victim.run_transaction(body, retries=5, backoff=0.0001)
+                assert attempts[0] == 2
+                rows = victim.execute(READ, params={"k": 0}).rows
+                assert rows[0][1] == 7
+        db.close()
+
+    def test_in_process_run_transaction_exhaustion_raises(self):
+        db = build_kv_db()
+        with db.serve(workers=2) as server:
+            with server.session() as victim, server.session() as aggressor:
+
+                def body(c):
+                    c.execute(READ, params={"k": 0})
+                    aggressor.run_transaction(
+                        lambda a: (
+                            a.delete("kv", column="key", equals=0),
+                            a.insert("kv", [(0, 500)]),
+                        )
+                    )
+                    c.delete("kv", column="key", equals=0)
+                    c.insert("kv", [(0, 7)])
+
+                with pytest.raises(SerializationError):
+                    victim.run_transaction(body, retries=1, backoff=0.0001)
+        db.close()
+
+    def test_remote_run_transaction_retries_conflicts(self):
+        db = build_kv_db()
+        with db.serve(port=0, workers=2) as server:
+            host, port = server.address
+            with connect(host, port) as victim, connect(host, port) as aggressor:
+                attempts = [0]
+
+                def body(session):
+                    attempts[0] += 1
+                    session.execute(READ, params={"k": 0})
+                    if attempts[0] == 1:
+                        aggressor.run_transaction(
+                            lambda a: (
+                                a.delete("kv", column="key", equals=0),
+                                a.insert("kv", [(0, 500)]),
+                            )
+                        )
+                    session.delete("kv", column="key", equals=0)
+                    session.insert("kv", [(0, 9)])
+
+                victim.run_transaction(body, retries=5, backoff=0.0001)
+                assert attempts[0] == 2
+                assert not victim.in_transaction
+                rows = victim.execute(READ, params={"k": 0}).rows
+                assert rows[0][1] == 9
+        db.close()
+
+    def test_remote_run_transaction_rolls_back_on_other_errors(self):
+        db = build_kv_db()
+        with db.serve(port=0, workers=2) as server:
+            host, port = server.address
+            with connect(host, port) as client:
+
+                def explodes(session):
+                    session.delete("kv", column="key", equals=0)
+                    session.insert("kv", [(0, 321)])
+                    raise ValueError("boom")
+
+                with pytest.raises(ValueError, match="boom"):
+                    client.run_transaction(explodes)
+                assert not client.in_transaction
+                rows = client.execute(READ, params={"k": 0}).rows
+                assert rows[0][1] == 0
+        db.close()

@@ -1,0 +1,277 @@
+"""Unit tests for the write-ahead log layer itself: record codec,
+segment naming, torn-tail truncation, group folding, rotation and GC.
+
+Engine-level durability (replay through a Database) lives in
+tests/engine/test_durability.py; these tests poke the log directly.
+"""
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.storage.wal import (
+    FSYNC_MODES,
+    MAX_RECORD_BYTES,
+    WALError,
+    WriteAheadLog,
+    committed_groups,
+    encode_record,
+    iter_records,
+    list_segments,
+    scan_segments,
+    segment_path,
+)
+
+_HEADER = struct.Struct("<II")
+
+
+def write_records(path, payloads):
+    with open(path, "ab") as handle:
+        for payload in payloads:
+            handle.write(encode_record(payload))
+
+
+# ---------------------------------------------------------------------------
+# record codec
+# ---------------------------------------------------------------------------
+def test_encode_record_layout():
+    payload = {"t": "begin", "txn": 7}
+    encoded = encode_record(payload)
+    length, crc = _HEADER.unpack(encoded[: _HEADER.size])
+    body = encoded[_HEADER.size :]
+    assert length == len(body)
+    assert crc == zlib.crc32(body)
+    assert b'"t":"begin"' in body  # compact separators, no spaces
+
+
+def test_iter_records_round_trip(tmp_path):
+    path = tmp_path / "wal.00000001.log"
+    payloads = [
+        {"t": "begin", "txn": 1},
+        {"t": "insert", "txn": 1, "table": "kv", "rows": [[0, [1, 2]]]},
+        {"t": "commit", "txn": 1},
+    ]
+    write_records(path, payloads)
+    decoded = list(iter_records(path))
+    assert [p for __, p in decoded] == payloads
+    # offsets are the byte positions of each record
+    assert decoded[0][0] == 0
+    assert decoded[1][0] == len(encode_record(payloads[0]))
+
+
+def test_iter_records_stops_at_torn_tail(tmp_path):
+    path = tmp_path / "wal.00000001.log"
+    whole = {"t": "begin", "txn": 1}
+    write_records(path, [whole])
+    with open(path, "ab") as handle:
+        handle.write(encode_record({"t": "commit", "txn": 1})[:-3])
+    assert [p for __, p in iter_records(path)] == [whole]
+
+
+def test_iter_records_stops_at_crc_mismatch(tmp_path):
+    path = tmp_path / "wal.00000001.log"
+    write_records(path, [{"t": "begin", "txn": 1}, {"t": "commit", "txn": 1}])
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF  # flip a byte inside the second record's payload
+    path.write_bytes(bytes(data))
+    assert [p for __, p in iter_records(path)] == [{"t": "begin", "txn": 1}]
+
+
+def test_iter_records_rejects_absurd_length_prefix(tmp_path):
+    path = tmp_path / "wal.00000001.log"
+    path.write_bytes(_HEADER.pack(MAX_RECORD_BYTES + 1, 0) + b"x" * 16)
+    assert list(iter_records(path)) == []
+
+
+# ---------------------------------------------------------------------------
+# segment naming & listing
+# ---------------------------------------------------------------------------
+def test_segment_path_zero_pads_epoch(tmp_path):
+    assert segment_path(tmp_path, 3).name == "wal.00000003.log"
+
+
+def test_list_segments_sorted_and_filtered(tmp_path):
+    for epoch in (3, 1, 2):
+        segment_path(tmp_path, epoch).touch()
+    (tmp_path / "catalog.json").write_text("{}")
+    (tmp_path / "kv.ckpt000001.csv").write_text("")
+    assert [epoch for epoch, __ in list_segments(tmp_path)] == [1, 2, 3]
+
+
+def test_list_segments_missing_directory(tmp_path):
+    assert list_segments(tmp_path / "nope") == []
+
+
+def test_list_segments_rejects_garbled_name(tmp_path):
+    (tmp_path / "wal.banana.log").touch()
+    with pytest.raises(WALError, match="unrecognized"):
+        list_segments(tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# scan_segments: torn tails are legal only in the final segment
+# ---------------------------------------------------------------------------
+def test_scan_segments_truncates_torn_final_segment(tmp_path):
+    path = segment_path(tmp_path, 1)
+    write_records(path, [{"t": "begin", "txn": 1}, {"t": "commit", "txn": 1}])
+    durable_size = path.stat().st_size
+    with open(path, "ab") as handle:
+        handle.write(encode_record({"t": "begin", "txn": 2})[:-2])
+    records = scan_segments(tmp_path)
+    assert records == [{"t": "begin", "txn": 1}, {"t": "commit", "txn": 1}]
+    assert path.stat().st_size == durable_size  # tail truncated away
+
+
+def test_scan_segments_truncate_false_preserves_tail(tmp_path):
+    path = segment_path(tmp_path, 1)
+    write_records(path, [{"t": "begin", "txn": 1}])
+    with open(path, "ab") as handle:
+        handle.write(b"\x01\x02\x03")
+    size = path.stat().st_size
+    records = scan_segments(tmp_path, truncate=False)
+    assert records == [{"t": "begin", "txn": 1}]
+    assert path.stat().st_size == size
+
+
+def test_scan_segments_raises_on_mid_log_corruption(tmp_path):
+    torn = segment_path(tmp_path, 1)
+    write_records(torn, [{"t": "begin", "txn": 1}])
+    with open(torn, "ab") as handle:
+        handle.write(encode_record({"t": "commit", "txn": 1})[:-4])
+    # A later segment exists, so segment 1's short tail is corruption,
+    # not a torn final append.
+    write_records(segment_path(tmp_path, 2), [{"t": "begin", "txn": 2}])
+    with pytest.raises(WALError, match="mid-log"):
+        scan_segments(tmp_path)
+
+
+def test_scan_segments_from_epoch_skips_older(tmp_path):
+    write_records(segment_path(tmp_path, 1), [{"t": "begin", "txn": 1}])
+    write_records(segment_path(tmp_path, 2), [{"t": "begin", "txn": 2}])
+    assert scan_segments(tmp_path, from_epoch=2) == [{"t": "begin", "txn": 2}]
+
+
+# ---------------------------------------------------------------------------
+# committed_groups
+# ---------------------------------------------------------------------------
+def test_committed_groups_orders_by_commit_record():
+    ins1 = {"t": "insert", "txn": 1, "table": "kv", "rows": [[0, [0, 1]]]}
+    ins2 = {"t": "insert", "txn": 2, "table": "kv", "rows": [[1, [1, 2]]]}
+    records = [
+        {"t": "begin", "txn": 1},
+        {"t": "begin", "txn": 2},
+        ins1,
+        ins2,
+        {"t": "commit", "txn": 2},  # 2 commits first despite beginning later
+        {"t": "commit", "txn": 1},
+    ]
+    groups = committed_groups(records)
+    assert [g["txn"] for g in groups] == [2, 1]
+    assert groups[0]["ops"] == [ins2]
+    assert groups[1]["ops"] == [ins1]
+
+
+def test_committed_groups_discards_uncommitted_and_rolled_back():
+    records = [
+        {"t": "begin", "txn": 1},
+        {"t": "insert", "txn": 1, "table": "kv", "rows": [[0, [0, 1]]]},
+        {"t": "rollback", "txn": 1},
+        {"t": "begin", "txn": 2},
+        {"t": "insert", "txn": 2, "table": "kv", "rows": [[1, [1, 2]]]},
+        # txn 2 was in flight at the crash: no commit record
+        {"t": "begin", "txn": 3},
+        {"t": "commit", "txn": 3},
+    ]
+    groups = committed_groups(records)
+    assert [g["txn"] for g in groups] == [3]
+    assert groups[0]["ops"] == []
+
+
+def test_committed_groups_rejects_unknown_record_type():
+    with pytest.raises(WALError, match="unknown WAL record type"):
+        committed_groups([{"t": "compensate", "txn": 1}])
+
+
+# ---------------------------------------------------------------------------
+# WriteAheadLog: append, rotate, GC, fsync modes
+# ---------------------------------------------------------------------------
+def test_wal_appends_are_readable_back(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        wal.log_begin(5)
+        wal.log_insert(5, "kv", [(0, (1, 10)), (1, (2, 20))])
+        wal.log_delete(5, "kv", [7, 9])
+        wal.log_commit(5)
+        assert wal.records_appended == 4
+    records = scan_segments(tmp_path)
+    assert records == [
+        {"t": "begin", "txn": 5},
+        {"t": "insert", "txn": 5, "table": "kv",
+         "rows": [[0, [1, 10]], [1, [2, 20]]]},
+        {"t": "delete", "txn": 5, "table": "kv", "rids": [7, 9]},
+        {"t": "commit", "txn": 5},
+    ]
+
+
+def test_wal_reopen_resumes_latest_epoch(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        wal.log_begin(1)
+        epoch = wal.rotate()
+        wal.log_begin(2)
+    with WriteAheadLog(tmp_path) as wal:
+        assert wal.epoch == epoch
+        wal.log_commit(2)
+    records = scan_segments(tmp_path, from_epoch=epoch)
+    assert records == [{"t": "begin", "txn": 2}, {"t": "commit", "txn": 2}]
+
+
+def test_wal_rotate_moves_appends_to_new_segment(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        first = wal.epoch
+        wal.log_begin(1)
+        second = wal.rotate()
+        assert second == first + 1
+        assert wal.lsn == (second, 0)
+        wal.log_begin(2)
+    assert scan_segments(tmp_path, from_epoch=second) == [
+        {"t": "begin", "txn": 2}
+    ]
+    assert scan_segments(tmp_path) == [
+        {"t": "begin", "txn": 1},
+        {"t": "begin", "txn": 2},
+    ]
+
+
+def test_wal_remove_segments_before(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        wal.log_begin(1)
+        wal.rotate()
+        wal.rotate()
+        removed = wal.remove_segments_before(wal.epoch)
+        assert removed == 2
+        assert [e for e, __ in list_segments(tmp_path)] == [wal.epoch]
+
+
+def test_wal_rejects_unknown_fsync_mode(tmp_path):
+    with pytest.raises(WALError, match="fsync"):
+        WriteAheadLog(tmp_path, fsync="sometimes")
+
+
+@pytest.mark.parametrize("mode", FSYNC_MODES)
+def test_wal_fsync_modes_all_append(tmp_path, mode):
+    directory = tmp_path / mode
+    with WriteAheadLog(directory, fsync=mode) as wal:
+        wal.log_begin(1)
+        wal.log_commit(1)
+    assert len(scan_segments(directory)) == 2
+
+
+def test_wal_lsn_tracks_offset(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        epoch, offset = wal.lsn
+        assert offset == 0
+        wal.log_begin(1)
+        assert wal.lsn == (
+            epoch, len(encode_record({"t": "begin", "txn": 1}))
+        )
