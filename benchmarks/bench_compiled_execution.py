@@ -1,0 +1,168 @@
+"""Plan-to-code compilation vs the interpreted batch pipeline.
+
+PR 9's tentpole: cached plans compile their sort-topped ``P = φ``
+segments into one fused Python function (:mod:`repro.execution.codegen`)
+that is built once per template and re-run for every parameter binding.
+This bench measures both halves of that bargain on a selective
+single-table top-k — the shape where interpreter dispatch dominates:
+
+* **cold compile** — the one-time cost of generating + ``compile()``-ing
+  the fused function during ``prepare`` (amortized across every warm
+  run; recorded so regressions in generated-code size show up);
+* **warm parameterized reuse** — ten bindings of one template against
+  ``Database(execution="batch")`` vs ``execution="compiled")``: same
+  cached plan wrapper, interpreted operators vs the fused loop.  Target:
+  ≥ 2× faster (``COMPILED_MIN_SPEEDUP``; CI lowers the bar via the env
+  var to tolerate shared-runner noise).
+
+Every case checks *parity*: identical rows, scores and rid tie order
+between the two paths, and an identical simulated cost — compilation
+changes how fast tuples move, not how many.
+
+Run:  pytest benchmarks/bench_compiled_execution.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.algebra.expressions import col
+from repro.engine.database import Database
+from repro.storage import DataType
+
+from .conftest import record_result
+
+#: required batch/compiled wall-clock ratio on the warm parameterized run
+COMPILED_MIN_SPEEDUP = float(os.environ.get("COMPILED_MIN_SPEEDUP", "2.0"))
+
+ROWS = 20_000
+ROUNDS = 3
+
+#: one selective template, ten bindings — the warm parameterized workload
+SQL = "SELECT * FROM T WHERE T.x > ? ORDER BY pa(T.x) + pb(T.x) LIMIT 150"
+BINDINGS = [(0.85 + i * 0.005,) for i in range(10)]
+
+
+def _build_database(execution: str) -> Database:
+    db = Database(execution=execution)
+    db.create_table("T", [("k", DataType.INT), ("x", DataType.FLOAT)])
+    rng = random.Random(7)
+    db.insert("T", [(i % 512, rng.random()) for i in range(ROWS)])
+    # Expression scorers: the code generator inlines their arithmetic.
+    db.register_predicate("pa", ["T.x"], col("T.x") * 0.5 + 0.25)
+    db.register_predicate("pb", ["T.x"], col("T.x") * -0.9 + 1.0)
+    db.analyze()
+    return db
+
+
+def _observe(result):
+    rows = [
+        (tuple(s.row.values), s.row.rid, dict(s.scores))
+        for s in result.scored_rows
+    ]
+    return rows, result.metrics
+
+
+def _warm_sweep(db):
+    """Best-of-ROUNDS wall time for draining every binding once."""
+    prepared = db.prepare(SQL, strategy="traditional", params=BINDINGS[0])
+    prepared.run(params=BINDINGS[0])  # warm: compile + caches + evaluators
+    best = float("inf")
+    rows = metrics = None
+    for __ in range(ROUNDS):
+        start = time.perf_counter()
+        for binding in BINDINGS:
+            rows, metrics = _observe(prepared.run(params=binding))
+        best = min(best, time.perf_counter() - start)
+    return best, rows, metrics, prepared
+
+
+def test_cold_compile_cost(benchmark):
+    """The one-time plan-to-code cost: template prepare with compilation
+    vs without, plus the compiler's own self-reported seconds."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    db = _build_database("compiled")
+    start = time.perf_counter()
+    prepared = db.prepare(SQL, strategy="traditional", params=BINDINGS[0])
+    prepared.run(params=BINDINGS[0])
+    first_run = time.perf_counter() - start
+    compile_seconds = db.planner.metrics.compile_seconds
+    assert prepared.compiled_segments > 0, "template must compile"
+    assert compile_seconds > 0
+    record_result(
+        name="compiled_execution[cold_compile]",
+        wall_seconds=first_run,
+        compile_seconds=compile_seconds,
+        compiled_segments=prepared.compiled_segments,
+    )
+    print(
+        f"\ncold: first prepare+run {first_run * 1000:.1f} ms "
+        f"(codegen {compile_seconds * 1000:.2f} ms, "
+        f"{prepared.compiled_segments} segment)"
+    )
+    benchmark.extra_info["compile_seconds"] = compile_seconds
+
+
+def test_warm_parameterized_speedup(benchmark):
+    """Warm reuse: one compiled artifact serves all ten bindings and must
+    beat the interpreted batch pipeline by COMPILED_MIN_SPEEDUP."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    db_batch = _build_database("batch")
+    db_compiled = _build_database("compiled")
+    batch_time, batch_rows, batch_metrics, __ = _warm_sweep(db_batch)
+    compiled_time, compiled_rows, compiled_metrics, prepared = _warm_sweep(
+        db_compiled
+    )
+    # One artifact, every binding: reuse must never recompile.
+    assert db_compiled.planner.metrics.plans_compiled == 1
+    assert prepared.compiled_segments > 0
+    # Parity: identical observable sequence and identical simulated cost.
+    assert compiled_rows == batch_rows, "batch/compiled divergence"
+    assert compiled_metrics.simulated_cost == pytest.approx(
+        batch_metrics.simulated_cost, rel=1e-9
+    )
+    speedup = batch_time / compiled_time
+    for mode, elapsed, metrics in (
+        ("batch", batch_time, batch_metrics),
+        ("compiled", compiled_time, compiled_metrics),
+    ):
+        record_result(
+            name=f"compiled_execution[warm:{mode}]",
+            mode=mode,
+            bindings=len(BINDINGS),
+            wall_seconds=elapsed,
+            speedup=speedup if mode == "compiled" else 1.0,
+            **metrics.summary(),
+        )
+    print(
+        f"\nwarm x{len(BINDINGS)} bindings: batch {batch_time * 1000:.1f} ms "
+        f"-> compiled {compiled_time * 1000:.1f} ms ({speedup:.2f}x)"
+    )
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= COMPILED_MIN_SPEEDUP, (
+        f"compiled path only {speedup:.2f}x faster than interpreted batch "
+        f"(required {COMPILED_MIN_SPEEDUP}x)"
+    )
+
+
+def test_unsupported_shape_falls_back(benchmark):
+    """``execution="compiled"`` on a rank-aware plan (µ frontier — no
+    compiled twin) must run through the interpreter with no client-visible
+    difference from plain batch mode."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    db_batch = _build_database("batch")
+    db_compiled = _build_database("compiled")
+    sql = "SELECT * FROM T WHERE T.x > ? ORDER BY pa(T.x) + pb(T.x) LIMIT 20"
+    params = (0.5,)
+    expected, __ = _observe(db_batch.query(sql, params=params))
+    observed, __ = _observe(db_compiled.query(sql, params=params))
+    assert observed == expected
+    record_result(
+        name="compiled_execution[fallback:rank-aware]",
+        compiled_plans=db_compiled.planner.metrics.plans_compiled,
+        rows=len(observed),
+    )

@@ -104,6 +104,19 @@ def _default_batch_execution() -> "bool | str":
     )
 
 
+def _default_execution() -> str:
+    """The engine-wide execution-regime default: ``"auto"`` (cost-governed
+    across row, batch and compiled), overridable via the
+    ``REPRO_COMPILED_EXECUTION`` environment variable (``1``/``true``/
+    ``on``/``always`` force compilation, ``0``/``false``/``off`` keep the
+    interpreted batch path, or an explicit mode name) so whole test suites
+    and CI jobs can pin the regime without touching call sites."""
+    from ..planner.planner import execution_mode_from_env
+
+    mode = execution_mode_from_env(os.environ.get("REPRO_COMPILED_EXECUTION"))
+    return "auto" if mode is None else mode
+
+
 def _default_parallelism() -> "int | str":
     """The engine-wide DOP ceiling default: ``1`` (serial), overridable via
     the ``REPRO_PARALLELISM`` environment variable (a positive integer or
@@ -161,6 +174,23 @@ class Database:
     (the default) disables the parallel regime entirely; ``"auto"``
     resolves to the machine's core count.  When omitted, honours the
     ``REPRO_PARALLELISM`` environment variable.
+
+    ``execution`` is the session-level regime selector across all three
+    execution strategies:
+
+    * ``"auto"`` (default) — cost-governed: each lowerable segment is
+      priced as row, batch (at every candidate DOP) **and** compiled
+      (plan-to-code, :mod:`repro.execution.codegen`), and the cheapest
+      regime wins.  ``explain`` footers show all three costs.
+    * ``"row"`` — pure tuple-at-a-time execution (same as
+      ``batch_execution=False``).
+    * ``"batch"`` — cost-governed row-vs-batch with compilation disabled.
+    * ``"compiled"`` — force compilation of every supported segment;
+      unsupported shapes silently fall back to the interpreted batch
+      pipeline (results are identical in every mode).
+
+    When omitted, honours the ``REPRO_COMPILED_EXECUTION`` environment
+    variable.
     """
 
     def __init__(
@@ -168,6 +198,7 @@ class Database:
         persist_dir: "str | Path | None" = None,
         batch_execution: "bool | str | None" = None,
         parallelism: "int | str | None" = None,
+        execution: "str | None" = None,
         durability: "str | None" = None,
         fsync: str = "commit",
         fault_injector: Any = None,
@@ -176,11 +207,14 @@ class Database:
             batch_execution = _default_batch_execution()
         if parallelism is None:
             parallelism = _default_parallelism()
+        if execution is None:
+            execution = _default_execution()
         self.catalog = Catalog()
         self.planner = Planner(
             self.catalog,
             batch_execution=batch_execution,
             parallelism=parallelism,
+            execution=execution,
         )
         #: multi-statement transactions (BEGIN/COMMIT/ROLLBACK).  Commit is
         #: the *only* transactional path that invalidates the plan cache —
@@ -219,6 +253,12 @@ class Database:
     def parallelism(self) -> int:
         """The engine's DOP ceiling (1 = serial execution)."""
         return self.planner.parallelism
+
+    @property
+    def execution(self) -> str:
+        """The engine's execution-regime selector
+        (``"auto"`` | ``"row"`` | ``"batch"`` | ``"compiled"``)."""
+        return self.planner.execution
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -713,6 +753,7 @@ class Database:
         query: "str | QuerySpec",
         params: Any = None,
         snapshot: DatabaseSnapshot | None = None,
+        strategy: str = "rank-aware",
         **kwargs: Any,
     ) -> QueryResult:
         """Optimize (with plan caching) and execute a query.
@@ -728,7 +769,7 @@ class Database:
         """
         self._check_open()
         entry, hit = self.planner.prepare(
-            query, strategy="rank-aware", params=params, **kwargs
+            query, strategy=strategy, params=params, **kwargs
         )
         return self.execute(
             entry.executable,
@@ -778,16 +819,22 @@ class Database:
             schema, out, scoring, plan, context.metrics, plan_cached=plan_cached
         )
 
-    def explain(self, query: "str | QuerySpec", **kwargs: Any) -> str:
+    def explain(
+        self,
+        query: "str | QuerySpec",
+        strategy: str = "rank-aware",
+        **kwargs: Any,
+    ) -> str:
         """The optimizer's chosen plan for a query, pretty-printed.
 
         Under ``batch_execution="auto"`` the tree marks every lowered
         segment (``batch segment (row cost=… vs batch cost=… -> batch)``)
         and a footer lists the per-segment pricing for segments that
-        stayed row-mode as well — both candidates' costs and which won.
+        stayed row-mode as well — every priced regime's cost (row, batch,
+        and compiled when the execution mode enables it) and which won.
         """
         self._check_open()
-        entry, __ = self.planner.prepare(query, strategy="rank-aware", **kwargs)
+        entry, __ = self.planner.prepare(query, strategy=strategy, **kwargs)
         text = entry.plan.explain()
         if entry.decisions:
             from ..optimizer.hybrid import render_decisions
@@ -801,16 +848,20 @@ class Database:
         sample_ratio: float = 0.01,
         seed: int = 0,
         params: Any = None,
+        strategy: str = "rank-aware",
         **kwargs: Any,
     ) -> str:
         """Optimize, execute and annotate the plan with estimated vs actual
-        per-operator statistics (the engine's EXPLAIN ANALYZE)."""
+        per-operator statistics (the engine's EXPLAIN ANALYZE).
+
+        Compiled segments report as a single fused node (the whole
+        segment's wall time on one ``compiled[...]`` line)."""
         from ..optimizer.explain import explain_analyze
 
         self._check_open()
         entry, __ = self.planner.prepare(
             query,
-            strategy="rank-aware",
+            strategy=strategy,
             sample_ratio=sample_ratio,
             seed=seed,
             params=params,

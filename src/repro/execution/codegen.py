@@ -1,0 +1,801 @@
+"""Plan-to-code compilation: fused pipeline functions for lowered segments.
+
+The batched columnar path (:mod:`repro.execution.batch`) removed per-tuple
+operator dispatch; what remains is per-batch dispatch and the generic batch
+machinery — ``Batch`` construction, ``select`` copies, closure-tree
+expression evaluation — paid on every batch of every execution.  This
+module removes that too, in the style of relational-algebra compilers with
+pipelined code-generation backends: a lowered
+:class:`~repro.optimizer.plans.BatchSegmentPlan` whose shape is supported
+(sort-topped pipelines of scan / filter / project / hash join) is walked
+once at prepare time and emitted as Python source for a **single fused
+function** — scans drive plain ``for`` loops, predicate expressions are
+inlined (no closure per node), hash-join probes and projections run in the
+loop body, and the blocking top-k sort is the loop epilogue.  The source is
+``compile()``d once and stored on the cached plan next to the lowered
+twin; parameter slots are read from the binding at call time, so one
+compiled function serves every binding of a prepared template.
+
+Pipeline breakers become loop boundaries: every hash-join build runs as its
+own loop before the probe loop that uses it, and the sort materializes
+after the main loop.  The µ frontier and all rank-aware (row-mode)
+operators stay on the interpreter — the compiled function sits under the
+existing :class:`~repro.execution.batch.BatchToRow` seam, wrapped in
+:class:`CompiledSegmentSource`, which speaks the same ``next_batch`` /
+``predicates`` / ``bound_hint`` contracts as the
+:class:`~repro.execution.batch.BatchSort` frontier it replaces.
+
+**Parity contract.**  The interpreter is the oracle: a compiled segment
+must produce byte-identical results — rows, scores, rid tie order — *and*
+identical fully-drained metric totals.  Generated code therefore replicates
+the interpreted operators' semantics exactly (NULL propagation, comparison
+collapse, score clamping, ``(-F, rid)`` ordering, the same ``heapq`` /
+``sorted`` top-k) and charges the same aggregate metric totals the batch
+operators would have charged tuple-for-tuple: ``charge_scan`` per scan,
+``charge_boolean`` with each filter's input cardinality, ``charge_move``
+with the summed per-operator emissions, ``charge_join_pair`` with the
+probe-side partner count, ``charge_predicate`` per scored predicate, and
+the sort's exact comparison formulas.  Anything the emitter cannot
+faithfully reproduce raises :class:`UnsupportedSegment` and the segment
+falls back to the interpreted batch pipeline — fallback is silent and
+always available.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..algebra.expressions import (
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Literal,
+)
+from ..algebra.parameters import Parameter
+from ..algebra.predicates import ScoringFunction
+from ..storage.schema import Schema
+from .batch import BATCH_SIZE, Batch, BatchOperator
+
+
+class UnsupportedSegment(Exception):
+    """The segment has no compiled equivalent; the caller falls back to the
+    interpreted batch pipeline (never surfaced to the client)."""
+
+
+def _plan_types():
+    # Imported lazily: optimizer.plans imports execution.batch at module
+    # level, and optimizer.explain reaches back into this module — a
+    # module-level import here would make package import order load-bearing.
+    from ..optimizer import plans
+
+    return plans
+
+
+# ----------------------------------------------------------------------
+# the compiled artifact
+# ----------------------------------------------------------------------
+
+@dataclass
+class CompiledArtifact:
+    """One segment's generated source and compiled fused function.
+
+    ``function(context, fetch_limit)`` runs the whole pipeline and returns
+    ``(ordered_items, ordered_scores, ordered_bounds, n)`` — exactly the
+    materialized state :class:`~repro.execution.batch.BatchSort` builds —
+    where ``ordered_items`` is ``[(carrier, rid), ...]`` in ``(-F, rid)``
+    order, ``ordered_scores`` maps predicate name to the reordered score
+    vector, ``ordered_bounds`` carries the per-tuple ``F`` values, and
+    ``n`` is the pre-top-k input cardinality.
+    """
+
+    source: str
+    function: Callable
+    schema: Schema
+    #: whether carrier items are base ``Row`` objects (scan/filter-only
+    #: pipelines) or plain value tuples (any project/join in the pipeline)
+    rows_kept: bool
+    label: str
+    compile_seconds: float
+
+
+def compiled_segment_count(plan) -> int:
+    """How many lowered segments of ``plan`` carry a compiled artifact."""
+    if plan is None:
+        return 0
+    return sum(
+        1 for node in plan.walk() if getattr(node, "compiled", None) is not None
+    )
+
+
+# ----------------------------------------------------------------------
+# eligibility
+# ----------------------------------------------------------------------
+
+_SUPPORTED_EXPR = (ColumnRef, Literal, Parameter, Arithmetic, Comparison,
+                   BooleanOp, FunctionCall)
+
+
+def _expression_supported(expression: Expression) -> bool:
+    if not isinstance(expression, _SUPPORTED_EXPR):
+        return False
+    return all(_expression_supported(c) for c in expression.children())
+
+
+def _pipeline_schema(plan, catalog) -> Schema:
+    """Output schema of a pipeline subtree (raises on unsupported nodes)."""
+    plans = _plan_types()
+    if isinstance(plan, plans.SeqScanPlan):
+        return catalog.table(plan.table).schema
+    if isinstance(plan, plans.FilterPlan):
+        return _pipeline_schema(plan.children[0], catalog)
+    if isinstance(plan, plans.ProjectPlan):
+        return _pipeline_schema(plan.children[0], catalog).project(plan.columns)
+    if isinstance(plan, plans.HashJoinPlan):
+        return _pipeline_schema(plan.children[0], catalog).concat(
+            _pipeline_schema(plan.children[1], catalog)
+        )
+    raise UnsupportedSegment(f"no compiled form for {plan.label()}")
+
+
+def _check_pipeline(plan, catalog) -> None:
+    plans = _plan_types()
+    if isinstance(plan, plans.SeqScanPlan):
+        catalog.table(plan.table)
+        return
+    if isinstance(plan, plans.FilterPlan):
+        if not _expression_supported(plan.condition.expression):
+            raise UnsupportedSegment(
+                f"unsupported filter expression in {plan.label()}"
+            )
+        schema = _pipeline_schema(plan.children[0], catalog)
+        for ref in plan.condition.expression.references():
+            schema.index_of(ref)
+        _check_pipeline(plan.children[0], catalog)
+        return
+    if isinstance(plan, plans.ProjectPlan):
+        schema = _pipeline_schema(plan.children[0], catalog)
+        for column in plan.columns:
+            schema.index_of(column)
+        _check_pipeline(plan.children[0], catalog)
+        return
+    if isinstance(plan, plans.HashJoinPlan):
+        _pipeline_schema(plan.children[0], catalog).index_of(plan.left_key)
+        _pipeline_schema(plan.children[1], catalog).index_of(plan.right_key)
+        _check_pipeline(plan.children[0], catalog)
+        _check_pipeline(plan.children[1], catalog)
+        return
+    raise UnsupportedSegment(f"no compiled form for {plan.label()}")
+
+
+def supports(inner, catalog, scoring: ScoringFunction) -> bool:
+    """Whether ``inner`` (a segment's unwrapped descriptor subtree) has a
+    compiled equivalent: a sort-topped pipeline of scan / filter / project
+    / hash join whose expressions and scorers the emitter can reproduce.
+
+    The sort-topped restriction is deliberate: the sort is blocking in the
+    interpreter too, so eager materialization inside the fused function
+    preserves drain order and metric totals.  Streaming (non-sort-topped)
+    segments can be cut short by rank-aware consumers, and a fused function
+    that eagerly drained them would diverge on partially-consumed metric
+    totals — those stay on the interpreter.
+    """
+    plans = _plan_types()
+    try:
+        if not isinstance(inner, plans.SortPlan):
+            return False
+        if not scoring.predicate_names:
+            return False
+        _check_pipeline(inner.children[0], catalog)
+        schema = _pipeline_schema(inner.children[0], catalog)
+        for name in scoring.predicate_names:
+            predicate = scoring.predicate(name)
+            scorer = predicate.scorer
+            if isinstance(scorer, Expression):
+                if not _expression_supported(scorer):
+                    return False
+                for ref in scorer.references():
+                    schema.index_of(ref)
+            else:
+                for column in predicate.columns:
+                    schema.index_of(column)
+        return True
+    except Exception:
+        return False
+
+
+# ----------------------------------------------------------------------
+# the emitter
+# ----------------------------------------------------------------------
+
+class _Emitter:
+    """Accumulates generated source lines, baked constants, and the
+    aggregate metric charges the epilogue must issue."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.namespace: dict[str, Any] = {
+            "_nsmallest": heapq.nsmallest,
+            "_log2": math.log2,
+        }
+        self._serial = 0
+        self._params: dict[tuple[int, str], str] = {}
+        self.param_lines: list[str] = []
+        #: one term per operator emission; their sum is ``tuples_moved``
+        self.move_terms: list[str] = []
+        #: (count expression, per-evaluation cost) per filter
+        self.boolean_charges: list[tuple[str, float]] = []
+        #: pairs-counter variable per hash join
+        self.pair_counters: list[str] = []
+
+    def fresh(self, prefix: str) -> str:
+        self._serial += 1
+        return f"_{prefix}{self._serial}"
+
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append("    " * depth + text)
+
+    def const(self, value: Any, prefix: str = "c") -> str:
+        name = self.fresh(prefix)
+        self.namespace[name] = value
+        return name
+
+    # -- expression emission -------------------------------------------
+    def param_var(self, parameter: Parameter) -> str:
+        """Hoist a bind-variable read into the per-call prelude: bindings
+        cannot change mid-run (the template's execution lock serializes
+        bind + execute), so one slot read per call is equivalent to the
+        interpreter's per-row closure read and the loop body sees a plain
+        local."""
+        key = (id(parameter.slots), parameter.key)
+        var = self._params.get(key)
+        if var is None:
+            slots_var = self.const(parameter.slots, "slots")
+            var = self.fresh("param")
+            self.param_lines.append(
+                f"{var} = {slots_var}.value({parameter.key!r})"
+            )
+            self._params[key] = var
+        return var
+
+    def value(self, expr: Expression, cur: str, schema: Schema, depth: int) -> str:
+        """Emit evaluation of ``expr`` against the row-like ``cur``; returns
+        a source atom (safe to repeat) or a single-assignment temp.
+
+        Replicates :meth:`Expression.compile` closure semantics exactly:
+        NULL propagation in arithmetic, NULL-to-False comparison collapse,
+        and short-circuit strict-bool ``and`` / ``or``.
+        """
+        atom, __ = self._value(expr, cur, schema, depth)
+        return atom
+
+    def _value(
+        self, expr: Expression, cur: str, schema: Schema, depth: int
+    ) -> tuple[str, bool]:
+        """(source atom, may-be-None) — the flag folds away the NULL checks
+        the interpreted closures perform, exactly where their outcome is
+        statically known (a literal operand can never be NULL at runtime,
+        and ``0.25 is None`` in generated source would be a SyntaxWarning —
+        fatal under the warnings-as-errors CI jobs)."""
+        if isinstance(expr, ColumnRef):
+            return f"{cur}[{schema.index_of(expr.name)}]", True
+        if isinstance(expr, Parameter):
+            return self.param_var(expr), True
+        if isinstance(expr, Literal):
+            value = expr.value
+            if value is None:
+                return "None", True
+            if isinstance(value, (bool, int, float, str)):
+                return repr(value), False
+            return self.const(value, "lit"), False
+        if isinstance(expr, Arithmetic):
+            a, a_null = self._value(expr.left, cur, schema, depth)
+            b, b_null = self._value(expr.right, cur, schema, depth)
+            if a == "None" or b == "None":
+                return "None", True
+            checks = [f"{x} is None" for x, n in ((a, a_null), (b, b_null)) if n]
+            out = self.fresh("t")
+            if checks:
+                self.emit(
+                    depth,
+                    f"{out} = None if {' or '.join(checks)} "
+                    f"else {a} {expr.op} {b}",
+                )
+                return out, True
+            self.emit(depth, f"{out} = {a} {expr.op} {b}")
+            return out, False
+        if isinstance(expr, Comparison):
+            a, a_null = self._value(expr.left, cur, schema, depth)
+            b, b_null = self._value(expr.right, cur, schema, depth)
+            op = "==" if expr.op == "=" else expr.op
+            if a == "None" or b == "None":
+                return "False", False
+            checks = [f"{x} is None" for x, n in ((a, a_null), (b, b_null)) if n]
+            out = self.fresh("t")
+            if checks:
+                self.emit(
+                    depth,
+                    f"{out} = False if {' or '.join(checks)} "
+                    f"else {a} {op} {b}",
+                )
+            else:
+                self.emit(depth, f"{out} = {a} {op} {b}")
+            return out, False
+        if isinstance(expr, BooleanOp):
+            return self._boolean(expr, cur, schema, depth), False
+        if isinstance(expr, FunctionCall):
+            args = [self.value(a, cur, schema, depth) for a in expr.args]
+            fn = self.const(expr.fn, "fn")
+            out = self.fresh("t")
+            self.emit(depth, f"{out} = {fn}({', '.join(args)})")
+            return out, True
+        raise UnsupportedSegment(
+            f"no compiled form for expression node {type(expr).__name__}"
+        )
+
+    def _boolean(self, expr: BooleanOp, cur: str, schema: Schema, depth: int) -> str:
+        out = self.fresh("t")
+        if expr.op == "not":
+            inner = self.value(expr.operands[0], cur, schema, depth)
+            self.emit(depth, f"{out} = not {inner}")
+            return out
+        # The interpreted closures are all()/any() over lazily-evaluated
+        # operands: later operands are emitted inside the else-branch,
+        # preserving short-circuiting, and the result is a strict bool.
+        is_and = expr.op == "and"
+
+        def chain(operands, d: int) -> None:
+            value = self.value(operands[0], cur, schema, d)
+            if is_and:
+                self.emit(d, f"if not {value}:")
+                self.emit(d + 1, f"{out} = False")
+            else:
+                self.emit(d, f"if {value}:")
+                self.emit(d + 1, f"{out} = True")
+            self.emit(d, "else:")
+            if len(operands) == 1:
+                self.emit(d + 1, f"{out} = {'True' if is_and else 'False'}")
+            else:
+                chain(operands[1:], d + 1)
+
+        chain(tuple(expr.operands), depth)
+        return out
+
+
+# ----------------------------------------------------------------------
+# pipeline compilation
+# ----------------------------------------------------------------------
+
+def _flatten_pipeline(plan) -> list:
+    """The left-deep pipeline rooted at ``plan``, bottom-up (scan first).
+    Hash joins contribute their probe step; their right subtrees are
+    separate build pipelines handled by the caller."""
+    plans = _plan_types()
+    ops: list = []
+    node = plan
+    while True:
+        ops.append(node)
+        if isinstance(node, plans.SeqScanPlan):
+            break
+        if isinstance(
+            node, (plans.FilterPlan, plans.ProjectPlan, plans.HashJoinPlan)
+        ):
+            node = node.children[0]
+        else:
+            raise UnsupportedSegment(f"no compiled form for {node.label()}")
+    ops.reverse()
+    return ops
+
+
+def _emit_pipeline(
+    emitter: _Emitter,
+    root,
+    catalog,
+    consume,
+    tail_count_expr,
+    depth: int,
+) -> tuple[Schema, str]:
+    """Emit one pipeline as a fused scan-driven loop.
+
+    ``consume(cur, access, rid, carrier, schema, depth)`` emits the
+    innermost body (result append or hash-table insert); ``cur`` is the
+    carrier item (a ``Row`` while the carrier is ``"rows"``) and
+    ``access`` the plain value tuple to index — hoisted once per
+    iteration, so column reads never go through ``Row.__getitem__``.
+    ``tail_count_expr`` names the pipeline's final emission count when the
+    caller computes it after the loop (``_n`` for the main pipeline);
+    ``None`` forces per-operator counters.  Returns the final schema and
+    carrier kind (``"rows"`` while tuples are still base ``Row`` objects,
+    ``"values"`` once a project or join rebuilt them as plain tuples —
+    mirroring which interpreted operators preserve ``Batch.rows``).
+    """
+    plans = _plan_types()
+    ops = _flatten_pipeline(root)
+
+    # Output schema of each operator, bottom-up.
+    schemas: list[Schema] = []
+    for op in ops:
+        if isinstance(op, plans.SeqScanPlan):
+            schemas.append(catalog.table(op.table).schema)
+        elif isinstance(op, plans.FilterPlan):
+            schemas.append(schemas[-1])
+        elif isinstance(op, plans.ProjectPlan):
+            schemas.append(schemas[-1].project(op.columns))
+        else:  # HashJoinPlan
+            schemas.append(
+                schemas[-1].concat(_pipeline_schema(op.children[1], catalog))
+            )
+
+    # Emission-count expression per operator — the terms of the aggregate
+    # charge_move and each filter's charge_boolean input count.  The scan
+    # knows its count, a project passes its child's through, and a
+    # filter/join whose output reaches the pipeline tail through projects
+    # only reuses the tail count; everything else gets a dedicated counter
+    # incremented in-loop.
+    scan_n = emitter.fresh("n")
+    counters: dict[int, str] = {}
+    count_exprs: list[str] = []
+    for i, op in enumerate(ops):
+        if isinstance(op, plans.SeqScanPlan):
+            count_exprs.append(scan_n)
+        elif isinstance(op, plans.ProjectPlan):
+            count_exprs.append(count_exprs[i - 1])
+        else:  # filter or join
+            tail_chained = tail_count_expr is not None and all(
+                isinstance(above, plans.ProjectPlan) for above in ops[i + 1:]
+            )
+            if tail_chained:
+                count_exprs.append(tail_count_expr)
+            else:
+                counter = emitter.fresh("kept")
+                counters[i] = counter
+                count_exprs.append(counter)
+    emitter.move_terms.extend(count_exprs)
+
+    # Hash-join builds are loop boundaries: each join's build pipeline runs
+    # (recursively, so nested joins fill their own tables first) before the
+    # probe loop that uses it.
+    join_state: dict[int, tuple[str, str]] = {}
+    for i, op in enumerate(ops):
+        if not isinstance(op, plans.HashJoinPlan):
+            continue
+        ht = emitter.fresh("ht")
+        ht_add = emitter.fresh("htadd")
+        pairs = emitter.fresh("pairs")
+        emitter.pair_counters.append(pairs)
+        emitter.emit(depth, f"{ht} = {{}}")
+        emitter.emit(depth, f"{ht_add} = {ht}.setdefault")
+        emitter.emit(depth, f"{pairs} = 0")
+
+        def build_consume(
+            cur, access, rid, carrier, schema, d, *, _op=op, _add=ht_add
+        ):
+            position = schema.index_of(_op.right_key)
+            # Identical to the interpreted build: partners stored in
+            # build-arrival order per key, as (value-tuple, rid) pairs.
+            emitter.emit(
+                d, f"{_add}({access}[{position}], []).append(({access}, {rid}))"
+            )
+
+        _emit_pipeline(
+            emitter, op.children[1], catalog, build_consume, None, depth
+        )
+        join_state[i] = (ht, pairs)
+
+    # Counter initializations, then the scan-driven loop.
+    for counter in counters.values():
+        emitter.emit(depth, f"{counter} = 0")
+    scan = ops[0]
+    view = emitter.fresh("view")
+    cur = emitter.fresh("row")
+    rid = emitter.fresh("rid")
+    emitter.emit(depth, f"{view} = _catalog.table({scan.table!r}).columns()")
+    emitter.emit(depth, f"{scan_n} = len({view})")
+    emitter.emit(depth, f"_metrics.charge_scan({scan_n})")
+    emitter.emit(depth, f"for {cur}, {rid} in zip({view}.rows, {view}.rids):")
+
+    carrier = "rows"
+    schema = schemas[0]
+    d = depth + 1
+    # Hoist the value tuple once per row: every downstream column read
+    # indexes a plain tuple instead of calling ``Row.__getitem__``.
+    access = emitter.fresh("vals")
+    emitter.emit(d, f"{access} = {cur}.values")
+    for i in range(1, len(ops)):
+        op = ops[i]
+        if isinstance(op, plans.FilterPlan):
+            value = emitter.value(op.condition.expression, access, schema, d)
+            emitter.boolean_charges.append(
+                (count_exprs[i - 1], op.condition.cost)
+            )
+            emitter.emit(d, f"if not {value}:")
+            emitter.emit(d + 1, "continue")
+            if i in counters:
+                emitter.emit(d, f"{counters[i]} += 1")
+        elif isinstance(op, plans.ProjectPlan):
+            positions = [schema.index_of(c) for c in op.columns]
+            out = emitter.fresh("proj")
+            cells = ", ".join(f"{access}[{p}]" for p in positions)
+            trailing = "," if len(positions) == 1 else ""
+            emitter.emit(d, f"{out} = ({cells}{trailing})")
+            cur = out
+            access = out
+            carrier = "values"
+            schema = schemas[i]
+        else:  # HashJoinPlan probe
+            ht, pairs = join_state[i]
+            position = schema.index_of(op.left_key)
+            partners = emitter.fresh("part")
+            emitter.emit(d, f"{partners} = {ht}.get({access}[{position}])")
+            emitter.emit(d, f"if not {partners}:")
+            emitter.emit(d + 1, "continue")
+            emitter.emit(d, f"{pairs} += len({partners})")
+            pv = emitter.fresh("pv")
+            prid = emitter.fresh("prid")
+            emitter.emit(d, f"for {pv}, {prid} in {partners}:")
+            d += 1
+            jv = emitter.fresh("jv")
+            jrid = emitter.fresh("jrid")
+            emitter.emit(d, f"{jv} = {access} + {pv}")
+            emitter.emit(d, f"{jrid} = {rid} + {prid}")
+            cur, rid = jv, jrid
+            access = jv
+            carrier = "values"
+            schema = schemas[i]
+            if i in counters:
+                emitter.emit(d, f"{counters[i]} += 1")
+
+    consume(cur, access, rid, carrier, schema, d)
+    return schemas[-1], carrier
+
+
+# ----------------------------------------------------------------------
+# the compiler
+# ----------------------------------------------------------------------
+
+def compile_segment(inner, catalog, scoring: ScoringFunction) -> CompiledArtifact:
+    """Compile a segment descriptor (the unwrapped subtree of a lowered
+    ``BatchSegmentPlan``) into a fused function.
+
+    Raises :class:`UnsupportedSegment` for any shape, expression, or
+    scorer the emitter cannot faithfully reproduce — the caller keeps the
+    interpreted batch pipeline.
+    """
+    plans = _plan_types()
+    started = time.perf_counter()
+    if not isinstance(inner, plans.SortPlan):
+        raise UnsupportedSegment("only sort-topped segments compile")
+    names = scoring.predicate_names
+    if not names:
+        raise UnsupportedSegment("no ranking predicates to order by")
+
+    emitter = _Emitter()
+    emitter.emit(1, "_catalog = context.catalog")
+    emitter.emit(1, "_metrics = context.metrics")
+    prelude_index = len(emitter.lines)
+    emitter.emit(1, "_items = []")
+    emitter.emit(1, "_rids = []")
+    emitter.emit(1, "_items_append = _items.append")
+    emitter.emit(1, "_rids_append = _rids.append")
+
+    def consume(cur, access, rid, carrier, schema, depth):
+        emitter.emit(depth, f"_items_append({cur})")
+        emitter.emit(depth, f"_rids_append({rid})")
+
+    schema, carrier = _emit_pipeline(
+        emitter, inner.children[0], catalog, consume, "_n", 1
+    )
+
+    # ---- epilogue: aggregate charges ---------------------------------
+    emitter.emit(1, "_n = len(_items)")
+    if emitter.move_terms:
+        emitter.emit(
+            1, f"_metrics.charge_move({' + '.join(emitter.move_terms)})"
+        )
+    for count, cost in emitter.boolean_charges:
+        emitter.emit(1, f"_metrics.charge_boolean({count}, cost={cost!r})")
+    for pairs in emitter.pair_counters:
+        emitter.emit(1, f"_metrics.charge_join_pair({pairs})")
+
+    # ---- epilogue: score every ranking predicate ---------------------
+    score_vars: list[tuple[str, str]] = []
+    for name in names:
+        predicate = scoring.predicate(name)
+        sv = emitter.fresh("scores")
+        app = emitter.fresh("sapp")
+        item = emitter.fresh("item")
+        score_vars.append((name, sv))
+        emitter.emit(1, f"{sv} = []")
+        emitter.emit(1, f"{app} = {sv}.append")
+        emitter.emit(1, f"for {item} in _items:")
+        if carrier == "rows":
+            # Same value-tuple hoist as the pipeline loop: items are still
+            # Row objects, so index their tuples directly.
+            item_values = emitter.fresh("itemv")
+            emitter.emit(2, f"{item_values} = {item}.values")
+            item = item_values
+        if predicate.spin_loops:
+            # The calibrated busy-loop the interpreted scorer runs per
+            # evaluation — kept so wall-time comparisons stay honest.
+            sink = emitter.fresh("sink")
+            idx = emitter.fresh("spin")
+            emitter.emit(2, f"{sink} = 0")
+            emitter.emit(2, f"for {idx} in range({predicate.spin_loops}):")
+            emitter.emit(3, f"{sink} += {idx}")
+        scorer = predicate.scorer
+        if isinstance(scorer, Expression):
+            raw = emitter.value(scorer, item, schema, 2)
+        else:
+            fn = emitter.const(scorer, "pfn")
+            positions = [schema.index_of(c) for c in predicate.columns]
+            args = ", ".join(f"{item}[{p}]" for p in positions)
+            raw = emitter.fresh("t")
+            emitter.emit(2, f"{raw} = {fn}({args})")
+        s = emitter.fresh("s")
+        # RankingPredicate.compile's exact clamp chain.
+        emitter.emit(2, f"{s} = {raw}")
+        emitter.emit(2, f"if {s} is None:")
+        emitter.emit(3, f"{s} = 0.0")
+        emitter.emit(2, f"elif {s} < 0.0:")
+        emitter.emit(3, f"{s} = 0.0")
+        emitter.emit(2, f"elif {s} > {predicate.p_max!r}:")
+        emitter.emit(3, f"{s} = {predicate.p_max!r}")
+        emitter.emit(2, "else:")
+        emitter.emit(3, f"{s} = float({s})")
+        emitter.emit(2, f"{app}({s})")
+        emitter.emit(1, f"_metrics.charge_predicate({predicate.cost!r}, _n)")
+
+    # ---- epilogue: per-row F via the same upper_bound arithmetic -----
+    # Every predicate is evaluated here and the score columns follow
+    # ``scoring.predicates`` order, so ``upper_bound(dict)`` reduces to
+    # ``combine(per)`` on the identical sequence.  combine is called
+    # through the baked ScoringFunction rather than inlined: the
+    # combiner's float accumulation must be bit-identical.
+    emitter.namespace["_combine"] = scoring.combine
+    columns = ", ".join(sv for __, sv in score_vars)
+    trailing = "," if len(score_vars) == 1 else ""
+    emitter.emit(1, f"_score_columns = ({columns}{trailing})")
+    emitter.emit(1, "_bounds = [")
+    emitter.emit(2, "_combine(_per)")
+    emitter.emit(2, "for _per in zip(*_score_columns)")
+    emitter.emit(1, "] if _n else []")
+
+    # ---- epilogue: the sort (BatchSort's exact top-k and formulas) ---
+    emitter.emit(1, "if fetch_limit is not None and fetch_limit < _n:")
+    emitter.emit(
+        2,
+        "_metrics.charge_comparisons("
+        "int(_n * max(1, _log2(max(2, fetch_limit)))))",
+    )
+    emitter.emit(
+        2,
+        "_order = _nsmallest(fetch_limit, range(_n), "
+        "key=lambda i: (-_bounds[i], _rids[i]))",
+    )
+    emitter.emit(1, "else:")
+    emitter.emit(
+        2, "_metrics.charge_comparisons(int(_n * max(1, _log2(_n or 1))))"
+    )
+    emitter.emit(
+        2, "_order = sorted(range(_n), key=lambda i: (-_bounds[i], _rids[i]))"
+    )
+    scores_items = ", ".join(
+        f"{name!r}: [{sv}[_i] for _i in _order]" for name, sv in score_vars
+    )
+    emitter.emit(1, "return (")
+    emitter.emit(2, "[(_items[_i], _rids[_i]) for _i in _order],")
+    emitter.emit(2, f"{{{scores_items}}},")
+    emitter.emit(2, "[_bounds[_i] for _i in _order],")
+    emitter.emit(2, "_n,")
+    emitter.emit(1, ")")
+
+    # ---- assemble and compile ----------------------------------------
+    lines = (
+        emitter.lines[:prelude_index]
+        + ["    " + line for line in emitter.param_lines]
+        + emitter.lines[prelude_index:]
+    )
+    source = "def _fused(context, fetch_limit):\n" + "\n".join(lines) + "\n"
+    steps = [op.label() for op in _flatten_pipeline(inner.children[0])]
+    label = f"compiled[{' -> '.join(steps)} -> sort]"
+    code = compile(source, f"<codegen:{label}>", "exec")
+    namespace = emitter.namespace
+    exec(code, namespace)
+    return CompiledArtifact(
+        source=source,
+        function=namespace["_fused"],
+        schema=schema,
+        rows_kept=(carrier == "rows"),
+        label=label,
+        compile_seconds=time.perf_counter() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# the frontier operator
+# ----------------------------------------------------------------------
+
+class CompiledSegmentSource(BatchOperator):
+    """Runs a segment's compiled fused function and serves the ordered
+    result in ``BATCH_SIZE`` slices — :class:`BatchSort`'s frontier
+    contract (limit pushdown, bound hints from the ordered F column,
+    prescore refusal via ``predicates()``) over a body that executes as
+    one generated function instead of an operator tree.
+    """
+
+    kind = "compiled"
+
+    def __init__(self, artifact: CompiledArtifact,
+                 fetch_limit: int | None = None):
+        super().__init__()
+        self.artifact = artifact
+        self.fetch_limit = fetch_limit
+        self._ordered = None
+        self._position = 0
+
+    def describe(self) -> str:
+        if self.fetch_limit is not None:
+            return f"{self.artifact.label}(top {self.fetch_limit})"
+        return self.artifact.label
+
+    def schema(self) -> Schema:
+        return self.artifact.schema
+
+    def predicates(self) -> frozenset[str]:
+        return frozenset(self.context.scoring.predicate_names)
+
+    def notify_limit(self, k: int) -> None:
+        if self.fetch_limit is None:
+            self.fetch_limit = k
+
+    def bound_hint(self) -> float:
+        if self._ordered is None:
+            return self.context.scoring.max_possible()
+        if self._position >= len(self._ordered[0]):
+            return -math.inf
+        return self._ordered[2][self._position]
+
+    def _open(self) -> None:
+        self._ordered = None
+        self._position = 0
+
+    def _next_batch(self) -> Batch | None:
+        if self._ordered is None:
+            ordered, score_vectors, bounds, n = self.artifact.function(
+                self.context, self.fetch_limit
+            )
+            self._record_input(n)
+            self._ordered = (ordered, score_vectors, bounds)
+        ordered, score_vectors, __ = self._ordered
+        start = self._position
+        if start >= len(ordered):
+            return None
+        end = min(start + BATCH_SIZE, len(ordered))
+        self._position = end
+        chunk = ordered[start:end]
+        rids = [rid for __, rid in chunk]
+        sliced_scores = {
+            name: vector[start:end] for name, vector in score_vectors.items()
+        }
+        if self.artifact.rows_kept:
+            return Batch(
+                self.schema(),
+                rids,
+                rows=[item for item, __ in chunk],
+                scores=sliced_scores,
+            )
+        return Batch(
+            self.schema(),
+            rids,
+            values=[item for item, __ in chunk],
+            scores=sliced_scores,
+        )
+
+    def _close(self) -> None:
+        self._ordered = None

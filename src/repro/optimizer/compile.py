@@ -1,0 +1,57 @@
+"""Attach compiled fused functions to a decided plan's lowered segments.
+
+The bridge between the costed three-regime decision
+(:mod:`repro.optimizer.hybrid`) and the code generator
+(:mod:`repro.execution.codegen`): after ``decide_batch_lowering`` has
+annotated each ``BatchSegmentPlan`` wrapper, :func:`compile_plan` walks the
+executable plan once at prepare time and stamps a
+:class:`~repro.execution.codegen.CompiledArtifact` onto every wrapper whose
+decision chose the compiled regime.  Compilation failures are silent by
+contract — the wrapper keeps ``compiled=None`` and builds the interpreted
+batch pipeline, so no error ever reaches the client.
+"""
+
+from __future__ import annotations
+
+from ..execution import codegen
+from .plans import BatchSegmentPlan, PlanNode
+
+
+def compile_plan(
+    plan: "PlanNode | None", catalog, scoring, mode: str = "auto"
+) -> tuple[int, float]:
+    """Compile every lowered segment of ``plan`` the decision pass elected
+    to compile; returns ``(segments_compiled, compile_seconds)``.
+
+    ``mode="always"`` (the forced ``execution="compiled"`` knob) compiles
+    every *supported* segment regardless of its costed decision —
+    unsupported shapes still fall back to the interpreted batch pipeline.
+    Re-running on an already-stamped plan rebuilds the artifacts from
+    scratch (recompiles replace, never leak, stale functions).
+    """
+    if plan is None:
+        return 0, 0.0
+    count = 0
+    seconds = 0.0
+    for node in plan.walk():
+        if not isinstance(node, BatchSegmentPlan):
+            continue
+        node.compiled = None
+        decision = node.decision
+        wanted = decision is not None and getattr(
+            decision, "compiled_chosen", False
+        )
+        if not wanted and mode == "always":
+            wanted = codegen.supports(node.inner, catalog, scoring)
+        if not wanted:
+            continue
+        try:
+            artifact = codegen.compile_segment(node.inner, catalog, scoring)
+        except Exception:
+            # Fallback contract: any emitter gap leaves the interpreted
+            # batch pipeline in place, invisibly to the client.
+            continue
+        node.compiled = artifact
+        count += 1
+        seconds += artifact.compile_seconds
+    return count, seconds

@@ -118,6 +118,27 @@ MORSEL_DISPATCH_UNIT = 30.0
 #: per tuple passing through the order-restoring gather at the frontier
 PARALLEL_TUPLE_UNIT = 0.002
 
+# ---------------------------------------------------------------------------
+# Compiled-regime units.
+#
+# Plan-to-code compilation removes what the batch regime still pays: batch
+# construction and per-batch dispatch disappear entirely (the fused
+# function is one loop nest), and tuples cost only plain-loop handling.
+# The per-tuple unit therefore sits well under BATCH_TUPLE_UNIT, and there
+# is no per-batch dispatch term at all.  The setup unit prices the one-off
+# compile (emit + ``compile()`` + ``exec``) slightly above BATCH_SETUP_UNIT
+# — amortized across every execution of the cached template, but enough to
+# keep one-shot tiny segments from compiling for nothing.
+# ---------------------------------------------------------------------------
+
+#: per tuple flowing through the fused loop body (no Batch objects, no
+#: per-batch dispatch, no closure tree — measured ≥ 2× under the batch
+#: regime's combined per-tuple handling)
+COMPILED_TUPLE_UNIT = 0.002
+#: fixed per-segment cost of emitting + compiling the fused function,
+#: amortized over the cached plan's lifetime
+COMPILED_SETUP_UNIT = 8.0
+
 _BLOCKING = (SortPlan, SortMergeJoinPlan, HashJoinPlan, NestedLoopJoinPlan)
 
 
@@ -431,6 +452,92 @@ class CostModel:
             )
         self._cost_memo[key] = value
         return value
+
+    def compiled_segment_cost(self, inner: PlanNode, drained: bool = False) -> float:
+        """Cost of a lowered segment executed as one compiled fused
+        function — the third regime, priced against ``row`` and ``batch``.
+
+        Includes the per-segment compile setup and the unchanged
+        ``BatchToRow`` frontier conversion (the fused function emits the
+        same sorted batches the interpreted frontier would).  Only the node
+        kinds the code generator supports are priced; callers must guard
+        with :func:`repro.execution.codegen.supports`.
+        """
+        key = ("compiled-segment", inner.fingerprint(), drained)
+        if key in self._cost_memo:
+            return self._cost_memo[key]
+        n_out = self.production(inner, drained)
+        value = (
+            self._compiled_cost(inner, drained)
+            + COMPILED_SETUP_UNIT
+            + n_out * FRONTIER_TUPLE_UNIT
+        )
+        self._cost_memo[key] = value
+        return value
+
+    def _compiled_cost(self, plan: PlanNode, drained: bool) -> float:
+        key = ("compiled", plan.fingerprint(), drained)
+        if key in self._cost_memo:
+            return self._cost_memo[key]
+        value = self._compiled_cost_inner(plan, drained)
+        self._cost_memo[key] = value
+        return value
+
+    def _compiled_cost_inner(self, plan: PlanNode, drained: bool) -> float:
+        """The fused-loop twin of ``_batch_cost_inner``: same cardinality
+        and predicate/join/sort work terms (the algorithms are identical),
+        but per-tuple handling at COMPILED_TUPLE_UNIT and no per-batch
+        dispatch anywhere — the loop nest has no batch boundaries."""
+        if isinstance(plan, BatchSegmentPlan):
+            return self._compiled_cost(plan.inner, drained)
+
+        child_drained = drained or isinstance(plan, _BLOCKING)
+        children_cost = sum(
+            self._compiled_cost(c, child_drained) for c in plan.children
+        )
+
+        if isinstance(plan, SeqScanPlan):
+            return self.production(plan, drained) * SCAN_UNIT
+
+        if isinstance(plan, FilterPlan):
+            n_in = self._consumed(plan.children[0], child_drained)
+            return children_cost + n_in * (
+                plan.condition.cost + COMPILED_TUPLE_UNIT
+            )
+
+        if isinstance(plan, ProjectPlan):
+            n_in = self._consumed(plan.children[0], child_drained)
+            return children_cost + n_in * COMPILED_TUPLE_UNIT
+
+        if isinstance(plan, SortPlan):
+            n_in = self.full_cardinality(plan.children[0])
+            missing = (
+                frozenset(self.scoring.predicate_names)
+                - plan.children[0].rank_predicates
+            )
+            predicate_cost = sum(self._predicate_cost(name) for name in missing)
+            sort_cost = n_in * max(1.0, math.log2(n_in or 1)) * COMPARE_UNIT
+            return (
+                children_cost
+                + n_in * predicate_cost
+                + n_in * COMPILED_TUPLE_UNIT
+                + sort_cost
+            )
+
+        if isinstance(plan, HashJoinPlan):
+            left, right = plan.children
+            n_left = self.full_cardinality(left)
+            n_right = self.full_cardinality(right)
+            pairs = self.full_cardinality(plan)
+            return (
+                children_cost
+                + (n_left + n_right) * COMPILED_TUPLE_UNIT
+                + pairs * JOIN_PAIR_UNIT
+            )
+
+        raise TypeError(
+            f"no compiled-regime cost for plan node: {type(plan).__name__}"
+        )
 
     def _segment_source_tuples(self, plan: PlanNode) -> float:
         """Estimated size of the segment's widest morsel source — the

@@ -152,6 +152,26 @@ def _collect(
         )
     )
     if isinstance(plan, BatchSegmentPlan) and isinstance(operator, BatchToRow):
+        from ..execution.codegen import CompiledSegmentSource
+
+        if isinstance(operator.source, CompiledSegmentSource):
+            # The fused function collapses the whole segment into one
+            # operator, so the descriptor subtree has no per-node twin to
+            # descend into: report the compiled source as a single node
+            # (its wall time is the entire segment's execution time).
+            source = operator.source
+            out.append(
+                NodeReport(
+                    label=source.describe(),
+                    depth=depth + 1,
+                    estimated_rows=estimator.estimate(plan.inner),
+                    estimated_cost=cost_model.compiled_segment_cost(plan.inner),
+                    actual_in=source.stats.tuples_in,
+                    actual_out=source.stats.tuples_out,
+                    wall_ms=source.stats.wall_seconds * 1000.0,
+                )
+            )
+            return
         # Descend through the frontier into the batch operator tree; the
         # descriptor subtree and the built operators are shape-identical
         # (a Sort frontier maps onto BatchSort).

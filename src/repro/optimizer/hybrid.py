@@ -37,6 +37,20 @@ The pass also runs over plans the enumerator already decided (its
 alternatives *during* the DP): existing wrappers are re-priced and
 annotated, never re-wrapped, so the recorded decisions always reflect the
 one cost model that produced the plan.
+
+Since PR 9 the pass prices a **third regime**: plan-to-code compilation
+(:mod:`repro.execution.codegen`).  When the session's execution mode
+enables it (``compiled_mode="auto"`` / ``"always"``), every segment the
+code generator supports is additionally priced with
+:meth:`~repro.optimizer.cost_model.CostModel.compiled_segment_cost` and
+the explain footer shows all three candidates — ``row vs batch vs
+compiled`` — with the winner.  In ``auto`` the compiled regime must beat
+*both* others; in ``always`` (the forced ``execution="compiled"`` knob)
+every supported segment compiles and unsupported segments demonstrably
+fall back to the batch pipeline.  Segments the generator cannot reproduce
+(non-sort-topped, rank-carrying, exotic operators) are simply never
+priced for compilation — the interpreter remains the fallback and the
+parity oracle.
 """
 
 from __future__ import annotations
@@ -70,6 +84,13 @@ class SegmentDecision:
     #: estimated batch cost per candidate DOP, ``{dop: cost}``; always
     #: contains at least ``{1: batch_cost}``
     parallel_costs: dict[int, float] = field(default_factory=dict)
+    #: estimated cost of the compiled fused-function twin, or None when the
+    #: segment was not priced for compilation (mode off / unsupported shape)
+    compiled_cost: float | None = None
+    #: the compiled-regime mode this decision was priced under:
+    #: "off" (never compile), "auto" (compile iff cheapest), or "always"
+    #: (forced — every supported segment compiles)
+    compiled_mode: str = "off"
 
     @property
     def chosen_batch_cost(self) -> float:
@@ -77,11 +98,33 @@ class SegmentDecision:
         return self.parallel_costs.get(self.dop, self.batch_cost)
 
     @property
+    def compiled_chosen(self) -> bool:
+        """Whether the compiled regime wins this segment.  ``None``
+        compiled_cost means the segment has no compiled twin, so forced
+        mode still falls back to the interpreted pipeline."""
+        if self.compiled_cost is None:
+            return False
+        if self.compiled_mode == "always":
+            return True
+        return (
+            self.compiled_cost < self.row_cost
+            and self.compiled_cost < self.chosen_batch_cost
+        )
+
+    @property
     def lowered(self) -> bool:
+        if self.compiled_chosen:
+            return True
+        # Segments without a compiled twin (unsupported shapes) keep the
+        # normal costed row-vs-batch outcome in every compiled mode; a
+        # *chosen* segment whose compilation later fails falls back to
+        # the interpreted batch pipeline of the same wrapper.
         return self.chosen_batch_cost < self.row_cost
 
     @property
     def winner(self) -> str:
+        if self.compiled_chosen:
+            return "compiled"
         if not self.lowered:
             return "row"
         return "batch" if self.dop <= 1 else f"batch(dop={self.dop})"
@@ -94,6 +137,8 @@ class SegmentDecision:
             text += (
                 f" vs batch@dop={self.dop} cost={self.chosen_batch_cost:,.0f}"
             )
+        if self.compiled_cost is not None:
+            text += f" vs compiled cost={self.compiled_cost:,.0f}"
         return f"{text} -> {self.winner}"
 
 
@@ -112,15 +157,21 @@ def _dop_candidates(max_dop: int) -> list[int]:
 
 
 def price_segment(
-    segment: PlanNode, cost_model: CostModel, max_dop: int = 1
+    segment: PlanNode,
+    cost_model: CostModel,
+    max_dop: int = 1,
+    compiled_mode: str = "off",
 ) -> SegmentDecision:
-    """Price both execution regimes — and every candidate DOP of the batch
-    regime up to ``max_dop`` — for one lowerable segment.
+    """Price the execution regimes — row, every candidate DOP of the batch
+    regime up to ``max_dop``, and (when ``compiled_mode`` enables it and
+    the code generator supports the shape) the compiled fused function —
+    for one lowerable segment.
 
     ``segment`` may already be wrapped in a :class:`BatchSegmentPlan` (the
-    enumerator's doing); the comparison is always row twin vs batch twin.
-    The decision's ``dop`` is the cheapest candidate (ties break low, so
-    parallelism must *win*, not merely match, to be chosen).
+    enumerator's doing); the comparison is always between the regime twins
+    of the inner tree.  The decision's ``dop`` is the cheapest batch
+    candidate (ties break low, so parallelism must *win*, not merely
+    match, to be chosen).
     """
     inner = segment.inner if isinstance(segment, BatchSegmentPlan) else segment
     parallel_costs = {
@@ -128,17 +179,28 @@ def price_segment(
         for dop in _dop_candidates(max_dop)
     }
     best_dop = min(parallel_costs, key=lambda dop: (parallel_costs[dop], dop))
+    compiled_cost = None
+    if compiled_mode != "off":
+        from ..execution import codegen
+
+        if codegen.supports(inner, cost_model.catalog, cost_model.scoring):
+            compiled_cost = cost_model.compiled_segment_cost(inner)
     return SegmentDecision(
         segment=inner.label(),
         row_cost=cost_model.cost(inner),
         batch_cost=parallel_costs[1],
         dop=best_dop,
         parallel_costs=parallel_costs,
+        compiled_cost=compiled_cost,
+        compiled_mode=compiled_mode,
     )
 
 
 def decide_batch_lowering(
-    plan: PlanNode, cost_model: CostModel, max_dop: int = 1
+    plan: PlanNode,
+    cost_model: CostModel,
+    max_dop: int = 1,
+    compiled_mode: str = "off",
 ) -> tuple[PlanNode, list[SegmentDecision]]:
     """Lower each maximal ``P = φ`` segment of ``plan`` iff batch wins.
 
@@ -151,7 +213,9 @@ def decide_batch_lowering(
     a no-op on fully DP-decided plans apart from collecting the records.
     """
     decisions: list[SegmentDecision] = []
-    decided = _decide(plan, cost_model, decisions, max(1, int(max_dop)))
+    decided = _decide(
+        plan, cost_model, decisions, max(1, int(max_dop)), compiled_mode
+    )
     return decided, decisions
 
 
@@ -160,12 +224,13 @@ def _decide(
     cost_model: CostModel,
     decisions: list[SegmentDecision],
     max_dop: int,
+    compiled_mode: str,
 ) -> PlanNode:
     if isinstance(plan, BatchSegmentPlan):
         # Already decided (by the enumerator or a previous pass): keep, but
         # record and annotate the comparison that justifies it — including
         # the DOP choice, which the enumerator does not price.
-        decision = price_segment(plan, cost_model, max_dop)
+        decision = price_segment(plan, cost_model, max_dop, compiled_mode)
         plan.decision = decision
         if decision.lowered:
             plan.dop = decision.dop
@@ -182,7 +247,7 @@ def _decide(
         isinstance(plan, SortPlan) and segment_lowerable(plan.children[0])
     )
     if is_candidate:
-        decision = price_segment(plan, cost_model, max_dop)
+        decision = price_segment(plan, cost_model, max_dop, compiled_mode)
         decisions.append(decision)
         if decision.lowered:
             wrapped = BatchSegmentPlan(plan, dop=decision.dop)
@@ -192,7 +257,8 @@ def _decide(
     if not plan.children:
         return plan
     decided = tuple(
-        _decide(child, cost_model, decisions, max_dop) for child in plan.children
+        _decide(child, cost_model, decisions, max_dop, compiled_mode)
+        for child in plan.children
     )
     if all(new is old for new, old in zip(decided, plan.children)):
         return plan

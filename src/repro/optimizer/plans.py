@@ -606,6 +606,13 @@ class BatchSegmentPlan(PlanNode):
         #: ``decision``: two wrappers over the same inner tree produce the
         #: same tuples — DOP only changes *how* they are produced.
         self.dop = max(1, int(dop))
+        #: the segment's compiled twin (a
+        #: :class:`~repro.execution.codegen.CompiledArtifact`), attached at
+        #: prepare time by :func:`repro.optimizer.compile.compile_plan`
+        #: when the costed decision picks the compiled regime.  Excluded
+        #: from the fingerprint like ``decision`` and ``dop``: the fused
+        #: function produces the same tuples, it only changes *how*.
+        self.compiled = None
 
     @property
     def tables(self) -> frozenset[str]:
@@ -624,6 +631,13 @@ class BatchSegmentPlan(PlanNode):
         return self.inner.is_ranked
 
     def build(self) -> PhysicalOperator:
+        if self.compiled is not None:
+            from ..execution.codegen import CompiledSegmentSource
+
+            # The fused function is serial by construction; the costed
+            # decision only picks it when it beats every parallel batch
+            # candidate, so dop is irrelevant here.
+            return BatchToRow(CompiledSegmentSource(self.compiled))
         return BatchToRow(_build_batch(self.inner), parallelism=self.dop)
 
     def label(self) -> str:

@@ -81,6 +81,13 @@ class CachedPlan:
     #: the DOP ceiling the plan was decided under (part of the signature;
     #: the chosen per-segment DOPs live on the BatchSegmentPlan wrappers)
     parallelism: int = 1
+    #: how many of ``exec_plan``'s lowered segments carry a compiled fused
+    #: function (the artifacts live on the BatchSegmentPlan wrappers; 0 =
+    #: fully interpreted execution)
+    compiled_segments: int = 0
+    #: wall time spent generating + ``compile()``-ing those functions at
+    #: prepare time — amortized across every warm execution of the entry
+    compile_seconds: float = 0.0
     #: cache-clock stamp of the last touch (maintained by PlanCache)
     last_used: int = 0
     #: serializes *parameterized* executions of this entry: bind values

@@ -36,6 +36,7 @@ from ..execution.iterator import EvaluatorCache
 from ..optimizer.cardinality import SampleDatabase
 from ..optimizer.cost_model import CostModel
 from ..optimizer.enumeration import RankAwareOptimizer
+from ..optimizer.compile import compile_plan
 from ..optimizer.hybrid import decide_batch_lowering
 from ..optimizer.plans import PlanNode, lower_to_batch
 from ..optimizer.query_spec import QuerySpec
@@ -52,6 +53,17 @@ STRATEGIES = ("rank-aware", "traditional", "rule-based")
 #: accepted ``batch_execution`` modes (``"auto"`` = cost-governed hybrid)
 BATCH_MODES = (False, True, "auto")
 
+#: accepted ``execution`` modes — the session-level regime selector:
+#:
+#: * ``"auto"`` — cost-governed: every segment is priced across all
+#:   enabled regimes (row, batch at every candidate DOP, compiled) and
+#:   the cheapest wins;
+#: * ``"row"`` — pure tuple-at-a-time (Volcano) execution;
+#: * ``"batch"`` — cost-governed row-vs-batch, compilation disabled;
+#: * ``"compiled"`` — force compilation of every supported segment;
+#:   unsupported shapes fall back to the interpreted batch pipeline.
+EXECUTION_MODES = ("auto", "row", "batch", "compiled")
+
 
 def normalize_batch_mode(mode: "bool | str") -> "bool | str":
     """Validate and normalize a ``batch_execution`` mode value."""
@@ -63,6 +75,41 @@ def normalize_batch_mode(mode: "bool | str") -> "bool | str":
             f"unknown batch_execution mode {mode!r}; expected one of {BATCH_MODES}"
         )
     return bool(mode)
+
+
+def normalize_execution(mode: str) -> str:
+    """Validate and normalize an ``execution`` mode value."""
+    if isinstance(mode, str):
+        text = mode.strip().lower()
+        if text in EXECUTION_MODES:
+            return text
+    raise ValueError(
+        f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+    )
+
+
+def execution_mode_from_env(value: "str | None") -> "str | None":
+    """Map a ``REPRO_COMPILED_EXECUTION`` environment value to an
+    execution mode (``None`` when unset/empty — caller picks the default).
+
+    Truthy spellings force compilation, falsy ones disable it while
+    keeping the interpreted batch path, and any mode name passes through.
+    """
+    if value is None:
+        return None
+    text = value.strip().lower()
+    if not text:
+        return None
+    if text in ("1", "true", "on", "always"):
+        return "compiled"
+    if text in ("0", "false", "off"):
+        return "batch"
+    if text in EXECUTION_MODES:
+        return text
+    raise ValueError(
+        f"bad REPRO_COMPILED_EXECUTION value {value!r}; expected a boolean "
+        f"spelling or one of {EXECUTION_MODES}"
+    )
 
 
 def normalize_parallelism(value: "int | str") -> int:
@@ -100,6 +147,10 @@ class PlannerMetrics:
     prepares: int = 0
     invalidations: int = 0
     plan_seconds: float = 0.0
+    #: plans built with at least one compiled (fused-function) segment
+    plans_compiled: int = 0
+    #: cumulative wall time spent generating + compiling fused functions
+    compile_seconds: float = 0.0
     by_strategy: dict[str, int] = field(default_factory=dict)
 
     def summary(self) -> dict[str, float]:
@@ -109,6 +160,8 @@ class PlannerMetrics:
             "prepares": self.prepares,
             "invalidations": self.invalidations,
             "plan_seconds": self.plan_seconds,
+            "plans_compiled": self.plans_compiled,
+            "compile_seconds": self.compile_seconds,
         }
 
 
@@ -121,6 +174,7 @@ class Planner:
         cache_capacity: int = 256,
         batch_execution: "bool | str" = "auto",
         parallelism: "int | str" = 1,
+        execution: str = "auto",
     ):
         self.catalog = catalog
         self.cache = PlanCache(cache_capacity)
@@ -140,6 +194,12 @@ class Planner:
         #: construction).  Overridable per statement via the
         #: ``parallelism=`` prepare knob.
         self.parallelism = normalize_parallelism(parallelism)
+        #: session-level execution regime selector (see EXECUTION_MODES).
+        #: ``"auto"`` defers to ``batch_execution`` for the batch dimension
+        #: and prices compilation whenever the costed hybrid pass runs;
+        #: the explicit modes override both.  Overridable per statement
+        #: via the ``execution=`` prepare knob.
+        self.execution = normalize_execution(execution)
         self.metrics = PlannerMetrics()
         #: bumped on every invalidation; cached artifacts carry the value
         #: they were built under and are stale once it moves on
@@ -164,6 +224,26 @@ class Planner:
 
     def _resolve(self, query: "str | QuerySpec") -> QuerySpec:
         return self.bind(query) if isinstance(query, str) else query
+
+    def resolve_execution(self, execution: str) -> "tuple[bool | str, str]":
+        """Resolve an execution mode to ``(batch_mode, compiled_mode)``.
+
+        ``batch_mode`` feeds the existing row-vs-batch machinery (a
+        BATCH_MODES value); ``compiled_mode`` governs the compilation
+        regime (``"off"`` / ``"auto"`` / ``"always"``).  Compilation is
+        only priced when the costed hybrid pass runs (``batch_mode ==
+        "auto"``): the legacy unconditional and pure-row paths have no
+        decision records to attach a third regime to.
+        """
+        execution = normalize_execution(execution)
+        if execution == "row":
+            return False, "off"
+        if execution == "batch":
+            return "auto", "off"
+        if execution == "compiled":
+            return "auto", "always"
+        batch_mode = self.batch_execution
+        return batch_mode, "auto" if batch_mode == "auto" else "off"
 
     # ------------------------------------------------------------------
     # samples (shared by every optimizer; data-dependent, so invalidated)
@@ -262,6 +342,11 @@ class Planner:
         parallelism = normalize_parallelism(
             knobs.pop("parallelism", self.parallelism)
         )
+        # Also popped-and-signed: plans decided under different execution
+        # regimes are different plans (a compiled entry must never serve a
+        # row-mode session and vice versa).
+        execution = normalize_execution(knobs.pop("execution", self.execution))
+        batch_mode, compiled_mode = self.resolve_execution(execution)
         signature = plan_signature(
             spec,
             strategy,
@@ -270,6 +355,7 @@ class Planner:
                 sample_ratio=sample_ratio,
                 seed=seed,
                 parallelism=parallelism,
+                execution=execution,
             ),
         )
         if use_cache:
@@ -280,9 +366,13 @@ class Planner:
                 return entry, True
         bind_slots(spec.parameters, params)
         start = time.perf_counter()
-        plan, cost_model = self._optimize(spec, strategy, sample_ratio, seed, knobs)
+        plan, cost_model = self._optimize(
+            spec, strategy, sample_ratio, seed, batch_mode, knobs
+        )
         decisions = None
-        if self.batch_execution == "auto":
+        compiled_segments = 0
+        compile_seconds = 0.0
+        if batch_mode == "auto":
             # Cost-governed hybrid execution: lower each maximal P = φ
             # segment iff the batch regime prices cheaper.  Plans from the
             # DP (rank-aware / traditional strategies) already embed the
@@ -290,10 +380,18 @@ class Planner:
             # and decides any segment the DP did not see (rule-based
             # plans, post-DP λ/π tops).
             plan, decisions = decide_batch_lowering(
-                plan, cost_model, max_dop=parallelism
+                plan, cost_model, max_dop=parallelism, compiled_mode=compiled_mode
             )
             exec_plan: PlanNode | None = plan
-        elif self.batch_execution:
+            if compiled_mode != "off":
+                # Plan-to-code compilation: stamp a fused function onto
+                # every lowered segment whose decision elected the
+                # compiled regime.  Happens once, at prepare time — every
+                # warm execution of this cached entry reuses the artifact.
+                compiled_segments, compile_seconds = compile_plan(
+                    exec_plan, self.catalog, spec.scoring, mode=compiled_mode
+                )
+        elif batch_mode:
             exec_plan = lower_to_batch(plan, parallelism=parallelism)
         else:
             exec_plan = None
@@ -301,6 +399,9 @@ class Planner:
         with self._lock:
             self.metrics.plan_seconds += elapsed
             self.metrics.plans_built += 1
+            if compiled_segments:
+                self.metrics.plans_compiled += 1
+                self.metrics.compile_seconds += compile_seconds
             self.metrics.by_strategy[strategy] = (
                 self.metrics.by_strategy.get(strategy, 0) + 1
             )
@@ -317,6 +418,8 @@ class Planner:
             decisions=decisions,
             plan_cost=elapsed,
             parallelism=parallelism,
+            compiled_segments=compiled_segments,
+            compile_seconds=compile_seconds,
         )
         if use_cache:
             self.cache.put(entry)
@@ -328,6 +431,7 @@ class Planner:
         strategy: str,
         sample_ratio: float,
         seed: int,
+        batch_mode: "bool | str",
         knobs: dict[str, Any],
     ) -> tuple[PlanNode, CostModel]:
         """Run the strategy's optimizer; returns the plan *and* the cost
@@ -337,7 +441,7 @@ class Planner:
         # Under "auto", the DP itself prices BatchSegmentPlan alternatives
         # per signature — batch lowering becomes a fourth enumeration
         # decision instead of a post-pass rewrite.
-        dp_batch = "auto" if self.batch_execution == "auto" else False
+        dp_batch = "auto" if batch_mode == "auto" else False
         if strategy == "rank-aware":
             optimizer = RankAwareOptimizer(
                 self.catalog, spec, sample=sample, batch_execution=dp_batch, **knobs

@@ -114,6 +114,12 @@ class PreparedQuery:
         return self._strategy
 
     @property
+    def compiled_segments(self) -> int:
+        """How many of the plan's segments run as compiled fused functions
+        (0 = fully interpreted, or planning still deferred)."""
+        return self._entry.compiled_segments if self._entry is not None else 0
+
+    @property
     def from_cache(self) -> bool:
         """Whether the most recent (re-)preparation was a plan-cache hit.
 
@@ -256,6 +262,10 @@ class Session:
         self.simulated_cost = 0.0
         #: statement-cache hits — reuse that never reaches the plan cache
         self.statement_hits = 0
+        #: execution-regime split: statements whose plan carried at least
+        #: one compiled fused segment vs fully interpreted ones
+        self.compiled_executions = 0
+        self.interpreted_executions = 0
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
@@ -311,10 +321,15 @@ class Session:
         """
         transaction = self.transaction if self.in_transaction else None
         snapshot = transaction.read_view() if transaction is not None else None
-        result = self.prepare(query).run(k=k, params=params, snapshot=snapshot)
+        prepared = self.prepare(query)
+        result = prepared.run(k=k, params=params, snapshot=snapshot)
         self.queries_executed += 1
         self.rows_returned += len(result)
         self.simulated_cost += result.metrics.simulated_cost
+        if prepared.compiled_segments:
+            self.compiled_executions += 1
+        else:
+            self.interpreted_executions += 1
         if transaction is not None and transaction.active:
             transaction.record_query(
                 query if isinstance(query, str) else repr(query),
@@ -406,4 +421,6 @@ class Session:
             "simulated_cost": self.simulated_cost,
             "statements_cached": len(self._statements),
             "statement_hits": self.statement_hits,
+            "compiled_executions": self.compiled_executions,
+            "interpreted_executions": self.interpreted_executions,
         }

@@ -384,6 +384,13 @@ class QueryServer:
             for key, value in cache.stats.summary().items()
         )
         out["shared_cache_entries"] = len(cache)
+        # Plan-to-code compilation counters: how many cached plans carry
+        # fused functions and what their one-time compilation cost was.
+        out.update(
+            (f"planner_{key}", value)
+            for key, value in self.database.planner.metrics.summary().items()
+            if key in ("plans_compiled", "compile_seconds")
+        )
         # Statements of every session submit their morsels to the one
         # process-wide pool (execution/morsels.py), so intra-query DOP and
         # the worker count here never oversubscribe cores together.

@@ -80,6 +80,10 @@ class ServerSession:
         #: shared-plan-cache reuse as *this session* experienced it
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        #: execution-regime split: statements whose plan carried at least
+        #: one compiled fused segment vs fully interpreted ones
+        self.compiled_executions = 0
+        self.interpreted_executions = 0
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -212,6 +216,10 @@ class ServerSession:
             # different workers, and increments must not be lost.
             self.queries_executed += 1
             self.rows_returned += len(result)
+            if entry.compiled_segments:
+                self.compiled_executions += 1
+            else:
+                self.interpreted_executions += 1
             if transaction is not None and transaction.active:
                 transaction.record_query(
                     sql, params, [tuple(values) for values in result.rows]
@@ -256,6 +264,8 @@ class ServerSession:
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
             "plan_cache_hit_rate": self.hit_rate,
+            "compiled_executions": self.compiled_executions,
+            "interpreted_executions": self.interpreted_executions,
         }
 
 
@@ -322,4 +332,8 @@ class SessionManager:
             "rows_returned": sum(s.rows_returned for s in sessions),
             "plan_cache_hits": sum(s.plan_cache_hits for s in sessions),
             "plan_cache_misses": sum(s.plan_cache_misses for s in sessions),
+            "compiled_executions": sum(s.compiled_executions for s in sessions),
+            "interpreted_executions": sum(
+                s.interpreted_executions for s in sessions
+            ),
         }
