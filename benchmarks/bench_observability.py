@@ -1,0 +1,106 @@
+"""Tracing overhead gate: always-on observability must stay near-free.
+
+PR 10's acceptance bar: with the tracer enabled (the default), a warm
+parameterized workload — the cheapest per-query shape the engine has,
+where fixed per-query overhead is most visible — must run within
+``TRACE_MAX_OVERHEAD`` (default 1.05, i.e. ≤ 5%) of the same workload
+with tracing disabled.  The measured loop covers the whole funnel each
+span instruments: cache lookup, bind, execute, metrics fold, feedback
+fold, trace finish + ring insert.
+
+Both halves of the comparison also assert the subsystem actually did
+its job (the disabled run recorded nothing; the enabled run recorded
+one trace per query with the right shape), so the gate can't pass
+vacuously by measuring a tracer that silently stopped tracing.
+
+Run:  pytest benchmarks/bench_observability.py -q -s --benchmark-disable
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.algebra.expressions import col
+from repro.engine.database import Database
+from repro.storage import DataType
+
+from .conftest import record_result
+
+#: enabled/disabled wall-clock ratio the gate tolerates (CI: 1.05)
+TRACE_MAX_OVERHEAD = float(os.environ.get("TRACE_MAX_OVERHEAD", "1.05"))
+
+ROWS = 4000
+ROUNDS = 5
+SQL = "SELECT * FROM T WHERE T.x > ? ORDER BY pa(T.x) LIMIT 25"
+BINDINGS = [(0.3 + i * 0.04,) for i in range(12)]
+
+
+def _build_database() -> Database:
+    db = Database()
+    db.create_table("T", [("k", DataType.INT), ("x", DataType.FLOAT)])
+    rng = random.Random(11)
+    db.insert("T", [(i % 64, rng.random()) for i in range(ROWS)])
+    db.register_predicate("pa", ["T.x"], col("T.x") * 0.5 + 0.25)
+    db.analyze()
+    return db
+
+
+def _warm_seconds(db: Database) -> float:
+    """Best-of-ROUNDS wall time for the full warm binding sweep."""
+    db.query(SQL, params=BINDINGS[0])  # populate the plan cache
+    best = float("inf")
+    for __ in range(ROUNDS):
+        start = time.perf_counter()
+        for binding in BINDINGS:
+            db.query(SQL, params=binding)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_tracing_overhead_gate():
+    baseline_db = _build_database()
+    baseline_db.tracer.enabled = False
+    traced_db = _build_database()
+    assert traced_db.tracer.enabled, "tracing must default on"
+
+    # deltas, not absolutes: building the databases already traced the
+    # setup DML while tracing was still on
+    baseline_before = baseline_db.tracer.traces_started
+    traced_before = traced_db.tracer.traces_finished
+
+    baseline = _warm_seconds(baseline_db)
+    traced = _warm_seconds(traced_db)
+
+    # the disabled run must have recorded nothing at all...
+    assert baseline_db.tracer.traces_started == baseline_before
+    # ...and the enabled run one full trace per query, span tree intact
+    assert (
+        traced_db.tracer.traces_finished - traced_before
+        == len(BINDINGS) * ROUNDS + 1
+    )
+    last = traced_db.tracer.last()
+    assert last.status == "ok"
+    assert "execute" in [span.name for span, __ in last.spans()]
+
+    overhead = traced / baseline
+    record_result(
+        name="tracing_overhead",
+        wall_seconds=traced,
+        baseline_seconds=baseline,
+        overhead_ratio=overhead,
+        max_overhead=TRACE_MAX_OVERHEAD,
+        queries_per_round=len(BINDINGS),
+        rounds=ROUNDS,
+        traces_recorded=traced_db.tracer.traces_finished,
+    )
+    print(
+        f"\ntracing overhead: off={baseline * 1e3:.2f}ms "
+        f"on={traced * 1e3:.2f}ms ratio={overhead:.3f} "
+        f"(gate {TRACE_MAX_OVERHEAD:.2f})"
+    )
+    assert overhead <= TRACE_MAX_OVERHEAD, (
+        f"tracing overhead {overhead:.3f}x exceeds the "
+        f"{TRACE_MAX_OVERHEAD:.2f}x gate"
+    )

@@ -13,6 +13,9 @@ The shell accepts the library's top-k dialect plus a few meta commands:
     \\explain Q       show the chosen plan without executing
     \\metrics         toggle printing execution metrics
     \\cache           show planner/plan-cache statistics
+    \\stats           dump the metrics registry (counters, gauges, p50/p95/p99)
+    \\trace           show the last finished query trace (span tree + timings)
+    \\trace on|off    enable/disable structured tracing
     \\set             list shell variables
     \\set name value  set a variable (feeds :name placeholders)
     \\unset name      remove a variable
@@ -49,6 +52,7 @@ import random
 import sys
 
 from .engine.database import Database
+from .observe.system_tables import is_system_query
 from .sql.lexer import TokenType, tokenize
 from .storage.schema import DataType
 
@@ -126,6 +130,14 @@ def _add_durability_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fsync", default=None, choices=("commit", "always", "never"),
         help="WAL fsync discipline (default: the directory's, or commit)",
+    )
+
+
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--slow-query-ms", type=float, default=None, metavar="MS",
+        help="log queries slower than MS as single-line JSON to stderr "
+        "(default: REPRO_SLOW_QUERY_MS, off otherwise)",
     )
 
 
@@ -431,6 +443,55 @@ def _meta_command(state: ShellState, command: str, out) -> None:
             f"metrics {'on' if state.show_metrics else 'off'}", file=out
         )
         return
+    if command == "\\stats":
+        if state.remote is not None:
+            payload = state.remote.stats()
+            metrics = payload.get("metrics", {})
+        else:
+            metrics = db.registry.collect()
+        for name in sorted(metrics):
+            value = metrics[name]
+            if isinstance(value, dict):
+                detail = ", ".join(
+                    f"{key}={value[key]:g}"
+                    for key in ("count", "p50", "p95", "p99")
+                    if isinstance(value.get(key), (int, float))
+                )
+                print(f"{name}: {detail}", file=out)
+            else:
+                print(f"{name}: {value:g}", file=out)
+        return
+    if command == "\\trace" or command.startswith("\\trace "):
+        argument = command[len("\\trace"):].strip().lower()
+        if argument in ("on", "off"):
+            if state.remote is not None:
+                print("\\trace on|off controls the local tracer only", file=out)
+                return
+            db.tracer.enabled = argument == "on"
+            print(f"tracing {argument}", file=out)
+            return
+        if argument:
+            print("usage: \\trace [on|off]", file=out)
+            return
+        if state.remote is not None:
+            traces = state.remote.stats(traces=1).get("traces", [])
+            if not traces:
+                print("no traces recorded yet", file=out)
+                return
+            import json
+
+            print(json.dumps(traces[0], indent=2), file=out)
+            return
+        trace = db.tracer.last()
+        if trace is None:
+            print(
+                "no traces recorded yet"
+                + ("" if db.tracer.enabled else " (tracing is off)"),
+                file=out,
+            )
+        else:
+            print(trace.render(), file=out)
+        return
     if command == "\\cache":
         if state.remote is not None:
             payload = state.remote.metrics()
@@ -512,21 +573,39 @@ def serve_main(argv: list[str], out) -> int:
         "--parallelism", default=None, metavar="N|auto",
         help="intra-query DOP ceiling (default: REPRO_PARALLELISM or 1)",
     )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve Prometheus-text GET /metrics on this port "
+        "(0 = ephemeral)",
+    )
     _add_durability_args(parser)
+    _add_observability_args(parser)
     args = parser.parse_args(argv)
 
     database = open_database(args, out)
     with database as db:
+        if args.slow_query_ms is not None:
+            db.tracer.slow_query_ms = args.slow_query_ms
         status = _load_tables(db, args, out)
         if status:
             return status
-        with db.serve(host=args.host, port=args.port, workers=args.workers) as server:
+        with db.serve(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            metrics_port=args.metrics_port,
+        ) as server:
             host, port = server.address
             print(
                 f"serving on {host}:{port} with {args.workers} workers — "
                 f"connect with \\connect {host}:{port} (Ctrl-C stops)",
                 file=out,
             )
+            if server.metrics_port is not None:
+                print(
+                    f"metrics endpoint on http://{host}:{server.metrics_port}/metrics",
+                    file=out,
+                )
             import time
 
             try:
@@ -575,10 +654,13 @@ def main(argv: list[str] | None = None, out=None) -> int:
         help="intra-query DOP ceiling (default: REPRO_PARALLELISM or 1)",
     )
     _add_durability_args(parser)
+    _add_observability_args(parser)
     args = parser.parse_args(argv)
 
     database = open_database(args, out)
     with database as db:
+        if args.slow_query_ms is not None:
+            db.tracer.slow_query_ms = args.slow_query_ms
         status = _load_tables(db, args, out)
         if status:
             return status
@@ -614,6 +696,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
             if (
                 joined.rstrip().endswith(";")
                 or "limit" in joined.lower()
+                or is_system_query(joined)
                 or transaction_keyword(joined) is not None
             ):
                 buffer.clear()

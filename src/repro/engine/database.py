@@ -57,6 +57,8 @@ from ..algebra.expressions import Expression
 from ..algebra.operators import LogicalOperator
 from ..algebra.predicates import RankingPredicate, ScoringFunction
 from ..execution.iterator import EvaluatorCache, ExecutionContext, collect_plan
+from ..observe import MetricsRegistry, Tracer
+from ..observe import system_tables as _system_tables
 from ..optimizer.enumeration import RankAwareOptimizer
 from ..optimizer.plans import PlanNode
 from ..optimizer.query_spec import QuerySpec
@@ -210,11 +212,19 @@ class Database:
         if execution is None:
             execution = _default_execution()
         self.catalog = Catalog()
+        #: the engine's observability pair: every query gets a trace in
+        #: :attr:`tracer` (``REPRO_TRACE`` / ``REPRO_SLOW_QUERY_MS``
+        #: knobs) and every subsystem registers into :attr:`registry` —
+        #: the single source the ``stats`` wire op, ``system.*`` tables,
+        #: Prometheus endpoint and CLI ``\stats`` all read.
+        self.tracer = Tracer()
+        self.registry = MetricsRegistry()
         self.planner = Planner(
             self.catalog,
             batch_execution=batch_execution,
             parallelism=parallelism,
             execution=execution,
+            tracer=self.tracer,
         )
         #: multi-statement transactions (BEGIN/COMMIT/ROLLBACK).  Commit is
         #: the *only* transactional path that invalidates the plan cache —
@@ -222,6 +232,8 @@ class Database:
         self.transactions = TransactionManager(
             self.catalog, on_commit=self._invalidate
         )
+        self.transactions.tracer = self.tracer
+        self._register_metrics()
         self.persist_dir = Path(persist_dir) if persist_dir is not None else None
         #: durability state — None until :meth:`attach_durability`
         self.durability: "str | None" = None
@@ -436,6 +448,85 @@ class Database:
         """Invalidate cached plans/samples after a schema/data/stats change."""
         self.planner.invalidate()
 
+    def _register_metrics(self) -> None:
+        """Register every subsystem into the metrics registry.
+
+        Counters the subsystems already keep (planner, plan cache,
+        transaction manager, WAL, morsel pool, tracer) are bridged as
+        callback gauges — one source of truth, no double bookkeeping.
+        Native instruments are the per-query ones nothing kept before:
+        ``query.count`` and the bounded ``query.ms`` latency histogram.
+        """
+        from ..execution import morsels
+
+        registry = self.registry
+        self._queries_total = registry.counter(
+            "query.count", "queries executed on any surface"
+        )
+        self._query_ms = registry.histogram(
+            "query.ms", "end-to-end query latency in milliseconds"
+        )
+        planner_metrics = self.planner.metrics
+        for name in ("binds", "prepares", "plans_built", "plans_compiled",
+                     "invalidations"):
+            registry.gauge(
+                f"planner.{name}", f"planner lifetime {name}",
+                fn=lambda n=name, m=planner_metrics: getattr(m, n),
+            )
+        cache_stats = self.planner.cache.stats
+        for name in ("hits", "misses", "evictions", "invalidations"):
+            registry.gauge(
+                f"plan_cache.{name}", f"plan cache {name}",
+                fn=lambda n=name, s=cache_stats: getattr(s, n),
+            )
+        manager = self.transactions
+        for name in ("begun", "committed", "rolled_back", "conflicts"):
+            registry.gauge(
+                f"txn.{name}", f"transactions {name}",
+                fn=lambda n=name, m=manager: getattr(m, n),
+            )
+        registry.gauge(
+            "wal.records_appended", "WAL records appended since open",
+            fn=lambda: self.wal.records_appended if self.wal else 0,
+        )
+        registry.gauge(
+            "morsels.pool_workers", "shared morsel pool worker count",
+            fn=lambda: morsels.pool_summary()["morsel_pool_workers"],
+        )
+        registry.gauge(
+            "morsels.pool_started", "whether the shared morsel pool exists",
+            fn=lambda: morsels.pool_summary()["morsel_pool_started"],
+        )
+        tracer = self.tracer
+        for name in ("traces_started", "traces_finished", "slow_queries"):
+            registry.gauge(
+                f"trace.{name}", f"tracer lifetime {name}",
+                fn=lambda n=name, t=tracer: getattr(t, n),
+            )
+
+    def _record_feedback(self, entry, plan: PlanNode, root: Any) -> None:
+        """Fold one execution's per-operator actuals into the entry's
+        :class:`~repro.observe.feedback.PlanFeedback` (built lazily at
+        first execution, with estimates from the same sampling estimator
+        that priced the plan)."""
+        from ..observe.feedback import PlanFeedback
+
+        feedback = entry.feedback
+        if feedback is None:
+            try:
+                from ..optimizer.cardinality import CardinalityEstimator
+
+                estimator = CardinalityEstimator(
+                    self.catalog, entry.spec, sample=self.planner.sample(0.001, 0)
+                )
+            except Exception:
+                estimator = None
+            feedback = PlanFeedback.build(plan, root, estimator)
+            # benign last-writer-wins race: concurrent first executions
+            # build equivalent node lists
+            entry.feedback = feedback
+        feedback.record(plan, root)
+
     # ------------------------------------------------------------------
     # schema & data definition
     # ------------------------------------------------------------------
@@ -467,11 +558,13 @@ class Database:
         transaction so it is logged and crash-safe like any commit.
         """
         self._check_open()
-        if self.wal is not None:
-            with self.begin(session="autocommit") as txn:
-                return txn.insert(self.catalog.table(table), rows)
-        self._invalidate()
-        return self.catalog.table(table).insert_many(rows)
+        with self.tracer.trace(f"INSERT INTO {table}", surface="dml"):
+            self.tracer.annotate(regime="dml")
+            if self.wal is not None:
+                with self.begin(session="autocommit") as txn:
+                    return txn.insert(self.catalog.table(table), rows)
+            self._invalidate()
+            return self.catalog.table(table).insert_many(rows)
 
     def insert_dicts(self, table: str, rows: Iterable[dict[str, Any]]) -> int:
         """Bulk-insert ``{column: value}`` dicts."""
@@ -527,23 +620,25 @@ class Database:
         t = self.catalog.table(table)
         if (condition is None) == (column is None):
             raise ValueError("pass exactly one of: condition, column=/equals=")
-        if self.wal is not None:
-            with self.begin(session="autocommit") as txn:
-                if condition is not None:
-                    return txn.delete_where(t, condition)
-                return txn.delete_where(t, column=column, equals=equals)
-        if condition is None:
-            qualified = column if "." in column else f"{table}.{column}"
-            position = t.schema.index_of(qualified)
-            value = equals
+        with self.tracer.trace(f"DELETE FROM {table}", surface="dml"):
+            self.tracer.annotate(regime="dml")
+            if self.wal is not None:
+                with self.begin(session="autocommit") as txn:
+                    if condition is not None:
+                        return txn.delete_where(t, condition)
+                    return txn.delete_where(t, column=column, equals=equals)
+            if condition is None:
+                qualified = column if "." in column else f"{table}.{column}"
+                position = t.schema.index_of(qualified)
+                value = equals
 
-            def condition(row: Row, _p=position, _v=value) -> bool:
-                return row[_p] == _v
+                def condition(row: Row, _p=position, _v=value) -> bool:
+                    return row[_p] == _v
 
-        deleted = t.delete_where(condition)
-        if deleted:
-            self._invalidate()
-        return deleted
+            deleted = t.delete_where(condition)
+            if deleted:
+                self._invalidate()
+            return deleted
 
     def analyze(self, table: str | None = None) -> None:
         """(Re)compute statistics for one table or all tables."""
@@ -723,6 +818,7 @@ class Database:
         port: int | None = None,
         workers: int = 4,
         record_history: bool = False,
+        metrics_port: int | None = None,
         **session_defaults: Any,
     ) -> "QueryServer":
         """Start a concurrent multi-session server over this database.
@@ -735,6 +831,8 @@ class Database:
         snapshot captured at admission.  ``record_history=True`` logs
         every finished transaction for the black-box isolation checker
         (``server.history()`` harvests it; see :mod:`repro.verify`).
+        ``metrics_port`` additionally starts a Prometheus-text HTTP
+        endpoint (``GET /metrics``; 0 = ephemeral).
         """
         from ..server import QueryServer
 
@@ -745,6 +843,7 @@ class Database:
             host=host,
             port=port,
             record_history=record_history,
+            metrics_port=metrics_port,
             **session_defaults,
         ).start()
 
@@ -768,17 +867,27 @@ class Database:
         the same snapshot-isolated reads the server gives every statement.
         """
         self._check_open()
-        entry, hit = self.planner.prepare(
-            query, strategy=strategy, params=params, **kwargs
-        )
-        return self.execute(
-            entry.executable,
-            entry.scoring,
-            k=entry.k,
-            evaluators=entry.evaluators,
-            plan_cached=hit,
-            snapshot=snapshot,
-        )
+        if isinstance(query, str):
+            virtual = _system_tables.maybe_execute(
+                query, self.tracer, self.registry
+            )
+            if virtual is not None:
+                return virtual
+        sql = query if isinstance(query, str) else "<QuerySpec>"
+        with self.tracer.trace(sql, surface="query"):
+            entry, hit = self.planner.prepare(
+                query, strategy=strategy, params=params, **kwargs
+            )
+            self.tracer.annotate(regime=entry.regime())
+            return self.execute(
+                entry.executable,
+                entry.scoring,
+                k=entry.k,
+                evaluators=entry.evaluators,
+                plan_cached=hit,
+                snapshot=snapshot,
+                entry=entry,
+            )
 
     def open_cursor(
         self, query: "str | QuerySpec", params: Any = None, **kwargs: Any
@@ -800,13 +909,21 @@ class Database:
         evaluators: EvaluatorCache | None = None,
         plan_cached: bool = False,
         snapshot: DatabaseSnapshot | None = None,
+        entry: Any = None,
     ) -> QueryResult:
         """Execute a physical plan, pulling at most ``k`` results.
 
         ``evaluators`` shares compiled predicate evaluators across
         executions (the prepared/cached warm path).  ``snapshot`` pins the
         table versions every scan reads (snapshot-isolated execution);
-        ``None`` reads the live catalog.
+        ``None`` reads the live catalog.  ``entry`` (the
+        :class:`~repro.planner.cache.CachedPlan` this plan came from, when
+        known) receives per-operator estimated-vs-actual feedback.
+
+        This is the single execution funnel — every surface (embedded
+        ``query``, prepared statements, server sessions) lands here, so
+        the execute span, the latency histogram and the feedback fold
+        cover all of them.
         """
         self._check_open()
         context = ExecutionContext(
@@ -814,7 +931,15 @@ class Database:
             scoring,
             evaluators=evaluators,
         )
-        schema, out = collect_plan(plan.build(), context, k)
+        context.tracer = self.tracer
+        start = time.perf_counter()
+        root = plan.build()
+        with self.tracer.span("execute"):
+            schema, out = collect_plan(root, context, k)
+        self._queries_total.inc()
+        self._query_ms.observe((time.perf_counter() - start) * 1000.0)
+        if entry is not None:
+            self._record_feedback(entry, plan, root)
         return QueryResult(
             schema, out, scoring, plan, context.metrics, plan_cached=plan_cached
         )

@@ -1601,6 +1601,11 @@ class BatchToRow(PhysicalOperator):
         self._prefilter_compiled: list[tuple] = []
         self._driver: "Iterator | None" = None
         self._driver_started = False
+        #: trace spans (None when the query is untraced): the segment
+        #: span lives from open to close; the dispatch span covers the
+        #: parallel morsel drain
+        self._segment_span = None
+        self._dispatch_span = None
 
     def describe(self) -> str:
         return f"batch[{self.source.describe()}]"
@@ -1722,6 +1727,17 @@ class BatchToRow(PhysicalOperator):
         self._prefilter_compiled = []
         self._driver = None
         self._driver_started = False
+        self._dispatch_span = None
+        tracer = getattr(self.context, "tracer", None)
+        self._segment_span = (
+            tracer.open_span(
+                "batch_segment",
+                segment=self.source.describe(),
+                dop=self.parallelism,
+            )
+            if tracer is not None
+            else None
+        )
 
     def _start_driver(self) -> "Iterator | None":
         """Build the parallel morsel driver, or None for the serial path.
@@ -1784,7 +1800,19 @@ class BatchToRow(PhysicalOperator):
             stats.wall_seconds += time.perf_counter() - started
             return scored
 
-        return morsels.run_tasks(chain.tasks(finalize), self.parallelism)
+        tasks = chain.tasks(finalize)
+        if self._segment_span is not None:
+            from ..observe.trace import Span
+
+            dispatch = Span("morsel_dispatch")
+            dispatch.attrs.update(
+                morsels=len(tasks),
+                dop=self.parallelism,
+                backend=morsels.parallel_backend(),
+            )
+            self._segment_span.children.append(dispatch)
+            self._dispatch_span = dispatch
+        return morsels.run_tasks(tasks, self.parallelism)
 
     def _next(self) -> ScoredRow | None:
         while self._position >= len(self._pending):
@@ -1797,6 +1825,8 @@ class BatchToRow(PhysicalOperator):
                 step = next(self._driver, None)
                 if step is None:
                     self._exhausted = True
+                    if self._dispatch_span is not None:
+                        self._dispatch_span.finish()
                     return None
                 scored, sink = step
                 self.context.metrics.merge(sink)
@@ -1821,4 +1851,9 @@ class BatchToRow(PhysicalOperator):
     def _close(self) -> None:
         self.source.close()
         self._pending = []
+        if self._dispatch_span is not None:
+            self._dispatch_span.finish()
+        if self._segment_span is not None:
+            self._segment_span.finish()
+            self._segment_span = None
         self._driver = None

@@ -767,9 +767,10 @@ class CompiledSegmentSource(BatchOperator):
 
     def _next_batch(self) -> Batch | None:
         if self._ordered is None:
-            ordered, score_vectors, bounds, n = self.artifact.function(
-                self.context, self.fetch_limit
-            )
+            with self.context.span("compiled_call", fn=self.artifact.label):
+                ordered, score_vectors, bounds, n = self.artifact.function(
+                    self.context, self.fetch_limit
+                )
             self._record_input(n)
             self._ordered = (ordered, score_vectors, bounds)
         ordered, score_vectors, __ = self._ordered

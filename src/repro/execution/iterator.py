@@ -27,6 +27,7 @@ from typing import Iterator
 from ..algebra.expressions import Evaluator
 from ..algebra.predicates import ScoringFunction
 from ..algebra.rank_relation import ScoredRow
+from ..observe.trace import _NULL_CONTEXT
 from ..storage.catalog import Catalog
 from ..storage.schema import Schema
 from .metrics import ExecutionMetrics, OperatorStats
@@ -101,6 +102,21 @@ class ExecutionContext:
             raise ValueError("evaluator cache belongs to a different scoring function")
         self.evaluators = evaluators
         self._naming: dict[str, int] = {}
+        #: the owning query's tracer, set by the engine when a trace is
+        #: active — how row, batch, parallel, and compiled operators all
+        #: report spans into the one per-query tree.  ``None`` (the
+        #: default) keeps standalone contexts span-free.
+        self.tracer = None
+
+    def span(self, name: str, **attrs):
+        """A child span under the active query trace (context manager
+        yielding the span, or None when tracing is off).  Call per
+        *phase* — segment open, morsel dispatch, fused call — never per
+        tuple."""
+        tracer = self.tracer
+        if tracer is None:
+            return _NULL_CONTEXT
+        return tracer.span(name, **attrs)
 
     def begin_run(self) -> None:
         """Reset per-run state (operator-name counters) for a fresh execution.

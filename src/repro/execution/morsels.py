@@ -38,6 +38,8 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterator, Sequence
 
+from ..observe.trace import ambient_trace_id, set_ambient_trace_id
+
 #: default morsel width: four batches per morsel keeps per-task overhead
 #: small while still splitting mid-size tables into enough tasks to scale
 MORSEL_SIZE_DEFAULT = 4096
@@ -141,15 +143,39 @@ def run_tasks(
     serial sequence.  Exceptions surface in task order.  A consumer that
     stops early leaves at most ``dop - 1`` already-submitted morsels to
     finish and be discarded.
+
+    When the dispatching thread is working for a traced query (its
+    ambient trace id is set — see :mod:`repro.observe.trace`), every
+    task re-publishes that id inside the worker, so morsel work stays
+    correlated with the owning query on both backends: thread workers
+    set their own thread-local, forked workers inherit the wrapper
+    closure through the copied address space.
     """
     dop = max(1, int(dop))
     if backend is None:
         backend = parallel_backend()
+    trace_id = ambient_trace_id()
+    if trace_id is not None:
+        tasks = [_with_trace_id(task, trace_id) for task in tasks]
     if dop <= 1 or len(tasks) <= 1:
         return (task() for task in tasks)
     if backend == "process" and fork_available():
         return iter(_run_forked(tasks, dop))
     return _run_windowed(tasks, dop)
+
+
+def _with_trace_id(task: Task, trace_id: str) -> Task:
+    """Wrap a morsel task so the worker executing it carries the
+    dispatcher's trace id for the duration of the task."""
+
+    def run() -> Any:
+        previous = set_ambient_trace_id(trace_id)
+        try:
+            return task()
+        finally:
+            set_ambient_trace_id(previous)
+
+    return run
 
 
 def _run_windowed(tasks: Sequence[Task], dop: int) -> Iterator[Any]:

@@ -1,0 +1,156 @@
+"""Per-operator estimated-vs-actual feedback, recorded into cached plans.
+
+This is the concrete seam for the ROADMAP's "adaptive re-optimization
+from observed cardinalities" item: every execution of a cached plan
+folds its per-operator actual row counts into the entry's
+:class:`PlanFeedback`, next to the optimizer's estimates, so a future
+re-planning pass can ask each entry "where was the estimator wrong, and
+by how much?" without re-running anything.
+
+The node list is built at *first* execution, when the physical operator
+tree exists — that is the only moment the plan-descriptor ↔ operator
+pairing is unambiguous (a compiled segment collapses its descriptor
+subtree into one fused operator; pairing at prepare time would count
+nodes that never materialize).  Estimates come from the same
+sampling-based cardinality estimator that priced the plan.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["OperatorFeedback", "PlanFeedback", "pair_plan_operators"]
+
+
+def pair_plan_operators(
+    plan: Any, operator: Any, depth: int = 0
+) -> "Iterator[tuple[Any, Any, int]]":
+    """Pre-order ``(plan_node, operator, depth)`` pairs for a plan and
+    its built operator tree.
+
+    Descends through the ``BatchToRow`` frontier into lowered segments;
+    a compiled segment yields the fused source paired with the segment's
+    inner descriptor and stops there (the fused function has no per-node
+    twins below it).  This is the single pairing rule shared by
+    ``explain_analyze`` and the feedback recorder, so the two always
+    report the same tree.
+    """
+    from repro.execution.batch import BatchToRow
+    from repro.optimizer.plans import BatchSegmentPlan
+
+    yield plan, operator, depth
+    if isinstance(plan, BatchSegmentPlan) and isinstance(operator, BatchToRow):
+        from repro.execution.codegen import CompiledSegmentSource
+
+        if isinstance(operator.source, CompiledSegmentSource):
+            yield plan.inner, operator.source, depth + 1
+            return
+        yield from pair_plan_operators(plan.inner, operator.source, depth + 1)
+        return
+    for child_plan, child_operator in zip(plan.children, operator.children()):
+        yield from pair_plan_operators(child_plan, child_operator, depth + 1)
+
+
+@dataclass
+class OperatorFeedback:
+    """Accumulated observations for one plan node across executions."""
+
+    label: str
+    depth: int
+    estimated_rows: "float | None" = None
+    actual_in: int = 0
+    actual_out: int = 0
+    executions: int = 0
+
+    @property
+    def mean_actual_out(self) -> "float | None":
+        if self.executions == 0:
+            return None
+        return self.actual_out / self.executions
+
+    def misestimate_factor(self) -> "float | None":
+        """How far the estimate is from the mean observed output, as a
+        ≥1 ratio (10.0 = off by 10× in either direction); None until
+        both sides exist."""
+        actual = self.mean_actual_out
+        if actual is None or self.estimated_rows is None:
+            return None
+        est = max(self.estimated_rows, 1.0)
+        act = max(actual, 1.0)
+        return max(est, act) / min(est, act)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "depth": self.depth,
+            "estimated_rows": self.estimated_rows,
+            "actual_in": self.actual_in,
+            "actual_out": self.actual_out,
+            "executions": self.executions,
+            "misestimate_factor": self.misestimate_factor(),
+        }
+
+
+class PlanFeedback:
+    """Estimated-vs-actual row counts for every node of one cached plan.
+
+    Thread-safe: concurrent executions of a shared entry fold under the
+    instance lock, so counts are never lost (same discipline as the
+    metrics registry).
+    """
+
+    def __init__(self, nodes: list[OperatorFeedback]):
+        self.nodes = nodes
+        self._lock = threading.Lock()
+
+    @classmethod
+    def build(cls, plan: Any, root_operator: Any, estimator: Any = None):
+        """Create the node list from the first execution's operator
+        tree; ``estimator`` (optional) supplies per-node estimates."""
+        nodes = []
+        for plan_node, operator, depth in pair_plan_operators(plan, root_operator):
+            estimated = None
+            if estimator is not None:
+                try:
+                    estimated = float(estimator.estimate(plan_node))
+                except Exception:
+                    estimated = None
+            label = getattr(operator, "describe", None)
+            nodes.append(
+                OperatorFeedback(
+                    label=label() if callable(label) else plan_node.label(),
+                    depth=depth,
+                    estimated_rows=estimated,
+                )
+            )
+        return cls(nodes)
+
+    def record(self, plan: Any, root_operator: Any) -> None:
+        """Fold one execution's actuals in (positional pairing — same
+        pre-order the node list was built from)."""
+        pairs = list(pair_plan_operators(plan, root_operator))
+        with self._lock:
+            if len(pairs) != len(self.nodes):
+                return  # plan shape changed under us; skip, never corrupt
+            for node, (__, operator, ___) in zip(self.nodes, pairs):
+                stats = getattr(operator, "stats", None)
+                if stats is None:
+                    continue
+                node.actual_in += stats.tuples_in
+                node.actual_out += stats.tuples_out
+                node.executions += 1
+
+    def misestimates(self, factor: float = 10.0) -> list[OperatorFeedback]:
+        """Nodes whose estimate is off by more than ``factor``×."""
+        with self._lock:
+            return [
+                node
+                for node in self.nodes
+                if (node.misestimate_factor() or 0.0) > factor
+            ]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [node.to_dict() for node in self.nodes]

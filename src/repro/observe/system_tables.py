@@ -1,0 +1,199 @@
+"""The ``system.*`` virtual tables.
+
+``system.queries`` (recent traces) and ``system.metrics`` (the registry)
+are served by *interception*, not by the planner: every SQL surface
+checks :func:`maybe_execute` before parsing.  Virtual tables through the
+planner would be all cost and no benefit here — dotted names don't bind
+against the catalog, their contents change every query (so cached plans
+for them are stale by construction), and introspection queries must not
+evict real plans from the cache or perturb planner counters.
+
+The supported shape is deliberately small::
+
+    SELECT * FROM system.queries [WHERE col = literal] [LIMIT n]
+    SELECT * FROM system.metrics [WHERE col = literal] [LIMIT n]
+
+which covers the operational questions ("the last slow trace",
+"metrics named like X") without dragging the full expression engine in.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator
+
+from repro.observe.registry import MetricsRegistry
+from repro.observe.trace import Tracer
+from repro.storage.schema import Column, DataType, Schema
+
+__all__ = ["SystemResult", "is_system_query", "maybe_execute"]
+
+_SYSTEM_RE = re.compile(
+    r"^\s*select\s+\*\s+from\s+system\.(?P<table>queries|metrics)\b"
+    r"(?:\s+where\s+(?P<col>[a-z_][a-z0-9_]*)\s*=\s*"
+    r"(?P<val>'[^']*'|\"[^\"]*\"|[^\s;]+))?"
+    r"(?:\s+limit\s+(?P<limit>\d+))?"
+    r"\s*;?\s*$",
+    re.IGNORECASE,
+)
+
+_QUERIES_SCHEMA = Schema(
+    [
+        Column("trace_id", DataType.TEXT, "system"),
+        Column("surface", DataType.TEXT, "system"),
+        Column("regime", DataType.TEXT, "system"),
+        Column("status", DataType.TEXT, "system"),
+        Column("ms", DataType.FLOAT, "system"),
+        Column("spans", DataType.INT, "system"),
+        Column("signature", DataType.TEXT, "system"),
+        Column("sql", DataType.TEXT, "system"),
+    ]
+)
+
+_METRICS_SCHEMA = Schema(
+    [
+        Column("name", DataType.TEXT, "system"),
+        Column("kind", DataType.TEXT, "system"),
+        Column("value", DataType.FLOAT, "system"),
+        Column("count", DataType.INT, "system"),
+        Column("p50", DataType.FLOAT, "system"),
+        Column("p95", DataType.FLOAT, "system"),
+        Column("p99", DataType.FLOAT, "system"),
+    ]
+)
+
+
+class _NullMetrics:
+    """Introspection does no engine work, so it reports none."""
+
+    def summary(self) -> dict[str, Any]:
+        return {}
+
+
+class SystemResult:
+    """Duck-typed stand-in for :class:`~repro.engine.result.QueryResult`
+    carrying virtual-table rows — exposes the attributes every surface
+    (wire protocol encoder, CLI formatter, ``to_dicts`` consumers)
+    actually reads."""
+
+    plan_cached = False
+
+    def __init__(self, schema: Schema, rows: list[tuple]):
+        self.schema = schema
+        self.rows = rows
+        self.metrics = _NullMetrics()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> tuple:
+        return self.rows[index]
+
+    @property
+    def scores(self) -> list[float]:
+        return [0.0] * len(self.rows)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        names = self.schema.qualified_names()
+        short = [name.split(".", 1)[1] for name in names]
+        return [dict(zip(short, row)) for row in self.rows]
+
+
+def is_system_query(sql: str) -> bool:
+    return _SYSTEM_RE.match(sql) is not None
+
+
+def _parse_literal(raw: str) -> Any:
+    if raw[:1] in ("'", '"') and raw[-1:] == raw[:1]:
+        return raw[1:-1]
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def _queries_rows(tracer: "Tracer | None") -> list[tuple]:
+    if tracer is None:
+        return []
+    rows = []
+    for trace in reversed(tracer.recent()):  # most recent first
+        span_count = sum(1 for __ in trace.root.walk())
+        rows.append(
+            (
+                trace.trace_id,
+                trace.surface,
+                trace.regime,
+                trace.status,
+                round(trace.duration_ms, 3),
+                span_count,
+                trace.signature,
+                trace.sql,
+            )
+        )
+    return rows
+
+
+def _metrics_rows(registry: "MetricsRegistry | None") -> list[tuple]:
+    if registry is None:
+        return []
+    rows = []
+    for name, value in registry.collect().items():
+        metric = registry.get(name)
+        kind = metric.kind if metric is not None else "gauge"
+        if isinstance(value, dict):  # histogram snapshot
+            rows.append(
+                (
+                    name,
+                    kind,
+                    value.get("sum"),
+                    value.get("count"),
+                    value.get("p50"),
+                    value.get("p95"),
+                    value.get("p99"),
+                )
+            )
+        else:
+            numeric = float(value) if value is not None else None
+            rows.append((name, kind, numeric, None, None, None, None))
+    return rows
+
+
+def maybe_execute(
+    sql: str,
+    tracer: "Tracer | None",
+    registry: "MetricsRegistry | None",
+) -> "SystemResult | None":
+    """Execute ``sql`` if it targets a system table; None otherwise (the
+    caller proceeds to the real planner)."""
+    match = _SYSTEM_RE.match(sql)
+    if match is None:
+        return None
+    table = match.group("table").lower()
+    if table == "queries":
+        schema, rows = _QUERIES_SCHEMA, _queries_rows(tracer)
+    else:
+        schema, rows = _METRICS_SCHEMA, _metrics_rows(registry)
+
+    column = match.group("col")
+    if column is not None:
+        names = [c.name for c in schema.columns]
+        if column.lower() not in names:
+            raise ValueError(
+                f"system.{table} has no column {column!r} "
+                f"(columns: {', '.join(names)})"
+            )
+        index = names.index(column.lower())
+        wanted = _parse_literal(match.group("val"))
+        rows = [row for row in rows if row[index] == wanted]
+
+    limit = match.group("limit")
+    if limit is not None:
+        rows = rows[: int(limit)]
+    return SystemResult(schema, rows)

@@ -9,9 +9,14 @@ Runs a physical plan and renders its tree with, per operator,
 This is the engine's analogue of PostgreSQL's ``EXPLAIN ANALYZE`` and makes
 estimator accuracy inspectable on any query::
 
-    limit(10)                        (est rows=10, cost=4204) (actual in=10 out=10)
-      HRJN(B.jc2=C.jc2)              (est rows=20, cost=4102) (actual in=45 out=10)
+    limit(10)                        est=10 act=10  (cost=4,204 in=10)
+      HRJN(B.jc2=C.jc2)              est=20 act=10  (cost=4,102 in=45)
       ...
+
+Operators whose estimate is off by more than 10x in either direction are
+flagged with ``!! <n>x misestimate`` — the human-readable face of the same
+estimated-vs-actual feedback the plan cache records for adaptive
+replanning (:class:`repro.observe.feedback.PlanFeedback`).
 """
 
 from __future__ import annotations
@@ -44,6 +49,14 @@ class NodeReport:
     #: how a DOP win shows per node).  ``None`` for row-mode operators.
     wall_ms: float | None = None
 
+    @property
+    def misestimate_factor(self) -> float:
+        """How far off the estimate was, as a >=1 ratio (either
+        direction); zero-floored so empty operators do not divide out."""
+        estimated = max(self.estimated_rows, 1.0)
+        actual = max(float(self.actual_out), 1.0)
+        return max(estimated / actual, actual / estimated)
+
 
 @dataclass
 class AnalyzeReport:
@@ -65,11 +78,13 @@ class AnalyzeReport:
             name = "  " * node.depth + node.label
             line = (
                 f"{name:<{label_width}}  "
-                f"(est rows={node.estimated_rows:,.0f} cost={node.estimated_cost:,.0f})"
-                f"  (actual in={node.actual_in} out={node.actual_out})"
+                f"est={node.estimated_rows:,.0f} act={node.actual_out}"
+                f"  (cost={node.estimated_cost:,.0f} in={node.actual_in})"
             )
             if node.wall_ms is not None:
                 line += f" time={node.wall_ms:.2f}ms"
+            if node.misestimate_factor > 10.0:
+                line += f"  !! {node.misestimate_factor:,.1f}x misestimate"
             lines.append(line)
         if self.decisions:
             from .hybrid import render_decisions

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 from ..algebra.predicates import ScoringFunction
 from ..execution.iterator import EvaluatorCache
-from ..optimizer.plans import LimitPlan, PlanNode, ProjectPlan
+from ..optimizer.plans import BatchSegmentPlan, LimitPlan, PlanNode, ProjectPlan
 from ..optimizer.query_spec import QuerySpec
 from .signature import QuerySignature
 
@@ -95,6 +95,29 @@ class CachedPlan:
     #: execution, so concurrent runs of one template must bind + execute
     #: atomically (non-parameterized entries never take it)
     execution_lock: "threading.Lock" = field(default_factory=threading.Lock)
+    #: per-operator estimated-vs-actual row counts
+    #: (:class:`~repro.observe.feedback.PlanFeedback`), built at first
+    #: execution and folded into by every run — the hook the adaptive
+    #: re-planning roadmap item consumes.  ``None`` until executed.
+    feedback: "object | None" = None
+
+    def regime(self) -> str:
+        """The execution regime this entry runs under: ``compiled`` when
+        any segment carries a fused function, ``batch@dop`` / ``batch``
+        when the executable plan holds lowered segments, else ``row``.
+        (Presence of ``exec_plan`` alone is not enough — under ``auto``
+        it equals ``plan``, which may have stayed fully row-mode.)"""
+        if self.compiled_segments:
+            return "compiled"
+        segments = [
+            node
+            for node in self.executable.walk()
+            if isinstance(node, BatchSegmentPlan)
+        ]
+        if segments:
+            dop = max(segment.dop for segment in segments)
+            return f"batch@{dop}" if dop > 1 else "batch"
+        return "row"
 
     @property
     def executable(self) -> PlanNode:

@@ -31,6 +31,7 @@ from typing import Any
 
 from ..algebra.operators import LogicalOperator
 from ..algebra.parameters import bind_slots
+from ..observe.trace import _NULL_CONTEXT
 from ..execution import morsels
 from ..execution.iterator import EvaluatorCache
 from ..optimizer.cardinality import SampleDatabase
@@ -175,9 +176,14 @@ class Planner:
         batch_execution: "bool | str" = "auto",
         parallelism: "int | str" = 1,
         execution: str = "auto",
+        tracer: Any = None,
     ):
         self.catalog = catalog
         self.cache = PlanCache(cache_capacity)
+        #: the owning engine's :class:`~repro.observe.trace.Tracer`, when
+        #: one is attached — the planner reports parse/bind/optimize/
+        #: compile spans and cache hit/miss into the active query trace.
+        self.tracer = tracer
         #: how unranked (``P = φ``) plan segments reach the batched
         #: columnar path:
         #:
@@ -216,11 +222,21 @@ class Planner:
     # ------------------------------------------------------------------
     # front end
     # ------------------------------------------------------------------
+    def _span(self, name: str, **attrs: Any):
+        """A tracing span under the active query trace (no-op context
+        manager when no tracer is attached or no trace is active)."""
+        if self.tracer is None:
+            return _NULL_CONTEXT
+        return self.tracer.span(name, **attrs)
+
     def bind(self, sql: str) -> QuerySpec:
         """Parse and bind a SQL string to a canonical query spec."""
         with self._lock:
             self.metrics.binds += 1
-        return Binder(self.catalog).bind(parse(sql))
+        with self._span("parse"):
+            ast = parse(sql)
+        with self._span("bind"):
+            return Binder(self.catalog).bind(ast)
 
     def _resolve(self, query: "str | QuerySpec") -> QuerySpec:
         return self.bind(query) if isinstance(query, str) else query
@@ -358,17 +374,26 @@ class Planner:
                 execution=execution,
             ),
         )
+        if self.tracer is not None:
+            # compact, process-stable correlation key (the full signature
+            # tuple is an implementation detail and unreadable in logs)
+            self.tracer.annotate(signature=f"sig:{abs(hash(signature)):012x}")
         if use_cache:
             entry = self.cache.get(signature, generation)
             if entry is not None:
                 if bind:
                     bind_slots(entry.spec.parameters, params)
+                if self.tracer is not None:
+                    self.tracer.annotate(cache="hit")
                 return entry, True
+        if self.tracer is not None:
+            self.tracer.annotate(cache="miss")
         bind_slots(spec.parameters, params)
         start = time.perf_counter()
-        plan, cost_model = self._optimize(
-            spec, strategy, sample_ratio, seed, batch_mode, knobs
-        )
+        with self._span("optimize", strategy=strategy):
+            plan, cost_model = self._optimize(
+                spec, strategy, sample_ratio, seed, batch_mode, knobs
+            )
         decisions = None
         compiled_segments = 0
         compile_seconds = 0.0
@@ -379,20 +404,23 @@ class Planner:
             # decision; the pass re-prices those wrappers for the record
             # and decides any segment the DP did not see (rule-based
             # plans, post-DP λ/π tops).
-            plan, decisions = decide_batch_lowering(
-                plan, cost_model, max_dop=parallelism, compiled_mode=compiled_mode
-            )
+            with self._span("lower"):
+                plan, decisions = decide_batch_lowering(
+                    plan, cost_model, max_dop=parallelism, compiled_mode=compiled_mode
+                )
             exec_plan: PlanNode | None = plan
             if compiled_mode != "off":
                 # Plan-to-code compilation: stamp a fused function onto
                 # every lowered segment whose decision elected the
                 # compiled regime.  Happens once, at prepare time — every
                 # warm execution of this cached entry reuses the artifact.
-                compiled_segments, compile_seconds = compile_plan(
-                    exec_plan, self.catalog, spec.scoring, mode=compiled_mode
-                )
+                with self._span("compile"):
+                    compiled_segments, compile_seconds = compile_plan(
+                        exec_plan, self.catalog, spec.scoring, mode=compiled_mode
+                    )
         elif batch_mode:
-            exec_plan = lower_to_batch(plan, parallelism=parallelism)
+            with self._span("lower"):
+                exec_plan = lower_to_batch(plan, parallelism=parallelism)
         else:
             exec_plan = None
         elapsed = time.perf_counter() - start

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any
 
 from ..algebra.parameters import ParameterError, bind_slots
 from ..execution.iterator import ExecutionContext
+from ..observe import system_tables as _system_tables
 from ..optimizer.query_spec import QuerySpec
 from .cache import CachedPlan, strip_limit
 
@@ -181,19 +182,24 @@ class PreparedQuery:
         bindings follow; a first run that *hits* a template another
         statement already planned does report True.
         """
-        entry = self._refresh(params)
-        bind_slots(entry.spec.parameters, params)
-        plan_cached = self._hit or self._ran
-        self._ran = True
-        plan, wanted = entry.executable_for(k)
-        return self._db.execute(
-            plan,
-            entry.scoring,
-            k=wanted,
-            evaluators=entry.evaluators,
-            plan_cached=plan_cached,
-            snapshot=snapshot,
-        )
+        tracer = self._db.tracer
+        sql = self._query if isinstance(self._query, str) else "<QuerySpec>"
+        with tracer.trace(sql, surface="prepared"):
+            entry = self._refresh(params)
+            bind_slots(entry.spec.parameters, params)
+            plan_cached = self._hit or self._ran
+            self._ran = True
+            plan, wanted = entry.executable_for(k)
+            tracer.annotate(regime=entry.regime())
+            return self._db.execute(
+                plan,
+                entry.scoring,
+                k=wanted,
+                evaluators=entry.evaluators,
+                plan_cached=plan_cached,
+                snapshot=snapshot,
+                entry=entry,
+            )
 
     def cursor(self, params: Any = None) -> "Cursor":
         """An incremental cursor over the prepared plan (limit stripped).
@@ -319,6 +325,14 @@ class Session:
         Inside an open transaction the query reads its view (BEGIN-time
         snapshot + own buffered writes) and is logged to its event stream.
         """
+        if isinstance(query, str):
+            # system.* virtual tables are served by interception — they
+            # must not enter the statement cache or the planner
+            virtual = _system_tables.maybe_execute(
+                query, self._db.tracer, self._db.registry
+            )
+            if virtual is not None:
+                return virtual
         transaction = self.transaction if self.in_transaction else None
         snapshot = transaction.read_view() if transaction is not None else None
         prepared = self.prepare(query)

@@ -170,6 +170,11 @@ class RemoteSession:
     def metrics(self) -> dict[str, Any]:
         return self._roundtrip({"op": "metrics"})
 
+    def stats(self, traces: int = 10) -> dict[str, Any]:
+        """The server's observability snapshot: metrics registry contents
+        plus its most recent finished traces (newest first)."""
+        return self._roundtrip({"op": "stats", "traces": traces})
+
     def close(self) -> None:
         if self._closed:
             return

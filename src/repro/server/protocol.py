@@ -17,6 +17,7 @@ Requests (client → server)::
     {"op": "commit"}                            commit (may conflict-abort)
     {"op": "rollback"}                          discard buffered writes
     {"op": "metrics"}                           session + shared-cache stats
+    {"op": "stats"}                             metrics registry + recent traces
     {"op": "close"}                             close the session
 
 Inside a transaction every ``query`` reads the BEGIN-time snapshot plus
@@ -55,6 +56,7 @@ OPS = (
     "commit",
     "rollback",
     "metrics",
+    "stats",
     "close",
 )
 

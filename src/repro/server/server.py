@@ -101,6 +101,7 @@ class QueryServer:
         port: int | None = None,
         record_history: bool = False,
         idle_timeout: "float | None" = None,
+        metrics_port: int | None = None,
         **session_defaults: Any,
     ):
         if workers < 1:
@@ -125,6 +126,10 @@ class QueryServer:
 
             self.recorder = HistoryRecorder()
             database.transactions.add_listener(self.recorder)
+        #: port for the optional Prometheus-text ``GET /metrics`` endpoint
+        #: (None = no HTTP scrape surface; 0 picks an ephemeral port)
+        self.metrics_port = metrics_port
+        self._metrics_httpd: Any = None
         self._queue: "queue.Queue[_Request | None]" = queue.Queue()
         self._threads: list[threading.Thread] = []
         self._listener: socket.socket | None = None
@@ -177,6 +182,8 @@ class QueryServer:
             )
             accept.start()
             self._threads.append(accept)
+        if self.metrics_port is not None:
+            self._start_metrics_endpoint()
         return self
 
     @property
@@ -196,6 +203,10 @@ class QueryServer:
             if not self._running:
                 return
             self._running = False
+        if self._metrics_httpd is not None:
+            self._metrics_httpd.shutdown()
+            self._metrics_httpd.server_close()
+            self._metrics_httpd = None
         if self._listener is not None:
             self._listener.close()
         with self._connections_lock:
@@ -397,6 +408,56 @@ class QueryServer:
         out.update(morsels.pool_summary())
         return out
 
+    def stats(self, traces: int = 10) -> dict[str, Any]:
+        """The observability snapshot behind the ``stats`` wire op: every
+        registered metric (counters, gauges, histogram quantiles) plus the
+        most recent finished traces, newest first."""
+        database = self.database
+        recent = list(database.tracer.recent(traces))
+        recent.reverse()
+        return {
+            "metrics": database.registry.collect(),
+            "traces": [trace.to_dict() for trace in recent],
+            "tracer": database.tracer.summary(),
+        }
+
+    def _start_metrics_endpoint(self) -> None:
+        """Expose ``GET /metrics`` (Prometheus text format) on
+        :attr:`metrics_port`.  Stdlib-only: a daemonized
+        :class:`~http.server.ThreadingHTTPServer` whose handler renders the
+        database's registry on every scrape."""
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        registry = self.database.registry
+
+        class _MetricsHandler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                if self.path.rstrip("/") not in ("", "/metrics"):
+                    self.send_error(404, "only /metrics is served")
+                    return
+                body = registry.render_prometheus().encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:  # silence stderr
+                pass
+
+        httpd = ThreadingHTTPServer((self.host, self.metrics_port), _MetricsHandler)
+        httpd.daemon_threads = True
+        self.metrics_port = httpd.server_address[1]
+        self._metrics_httpd = httpd
+        thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        thread.start()
+
     # ------------------------------------------------------------------
     # TCP front end
     # ------------------------------------------------------------------
@@ -555,6 +616,10 @@ class QueryServer:
                 "session": session.summary(),
                 "server": self.summary(),
             }
+            return payload, session, False
+        if op == "stats":
+            payload = {"ok": True}
+            payload.update(self.stats(traces=message.get("traces", 10)))
             return payload, session, False
         assert op == "close"
         self.sessions.close(session.session_id)

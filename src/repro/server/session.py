@@ -43,6 +43,7 @@ import threading
 from typing import TYPE_CHECKING, Any
 
 from ..algebra.parameters import bind_slots
+from ..observe import system_tables as _system_tables
 from ..storage.transaction import Transaction, TransactionError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -184,7 +185,17 @@ class ServerSession:
         snapshot + own buffered writes) overrides either.
         """
         self._check_open()
-        with self._statement_lock:
+        # system.* virtual tables are served by interception — live
+        # introspection must not enter the planner, the shared plan
+        # cache, or this session's counters
+        virtual = _system_tables.maybe_execute(
+            sql, self._db.tracer, self._db.registry
+        )
+        if virtual is not None:
+            return virtual
+        with self._statement_lock, self._db.tracer.trace(
+            sql, surface=f"server:{self.session_id}"
+        ):
             transaction = self.transaction if self.in_transaction else None
             if transaction is not None:
                 snapshot = transaction.read_view()
@@ -201,6 +212,7 @@ class ServerSession:
             else:
                 self.plan_cache_misses += 1
             plan, wanted = entry.executable_for(k)
+            self._db.tracer.annotate(regime=entry.regime())
             if entry.spec.parameters:
                 # Atomic bind + execute: one template's concurrent runs
                 # (other sessions, other workers) queue here instead of
@@ -234,6 +246,7 @@ class ServerSession:
             evaluators=entry.evaluators,
             plan_cached=hit,
             snapshot=snapshot,
+            entry=entry,
         )
 
     def explain(self, sql: str, params: Any = None) -> str:
@@ -280,6 +293,17 @@ class SessionManager:
         self._counter = 0
         #: sessions ever admitted (open + closed), for capacity metrics
         self.sessions_opened = 0
+        #: lifetime totals folded in from closed sessions, so
+        #: :meth:`summary` keeps counting work a departed client did
+        self.sessions_closed = 0
+        self._closed_totals = {
+            "queries_executed": 0,
+            "rows_returned": 0,
+            "plan_cache_hits": 0,
+            "plan_cache_misses": 0,
+            "compiled_executions": 0,
+            "interpreted_executions": 0,
+        }
 
     def __len__(self) -> int:
         with self._lock:
@@ -310,6 +334,7 @@ class SessionManager:
         if session is None:
             raise SessionError(f"unknown session {session_id!r}")
         session.close()
+        self._fold(session)
 
     def close_all(self) -> None:
         with self._lock:
@@ -317,23 +342,45 @@ class SessionManager:
             self._sessions.clear()
         for session in sessions:
             session.close()
+            self._fold(session)
+
+    def _fold(self, session: ServerSession) -> None:
+        """Bank a closed session's counters into the lifetime totals."""
+        with self._lock:
+            self.sessions_closed += 1
+            totals = self._closed_totals
+            totals["queries_executed"] += session.queries_executed
+            totals["rows_returned"] += session.rows_returned
+            totals["plan_cache_hits"] += session.plan_cache_hits
+            totals["plan_cache_misses"] += session.plan_cache_misses
+            totals["compiled_executions"] += session.compiled_executions
+            totals["interpreted_executions"] += session.interpreted_executions
 
     def sessions(self) -> list[ServerSession]:
         with self._lock:
             return list(self._sessions.values())
 
     def summary(self) -> dict[str, float]:
-        """Aggregate client-side totals across open sessions."""
+        """Aggregate client-side totals: open sessions plus the banked
+        totals of every session that has closed (lifetime view)."""
         sessions = self.sessions()
+        with self._lock:
+            closed = dict(self._closed_totals)
+            sessions_closed = self.sessions_closed
         return {
             "sessions_open": len(sessions),
             "sessions_opened": self.sessions_opened,
-            "queries_executed": sum(s.queries_executed for s in sessions),
-            "rows_returned": sum(s.rows_returned for s in sessions),
-            "plan_cache_hits": sum(s.plan_cache_hits for s in sessions),
-            "plan_cache_misses": sum(s.plan_cache_misses for s in sessions),
-            "compiled_executions": sum(s.compiled_executions for s in sessions),
-            "interpreted_executions": sum(
-                s.interpreted_executions for s in sessions
-            ),
+            "sessions_closed": sessions_closed,
+            "queries_executed": closed["queries_executed"]
+            + sum(s.queries_executed for s in sessions),
+            "rows_returned": closed["rows_returned"]
+            + sum(s.rows_returned for s in sessions),
+            "plan_cache_hits": closed["plan_cache_hits"]
+            + sum(s.plan_cache_hits for s in sessions),
+            "plan_cache_misses": closed["plan_cache_misses"]
+            + sum(s.plan_cache_misses for s in sessions),
+            "compiled_executions": closed["compiled_executions"]
+            + sum(s.compiled_executions for s in sessions),
+            "interpreted_executions": closed["interpreted_executions"]
+            + sum(s.interpreted_executions for s in sessions),
         }

@@ -45,6 +45,7 @@ import random
 import threading
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
+from ..observe.trace import _NULL_CONTEXT
 from .row import Row
 from .snapshot import DatabaseSnapshot
 from .table import Table, TableVersion
@@ -411,6 +412,10 @@ class TransactionManager:
         #: acknowledged commit survives any crash after it, and a crash
         #: before it leaves no trace recovery would apply.
         self.wal: Any = None
+        #: the engine's :class:`~repro.observe.trace.Tracer`, when
+        #: attached — commit and WAL-fsync report spans into whatever
+        #: query trace is active on the committing thread.
+        self.tracer: Any = None
         self._lock = threading.Lock()
         self._clock = 0
         self._next_txn_id = 1
@@ -496,8 +501,18 @@ class TransactionManager:
             self._notify("transaction_began", txn)
             return txn
 
+    def _span(self, name: str, **attrs: Any):
+        tracer = self.tracer
+        if tracer is None:
+            return _NULL_CONTEXT
+        return tracer.span(name, **attrs)
+
     def commit(self, txn: Transaction) -> int:
         """First-committer-wins validation, then atomic publication."""
+        with self._span("commit", txn=txn.txn_id):
+            return self._commit(txn)
+
+    def _commit(self, txn: Transaction) -> int:
         with self._lock:
             txn._check_active()
             dirty = sorted(
@@ -538,13 +553,14 @@ class TransactionManager:
             # record made it down, which is exactly a real crash's
             # ambiguity.
             if self.wal is not None and txn._wal_ops:
-                self.wal.log_begin(txn.txn_id)
-                for kind, name, payload in txn._wal_ops:
-                    if kind == "insert":
-                        self.wal.log_insert(txn.txn_id, name, payload)
-                    else:
-                        self.wal.log_delete(txn.txn_id, name, payload)
-                self.wal.log_commit(txn.txn_id)
+                with self._span("wal_fsync", ops=len(txn._wal_ops)):
+                    self.wal.log_begin(txn.txn_id)
+                    for kind, name, payload in txn._wal_ops:
+                        if kind == "insert":
+                            self.wal.log_insert(txn.txn_id, name, payload)
+                        else:
+                            self.wal.log_delete(txn.txn_id, name, payload)
+                    self.wal.log_commit(txn.txn_id)
 
             for write_set in dirty:
                 write_set.table.apply_commit(

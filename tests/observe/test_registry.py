@@ -1,0 +1,148 @@
+"""Tests for the process-wide metrics registry (counters, gauges,
+bounded histograms) — including thread-safety under concurrent sessions
+and the exact-merge property the parallel sinks rely on."""
+
+import math
+import threading
+
+import pytest
+
+from repro.observe import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot() == 5
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = Gauge("g")
+        g.set(3.5)
+        assert g.value == 3.5
+
+    def test_callback_gauge(self):
+        box = {"n": 7}
+        g = Gauge("g", fn=lambda: box["n"])
+        assert g.value == 7.0
+        box["n"] = 9
+        assert g.value == 9.0
+
+    def test_callback_exception_reads_nan(self):
+        def boom():
+            raise RuntimeError("backend gone")
+
+        g = Gauge("g", fn=boom)
+        assert math.isnan(g.value)
+
+
+class TestHistogram:
+    def test_snapshot_quantiles_bracket_observations(self):
+        h = Histogram("h")
+        for value in [1.0, 2.0, 3.0, 100.0]:
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == 1.0 and snap["max"] == 100.0
+        assert snap["min"] <= snap["p50"] <= snap["p95"] <= snap["p99"]
+        assert snap["p99"] <= snap["max"]
+
+    def test_empty_histogram_has_none_quantiles(self):
+        h = Histogram("h")
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] is None and snap["p99"] is None
+
+    def test_merge_is_exact(self):
+        # The property that makes per-worker private sinks safe: merged
+        # bucket counts equal one histogram fed every observation.
+        a, b, whole = Histogram("a"), Histogram("b"), Histogram("w")
+        for i in range(50):
+            value = 0.1 * (i + 1)
+            (a if i % 2 else b).observe(value)
+            whole.observe(value)
+        a.merge(b)
+        assert a.snapshot() == whole.snapshot()
+        assert a.bucket_counts() == whole.bucket_counts()
+
+    def test_merge_rejects_incompatible_layouts(self):
+        a = Histogram("a", buckets=[1.0, 2.0])
+        b = Histogram("b", buckets=[1.0, 5.0])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_overflow_bucket_catches_huge_values(self):
+        h = Histogram("h", buckets=[1.0, 2.0])
+        h.observe(1e9)
+        assert h.count == 1
+        assert h.snapshot()["max"] == 1e9
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_collect_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        collected = registry.collect()
+        assert collected["c"] == 2
+        assert collected["g"] == 1.5
+        assert collected["h"]["count"] == 1
+
+    def test_render_prometheus(self):
+        registry = MetricsRegistry()
+        registry.counter("query.count", help="queries run").inc(3)
+        registry.histogram("query.ms").observe(0.7)
+        text = registry.render_prometheus()
+        assert "# TYPE query_count counter" in text
+        assert "query_count 3.0" in text
+        assert 'query_ms_bucket{le="1.0"} 1' in text
+        assert 'query_ms_bucket{le="+Inf"} 1' in text
+        assert "query_ms_count 1" in text
+
+
+class TestThreadSafety:
+    def test_eight_concurrent_sessions_lose_nothing(self):
+        """Eight threads hammering one registry: every increment and
+        every observation must land (the server runs exactly this shape —
+        eight sessions reporting into one process-wide registry)."""
+        registry = MetricsRegistry()
+        sessions, per_session = 8, 500
+        barrier = threading.Barrier(sessions)
+
+        def session_work(seed: int) -> None:
+            # registration races too: all threads ask for the same names
+            counter = registry.counter("shared.count")
+            histogram = registry.histogram("shared.ms")
+            barrier.wait()
+            for i in range(per_session):
+                counter.inc()
+                histogram.observe(0.05 * ((seed + i) % 40 + 1))
+
+        threads = [
+            threading.Thread(target=session_work, args=(s,))
+            for s in range(sessions)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("shared.count").value == sessions * per_session
+        histogram = registry.histogram("shared.ms")
+        assert histogram.count == sessions * per_session
+        # bucket tallies are internally consistent with the total
+        assert histogram.bucket_counts()[-1][1] == histogram.count

@@ -46,7 +46,7 @@ class TestAnalyzeReport:
         for node in report.nodes:
             assert node.label in text
         assert "returned 5 rows" in text
-        assert "est rows=" in text and "actual in=" in text
+        assert "est=" in text and "act=" in text and "in=" in text
 
     def test_metrics_summary_attached(self, report):
         assert report.metrics_summary["tuples_scanned"] > 0
@@ -72,6 +72,39 @@ class TestBatchWallTimings:
         assert "ms" in report.render()
 
 
+class TestMisestimateFlag:
+    def _report(self, estimated: float, actual: int):
+        from repro.optimizer.explain import AnalyzeReport, NodeReport
+
+        node = NodeReport(
+            label="scan(t)",
+            depth=0,
+            estimated_rows=estimated,
+            estimated_cost=10.0,
+            actual_in=actual,
+            actual_out=actual,
+        )
+        summary = {
+            "simulated_cost": 0.0,
+            "tuples_scanned": 0,
+            "predicate_evaluations": 0,
+        }
+        return AnalyzeReport([node], actual, summary)
+
+    def test_over_10x_misestimates_are_flagged(self):
+        text = self._report(estimated=1000.0, actual=5).render()
+        assert "!! 200.0x misestimate" in text
+
+    def test_underestimates_flag_too(self):
+        report = self._report(estimated=3.0, actual=90)
+        assert report.nodes[0].misestimate_factor == pytest.approx(30.0)
+        assert "misestimate" in report.render()
+
+    def test_accurate_estimates_stay_clean(self):
+        text = self._report(estimated=10.0, actual=9).render()
+        assert "misestimate" not in text
+
+
 class TestDatabaseEntryPoint:
     def test_explain_analyze_via_sql(self, workload):
         sql = (
@@ -82,5 +115,5 @@ class TestDatabaseEntryPoint:
         )
         text = workload.database.explain_analyze(sql, sample_ratio=0.1, seed=2)
         assert "limit(3)" in text
-        assert "est rows=" in text
+        assert "est=" in text and "act=" in text
         assert "returned 3 rows" in text

@@ -40,6 +40,7 @@ class TestIdleReaper:
             # the reaped socket is dead from the client's point of view
             with pytest.raises((ConnectionError, OSError)):
                 client.execute(READ, params={"k": 0})
+            client.close()  # release the client-side fd of the dead link
         db.close()
 
     def test_active_connection_is_not_reaped(self):

@@ -1,0 +1,160 @@
+"""Server-side observability: the ``stats`` wire op, the Prometheus
+endpoint, lifetime summary folding across closed sessions, and registry
+consistency under concurrent sessions."""
+
+import threading
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cli import build_demo_database
+from repro.server.client import connect
+
+SQL = (
+    "SELECT * FROM hotel WHERE area < 5 "
+    "ORDER BY cheap(hotel.price) + starry(hotel.stars) LIMIT 5"
+)
+
+
+@pytest.fixture()
+def db():
+    return build_demo_database()
+
+
+class TestStatsOp:
+    def test_stats_over_the_wire(self, db):
+        with db.serve(workers=2, port=0) as server:
+            host, port = server.address
+            with connect(host, port) as remote:
+                remote.execute(SQL)
+                payload = remote.stats(traces=5)
+        assert payload["metrics"]["query.count"] >= 1
+        assert payload["metrics"]["query.ms"]["count"] >= 1
+        assert payload["traces"], "recent traces must come back"
+        newest = payload["traces"][0]
+        assert newest["surface"].startswith("server:")
+        assert newest["spans"]["name"] == "query"
+        assert payload["tracer"]["trace_enabled"] is True
+
+    def test_server_stats_traces_newest_first(self, db):
+        with db.serve(workers=2) as server:
+            with server.session() as client:
+                client.execute(SQL)
+                client.execute(SQL)
+            stats = server.stats(traces=2)
+        first, second = stats["traces"][0], stats["traces"][1]
+        assert first["started_at"] >= second["started_at"]
+
+
+class TestPrometheusEndpoint:
+    def test_scrape(self, db):
+        with db.serve(workers=2, metrics_port=0) as server:
+            with server.session() as client:
+                client.execute(SQL)
+            url = f"http://127.0.0.1:{server.metrics_port}/metrics"
+            with urllib.request.urlopen(url) as response:
+                assert response.status == 200
+                assert "text/plain" in response.headers["Content-Type"]
+                body = response.read().decode("utf-8")
+        assert "# TYPE query_count counter" in body
+        assert 'query_ms_bucket{le="+Inf"}' in body
+        assert "plan_cache_hits" in body
+
+    def test_unknown_path_is_404(self, db):
+        with db.serve(workers=1, metrics_port=0) as server:
+            url = f"http://127.0.0.1:{server.metrics_port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url)
+            assert excinfo.value.code == 404
+            excinfo.value.close()  # the HTTPError owns the response socket
+
+    def test_endpoint_stops_with_the_server(self, db):
+        server = db.serve(workers=1, metrics_port=0).start()
+        port = server.metrics_port
+        server.stop()
+        with pytest.raises(OSError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=0.5
+            )
+
+
+class TestClosedSessionFold:
+    def test_summary_survives_session_close(self, db):
+        """The satellite fix: per-session compiled-vs-interpreted counts
+        (and the other client totals) must not vanish when the session
+        that earned them closes."""
+        with db.serve(workers=2) as server:
+            with server.session() as client:
+                client.execute(SQL)
+                client.execute(SQL)
+                live = server.summary()
+            closed = server.summary()
+        assert live["sessions_queries_executed"] == 2
+        assert closed["sessions_open"] == 0
+        assert closed["sessions_closed"] == 1
+        assert closed["sessions_queries_executed"] == 2
+        assert closed["sessions_rows_returned"] == live["sessions_rows_returned"]
+        assert (
+            closed["sessions_compiled_executions"]
+            + closed["sessions_interpreted_executions"]
+            == 2
+        )
+        assert (
+            closed["sessions_plan_cache_hits"]
+            + closed["sessions_plan_cache_misses"]
+            == 2
+        )
+
+    def test_open_and_closed_totals_add(self, db):
+        with db.serve(workers=2) as server:
+            done = server.session()
+            done.execute(SQL)
+            done.close()
+            live = server.session()
+            live.execute(SQL)
+            summary = server.summary()
+            assert summary["sessions_open"] == 1
+            assert summary["sessions_closed"] == 1
+            assert summary["sessions_queries_executed"] == 2
+            live.close()
+
+    def test_close_all_folds_everyone(self, db):
+        server = db.serve(workers=2).start()
+        clients = [server.session() for __ in range(3)]
+        for client in clients:
+            client.execute(SQL)
+        server.stop()  # close_all path
+        summary = server.summary()
+        assert summary["sessions_closed"] == 3
+        assert summary["sessions_queries_executed"] == 3
+
+
+class TestConcurrentSessions:
+    def test_eight_sessions_report_into_one_registry(self, db):
+        """Eight concurrent server sessions; the process-wide registry and
+        the lifetime summary must account for every statement exactly."""
+        per_session = 5
+        query_count = db.registry.get("query.count")
+        before = query_count.value
+        barrier = threading.Barrier(8)
+
+        with db.serve(workers=8) as server:
+
+            def run_one(__):
+                with server.session() as client:
+                    barrier.wait(timeout=30)
+                    for _ in range(per_session):
+                        client.execute(SQL)
+                    return client.session.queries_executed
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                totals = list(pool.map(run_one, range(8)))
+            summary = server.summary()
+
+        assert totals == [per_session] * 8
+        assert summary["sessions_closed"] == 8
+        assert summary["sessions_queries_executed"] == 8 * per_session
+        assert query_count.value - before == 8 * per_session
+        latency = db.registry.get("query.ms")
+        assert latency.count >= 8 * per_session
